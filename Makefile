@@ -1,0 +1,32 @@
+# Convenience targets for the stale-load-information reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper-scale figures report clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-report:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# The paper's scale: 500k arrivals x 10 seeds per point (slow).
+bench-paper-scale:
+	REPRO_BENCH_JOBS=500000 REPRO_BENCH_SEEDS=10 \
+		$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro list
+
+report:
+	$(PYTHON) -m repro report
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

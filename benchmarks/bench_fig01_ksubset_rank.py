@@ -1,0 +1,35 @@
+"""Fig. 1: request distribution by server rank under k-subset (Eq. 1).
+
+Regenerates the analytic curves for k in {1, 2, 3, 5, 10} with n = 10 and
+cross-checks them against Monte-Carlo subset selection, then benchmarks
+the Monte-Carlo kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import record_table
+from repro.experiments.fig1 import run_fig1
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    result = run_fig1(num_servers=10, k_values=(1, 2, 3, 5, 10), draws=100_000)
+    record_table("fig1", result.format_table())
+    return result
+
+
+def test_fig01_rank_distribution(fig1_result, benchmark):
+    benchmark.pedantic(
+        lambda: run_fig1(num_servers=10, k_values=(2,), draws=20_000),
+        rounds=3,
+        iterations=1,
+    )
+    # Shape: Monte Carlo matches Eq. 1 closely for every k.
+    for k in (1, 2, 3, 5):
+        assert fig1_result.max_abs_error(k) < 0.01
+    # The paper's reading of Fig. 1: the k-1 most loaded servers receive
+    # no requests at all, and the top of the k=2 curve is 0.2.
+    assert fig1_result.analytic[2][0] == pytest.approx(0.2)
+    assert fig1_result.analytic[5][-4:].sum() == 0.0

@@ -1,0 +1,34 @@
+"""Fig. 2: response time vs update period T, periodic model, n=10, λ=0.9.
+
+The paper's headline figure.  Expected shape: all load-aware policies win
+big at small T; k-subset algorithms cross above random and keep climbing
+as T grows (the herd effect, worst for large k); both LI variants degrade
+gracefully and stay at or below random even at T = 64.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import generate_figure, kernel
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return generate_figure("fig2")
+
+
+def test_fig02_periodic_default(fig2, benchmark):
+    benchmark.pedantic(kernel("fig2", "basic-li", 4.0), rounds=3, iterations=1)
+
+    random_series = fig2.series("random")
+    # Fresh information: LI matches the aggressive algorithms (Fig. 2b).
+    assert fig2.value("basic-li", 0.1) <= fig2.value("k=10", 0.1) * 1.2
+    assert fig2.value("basic-li", 0.1) < random_series[0] / 2
+    # Moderate age: LI beats every k-subset variant (the ~60% regime).
+    best_subset_at_8 = min(fig2.value(k, 8.0) for k in ("k=2", "k=3", "k=10"))
+    assert fig2.value("aggressive-li", 8.0) < best_subset_at_8
+    # Stale: k=10 is pathological, LI is not (Fig. 2a).
+    assert fig2.value("k=10", 64.0) > 3 * fig2.value("random", 64.0)
+    assert fig2.value("basic-li", 64.0) <= fig2.value("random", 64.0) * 1.1
+    assert fig2.value("aggressive-li", 64.0) <= fig2.value("random", 64.0) * 1.1

@@ -1,0 +1,33 @@
+"""Fig. 3: the same periodic sweep at light load (λ = 0.5).
+
+Expected shape: gains over random shrink (random is only ~2.0 time
+units), k-subset's stale-information pathology is milder but still
+present, and the LI algorithms are at least as good as the best
+alternative across the whole sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import generate_figure, kernel
+from repro.analysis.mmk import random_split_response_time
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return generate_figure("fig3")
+
+
+def test_fig03_periodic_lightload(fig3, benchmark):
+    benchmark.pedantic(kernel("fig3", "basic-li", 4.0), rounds=3, iterations=1)
+
+    # Random matches the M/M/1 baseline 1/(1-0.5) = 2.0.
+    assert fig3.value("random", 1.0) == pytest.approx(
+        random_split_response_time(0.5), rel=0.1
+    )
+    # Fresh info: nearly a factor of two over random.
+    assert fig3.value("basic-li", 0.1) < fig3.value("random", 0.1) * 0.7
+    # Stale info: greedy still worse than random, LI still safe.
+    assert fig3.value("k=10", 64.0) > fig3.value("random", 64.0)
+    assert fig3.value("basic-li", 64.0) <= fig3.value("random", 64.0) * 1.1

@@ -1,0 +1,30 @@
+"""Fig. 4: the periodic sweep with 100 servers (λ = 0.9).
+
+Expected shape: qualitatively identical to the n = 10 case (Fig. 2) —
+the herd effect for large k, graceful degradation for LI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import bench_jobs, generate_figure, kernel
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    # 100 servers need proportionally more arrivals per run for the same
+    # per-server statistics.
+    return generate_figure("fig4", jobs=max(bench_jobs(), 60_000), seeds=2)
+
+
+def test_fig04_periodic_n100(fig4, benchmark):
+    benchmark.pedantic(
+        kernel("fig4", "basic-li", 4.0, jobs=8_000), rounds=3, iterations=1
+    )
+
+    assert fig4.value("basic-li", 0.1) < fig4.value("random", 0.1) / 2
+    assert fig4.value("k=100", 64.0) > 2 * fig4.value("random", 64.0)
+    assert fig4.value("basic-li", 64.0) <= fig4.value("random", 64.0) * 1.15
+    best_subset = min(fig4.value(k, 8.0) for k in ("k=2", "k=3", "k=100"))
+    assert fig4.value("aggressive-li", 8.0) <= best_subset * 1.05

@@ -1,0 +1,47 @@
+"""Fig. 5: the threshold algorithm for a range of thresholds, k=2 and k=10.
+
+Expected shape: the threshold knob spans the same aggressiveness spectrum
+as k does for k-subset — small thresholds behave aggressively (good fresh,
+bad stale), large thresholds approach uniform random — and the LI
+algorithms beat every fixed threshold over a wide range of update periods.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import generate_figure, kernel
+
+THRESHOLD_LABELS_K2 = [f"thr={t},k=2" for t in (0, 1, 4, 8, 16, 24, 32, 40)]
+THRESHOLD_LABELS_K10 = [f"thr={t},k=10" for t in (0, 1, 4, 8, 16, 24, 32, 40)]
+
+
+@pytest.fixture(scope="module")
+def fig5a():
+    return generate_figure("fig5a")
+
+
+@pytest.fixture(scope="module")
+def fig5b():
+    return generate_figure("fig5b")
+
+
+def test_fig05a_threshold_k2(fig5a, benchmark):
+    benchmark.pedantic(kernel("fig5a", "thr=4,k=2", 4.0), rounds=3, iterations=1)
+
+    # No fixed threshold dominates LI across the sweep: at a moderate T
+    # the best threshold still loses to Aggressive LI.
+    best_threshold = min(fig5a.value(lbl, 8.0) for lbl in THRESHOLD_LABELS_K2)
+    assert fig5a.value("aggressive-li", 8.0) <= best_threshold * 1.05
+
+
+def test_fig05b_threshold_k10(fig5b, benchmark):
+    benchmark.pedantic(kernel("fig5b", "thr=4,k=10", 4.0), rounds=3, iterations=1)
+
+    # Aggressive small thresholds with k=10 herd when information is stale.
+    assert fig5b.value("thr=0,k=10", 32.0) > fig5b.value("thr=40,k=10", 32.0)
+    # ... but win when information is fresh.
+    assert fig5b.value("thr=0,k=10", 0.5) < fig5b.value("thr=40,k=10", 0.5)
+    # LI beats the whole threshold family at moderate staleness.
+    best_threshold = min(fig5b.value(lbl, 8.0) for lbl in THRESHOLD_LABELS_K10)
+    assert fig5b.value("aggressive-li", 8.0) <= best_threshold * 1.05

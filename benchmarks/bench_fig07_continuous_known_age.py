@@ -1,0 +1,55 @@
+"""Fig. 7: continuous update where each request knows its actual delay.
+
+Expected shape: giving Basic LI the per-request delay (instead of only
+the mean) improves it for every delay distribution, most strongly for the
+most variable (exponential) distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import generate_figure, kernel
+
+PAIRS = (
+    ("fig7a", "fig6b"),  # uniform(T/2, 3T/2)
+    ("fig7b", "fig6c"),  # uniform(0, 2T)
+    ("fig7c", "fig6d"),  # exponential(T)
+)
+
+
+@pytest.fixture(scope="module")
+def fig7_and_fig6():
+    results = {}
+    for known_id, mean_id in PAIRS:
+        results[known_id] = generate_figure(known_id)
+        results[mean_id] = generate_figure(
+            mean_id,
+            curves=("basic-li", "random"),
+            record_as=f"{known_id}-reference-{mean_id}",
+        )
+    return results
+
+
+def test_fig07_continuous_known_age(fig7_and_fig6, benchmark):
+    benchmark.pedantic(kernel("fig7c", "basic-li", 4.0), rounds=3, iterations=1)
+
+    for known_id, mean_id in PAIRS:
+        known = fig7_and_fig6[known_id]
+        mean_only = fig7_and_fig6[mean_id]
+        # Knowing the actual age never hurts Basic LI (5% statistical slack).
+        for x in (4.0, 8.0, 16.0):
+            assert known.value("basic-li", x) <= mean_only.value(
+                "basic-li", x
+            ) * 1.08
+        # And LI remains safe at the stale end.
+        assert known.value("basic-li", 32.0) <= known.value("random", 32.0) * 1.1
+
+    # The improvement is most pronounced for the exponential distribution.
+    exp_gain = fig7_and_fig6["fig6d"].value("basic-li", 8.0) - fig7_and_fig6[
+        "fig7c"
+    ].value("basic-li", 8.0)
+    narrow_gain = fig7_and_fig6["fig6b"].value("basic-li", 8.0) - fig7_and_fig6[
+        "fig7a"
+    ].value("basic-li", 8.0)
+    assert exp_gain >= narrow_gain - 0.5  # allow noise, expect ordering

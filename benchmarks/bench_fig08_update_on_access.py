@@ -1,0 +1,30 @@
+"""Fig. 8: the update-on-access model.
+
+Expected shape: per-client snapshot refreshes desynchronize the clients,
+so *all* algorithms behave reasonably (no dramatic herd effect); Basic LI
+is the best or tied for best across the sweep, with a modest margin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import generate_figure, kernel
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return generate_figure("fig8")
+
+
+def test_fig08_update_on_access(fig8, benchmark):
+    benchmark.pedantic(kernel("fig8", "basic-li", 4.0), rounds=3, iterations=1)
+
+    for x in (1.0, 8.0, 32.0):
+        random_value = fig8.value("random", x)
+        # No pathology: even greedy stays within 2x of random.
+        assert fig8.value("k=10", x) < 2.0 * random_value
+        # Basic LI best or tied (7% slack for the reduced bench scale).
+        others = ("random", "k=2", "k=3", "k=10", "aggressive-li")
+        best_other = min(fig8.value(label, x) for label in others)
+        assert fig8.value("basic-li", x) <= best_other * 1.07

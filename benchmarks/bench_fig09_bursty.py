@@ -1,0 +1,48 @@
+"""Fig. 9: update-on-access with bursty clients (burst size 10).
+
+Expected shape: although a client's snapshot is on average T old, most
+requests arrive mid-burst and see a much fresher picture, so every
+load-aware policy beats random clearly even at large T — the basis for
+the paper's optimism about Internet server selection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import generate_figure, kernel
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return generate_figure("fig9")
+
+
+@pytest.fixture(scope="module")
+def fig8_reference():
+    return generate_figure(
+        "fig8",
+        curves=("basic-li", "k=2", "random"),
+        record_as="fig9-reference-fig8",
+    )
+
+
+def test_fig09_bursty(fig9, fig8_reference, benchmark):
+    benchmark.pedantic(kernel("fig9", "basic-li", 4.0), rounds=3, iterations=1)
+
+    # Load-aware policies beat random decisively at every age.
+    for x in (2.0, 8.0, 32.0):
+        random_value = fig9.value("random", x)
+        assert fig9.value("basic-li", x) < random_value * 0.8
+        assert fig9.value("k=2", x) < random_value * 0.9
+
+    # Burstiness makes stale-info load balancing *better* than the
+    # non-bursty update-on-access case at large T.
+    assert fig9.value("basic-li", 32.0) < fig8_reference.value(
+        "basic-li", 32.0
+    )
+    # Basic LI best or tied across the sweep.
+    for x in (2.0, 8.0, 32.0):
+        others = ("random", "k=2", "k=3", "k=10", "aggressive-li")
+        best_other = min(fig9.value(label, x) for label in others)
+        assert fig9.value("basic-li", x) <= best_other * 1.07

@@ -1,0 +1,50 @@
+"""Fig. 10: Bounded Pareto job sizes (α=1.1, max=10³×mean), three loads.
+
+Expected shape: absolute response times and the random-vs-best gap are
+much larger than under exponential service (server selection matters more
+for highly variable jobs); greedy k=10 degrades steeply with staleness;
+LI degrades slowly and stays far below random.  Reported as percentile
+boxes over per-seed means, like the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import bench_seeds, generate_figure, kernel
+
+SUBFIGURES = ("fig10a", "fig10b", "fig10c")
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    # Heavy-tailed runs need more trials for a meaningful box.
+    seeds = max(bench_seeds(), 6)
+    return {
+        figure_id: generate_figure(figure_id, seeds=seeds)
+        for figure_id in SUBFIGURES
+    }
+
+
+def test_fig10_pareto(fig10, benchmark):
+    benchmark.pedantic(kernel("fig10b", "basic-li", 2.0), rounds=3, iterations=1)
+
+    for figure_id in SUBFIGURES:
+        result = fig10[figure_id]
+        # Selection matters: LI at small T crushes random.
+        assert result.value("basic-li", 0.5) < result.value("random", 0.5) / 2
+        # Greedy k=10 deteriorates with staleness; LI degrades gently.
+        assert result.value("k=10", 32.0) > 2 * result.value("k=10", 0.5)
+        assert result.value("basic-li", 32.0) < result.value("random", 32.0)
+
+    # Absolute response times grow with load for the random baseline
+    # (heavy-tailed M/G/1), and the random-vs-LI gap is dramatic at every
+    # load — far larger than the ~3x seen under exponential service.
+    assert fig10["fig10c"].value("random", 2.0) > fig10["fig10a"].value(
+        "random", 2.0
+    )
+    for figure_id in SUBFIGURES:
+        ratio = fig10[figure_id].value("random", 2.0) / fig10[figure_id].value(
+            "basic-li", 2.0
+        )
+        assert ratio > 3.0

@@ -1,0 +1,28 @@
+"""Fig. 11: Bounded Pareto with max job = 10⁴ × mean, load 0.7.
+
+Expected shape: the same qualitative picture as Fig. 10 with an even
+heavier tail — larger dispersion across trials, LI still safe and still
+far better than random when information is reasonably fresh.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import bench_seeds, generate_figure, kernel
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return generate_figure("fig11", seeds=max(bench_seeds(), 6))
+
+
+def test_fig11_pareto_heavy(fig11, benchmark):
+    benchmark.pedantic(kernel("fig11", "basic-li", 2.0), rounds=3, iterations=1)
+
+    assert fig11.value("basic-li", 0.5) < fig11.value("random", 0.5) / 2
+    assert fig11.value("basic-li", 32.0) < fig11.value("random", 32.0)
+    assert fig11.value("k=10", 32.0) > 2 * fig11.value("k=10", 0.5)
+    # Boxes are well-formed (min <= quartiles <= max).
+    box = fig11.cell("basic-li", 2.0).percentile_box()
+    assert box.minimum <= box.p25 <= box.median <= box.p75 <= box.maximum

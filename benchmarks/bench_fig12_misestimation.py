@@ -1,0 +1,36 @@
+"""Fig. 12: Basic LI with a misestimated arrival rate.
+
+Expected shape: underestimating λ (factors < 1) makes LI too aggressive —
+performance degrades sharply, approaching the herd effect; overestimating
+(factors > 1) makes it conservatively drift toward random and costs
+little.  Hence the paper's advice: err on the side of overestimation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import generate_figure, kernel
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return generate_figure("fig12")
+
+
+def test_fig12_misestimation(fig12, benchmark):
+    benchmark.pedantic(kernel("fig12", "li(8x)", 4.0), rounds=3, iterations=1)
+
+    exact = fig12.value("li(1x)", 8.0)
+    # Asymmetry: a factor-8 underestimate is far worse than a factor-8
+    # overestimate.
+    assert fig12.value("li(0.125x)", 8.0) > fig12.value("li(8x)", 8.0)
+    # Underestimation is severely damaging...
+    assert fig12.value("li(0.125x)", 16.0) > exact * 1.5
+    # ... while overestimation stays within modest range of exact and
+    # never falls behind oblivious random.
+    assert fig12.value("li(2x)", 8.0) < exact * 1.3
+    for x in (4.0, 8.0, 16.0):
+        assert fig12.value("li(8x)", x) <= fig12.value("random", x)
+    # Monotone damage on the underestimation side.
+    assert fig12.value("li(0.125x)", 8.0) > fig12.value("li(0.5x)", 8.0)

@@ -1,0 +1,37 @@
+"""Fig. 13: response time vs λ — exact λ versus assume-λ=1.0, T=4.
+
+Expected shape: the two Basic LI lines (exact λ and the conservative
+max-throughput assumption) are nearly indistinguishable across the whole
+λ sweep — the paper reports differences under 1%, we allow bench noise —
+and both dominate the baselines at high load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import generate_figure, kernel
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    return generate_figure("fig13")
+
+
+def test_fig13_conservative_lambda(fig13, benchmark):
+    benchmark.pedantic(
+        kernel("fig13", "basic-li(assume=1.0)", 0.9), rounds=3, iterations=1
+    )
+
+    for lam in fig13.x_values:
+        exact = fig13.value("basic-li(exact)", lam)
+        conservative = fig13.value("basic-li(assume=1.0)", lam)
+        # Nearly indistinguishable (the paper: < 1%; allow bench noise).
+        assert conservative == pytest.approx(exact, rel=0.10)
+    # At heavy load the LI lines beat both random and greedy.
+    assert fig13.value("basic-li(exact)", 0.95) < fig13.value("random", 0.95)
+    assert fig13.value("basic-li(exact)", 0.95) < fig13.value("k=10", 0.95)
+    # Response time grows with load for every policy.
+    assert fig13.value("basic-li(exact)", 0.95) > fig13.value(
+        "basic-li(exact)", 0.3
+    )

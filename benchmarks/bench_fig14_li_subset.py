@@ -1,0 +1,44 @@
+"""Fig. 14: LI-k (restricted information) under three update models.
+
+Expected shape: unlike the standard k-subset family — whose best k
+depends on the staleness — LI-k improves (weakly) with more information:
+li-2 <= ... holds through li-10 = full Basic LI, and li-2/li-3 beat the
+standard k=2/k=3 when information is stale.  LI decouples *how much*
+information is used from *how it is interpreted*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import generate_figure, kernel
+
+SUBFIGURES = ("fig14a", "fig14b", "fig14c")
+
+
+@pytest.fixture(scope="module")
+def fig14():
+    return {figure_id: generate_figure(figure_id) for figure_id in SUBFIGURES}
+
+
+def test_fig14_li_subset(fig14, benchmark):
+    benchmark.pedantic(kernel("fig14c", "li-3", 4.0), rounds=3, iterations=1)
+
+    # Periodic and continuous models: LI-k beats the matched k-subset when
+    # information is stale, and more information monotonically helps.
+    for figure_id in ("fig14b", "fig14c"):
+        result = fig14[figure_id]
+        assert result.value("li-2", 16.0) < result.value("k=2", 16.0)
+        assert result.value("li-3", 16.0) < result.value("k=3", 16.0)
+        assert result.value("li-10", 8.0) <= result.value("li-3", 8.0) * 1.05
+        assert result.value("li-3", 8.0) <= result.value("li-2", 8.0) * 1.05
+        # li-1 ignores information entirely == uniform random sanity.
+        assert result.value("li-1", 8.0) == pytest.approx(
+            result.value("li-1", 32.0), rel=0.25
+        )
+
+    # Update-on-access: standard k-subsets behave well here; LI-2 is
+    # comparable to them and full LI is at least as good as LI-2.
+    uoa = fig14["fig14a"]
+    assert uoa.value("li-2", 8.0) <= uoa.value("k=2", 8.0) * 1.1
+    assert uoa.value("li-10", 8.0) <= uoa.value("li-2", 8.0) * 1.05

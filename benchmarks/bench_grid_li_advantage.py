@@ -1,0 +1,63 @@
+"""Extension: the (T x load) advantage map of Basic LI over random.
+
+Not a paper figure — this regenerates the two-dimensional region where
+interpreting stale information pays, summarizing Figs. 2-3 and 13 in one
+heatmap: the advantage grows with load, shrinks with staleness, and never
+drops meaningfully below 1.0 (LI's safety property).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import bench_jobs, bench_seeds, record_table
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.experiments.grid import run_advantage_grid
+
+T_VALUES = (0.5, 2.0, 8.0, 32.0)
+LOAD_VALUES = (0.5, 0.7, 0.9)
+
+
+@pytest.fixture(scope="module")
+def advantage_grid():
+    grid = run_advantage_grid(
+        BasicLIPolicy,
+        RandomPolicy,
+        subject_label="basic-li",
+        baseline_label="random",
+        t_values=T_VALUES,
+        load_values=LOAD_VALUES,
+        jobs=min(bench_jobs(), 15_000),
+        seeds=bench_seeds(),
+    )
+    record_table(
+        "ext-grid", grid.format_table() + "\n\n" + grid.format_heatmap()
+    )
+    return grid
+
+
+def test_grid_li_advantage(advantage_grid, benchmark):
+    benchmark.pedantic(
+        lambda: run_advantage_grid(
+            BasicLIPolicy,
+            RandomPolicy,
+            "basic-li",
+            "random",
+            t_values=(2.0,),
+            load_values=(0.9,),
+            jobs=4_000,
+            seeds=1,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    # Advantage grows with load at every T...
+    for t in T_VALUES:
+        assert advantage_grid.ratio(t, 0.9) > advantage_grid.ratio(t, 0.5)
+    # ... shrinks with staleness at heavy load ...
+    assert advantage_grid.ratio(0.5, 0.9) > advantage_grid.ratio(32.0, 0.9)
+    # ... and never falls meaningfully below parity (safety).
+    for t in T_VALUES:
+        for load in LOAD_VALUES:
+            assert advantage_grid.ratio(t, load) > 0.9

@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not a paper figure — these time the computational kernels every sweep is
+made of, so performance regressions in the substrate are caught where
+they originate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Server
+from repro.core.weights import equalization_boundaries, waterfill_probabilities
+from repro.engine.events import EventQueue
+from repro.engine.rng import RandomStreams
+
+
+def test_kernel_waterfill_n10(benchmark):
+    loads = np.array([3.0, 7.0, 1.0, 9.0, 2.0, 8.0, 4.0, 6.0, 0.0, 5.0])
+    result = benchmark(waterfill_probabilities, loads, 36.0)
+    assert result.sum() == pytest.approx(1.0)
+
+
+def test_kernel_waterfill_n1000(benchmark):
+    rng = RandomStreams(1).stream("bench")
+    loads = rng.uniform(0.0, 100.0, 1000)
+    result = benchmark(waterfill_probabilities, loads, 5_000.0)
+    assert result.sum() == pytest.approx(1.0)
+
+
+def test_kernel_equalization_boundaries(benchmark):
+    rng = RandomStreams(2).stream("bench")
+    loads = np.sort(rng.uniform(0.0, 100.0, 100))
+    boundaries = benchmark(equalization_boundaries, loads, 90.0)
+    assert boundaries.shape == (99,)
+
+
+def test_kernel_server_assign_and_query(benchmark):
+    def workload():
+        server = Server(0)
+        now = 0.0
+        for i in range(2_000):
+            now += 0.1
+            server.assign(now, 0.09)
+            if i % 10 == 0:
+                server.queue_length(now - 5.0)
+        return server.jobs_assigned
+
+    assert benchmark(workload) == 2_000
+
+
+def test_kernel_event_queue(benchmark):
+    rng = RandomStreams(3).stream("bench")
+    times = rng.uniform(0.0, 1_000.0, 5_000)
+
+    def churn():
+        queue = EventQueue()
+        for t in times:
+            queue.push(float(t), lambda: None)
+        count = 0
+        while queue:
+            queue.pop()
+            count += 1
+        return count
+
+    assert benchmark(churn) == 5_000

@@ -1,0 +1,105 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every ``bench_figNN`` module regenerates one figure of the paper: it runs
+the figure's sweep (at a scale set by environment variables), writes the
+resulting table to ``benchmarks/results/<figure>.txt``, prints it (visible
+with ``pytest -s``), asserts the figure's qualitative shape, and times a
+representative simulation kernel with pytest-benchmark.
+
+Scale knobs:
+
+* ``REPRO_BENCH_JOBS``  — arrivals per run (default 15000; paper: 500000)
+* ``REPRO_BENCH_SEEDS`` — replications per cell (default 2; paper: >= 10)
+* ``REPRO_BENCH_PROCESSES`` — worker processes (default 1)
+
+Raising the knobs reproduces the paper's scale exactly::
+
+    REPRO_BENCH_JOBS=500000 REPRO_BENCH_SEEDS=10 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_cell, run_figure
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+__all__ = [
+    "bench_jobs",
+    "bench_seeds",
+    "bench_processes",
+    "generate_figure",
+    "kernel",
+    "RESULTS_DIR",
+]
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from error
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def bench_jobs(default: int = 15_000) -> int:
+    """Arrivals per simulation run for bench sweeps."""
+    return _env_int("REPRO_BENCH_JOBS", default)
+
+
+def bench_seeds(default: int = 2) -> int:
+    """Replications per sweep cell for bench sweeps."""
+    return _env_int("REPRO_BENCH_SEEDS", default)
+
+
+def bench_processes(default: int = 1) -> int:
+    """Worker processes for bench sweeps."""
+    return _env_int("REPRO_BENCH_PROCESSES", default)
+
+
+def generate_figure(
+    figure_id: str,
+    jobs: int | None = None,
+    seeds: int | None = None,
+    record_as: str | None = None,
+    **overrides,
+) -> FigureResult:
+    """Run a figure sweep at bench scale and record its table.
+
+    ``record_as`` renames the results file — used when a bench re-runs a
+    *subset* of another figure as a reference, so the partial table does
+    not overwrite the full one.
+    """
+    result = run_figure(
+        figure_id,
+        jobs=jobs if jobs is not None else bench_jobs(),
+        seeds=seeds if seeds is not None else bench_seeds(),
+        processes=bench_processes(),
+        **overrides,
+    )
+    record_table(record_as or figure_id, result.format_table())
+    return result
+
+
+def record_table(name: str, table: str) -> None:
+    """Persist a regenerated table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    print(f"\n{table}")
+
+
+def kernel(figure_id: str, curve: str, x: float, jobs: int = 4_000, seed: int = 1):
+    """A small representative simulation cell for timing."""
+
+    def run() -> float:
+        return run_cell(figure_id, curve, x, seed, jobs)
+
+    return run

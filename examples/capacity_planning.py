@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Deploying LI without an oracle: the conservative-λ recipe (§5.6).
+
+LI needs the arrival rate λ.  The paper's practical recipe: if you cannot
+predict λ, assume it equals the system's maximum throughput (λ = 1.0).
+This example demonstrates why, by comparing four estimation strategies as
+the *actual* load varies:
+
+* an oracle that knows the true λ,
+* the conservative assume-λ=1.0 strategy,
+* a dangerous 4x *under*-estimate,
+* a fully online EWMA estimator learning λ from observed arrivals.
+
+Run::
+
+    python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BasicLIPolicy,
+    ClusterSimulation,
+    EWMARate,
+    ExactRate,
+    FixedRate,
+    PeriodicUpdate,
+    PoissonArrivals,
+    ScaledRate,
+    exponential_service,
+    random_split_response_time,
+)
+
+NUM_SERVERS = 10
+BROADCAST_PERIOD = 8.0
+JOBS = 40_000
+SEED = 4
+LOADS = [0.5, 0.7, 0.9]
+
+
+def run_with_estimator(estimator_factory, load: float) -> float:
+    simulation = ClusterSimulation(
+        num_servers=NUM_SERVERS,
+        arrivals=PoissonArrivals(NUM_SERVERS * load),
+        service=exponential_service(),
+        policy=BasicLIPolicy(),
+        staleness=PeriodicUpdate(period=BROADCAST_PERIOD),
+        rate_estimator=estimator_factory(),
+        total_jobs=JOBS,
+        seed=SEED,
+    )
+    return simulation.run().mean_response_time
+
+
+def main() -> None:
+    strategies = [
+        ("oracle (true λ)", ExactRate),
+        ("assume λ=1.0", lambda: FixedRate(1.0)),
+        ("underestimate 4x", lambda: ScaledRate(0.25)),
+        ("online EWMA", lambda: EWMARate(smoothing=0.01)),
+    ]
+
+    print(
+        f"Basic LI on {NUM_SERVERS} servers, board refreshed every "
+        f"{BROADCAST_PERIOD:g} service times.\nMean response time by "
+        "λ-estimation strategy:\n"
+    )
+    print(
+        f"{'actual load':>12}"
+        + "".join(f"{name:>20}" for name, _f in strategies)
+        + f"{'random baseline':>18}"
+    )
+    for load in LOADS:
+        row = [f"{load:>12g}"]
+        for _name, factory in strategies:
+            row.append(f"{run_with_estimator(factory, load):20.2f}")
+        row.append(f"{random_split_response_time(load):18.2f}")
+        print("".join(row))
+
+    print(
+        "\nTakeaways: underestimating λ recreates the herd effect and can"
+        " be worse than\nignoring load altogether; assuming maximum"
+        " throughput costs almost nothing at\nheavy load and degrades"
+        " harmlessly toward random at light load; the online\nEWMA"
+        " estimator tracks the oracle without any operator input."
+    )
+
+
+if __name__ == "__main__":
+    main()

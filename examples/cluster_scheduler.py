@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Workstation-cluster job placement with a periodic load daemon.
+
+Scenario: an LSF/DQS-style cluster where a load daemon multicasts every
+server's run-queue length to all submission hosts every T seconds.  The
+operator's question: *how often must the daemon broadcast, and which
+placement policy should submission hosts use?*
+
+This example sweeps the broadcast period for three policies and prints an
+operator-facing recommendation, including the point where naive
+least-loaded placement becomes worse than ignoring load entirely.
+
+Run::
+
+    python examples/cluster_scheduler.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BasicLIPolicy,
+    ClusterSimulation,
+    KSubsetPolicy,
+    PeriodicUpdate,
+    PoissonArrivals,
+    RandomPolicy,
+    exponential_service,
+    random_split_response_time,
+)
+
+NUM_SERVERS = 20
+LOAD = 0.85
+JOBS = 40_000
+SEED = 3
+PERIODS = [0.5, 2.0, 8.0, 32.0, 128.0]
+
+
+def run_cluster(policy_factory, broadcast_period: float) -> float:
+    simulation = ClusterSimulation(
+        num_servers=NUM_SERVERS,
+        arrivals=PoissonArrivals(NUM_SERVERS * LOAD),
+        service=exponential_service(),
+        policy=policy_factory(),
+        staleness=PeriodicUpdate(period=broadcast_period),
+        total_jobs=JOBS,
+        seed=SEED,
+    )
+    return simulation.run().mean_response_time
+
+
+def main() -> None:
+    policies = [
+        ("least-loaded", lambda: KSubsetPolicy(NUM_SERVERS)),
+        ("k=2 subset", lambda: KSubsetPolicy(2)),
+        ("Basic LI", BasicLIPolicy),
+    ]
+    random_baseline = random_split_response_time(LOAD)
+
+    print(
+        f"Cluster: {NUM_SERVERS} nodes at utilization {LOAD}; load daemon "
+        "broadcasts run-queue\nlengths every T mean-service-times. "
+        f"Ignoring load entirely gives ~{random_baseline:.2f}.\n"
+    )
+    results: dict[str, list[float]] = {}
+    print(f"{'T':>8}" + "".join(f"{name:>16}" for name, _f in policies))
+    for period in PERIODS:
+        row = [f"{period:>8g}"]
+        for name, factory in policies:
+            value = run_cluster(factory, period)
+            results.setdefault(name, []).append(value)
+            row.append(f"{value:16.2f}")
+        print("".join(row))
+
+    # Operator guidance: where does least-loaded placement go pathological?
+    crossover = next(
+        (
+            period
+            for period, value in zip(PERIODS, results["least-loaded"])
+            if value > random_baseline
+        ),
+        None,
+    )
+    print()
+    if crossover is not None:
+        print(
+            f"* least-loaded placement is WORSE than random once T >= "
+            f"{crossover:g} — do not\n  ship it unless the daemon can "
+            "broadcast at least that often."
+        )
+    li_always_safe = all(
+        value <= random_baseline * 1.1 for value in results["Basic LI"]
+    )
+    if li_always_safe:
+        print(
+            "* Basic LI never falls meaningfully below the random baseline "
+            "at ANY broadcast\n  period — safe to deploy regardless of how "
+            "slow the daemon is, and it converts\n  whatever freshness "
+            "exists into shorter queues."
+        )
+
+
+if __name__ == "__main__":
+    main()

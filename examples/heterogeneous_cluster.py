@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Heterogeneous-capacity clusters (the paper's explicit future work).
+
+The paper assumes equal-capacity servers and leaves the heterogeneous
+case open.  This example exercises the library's extension: servers with
+different service rates.  Queue-length-based LI needs no modification to
+*benefit* from heterogeneity — a faster server drains its queue sooner,
+reports shorter queues, and therefore attracts proportionally more work —
+while oblivious random placement overloads the slow machines.
+
+Run::
+
+    python examples/heterogeneous_cluster.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BasicLIPolicy,
+    ClusterSimulation,
+    KSubsetPolicy,
+    PeriodicUpdate,
+    PoissonArrivals,
+    RandomPolicy,
+    WeightedLIPolicy,
+    exponential_service,
+)
+
+# Four slow nodes, four standard, two fast: total capacity 12.0.
+SERVER_RATES = [0.5, 0.5, 0.5, 0.5, 1.0, 1.0, 1.0, 1.0, 3.0, 3.0]
+TOTAL_CAPACITY = sum(SERVER_RATES)
+LOAD = 0.85
+JOBS = 40_000
+SEED = 5
+BROADCAST_PERIOD = 4.0
+
+
+def run_heterogeneous(policy_factory) -> tuple[float, list[float]]:
+    simulation = ClusterSimulation(
+        num_servers=len(SERVER_RATES),
+        arrivals=PoissonArrivals(TOTAL_CAPACITY * LOAD),
+        service=exponential_service(),
+        policy=policy_factory(),
+        staleness=PeriodicUpdate(period=BROADCAST_PERIOD),
+        total_jobs=JOBS,
+        seed=SEED,
+        server_rates=SERVER_RATES,
+    )
+    result = simulation.run()
+    return result.mean_response_time, list(result.dispatch_fractions)
+
+
+def main() -> None:
+    print(
+        f"Cluster of {len(SERVER_RATES)} nodes with rates {SERVER_RATES}\n"
+        f"(total capacity {TOTAL_CAPACITY:g}), offered load {LOAD:g} of "
+        f"capacity, board period {BROADCAST_PERIOD:g}.\n"
+    )
+    policies = [
+        ("random", RandomPolicy),
+        ("k=2 subset", lambda: KSubsetPolicy(2)),
+        ("Basic LI", BasicLIPolicy),
+        ("Weighted LI", WeightedLIPolicy),
+    ]
+    capacity_share = [rate / TOTAL_CAPACITY for rate in SERVER_RATES]
+    print(f"{'policy':<14}{'mean resp.':>12}   traffic to (slow | std | fast)")
+    for name, factory in policies:
+        mean_response, fractions = run_heterogeneous(factory)
+        slow = sum(fractions[0:4])
+        standard = sum(fractions[4:8])
+        fast = sum(fractions[8:10])
+        print(
+            f"{name:<14}{mean_response:>12.2f}   "
+            f"{slow:5.1%} | {standard:5.1%} | {fast:5.1%}"
+        )
+    ideal_slow = sum(capacity_share[0:4])
+    ideal_std = sum(capacity_share[4:8])
+    ideal_fast = sum(capacity_share[8:10])
+    print(
+        f"{'(capacity)':<14}{'':>12}   "
+        f"{ideal_slow:5.1%} | {ideal_std:5.1%} | {ideal_fast:5.1%}"
+    )
+    print(
+        "\nRandom sends 40% of traffic to nodes holding only ~17% of the"
+        " capacity and\npays for it in response time; LI discovers the"
+        " capacity split from queue\nlengths alone and routes close to the"
+        " capacity-proportional ideal.  The\ncapacity-aware Weighted LI"
+        " (this library's extension of the paper's future\nwork) equalizes"
+        " expected drain time q_i/r_i instead of raw queue length\nand"
+        " tracks the ideal split most closely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""The cost of information: response time versus network messages.
+
+§5.7 of the paper motivates restricted-information algorithms by network
+cost.  This example makes the trade-off concrete for one cluster: for
+each information scheme it pairs the *measured* mean response time with
+the *modeled* message overhead per job, producing the frontier an
+operator actually chooses from.
+
+Schemes compared (10 servers, 90 client sites, load 0.9):
+
+* per-request polling of k servers + standard k-subset dispatch
+  (fresh data, 2k messages per job);
+* a periodic board multicast every T with Basic LI dispatch
+  (stale data interpreted properly, (n + C)/T messages amortized);
+* update-on-access with Basic LI (piggybacked: free, but stale);
+* no information at all (random).
+
+Run::
+
+    python examples/overhead_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BasicLIPolicy,
+    ClientArrivals,
+    ClusterSimulation,
+    ContinuousUpdate,
+    KSubsetPolicy,
+    PeriodicUpdate,
+    PoissonArrivals,
+    RandomPolicy,
+    UpdateOnAccess,
+    exponential_service,
+)
+from repro.analysis.overhead import (
+    periodic_messages_per_job,
+    polling_messages_per_job,
+    update_on_access_messages_per_job,
+)
+
+NUM_SERVERS = 10
+NUM_CLIENTS = 90
+LOAD = 0.9
+JOBS = 30_000
+SEED = 9
+RATE = NUM_SERVERS * LOAD
+
+
+def simulate(policy, staleness, arrivals=None) -> float:
+    simulation = ClusterSimulation(
+        num_servers=NUM_SERVERS,
+        arrivals=arrivals or PoissonArrivals(RATE),
+        service=exponential_service(),
+        policy=policy,
+        staleness=staleness,
+        total_jobs=JOBS,
+        seed=SEED,
+    )
+    return simulation.run().mean_response_time
+
+
+def main() -> None:
+    rows: list[tuple[str, float, float]] = []
+
+    # Fresh polling: probe k servers per request (zero information lag).
+    for k in (2, 10):
+        response = simulate(KSubsetPolicy(k), ContinuousUpdate(0.0))
+        rows.append((f"poll {k} + k-subset", polling_messages_per_job(k), response))
+
+    # Periodic board at several periods, interpreted by Basic LI.
+    for period in (1.0, 8.0, 64.0):
+        response = simulate(BasicLIPolicy(), PeriodicUpdate(period))
+        cost = periodic_messages_per_job(
+            NUM_SERVERS, NUM_CLIENTS, period=period, arrival_rate=RATE
+        )
+        rows.append((f"board T={period:g} + Basic LI", cost, response))
+
+    # Piggybacked updates: free information, used via LI.
+    uoa_age = NUM_CLIENTS / RATE
+    response = simulate(
+        BasicLIPolicy(),
+        UpdateOnAccess(nominal_age=uoa_age),
+        arrivals=ClientArrivals(NUM_CLIENTS, RATE),
+    )
+    rows.append(
+        ("update-on-access + Basic LI", update_on_access_messages_per_job(), response)
+    )
+
+    rows.append(("no information (random)", 0.0, simulate(RandomPolicy(), PeriodicUpdate(1.0))))
+
+    rows.sort(key=lambda row: row[1], reverse=True)
+    print(
+        f"{NUM_SERVERS} servers, {NUM_CLIENTS} client sites, load {LOAD}; "
+        f"{JOBS} jobs per point.\n"
+    )
+    print(f"{'scheme':<30}{'msgs/job':>10}{'mean response':>16}")
+    for name, cost, response in rows:
+        print(f"{name:<30}{cost:>10.2f}{response:>16.2f}")
+
+    print(
+        "\nReading the frontier: fresh polling buys the best response times"
+        " at 4-20\nmessages per job; an infrequent board interpreted by LI"
+        " gets within ~2x of\nthat for under 0.2 messages per job; and"
+        " piggybacked updates with LI cost\nliterally nothing while still"
+        " halving the no-information response time."
+    )
+
+
+if __name__ == "__main__":
+    main()

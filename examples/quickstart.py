@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: compare selection policies under stale load information.
+
+Simulates the paper's default system — 10 FIFO servers at per-server load
+0.9, exponential service, a bulletin board refreshed every T time units —
+and prints the mean response time of each policy at a fresh, a moderately
+stale, and a very stale setting of T.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AggressiveLIPolicy,
+    BasicLIPolicy,
+    ClusterSimulation,
+    KSubsetPolicy,
+    PeriodicUpdate,
+    PoissonArrivals,
+    RandomPolicy,
+    exponential_service,
+    random_split_response_time,
+)
+
+NUM_SERVERS = 10
+LOAD = 0.9
+JOBS = 40_000
+SEED = 1
+
+
+def mean_response_time(policy_factory, update_period: float) -> float:
+    """One simulation run; returns the mean response time."""
+    simulation = ClusterSimulation(
+        num_servers=NUM_SERVERS,
+        arrivals=PoissonArrivals(NUM_SERVERS * LOAD),
+        service=exponential_service(),
+        policy=policy_factory(),
+        staleness=PeriodicUpdate(period=update_period),
+        total_jobs=JOBS,
+        seed=SEED,
+    )
+    return simulation.run().mean_response_time
+
+
+def main() -> None:
+    policies = [
+        ("random (oblivious)", RandomPolicy),
+        ("k=2 subset", lambda: KSubsetPolicy(2)),
+        ("k=10 greedy", lambda: KSubsetPolicy(10)),
+        ("Basic LI", BasicLIPolicy),
+        ("Aggressive LI", AggressiveLIPolicy),
+    ]
+    periods = [(0.5, "fresh"), (8.0, "moderately stale"), (64.0, "very stale")]
+
+    print(
+        f"{NUM_SERVERS} servers, per-server load {LOAD}, {JOBS} jobs per run\n"
+        f"analytic random baseline (M/M/1): "
+        f"{random_split_response_time(LOAD):.2f} time units\n"
+    )
+    header = f"{'policy':<20}" + "".join(
+        f"T={period:<4g} ({label})".rjust(24) for period, label in periods
+    )
+    print(header)
+    for name, factory in policies:
+        row = [f"{name:<20}"]
+        for period, _label in periods:
+            row.append(f"{mean_response_time(factory, period):24.2f}")
+        print("".join(row))
+
+    print(
+        "\nReading the table: greedy (k=10) is excellent with fresh"
+        " information\nbut melts down when the board is stale (the herd"
+        " effect); the LI policies\nmatch the aggressive algorithms when"
+        " fresh and degrade gracefully toward\nthe random baseline when"
+        " stale — the paper's core result."
+    )
+
+
+if __name__ == "__main__":
+    main()

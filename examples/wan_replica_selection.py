@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Wide-area replica selection: combining load with locality.
+
+The paper's introduction motivates stale-information load balancing with
+WAN systems — picking an HTTP server or cache where "server load may be
+combined with locality information".  This example builds that scenario:
+two server regions, client populations of very different sizes near each
+one, and real network round trips added to every response.
+
+Three routing strategies compete:
+
+* **nearest** — classic latency-based anycast, load-blind;
+* **greedy load** — least reported queue, distance-blind;
+* **Basic LI** — the paper's algorithm, distance-blind;
+* **locality-aware LI** — water-filling over distance-adjusted virtual
+  loads (round trip counted as pre-existing queue), this library's
+  extension of the paper's framework to the WAN case.
+
+Run::
+
+    python examples/wan_replica_selection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BasicLIPolicy,
+    ClusterSimulation,
+    ClientArrivals,
+    KSubsetPolicy,
+    LocalityAwareLIPolicy,
+    NearestServerPolicy,
+    PeriodicUpdate,
+    exponential_service,
+)
+
+NUM_SERVERS = 4  # two replicas per region
+JOBS = 40_000
+SEED = 11
+TOTAL_RATE = 2.4  # aggregate; capacity is 4.0
+
+# 10 clients: 8 in region A (hot), 2 in region B (cool).
+NEAR, FAR = 0.2, 4.0
+LATENCY = np.array(
+    [[NEAR, NEAR, FAR, FAR]] * 8 + [[FAR, FAR, NEAR, NEAR]] * 2
+)
+
+
+def run_policy(policy, update_period: float) -> float:
+    simulation = ClusterSimulation(
+        num_servers=NUM_SERVERS,
+        arrivals=ClientArrivals(
+            num_clients=LATENCY.shape[0], total_rate=TOTAL_RATE
+        ),
+        service=exponential_service(),
+        policy=policy,
+        staleness=PeriodicUpdate(period=update_period),
+        total_jobs=JOBS,
+        seed=SEED,
+        client_latency=LATENCY,
+    )
+    return simulation.run().mean_response_time
+
+
+def main() -> None:
+    print(
+        f"{NUM_SERVERS} replicas in two regions; 8 of 10 clients sit in "
+        f"region A.\nRound trips: near {NEAR:g}, far {FAR:g} (in units of "
+        f"mean service time).\nOffered load {TOTAL_RATE / NUM_SERVERS:.0%} "
+        "of capacity, but 80% of it is nearest to region A.\n"
+    )
+    strategies = [
+        ("nearest (load-blind)", lambda: NearestServerPolicy(LATENCY)),
+        ("greedy load (distance-blind)", lambda: KSubsetPolicy(NUM_SERVERS)),
+        ("Basic LI (distance-blind)", BasicLIPolicy),
+        ("locality-aware LI", lambda: LocalityAwareLIPolicy(LATENCY)),
+    ]
+    periods = [0.5, 4.0, 32.0]
+    print(
+        f"{'strategy':<30}"
+        + "".join(f"T={period:<6g}" for period in periods)
+    )
+    for name, factory in strategies:
+        row = [f"{name:<30}"]
+        for period in periods:
+            row.append(f"{run_policy(factory(), period):<8.2f}")
+        print("".join(row))
+
+    print(
+        "\nNearest routing crowds region A's replicas (80% of traffic on"
+        " half the\ncapacity); the distance-blind policies balance queues"
+        " but pay the 4.0 round\ntrip on most requests — and greedy"
+        " additionally herds as the board goes\nstale. Locality-aware LI"
+        " keeps traffic local exactly when its latency\nadvantage exceeds"
+        " the (age-discounted) queue difference, and wins at every\n"
+        "staleness setting."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Internet server selection with bursty clients (the paper's §3.2 / §5.4).
+
+Scenario: a replicated web service (e.g. mirrored HTTP servers).  It is
+too expensive to push load updates to every client on the Internet, so a
+client only learns the servers' loads from the reply to its own previous
+request ("update-on-access").  Browsing is bursty: a page visit fires a
+burst of requests, then the client goes quiet.
+
+This example shows the paper's encouraging finding for this setting:
+although a client's load snapshot is, on average, very old, most requests
+arrive mid-burst and see a fresh snapshot — so interpreting the loads
+(Basic LI) clearly beats both ignoring them (random) and trusting them
+naively (greedy).
+
+Run::
+
+    python examples/web_server_selection.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BasicLIPolicy,
+    BurstyClientArrivals,
+    ClusterSimulation,
+    KSubsetPolicy,
+    RandomPolicy,
+    UpdateOnAccess,
+    exponential_service,
+)
+
+NUM_SERVERS = 10
+LOAD = 0.9
+JOBS = 40_000
+SEED = 2
+BURST_SIZE = 10
+
+
+def run_scenario(policy_factory, mean_snapshot_age: float) -> float:
+    """Simulate bursty clients whose average snapshot age is given."""
+    num_clients = max(1, round(mean_snapshot_age * NUM_SERVERS * LOAD))
+    simulation = ClusterSimulation(
+        num_servers=NUM_SERVERS,
+        arrivals=BurstyClientArrivals(
+            num_clients=num_clients,
+            total_rate=NUM_SERVERS * LOAD,
+            burst_size=BURST_SIZE,
+        ),
+        service=exponential_service(),
+        policy=policy_factory(),
+        staleness=UpdateOnAccess(nominal_age=mean_snapshot_age),
+        total_jobs=JOBS,
+        seed=SEED,
+    )
+    return simulation.run().mean_response_time
+
+
+def main() -> None:
+    ages = [1.0, 4.0, 16.0, 32.0]
+    policies = [
+        ("random", RandomPolicy),
+        ("greedy (k=10)", lambda: KSubsetPolicy(NUM_SERVERS)),
+        ("Basic LI", BasicLIPolicy),
+    ]
+
+    print(
+        f"Replicated service: {NUM_SERVERS} servers at load {LOAD}, "
+        f"bursty clients (bursts of {BURST_SIZE}),\n"
+        "load info piggybacked on each reply (update-on-access).\n"
+    )
+    print(
+        f"{'mean snapshot age T':>20}"
+        + "".join(f"{name:>16}" for name, _factory in policies)
+    )
+    for age in ages:
+        row = [f"{age:>20g}"]
+        for _name, factory in policies:
+            row.append(f"{run_scenario(factory, age):16.2f}")
+        print("".join(row))
+
+    print(
+        "\nEven when snapshots are 32 service times old on average, LI"
+        " still beats\nrandom by a wide margin: bursts mean the requests"
+        " that matter see fresh\ndata, and LI's age-weighting handles the"
+        " ones that do not."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This repository is normally installed with ``pip install -e .`` driven by
+``pyproject.toml``.  The shim keeps legacy editable installs working in
+offline environments that lack the ``wheel`` package (pip then falls back
+to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,138 @@
+"""Reproduction of Dahlin, *Interpreting Stale Load Information* (ICDCS '99).
+
+A discrete-event simulation library for load balancing with stale
+information.  The quickest route in::
+
+    from repro import (
+        BasicLIPolicy, ClusterSimulation, PeriodicUpdate,
+        PoissonArrivals, exponential_service,
+    )
+
+    sim = ClusterSimulation(
+        num_servers=10,
+        arrivals=PoissonArrivals(rate=9.0),      # per-server load 0.9
+        service=exponential_service(),
+        policy=BasicLIPolicy(),
+        staleness=PeriodicUpdate(period=10.0),   # board refresh every 10 svc times
+        total_jobs=50_000,
+        seed=1,
+    )
+    print(sim.run().mean_response_time)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure.
+"""
+
+from repro.analysis import (
+    ksubset_rank_distribution,
+    mm1_mean_response_time,
+    mmc_mean_response_time,
+    random_split_response_time,
+)
+from repro.cluster import ClusterSimulation, Job, Server, SimulationResult
+from repro.cluster.stealing import StealingClusterSimulation, StealingConfig
+from repro.core import (
+    AggressiveLIPolicy,
+    BasicLIPolicy,
+    DecayedLoadPolicy,
+    LocalityAwareLIPolicy,
+    NearestServerPolicy,
+    RoundRobinPolicy,
+    EWMARate,
+    ExactRate,
+    FixedRate,
+    HybridLIPolicy,
+    KSubsetPolicy,
+    Policy,
+    RandomPolicy,
+    RateEstimator,
+    ScaledRate,
+    SubsetLIPolicy,
+    ThresholdPolicy,
+    WeightedLIPolicy,
+    waterfill_probabilities,
+    weighted_waterfill_probabilities,
+)
+from repro.engine import RandomStreams, Simulator
+from repro.staleness import (
+    ContinuousUpdate,
+    IndividualUpdate,
+    LoadView,
+    LossyPeriodicUpdate,
+    PeriodicUpdate,
+    StalenessModel,
+    UpdateOnAccess,
+)
+from repro.workloads import (
+    BoundedPareto,
+    BurstyClientArrivals,
+    ClientArrivals,
+    Constant,
+    Exponential,
+    PoissonArrivals,
+    Uniform,
+    bounded_pareto_service,
+    exponential_service,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core policies
+    "Policy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "KSubsetPolicy",
+    "ThresholdPolicy",
+    "BasicLIPolicy",
+    "AggressiveLIPolicy",
+    "HybridLIPolicy",
+    "SubsetLIPolicy",
+    "WeightedLIPolicy",
+    "DecayedLoadPolicy",
+    "NearestServerPolicy",
+    "LocalityAwareLIPolicy",
+    # rate estimation
+    "RateEstimator",
+    "ExactRate",
+    "FixedRate",
+    "ScaledRate",
+    "EWMARate",
+    # water filling
+    "waterfill_probabilities",
+    "weighted_waterfill_probabilities",
+    # cluster substrate
+    "ClusterSimulation",
+    "StealingClusterSimulation",
+    "StealingConfig",
+    "SimulationResult",
+    "Server",
+    "Job",
+    # staleness models
+    "StalenessModel",
+    "LoadView",
+    "PeriodicUpdate",
+    "LossyPeriodicUpdate",
+    "ContinuousUpdate",
+    "UpdateOnAccess",
+    "IndividualUpdate",
+    # workloads
+    "PoissonArrivals",
+    "ClientArrivals",
+    "BurstyClientArrivals",
+    "Constant",
+    "Exponential",
+    "Uniform",
+    "BoundedPareto",
+    "exponential_service",
+    "bounded_pareto_service",
+    # engine
+    "Simulator",
+    "RandomStreams",
+    # analysis
+    "mm1_mean_response_time",
+    "mmc_mean_response_time",
+    "random_split_response_time",
+    "ksubset_rank_distribution",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Analytic references used to validate the simulator and reproduce Fig. 1.
+
+* :mod:`repro.analysis.mmk` — M/M/1 and M/M/c formulas; the oblivious
+  random policy splits Poisson traffic into independent M/M/1 queues, so
+  its simulated mean response time must match ``1 / (1 - λ)``.
+* :mod:`repro.analysis.ksubset_analytic` — the closed-form per-rank
+  request distribution of the k-subset policy (Eq. 1 of the paper).
+"""
+
+from repro.analysis.batch_means import batch_means, batch_means_interval
+from repro.analysis.crossover import crossovers_in_result, find_crossover
+from repro.analysis.ksubset_analytic import ksubset_rank_distribution
+from repro.analysis.mg1 import (
+    mg1_mean_response_time,
+    mg1_mean_waiting_time,
+    random_split_mg1_response_time,
+)
+from repro.analysis.paired import compare_curves, paired_difference_interval
+from repro.analysis.overhead import (
+    periodic_messages_per_job,
+    polling_messages_per_job,
+    update_on_access_messages_per_job,
+)
+from repro.analysis.mmk import (
+    mm1_mean_response_time,
+    mm1_mean_queue_length,
+    mmc_erlang_c,
+    mmc_mean_response_time,
+    random_split_response_time,
+)
+
+__all__ = [
+    "batch_means",
+    "batch_means_interval",
+    "find_crossover",
+    "crossovers_in_result",
+    "ksubset_rank_distribution",
+    "mm1_mean_response_time",
+    "mm1_mean_queue_length",
+    "mmc_erlang_c",
+    "mmc_mean_response_time",
+    "random_split_response_time",
+    "mg1_mean_response_time",
+    "mg1_mean_waiting_time",
+    "random_split_mg1_response_time",
+    "paired_difference_interval",
+    "compare_curves",
+    "periodic_messages_per_job",
+    "polling_messages_per_job",
+    "update_on_access_messages_per_job",
+]

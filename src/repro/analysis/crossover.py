@@ -1,0 +1,74 @@
+"""Crossover analysis: where one policy's curve overtakes another's.
+
+The paper's qualitative claims are about *crossovers*: the update period
+beyond which greedy placement becomes worse than random, the point where
+a given k-subset falls behind LI, and so on.  This module locates such
+crossings from sweep data by monotone (log-x) linear interpolation, so
+reproduction reports can state "k=10 crosses random at T ≈ 1.4" instead
+of eyeballing tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["find_crossover", "crossovers_in_result"]
+
+
+def find_crossover(
+    x_values: Sequence[float],
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+    log_x: bool = True,
+) -> float | None:
+    """First x at which ``series_a`` rises above ``series_b``.
+
+    Scans consecutive sweep points; when the sign of ``a - b`` flips from
+    non-positive to positive, the crossing is located by linear
+    interpolation (in log-x by default, since staleness sweeps are
+    geometric).  Returns ``None`` when ``a`` never overtakes ``b``, and
+    the first x when ``a`` starts above ``b``.
+    """
+    if not (len(x_values) == len(series_a) == len(series_b)):
+        raise ValueError(
+            f"length mismatch: {len(x_values)} x values, "
+            f"{len(series_a)} and {len(series_b)} series points"
+        )
+    if len(x_values) == 0:
+        raise ValueError("need at least one sweep point")
+    if any(x <= 0 for x in x_values) and log_x:
+        raise ValueError("log_x requires strictly positive x values")
+
+    differences = [a - b for a, b in zip(series_a, series_b)]
+    if differences[0] > 0:
+        return float(x_values[0])
+    for index in range(1, len(differences)):
+        before, after = differences[index - 1], differences[index]
+        if before <= 0 < after:
+            x0, x1 = x_values[index - 1], x_values[index]
+            if log_x:
+                x0, x1 = math.log(x0), math.log(x1)
+            # Linear interpolation of the zero crossing.
+            fraction = -before / (after - before)
+            crossing = x0 + fraction * (x1 - x0)
+            return float(math.exp(crossing) if log_x else crossing)
+    return None
+
+
+def crossovers_in_result(result, reference: str = "random") -> dict[str, float | None]:
+    """For each curve, the x where it overtakes ``reference``.
+
+    ``result`` is a :class:`~repro.experiments.report.FigureResult`.  A
+    value of ``None`` means the curve never becomes worse than the
+    reference over the sweep — the paper's safety property for LI.
+    """
+    reference_series = result.series(reference)
+    crossings: dict[str, float | None] = {}
+    for label in result.curve_labels:
+        if label == reference:
+            continue
+        crossings[label] = find_crossover(
+            result.x_values, result.series(label), reference_series
+        )
+    return crossings

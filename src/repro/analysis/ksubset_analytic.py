@@ -1,0 +1,61 @@
+"""Closed-form request distribution of the k-subset policy (Eq. 1, Fig. 1).
+
+Within a phase, order the servers by reported load: rank 1 is least loaded,
+rank ``n`` most loaded (no ties).  A request dispatched by the k-subset
+policy lands on rank ``i`` iff (1) no rank below ``i`` appears in the random
+subset and (2) rank ``i`` does.  Counting subsets:
+
+.. math::
+
+    P(i) = \\frac{\\binom{n-i}{k-1}}{\\binom{n}{k}}, \\qquad i \\le n - k + 1
+
+and 0 otherwise — the ``k - 1`` most loaded servers receive nothing for the
+whole phase.  The key observation the paper draws from this: the
+distribution depends only on *rank*, never on the *magnitude* of load
+differences or on the *age* of the information.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+__all__ = ["ksubset_rank_distribution"]
+
+
+def ksubset_rank_distribution(num_servers: int, k: int) -> np.ndarray:
+    """Probability that a k-subset request goes to each load rank.
+
+    Parameters
+    ----------
+    num_servers:
+        Cluster size ``n``.
+    k:
+        Subset size, ``1 <= k <= n``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``probabilities[i]`` for rank ``i + 1`` (0-indexed array over ranks
+        least-loaded first); sums to 1.
+
+    Examples
+    --------
+    >>> ksubset_rank_distribution(10, 1)[0]  # uniform random
+    0.1
+    >>> float(ksubset_rank_distribution(10, 10)[0])  # greedy
+    1.0
+    """
+    if num_servers < 1:
+        raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+    if not 1 <= k <= num_servers:
+        raise ValueError(f"k must be in [1, {num_servers}], got {k}")
+    total_subsets = comb(num_servers, k)
+    probabilities = np.array(
+        [
+            comb(num_servers - rank, k - 1) / total_subsets
+            for rank in range(1, num_servers + 1)
+        ]
+    )
+    return probabilities

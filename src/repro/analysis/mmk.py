@@ -1,0 +1,107 @@
+"""Classic queueing formulas used as simulator ground truth.
+
+All formulas assume Poisson arrivals and exponential service with mean
+``1 / mu``; time units follow the paper (mean service time = 1 unless
+stated otherwise).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "mm1_mean_response_time",
+    "mm1_mean_queue_length",
+    "mmc_erlang_c",
+    "mmc_mean_response_time",
+    "random_split_response_time",
+]
+
+
+def _check_utilization(rho: float) -> None:
+    if rho < 0:
+        raise ValueError(f"utilization must be non-negative, got {rho}")
+    if rho >= 1:
+        raise ValueError(f"system is unstable at utilization {rho} >= 1")
+
+
+def mm1_mean_response_time(rho: float, mu: float = 1.0) -> float:
+    """Mean response time of an M/M/1 queue at utilization ``rho``.
+
+    ``W = 1 / (mu - lambda) = 1 / (mu (1 - rho))``.
+    """
+    _check_utilization(rho)
+    if mu <= 0:
+        raise ValueError(f"mu must be positive, got {mu}")
+    return 1.0 / (mu * (1.0 - rho))
+
+
+def mm1_mean_queue_length(rho: float) -> float:
+    """Mean number in system of an M/M/1 queue: ``rho / (1 - rho)``."""
+    _check_utilization(rho)
+    return rho / (1.0 - rho)
+
+
+def random_split_response_time(per_server_load: float, mu: float = 1.0) -> float:
+    """Mean response time under oblivious random dispatch.
+
+    Splitting a Poisson stream uniformly over ``n`` servers yields ``n``
+    independent M/M/1 queues each at the per-server load, so the answer is
+    independent of ``n``.  This is the paper's oblivious baseline: e.g.
+    10.0 time units at λ = 0.9, 2.0 at λ = 0.5.
+    """
+    return mm1_mean_response_time(per_server_load, mu)
+
+
+def mmc_erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability that an arrival must queue in M/M/c.
+
+    Parameters
+    ----------
+    servers:
+        Number of servers ``c``.
+    offered_load:
+        ``a = lambda / mu`` in Erlangs (must satisfy ``a < c``).
+    """
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers}")
+    if offered_load < 0:
+        raise ValueError(f"offered_load must be non-negative, got {offered_load}")
+    if offered_load >= servers:
+        raise ValueError(
+            f"system is unstable: offered load {offered_load} >= servers {servers}"
+        )
+    a, c = offered_load, servers
+    # Sum the Erlang-B style series in a numerically stable way.
+    term = 1.0
+    total = 1.0  # j = 0 term
+    for j in range(1, c):
+        term *= a / j
+        total += term
+    term *= a / c
+    tail = term * c / (c - a)
+    return tail / (total + tail)
+
+
+def mmc_mean_response_time(servers: int, offered_load: float, mu: float = 1.0) -> float:
+    """Mean response time of an M/M/c queue (single shared queue).
+
+    This is the *lower bound* reference for any dispatch policy operating
+    on ``c`` separate FIFO queues with the same total capacity: a central
+    queue never idles a server while work waits, which is the limit
+    perfect fresh-information load balancing approaches.
+    """
+    if mu <= 0:
+        raise ValueError(f"mu must be positive, got {mu}")
+    wait_probability = mmc_erlang_c(servers, offered_load)
+    queue_wait = wait_probability / (servers * mu - offered_load * mu)
+    return queue_wait + 1.0 / mu
+
+
+def mm1_response_time_quantile(rho: float, quantile: float, mu: float = 1.0) -> float:
+    """Quantile of the (exponential) M/M/1 response-time distribution."""
+    _check_utilization(rho)
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    rate = mu * (1.0 - rho)
+    return -math.log(1.0 - quantile) / rate

@@ -1,0 +1,60 @@
+"""Message-cost accounting for load-information dissemination schemes.
+
+§5.7 of the paper motivates restricted-information algorithms partly by
+network cost: "by restricting the amount of load information that clients
+may consider, they may reduce the amount of load information that must be
+sent across the network."  This module makes that cost explicit with a
+simple message-count model, so performance results can be paired with the
+overhead that bought them (see ``examples/overhead_tradeoff.py``).
+
+Model assumptions (documented, deliberately simple):
+
+* **Periodic bulletin board**: every ``T`` time units each of the ``n``
+  servers reports once to a collector, which multicasts one summary to
+  each of the ``C`` client sites — ``(n + C) / T`` messages per unit
+  time, amortized over ``Λ`` arrivals per unit time.
+* **Per-request polling** (how a k-subset or full-information scheme
+  gathers fresh data without a board): each request probes ``k`` servers
+  and receives ``k`` replies — ``2k`` messages per job.
+* **Update-on-access**: load data rides on the reply the client was
+  receiving anyway — zero additional messages.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "periodic_messages_per_job",
+    "polling_messages_per_job",
+    "update_on_access_messages_per_job",
+]
+
+
+def periodic_messages_per_job(
+    num_servers: int,
+    num_clients: int,
+    period: float,
+    arrival_rate: float,
+) -> float:
+    """Messages per job for a collector + multicast bulletin board."""
+    if num_servers < 1:
+        raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+    messages_per_time = (num_servers + num_clients) / period
+    return messages_per_time / arrival_rate
+
+
+def polling_messages_per_job(k: int) -> float:
+    """Messages per job when each request probes ``k`` servers directly."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    return 2.0 * k
+
+
+def update_on_access_messages_per_job() -> float:
+    """Piggybacked updates cost nothing beyond the existing reply."""
+    return 0.0

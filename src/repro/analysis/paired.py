@@ -1,0 +1,73 @@
+"""Paired-sample comparison of policies under common random numbers.
+
+The experiment harness runs every curve of a figure against the *same*
+arrival and service draws per seed (common random numbers), so per-seed
+results for two policies are paired: the difference ``A_i - B_i`` cancels
+the workload noise both share.  A Student-t interval on those differences
+is therefore far tighter than comparing two independent confidence
+intervals — often turning an "overlapping error bars" non-result into a
+clear verdict with the same number of seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.stats import ConfidenceInterval, mean_confidence_interval
+
+__all__ = ["paired_difference_interval", "compare_curves"]
+
+
+def paired_difference_interval(
+    samples_a: Sequence[float],
+    samples_b: Sequence[float],
+    confidence: float = 0.90,
+) -> ConfidenceInterval:
+    """Confidence interval for ``mean(A - B)`` over paired replications.
+
+    Negative means ``A`` is faster (lower response time).  Requires the
+    two sample lists to come from the same seeds in the same order —
+    which :func:`repro.experiments.runner.run_figure` guarantees within
+    one figure.
+    """
+    if len(samples_a) != len(samples_b):
+        raise ValueError(
+            f"paired comparison needs equal sample counts, got "
+            f"{len(samples_a)} and {len(samples_b)}"
+        )
+    if len(samples_a) < 2:
+        raise ValueError("paired comparison needs at least two replications")
+    differences = [a - b for a, b in zip(samples_a, samples_b)]
+    return mean_confidence_interval(differences, confidence)
+
+
+def compare_curves(
+    result,
+    curve_a: str,
+    curve_b: str,
+    x: float,
+    confidence: float = 0.90,
+) -> dict:
+    """Paired verdict for two curves of a figure at one sweep point.
+
+    Returns a dictionary with the paired difference interval, the mean
+    speedup factor ``mean_b / mean_a``, and a ``verdict`` string:
+    ``"a_better"`` / ``"b_better"`` when the interval excludes zero,
+    ``"indistinguishable"`` otherwise.
+    """
+    cell_a = result.cell(curve_a, x)
+    cell_b = result.cell(curve_b, x)
+    interval = paired_difference_interval(
+        cell_a.samples, cell_b.samples, confidence
+    )
+    if interval.high < 0:
+        verdict = "a_better"
+    elif interval.low > 0:
+        verdict = "b_better"
+    else:
+        verdict = "indistinguishable"
+    return {
+        "difference": interval,
+        "speedup": cell_b.mean / cell_a.mean if cell_a.mean else float("inf"),
+        "verdict": verdict,
+    }

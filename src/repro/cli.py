@@ -1,0 +1,309 @@
+"""Command-line interface: regenerate any figure of the paper.
+
+Examples
+--------
+List everything::
+
+    python -m repro list
+
+Regenerate Fig. 2 at laptop scale (defaults) or paper scale::
+
+    python -m repro run fig2
+    python -m repro run fig2 --jobs 500000 --seeds 10 --processes 8
+
+Restrict a sweep::
+
+    python -m repro run fig2 --curves basic-li,random --x 1,8,64
+
+Fig. 1 (analytic + Monte-Carlo check)::
+
+    python -m repro fig1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.registry import FIGURES, get_figure
+from repro.experiments.runner import run_figure
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="stale-li",
+        description=(
+            "Reproduction of Dahlin, 'Interpreting Stale Load Information' "
+            "(ICDCS 1999): regenerate the paper's figures."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list available figures")
+    list_cmd.set_defaults(handler=_cmd_list)
+
+    run_cmd = sub.add_parser("run", help="run one figure's sweep")
+    run_cmd.add_argument("figure", help="figure id (see `list`)")
+    run_cmd.add_argument("--jobs", type=int, default=None, help="arrivals per run")
+    run_cmd.add_argument(
+        "--seeds", type=int, default=None, help="replications per cell"
+    )
+    run_cmd.add_argument(
+        "--processes", type=int, default=1, help="worker processes (default 1)"
+    )
+    run_cmd.add_argument(
+        "--curves",
+        type=str,
+        default=None,
+        help="comma-separated subset of curve labels",
+    )
+    run_cmd.add_argument(
+        "--x",
+        type=str,
+        default=None,
+        help="comma-separated subset of x values",
+    )
+    run_cmd.add_argument(
+        "--markdown", action="store_true", help="emit a Markdown table"
+    )
+    run_cmd.add_argument(
+        "--chart",
+        action="store_true",
+        help="append an ASCII chart of the sweep",
+    )
+    run_cmd.add_argument(
+        "--log-y",
+        action="store_true",
+        help="chart log10 of the response time (with --chart)",
+    )
+    run_cmd.add_argument(
+        "--save",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the raw per-seed samples to PATH as JSON",
+    )
+    run_cmd.set_defaults(handler=_cmd_run)
+
+    show_cmd = sub.add_parser(
+        "show", help="re-render a saved result (from `run --save`)"
+    )
+    show_cmd.add_argument("path", help="JSON result file")
+    show_cmd.add_argument("--markdown", action="store_true")
+    show_cmd.add_argument("--chart", action="store_true")
+    show_cmd.add_argument("--log-y", action="store_true")
+    show_cmd.set_defaults(handler=_cmd_show)
+
+    grid_cmd = sub.add_parser(
+        "grid",
+        help="(T x load) advantage grid for one policy against a baseline",
+    )
+    grid_cmd.add_argument(
+        "--subject", type=str, default="basic-li", help="policy under study"
+    )
+    grid_cmd.add_argument(
+        "--baseline", type=str, default="random", help="comparison policy"
+    )
+    grid_cmd.add_argument(
+        "--t", type=str, default="0.5,2,8,32", help="comma-separated T values"
+    )
+    grid_cmd.add_argument(
+        "--loads",
+        type=str,
+        default="0.5,0.7,0.9",
+        help="comma-separated per-server loads",
+    )
+    grid_cmd.add_argument("--jobs", type=int, default=15_000)
+    grid_cmd.add_argument("--seeds", type=int, default=2)
+    grid_cmd.add_argument("--servers", type=int, default=10)
+    grid_cmd.set_defaults(handler=_cmd_grid)
+
+    report_cmd = sub.add_parser(
+        "report",
+        help="assemble all regenerated tables from a results directory",
+    )
+    report_cmd.add_argument(
+        "--results",
+        type=str,
+        default="benchmarks/results",
+        help="directory of tables written by the bench harness",
+    )
+    report_cmd.set_defaults(handler=_cmd_report)
+
+    fig1_cmd = sub.add_parser(
+        "fig1", help="reproduce Fig. 1 (analytic + Monte-Carlo)"
+    )
+    fig1_cmd.add_argument("--servers", type=int, default=10)
+    fig1_cmd.add_argument(
+        "--k", type=str, default="1,2,3,5,10", help="comma-separated k values"
+    )
+    fig1_cmd.add_argument("--draws", type=int, default=200_000)
+    fig1_cmd.add_argument("--seed", type=int, default=1)
+    fig1_cmd.set_defaults(handler=_cmd_fig1)
+
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    width = max(len(figure_id) for figure_id in FIGURES)
+    for figure_id, spec in FIGURES.items():
+        print(f"{figure_id.ljust(width)}  {spec.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        get_figure(args.figure)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    curves = tuple(args.curves.split(",")) if args.curves else None
+    x_values = (
+        tuple(float(value) for value in args.x.split(",")) if args.x else None
+    )
+    try:
+        result = run_figure(
+            args.figure,
+            jobs=args.jobs,
+            seeds=args.seeds,
+            curves=curves,
+            x_values=x_values,
+            processes=args.processes,
+        )
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.save:
+        from repro.experiments.persistence import save_result
+
+        save_result(result, args.save)
+    _render_result(result, markdown=args.markdown, chart=args.chart, log_y=args.log_y)
+    return 0
+
+
+def _render_result(result, markdown: bool, chart: bool, log_y: bool) -> None:
+    print(result.format_markdown() if markdown else result.format_table())
+    if chart:
+        from repro.experiments.plot import ascii_chart
+
+        print()
+        print(ascii_chart(result, log_y=log_y))
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.experiments.persistence import load_result
+
+    try:
+        result = load_result(args.path)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _render_result(result, markdown=args.markdown, chart=args.chart, log_y=args.log_y)
+    return 0
+
+
+#: Policy names accepted by the ``grid`` subcommand.
+GRID_POLICIES = {
+    "random": "repro.core.random_policy:RandomPolicy",
+    "round-robin": "repro.core.round_robin:RoundRobinPolicy",
+    "basic-li": "repro.core.li_basic:BasicLIPolicy",
+    "aggressive-li": "repro.core.li_aggressive:AggressiveLIPolicy",
+    "hybrid-li": "repro.core.li_hybrid:HybridLIPolicy",
+    "k=2": "repro.core.ksubset:KSubsetPolicy:2",
+    "k=3": "repro.core.ksubset:KSubsetPolicy:3",
+    "k=10": "repro.core.ksubset:KSubsetPolicy:10",
+}
+
+
+def _grid_policy_factory(name: str):
+    import importlib
+
+    try:
+        spec = GRID_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {', '.join(GRID_POLICIES)}"
+        ) from None
+    parts = spec.split(":")
+    module = importlib.import_module(parts[0])
+    policy_class = getattr(module, parts[1])
+    if len(parts) == 3:
+        argument = int(parts[2])
+        return lambda: policy_class(argument)
+    return policy_class
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from repro.experiments.grid import run_advantage_grid
+
+    try:
+        subject = _grid_policy_factory(args.subject)
+        baseline = _grid_policy_factory(args.baseline)
+        result = run_advantage_grid(
+            subject,
+            baseline,
+            subject_label=args.subject,
+            baseline_label=args.baseline,
+            t_values=tuple(float(v) for v in args.t.split(",")),
+            load_values=tuple(float(v) for v in args.loads.split(",")),
+            num_servers=args.servers,
+            jobs=args.jobs,
+            seeds=args.seeds,
+        )
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.format_table())
+    print()
+    print(result.format_heatmap())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    results_dir = Path(args.results)
+    if not results_dir.is_dir():
+        print(
+            f"error: {results_dir} is not a directory; run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 2
+    tables = sorted(results_dir.glob("*.txt"))
+    if not tables:
+        print(f"error: no tables found in {results_dir}", file=sys.stderr)
+        return 2
+    for path in tables:
+        print(path.read_text().rstrip("\n"))
+        print("-" * 72)
+    print(f"{len(tables)} tables from {results_dir}")
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    k_values = tuple(int(value) for value in args.k.split(","))
+    result = run_fig1(
+        num_servers=args.servers,
+        k_values=k_values,
+        draws=args.draws,
+        seed=args.seed,
+    )
+    print(result.format_table())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

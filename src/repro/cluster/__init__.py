@@ -1,0 +1,25 @@
+"""The server-cluster substrate.
+
+* :mod:`repro.cluster.server` — FIFO single-server queues with exact
+  event dynamics and O(log m) historical queue-length queries (needed by
+  the continuous-update staleness model).
+* :mod:`repro.cluster.job` — the job record and per-job trace support.
+* :mod:`repro.cluster.metrics` — response-time measurement with warm-up
+  truncation and per-server dispatch accounting.
+* :mod:`repro.cluster.simulation` — the top-level driver wiring arrivals,
+  service times, a staleness model and a selection policy into one
+  discrete-event simulation.
+"""
+
+from repro.cluster.job import Job
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.server import Server
+from repro.cluster.simulation import ClusterSimulation, SimulationResult
+
+__all__ = [
+    "Job",
+    "Server",
+    "ClusterMetrics",
+    "ClusterSimulation",
+    "SimulationResult",
+]

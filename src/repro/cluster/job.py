@@ -1,0 +1,56 @@
+"""The job record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Job"]
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """One dispatched request.
+
+    The simulation driver only materializes :class:`Job` objects when
+    tracing is enabled; the hot path records response times directly into
+    streaming accumulators.
+
+    Attributes
+    ----------
+    index:
+        Global arrival sequence number (0-based).
+    client_id:
+        Identity of the originating client (always 0 for aggregate
+        arrival sources).
+    server_id:
+        Index of the server the job was dispatched to.
+    arrival_time:
+        Simulation time of arrival at the dispatcher (and, with zero
+        network latency, at the server).
+    service_time:
+        The job's service demand in units of mean service time.
+    completion_time:
+        Time the job finishes service (FIFO discipline).
+    """
+
+    index: int
+    client_id: int
+    server_id: int
+    arrival_time: float
+    service_time: float
+    completion_time: float
+
+    @property
+    def response_time(self) -> float:
+        """Queueing delay plus service time.
+
+        Queue-level only: when the simulation models wide-area round
+        trips (``client_latency``), the RTT is added to the *measured*
+        response in the metrics but not to this trace record.
+        """
+        return self.completion_time - self.arrival_time
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting before service begins."""
+        return self.response_time - self.service_time

@@ -1,0 +1,92 @@
+"""Measurement: response-time statistics with warm-up truncation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.stats import RunningStats
+
+__all__ = ["ClusterMetrics"]
+
+
+class ClusterMetrics:
+    """Accumulates per-job measurements for one simulation run.
+
+    Follows the paper's methodology: the first ``warmup_jobs`` arrivals are
+    dispatched normally (they shape the queues) but excluded from the
+    reported statistics; response times of the remaining jobs are averaged.
+
+    Parameters
+    ----------
+    num_servers:
+        Cluster size, for the per-server dispatch histogram.
+    warmup_jobs:
+        Number of initial arrivals to exclude from statistics.
+    trace_response_times:
+        When true, keep every measured response time (needed for
+        percentile summaries in the Bounded Pareto experiments); otherwise
+        only streaming aggregates are retained.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        warmup_jobs: int,
+        trace_response_times: bool = False,
+    ) -> None:
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        if warmup_jobs < 0:
+            raise ValueError(f"warmup_jobs must be >= 0, got {warmup_jobs}")
+        self._warmup_jobs = warmup_jobs
+        self._jobs_seen = 0
+        self.response_stats = RunningStats()
+        self.dispatch_counts = np.zeros(num_servers, dtype=np.int64)
+        self._trace: list[float] | None = [] if trace_response_times else None
+
+    @property
+    def warmup_jobs(self) -> int:
+        """Number of arrivals excluded from statistics."""
+        return self._warmup_jobs
+
+    @property
+    def jobs_seen(self) -> int:
+        """Total arrivals recorded, including warm-up."""
+        return self._jobs_seen
+
+    @property
+    def jobs_measured(self) -> int:
+        """Arrivals contributing to the reported statistics."""
+        return self.response_stats.count
+
+    def record(self, server_id: int, response_time: float) -> None:
+        """Record one dispatched job."""
+        self._jobs_seen += 1
+        self.dispatch_counts[server_id] += 1
+        if self._jobs_seen <= self._warmup_jobs:
+            return
+        self.response_stats.add(response_time)
+        if self._trace is not None:
+            self._trace.append(response_time)
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean response time over measured jobs."""
+        return self.response_stats.mean
+
+    @property
+    def response_times(self) -> np.ndarray:
+        """Measured response times (requires ``trace_response_times=True``)."""
+        if self._trace is None:
+            raise RuntimeError(
+                "response-time tracing was not enabled for this run; "
+                "construct ClusterMetrics with trace_response_times=True"
+            )
+        return np.asarray(self._trace)
+
+    def dispatch_fractions(self) -> np.ndarray:
+        """Fraction of all recorded jobs sent to each server."""
+        total = self.dispatch_counts.sum()
+        if total == 0:
+            return np.zeros_like(self.dispatch_counts, dtype=float)
+        return self.dispatch_counts / float(total)

@@ -1,0 +1,271 @@
+"""The top-level simulation driver.
+
+:class:`ClusterSimulation` wires an arrival source, a service-time process,
+a staleness model and a selection policy into one discrete-event run and
+reports response-time statistics, matching the methodology of §5 of the
+paper: a stream of arrivals is dispatched on arrival to FIFO server queues;
+the first fraction of jobs warms the system up; the mean response time of
+the remainder is the headline metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.job import Job
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.server import Server
+from repro.core.policy import Policy
+from repro.core.rate_estimators import ExactRate, RateEstimator
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.staleness.base import StalenessModel
+from repro.workloads.arrivals import ArrivalSource
+from repro.workloads.distributions import Distribution
+
+__all__ = ["ClusterSimulation", "SimulationResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Attributes
+    ----------
+    mean_response_time:
+        Mean response time (queueing + service) of measured jobs.
+    jobs_measured:
+        Number of jobs contributing to the statistics (post warm-up).
+    jobs_total:
+        Total arrivals dispatched, including warm-up.
+    duration:
+        Simulation time at which the run stopped.
+    dispatch_counts:
+        Jobs sent to each server (including warm-up).
+    response_times:
+        Per-job response times when tracing was enabled, else ``None``.
+    trace:
+        Full per-job records when job tracing was enabled, else ``None``.
+    """
+
+    mean_response_time: float
+    jobs_measured: int
+    jobs_total: int
+    duration: float
+    dispatch_counts: np.ndarray
+    response_times: np.ndarray | None = None
+    trace: list[Job] | None = field(default=None, repr=False)
+
+    @property
+    def dispatch_fractions(self) -> np.ndarray:
+        """Fraction of all dispatched jobs sent to each server."""
+        total = self.dispatch_counts.sum()
+        if total == 0:
+            return np.zeros_like(self.dispatch_counts, dtype=float)
+        return self.dispatch_counts / float(total)
+
+    def response_time_percentile(self, quantile: float) -> float:
+        """Tail-latency percentile of measured jobs (e.g. 0.99 for p99).
+
+        Requires the run to have been traced
+        (``trace_response_times=True``); the paper reports means only, but
+        tail behavior is where the herd effect bites hardest.
+        """
+        if self.response_times is None:
+            raise RuntimeError(
+                "per-job response times were not traced; construct the "
+                "simulation with trace_response_times=True"
+            )
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        return float(np.percentile(self.response_times, quantile * 100.0))
+
+
+class ClusterSimulation:
+    """One complete load-balancing simulation.
+
+    Parameters
+    ----------
+    num_servers:
+        Cluster size ``n`` (the paper's default is 10).
+    arrivals:
+        The arrival source; its aggregate rate defines the offered load
+        ``λ = total_rate / (n · service_rate)``.
+    service:
+        Service-time distribution (mean 1.0 reproduces the paper's units).
+    policy:
+        The server-selection policy under study.
+    staleness:
+        The information model connecting servers to the policy.
+    rate_estimator:
+        λ estimator handed to the policy; defaults to the exact oracle the
+        paper's main experiments assume.
+    total_jobs:
+        Arrivals to dispatch before stopping (paper: 500,000).
+    warmup_fraction:
+        Leading fraction of arrivals excluded from statistics.
+    seed:
+        Master seed; arrivals, service times, the staleness model and the
+        policy each draw from independent substreams, so swapping one
+        component does not perturb the others' randomness.
+    trace_jobs:
+        Keep a full :class:`~repro.cluster.job.Job` record per measured
+        job (memory-heavy; off by default).
+    trace_response_times:
+        Keep per-job response times for percentile summaries.
+    server_rates:
+        Optional per-server service rates for the heterogeneous-cluster
+        extension; defaults to 1.0 everywhere (the paper's setting).
+    client_latency:
+        Optional ``(num_clients, num_servers)`` round-trip-time matrix in
+        units of mean service time, for the wide-area extension: each
+        job's measured response time gains the round trip between its
+        client and its chosen server.  Queue dynamics are unaffected (a
+        first-order model in which propagation delays requests and
+        replies without reordering queue entries).  Client ids index rows
+        modulo the matrix height.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        arrivals: ArrivalSource,
+        service: Distribution,
+        policy: Policy,
+        staleness: StalenessModel,
+        rate_estimator: RateEstimator | None = None,
+        total_jobs: int = 100_000,
+        warmup_fraction: float = 0.1,
+        seed: int = 0,
+        trace_jobs: bool = False,
+        trace_response_times: bool = False,
+        server_rates: list[float] | None = None,
+        client_latency: np.ndarray | None = None,
+    ) -> None:
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        if total_jobs < 1:
+            raise ValueError(f"total_jobs must be >= 1, got {total_jobs}")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+            )
+        if server_rates is not None and len(server_rates) != num_servers:
+            raise ValueError(
+                f"server_rates has {len(server_rates)} entries for "
+                f"{num_servers} servers"
+            )
+        if client_latency is not None:
+            client_latency = np.asarray(client_latency, dtype=np.float64)
+            if client_latency.ndim != 2 or client_latency.shape[1] != num_servers:
+                raise ValueError(
+                    "client_latency must be a (num_clients, num_servers) "
+                    f"matrix; got shape {client_latency.shape} for "
+                    f"{num_servers} servers"
+                )
+            if np.any(client_latency < 0):
+                raise ValueError("client_latency entries must be non-negative")
+
+        self.num_servers = num_servers
+        self.arrivals = arrivals
+        self.service = service
+        self.policy = policy
+        self.staleness = staleness
+        self.rate_estimator = rate_estimator or ExactRate()
+        self.total_jobs = total_jobs
+        self.warmup_fraction = warmup_fraction
+        self.seed = seed
+        self.trace_jobs = trace_jobs
+        self.trace_response_times = trace_response_times
+        self.server_rates = server_rates
+        self.client_latency = client_latency
+
+    @property
+    def offered_load(self) -> float:
+        """Per-server offered load λ (arrival rate / aggregate capacity)."""
+        total_capacity = (
+            float(sum(self.server_rates))
+            if self.server_rates is not None
+            else float(self.num_servers)
+        )
+        return self.arrivals.total_rate * self.service.mean / total_capacity
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its measurements."""
+        streams = RandomStreams(self.seed)
+        sim = Simulator()
+        rates = self.server_rates or [1.0] * self.num_servers
+        servers = [Server(i, rate) for i, rate in enumerate(rates)]
+
+        self.staleness.attach(sim, servers, streams.stream("staleness"))
+        self.rate_estimator.bind(self.num_servers, self._per_server_rate())
+        self.policy.bind(
+            self.num_servers,
+            streams.stream("policy"),
+            self.rate_estimator,
+            server_rates=np.asarray(rates, dtype=np.float64),
+        )
+
+        metrics = ClusterMetrics(
+            num_servers=self.num_servers,
+            warmup_jobs=int(self.total_jobs * self.warmup_fraction),
+            trace_response_times=self.trace_response_times,
+        )
+        service_rng = streams.stream("service")
+        trace: list[Job] | None = [] if self.trace_jobs else None
+        jobs_dispatched = 0
+
+        def on_arrival(client_id: int) -> None:
+            nonlocal jobs_dispatched
+            now = sim.now
+            self.rate_estimator.observe_arrival(now)
+            view = self.staleness.view(client_id, now)
+            server_id = self.policy.select(view)
+            if not 0 <= server_id < self.num_servers:
+                raise RuntimeError(
+                    f"{type(self.policy).__name__} selected invalid server "
+                    f"{server_id} (cluster size {self.num_servers})"
+                )
+            service_time = self.service.sample(service_rng)
+            completion = servers[server_id].assign(now, service_time)
+            self.staleness.on_dispatch(client_id, server_id, now)
+            response = completion - now
+            if self.client_latency is not None:
+                response += self.client_latency[
+                    client_id % self.client_latency.shape[0], server_id
+                ]
+            metrics.record(server_id, response)
+            if trace is not None:
+                trace.append(
+                    Job(
+                        index=jobs_dispatched,
+                        client_id=client_id,
+                        server_id=server_id,
+                        arrival_time=now,
+                        service_time=service_time,
+                        completion_time=completion,
+                    )
+                )
+            jobs_dispatched += 1
+            if jobs_dispatched >= self.total_jobs:
+                sim.stop()
+
+        self.arrivals.start(sim, streams.stream("arrivals"), on_arrival)
+        sim.run()
+
+        return SimulationResult(
+            mean_response_time=metrics.mean_response_time,
+            jobs_measured=metrics.jobs_measured,
+            jobs_total=metrics.jobs_seen,
+            duration=sim.now,
+            dispatch_counts=metrics.dispatch_counts.copy(),
+            response_times=(
+                metrics.response_times if self.trace_response_times else None
+            ),
+            trace=trace,
+        )
+
+    def _per_server_rate(self) -> float:
+        return self.arrivals.total_rate / self.num_servers

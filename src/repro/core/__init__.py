@@ -1,0 +1,79 @@
+"""The paper's primary contribution: load-interpretation selection policies.
+
+The *Load Interpretation* (LI) family interprets a stale load report in the
+context of its age ``T`` and the job arrival rate ``λ``, computing a
+probability vector over servers (a water-filling computation) rather than
+greedily chasing the apparent minimum:
+
+* :class:`BasicLIPolicy` — equalize expected queue lengths by the *end* of
+  the information epoch (Eqs. 2–4 of the paper).
+* :class:`AggressiveLIPolicy` — subdivide the epoch, equalize as early as
+  possible, then distribute uniformly (Eq. 5; equivalent to
+  Mitzenmacher's "Time-Based" algorithm).
+* :class:`HybridLIPolicy` — the two-subinterval hybrid sketched in §4.1.1.
+* :class:`SubsetLIPolicy` — Basic LI restricted to a random k-server
+  subset per request (§5.7), decoupling *how much* information is used
+  from *how it is interpreted*.
+
+Baselines from the literature, reimplemented for comparison:
+
+* :class:`RandomPolicy` — oblivious uniform random (k = 1).
+* :class:`KSubsetPolicy` — least-loaded of a random k-subset
+  (Mitzenmacher); ``k = n`` is the classic greedy least-loaded policy.
+* :class:`ThresholdPolicy` — choose uniformly among servers reporting
+  load at or below a threshold.
+
+Rate estimation (the λ the LI algorithms must be told or estimate) lives
+in :mod:`repro.core.rate_estimators`.
+"""
+
+from repro.core.decay import DecayedLoadPolicy
+from repro.core.ksubset import KSubsetPolicy
+from repro.core.locality import LocalityAwareLIPolicy, NearestServerPolicy
+from repro.core.li_aggressive import AggressiveLIPolicy
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.li_hybrid import HybridLIPolicy
+from repro.core.li_subset import SubsetLIPolicy
+from repro.core.li_weighted import WeightedLIPolicy
+from repro.core.policy import Policy
+from repro.core.random_policy import RandomPolicy
+from repro.core.round_robin import RoundRobinPolicy
+from repro.core.rate_estimators import (
+    EWMARate,
+    ExactRate,
+    FixedRate,
+    RateEstimator,
+    ScaledRate,
+)
+from repro.core.threshold import ThresholdPolicy
+from repro.core.weights import (
+    equalization_boundaries,
+    waterfill_level,
+    waterfill_probabilities,
+    weighted_waterfill_probabilities,
+)
+
+__all__ = [
+    "Policy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "KSubsetPolicy",
+    "ThresholdPolicy",
+    "BasicLIPolicy",
+    "AggressiveLIPolicy",
+    "HybridLIPolicy",
+    "SubsetLIPolicy",
+    "WeightedLIPolicy",
+    "DecayedLoadPolicy",
+    "NearestServerPolicy",
+    "LocalityAwareLIPolicy",
+    "RateEstimator",
+    "ExactRate",
+    "FixedRate",
+    "ScaledRate",
+    "EWMARate",
+    "waterfill_probabilities",
+    "waterfill_level",
+    "weighted_waterfill_probabilities",
+    "equalization_boundaries",
+]

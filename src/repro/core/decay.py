@@ -1,0 +1,64 @@
+"""The ad-hoc age-decay heuristic the paper positions LI against.
+
+§2 of the paper notes that several systems (e.g. the Smart Clients
+prototype, and process-migration facilities using exponentially decaying
+load averages) "weigh recent information more heavily than old
+information", but calls those algorithms "somewhat ad hoc": it is unclear
+when to use them or how to set their constants.  To let that comparison
+be made quantitatively, this module implements a faithful representative
+of the family:
+
+* each reported load is blended toward the cluster mean with weight
+  ``exp(-age / tau)`` — fresh reports count fully, old reports fade to
+  the uninformative prior;
+* the request is then routed randomly with probability inversely
+  proportional to ``1 + blended load`` — load-sensitive but not greedy.
+
+Like LI it interpolates between aggressive and uniform as information
+ages; unlike LI, the interpolation rate is a hand-tuned constant ``tau``
+with no connection to the arrival rate, which is exactly the weakness the
+paper's systematic framework removes (see the ``ext-decay`` ablation).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.policy import Policy
+from repro.staleness.base import LoadView
+
+__all__ = ["DecayedLoadPolicy"]
+
+
+class DecayedLoadPolicy(Policy):
+    """Inverse-load routing on exponentially age-decayed load reports.
+
+    Parameters
+    ----------
+    tau:
+        Decay time constant, in units of mean service time.  Information
+        older than a few ``tau`` is effectively ignored.
+    """
+
+    def __init__(self, tau: float) -> None:
+        super().__init__()
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.tau = float(tau)
+        self.name = f"decay(tau={tau:g})"
+
+    def select(self, view: LoadView) -> int:
+        # Use the true age when it is known, the advertised mean otherwise
+        # (the ad-hoc systems use whatever age signal they have).
+        age = view.elapsed if view.known_age else view.horizon
+        weight = math.exp(-age / self.tau)
+        loads = view.loads
+        blended = weight * loads + (1.0 - weight) * float(loads.mean())
+        scores = 1.0 / (1.0 + blended)
+        probabilities = scores / scores.sum()
+        return self._sample_from(probabilities)
+
+    def __repr__(self) -> str:
+        return f"DecayedLoadPolicy(tau={self.tau!r})"

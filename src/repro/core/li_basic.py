@@ -1,0 +1,93 @@
+"""Basic Load Interpretation (Eqs. 2–4 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import Policy
+from repro.core.weights import waterfill_probabilities
+from repro.staleness.base import LoadView
+
+__all__ = ["BasicLIPolicy"]
+
+
+class BasicLIPolicy(Policy):
+    """Equalize expected queue lengths by the end of the information epoch.
+
+    Given reported loads ``q_i``, their interpretation window ``T`` and a
+    per-server arrival-rate estimate ``λ``, Basic LI computes the dispatch
+    probabilities that make every server's (initial + newly assigned) job
+    count equal after ``R = λ·n·T`` expected arrivals — the water-filling
+    solution of Eqs. 2–4 — and samples each request from that vector.
+
+    The same equation serves all three staleness models (§4.2):
+
+    * periodic (bulletin board) — one probability vector per phase,
+      computed from the phase length; cached on the board version.
+    * continuous — recomputed per request, with ``T`` the *mean* delay
+      when only that is known (Fig. 6) or the request's *actual* delay
+      when available (Fig. 7); the vector is then the current estimate of
+      the instantaneous dispatch rates.
+    * update-on-access — recomputed per request from the client snapshot's
+      actual age.
+
+    Fresh information (``T → 0``) collapses the vector onto the least
+    loaded server (maximally aggressive); stale information (``T → ∞``)
+    spreads it uniformly (maximally conservative) — the core LI behavior.
+
+    Parameters
+    ----------
+    timestamp_aware:
+        Robustness extension for lossy update channels.  The paper's
+        algorithm interprets a periodic board over the nominal phase
+        length ``T``; if refresh messages can be *lost*, the board may
+        actually be older than ``T`` and the nominal window dangerously
+        underestimates the staleness (the same failure mode as
+        underestimating λ, §5.6).  With ``timestamp_aware=True`` the
+        policy widens the window to ``max(T, actual board age)`` using
+        the board's timestamp.  In a lossless system the two settings
+        behave identically (the age never exceeds ``T``), so the default
+        ``False`` stays paper-faithful.
+    """
+
+    name = "basic-li"
+
+    def __init__(self, timestamp_aware: bool = False) -> None:
+        super().__init__()
+        self.timestamp_aware = bool(timestamp_aware)
+        if timestamp_aware:
+            self.name = "basic-li(ts)"
+        self._cached_version: int | None = None
+        self._cached_cumulative: np.ndarray | None = None
+
+    def _on_bind(self) -> None:
+        # A policy object may be reused across runs; version counters
+        # restart per run, so the cache must not leak between them.
+        self._cached_version = None
+        self._cached_cumulative = None
+
+    def select(self, view: LoadView) -> int:
+        window = view.effective_window
+        overdue = self.timestamp_aware and view.elapsed > window
+        if overdue:
+            # The board is older than a phase (lost refreshes): widen the
+            # interpretation window to the true age.  The vector now
+            # changes with every request, so skip the per-phase cache.
+            window = view.elapsed
+        elif view.phase_based and view.version == self._cached_version:
+            assert self._cached_cumulative is not None
+            return self._sample_cumulative(self._cached_cumulative)
+
+        expected_arrivals = (
+            self.rate_estimator.per_server_rate() * self.num_servers * window
+        )
+        probabilities = waterfill_probabilities(view.loads, expected_arrivals)
+        cumulative = np.cumsum(probabilities)
+        if view.phase_based and not overdue:
+            self._cached_version = view.version
+            self._cached_cumulative = cumulative
+        return self._sample_cumulative(cumulative)
+
+    def _sample_cumulative(self, cumulative: np.ndarray) -> int:
+        u = self.rng.random() * cumulative[-1]
+        return int(np.searchsorted(cumulative, u, side="right"))

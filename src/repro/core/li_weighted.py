@@ -1,0 +1,64 @@
+"""Capacity-aware LI for heterogeneous clusters (paper future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import Policy
+from repro.core.weights import weighted_waterfill_probabilities
+from repro.staleness.base import LoadView
+
+__all__ = ["WeightedLIPolicy"]
+
+
+class WeightedLIPolicy(Policy):
+    """Basic LI generalized to servers of unequal capacity.
+
+    The paper's conclusions flag heterogeneous servers as future work.
+    This policy implements the natural generalization: instead of
+    equalizing queue *lengths*, equalize expected *drain times*
+    ``q_i / r_i`` via the weighted water-filling of
+    :func:`~repro.core.weights.weighted_waterfill_probabilities`.  Per-server
+    capacities are taken from the simulation at bind time; with a
+    homogeneous cluster the policy is exactly Basic LI.
+
+    Fresh information targets the server with the shortest expected wait;
+    stale information degrades to *capacity-proportional* (not uniform)
+    random dispatch — the safe limit for a heterogeneous cluster, where
+    uniform random would overload the slow machines.
+    """
+
+    name = "weighted-li"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cached_version: int | None = None
+        self._cached_cumulative: np.ndarray | None = None
+
+    def _on_bind(self) -> None:
+        self._cached_version = None
+        self._cached_cumulative = None
+
+    def select(self, view: LoadView) -> int:
+        if view.phase_based and view.version == self._cached_version:
+            assert self._cached_cumulative is not None
+            return self._sample_cumulative(self._cached_cumulative)
+
+        window = view.effective_window
+        # per_server_rate() is the cluster average by convention, so the
+        # aggregate arrival budget is unchanged from Basic LI.
+        expected_arrivals = (
+            self.rate_estimator.per_server_rate() * self.num_servers * window
+        )
+        probabilities = weighted_waterfill_probabilities(
+            view.loads, self.server_rates, expected_arrivals
+        )
+        cumulative = np.cumsum(probabilities)
+        if view.phase_based:
+            self._cached_version = view.version
+            self._cached_cumulative = cumulative
+        return self._sample_cumulative(cumulative)
+
+    def _sample_cumulative(self, cumulative: np.ndarray) -> int:
+        u = self.rng.random() * cumulative[-1]
+        return int(np.searchsorted(cumulative, u, side="right"))

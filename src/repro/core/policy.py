@@ -1,0 +1,126 @@
+"""The selection-policy interface.
+
+A policy receives a :class:`~repro.staleness.base.LoadView` per arrival and
+returns the index of the server to dispatch to.  Policies are bound once
+per simulation run to the cluster size, a dedicated random stream (so
+policy randomness is independent of workload randomness) and a
+:class:`~repro.core.rate_estimators.RateEstimator`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.rate_estimators import ExactRate, RateEstimator
+from repro.staleness.base import LoadView
+
+__all__ = ["Policy"]
+
+
+class Policy(ABC):
+    """Base class for server-selection policies."""
+
+    #: Human-readable name used in experiment tables; subclasses override.
+    name: str = "policy"
+
+    def __init__(self) -> None:
+        self._num_servers: int | None = None
+        self._rng: np.random.Generator | None = None
+        self._rate: RateEstimator = ExactRate()
+        self._server_rates: np.ndarray | None = None
+
+    def bind(
+        self,
+        num_servers: int,
+        rng: np.random.Generator,
+        rate_estimator: RateEstimator | None = None,
+        server_rates: np.ndarray | None = None,
+    ) -> None:
+        """Attach the policy to a simulation run.
+
+        ``server_rates`` carries per-server capacities for policies that
+        are capacity-aware; homogeneous clusters may omit it.
+        """
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        self._num_servers = num_servers
+        self._rng = rng
+        if rate_estimator is not None:
+            self._rate = rate_estimator
+        if server_rates is not None:
+            server_rates = np.asarray(server_rates, dtype=np.float64)
+            if server_rates.shape != (num_servers,):
+                raise ValueError(
+                    f"server_rates must have shape ({num_servers},), "
+                    f"got {server_rates.shape}"
+                )
+            if np.any(server_rates <= 0):
+                raise ValueError("server_rates must be positive")
+        self._server_rates = server_rates
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Hook for subclasses to validate parameters against cluster size."""
+
+    @property
+    def num_servers(self) -> int:
+        """Cluster size (available after :meth:`bind`)."""
+        if self._num_servers is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is unbound; call bind() first "
+                "(ClusterSimulation does this for you)"
+            )
+        return self._num_servers
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The policy's private random stream."""
+        if self._rng is None:
+            raise RuntimeError(f"{type(self).__name__} is unbound; call bind() first")
+        return self._rng
+
+    @property
+    def rate_estimator(self) -> RateEstimator:
+        """The λ estimator this policy consults."""
+        return self._rate
+
+    @property
+    def server_rates(self) -> np.ndarray:
+        """Per-server service rates; all ones unless the run supplied them."""
+        if self._server_rates is None:
+            return np.ones(self.num_servers)
+        return self._server_rates
+
+    @abstractmethod
+    def select(self, view: LoadView) -> int:
+        """Choose a server index for the arrival described by ``view``."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _sample_from(self, probabilities: np.ndarray) -> int:
+        """Draw a server index from a probability vector.
+
+        Uses inverse-transform sampling on the cumulative sum, which is
+        substantially faster than ``Generator.choice`` for the small
+        vectors on this hot path.
+        """
+        cumulative = np.cumsum(probabilities)
+        # Guard against cumulative[-1] slightly below 1 from rounding.
+        u = self.rng.random() * cumulative[-1]
+        return int(np.searchsorted(cumulative, u, side="right"))
+
+    def _random_minimum(self, loads: np.ndarray, candidates: np.ndarray) -> int:
+        """Least-loaded of ``candidates``, ties broken uniformly at random."""
+        candidate_loads = loads[candidates]
+        minimum = candidate_loads.min()
+        tied = candidates[candidate_loads == minimum]
+        if tied.size == 1:
+            return int(tied[0])
+        return int(tied[self.rng.integers(tied.size)])
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

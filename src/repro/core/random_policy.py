@@ -1,0 +1,25 @@
+"""Oblivious uniform-random selection (the k = 1 baseline)."""
+
+from __future__ import annotations
+
+from repro.core.policy import Policy
+from repro.staleness.base import LoadView
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(Policy):
+    """Send each request to a uniformly random server, ignoring all load
+    information.
+
+    This is the paper's "oblivious" baseline: each server behaves as an
+    independent M/M/1 queue with utilization λ, so under exponential
+    service the expected response time is ``1 / (1 - λ)`` regardless of
+    staleness — the yardstick both for the gains of using information
+    (fresh case) and for the pathologies of misusing it (stale case).
+    """
+
+    name = "random"
+
+    def select(self, view: LoadView) -> int:
+        return int(self.rng.integers(self.num_servers))

@@ -1,0 +1,153 @@
+"""Arrival-rate estimation for load-interpretation policies.
+
+LI algorithms must be told — or estimate — the per-server arrival rate λ
+(expressed, like everything here, as a fraction of a server's maximum
+throughput).  §5.6 of the paper studies what happens when this estimate is
+wrong and recommends a *conservative* strategy: when in doubt, assume the
+arrival rate equals the system's maximum achievable throughput (λ = 1.0),
+because overestimating λ costs little while underestimating it recreates
+the herd effect.
+
+* :class:`ExactRate` — the oracle the paper's main experiments assume.
+* :class:`ScaledRate` — the misestimation study (Fig. 12): the true rate
+  multiplied by an error factor.
+* :class:`FixedRate` — a hard-coded estimate; ``FixedRate(1.0)`` is the
+  conservative max-throughput strategy (Fig. 13).
+* :class:`EWMARate` — a practical online estimator from observed
+  inter-arrival gaps (our extension; the paper assumes servers report λ).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["RateEstimator", "ExactRate", "FixedRate", "ScaledRate", "EWMARate"]
+
+
+class RateEstimator(ABC):
+    """Supplies the per-server arrival-rate estimate λ used by LI policies."""
+
+    def bind(self, num_servers: int, true_rate: float) -> None:
+        """Receive the cluster size and the configured true per-server rate.
+
+        Called once by the simulation driver before any arrivals.  The true
+        rate is available so that oracle and scaled estimators can use it;
+        honest online estimators ignore it.
+        """
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        if true_rate <= 0:
+            raise ValueError(f"true_rate must be positive, got {true_rate}")
+        self._num_servers = num_servers
+        self._true_rate = float(true_rate)
+
+    def observe_arrival(self, now: float) -> None:
+        """Notification of one system arrival (for online estimators)."""
+
+    @abstractmethod
+    def per_server_rate(self) -> float:
+        """Current estimate of the per-server arrival rate λ."""
+
+
+class ExactRate(RateEstimator):
+    """The oracle: returns the configured true λ."""
+
+    def per_server_rate(self) -> float:
+        return self._true_rate
+
+    def __repr__(self) -> str:
+        return "ExactRate()"
+
+
+class FixedRate(RateEstimator):
+    """A hard-coded λ estimate, independent of the truth.
+
+    ``FixedRate(1.0)`` is the paper's recommended conservative strategy:
+    assume arrivals at the maximum sustainable throughput.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self._fixed_rate = float(rate)
+
+    def per_server_rate(self) -> float:
+        return self._fixed_rate
+
+    def __repr__(self) -> str:
+        return f"FixedRate({self._fixed_rate!r})"
+
+
+class ScaledRate(RateEstimator):
+    """The true λ multiplied by an error factor (the Fig. 12 study).
+
+    Factors below 1 model underestimation (dangerous: LI becomes too
+    aggressive); factors above 1 model overestimation (benign: LI becomes
+    conservative).
+    """
+
+    def __init__(self, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        self.factor = float(factor)
+
+    def per_server_rate(self) -> float:
+        return self._true_rate * self.factor
+
+    def __repr__(self) -> str:
+        return f"ScaledRate(factor={self.factor!r})"
+
+
+class EWMARate(RateEstimator):
+    """Online λ estimation from an EWMA of observed inter-arrival gaps.
+
+    The estimate starts at a configurable conservative prior (default the
+    maximum throughput, per the paper's §5.6 recommendation) and converges
+    to the true rate as arrivals are observed.
+
+    Parameters
+    ----------
+    smoothing:
+        EWMA weight on each new inter-arrival observation, in (0, 1].
+    initial_rate:
+        Per-server rate assumed before any arrivals are seen.
+    """
+
+    def __init__(self, smoothing: float = 0.01, initial_rate: float = 1.0) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        if initial_rate <= 0:
+            raise ValueError(f"initial_rate must be positive, got {initial_rate}")
+        self.smoothing = float(smoothing)
+        self.initial_rate = float(initial_rate)
+        self._last_arrival: float | None = None
+        self._mean_gap: float | None = None
+
+    def bind(self, num_servers: int, true_rate: float) -> None:
+        super().bind(num_servers, true_rate)
+        # Observations belong to one run; reset if the estimator is reused.
+        self._last_arrival = None
+        self._mean_gap = None
+
+    def observe_arrival(self, now: float) -> None:
+        if self._last_arrival is not None:
+            gap = now - self._last_arrival
+            if gap >= 0:
+                if self._mean_gap is None:
+                    self._mean_gap = gap
+                else:
+                    self._mean_gap += self.smoothing * (gap - self._mean_gap)
+        self._last_arrival = now
+
+    def per_server_rate(self) -> float:
+        if self._mean_gap is None or self._mean_gap <= 0.0:
+            return self.initial_rate
+        # mean_gap estimates the *aggregate* inter-arrival time, so the
+        # aggregate rate is 1/mean_gap and the per-server rate divides by n.
+        return 1.0 / (self._mean_gap * self._num_servers)
+
+    def __repr__(self) -> str:
+        return (
+            f"EWMARate(smoothing={self.smoothing!r}, "
+            f"initial_rate={self.initial_rate!r})"
+        )

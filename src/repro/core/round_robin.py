@@ -1,0 +1,39 @@
+"""Round-robin selection — the other oblivious baseline from the intro.
+
+The paper's introduction notes that systems wary of stale information
+often fall back to "round-robin or random selection algorithms that
+entirely ignore load information".  Random is the baseline the
+evaluation uses; round-robin is included here for completeness.  Under
+Poisson arrivals it slightly beats random (each server sees an Erlang
+arrival stream with lower variance than Poisson) and, like random, it is
+flat in the information age.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import Policy
+from repro.staleness.base import LoadView
+
+__all__ = ["RoundRobinPolicy"]
+
+
+class RoundRobinPolicy(Policy):
+    """Cycle deterministically through the servers.
+
+    The starting offset is randomized per run (from the policy's private
+    stream) so replications are not phase-locked to each other.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 0
+
+    def _on_bind(self) -> None:
+        self._next = int(self.rng.integers(self.num_servers))
+
+    def select(self, view: LoadView) -> int:
+        choice = self._next
+        self._next = (self._next + 1) % self.num_servers
+        return choice

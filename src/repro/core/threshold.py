@@ -1,0 +1,79 @@
+"""The threshold policy: choose randomly among lightly-loaded servers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import Policy
+from repro.staleness.base import LoadView
+
+__all__ = ["ThresholdPolicy"]
+
+
+class ThresholdPolicy(Policy):
+    """Classify servers as lightly/heavily loaded and pick among the light.
+
+    The second classic stale-information coping strategy the paper
+    examines (Fig. 5): a server whose reported load is at or below
+    ``threshold`` is "lightly loaded"; the request goes to a uniformly
+    random lightly-loaded server.  Optionally the candidate pool is first
+    restricted to a random ``k``-subset (the paper sweeps thresholds for
+    k = 2 and k = 10).
+
+    When no candidate is lightly loaded the policy falls back to a
+    uniformly random candidate (``fallback="random"``, the default — the
+    whole point of a threshold scheme is to avoid herding on apparent
+    minima) or to the least-loaded candidate (``fallback="least-loaded"``).
+
+    ``threshold = 0`` herds onto apparently-idle machines (aggressive);
+    ``threshold = ∞`` degenerates to uniform random — so the threshold
+    knob spans the same aggressiveness spectrum as ``k`` does for
+    k-subset, with the same weakness: the best setting depends on the
+    information's age, which the policy never consults.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        k: int | None = None,
+        fallback: str = "random",
+    ) -> None:
+        super().__init__()
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        if k is not None and k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if fallback not in ("random", "least-loaded"):
+            raise ValueError(
+                f"fallback must be 'random' or 'least-loaded', got {fallback!r}"
+            )
+        self.threshold = float(threshold)
+        self.k = None if k is None else int(k)
+        self.fallback = fallback
+        subset = "" if k is None else f", k={k}"
+        self.name = f"threshold={threshold:g}{subset}"
+
+    def _on_bind(self) -> None:
+        if self.k is not None and self.k > self.num_servers:
+            raise ValueError(
+                f"k={self.k} exceeds the number of servers {self.num_servers}"
+            )
+        self._everyone = np.arange(self.num_servers)
+
+    def select(self, view: LoadView) -> int:
+        if self.k is None or self.k == self.num_servers:
+            candidates = self._everyone
+        else:
+            candidates = self.rng.choice(self.num_servers, size=self.k, replace=False)
+        lightly_loaded = candidates[view.loads[candidates] <= self.threshold]
+        if lightly_loaded.size > 0:
+            return int(lightly_loaded[self.rng.integers(lightly_loaded.size)])
+        if self.fallback == "least-loaded":
+            return self._random_minimum(view.loads, candidates)
+        return int(candidates[self.rng.integers(candidates.size)])
+
+    def __repr__(self) -> str:
+        return (
+            f"ThresholdPolicy(threshold={self.threshold!r}, k={self.k!r}, "
+            f"fallback={self.fallback!r})"
+        )

@@ -1,0 +1,229 @@
+"""The water-filling mathematics at the heart of load interpretation.
+
+Basic LI (Eqs. 2–4 of the paper) asks: given stale queue lengths ``q_i``
+and ``R`` expected arrivals over the interpretation window, what dispatch
+probabilities equalize the queues by the end of the window?  The answer is
+classic water filling — pour ``R`` jobs into the valleys of the load
+profile up to a common level ``L``::
+
+    p_i = max(L - q_i, 0) / R,   where  sum_i max(L - q_i, 0) = R
+
+When ``R`` is too small to equalize everything, only the ``c`` least-loaded
+servers receive jobs (the paper's Eq. 3 chooses ``c``); when ``R`` is
+large, every server receives jobs and the distribution approaches uniform —
+exactly the fresh-aggressive / stale-conservative behavior LI is designed
+to produce.
+
+Aggressive LI (Eq. 5) instead equalizes as *early* as possible: the window
+is split into subintervals, the ``j``-th of which sends jobs uniformly to
+the ``j`` least-loaded servers until their level reaches the ``(j+1)``-th;
+:func:`equalization_boundaries` computes the subinterval boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "waterfill_probabilities",
+    "waterfill_level",
+    "weighted_waterfill_probabilities",
+    "equalization_boundaries",
+]
+
+
+def waterfill_level(loads: np.ndarray, expected_arrivals: float) -> float:
+    """The common water level ``L`` reached after ``expected_arrivals``.
+
+    ``max(L, q_i)`` is the expected queue length of server ``i`` at the
+    end of the interpretation window under LI dispatch — the quantity a
+    locality-aware policy adds network distance to.  For
+    ``expected_arrivals = 0`` the level is the current minimum load.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0:
+        raise ValueError("need at least one server")
+    if np.any(loads < 0):
+        raise ValueError("loads must be non-negative")
+    if expected_arrivals < 0:
+        raise ValueError(
+            f"expected_arrivals must be non-negative, got {expected_arrivals}"
+        )
+    if expected_arrivals == 0.0:
+        return float(loads.min())
+    sorted_loads = np.sort(loads)
+    prefix = np.cumsum(sorted_loads)
+    counts = np.arange(1, loads.size + 1, dtype=np.float64)
+    levels = (prefix + expected_arrivals) / counts
+    feasible = levels >= sorted_loads
+    c = int(np.nonzero(feasible)[0].max()) + 1
+    return float(levels[c - 1])
+
+
+def waterfill_probabilities(
+    loads: np.ndarray, expected_arrivals: float
+) -> np.ndarray:
+    """Dispatch probabilities that equalize ``loads`` after ``expected_arrivals``.
+
+    Implements Eqs. 2–4 of the paper.  ``expected_arrivals`` is
+    ``R = λ · n · T`` — the number of jobs expected during the
+    interpretation window.
+
+    Parameters
+    ----------
+    loads:
+        Reported queue length per server (non-negative).
+    expected_arrivals:
+        ``R >= 0``.  As ``R → 0`` the information is effectively fresh and
+        all probability mass collapses onto the least-loaded server(s); as
+        ``R → ∞`` the distribution tends to uniform.
+
+    Returns
+    -------
+    numpy.ndarray
+        A probability vector (non-negative, sums to 1).
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    n = loads.size
+    if n == 0:
+        raise ValueError("need at least one server")
+    if np.any(loads < 0):
+        raise ValueError("loads must be non-negative")
+    if expected_arrivals < 0:
+        raise ValueError(
+            f"expected_arrivals must be non-negative, got {expected_arrivals}"
+        )
+
+    if expected_arrivals == 0.0:
+        # Fresh information: send to the (tied) minimum-load servers.
+        minimum = loads.min()
+        probabilities = (loads == minimum).astype(np.float64)
+        return probabilities / probabilities.sum()
+
+    sorted_loads = np.sort(loads)
+    prefix = np.cumsum(sorted_loads)
+    counts = np.arange(1, n + 1, dtype=np.float64)
+    # levels[c-1] is the water level if exactly the c least-loaded servers
+    # absorb all R arrivals.
+    levels = (prefix + expected_arrivals) / counts
+    # The correct c is the largest for which the level stays at or above
+    # the c-th smallest load (otherwise server c would be "overfilled"
+    # past its own starting level, a contradiction).
+    feasible = levels >= sorted_loads
+    c = int(np.nonzero(feasible)[0].max()) + 1  # c=1 is always feasible
+    level = levels[c - 1]
+
+    deficits = np.maximum(level - loads, 0.0)
+    total = deficits.sum()
+    if total <= 0.0:
+        # expected_arrivals was so small relative to the loads that the
+        # water level collapsed onto the minimum in floating point; treat
+        # the information as fresh and target the least-loaded servers.
+        minimum = loads.min()
+        probabilities = (loads == minimum).astype(np.float64)
+        return probabilities / probabilities.sum()
+    # total equals expected_arrivals up to floating-point error.
+    return deficits / total
+
+
+def weighted_waterfill_probabilities(
+    loads: np.ndarray, rates: np.ndarray, expected_arrivals: float
+) -> np.ndarray:
+    """Capacity-aware water filling for heterogeneous servers.
+
+    The paper's LI assumes equal-capacity servers and leaves the
+    heterogeneous case as future work.  This extension equalizes expected
+    *drain time* ``q_i / r_i`` (queue length over service rate) instead of
+    raw queue length: after ``R`` expected arrivals, every recipient ends
+    at a common virtual level ``L`` with
+
+    .. math::
+
+        p_i = \\max(L \\cdot r_i - q_i, 0) / R,
+        \\qquad \\sum_i \\max(L \\cdot r_i - q_i, 0) = R
+
+    With all rates equal to 1 this reduces exactly to
+    :func:`waterfill_probabilities`.  As ``R → 0`` mass collapses onto the
+    server with the shortest expected wait; as ``R → ∞`` the distribution
+    tends to capacity-proportional (not uniform) — the correct conservative
+    limit for a heterogeneous cluster.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    rates = np.asarray(rates, dtype=np.float64)
+    if loads.shape != rates.shape:
+        raise ValueError(
+            f"loads and rates must have the same shape, got "
+            f"{loads.shape} vs {rates.shape}"
+        )
+    n = loads.size
+    if n == 0:
+        raise ValueError("need at least one server")
+    if np.any(loads < 0):
+        raise ValueError("loads must be non-negative")
+    if np.any(rates <= 0):
+        raise ValueError("rates must be positive")
+    if expected_arrivals < 0:
+        raise ValueError(
+            f"expected_arrivals must be non-negative, got {expected_arrivals}"
+        )
+
+    virtual = loads / rates  # expected drain time per server
+    if expected_arrivals == 0.0:
+        minimum = virtual.min()
+        probabilities = (virtual == minimum).astype(np.float64)
+        return probabilities / probabilities.sum()
+
+    order = np.argsort(virtual, kind="stable")
+    sorted_virtual = virtual[order]
+    load_prefix = np.cumsum(loads[order])
+    rate_prefix = np.cumsum(rates[order])
+    levels = (load_prefix + expected_arrivals) / rate_prefix
+    feasible = levels >= sorted_virtual
+    c = int(np.nonzero(feasible)[0].max()) + 1
+    level = levels[c - 1]
+
+    deficits = np.maximum(level * rates - loads, 0.0)
+    total = deficits.sum()
+    if total <= 0.0:
+        minimum = virtual.min()
+        probabilities = (virtual == minimum).astype(np.float64)
+        return probabilities / probabilities.sum()
+    return deficits / total
+
+
+def equalization_boundaries(
+    sorted_loads: np.ndarray, total_arrival_rate: float
+) -> np.ndarray:
+    """Subinterval boundaries for Aggressive LI (Eq. 5).
+
+    Given loads sorted ascending and the aggregate arrival rate
+    ``Λ = λ · n``, subinterval ``j`` (1-based) sends jobs uniformly to the
+    ``j`` least-loaded servers and lasts ``j · (q_{j+1} - q_j) / Λ`` time
+    units — the time for ``j`` servers to fill from level ``q_j`` to
+    ``q_{j+1}``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``boundaries`` of length ``n - 1`` where ``boundaries[j-1]`` is the
+        cumulative time at which subinterval ``j`` ends (so at elapsed time
+        ``e`` the dispatcher spreads uniformly over the ``m`` least-loaded
+        servers, ``m = searchsorted(boundaries, e, side='right') + 1``).
+        After the final boundary all ``n`` servers are equalized and
+        dispatch is uniform over all of them.
+    """
+    sorted_loads = np.asarray(sorted_loads, dtype=np.float64)
+    if total_arrival_rate <= 0:
+        raise ValueError(
+            f"total_arrival_rate must be positive, got {total_arrival_rate}"
+        )
+    n = sorted_loads.size
+    if n == 0:
+        raise ValueError("need at least one server")
+    if np.any(np.diff(sorted_loads) < 0):
+        raise ValueError("sorted_loads must be non-decreasing")
+    if n == 1:
+        return np.empty(0)
+    gaps = np.diff(sorted_loads)  # q_{j+1} - q_j for j = 1..n-1
+    durations = np.arange(1, n, dtype=np.float64) * gaps / total_arrival_rate
+    return np.cumsum(durations)

@@ -1,0 +1,38 @@
+"""Discrete-event simulation engine substrate.
+
+This subpackage provides the generic machinery every experiment in the
+reproduction is built on:
+
+* :mod:`repro.engine.rng` — reproducible, independently seeded random
+  streams derived from a single master seed.
+* :mod:`repro.engine.events` — the event calendar (binary-heap priority
+  queue with deterministic tie-breaking).
+* :mod:`repro.engine.simulator` — the event loop: clock, scheduling,
+  stop conditions and periodic processes.
+* :mod:`repro.engine.stats` — streaming statistics (Welford accumulators,
+  confidence intervals, percentile summaries) used for measurement.
+
+The engine is deliberately paper-agnostic: nothing in it knows about load
+balancing.  The cluster, staleness and policy layers are built on top.
+"""
+
+from repro.engine.events import Event, EventQueue
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.engine.stats import (
+    ConfidenceInterval,
+    PercentileSummary,
+    RunningStats,
+    mean_confidence_interval,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "RandomStreams",
+    "Simulator",
+    "ConfidenceInterval",
+    "PercentileSummary",
+    "RunningStats",
+    "mean_confidence_interval",
+]

@@ -1,0 +1,104 @@
+"""The event calendar: a binary-heap priority queue with stable ordering.
+
+Events are ordered by ``(time, priority, sequence)``.  The monotonically
+increasing sequence number guarantees deterministic FIFO ordering among
+events scheduled for the same instant with the same priority, which keeps
+simulations exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the event fires.
+    priority:
+        Tie-breaker among same-time events; lower fires first.  Used e.g.
+        to make bulletin-board updates observable by arrivals at the same
+        instant.
+    sequence:
+        Insertion order, the final tie-breaker.
+    action:
+        Zero-argument callable run when the event fires.
+    cancelled:
+        Lazily-deleted events are marked rather than removed from the heap.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time: float, action: Callable[[], Any], priority: int = 0) -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        if math.isnan(time):
+            raise ValueError("event time must not be NaN")
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            action=action,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> float | None:
+        """Return the fire time of the next live event, or ``None`` if empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        self._discard_cancelled()
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def _discard_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

@@ -1,0 +1,112 @@
+"""The discrete-event loop: clock, scheduling and stop conditions."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engine.events import Event, EventQueue
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the event loop is driven into an invalid state."""
+
+
+class Simulator:
+    """A minimal but complete discrete-event simulator.
+
+    The simulator owns the clock and the event calendar.  Components
+    schedule callbacks with :meth:`schedule` (absolute time) or
+    :meth:`schedule_after` (relative delay); processes that re-schedule
+    themselves model recurring activities such as periodic bulletin-board
+    refreshes.
+
+    Time never flows backwards: scheduling an event strictly in the past
+    raises :class:`SimulationError`, which catches a large class of model
+    bugs at their source rather than as corrupted statistics.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stop_requested = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events on the calendar."""
+        return len(self._queue)
+
+    def schedule(
+        self, time: float, action: Callable[[], Any], priority: int = 0
+    ) -> Event:
+        """Schedule ``action`` at absolute ``time``.
+
+        ``time`` may equal :attr:`now` (the event fires during the current
+        sweep of the loop) but must not precede it.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        return self._queue.push(time, action, priority)
+
+    def schedule_after(
+        self, delay: float, action: Callable[[], Any], priority: int = 0
+    ) -> Event:
+        """Schedule ``action`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self._queue.push(self._now + delay, action, priority)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events in time order and return the final clock value.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire after ``until``
+            and advance the clock exactly to ``until``.
+        max_events:
+            Safety valve: raise :class:`SimulationError` if more than this
+            many events fire (guards against runaway self-scheduling loops).
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = max(self._now, until)
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                event.action()
+                self.events_processed += 1
+                if max_events is not None and self.events_processed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "likely a runaway scheduling loop"
+                    )
+            if until is not None and not self._stop_requested and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False

@@ -1,0 +1,213 @@
+"""Streaming statistics for simulation measurement.
+
+Provides numerically stable single-pass accumulators (Welford's algorithm),
+Student-t confidence intervals for replication means (the paper reports 90%
+confidence intervals over >= 10 seeds), and the percentile box summaries
+(median, quartiles, min/max) that the Bounded Pareto experiments use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+__all__ = [
+    "RunningStats",
+    "ConfidenceInterval",
+    "PercentileSummary",
+    "mean_confidence_interval",
+]
+
+
+class RunningStats:
+    """Welford single-pass mean/variance accumulator.
+
+    Numerically stable for long simulations where naive sum-of-squares
+    accumulation loses precision.
+
+    Examples
+    --------
+    >>> acc = RunningStats()
+    >>> for x in [1.0, 2.0, 3.0]:
+    ...     acc.add(x)
+    >>> acc.mean
+    2.0
+    >>> round(acc.variance, 10)
+    1.0
+    """
+
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold several observations into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another accumulator into this one (parallel Welford)."""
+        if other._count == 0:
+            return
+        if self._count == 0:
+            self._count = other._count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return
+        total = self._count + other._count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._count * other._count / total
+        self._mean += delta * other._count / total
+        self._count = total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    @property
+    def count(self) -> int:
+        """Number of observations folded in so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean; 0.0 when empty."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (n - 1 denominator); 0.0 for n < 2."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation; +inf when empty."""
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation; -inf when empty."""
+        return self._max
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(count={self._count}, mean={self.mean:.6g}, "
+            f"stddev={self.stddev:.6g})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ConfidenceInterval:
+    """A symmetric confidence interval around a sample mean."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        """Lower endpoint of the interval."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper endpoint of the interval."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval (inclusive)."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.half_width:.4f}"
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.90
+) -> ConfidenceInterval:
+    """Student-t confidence interval for the mean of i.i.d. ``samples``.
+
+    This is the interval the paper draws around each data point, computed
+    over per-seed replication means.  With a single sample the half width
+    is 0 (no dispersion information) rather than undefined.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n = len(samples)
+    if n == 0:
+        raise ValueError("need at least one sample")
+    mean = float(np.mean(samples))
+    if n == 1:
+        return ConfidenceInterval(mean=mean, half_width=0.0, confidence=confidence, samples=1)
+    sem = float(np.std(samples, ddof=1)) / math.sqrt(n)
+    t_crit = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return ConfidenceInterval(
+        mean=mean, half_width=t_crit * sem, confidence=confidence, samples=n
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class PercentileSummary:
+    """The box-plot summary used for the Bounded Pareto experiments.
+
+    The paper reports, per configuration, the median of the trial means, a
+    box spanning the 25th to 75th percentiles, and whiskers to the min and
+    max observed across trials.
+    """
+
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    samples: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "PercentileSummary":
+        """Build the summary from raw trial values."""
+        if len(samples) == 0:
+            raise ValueError("need at least one sample")
+        values = np.asarray(samples, dtype=float)
+        return cls(
+            minimum=float(values.min()),
+            p25=float(np.percentile(values, 25)),
+            median=float(np.percentile(values, 50)),
+            p75=float(np.percentile(values, 75)),
+            maximum=float(values.max()),
+            samples=len(samples),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"median={self.median:.4f} "
+            f"[box {self.p25:.4f}..{self.p75:.4f}] "
+            f"[whiskers {self.minimum:.4f}..{self.maximum:.4f}]"
+        )

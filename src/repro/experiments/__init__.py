@@ -1,0 +1,39 @@
+"""Experiment harness: the paper's figures as reproducible parameter sweeps.
+
+* :mod:`repro.experiments.spec` — declarative figure/curve specifications.
+* :mod:`repro.experiments.registry` — every figure of the paper's
+  evaluation section (Figs. 1–14) plus our extension ablations, keyed by
+  figure id.
+* :mod:`repro.experiments.runner` — executes a figure's sweep over
+  (curve × x-value × seed), optionally across processes.
+* :mod:`repro.experiments.report` — confidence-interval / percentile-box
+  tables in plain text and Markdown.
+"""
+
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.grid import GridResult, run_advantage_grid
+from repro.experiments.persistence import load_result, save_result
+from repro.experiments.plot import ascii_chart
+from repro.experiments.registry import FIGURES, figure_ids, get_figure
+from repro.experiments.report import CellResult, FigureResult
+from repro.experiments.runner import run_cell, run_figure
+from repro.experiments.spec import CurveSpec, FigureSpec
+
+__all__ = [
+    "CurveSpec",
+    "FigureSpec",
+    "CellResult",
+    "FigureResult",
+    "Fig1Result",
+    "FIGURES",
+    "figure_ids",
+    "get_figure",
+    "run_cell",
+    "run_figure",
+    "run_fig1",
+    "GridResult",
+    "run_advantage_grid",
+    "save_result",
+    "load_result",
+    "ascii_chart",
+]

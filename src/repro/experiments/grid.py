@@ -1,0 +1,139 @@
+"""Two-dimensional sweeps: where does interpreting load information pay?
+
+The paper sweeps one axis at a time (T at fixed λ, λ at fixed T).  This
+module runs the full (T × λ) grid for a pair of policies and reports the
+*advantage ratio* — baseline response time over subject response time —
+as a table and an ASCII heatmap, mapping out the whole region where LI's
+interpretation beats a baseline and by how much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.policy import Policy
+from repro.engine.stats import mean_confidence_interval
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import exponential_service
+
+__all__ = ["GridResult", "run_advantage_grid"]
+
+# Heatmap buckets for the advantage ratio baseline/subject.
+_HEAT_LEVELS = (
+    (4.0, "#"),  # subject >= 4x better
+    (2.0, "*"),  # >= 2x
+    (1.25, "+"),  # >= 1.25x
+    (0.8, "."),  # roughly even
+)
+_HEAT_WORSE = "-"  # subject clearly worse
+
+
+@dataclass
+class GridResult:
+    """Advantage ratios over a (T × λ) grid."""
+
+    subject_label: str
+    baseline_label: str
+    t_values: tuple[float, ...]
+    load_values: tuple[float, ...]
+    jobs: int
+    seeds: int
+    # (t, load) -> (subject mean, baseline mean)
+    cells: dict[tuple[float, float], tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+    def ratio(self, t: float, load: float) -> float:
+        """Advantage ratio baseline/subject at one grid point (>1 = win)."""
+        subject, baseline = self.cells[(t, load)]
+        return baseline / subject
+
+    def format_table(self) -> str:
+        """Ratios as an aligned table, loads as rows and T as columns."""
+        lines = [
+            f"advantage of {self.subject_label} over {self.baseline_label} "
+            f"(ratio of mean response times; jobs={self.jobs}, "
+            f"seeds={self.seeds})",
+            "load".ljust(8)
+            + "".join(f"T={t:<10g}" for t in self.t_values),
+        ]
+        for load in self.load_values:
+            row = [f"{load:<8g}"]
+            for t in self.t_values:
+                row.append(f"{self.ratio(t, load):<12.2f}")
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+    def format_heatmap(self) -> str:
+        """A compact ASCII heatmap of the advantage region."""
+        lines = [
+            f"advantage heatmap ({self.subject_label} vs "
+            f"{self.baseline_label}): "
+            "# >=4x   * >=2x   + >=1.25x   . even   - worse",
+            "load".ljust(8) + "".join(f"{t:<6g}" for t in self.t_values),
+        ]
+        for load in self.load_values:
+            row = [f"{load:<8g}"]
+            for t in self.t_values:
+                ratio = self.ratio(t, load)
+                symbol = _HEAT_WORSE
+                for threshold, candidate in _HEAT_LEVELS:
+                    if ratio >= threshold:
+                        symbol = candidate
+                        break
+                row.append(f"{symbol:<6}")
+            lines.append("".join(row))
+        lines.append(" " * 8 + "(columns: update period T)")
+        return "\n".join(lines)
+
+
+def run_advantage_grid(
+    make_subject,
+    make_baseline,
+    subject_label: str,
+    baseline_label: str,
+    t_values: tuple[float, ...] = (0.5, 2.0, 8.0, 32.0),
+    load_values: tuple[float, ...] = (0.5, 0.7, 0.9),
+    num_servers: int = 10,
+    jobs: int = 15_000,
+    seeds: int = 2,
+    base_seed: int = 1,
+) -> GridResult:
+    """Run the (T × λ) grid for two policy factories under the periodic
+    model and return the advantage ratios."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if seeds < 1:
+        raise ValueError(f"seeds must be >= 1, got {seeds}")
+
+    def mean_over_seeds(policy_factory: "type | object", t: float, load: float) -> float:
+        samples = []
+        for replication in range(seeds):
+            simulation = ClusterSimulation(
+                num_servers=num_servers,
+                arrivals=PoissonArrivals(num_servers * load),
+                service=exponential_service(),
+                policy=policy_factory(),
+                staleness=PeriodicUpdate(period=t),
+                total_jobs=jobs,
+                seed=base_seed + replication,
+            )
+            samples.append(simulation.run().mean_response_time)
+        return mean_confidence_interval(samples).mean
+
+    result = GridResult(
+        subject_label=subject_label,
+        baseline_label=baseline_label,
+        t_values=tuple(t_values),
+        load_values=tuple(load_values),
+        jobs=jobs,
+        seeds=seeds,
+    )
+    for load in load_values:
+        for t in t_values:
+            subject_mean = mean_over_seeds(make_subject, t, load)
+            baseline_mean = mean_over_seeds(make_baseline, t, load)
+            result.cells[(t, load)] = (subject_mean, baseline_mean)
+    return result

@@ -1,0 +1,80 @@
+"""Save and load figure results as JSON.
+
+Sweeps at paper scale take real time; persisting their raw per-seed
+samples lets tables and charts be re-rendered, compared across code
+versions, or post-processed without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.report import CellResult, FigureResult
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: FigureResult) -> dict:
+    """Convert a figure result to a JSON-serializable dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "x_values": list(result.x_values),
+        "curve_labels": list(result.curve_labels),
+        "summary": result.summary,
+        "jobs": result.jobs,
+        "seeds": result.seeds,
+        "notes": result.notes,
+        "cells": [
+            {
+                "curve": cell.curve,
+                "x": cell.x,
+                "samples": list(cell.samples),
+            }
+            for cell in result.cells.values()
+        ],
+    }
+
+
+def result_from_dict(payload: dict) -> FigureResult:
+    """Reconstruct a figure result from :func:`result_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {version!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    result = FigureResult(
+        figure_id=payload["figure_id"],
+        title=payload["title"],
+        x_label=payload["x_label"],
+        x_values=tuple(payload["x_values"]),
+        curve_labels=tuple(payload["curve_labels"]),
+        summary=payload["summary"],
+        jobs=payload["jobs"],
+        seeds=payload["seeds"],
+        notes=payload.get("notes", ""),
+    )
+    for cell in payload["cells"]:
+        key = (cell["curve"], cell["x"])
+        result.cells[key] = CellResult(
+            curve=cell["curve"], x=cell["x"], samples=tuple(cell["samples"])
+        )
+    return result
+
+
+def save_result(result: FigureResult, path: str | Path) -> None:
+    """Write a figure result to ``path`` as JSON."""
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2) + "\n"
+    )
+
+
+def load_result(path: str | Path) -> FigureResult:
+    """Read a figure result previously written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,93 @@
+"""Dependency-free ASCII charts for figure results.
+
+The reproduction environment is text-only, so this module renders a
+:class:`~repro.experiments.report.FigureResult` as a terminal scatter
+chart: x is the sweep axis (spaced by index, since the paper's sweeps are
+roughly geometric), y is mean response time, one marker per curve.  Good
+enough to *see* the herd-effect crossover without leaving the shell.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.report import FigureResult
+
+__all__ = ["ascii_chart"]
+
+MARKERS = "o*x+#@%&"
+
+
+def ascii_chart(
+    result: FigureResult,
+    width: int = 72,
+    height: int = 20,
+    log_y: bool = False,
+) -> str:
+    """Render a figure result as an ASCII chart.
+
+    Parameters
+    ----------
+    result:
+        A completed sweep.
+    width / height:
+        Plot area size in characters (excluding axes).
+    log_y:
+        Plot log10 of the response time — useful when a herding curve
+        dwarfs everything else.
+    """
+    if width < 10 or height < 4:
+        raise ValueError(f"chart too small: {width}x{height}")
+    curves = list(result.curve_labels)
+    if len(curves) > len(MARKERS):
+        raise ValueError(
+            f"too many curves to chart ({len(curves)} > {len(MARKERS)})"
+        )
+    xs = list(result.x_values)
+    series = {label: result.series(label) for label in curves}
+
+    def transform(value: float) -> float:
+        if log_y:
+            return math.log10(max(value, 1e-12))
+        return value
+
+    values = [transform(v) for ys in series.values() for v in ys]
+    y_min, y_max = min(values), max(values)
+    if y_max - y_min < 1e-12:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for curve_index, label in enumerate(curves):
+        marker = MARKERS[curve_index]
+        for x_index, value in enumerate(series[label]):
+            column = (
+                0
+                if len(xs) == 1
+                else round(x_index * (width - 1) / (len(xs) - 1))
+            )
+            fraction = (transform(value) - y_min) / (y_max - y_min)
+            row = (height - 1) - round(fraction * (height - 1))
+            grid[row][column] = marker
+
+    y_label = "log10(resp)" if log_y else "resp"
+    lines = [f"{result.figure_id}: {result.title}"]
+    top = y_max if not log_y else 10**y_max
+    bottom = y_min if not log_y else 10**y_min
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{top:8.2f} |"
+        elif row_index == height - 1:
+            prefix = f"{bottom:8.2f} |"
+        else:
+            prefix = " " * 8 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_axis = " " * 10 + f"{xs[0]:<10g}"
+    x_axis += f"{result.x_label:^{max(0, width - 20)}}"
+    x_axis += f"{xs[-1]:>10g}"
+    lines.append(x_axis)
+    legend = "   ".join(
+        f"{MARKERS[i]}={label}" for i, label in enumerate(curves)
+    )
+    lines.append(" " * 10 + legend + f"   [{y_label}]")
+    return "\n".join(lines)

@@ -1,0 +1,686 @@
+"""Every figure of the paper's evaluation section, as executable specs.
+
+The registry maps figure ids (``fig2`` ... ``fig14c``, plus ``ext-*``
+ablations that go beyond the paper) to :class:`FigureSpec` objects.  All
+factories here are module-level functions or partials of them, so sweep
+cells can be reconstructed by name inside worker processes.
+
+Fig. 1 is not a queueing sweep (it is the analytic Eq. 1 rank
+distribution) and lives in :mod:`repro.experiments.fig1`.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.stealing import StealingClusterSimulation, StealingConfig
+from repro.core.ksubset import KSubsetPolicy
+from repro.core.li_aggressive import AggressiveLIPolicy
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.li_hybrid import HybridLIPolicy
+from repro.core.li_subset import SubsetLIPolicy
+import numpy as np
+
+from repro.core.decay import DecayedLoadPolicy
+from repro.core.li_weighted import WeightedLIPolicy
+from repro.core.locality import LocalityAwareLIPolicy, NearestServerPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.core.rate_estimators import EWMARate, FixedRate, ScaledRate
+from repro.core.threshold import ThresholdPolicy
+from repro.experiments.spec import CurveSpec, FigureSpec
+from repro.staleness.continuous import ContinuousUpdate
+from repro.staleness.individual import IndividualUpdate
+from repro.staleness.lossy import LossyPeriodicUpdate
+from repro.staleness.periodic import PeriodicUpdate
+from repro.staleness.update_on_access import UpdateOnAccess
+from repro.workloads.arrivals import (
+    BurstyClientArrivals,
+    ClientArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.distributions import Constant, Exponential, Uniform
+from repro.workloads.service import bounded_pareto_service, exponential_service
+
+__all__ = ["FIGURES", "figure_ids", "get_figure"]
+
+# ---------------------------------------------------------------------------
+# Sweep axes (information age T is in units of mean service time)
+# ---------------------------------------------------------------------------
+
+T_SWEEP = (0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+T_SWEEP_SHORT = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+T_SWEEP_BOX = (0.5, 2.0, 8.0, 32.0)
+LAMBDA_SWEEP = (0.3, 0.5, 0.7, 0.8, 0.9, 0.95)
+
+# The paper's defaults (matching Mitzenmacher's study).
+DEFAULT_SERVERS = 10
+DEFAULT_LOAD = 0.9
+
+
+# ---------------------------------------------------------------------------
+# Arrival factories: (x, num_servers, offered_load) -> ArrivalSource
+# ---------------------------------------------------------------------------
+
+def poisson_arrivals(x: float, num_servers: int, load: float) -> PoissonArrivals:
+    """Aggregate Poisson stream at rate n·λ (x is the staleness axis)."""
+    return PoissonArrivals(num_servers * load)
+
+
+def capacity_poisson_arrivals(
+    x: float, num_servers: int, load: float, total_capacity: float
+) -> PoissonArrivals:
+    """Poisson stream sized to a heterogeneous cluster's total capacity."""
+    return PoissonArrivals(total_capacity * load)
+
+
+def poisson_arrivals_lambda_axis(
+    x: float, num_servers: int, load: float
+) -> PoissonArrivals:
+    """Aggregate Poisson stream where the x axis is λ itself (Fig. 13)."""
+    return PoissonArrivals(num_servers * x)
+
+
+def _clients_for_age(x: float, num_servers: int, load: float) -> int:
+    # Under update-on-access, T equals the per-client inter-request time
+    # C / (n·λ); choosing C = round(T·n·λ) realizes the requested T as
+    # closely as an integer client count allows.
+    return max(1, round(x * num_servers * load))
+
+
+def update_on_access_arrivals(
+    x: float, num_servers: int, load: float
+) -> ClientArrivals:
+    """Per-client Poisson population sized so the mean snapshot age is x."""
+    return ClientArrivals(_clients_for_age(x, num_servers, load), num_servers * load)
+
+
+def bursty_arrivals(
+    x: float, num_servers: int, load: float, burst_size: int = 10
+) -> BurstyClientArrivals:
+    """Bursty on/off clients with the same average rate (Fig. 9)."""
+    return BurstyClientArrivals(
+        _clients_for_age(x, num_servers, load),
+        num_servers * load,
+        burst_size=burst_size,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Staleness factories: (x) -> StalenessModel
+# ---------------------------------------------------------------------------
+
+def periodic(x: float) -> PeriodicUpdate:
+    return PeriodicUpdate(period=x)
+
+
+def periodic_work_backlog(x: float) -> PeriodicUpdate:
+    """Periodic board that reports work backlog instead of queue length."""
+    return PeriodicUpdate(period=x, metric="work-backlog")
+
+
+def periodic_fixed(x: float, period: float) -> PeriodicUpdate:
+    """Periodic board with a period independent of the x axis (Fig. 13)."""
+    return PeriodicUpdate(period=period)
+
+
+def continuous_constant(x: float, known_age: bool = False) -> ContinuousUpdate:
+    return ContinuousUpdate(Constant(x), known_age=known_age)
+
+
+def continuous_uniform_narrow(x: float, known_age: bool = False) -> ContinuousUpdate:
+    """Uniform(T/2, 3T/2) delays — mild variance around the mean T."""
+    return ContinuousUpdate(Uniform(0.5 * x, 1.5 * x), known_age=known_age)
+
+
+def continuous_uniform_wide(x: float, known_age: bool = False) -> ContinuousUpdate:
+    """Uniform(0, 2T) delays — some requests see nearly fresh data."""
+    return ContinuousUpdate(Uniform(0.0, 2.0 * x), known_age=known_age)
+
+
+def continuous_exponential(x: float, known_age: bool = False) -> ContinuousUpdate:
+    """Exponential(T) delays — the most variable distribution studied."""
+    return ContinuousUpdate(Exponential(x), known_age=known_age)
+
+
+def update_on_access_model(x: float) -> UpdateOnAccess:
+    return UpdateOnAccess(nominal_age=x)
+
+
+def individual_update(x: float) -> IndividualUpdate:
+    return IndividualUpdate(period=x)
+
+
+def lossy_periodic(x: float, period: float = 4.0) -> LossyPeriodicUpdate:
+    """Lossy bulletin board where the x axis is the drop probability."""
+    return LossyPeriodicUpdate(period=period, drop_probability=x)
+
+
+# ---------------------------------------------------------------------------
+# Curve sets
+# ---------------------------------------------------------------------------
+
+def standard_curves(num_servers: int) -> tuple[CurveSpec, ...]:
+    """The line-up of Figs. 2–4 and 6–11: baselines plus both LI variants."""
+    return (
+        CurveSpec("random", RandomPolicy),
+        CurveSpec("k=2", partial(KSubsetPolicy, 2)),
+        CurveSpec("k=3", partial(KSubsetPolicy, 3)),
+        CurveSpec(f"k={num_servers}", partial(KSubsetPolicy, num_servers)),
+        CurveSpec("basic-li", BasicLIPolicy),
+        CurveSpec("aggressive-li", AggressiveLIPolicy),
+    )
+
+
+def threshold_curves(k: int) -> tuple[CurveSpec, ...]:
+    """Fig. 5's threshold sweep for a fixed subset size ``k``."""
+    thresholds = (0, 1, 4, 8, 16, 24, 32, 40)
+    curves = tuple(
+        CurveSpec(f"thr={t},k={k}", partial(ThresholdPolicy, float(t), k))
+        for t in thresholds
+    )
+    return curves + (
+        CurveSpec("basic-li", BasicLIPolicy),
+        CurveSpec("aggressive-li", AggressiveLIPolicy),
+    )
+
+
+def misestimation_curves() -> tuple[CurveSpec, ...]:
+    """Fig. 12: Basic LI fed λ estimates off by fixed error factors."""
+    factors = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+    curves = tuple(
+        CurveSpec(
+            f"li({factor:g}x)",
+            BasicLIPolicy,
+            partial(ScaledRate, factor),
+        )
+        for factor in factors
+    )
+    return curves + (CurveSpec("random", RandomPolicy),)
+
+
+def conservative_lambda_curves() -> tuple[CurveSpec, ...]:
+    """Fig. 13: exact λ versus the assume-max-throughput strategy."""
+    return (
+        CurveSpec("random", RandomPolicy),
+        CurveSpec("k=2", partial(KSubsetPolicy, 2)),
+        CurveSpec("k=10", partial(KSubsetPolicy, 10)),
+        CurveSpec("basic-li(exact)", BasicLIPolicy),
+        CurveSpec("basic-li(assume=1.0)", BasicLIPolicy, partial(FixedRate, 1.0)),
+    )
+
+
+def subset_li_curves() -> tuple[CurveSpec, ...]:
+    """Fig. 14: LI-k versus standard k-subset for matched information."""
+    return (
+        CurveSpec("k=2", partial(KSubsetPolicy, 2)),
+        CurveSpec("k=3", partial(KSubsetPolicy, 3)),
+        CurveSpec("li-1", partial(SubsetLIPolicy, 1)),
+        CurveSpec("li-2", partial(SubsetLIPolicy, 2)),
+        CurveSpec("li-3", partial(SubsetLIPolicy, 3)),
+        CurveSpec("li-10", partial(SubsetLIPolicy, 10)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+def _periodic_figure(
+    figure_id: str,
+    title: str,
+    num_servers: int = DEFAULT_SERVERS,
+    load: float = DEFAULT_LOAD,
+    **overrides,
+) -> FigureSpec:
+    defaults = dict(
+        figure_id=figure_id,
+        title=title,
+        x_label="T",
+        x_values=T_SWEEP,
+        curves=standard_curves(num_servers),
+        num_servers=num_servers,
+        offered_load=load,
+        make_arrivals=poisson_arrivals,
+        make_staleness=periodic,
+        make_service=exponential_service,
+    )
+    defaults.update(overrides)
+    return FigureSpec(**defaults)
+
+
+FIGURES: dict[str, FigureSpec] = {}
+
+
+def _register(spec: FigureSpec) -> None:
+    if spec.figure_id in FIGURES:
+        raise ValueError(f"duplicate figure id {spec.figure_id}")
+    FIGURES[spec.figure_id] = spec
+
+
+_register(
+    _periodic_figure(
+        "fig2",
+        "Response time vs update period, periodic model (n=10, load=0.9)",
+        notes="Fig. 2a/2b are the same data at two x ranges",
+    )
+)
+_register(
+    _periodic_figure(
+        "fig3",
+        "Response time vs update period at light load (n=10, load=0.5)",
+        load=0.5,
+    )
+)
+_register(
+    _periodic_figure(
+        "fig4",
+        "Response time vs update period with 100 servers (load=0.9)",
+        num_servers=100,
+        default_jobs=200_000,
+        default_seeds=3,
+    )
+)
+_register(
+    _periodic_figure(
+        "fig5a",
+        "Threshold algorithm vs LI, k=2 subsets (periodic, n=10, load=0.9)",
+        curves=threshold_curves(2),
+        x_values=T_SWEEP_SHORT,
+    )
+)
+_register(
+    _periodic_figure(
+        "fig5b",
+        "Threshold algorithm vs LI, k=10 subsets (periodic, n=10, load=0.9)",
+        curves=threshold_curves(10),
+        x_values=T_SWEEP_SHORT,
+    )
+)
+
+# Fig. 6: continuous update, clients know only the mean delay.
+for _suffix, _factory, _dist_name in (
+    ("a", continuous_constant, "constant(T)"),
+    ("b", continuous_uniform_narrow, "uniform(T/2, 3T/2)"),
+    ("c", continuous_uniform_wide, "uniform(0, 2T)"),
+    ("d", continuous_exponential, "exponential(T)"),
+):
+    _register(
+        _periodic_figure(
+            f"fig6{_suffix}",
+            f"Continuous update, delay {_dist_name}, mean age known "
+            "(n=10, load=0.9)",
+            make_staleness=partial(_factory, known_age=False),
+            x_values=T_SWEEP_SHORT,
+        )
+    )
+
+# Fig. 7: continuous update, each request knows its actual delay.
+for _suffix, _factory, _dist_name in (
+    ("a", continuous_uniform_narrow, "uniform(T/2, 3T/2)"),
+    ("b", continuous_uniform_wide, "uniform(0, 2T)"),
+    ("c", continuous_exponential, "exponential(T)"),
+):
+    _register(
+        _periodic_figure(
+            f"fig7{_suffix}",
+            f"Continuous update, delay {_dist_name}, actual age known "
+            "(n=10, load=0.9)",
+            make_staleness=partial(_factory, known_age=True),
+            x_values=T_SWEEP_SHORT,
+        )
+    )
+
+_register(
+    _periodic_figure(
+        "fig8",
+        "Update-on-access model: T = per-client inter-request time "
+        "(n=10, load=0.9)",
+        make_arrivals=update_on_access_arrivals,
+        make_staleness=update_on_access_model,
+        x_values=T_SWEEP_SHORT,
+        notes="client count C = round(T·n·λ) realizes the requested age",
+    )
+)
+_register(
+    _periodic_figure(
+        "fig9",
+        "Update-on-access with bursty clients, burst size 10 "
+        "(n=10, load=0.9)",
+        make_arrivals=bursty_arrivals,
+        make_staleness=update_on_access_model,
+        x_values=T_SWEEP_SHORT,
+    )
+)
+
+# Figs. 10-11: Bounded Pareto job sizes, percentile boxes over trials.
+for _suffix, _load in (("a", 0.5), ("b", 0.7), ("c", 0.9)):
+    _register(
+        _periodic_figure(
+            f"fig10{_suffix}",
+            f"Bounded Pareto(alpha=1.1, p=1000) job sizes, load={_load} "
+            "(periodic, n=10)",
+            load=_load,
+            make_service=partial(bounded_pareto_service, 1.1, 1000.0),
+            curves=(
+                CurveSpec("random", RandomPolicy),
+                CurveSpec("k=2", partial(KSubsetPolicy, 2)),
+                CurveSpec("k=10", partial(KSubsetPolicy, 10)),
+                CurveSpec("basic-li", BasicLIPolicy),
+                CurveSpec("aggressive-li", AggressiveLIPolicy),
+            ),
+            x_values=T_SWEEP_BOX,
+            summary="box",
+            default_seeds=10,
+            notes="box = median [p25..p75] over per-seed means",
+        )
+    )
+_register(
+    _periodic_figure(
+        "fig11",
+        "Bounded Pareto(alpha=1.1, p=10000) job sizes, load=0.7 "
+        "(periodic, n=10)",
+        load=0.7,
+        make_service=partial(bounded_pareto_service, 1.1, 10_000.0),
+        curves=(
+            CurveSpec("random", RandomPolicy),
+            CurveSpec("k=2", partial(KSubsetPolicy, 2)),
+            CurveSpec("k=10", partial(KSubsetPolicy, 10)),
+            CurveSpec("basic-li", BasicLIPolicy),
+            CurveSpec("aggressive-li", AggressiveLIPolicy),
+        ),
+        x_values=T_SWEEP_BOX,
+        summary="box",
+        default_seeds=10,
+        notes="box = median [p25..p75] over per-seed means",
+    )
+)
+
+_register(
+    _periodic_figure(
+        "fig12",
+        "Basic LI with misestimated arrival rate (periodic, n=10, load=0.9)",
+        curves=misestimation_curves(),
+        notes="li(fx) feeds Basic LI the estimate f·λ",
+    )
+)
+_register(
+    _periodic_figure(
+        "fig13",
+        "Response time vs arrival rate: exact λ vs assume-λ=1.0 "
+        "(periodic, T=4, n=10)",
+        x_label="lambda",
+        x_values=LAMBDA_SWEEP,
+        curves=conservative_lambda_curves(),
+        make_arrivals=poisson_arrivals_lambda_axis,
+        make_staleness=partial(periodic_fixed, period=4.0),
+        notes="offered_load field is unused; the x axis sets λ",
+    )
+)
+
+# Fig. 14: LI-k (restricted information) under three update models.
+for _suffix, _staleness, _model_name in (
+    ("a", update_on_access_model, "update-on-access"),
+    ("b", partial(continuous_constant, known_age=False), "continuous fixed delay"),
+    ("c", periodic, "periodic bulletin board"),
+):
+    _make_arrivals = (
+        update_on_access_arrivals if _suffix == "a" else poisson_arrivals
+    )
+    _register(
+        _periodic_figure(
+            f"fig14{_suffix}",
+            f"LI-k with restricted information, {_model_name} model "
+            "(n=10, load=0.9)",
+            curves=subset_li_curves(),
+            make_arrivals=_make_arrivals,
+            make_staleness=_staleness,
+            x_values=T_SWEEP_SHORT,
+        )
+    )
+
+# ---------------------------------------------------------------------------
+# Extension ablations (beyond the paper; see DESIGN.md §6)
+# ---------------------------------------------------------------------------
+
+_register(
+    _periodic_figure(
+        "ext-hybrid",
+        "Ablation: Hybrid LI sits between Basic and Aggressive "
+        "(periodic, n=10, load=0.9)",
+        curves=(
+            CurveSpec("basic-li", BasicLIPolicy),
+            CurveSpec("hybrid-li", HybridLIPolicy),
+            CurveSpec("aggressive-li", AggressiveLIPolicy),
+            CurveSpec("random", RandomPolicy),
+        ),
+        notes="the paper describes this variant in §4.1.1 without plotting it",
+    )
+)
+_register(
+    _periodic_figure(
+        "ext-individual",
+        "Individual per-server updates (Mitzenmacher's third model) "
+        "(n=10, load=0.9)",
+        make_staleness=individual_update,
+        x_values=T_SWEEP_SHORT,
+    )
+)
+_register(
+    _periodic_figure(
+        "ext-ewma",
+        "Ablation: online EWMA λ estimation vs oracle and conservative "
+        "(periodic, n=10, load=0.9)",
+        curves=(
+            CurveSpec("basic-li(exact)", BasicLIPolicy),
+            CurveSpec("basic-li(ewma)", BasicLIPolicy, EWMARate),
+            CurveSpec("basic-li(assume=1.0)", BasicLIPolicy, partial(FixedRate, 1.0)),
+            CurveSpec("random", RandomPolicy),
+        ),
+    )
+)
+
+
+_register(
+    _periodic_figure(
+        "ext-lossy",
+        "Extension: dropped board refreshes — hidden staleness "
+        "(periodic T=4, n=10, load=0.9)",
+        x_label="drop_prob",
+        x_values=(0.0, 0.2, 0.4, 0.6, 0.8),
+        curves=standard_curves(DEFAULT_SERVERS)
+        + (
+            CurveSpec(
+                "basic-li(ts)", partial(BasicLIPolicy, timestamp_aware=True)
+            ),
+        ),
+        make_staleness=lossy_periodic,
+        notes="clients still believe the board is at most T=4 old; "
+        "each refresh is lost with probability x; basic-li(ts) reads "
+        "the board timestamp",
+    )
+)
+
+_register(
+    _periodic_figure(
+        "ext-decay",
+        "Ablation: ad-hoc exponential age-decay heuristic (paper §2) vs LI "
+        "(periodic, n=10, load=0.9)",
+        curves=(
+            CurveSpec("decay(tau=1)", partial(DecayedLoadPolicy, 1.0)),
+            CurveSpec("decay(tau=8)", partial(DecayedLoadPolicy, 8.0)),
+            CurveSpec("decay(tau=64)", partial(DecayedLoadPolicy, 64.0)),
+            CurveSpec("basic-li", BasicLIPolicy),
+            CurveSpec("aggressive-li", AggressiveLIPolicy),
+            CurveSpec("random", RandomPolicy),
+        ),
+        notes="the hand-tuned tau has no connection to lambda; LI needs "
+        "no such constant",
+    )
+)
+
+# Receiver-driven rebalancing variants: curve label -> (policy, stealing).
+STEALING_VARIANTS: dict[str, tuple] = {
+    "random": (RandomPolicy, None),
+    "random+steal": (RandomPolicy, StealingConfig()),
+    "k=2": (partial(KSubsetPolicy, 2), None),
+    "k=2+steal": (partial(KSubsetPolicy, 2), StealingConfig()),
+    "basic-li": (BasicLIPolicy, None),
+    "basic-li+steal": (BasicLIPolicy, StealingConfig()),
+}
+
+
+def build_stealing_simulation(spec, curve, x, seed, total_jobs):
+    """Construct a work-stealing cell (FigureSpec.make_simulation hook)."""
+    policy_factory, stealing = STEALING_VARIANTS[curve.label]
+    return StealingClusterSimulation(
+        num_servers=spec.num_servers,
+        arrivals=spec.make_arrivals(x, spec.num_servers, spec.offered_load),
+        service=spec.make_service(),
+        policy=policy_factory(),
+        staleness=spec.make_staleness(x),
+        stealing=stealing,
+        total_jobs=total_jobs,
+        warmup_fraction=spec.warmup_fraction,
+        seed=seed,
+    )
+
+
+_register(
+    _periodic_figure(
+        "ext-stealing",
+        "Extension: receiver-driven rebalancing (work stealing) in "
+        "comparison and combination with LI (periodic, n=10, load=0.9)",
+        curves=tuple(
+            CurveSpec(label, factory)
+            for label, (factory, _config) in STEALING_VARIANTS.items()
+        ),
+        x_values=T_SWEEP_SHORT,
+        make_simulation=build_stealing_simulation,
+        notes="receiver polls are fresh by construction; '+steal' adds "
+        "idle-initiated transfers (poll 2 peers, threshold 1 waiting job)",
+    )
+)
+
+# WAN replica-selection scenario: 4 replicas in two regions, 8 of 10
+# clients near region A.  Round trips in units of mean service time.
+WAN_NEAR, WAN_FAR = 0.2, 4.0
+WAN_LATENCY = np.array(
+    [[WAN_NEAR, WAN_NEAR, WAN_FAR, WAN_FAR]] * 8
+    + [[WAN_FAR, WAN_FAR, WAN_NEAR, WAN_NEAR]] * 2
+)
+WAN_SERVERS = 4
+WAN_TOTAL_RATE = 2.4
+
+WAN_VARIANTS: dict[str, object] = {
+    "nearest": partial(NearestServerPolicy, WAN_LATENCY),
+    "greedy": partial(KSubsetPolicy, WAN_SERVERS),
+    "basic-li": BasicLIPolicy,
+    "locality-li": partial(LocalityAwareLIPolicy, WAN_LATENCY),
+}
+
+
+def build_wan_simulation(spec, curve, x, seed, total_jobs):
+    """Construct a WAN replica-selection cell (make_simulation hook)."""
+    policy_factory = WAN_VARIANTS[curve.label]
+    return ClusterSimulation(
+        num_servers=WAN_SERVERS,
+        arrivals=ClientArrivals(
+            num_clients=WAN_LATENCY.shape[0], total_rate=WAN_TOTAL_RATE
+        ),
+        service=exponential_service(),
+        policy=policy_factory(),
+        staleness=PeriodicUpdate(period=x),
+        total_jobs=total_jobs,
+        warmup_fraction=spec.warmup_fraction,
+        seed=seed,
+        client_latency=WAN_LATENCY,
+    )
+
+
+_register(
+    _periodic_figure(
+        "ext-wan",
+        "Extension: wide-area replica selection — locality-aware LI vs "
+        "nearest/greedy/plain LI (periodic, 4 replicas, 2 regions)",
+        num_servers=WAN_SERVERS,
+        load=WAN_TOTAL_RATE / WAN_SERVERS,
+        curves=tuple(
+            CurveSpec(label, factory)
+            for label, factory in WAN_VARIANTS.items()
+        ),
+        x_values=T_SWEEP_SHORT,
+        make_simulation=build_wan_simulation,
+        notes="round trips near=0.2 far=4.0; responses include the RTT",
+    )
+)
+
+# Four slow, four standard, two fast nodes: total capacity 12.
+HETERO_RATES = (0.5, 0.5, 0.5, 0.5, 1.0, 1.0, 1.0, 1.0, 3.0, 3.0)
+
+_register(
+    _periodic_figure(
+        "ext-hetero",
+        "Extension: heterogeneous-capacity cluster — capacity-aware LI vs "
+        "Basic LI vs baselines (periodic, capacity load=0.85)",
+        load=0.85,
+        curves=(
+            CurveSpec("random", RandomPolicy),
+            CurveSpec("k=2", partial(KSubsetPolicy, 2)),
+            CurveSpec("basic-li", BasicLIPolicy),
+            CurveSpec("weighted-li", WeightedLIPolicy),
+        ),
+        make_arrivals=partial(
+            capacity_poisson_arrivals, total_capacity=float(sum(HETERO_RATES))
+        ),
+        x_values=T_SWEEP_SHORT,
+        server_rates=HETERO_RATES,
+        notes="the paper's future-work case; rates "
+        + "/".join(f"{rate:g}" for rate in HETERO_RATES),
+    )
+)
+
+_register(
+    _periodic_figure(
+        "ext-workinfo",
+        "Ablation: queue-length vs work-backlog load reports under "
+        "Bounded Pareto jobs (periodic, n=10, load=0.7)",
+        load=0.7,
+        make_service=partial(bounded_pareto_service, 1.1, 1000.0),
+        curves=(
+            CurveSpec("random", RandomPolicy),
+            CurveSpec("basic-li(queue)", BasicLIPolicy),
+            CurveSpec(
+                "basic-li(work)",
+                BasicLIPolicy,
+                make_staleness=periodic_work_backlog,
+            ),
+            CurveSpec("k=10(queue)", partial(KSubsetPolicy, 10)),
+            CurveSpec(
+                "k=10(work)",
+                partial(KSubsetPolicy, 10),
+                make_staleness=periodic_work_backlog,
+            ),
+        ),
+        x_values=T_SWEEP_BOX,
+        summary="box",
+        default_seeds=10,
+        notes="work reports expose job sizes that queue lengths hide "
+        "(cf. Harchol-Balter et al., paper §2)",
+    )
+)
+
+
+def figure_ids() -> list[str]:
+    """All registered figure ids, in registration order."""
+    return list(FIGURES)
+
+
+def get_figure(figure_id: str) -> FigureSpec:
+    """Look up a figure spec, with a helpful error for typos."""
+    try:
+        return FIGURES[figure_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; available: {', '.join(FIGURES)}"
+        ) from None

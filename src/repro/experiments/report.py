@@ -1,0 +1,147 @@
+"""Result containers and table formatting for figure sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.stats import (
+    ConfidenceInterval,
+    PercentileSummary,
+    mean_confidence_interval,
+)
+
+__all__ = ["CellResult", "FigureResult"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """All replications of one (curve, x) cell."""
+
+    curve: str
+    x: float
+    samples: tuple[float, ...]
+
+    def confidence_interval(self, confidence: float = 0.90) -> ConfidenceInterval:
+        """Mean ± t-interval over the per-seed means (the paper's bars)."""
+        return mean_confidence_interval(list(self.samples), confidence)
+
+    def percentile_box(self) -> PercentileSummary:
+        """Median/quartile/min-max box over the per-seed means (Figs. 10–11)."""
+        return PercentileSummary.from_samples(list(self.samples))
+
+    @property
+    def mean(self) -> float:
+        """Mean over replications."""
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def median(self) -> float:
+        """Median over replications."""
+        ordered = sorted(self.samples)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass
+class FigureResult:
+    """A completed figure sweep: every cell of (curve × x)."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    x_values: tuple[float, ...]
+    curve_labels: tuple[str, ...]
+    summary: str
+    jobs: int
+    seeds: int
+    cells: dict[tuple[str, float], CellResult] = field(default_factory=dict)
+    notes: str = ""
+
+    def cell(self, curve: str, x: float) -> CellResult:
+        """Look up one cell."""
+        try:
+            return self.cells[(curve, x)]
+        except KeyError:
+            raise KeyError(
+                f"{self.figure_id} has no cell (curve={curve!r}, x={x!r})"
+            ) from None
+
+    def value(self, curve: str, x: float) -> float:
+        """Headline value of a cell (mean for CI figures, median for box)."""
+        result = self.cell(curve, x)
+        return result.median if self.summary == "box" else result.mean
+
+    def series(self, curve: str) -> list[float]:
+        """Headline values of one curve across the x sweep."""
+        return [self.value(curve, x) for x in self.x_values]
+
+    def best_curve_at(self, x: float, exclude: tuple[str, ...] = ()) -> str:
+        """Label of the lowest-response-time curve at ``x``."""
+        candidates = [c for c in self.curve_labels if c not in exclude]
+        return min(candidates, key=lambda c: self.value(c, x))
+
+    # ------------------------------------------------------------------
+    # Formatting
+    # ------------------------------------------------------------------
+
+    def format_table(self, confidence: float = 0.90) -> str:
+        """Aligned plain-text table, one row per x-value.
+
+        CI figures show ``mean±half-width``; box figures show
+        ``median [p25..p75]``.
+        """
+        header = [self.x_label.ljust(8)]
+        width = max(18, max(len(label) for label in self.curve_labels) + 2)
+        header += [label.rjust(width) for label in self.curve_labels]
+        lines = [
+            f"{self.figure_id}: {self.title}",
+            f"(jobs={self.jobs}, seeds={self.seeds}"
+            + (f"; {self.notes}" if self.notes else "")
+            + ")",
+            "".join(header),
+        ]
+        for x in self.x_values:
+            row = [f"{x:<8g}"]
+            for label in self.curve_labels:
+                cell = self.cell(label, x)
+                if self.summary == "box":
+                    box = cell.percentile_box()
+                    text = f"{box.median:.2f} [{box.p25:.2f}..{box.p75:.2f}]"
+                else:
+                    interval = cell.confidence_interval(confidence)
+                    text = f"{interval.mean:.3f}±{interval.half_width:.3f}"
+                row.append(text.rjust(width))
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+    def format_csv(self) -> str:
+        """Raw per-seed samples as CSV (curve, x, seed_index, value).
+
+        The lossless export for downstream analysis in other tools.
+        """
+        lines = ["curve,x,seed_index,mean_response_time"]
+        for label in self.curve_labels:
+            for x in self.x_values:
+                for index, value in enumerate(self.cell(label, x).samples):
+                    lines.append(f"{label},{x:g},{index},{value!r}")
+        return "\n".join(lines) + "\n"
+
+    def format_markdown(self, confidence: float = 0.90) -> str:
+        """The same table as GitHub-flavoured Markdown."""
+        head = f"| {self.x_label} | " + " | ".join(self.curve_labels) + " |"
+        rule = "|" + "---|" * (len(self.curve_labels) + 1)
+        lines = [head, rule]
+        for x in self.x_values:
+            row = [f"| {x:g} "]
+            for label in self.curve_labels:
+                cell = self.cell(label, x)
+                if self.summary == "box":
+                    box = cell.percentile_box()
+                    row.append(f"| {box.median:.2f} [{box.p25:.2f}..{box.p75:.2f}] ")
+                else:
+                    interval = cell.confidence_interval(confidence)
+                    row.append(f"| {interval.mean:.3f}±{interval.half_width:.3f} ")
+            lines.append("".join(row) + "|")
+        return "\n".join(lines)

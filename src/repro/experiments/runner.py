@@ -1,0 +1,166 @@
+"""Sweep execution: run every (curve × x × seed) cell of a figure.
+
+The runner supports optional process-level parallelism.  Work units are
+shipped to workers as plain ``(figure_id, curve_label, x, seed, jobs)``
+tuples and re-materialized from the registry inside the worker, so nothing
+unpicklable crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.experiments.registry import get_figure
+from repro.experiments.report import CellResult, FigureResult
+
+__all__ = ["run_figure", "run_cell"]
+
+
+def run_cell(
+    figure_id: str, curve_label: str, x: float, seed: int, total_jobs: int
+) -> float:
+    """Run one replication of one sweep cell; returns the mean response time."""
+    spec = get_figure(figure_id)
+    curve = spec.curve(curve_label)
+    simulation = spec.build_simulation(curve, x, seed, total_jobs)
+    return simulation.run().mean_response_time
+
+
+def run_figure(
+    figure_id: str,
+    jobs: int | None = None,
+    seeds: int | None = None,
+    x_values: tuple[float, ...] | None = None,
+    curves: tuple[str, ...] | None = None,
+    processes: int | None = None,
+    base_seed: int = 1,
+) -> FigureResult:
+    """Execute a figure's full sweep and return its :class:`FigureResult`.
+
+    Parameters
+    ----------
+    figure_id:
+        Registry key, e.g. ``"fig2"``.
+    jobs / seeds:
+        Override the spec's default scale (the paper uses 500,000 jobs and
+        >= 10 seeds; the spec defaults are laptop-friendly).
+    x_values / curves:
+        Restrict the sweep to a subset of points or lines.
+    processes:
+        Worker processes; ``None`` or 1 runs inline.  The cell grid is
+        deterministic either way — results are keyed by (curve, x, seed),
+        never by completion order.
+    base_seed:
+        Replication ``r`` of every cell runs with seed ``base_seed + r``,
+        giving common random numbers across curves for variance reduction.
+    """
+    spec = get_figure(figure_id)
+    jobs = jobs if jobs is not None else spec.default_jobs
+    seeds = seeds if seeds is not None else spec.default_seeds
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if seeds < 1:
+        raise ValueError(f"seeds must be >= 1, got {seeds}")
+    sweep_x = tuple(x_values) if x_values is not None else spec.x_values
+    if curves is not None:
+        curve_labels = tuple(curves)
+        for label in curve_labels:
+            spec.curve(label)  # validate early
+    else:
+        curve_labels = tuple(curve.label for curve in spec.curves)
+
+    cells = [
+        (label, x, base_seed + replication)
+        for label in curve_labels
+        for x in sweep_x
+        for replication in range(seeds)
+    ]
+    work = [(figure_id, label, x, seed, jobs) for (label, x, seed) in cells]
+
+    if processes is None:
+        processes = 1
+    if processes > 1:
+        max_workers = min(processes, os.cpu_count() or 1, len(work))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            values = list(pool.map(_run_cell_tuple, work, chunksize=1))
+    else:
+        values = [_run_cell_tuple(item) for item in work]
+
+    samples: dict[tuple[str, float], list[float]] = {
+        (label, x): [] for label in curve_labels for x in sweep_x
+    }
+    for (label, x, _seed), value in zip(cells, values):
+        samples[(label, x)].append(value)
+
+    result = FigureResult(
+        figure_id=spec.figure_id,
+        title=spec.title,
+        x_label=spec.x_label,
+        x_values=sweep_x,
+        curve_labels=curve_labels,
+        summary=spec.summary,
+        jobs=jobs,
+        seeds=seeds,
+        notes=spec.notes,
+    )
+    for key, cell_samples in samples.items():
+        label, x = key
+        result.cells[key] = CellResult(
+            curve=label, x=x, samples=tuple(cell_samples)
+        )
+    return result
+
+
+def _run_cell_tuple(item: tuple[str, str, float, int, int]) -> float:
+    figure_id, curve_label, x, seed, total_jobs = item
+    return run_cell(figure_id, curve_label, x, seed, total_jobs)
+
+
+def run_until_precise(
+    figure_id: str,
+    curve_label: str,
+    x: float,
+    jobs: int,
+    target_relative_halfwidth: float = 0.05,
+    confidence: float = 0.90,
+    min_seeds: int = 3,
+    max_seeds: int = 50,
+    base_seed: int = 1,
+):
+    """Add replications until the CI half-width is small enough.
+
+    Sequential-sampling helper for high-accuracy single points: runs at
+    least ``min_seeds`` replications, then keeps adding seeds until the
+    confidence interval's half-width falls below
+    ``target_relative_halfwidth`` of the mean, or ``max_seeds`` is hit.
+
+    Returns
+    -------
+    CellResult
+        With however many samples precision required.
+    """
+    from repro.engine.stats import mean_confidence_interval
+
+    if not 0.0 < target_relative_halfwidth < 1.0:
+        raise ValueError(
+            "target_relative_halfwidth must be in (0, 1), got "
+            f"{target_relative_halfwidth}"
+        )
+    if not 1 < min_seeds <= max_seeds:
+        raise ValueError(
+            f"need 1 < min_seeds <= max_seeds, got {min_seeds}, {max_seeds}"
+        )
+    samples: list[float] = []
+    for replication in range(max_seeds):
+        samples.append(
+            run_cell(figure_id, curve_label, x, base_seed + replication, jobs)
+        )
+        if len(samples) < min_seeds:
+            continue
+        interval = mean_confidence_interval(samples, confidence)
+        if interval.mean > 0 and (
+            interval.half_width / interval.mean <= target_relative_halfwidth
+        ):
+            break
+    return CellResult(curve=curve_label, x=x, samples=tuple(samples))

@@ -1,0 +1,151 @@
+"""Declarative specifications of figures and their curves.
+
+A :class:`FigureSpec` describes one figure of the paper as a sweep: an
+x-axis (usually the information age ``T``, sometimes the offered load λ),
+a set of curves (policies, possibly with non-oracle rate estimators), and
+factories mapping each x-value to the workload and staleness model for
+that point.  The factories must be module-level functions or
+:func:`functools.partial` objects so figure cells can be shipped to worker
+processes by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.policy import Policy
+from repro.core.rate_estimators import ExactRate, RateEstimator
+from repro.staleness.base import StalenessModel
+from repro.workloads.arrivals import ArrivalSource
+from repro.workloads.distributions import Distribution
+
+__all__ = ["CurveSpec", "FigureSpec"]
+
+
+@dataclass(frozen=True)
+class CurveSpec:
+    """One line of a figure: a policy plus its λ estimator.
+
+    ``make_staleness``, when set, overrides the figure-level staleness
+    factory for this curve only — used by ablations that compare the same
+    policy under different information (e.g. queue-length versus
+    work-backlog reports).
+    """
+
+    label: str
+    make_policy: Callable[[], Policy]
+    make_estimator: Callable[[], RateEstimator] = ExactRate
+    make_staleness: Callable[[float], StalenessModel] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("curve label must be non-empty")
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One figure of the paper as an executable sweep.
+
+    Attributes
+    ----------
+    figure_id:
+        Stable identifier, e.g. ``"fig2"``; used by the CLI, the bench
+        harness and worker processes.
+    title:
+        Human-readable description matching the paper's caption.
+    x_label:
+        Meaning of the x axis (``"T"`` or ``"lambda"``).
+    x_values:
+        Sweep points.
+    curves:
+        The lines to draw.
+    num_servers / offered_load:
+        Cluster size and per-server load (ignored where a factory makes
+        its own choice, e.g. the λ sweep of Fig. 13).
+    make_arrivals / make_staleness / make_service:
+        Factories invoked per x-value.
+    summary:
+        ``"ci"`` (mean ± confidence interval over seeds, the default) or
+        ``"box"`` (percentile box over seeds, used by the Bounded Pareto
+        figures).
+    default_jobs / default_seeds:
+        Scale knobs; the paper uses 500,000 jobs and >= 10 seeds, the
+        defaults here are laptop-friendly and can be raised.
+    notes:
+        Free-form reproduction notes surfaced in reports.
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    x_values: tuple[float, ...]
+    curves: tuple[CurveSpec, ...]
+    num_servers: int
+    offered_load: float
+    make_arrivals: Callable[[float, int, float], ArrivalSource]
+    make_staleness: Callable[[float], StalenessModel]
+    make_service: Callable[[], Distribution]
+    summary: str = "ci"
+    default_jobs: int = 50_000
+    default_seeds: int = 5
+    warmup_fraction: float = 0.1
+    notes: str = ""
+    server_rates: tuple[float, ...] | None = None
+    # Full construction override: (spec, curve, x, seed, total_jobs) -> an
+    # object with .run() returning a SimulationResult.  Used by sweeps on
+    # alternative drivers (e.g. the work-stealing cluster).
+    make_simulation: Callable[..., object] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.x_values:
+            raise ValueError(f"{self.figure_id}: x_values must be non-empty")
+        if not self.curves:
+            raise ValueError(f"{self.figure_id}: curves must be non-empty")
+        if self.summary not in ("ci", "box"):
+            raise ValueError(
+                f"{self.figure_id}: summary must be 'ci' or 'box', "
+                f"got {self.summary!r}"
+            )
+        labels = [curve.label for curve in self.curves]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"{self.figure_id}: duplicate curve labels in {labels}")
+        if self.server_rates is not None and len(self.server_rates) != self.num_servers:
+            raise ValueError(
+                f"{self.figure_id}: server_rates has {len(self.server_rates)} "
+                f"entries for {self.num_servers} servers"
+            )
+
+    def curve(self, label: str) -> CurveSpec:
+        """Look up a curve by label."""
+        for candidate in self.curves:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(
+            f"{self.figure_id} has no curve {label!r}; "
+            f"available: {[c.label for c in self.curves]}"
+        )
+
+    def build_simulation(
+        self, curve: CurveSpec, x: float, seed: int, total_jobs: int
+    ) -> ClusterSimulation:
+        """Materialize the simulation for one cell of the sweep."""
+        if self.make_simulation is not None:
+            return self.make_simulation(self, curve, x, seed, total_jobs)
+        arrivals = self.make_arrivals(x, self.num_servers, self.offered_load)
+        staleness_factory = curve.make_staleness or self.make_staleness
+        return ClusterSimulation(
+            num_servers=self.num_servers,
+            arrivals=arrivals,
+            service=self.make_service(),
+            policy=curve.make_policy(),
+            staleness=staleness_factory(x),
+            rate_estimator=curve.make_estimator(),
+            total_jobs=total_jobs,
+            warmup_fraction=self.warmup_fraction,
+            seed=seed,
+            server_rates=(
+                list(self.server_rates) if self.server_rates is not None else None
+            ),
+        )

@@ -1,0 +1,34 @@
+"""Staleness models: how (old) load information reaches dispatchers.
+
+The paper's three models of old information (§3), plus the individual-update
+model Mitzenmacher examines (which the paper omits "for compactness" — we
+include it for completeness):
+
+* :class:`PeriodicUpdate` — a bulletin board refreshed every ``T`` time
+  units; all requests in a phase see the same snapshot.
+* :class:`ContinuousUpdate` — each request sees the system as it was a
+  random delay ``d`` ago (constant, uniform, or exponential ``d``);
+  optionally the request knows its actual ``d`` (Fig. 7) rather than only
+  the mean (Fig. 6).
+* :class:`UpdateOnAccess` — each client's snapshot is refreshed by the
+  reply to its own previous request, so active clients see fresher data.
+* :class:`IndividualUpdate` — every server posts its own load on its own
+  period with a random phase offset.
+"""
+
+from repro.staleness.base import LoadView, StalenessModel
+from repro.staleness.continuous import ContinuousUpdate
+from repro.staleness.individual import IndividualUpdate
+from repro.staleness.lossy import LossyPeriodicUpdate
+from repro.staleness.periodic import PeriodicUpdate
+from repro.staleness.update_on_access import UpdateOnAccess
+
+__all__ = [
+    "LoadView",
+    "StalenessModel",
+    "PeriodicUpdate",
+    "LossyPeriodicUpdate",
+    "ContinuousUpdate",
+    "UpdateOnAccess",
+    "IndividualUpdate",
+]

@@ -1,0 +1,168 @@
+"""Interfaces shared by all staleness models.
+
+A staleness model sits between the true server state and the dispatcher:
+at each arrival it produces a :class:`LoadView` — the (possibly stale) load
+vector plus the metadata a load-interpretation policy needs to reason about
+its age.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.server import Server
+from repro.engine.simulator import Simulator
+
+__all__ = ["LoadView", "StalenessModel"]
+
+
+@dataclass(slots=True)
+class LoadView:
+    """What a dispatching policy sees at one arrival.
+
+    Attributes
+    ----------
+    loads:
+        Reported queue length of each server (stale).
+    version:
+        Increments whenever the underlying information changes.  Policies
+        that precompute per-snapshot state (Basic LI under the periodic
+        model computes one probability vector per phase) cache on this.
+    info_time:
+        Simulation time at which ``loads`` was sampled from the servers.
+    now:
+        Current simulation time (the arrival instant).
+    horizon:
+        The interpretation window ``T`` in time units: for the periodic
+        model the phase length; for the continuous and update-on-access
+        models the *average* information age.  LI algorithms compute the
+        expected number of arrivals over this window.
+    elapsed:
+        The information's actual age, ``now - info_time`` (>= 0).
+    known_age:
+        Whether the policy is allowed to use ``elapsed``.  Under the
+        continuous model the paper distinguishes clients that know only
+        the mean delay (Fig. 6, ``known_age=False``) from clients that
+        know each request's actual delay (Fig. 7, ``known_age=True``).
+    phase_based:
+        True for bulletin-board semantics: information was published at
+        ``info_time`` and will be refreshed at ``info_time + horizon``;
+        Basic LI then equalizes over the whole phase and Aggressive LI
+        schedules subintervals by ``elapsed``.  False for sliding-age
+        semantics (continuous / update-on-access).
+    ages:
+        Optional per-server ages for models where servers report
+        independently (:class:`~repro.staleness.individual.IndividualUpdate`);
+        ``None`` when all entries share the same age.
+    client_id:
+        Identity of the requesting client — used by locality-aware
+        policies whose scores depend on who is asking.
+    """
+
+    loads: np.ndarray
+    version: int
+    info_time: float
+    now: float
+    horizon: float
+    elapsed: float
+    known_age: bool
+    phase_based: bool
+    ages: np.ndarray | None = None
+    client_id: int = 0
+
+    @property
+    def effective_window(self) -> float:
+        """The window an LI policy should interpret the loads over.
+
+        Phase-based models equalize over the full phase; sliding-age models
+        use the actual age when it is known and the mean age otherwise.
+        """
+        if self.phase_based:
+            return self.horizon
+        if self.known_age:
+            return self.elapsed
+        return self.horizon
+
+
+class StalenessModel(ABC):
+    """Produces :class:`LoadView` objects from true server state.
+
+    Parameters
+    ----------
+    metric:
+        What a "load" report contains.  ``"queue-length"`` (the paper's
+        setting) reports the number of jobs present; ``"work-backlog"``
+        reports the unfinished work in time units — the signal
+        job-size-aware policies use (cf. Harchol-Balter et al., discussed
+        in the paper's §2).  With mean job size 1.0 the LI water-filling
+        interpretation applies unchanged to either metric, since the
+        expected *work* arriving over a window equals the expected *count*.
+    """
+
+    METRICS = ("queue-length", "work-backlog")
+
+    def __init__(self, metric: str = "queue-length") -> None:
+        if metric not in self.METRICS:
+            raise ValueError(
+                f"metric must be one of {self.METRICS}, got {metric!r}"
+            )
+        self.metric = metric
+        self._servers: list[Server] | None = None
+        self._sim: Simulator | None = None
+
+    @property
+    def num_servers(self) -> int:
+        """Cluster size (available after :meth:`attach`)."""
+        servers = self._require_attached()
+        return len(servers)
+
+    def attach(
+        self, sim: Simulator, servers: list[Server], rng: np.random.Generator
+    ) -> None:
+        """Bind to a simulation and schedule any recurring processes."""
+        self._sim = sim
+        self._servers = servers
+        self._rng = rng
+        self._on_attach()
+
+    def _on_attach(self) -> None:
+        """Hook for subclasses (e.g. to schedule the first board refresh)."""
+
+    @abstractmethod
+    def view(self, client_id: int, now: float) -> LoadView:
+        """Return the load information visible to ``client_id`` at ``now``."""
+
+    def on_dispatch(self, client_id: int, server_id: int, now: float) -> None:
+        """Hook called after each dispatch (used by update-on-access)."""
+
+    def true_loads(self, now: float) -> np.ndarray:
+        """Ground-truth queue lengths (for measurement, never for policies)."""
+        servers = self._require_attached()
+        return np.array([server.queue_length(now) for server in servers])
+
+    def _require_attached(self) -> list[Server]:
+        if self._servers is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not attached to a simulation; "
+                "call attach() first (ClusterSimulation does this for you)"
+            )
+        return self._servers
+
+    def _sample_loads(self, at_time: float) -> np.ndarray:
+        """Load reports for all servers as of ``at_time`` (clamped to >= 0).
+
+        Reports queue lengths or work backlogs depending on ``metric``.
+        """
+        servers = self._require_attached()
+        when = max(at_time, 0.0)
+        if self.metric == "work-backlog":
+            return np.array(
+                [server.work_remaining(when) for server in servers],
+                dtype=np.float64,
+            )
+        return np.array(
+            [server.queue_length(when) for server in servers], dtype=np.float64
+        )

@@ -1,0 +1,79 @@
+"""The continuous-update staleness model (§3.1).
+
+The board is "constantly updated" but lags the true system state: a request
+arriving at time ``t`` sees every server's queue length as it was at
+``t - d``, with ``d`` drawn per request from a configurable delay
+distribution.  The paper studies four delay distributions with the same
+mean ``T`` — constant(T), uniform(T/2, 3T/2), uniform(0, 2T) and
+exponential(T) — and two information regimes: clients that know only the
+mean delay (Fig. 6) and clients that are told each request's actual delay
+(Fig. 7).
+
+This model abstracts, e.g., clients that probe servers directly but whose
+jobs take a network round trip to land.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.staleness.base import LoadView, StalenessModel
+from repro.workloads.distributions import Constant, Distribution
+
+__all__ = ["ContinuousUpdate"]
+
+
+class ContinuousUpdate(StalenessModel):
+    """Per-request random-lag view of all server loads.
+
+    Parameters
+    ----------
+    delay:
+        Distribution of the information age ``d``; pass a float as
+        shorthand for a constant delay.
+    known_age:
+        If true, each :class:`~repro.staleness.base.LoadView` advertises
+        its actual sampled delay to the policy (Fig. 7); if false the
+        policy may only use the mean delay (Fig. 6).
+    """
+
+    def __init__(
+        self,
+        delay: Distribution | float,
+        known_age: bool = False,
+        metric: str = "queue-length",
+    ) -> None:
+        super().__init__(metric=metric)
+        if isinstance(delay, (int, float)):
+            delay = Constant(float(delay))
+        if delay.mean < 0:
+            raise ValueError("delay distribution must be non-negative")
+        self.delay = delay
+        self.known_age = bool(known_age)
+        self._version = 0
+
+    def view(self, client_id: int, now: float) -> LoadView:
+        assert self._rng is not None
+        lag = self.delay.sample(self._rng)
+        if lag < 0:
+            raise ValueError(
+                f"delay distribution produced a negative delay {lag}; "
+                "continuous-update lags must be non-negative"
+            )
+        info_time = now - lag
+        loads = self._sample_loads(info_time)
+        self._version += 1
+        return LoadView(
+            loads=loads,
+            version=self._version,
+            info_time=info_time,
+            now=now,
+            horizon=self.delay.mean,
+            elapsed=lag,
+            known_age=self.known_age,
+            phase_based=False,
+            client_id=client_id,
+        )
+
+    def __repr__(self) -> str:
+        return f"ContinuousUpdate(delay={self.delay!r}, known_age={self.known_age!r})"

@@ -1,0 +1,79 @@
+"""Lossy periodic updates: board refreshes dropped by the network.
+
+The paper's §5.2 shows LI needs a decent estimate of the information age.
+In a real deployment built on periodic multicasts, refresh messages get
+*lost*, so the board silently carries information older than the phase
+length suggests — an adversarial form of age misestimation.  This model
+injects exactly that fault: each scheduled refresh succeeds only with
+probability ``1 - drop_probability``; views keep advertising the nominal
+phase metadata (clients cannot see the loss), while ``elapsed`` and
+``info_time`` reflect the truth for measurement.
+
+Used by the ``ext-lossy`` ablation to quantify how gracefully each
+policy tolerates update loss.
+"""
+
+from __future__ import annotations
+
+from repro.staleness.periodic import PeriodicUpdate
+
+__all__ = ["LossyPeriodicUpdate"]
+
+
+class LossyPeriodicUpdate(PeriodicUpdate):
+    """A bulletin board whose refresh messages are dropped at random.
+
+    Parameters
+    ----------
+    period:
+        Nominal refresh period ``T``.
+    drop_probability:
+        Probability that any given refresh is lost.  The *effective* mean
+        information age becomes ``T / (1 - p)`` (geometric retries), but
+        policies are still told the nominal ``T`` — the interesting,
+        pessimistic case.
+    """
+
+    def __init__(
+        self,
+        period: float,
+        drop_probability: float,
+        metric: str = "queue-length",
+    ) -> None:
+        super().__init__(period=period, metric=metric)
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1), got {drop_probability}"
+            )
+        self.drop_probability = float(drop_probability)
+        self.refreshes_attempted = 0
+        self.refreshes_dropped = 0
+
+    def _on_attach(self) -> None:
+        self.refreshes_attempted = 0
+        self.refreshes_dropped = 0
+        super()._on_attach()
+
+    def _refresh(self) -> None:
+        assert self._sim is not None
+        self.refreshes_attempted += 1
+        if self._rng.random() < self.drop_probability:
+            # The multicast is lost: the board keeps its stale contents
+            # and stale timestamp; only the next attempt is scheduled.
+            self.refreshes_dropped += 1
+            self._sim.schedule_after(
+                self.period, self._refresh, priority=self.REFRESH_PRIORITY
+            )
+            return
+        super()._refresh()
+
+    # Note: view() is inherited unchanged on purpose.  Clients are told
+    # the nominal phase length (horizon == period) and cannot observe the
+    # loss; after a drop, the view's true elapsed age exceeds its horizon
+    # — exactly the hidden-staleness fault this model injects.
+
+    def __repr__(self) -> str:
+        return (
+            f"LossyPeriodicUpdate(period={self.period!r}, "
+            f"drop_probability={self.drop_probability!r})"
+        )

@@ -1,0 +1,58 @@
+"""Workload substrate: random variates, arrival processes, service times.
+
+* :mod:`repro.workloads.distributions` — samplers (exponential, uniform,
+  constant, Bounded Pareto per Eq. 6 of the paper, Weibull, Erlang,
+  hyperexponential) with exact analytic moments for validation.
+* :mod:`repro.workloads.arrivals` — Poisson aggregate streams, per-client
+  Poisson populations and the bursty on/off client streams of §5.4.
+* :mod:`repro.workloads.service` — convenience constructors for the
+  service-time processes used by the paper's experiments.
+"""
+
+from repro.workloads.arrivals import (
+    BurstyClientArrivals,
+    ClientArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.distributions import (
+    BoundedPareto,
+    Constant,
+    Distribution,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    Uniform,
+    Weibull,
+)
+from repro.workloads.service import (
+    bounded_pareto_service,
+    exponential_service,
+)
+from repro.workloads.trace import (
+    Trace,
+    TraceArrivals,
+    TraceRecord,
+    TraceService,
+    synthesize_diurnal_trace,
+)
+
+__all__ = [
+    "Distribution",
+    "Constant",
+    "Exponential",
+    "Uniform",
+    "BoundedPareto",
+    "Weibull",
+    "Erlang",
+    "Hyperexponential",
+    "PoissonArrivals",
+    "ClientArrivals",
+    "BurstyClientArrivals",
+    "exponential_service",
+    "bounded_pareto_service",
+    "Trace",
+    "TraceRecord",
+    "TraceArrivals",
+    "TraceService",
+    "synthesize_diurnal_trace",
+]

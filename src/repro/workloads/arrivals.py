@@ -1,0 +1,263 @@
+"""Arrival processes that drive the cluster simulation.
+
+An :class:`ArrivalSource` plugs into the event engine: :meth:`~ArrivalSource.start`
+schedules the first arrival(s), and each arrival event re-schedules the next,
+so arrival streams are ordinary self-perpetuating simulation processes.
+
+Three sources cover the paper's models:
+
+* :class:`PoissonArrivals` — a single aggregate Poisson stream (the periodic
+  and continuous update models do not distinguish clients).
+* :class:`ClientArrivals` — ``C`` independent per-client Poisson streams
+  whose superposition is Poisson with the same aggregate rate; the
+  update-on-access model (§3.2) varies ``C`` to vary the average staleness.
+* :class:`BurstyClientArrivals` — the on/off client streams of §5.4: each
+  client emits bursts of requests with short intra-burst gaps, bursts
+  separated by long gaps, preserving the same per-client average rate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.simulator import Simulator
+
+__all__ = ["ArrivalSource", "PoissonArrivals", "ClientArrivals", "BurstyClientArrivals"]
+
+# Callback invoked at each arrival with the originating client id.
+ArrivalCallback = Callable[[int], None]
+
+
+class ArrivalSource(ABC):
+    """A stream of job arrivals identified by originating client."""
+
+    @property
+    @abstractmethod
+    def total_rate(self) -> float:
+        """Aggregate long-run arrival rate of the source."""
+
+    @property
+    @abstractmethod
+    def num_clients(self) -> int:
+        """Number of distinct client identities the source emits."""
+
+    @abstractmethod
+    def start(
+        self, sim: Simulator, rng: np.random.Generator, on_arrival: ArrivalCallback
+    ) -> None:
+        """Schedule the source's first arrival(s) on ``sim``.
+
+        ``on_arrival(client_id)`` fires at every subsequent arrival instant;
+        the source re-schedules itself indefinitely (the driver stops the
+        simulator once enough jobs have been observed).
+        """
+
+
+class PoissonArrivals(ArrivalSource):
+    """A single aggregate Poisson stream of rate ``rate``.
+
+    All arrivals carry client id 0.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self._rate = float(rate)
+
+    @property
+    def total_rate(self) -> float:
+        return self._rate
+
+    @property
+    def num_clients(self) -> int:
+        return 1
+
+    def start(
+        self, sim: Simulator, rng: np.random.Generator, on_arrival: ArrivalCallback
+    ) -> None:
+        mean_gap = 1.0 / self._rate
+
+        def fire() -> None:
+            on_arrival(0)
+            sim.schedule_after(rng.exponential(mean_gap), fire)
+
+        sim.schedule_after(rng.exponential(mean_gap), fire)
+
+    def __repr__(self) -> str:
+        return f"PoissonArrivals(rate={self._rate!r})"
+
+
+class ClientArrivals(ArrivalSource):
+    """``num_clients`` independent Poisson clients, aggregate rate ``total_rate``.
+
+    The superposition of independent Poisson processes is Poisson, so the
+    servers see exactly the same aggregate workload as
+    :class:`PoissonArrivals`; only the client identities (and hence the
+    update-on-access information ages) differ.
+    """
+
+    def __init__(self, num_clients: int, total_rate: float) -> None:
+        if num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+        if total_rate <= 0:
+            raise ValueError(f"total_rate must be positive, got {total_rate}")
+        self._num_clients = int(num_clients)
+        self._total_rate = float(total_rate)
+
+    @property
+    def total_rate(self) -> float:
+        return self._total_rate
+
+    @property
+    def num_clients(self) -> int:
+        return self._num_clients
+
+    @property
+    def per_client_mean_interarrival(self) -> float:
+        """Average time between one client's consecutive requests.
+
+        Under update-on-access this *is* the average information age T.
+        """
+        return self._num_clients / self._total_rate
+
+    def start(
+        self, sim: Simulator, rng: np.random.Generator, on_arrival: ArrivalCallback
+    ) -> None:
+        mean_gap = self.per_client_mean_interarrival
+
+        def make_client(client_id: int) -> Callable[[], None]:
+            def fire() -> None:
+                on_arrival(client_id)
+                sim.schedule_after(rng.exponential(mean_gap), fire)
+
+            return fire
+
+        for client_id in range(self._num_clients):
+            sim.schedule_after(rng.exponential(mean_gap), make_client(client_id))
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientArrivals(num_clients={self._num_clients!r}, "
+            f"total_rate={self._total_rate!r})"
+        )
+
+
+class BurstyClientArrivals(ArrivalSource):
+    """On/off bursty clients (§5.4 of the paper).
+
+    Each client emits bursts of ``burst_size`` requests.  Within a burst,
+    consecutive requests are separated by exponential(``intra_gap_mean``)
+    gaps; bursts are separated by an exponential inter-burst gap whose mean
+    is chosen so the client's *average* inter-request time stays equal to
+    ``num_clients / total_rate`` — i.e. burstiness changes the arrival
+    pattern but not the offered load.
+
+    The point of the model: although a client's load snapshot is on average
+    quite old, most requests arrive mid-burst and therefore see a much
+    fresher snapshot than the average suggests.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        total_rate: float,
+        burst_size: int = 10,
+        intra_gap_mean: float | None = None,
+    ) -> None:
+        if num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+        if total_rate <= 0:
+            raise ValueError(f"total_rate must be positive, got {total_rate}")
+        if burst_size < 1:
+            raise ValueError(f"burst_size must be >= 1, got {burst_size}")
+        self._num_clients = int(num_clients)
+        self._total_rate = float(total_rate)
+        self._burst_size = int(burst_size)
+
+        mean_interarrival = self._num_clients / self._total_rate
+        if intra_gap_mean is None:
+            # A natural default: intra-burst gaps an order of magnitude
+            # shorter than the client's average spacing.
+            intra_gap_mean = mean_interarrival / self._burst_size
+        if intra_gap_mean <= 0:
+            raise ValueError(f"intra_gap_mean must be positive, got {intra_gap_mean}")
+
+        # Solve for the inter-burst gap that preserves the average rate:
+        # ((burst_size - 1) * intra + inter) / burst_size = mean_interarrival.
+        inter = (
+            self._burst_size * mean_interarrival
+            - (self._burst_size - 1) * intra_gap_mean
+        )
+        if inter <= 0:
+            raise ValueError(
+                f"intra_gap_mean={intra_gap_mean} is too large for "
+                f"mean inter-request time {mean_interarrival} with "
+                f"burst_size={self._burst_size}; the implied inter-burst gap "
+                "would be non-positive"
+            )
+        self._intra_gap_mean = float(intra_gap_mean)
+        self._inter_burst_mean = float(inter)
+
+    @property
+    def total_rate(self) -> float:
+        return self._total_rate
+
+    @property
+    def num_clients(self) -> int:
+        return self._num_clients
+
+    @property
+    def burst_size(self) -> int:
+        return self._burst_size
+
+    @property
+    def intra_gap_mean(self) -> float:
+        """Mean gap between consecutive requests within a burst."""
+        return self._intra_gap_mean
+
+    @property
+    def inter_burst_mean(self) -> float:
+        """Mean gap between the last request of a burst and the next burst."""
+        return self._inter_burst_mean
+
+    @property
+    def per_client_mean_interarrival(self) -> float:
+        """Long-run average time between one client's consecutive requests."""
+        return self._num_clients / self._total_rate
+
+    def start(
+        self, sim: Simulator, rng: np.random.Generator, on_arrival: ArrivalCallback
+    ) -> None:
+        def make_client(client_id: int) -> Callable[[], None]:
+            position = 0  # index within the current burst
+
+            def fire() -> None:
+                nonlocal position
+                on_arrival(client_id)
+                position += 1
+                if position < self._burst_size:
+                    gap = rng.exponential(self._intra_gap_mean)
+                else:
+                    position = 0
+                    gap = rng.exponential(self._inter_burst_mean)
+                sim.schedule_after(gap, fire)
+
+            return fire
+
+        for client_id in range(self._num_clients):
+            # Start each client at a random point of its cycle by using the
+            # inter-burst gap for the initial offset; this desynchronizes
+            # clients without a separate warm-up mechanism.
+            sim.schedule_after(
+                rng.exponential(self._inter_burst_mean), make_client(client_id)
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstyClientArrivals(num_clients={self._num_clients!r}, "
+            f"total_rate={self._total_rate!r}, burst_size={self._burst_size!r}, "
+            f"intra_gap_mean={self._intra_gap_mean!r})"
+        )

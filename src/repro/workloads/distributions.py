@@ -1,0 +1,384 @@
+"""Random-variate distributions with exact analytic moments.
+
+Every distribution exposes :meth:`~Distribution.sample` (one draw from a
+:class:`numpy.random.Generator`), vectorized :meth:`~Distribution.sample_array`,
+and analytic :attr:`~Distribution.mean` / :attr:`~Distribution.variance`
+used both by the queueing-theory validation layer and by tests.
+
+The Bounded Pareto implementation follows Eq. 6 of the paper (the
+distribution produced by Christensen's ``genpar2.c`` generator, which the
+paper uses for its highly-variable job-size experiments):
+
+.. math::
+
+    f(x) = \\frac{\\alpha k^{\\alpha}}{1 - (k/p)^{\\alpha}} x^{-\\alpha - 1},
+    \\qquad k \\le x \\le p
+
+sampled by inverse transform.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+from scipy import optimize
+
+__all__ = [
+    "Distribution",
+    "Constant",
+    "Exponential",
+    "Uniform",
+    "BoundedPareto",
+    "Weibull",
+    "Erlang",
+    "Hyperexponential",
+]
+
+
+class Distribution(ABC):
+    """A real-valued random variate with known analytic moments."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw a single variate."""
+
+    def sample_array(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` variates.  Subclasses override for vectorization."""
+        return np.array([self.sample(rng) for _ in range(size)])
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Analytic mean."""
+
+    @property
+    @abstractmethod
+    def variance(self) -> float:
+        """Analytic variance."""
+
+    @property
+    def squared_coefficient_of_variation(self) -> float:
+        """``variance / mean**2`` — the standard burstiness measure."""
+        if self.mean == 0:
+            raise ZeroDivisionError("mean is zero; CV^2 undefined")
+        return self.variance / (self.mean * self.mean)
+
+
+class Constant(Distribution):
+    """A degenerate point mass — deterministic delays and service times."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        self._value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._value
+
+    def sample_array(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self._value)
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    @property
+    def variance(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"Constant({self._value!r})"
+
+
+class Exponential(Distribution):
+    """Exponential distribution, parameterized by its *mean* (not rate)."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+    def sample_array(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(self._mean, size)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        return self._mean * self._mean
+
+    @property
+    def rate(self) -> float:
+        """The rate parameter ``1 / mean``."""
+        return 1.0 / self._mean
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean!r})"
+
+
+class Uniform(Distribution):
+    """Continuous uniform on ``[low, high]``.
+
+    The continuous-update experiments (Fig. 6–7) use uniform(T/2, 3T/2)
+    and uniform(0, 2T) delay distributions, both with mean T.
+    """
+
+    def __init__(self, low: float, high: float) -> None:
+        if not low <= high:
+            raise ValueError(f"need low <= high, got [{low}, {high}]")
+        if low < 0:
+            raise ValueError(f"low must be non-negative, got {low}")
+        self._low = float(low)
+        self._high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self._low, self._high))
+
+    def sample_array(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(self._low, self._high, size)
+
+    @property
+    def low(self) -> float:
+        return self._low
+
+    @property
+    def high(self) -> float:
+        return self._high
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self._low + self._high)
+
+    @property
+    def variance(self) -> float:
+        width = self._high - self._low
+        return width * width / 12.0
+
+    def __repr__(self) -> str:
+        return f"Uniform({self._low!r}, {self._high!r})"
+
+
+class BoundedPareto(Distribution):
+    """Bounded Pareto on ``[k, p]`` with shape ``alpha`` (Eq. 6).
+
+    Used to model highly-variable job sizes: with ``alpha`` near 1 and a
+    large ``p/k`` ratio, most jobs are tiny but a heavy tail of huge jobs
+    carries much of the total work — the regime observed for web request
+    sizes (Crovella et al.) that §5.5 of the paper studies.
+    """
+
+    def __init__(self, alpha: float, k: float, p: float) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if not 0 < k < p:
+            raise ValueError(f"need 0 < k < p, got k={k}, p={p}")
+        self._alpha = float(alpha)
+        self._k = float(k)
+        self._p = float(p)
+        self._tail_ratio = (self._k / self._p) ** self._alpha  # (k/p)^alpha
+
+    @classmethod
+    def from_mean(cls, alpha: float, p: float, mean: float) -> "BoundedPareto":
+        """Solve for the lower bound ``k`` that yields the requested mean.
+
+        The paper fixes the mean job size at 1.0 and the upper bound at
+        ``p`` = 10^3 or 10^4 times the mean, then chooses ``k`` accordingly.
+        """
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if p <= mean:
+            raise ValueError(f"upper bound p={p} must exceed the mean {mean}")
+
+        def mean_error(k: float) -> float:
+            return cls(alpha, k, p).mean - mean
+
+        # The mean is monotonically increasing in k, from ~0 to p.
+        lo = mean * 1e-9
+        hi = mean * (1.0 - 1e-9)
+        k_solved = float(optimize.brentq(mean_error, lo, hi, xtol=1e-14, rtol=1e-13))
+        return cls(alpha, k_solved, p)
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def k(self) -> float:
+        """Lower bound (smallest possible variate)."""
+        return self._k
+
+    @property
+    def p(self) -> float:
+        """Upper bound (largest possible variate)."""
+        return self._p
+
+    def sample(self, rng: np.random.Generator) -> float:
+        u = float(rng.random())
+        return self._inverse_cdf(u)
+
+    def sample_array(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        u = rng.random(size)
+        return self._k * (1.0 - u * (1.0 - self._tail_ratio)) ** (-1.0 / self._alpha)
+
+    def _inverse_cdf(self, u: float) -> float:
+        return self._k * (1.0 - u * (1.0 - self._tail_ratio)) ** (-1.0 / self._alpha)
+
+    def cdf(self, x: float) -> float:
+        """Cumulative distribution function."""
+        if x <= self._k:
+            return 0.0
+        if x >= self._p:
+            return 1.0
+        return (1.0 - (self._k / x) ** self._alpha) / (1.0 - self._tail_ratio)
+
+    def _raw_moment(self, order: int) -> float:
+        alpha, k, p = self._alpha, self._k, self._p
+        norm = alpha * k**alpha / (1.0 - self._tail_ratio)
+        if math.isclose(alpha, order):
+            return norm * math.log(p / k)
+        exponent = order - alpha
+        return norm * (p**exponent - k**exponent) / exponent
+
+    @property
+    def mean(self) -> float:
+        return self._raw_moment(1)
+
+    @property
+    def variance(self) -> float:
+        first = self._raw_moment(1)
+        return self._raw_moment(2) - first * first
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedPareto(alpha={self._alpha!r}, k={self._k!r}, p={self._p!r})"
+        )
+
+
+class Weibull(Distribution):
+    """Weibull distribution with shape ``shape`` and scale ``scale``.
+
+    Included as an additional moderately heavy-tailed service process for
+    sensitivity studies beyond the paper's exponential / Bounded Pareto pair.
+    """
+
+    def __init__(self, shape: float, scale: float) -> None:
+        if shape <= 0 or scale <= 0:
+            raise ValueError(
+                f"shape and scale must be positive, got shape={shape}, scale={scale}"
+            )
+        self._shape = float(shape)
+        self._scale = float(scale)
+
+    @classmethod
+    def from_mean(cls, shape: float, mean: float) -> "Weibull":
+        """Choose the scale so the distribution has the requested mean."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        scale = mean / math.gamma(1.0 + 1.0 / shape)
+        return cls(shape, scale)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self._scale * rng.weibull(self._shape))
+
+    def sample_array(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self._scale * rng.weibull(self._shape, size)
+
+    @property
+    def mean(self) -> float:
+        return self._scale * math.gamma(1.0 + 1.0 / self._shape)
+
+    @property
+    def variance(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self._shape)
+        g2 = math.gamma(1.0 + 2.0 / self._shape)
+        return self._scale * self._scale * (g2 - g1 * g1)
+
+    def __repr__(self) -> str:
+        return f"Weibull(shape={self._shape!r}, scale={self._scale!r})"
+
+
+class Erlang(Distribution):
+    """Erlang-k distribution: the sum of ``stages`` i.i.d. exponentials.
+
+    A low-variance service process (CV^2 = 1/k < 1), useful as the
+    counterpoint to the heavy-tailed workloads.
+    """
+
+    def __init__(self, stages: int, mean: float) -> None:
+        if stages < 1:
+            raise ValueError(f"stages must be >= 1, got {stages}")
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self._stages = int(stages)
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(self._stages, self._mean / self._stages))
+
+    def sample_array(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.gamma(self._stages, self._mean / self._stages, size)
+
+    @property
+    def stages(self) -> int:
+        return self._stages
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        return self._mean * self._mean / self._stages
+
+    def __repr__(self) -> str:
+        return f"Erlang(stages={self._stages!r}, mean={self._mean!r})"
+
+
+class Hyperexponential(Distribution):
+    """Two-phase hyperexponential: exponential mixture with CV^2 > 1.
+
+    A tunable high-variance service process lying between exponential and
+    Bounded Pareto in tail weight.
+    """
+
+    def __init__(self, p1: float, mean1: float, mean2: float) -> None:
+        if not 0.0 < p1 < 1.0:
+            raise ValueError(f"p1 must be in (0, 1), got {p1}")
+        if mean1 <= 0 or mean2 <= 0:
+            raise ValueError("phase means must be positive")
+        self._p1 = float(p1)
+        self._mean1 = float(mean1)
+        self._mean2 = float(mean2)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        mean = self._mean1 if rng.random() < self._p1 else self._mean2
+        return float(rng.exponential(mean))
+
+    def sample_array(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        choose_first = rng.random(size) < self._p1
+        means = np.where(choose_first, self._mean1, self._mean2)
+        return rng.exponential(1.0, size) * means
+
+    @property
+    def mean(self) -> float:
+        return self._p1 * self._mean1 + (1.0 - self._p1) * self._mean2
+
+    @property
+    def variance(self) -> float:
+        second = 2.0 * (
+            self._p1 * self._mean1**2 + (1.0 - self._p1) * self._mean2**2
+        )
+        return second - self.mean**2
+
+    def __repr__(self) -> str:
+        return (
+            f"Hyperexponential(p1={self._p1!r}, mean1={self._mean1!r}, "
+            f"mean2={self._mean2!r})"
+        )

@@ -1,0 +1,38 @@
+"""Convenience constructors for the paper's service-time processes.
+
+Times throughout the reproduction are expressed in units of the mean job
+service time (the paper's convention), so every constructor defaults to a
+mean of 1.0.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.distributions import BoundedPareto, Distribution, Exponential
+
+__all__ = ["exponential_service", "bounded_pareto_service"]
+
+
+def exponential_service(mean: float = 1.0) -> Distribution:
+    """The paper's default service process: exponential with mean 1."""
+    return Exponential(mean)
+
+
+def bounded_pareto_service(
+    alpha: float = 1.1, max_ratio: float = 1000.0, mean: float = 1.0
+) -> Distribution:
+    """The highly-variable job-size process of §5.5.
+
+    Parameters
+    ----------
+    alpha:
+        Tail index.  The paper uses values matching observed web workloads
+        (Crovella et al. report alpha near 1.1).
+    max_ratio:
+        Upper bound expressed as a multiple of the mean; the paper uses
+        10^3 (Fig. 10) and 10^4 (Fig. 11).
+    mean:
+        Mean job size; the lower bound ``k`` is solved so this holds.
+    """
+    if max_ratio <= 1.0:
+        raise ValueError(f"max_ratio must exceed 1, got {max_ratio}")
+    return BoundedPareto.from_mean(alpha=alpha, p=max_ratio * mean, mean=mean)

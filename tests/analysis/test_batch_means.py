@@ -1,0 +1,69 @@
+"""Tests for batch-means confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.batch_means import batch_means, batch_means_interval
+from repro.core.random_policy import RandomPolicy
+from tests.conftest import small_simulation
+
+
+class TestBatchMeans:
+    def test_splits_evenly(self):
+        averages = batch_means([1.0, 2.0, 3.0, 4.0], 2)
+        np.testing.assert_allclose(averages, [1.5, 3.5])
+
+    def test_drops_remainder(self):
+        averages = batch_means([1.0, 2.0, 3.0, 4.0, 99.0], 2)
+        np.testing.assert_allclose(averages, [1.5, 3.5])
+
+    def test_too_few_observations(self):
+        with pytest.raises(ValueError, match="cannot fill"):
+            batch_means([1.0], 2)
+
+    def test_invalid_batches(self):
+        with pytest.raises(ValueError, match="num_batches"):
+            batch_means([1.0, 2.0], 1)
+
+
+class TestBatchMeansInterval:
+    def test_iid_matches_truth(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(2.0, 40_000)
+        interval = batch_means_interval(samples, num_batches=20)
+        assert interval.contains(2.0)
+        assert interval.half_width < 0.1
+
+    def test_wider_than_naive_for_autocorrelated_data(self):
+        """Response times from one queueing run are autocorrelated; the
+        batch-means interval must be wider than the naive i.i.d. one."""
+        from repro.engine.stats import mean_confidence_interval
+
+        result = small_simulation(
+            RandomPolicy(), total_jobs=30_000, trace_response_times=True
+        ).run()
+        observations = result.response_times
+        batch_interval = batch_means_interval(observations, num_batches=20)
+        naive_half_width = mean_confidence_interval(
+            list(observations[:2000]), 0.90
+        ).half_width * np.sqrt(2000 / len(observations))
+        assert batch_interval.half_width > naive_half_width
+
+    def test_covers_replication_mean(self):
+        """The single-run batch-means interval should cover the mean from
+        independent replications (both estimate the same quantity)."""
+        replication_means = []
+        for seed in range(4):
+            result = small_simulation(
+                RandomPolicy(), total_jobs=30_000, seed=seed
+            ).run()
+            replication_means.append(result.mean_response_time)
+        traced = small_simulation(
+            RandomPolicy(), total_jobs=30_000, seed=99, trace_response_times=True
+        ).run()
+        interval = batch_means_interval(traced.response_times, num_batches=10)
+        grand_mean = float(np.mean(replication_means))
+        # Generous tolerance: both are noisy estimates of ~9-10.
+        assert abs(interval.mean - grand_mean) < 3.0

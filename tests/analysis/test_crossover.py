@@ -1,0 +1,103 @@
+"""Tests for crossover analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.crossover import crossovers_in_result, find_crossover
+from repro.experiments.report import CellResult, FigureResult
+
+
+class TestFindCrossover:
+    def test_simple_crossing(self):
+        x = [1.0, 2.0, 4.0, 8.0]
+        a = [1.0, 2.0, 5.0, 9.0]  # rising
+        b = [3.0, 3.0, 3.0, 3.0]  # flat reference
+        crossing = find_crossover(x, a, b)
+        assert 2.0 < crossing < 4.0
+
+    def test_interpolation_in_log_x(self):
+        """a-b goes -1 -> +1 between x=1 and x=4: the log-x midpoint is 2."""
+        crossing = find_crossover([1.0, 4.0], [2.0, 4.0], [3.0, 3.0])
+        assert crossing == pytest.approx(2.0)
+
+    def test_linear_x_interpolation(self):
+        crossing = find_crossover(
+            [1.0, 4.0], [2.0, 4.0], [3.0, 3.0], log_x=False
+        )
+        assert crossing == pytest.approx(2.5)
+
+    def test_never_crosses_returns_none(self):
+        x = [1.0, 2.0, 4.0]
+        assert find_crossover(x, [1.0, 1.5, 2.0], [3.0, 3.0, 3.0]) is None
+
+    def test_starts_above_returns_first_x(self):
+        x = [1.0, 2.0]
+        assert find_crossover(x, [5.0, 6.0], [3.0, 3.0]) == 1.0
+
+    def test_touch_without_crossing_not_reported(self):
+        """Equality is not 'above'."""
+        x = [1.0, 2.0, 4.0]
+        assert find_crossover(x, [2.0, 3.0, 3.0], [3.0, 3.0, 3.0]) is None
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            find_crossover([1.0], [1.0, 2.0], [1.0])
+
+    def test_log_x_requires_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            find_crossover([0.0, 1.0], [1.0, 2.0], [3.0, 0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            find_crossover([], [], [])
+
+
+class TestCrossoversInResult:
+    def make_result(self):
+        result = FigureResult(
+            figure_id="figX",
+            title="t",
+            x_label="T",
+            x_values=(1.0, 4.0, 16.0),
+            curve_labels=("random", "greedy", "li"),
+            summary="ci",
+            jobs=1,
+            seeds=1,
+        )
+        data = {
+            "random": (10.0, 10.0, 10.0),
+            "greedy": (3.0, 9.0, 30.0),  # crosses random between 4 and 16
+            "li": (3.0, 5.0, 8.0),  # never crosses
+        }
+        for label, series in data.items():
+            for x, value in zip(result.x_values, series):
+                result.cells[(label, x)] = CellResult(
+                    curve=label, x=x, samples=(value,)
+                )
+        return result
+
+    def test_crossings_identified(self):
+        crossings = crossovers_in_result(self.make_result())
+        assert crossings["li"] is None  # LI's safety property
+        assert 4.0 < crossings["greedy"] < 16.0
+        assert "random" not in crossings
+
+    def test_on_real_fig2_sweep(self):
+        """The paper's claim: on the fig2 sweep, k=10 crosses random at a
+        small T while LI never does."""
+        from repro.experiments.runner import run_figure
+
+        result = run_figure(
+            "fig2",
+            jobs=8_000,
+            seeds=2,
+            curves=("random", "k=10", "basic-li"),
+            x_values=(0.5, 2.0, 8.0, 32.0),
+        )
+        crossings = crossovers_in_result(result)
+        assert crossings["k=10"] is not None
+        assert crossings["k=10"] < 10.0
+        assert crossings["basic-li"] is None

@@ -1,0 +1,62 @@
+"""Tests for the Eq. 1 rank distribution."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.ksubset_analytic import ksubset_rank_distribution
+
+
+class TestClosedForm:
+    def test_k1_uniform(self):
+        np.testing.assert_allclose(ksubset_rank_distribution(10, 1), [0.1] * 10)
+
+    def test_kn_degenerate(self):
+        distribution = ksubset_rank_distribution(10, 10)
+        assert distribution[0] == 1.0
+        assert distribution[1:].sum() == 0.0
+
+    def test_paper_fig1_top_value(self):
+        """n=10, k=2: the least-loaded server receives 9/45 = 0.2 of
+        requests — the top of Fig. 1's y axis."""
+        assert ksubset_rank_distribution(10, 2)[0] == pytest.approx(0.2)
+
+    def test_most_loaded_k_minus_1_get_nothing(self):
+        distribution = ksubset_rank_distribution(10, 4)
+        np.testing.assert_array_equal(distribution[-3:], [0.0, 0.0, 0.0])
+        assert distribution[-4] > 0.0
+
+    def test_matches_exhaustive_enumeration(self):
+        """Brute-force every k-subset for small n and compare."""
+        n, k = 7, 3
+        counts = np.zeros(n)
+        subsets = list(combinations(range(n), k))
+        for subset in subsets:
+            counts[min(subset)] += 1  # least rank in the subset wins
+        expected = counts / len(subsets)
+        np.testing.assert_allclose(ksubset_rank_distribution(n, k), expected)
+
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        k_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_properties(self, n, k_fraction):
+        k = max(1, min(n, round(k_fraction * n)))
+        distribution = ksubset_rank_distribution(n, k)
+        assert distribution.sum() == pytest.approx(1.0)
+        assert np.all(distribution >= 0.0)
+        # Monotone: lower-ranked (less loaded) servers get at least as much.
+        assert np.all(np.diff(distribution) <= 1e-12)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="k must be"):
+            ksubset_rank_distribution(10, 0)
+        with pytest.raises(ValueError, match="k must be"):
+            ksubset_rank_distribution(10, 11)
+        with pytest.raises(ValueError, match="num_servers"):
+            ksubset_rank_distribution(0, 1)

@@ -1,0 +1,90 @@
+"""Tests for the Pollaczek–Khinchine M/G/1 analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.mg1 import (
+    mg1_mean_response_time,
+    mg1_mean_waiting_time,
+    random_split_mg1_response_time,
+)
+from repro.analysis.mmk import mm1_mean_response_time
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.random_policy import RandomPolicy
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.distributions import Constant, Erlang, Exponential
+from repro.workloads.service import bounded_pareto_service
+
+
+class TestClosedForm:
+    def test_exponential_reduces_to_mm1(self):
+        for rho in (0.3, 0.7, 0.9):
+            assert mg1_mean_response_time(rho, 1.0, 1.0) == pytest.approx(
+                mm1_mean_response_time(rho)
+            )
+
+    def test_deterministic_halves_waiting(self):
+        rho = 0.8
+        md1_wait = mg1_mean_waiting_time(rho, 1.0, 0.0)
+        mm1_wait = mg1_mean_waiting_time(rho, 1.0, 1.0)
+        assert md1_wait == pytest.approx(mm1_wait / 2.0)
+
+    def test_waiting_grows_with_variability(self):
+        waits = [mg1_mean_waiting_time(0.9, 1.0, scv) for scv in (0.0, 1.0, 10.0)]
+        assert waits[0] < waits[1] < waits[2]
+
+    def test_zero_load_is_pure_service(self):
+        assert mg1_mean_response_time(0.0, 2.0, 5.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="utilization"):
+            mg1_mean_waiting_time(1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="mean_service"):
+            mg1_mean_waiting_time(0.5, 0.0, 1.0)
+        with pytest.raises(ValueError, match="scv"):
+            mg1_mean_waiting_time(0.5, 1.0, -1.0)
+
+    def test_random_split_uses_distribution_moments(self):
+        service = Erlang(stages=4, mean=1.0)  # scv = 0.25
+        expected = mg1_mean_response_time(0.8, 1.0, 0.25)
+        assert random_split_mg1_response_time(0.8, service) == pytest.approx(
+            expected
+        )
+
+
+class TestSimulatorAgreement:
+    """The simulator must match P-K for several service distributions."""
+
+    @pytest.mark.parametrize(
+        "service,rel",
+        [
+            (Exponential(1.0), 0.12),
+            (Constant(1.0), 0.10),
+            (Erlang(stages=4, mean=1.0), 0.10),
+        ],
+        ids=["exponential", "deterministic", "erlang4"],
+    )
+    def test_random_policy_matches_pk(self, service, rel):
+        load = 0.8
+        simulation = ClusterSimulation(
+            num_servers=5,
+            arrivals=PoissonArrivals(5 * load),
+            service=service,
+            policy=RandomPolicy(),
+            staleness=PeriodicUpdate(1.0),
+            total_jobs=60_000,
+            seed=9,
+        )
+        expected = random_split_mg1_response_time(load, service)
+        assert simulation.run().mean_response_time == pytest.approx(
+            expected, rel=rel
+        )
+
+    def test_bounded_pareto_baseline_order_of_magnitude(self):
+        """Heavy tails converge slowly; check the P-K prediction is the
+        right order of magnitude and direction (far above M/M/1)."""
+        service = bounded_pareto_service()  # alpha=1.1, p=1000, mean 1
+        prediction = random_split_mg1_response_time(0.7, service)
+        assert prediction > 5 * mm1_mean_response_time(0.7)

@@ -1,0 +1,112 @@
+"""Tests for the queueing-theory reference formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.mmk import (
+    mm1_mean_queue_length,
+    mm1_mean_response_time,
+    mm1_response_time_quantile,
+    mmc_erlang_c,
+    mmc_mean_response_time,
+    random_split_response_time,
+)
+
+
+class TestMM1:
+    @pytest.mark.parametrize(
+        "rho,expected", [(0.0, 1.0), (0.5, 2.0), (0.9, 10.0), (0.99, 100.0)]
+    )
+    def test_response_time(self, rho, expected):
+        assert mm1_mean_response_time(rho) == pytest.approx(expected)
+
+    def test_response_time_scales_with_mu(self):
+        assert mm1_mean_response_time(0.5, mu=2.0) == pytest.approx(1.0)
+
+    def test_queue_length_littles_law(self):
+        """L = lambda * W."""
+        rho = 0.8
+        assert mm1_mean_queue_length(rho) == pytest.approx(
+            rho * mm1_mean_response_time(rho)
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mm1_mean_response_time(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            mm1_mean_response_time(-0.1)
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError, match="positive"):
+            mm1_mean_response_time(0.5, mu=0.0)
+
+    def test_random_split_matches_mm1(self):
+        assert random_split_response_time(0.9) == mm1_mean_response_time(0.9)
+
+
+class TestErlangC:
+    def test_single_server_reduces_to_rho(self):
+        """For c=1 the Erlang-C wait probability equals the utilization."""
+        assert mmc_erlang_c(1, 0.7) == pytest.approx(0.7)
+
+    def test_known_value_two_servers(self):
+        """M/M/2 at a=1 (rho=0.5): C = 1/3 by the closed form."""
+        assert mmc_erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_probability_in_unit_interval(self):
+        for servers in (1, 2, 5, 10, 50):
+            for load_fraction in (0.1, 0.5, 0.9):
+                value = mmc_erlang_c(servers, servers * load_fraction)
+                assert 0.0 <= value <= 1.0
+
+    def test_more_servers_less_waiting(self):
+        """At equal per-server utilization, pooling reduces waiting."""
+        assert mmc_erlang_c(10, 9.0) < mmc_erlang_c(2, 1.8)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mmc_erlang_c(2, 2.0)
+
+    def test_invalid_servers(self):
+        with pytest.raises(ValueError, match="servers"):
+            mmc_erlang_c(0, 0.5)
+
+
+class TestMMcResponseTime:
+    def test_single_server_matches_mm1(self):
+        assert mmc_mean_response_time(1, 0.9) == pytest.approx(
+            mm1_mean_response_time(0.9)
+        )
+
+    def test_central_queue_beats_random_split(self):
+        """The M/M/c bound must undercut independent M/M/1 queues —
+        the headroom load balancing policies compete for."""
+        for servers, rho in ((10, 0.9), (10, 0.5), (100, 0.9)):
+            pooled = mmc_mean_response_time(servers, servers * rho)
+            split = random_split_response_time(rho)
+            assert pooled < split
+
+    def test_approaches_service_time_at_low_load(self):
+        assert mmc_mean_response_time(10, 0.1) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestQuantile:
+    def test_median_of_exponential_response(self):
+        rho = 0.5  # response ~ Exp(rate = mu(1-rho)) = Exp(0.5)
+        assert mm1_response_time_quantile(rho, 0.5) == pytest.approx(
+            math.log(2.0) / 0.5
+        )
+
+    def test_monotone_in_quantile(self):
+        assert mm1_response_time_quantile(0.9, 0.9) > mm1_response_time_quantile(
+            0.9, 0.5
+        )
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            mm1_response_time_quantile(0.5, 1.0)

@@ -1,0 +1,64 @@
+"""Tests for message-cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.overhead import (
+    periodic_messages_per_job,
+    polling_messages_per_job,
+    update_on_access_messages_per_job,
+)
+
+
+class TestPeriodic:
+    def test_basic_accounting(self):
+        # 10 servers + 90 clients, refresh every 10 time units, 9 jobs per
+        # time unit: (10+90)/10 = 10 messages/time / 9 jobs/time.
+        value = periodic_messages_per_job(10, 90, period=10.0, arrival_rate=9.0)
+        assert value == pytest.approx(10.0 / 9.0)
+
+    def test_longer_period_cheaper(self):
+        cheap = periodic_messages_per_job(10, 90, period=100.0, arrival_rate=9.0)
+        costly = periodic_messages_per_job(10, 90, period=1.0, arrival_rate=9.0)
+        assert cheap < costly
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_servers"):
+            periodic_messages_per_job(0, 1, 1.0, 1.0)
+        with pytest.raises(ValueError, match="num_clients"):
+            periodic_messages_per_job(1, 0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="period"):
+            periodic_messages_per_job(1, 1, 0.0, 1.0)
+        with pytest.raises(ValueError, match="arrival_rate"):
+            periodic_messages_per_job(1, 1, 1.0, 0.0)
+
+
+class TestPolling:
+    def test_two_messages_per_probe(self):
+        assert polling_messages_per_job(3) == 6.0
+
+    def test_zero_probes_free(self):
+        assert polling_messages_per_job(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="k must be"):
+            polling_messages_per_job(-1)
+
+
+class TestUpdateOnAccess:
+    def test_free(self):
+        assert update_on_access_messages_per_job() == 0.0
+
+
+class TestRelativeCosts:
+    def test_subset_cheaper_than_full_polling(self):
+        assert polling_messages_per_job(2) < polling_messages_per_job(10)
+
+    def test_infrequent_board_cheaper_than_polling(self):
+        """At T = 8, a board multicast for 90 clients costs less per job
+        than even 2-server polling — the regime where interpreting the
+        stale board (LI) is the only way to keep both cost and response
+        time low."""
+        board = periodic_messages_per_job(10, 90, period=8.0, arrival_rate=9.0)
+        assert board < polling_messages_per_job(2)

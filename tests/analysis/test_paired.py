@@ -1,0 +1,90 @@
+"""Tests for paired common-random-numbers comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.paired import compare_curves, paired_difference_interval
+from repro.experiments.report import CellResult, FigureResult
+
+
+class TestPairedDifferenceInterval:
+    def test_clear_difference(self):
+        a = [1.0, 1.1, 0.9, 1.0]
+        b = [2.0, 2.1, 1.9, 2.0]
+        interval = paired_difference_interval(a, b)
+        assert interval.high < 0  # a is uniformly smaller
+
+    def test_paired_tighter_than_unpaired(self):
+        """With strong positive correlation (shared workload noise), the
+        paired interval is much narrower than the naive comparison."""
+        from repro.engine.stats import mean_confidence_interval
+
+        noise = [0.0, 5.0, -3.0, 7.0, -6.0, 2.0]
+        a = [10.0 + n for n in noise]
+        b = [10.5 + n for n in noise]  # b always 0.5 worse
+        paired = paired_difference_interval(a, b)
+        unpaired_width = (
+            mean_confidence_interval(a).half_width
+            + mean_confidence_interval(b).half_width
+        )
+        assert paired.half_width < unpaired_width / 5
+        assert paired.high < 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal sample counts"):
+            paired_difference_interval([1.0], [1.0, 2.0])
+
+    def test_single_pair_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            paired_difference_interval([1.0], [2.0])
+
+
+class TestCompareCurves:
+    def make_result(self, a_samples, b_samples):
+        result = FigureResult(
+            figure_id="figX",
+            title="t",
+            x_label="T",
+            x_values=(1.0,),
+            curve_labels=("a", "b"),
+            summary="ci",
+            jobs=1,
+            seeds=len(a_samples),
+        )
+        result.cells[("a", 1.0)] = CellResult("a", 1.0, tuple(a_samples))
+        result.cells[("b", 1.0)] = CellResult("b", 1.0, tuple(b_samples))
+        return result
+
+    def test_a_better(self):
+        outcome = compare_curves(
+            self.make_result([1.0, 1.1, 0.9], [2.0, 2.1, 1.9]), "a", "b", 1.0
+        )
+        assert outcome["verdict"] == "a_better"
+        assert outcome["speedup"] == pytest.approx(2.0, rel=0.05)
+
+    def test_b_better(self):
+        outcome = compare_curves(
+            self.make_result([2.0, 2.1, 1.9], [1.0, 1.1, 0.9]), "a", "b", 1.0
+        )
+        assert outcome["verdict"] == "b_better"
+
+    def test_indistinguishable(self):
+        outcome = compare_curves(
+            self.make_result([1.0, 2.0, 0.5], [1.1, 1.8, 0.6]), "a", "b", 1.0
+        )
+        assert outcome["verdict"] == "indistinguishable"
+
+    def test_on_real_sweep_li_beats_greedy_when_stale(self):
+        from repro.experiments.runner import run_figure
+
+        result = run_figure(
+            "fig2",
+            jobs=10_000,
+            seeds=4,
+            curves=("basic-li", "k=10"),
+            x_values=(16.0,),
+        )
+        outcome = compare_curves(result, "basic-li", "k=10", 16.0)
+        assert outcome["verdict"] == "a_better"
+        assert outcome["speedup"] > 2.0

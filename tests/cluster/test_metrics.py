@@ -1,0 +1,75 @@
+"""Tests for measurement with warm-up truncation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.metrics import ClusterMetrics
+
+
+class TestWarmup:
+    def test_warmup_jobs_excluded_from_stats(self):
+        metrics = ClusterMetrics(num_servers=2, warmup_jobs=3)
+        for response in (100.0, 100.0, 100.0):  # warm-up noise
+            metrics.record(0, response)
+        for response in (1.0, 2.0, 3.0):
+            metrics.record(1, response)
+        assert metrics.jobs_seen == 6
+        assert metrics.jobs_measured == 3
+        assert metrics.mean_response_time == pytest.approx(2.0)
+
+    def test_zero_warmup(self):
+        metrics = ClusterMetrics(num_servers=1, warmup_jobs=0)
+        metrics.record(0, 5.0)
+        assert metrics.jobs_measured == 1
+
+    def test_warmup_still_counts_dispatches(self):
+        metrics = ClusterMetrics(num_servers=2, warmup_jobs=2)
+        metrics.record(0, 1.0)
+        metrics.record(1, 1.0)
+        np.testing.assert_array_equal(metrics.dispatch_counts, [1, 1])
+
+
+class TestTrace:
+    def test_trace_disabled_by_default(self):
+        metrics = ClusterMetrics(num_servers=1, warmup_jobs=0)
+        metrics.record(0, 1.0)
+        with pytest.raises(RuntimeError, match="tracing was not enabled"):
+            metrics.response_times
+
+    def test_trace_collects_measured_only(self):
+        metrics = ClusterMetrics(
+            num_servers=1, warmup_jobs=1, trace_response_times=True
+        )
+        metrics.record(0, 9.0)
+        metrics.record(0, 1.0)
+        metrics.record(0, 2.0)
+        np.testing.assert_array_equal(metrics.response_times, [1.0, 2.0])
+
+
+class TestDispatchFractions:
+    def test_fractions(self):
+        metrics = ClusterMetrics(num_servers=4, warmup_jobs=0)
+        for server_id in (0, 0, 1, 3):
+            metrics.record(server_id, 1.0)
+        np.testing.assert_allclose(
+            metrics.dispatch_fractions(), [0.5, 0.25, 0.0, 0.25]
+        )
+
+    def test_empty_fractions(self):
+        metrics = ClusterMetrics(num_servers=3, warmup_jobs=0)
+        np.testing.assert_array_equal(metrics.dispatch_fractions(), [0, 0, 0])
+
+
+class TestValidation:
+    def test_invalid_servers(self):
+        with pytest.raises(ValueError, match="num_servers"):
+            ClusterMetrics(num_servers=0, warmup_jobs=0)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError, match="warmup_jobs"):
+            ClusterMetrics(num_servers=1, warmup_jobs=-1)
+
+    def test_warmup_property(self):
+        assert ClusterMetrics(num_servers=1, warmup_jobs=7).warmup_jobs == 7

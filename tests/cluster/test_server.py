@@ -1,0 +1,181 @@
+"""Tests for the FIFO server, including a brute-force reference model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.server import Server
+
+
+def reference_completions(arrivals, services, rate=1.0):
+    """Textbook FIFO recurrence, independently implemented."""
+    completions = []
+    previous = 0.0
+    for arrival, service in zip(arrivals, services):
+        start = max(arrival, previous)
+        previous = start + service / rate
+        completions.append(previous)
+    return completions
+
+
+def reference_queue_length(arrivals, completions, at_time):
+    """Count jobs present at ``at_time`` by brute force."""
+    return sum(
+        1
+        for arrival, completion in zip(arrivals, completions)
+        if arrival <= at_time < completion
+    )
+
+
+class TestAssign:
+    def test_idle_server_serves_immediately(self):
+        server = Server(0)
+        assert server.assign(10.0, 2.0) == 12.0
+
+    def test_busy_server_queues(self):
+        server = Server(0)
+        server.assign(0.0, 5.0)
+        assert server.assign(1.0, 2.0) == 7.0
+
+    def test_idle_gap_resets(self):
+        server = Server(0)
+        server.assign(0.0, 1.0)  # completes at 1.0
+        assert server.assign(10.0, 1.0) == 11.0
+
+    def test_service_rate_scales_occupancy(self):
+        server = Server(0, service_rate=2.0)
+        assert server.assign(0.0, 4.0) == 2.0
+
+    def test_out_of_order_arrival_rejected(self):
+        server = Server(0)
+        server.assign(5.0, 1.0)
+        with pytest.raises(ValueError, match="precedes"):
+            server.assign(4.0, 1.0)
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Server(0).assign(0.0, -1.0)
+
+    def test_zero_service_allowed(self):
+        server = Server(0)
+        assert server.assign(1.0, 0.0) == 1.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Server(0, service_rate=0.0)
+
+    def test_accounting(self):
+        server = Server(3)
+        server.assign(0.0, 2.0)
+        server.assign(1.0, 3.0)
+        assert server.server_id == 3
+        assert server.jobs_assigned == 2
+        assert server.busy_time == 5.0
+        assert server.last_completion == 5.0
+
+
+class TestQueueLength:
+    def test_empty_server(self):
+        assert Server(0).queue_length(5.0) == 0
+
+    def test_includes_in_service_job(self):
+        server = Server(0)
+        server.assign(0.0, 10.0)
+        assert server.queue_length(5.0) == 1
+
+    def test_counts_waiting_jobs(self):
+        server = Server(0)
+        for _ in range(3):
+            server.assign(0.0, 10.0)
+        assert server.queue_length(0.0) == 3
+        assert server.queue_length(10.0) == 2  # first departs exactly at 10
+        assert server.queue_length(25.0) == 1
+
+    def test_historical_query(self):
+        """The continuous-update model reads state in the past."""
+        server = Server(0)
+        server.assign(0.0, 1.0)
+        server.assign(5.0, 1.0)
+        server.assign(5.5, 1.0)
+        assert server.queue_length(0.5) == 1
+        assert server.queue_length(2.0) == 0
+        assert server.queue_length(5.7) == 2
+
+    def test_arrival_at_query_instant_counted(self):
+        server = Server(0)
+        server.assign(3.0, 1.0)
+        assert server.queue_length(3.0) == 1
+
+    def test_before_start_is_zero(self):
+        server = Server(0)
+        server.assign(10.0, 1.0)
+        assert server.queue_length(-5.0) == 0
+        assert server.queue_length(9.999) == 0
+
+    @given(
+        gaps=st.lists(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        services=st.lists(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            min_size=60,
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_model(self, gaps, services):
+        """Property: completions and queue lengths match brute force."""
+        arrivals = np.cumsum(gaps).tolist()
+        services = services[: len(arrivals)]
+        server = Server(0)
+        completions = [
+            server.assign(arrival, service)
+            for arrival, service in zip(arrivals, services)
+        ]
+        assert completions == reference_completions(arrivals, services)
+        horizon = completions[-1] + 1.0
+        for at_time in np.linspace(-1.0, horizon, 23):
+            expected = reference_queue_length(arrivals, completions, at_time)
+            assert server.queue_length(float(at_time)) == expected
+
+
+class TestWorkRemaining:
+    def test_empty(self):
+        assert Server(0).work_remaining(5.0) == 0.0
+
+    def test_single_job_residual(self):
+        server = Server(0)
+        server.assign(0.0, 10.0)
+        assert server.work_remaining(4.0) == pytest.approx(6.0)
+
+    def test_backlog_spans_queue(self):
+        server = Server(0)
+        server.assign(0.0, 2.0)
+        server.assign(0.0, 3.0)
+        assert server.work_remaining(1.0) == pytest.approx(4.0)
+
+    def test_future_jobs_not_counted(self):
+        server = Server(0)
+        server.assign(0.0, 1.0)
+        server.assign(100.0, 5.0)
+        assert server.work_remaining(50.0) == 0.0
+
+
+class TestUtilization:
+    def test_basic(self):
+        server = Server(0)
+        server.assign(0.0, 5.0)
+        assert server.utilization(10.0) == pytest.approx(0.5)
+
+    def test_capped_at_one(self):
+        server = Server(0)
+        server.assign(0.0, 100.0)
+        assert server.utilization(10.0) == 1.0
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError, match="positive"):
+            Server(0).utilization(0.0)

@@ -1,0 +1,192 @@
+"""Tests for receiver-driven rebalancing (work stealing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.stealing import (
+    MigratingServer,
+    StealingClusterSimulation,
+    StealingConfig,
+)
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.engine.simulator import Simulator
+from repro.staleness.continuous import ContinuousUpdate
+from repro.staleness.periodic import PeriodicUpdate
+from repro.staleness.update_on_access import UpdateOnAccess
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.distributions import Constant
+from repro.workloads.service import exponential_service
+
+
+def make_sim(
+    policy=None,
+    stealing=StealingConfig(),
+    staleness=None,
+    total_jobs=10_000,
+    seed=5,
+    load=0.9,
+    service=None,
+):
+    return StealingClusterSimulation(
+        num_servers=10,
+        arrivals=PoissonArrivals(10 * load),
+        service=service or exponential_service(),
+        policy=policy or RandomPolicy(),
+        staleness=staleness or PeriodicUpdate(8.0),
+        stealing=stealing,
+        total_jobs=total_jobs,
+        seed=seed,
+    )
+
+
+class TestStealingConfig:
+    def test_defaults_valid(self):
+        config = StealingConfig()
+        assert config.poll_count == 2
+        assert config.steal_threshold == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="poll_count"):
+            StealingConfig(poll_count=0)
+        with pytest.raises(ValueError, match="steal_threshold"):
+            StealingConfig(steal_threshold=0)
+        with pytest.raises(ValueError, match="migration_delay"):
+            StealingConfig(migration_delay=-1.0)
+
+
+class TestMigratingServer:
+    def test_rejects_historical_queries(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        server = MigratingServer(0, sim)
+        with pytest.raises(ValueError, match="historical"):
+            server.queue_length(1.0)
+
+    def test_idle_property(self):
+        server = MigratingServer(0, Simulator())
+        assert server.idle
+
+    def test_pop_empty_raises(self):
+        server = MigratingServer(0, Simulator())
+        with pytest.raises(IndexError, match="no waiting"):
+            server.pop_newest_waiting()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError, match="positive"):
+            MigratingServer(0, Simulator(), service_rate=0.0)
+
+
+class TestSimulationBasics:
+    def test_without_stealing_matches_closed_form_driver(self):
+        """The event-driven driver must agree statistically with the
+        recurrence-based ClusterSimulation for the same configuration."""
+        from repro.cluster.simulation import ClusterSimulation
+
+        event_driven = make_sim(stealing=None, total_jobs=30_000).run()
+        closed_form = ClusterSimulation(
+            num_servers=10,
+            arrivals=PoissonArrivals(9.0),
+            service=exponential_service(),
+            policy=RandomPolicy(),
+            staleness=PeriodicUpdate(8.0),
+            total_jobs=30_000,
+            seed=5,
+        ).run()
+        assert event_driven.mean_response_time == pytest.approx(
+            closed_form.mean_response_time, rel=0.1
+        )
+
+    def test_jobs_accounted(self):
+        result = make_sim(total_jobs=2_000).run()
+        assert result.jobs_total == 2_000
+        assert result.dispatch_counts.sum() == 2_000
+
+    def test_deterministic(self):
+        first = make_sim(total_jobs=3_000).run()
+        second = make_sim(total_jobs=3_000).run()
+        assert first.mean_response_time == second.mean_response_time
+
+    def test_continuous_model_rejected(self):
+        with pytest.raises(ValueError, match="historical"):
+            make_sim(staleness=ContinuousUpdate(1.0))
+
+    def test_update_on_access_supported(self):
+        result = make_sim(
+            staleness=UpdateOnAccess(2.0), total_jobs=3_000
+        ).run()
+        assert result.jobs_total == 3_000
+
+
+class TestStealingBehavior:
+    def test_steals_happen_under_imbalance(self):
+        simulation = make_sim(policy=RandomPolicy(), total_jobs=10_000)
+        simulation.run()
+        assert simulation.steals_performed > 100
+
+    def test_stealing_improves_random_dramatically(self):
+        with_steal = make_sim(total_jobs=20_000).run()
+        without = make_sim(stealing=None, total_jobs=20_000).run()
+        assert with_steal.mean_response_time < without.mean_response_time / 2
+
+    def test_stealing_insensitive_to_staleness(self):
+        """Receiver polls are fresh, so stale boards barely matter."""
+        fresh = make_sim(staleness=PeriodicUpdate(0.5), total_jobs=20_000).run()
+        stale = make_sim(staleness=PeriodicUpdate(32.0), total_jobs=20_000).run()
+        assert stale.mean_response_time == pytest.approx(
+            fresh.mean_response_time, rel=0.25
+        )
+
+    def test_li_plus_stealing_beats_stealing_alone(self):
+        li_steal = make_sim(policy=BasicLIPolicy(), total_jobs=20_000).run()
+        random_steal = make_sim(policy=RandomPolicy(), total_jobs=20_000).run()
+        assert (
+            li_steal.mean_response_time
+            <= random_steal.mean_response_time * 1.02
+        )
+
+    def test_migration_delay_costs_performance(self):
+        instant = make_sim(
+            stealing=StealingConfig(migration_delay=0.0), total_jobs=20_000
+        ).run()
+        slow = make_sim(
+            stealing=StealingConfig(migration_delay=2.0), total_jobs=20_000
+        ).run()
+        assert slow.mean_response_time > instant.mean_response_time
+
+    def test_high_threshold_reduces_steals(self):
+        eager = make_sim(
+            stealing=StealingConfig(steal_threshold=1), total_jobs=10_000
+        )
+        eager.run()
+        picky = make_sim(
+            stealing=StealingConfig(steal_threshold=5), total_jobs=10_000
+        )
+        picky.run()
+        assert picky.steals_performed < eager.steals_performed
+
+    def test_deterministic_service_conserves_work(self):
+        """With unit deterministic service and stealing, every job takes
+        >= 1.0 time units and the mean stays finite and sane."""
+        result = make_sim(
+            service=Constant(1.0), total_jobs=10_000, load=0.8
+        ).run()
+        assert result.mean_response_time >= 1.0
+        assert result.mean_response_time < 5.0
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="num_servers"):
+            StealingClusterSimulation(
+                num_servers=0,
+                arrivals=PoissonArrivals(1.0),
+                service=exponential_service(),
+                policy=RandomPolicy(),
+                staleness=PeriodicUpdate(1.0),
+            )
+        with pytest.raises(ValueError, match="total_jobs"):
+            make_sim(total_jobs=0)

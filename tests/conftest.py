@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import exponential_service
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for tests that need raw randomness."""
+    return np.random.default_rng(12345)
+
+
+def small_simulation(
+    policy,
+    *,
+    num_servers: int = 10,
+    load: float = 0.9,
+    staleness=None,
+    arrivals=None,
+    service=None,
+    total_jobs: int = 20_000,
+    seed: int = 7,
+    **kwargs,
+) -> ClusterSimulation:
+    """A compact simulation with paper-default parameters.
+
+    Big enough for statistical assertions with generous tolerances, small
+    enough to keep the suite fast.
+    """
+    return ClusterSimulation(
+        num_servers=num_servers,
+        arrivals=arrivals or PoissonArrivals(num_servers * load),
+        service=service or exponential_service(),
+        policy=policy,
+        staleness=staleness or PeriodicUpdate(period=4.0),
+        total_jobs=total_jobs,
+        seed=seed,
+        **kwargs,
+    )

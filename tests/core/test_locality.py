@@ -1,0 +1,191 @@
+"""Tests for locality-aware selection and the decay heuristic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.decay import DecayedLoadPolicy
+from repro.core.locality import LocalityAwareLIPolicy, NearestServerPolicy
+from repro.core.weights import waterfill_level, waterfill_probabilities
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import ClientArrivals
+from repro.workloads.service import exponential_service
+from tests.core.test_policies_baselines import (
+    bound,
+    make_view,
+    selection_histogram,
+)
+
+
+class TestWaterfillLevel:
+    def test_zero_budget_is_minimum(self):
+        assert waterfill_level(np.array([3.0, 1.0, 2.0]), 0.0) == 1.0
+
+    def test_level_consistent_with_probabilities(self):
+        loads = np.array([0.0, 2.0, 5.0, 9.0])
+        budget = 12.0
+        level = waterfill_level(loads, budget)
+        probabilities = waterfill_probabilities(loads, budget)
+        final = loads + probabilities * budget
+        recipients = probabilities > 1e-12
+        np.testing.assert_allclose(final[recipients], level, rtol=1e-9)
+
+    def test_level_grows_with_budget(self):
+        loads = np.array([0.0, 4.0])
+        assert waterfill_level(loads, 10.0) < waterfill_level(loads, 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            waterfill_level(np.array([]), 1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            waterfill_level(np.array([1.0]), -1.0)
+
+
+LATENCY = np.array(
+    [
+        [0.1, 5.0, 5.0],  # client 0 is near server 0
+        [5.0, 0.1, 5.0],  # client 1 is near server 1
+    ]
+)
+
+
+class TestNearestServerPolicy:
+    def test_routes_to_nearest(self):
+        policy = bound(NearestServerPolicy(LATENCY), num_servers=3)
+        near0 = make_view(np.zeros(3))
+        near0.client_id = 0
+        assert all(policy.select(near0) == 0 for _ in range(20))
+        near1 = make_view(np.zeros(3))
+        near1.client_id = 1
+        assert all(policy.select(near1) == 1 for _ in range(20))
+
+    def test_ignores_load(self):
+        policy = bound(NearestServerPolicy(LATENCY), num_servers=3)
+        view = make_view([1e9, 0.0, 0.0])
+        view.client_id = 0
+        assert policy.select(view) == 0
+
+    def test_client_ids_wrap(self):
+        policy = bound(NearestServerPolicy(LATENCY), num_servers=3)
+        view = make_view(np.zeros(3))
+        view.client_id = 2  # wraps to row 0
+        assert policy.select(view) == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            NearestServerPolicy(np.zeros(3))
+        with pytest.raises(ValueError, match="non-negative"):
+            NearestServerPolicy(np.array([[-1.0]]))
+        with pytest.raises(ValueError, match="covers"):
+            bound(NearestServerPolicy(LATENCY), num_servers=5)
+
+
+class TestLocalityAwareLI:
+    def make_policy(self, num_servers=3, rate=0.9):
+        from repro.core.rate_estimators import ExactRate
+
+        policy = LocalityAwareLIPolicy(LATENCY)
+        estimator = ExactRate()
+        estimator.bind(num_servers, rate)
+        policy.bind(num_servers, np.random.default_rng(1), estimator)
+        return policy
+
+    def test_prefers_near_server_when_loads_equal_and_fresh(self):
+        policy = self.make_policy()
+        view = make_view(np.zeros(3), horizon=1e-9)
+        view.client_id = 0
+        assert policy.select(view) == 0
+
+    def test_fresh_overload_overrides_proximity(self):
+        """A swamped nearby replica is skipped when info is fresh."""
+        policy = self.make_policy()
+        view = make_view([100.0, 0.0, 0.0], horizon=0.01)
+        view.client_id = 0
+        # Virtual loads: 100.1 near vs ~5 remote -> go remote.
+        assert policy.select(view) in (1, 2)
+
+    def test_stale_info_degrades_to_uniform(self):
+        """With very old information the water level swamps both queue
+        and distance terms: dispatch spreads toward uniform — the stable
+        no-information limit (not nearest, which a whole region herding
+        on could overload)."""
+        policy = self.make_policy()
+        view = make_view([100.0, 0.0, 0.0], horizon=1e7)
+        view.client_id = 0
+        histogram = selection_histogram(policy, view, draws=20_000)
+        np.testing.assert_allclose(histogram, [1 / 3] * 3, atol=0.02)
+
+    def test_moderate_age_biases_toward_near(self):
+        """In between, the near server receives more than its uniform
+        share but not everything."""
+        policy = self.make_policy()
+        view = make_view(np.zeros(3), horizon=10.0)
+        view.client_id = 0
+        histogram = selection_histogram(policy, view, draws=20_000)
+        assert 0.34 < histogram[0] < 0.99
+        assert histogram[1] > 0.0
+
+    def test_invalid_service_time(self):
+        with pytest.raises(ValueError, match="mean_service_time"):
+            LocalityAwareLIPolicy(LATENCY, mean_service_time=0.0)
+
+    def test_end_to_end_beats_nearest_under_skew(self):
+        """Two client regions, one much busier: locality-LI offloads the
+        hot region's overflow to the remote replica, beating both
+        nearest-only and load-only routing."""
+        latency = np.array(
+            [
+                [0.2, 4.0],  # region A clients (most of the traffic)
+                [0.2, 4.0],
+                [0.2, 4.0],
+                [4.0, 0.2],  # region B client
+            ]
+        )
+
+        def run(policy):
+            return ClusterSimulation(
+                num_servers=2,
+                arrivals=ClientArrivals(num_clients=4, total_rate=1.8),
+                service=exponential_service(),
+                policy=policy,
+                staleness=PeriodicUpdate(2.0),
+                total_jobs=20_000,
+                seed=3,
+                client_latency=latency,
+            ).run().mean_response_time
+
+        nearest = run(NearestServerPolicy(latency))
+        locality_li = run(LocalityAwareLIPolicy(latency))
+        # Nearest piles 3/4 of traffic on server 0 (utilization 1.35):
+        # unstable, so locality-LI must win by a lot.
+        assert locality_li < nearest / 2
+
+
+class TestDecayedLoadPolicy:
+    def test_stale_info_near_uniform(self):
+        policy = bound(DecayedLoadPolicy(tau=4.0))
+        view = make_view(np.arange(10), horizon=4.0, elapsed=1_000.0)
+        histogram = selection_histogram(policy, view, draws=30_000)
+        np.testing.assert_allclose(histogram, [0.1] * 10, atol=0.015)
+
+    def test_fresh_info_favors_low_load(self):
+        policy = bound(DecayedLoadPolicy(tau=4.0))
+        view = make_view(np.arange(10), horizon=4.0, elapsed=0.0)
+        histogram = selection_histogram(policy, view, draws=30_000)
+        assert histogram[0] > histogram[-1]
+        assert histogram[0] > 0.1
+
+    def test_monotone_in_load(self):
+        policy = bound(DecayedLoadPolicy(tau=8.0))
+        view = make_view(np.arange(10), horizon=4.0, elapsed=2.0)
+        histogram = selection_histogram(policy, view, draws=60_000)
+        assert np.all(np.diff(histogram) <= 0.012)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError, match="tau"):
+            DecayedLoadPolicy(tau=0.0)
+
+    def test_name_includes_tau(self):
+        assert DecayedLoadPolicy(tau=8.0).name == "decay(tau=8)"

@@ -1,0 +1,151 @@
+"""Tests for the baseline policies: random, k-subset and threshold."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ksubset_analytic import ksubset_rank_distribution
+from repro.core.ksubset import KSubsetPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.core.threshold import ThresholdPolicy
+from repro.engine.rng import RandomStreams
+from repro.staleness.base import LoadView
+
+
+def make_view(loads, horizon=4.0, elapsed=0.0, phase_based=True, version=0):
+    loads = np.asarray(loads, dtype=float)
+    return LoadView(
+        loads=loads,
+        version=version,
+        info_time=0.0,
+        now=elapsed,
+        horizon=horizon,
+        elapsed=elapsed,
+        known_age=True,
+        phase_based=phase_based,
+    )
+
+
+def bound(policy, num_servers=10, seed=1):
+    policy.bind(num_servers, RandomStreams(seed).stream("policy"))
+    return policy
+
+
+def selection_histogram(policy, view, draws=20_000):
+    counts = np.zeros(policy.num_servers)
+    for _ in range(draws):
+        counts[policy.select(view)] += 1
+    return counts / draws
+
+
+class TestRandomPolicy:
+    def test_uniform(self):
+        policy = bound(RandomPolicy())
+        histogram = selection_histogram(policy, make_view(np.arange(10)))
+        np.testing.assert_allclose(histogram, [0.1] * 10, atol=0.012)
+
+    def test_ignores_loads(self):
+        policy = bound(RandomPolicy())
+        extreme = make_view([0.0] + [1e6] * 9)
+        histogram = selection_histogram(policy, extreme)
+        assert histogram[0] == pytest.approx(0.1, abs=0.012)
+
+    def test_unbound_raises(self):
+        with pytest.raises(RuntimeError, match="unbound"):
+            RandomPolicy().select(make_view([1.0]))
+
+
+class TestKSubsetPolicy:
+    def test_k1_is_uniform(self):
+        policy = bound(KSubsetPolicy(1))
+        histogram = selection_histogram(policy, make_view(np.arange(10)))
+        np.testing.assert_allclose(histogram, [0.1] * 10, atol=0.012)
+
+    def test_kn_is_greedy(self):
+        policy = bound(KSubsetPolicy(10))
+        view = make_view([5, 3, 9, 1, 7, 2, 8, 4, 6, 0])
+        assert all(policy.select(view) == 9 for _ in range(50))
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_rank_distribution_matches_equation_1(self, k):
+        """The empirical dispatch histogram must match Eq. 1 / Fig. 1."""
+        policy = bound(KSubsetPolicy(k))
+        view = make_view(np.arange(10, dtype=float))  # rank i == server i
+        histogram = selection_histogram(policy, view, draws=40_000)
+        expected = ksubset_rank_distribution(10, k)
+        np.testing.assert_allclose(histogram, expected, atol=0.01)
+
+    def test_most_loaded_get_nothing(self):
+        """The k-1 most loaded servers receive zero requests."""
+        policy = bound(KSubsetPolicy(4))
+        histogram = selection_histogram(policy, make_view(np.arange(10)))
+        np.testing.assert_array_equal(histogram[-3:], [0.0, 0.0, 0.0])
+
+    def test_ties_broken_randomly(self):
+        policy = bound(KSubsetPolicy(10))
+        view = make_view([0.0, 0.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0])
+        histogram = selection_histogram(policy, view, draws=10_000)
+        assert histogram[0] == pytest.approx(0.5, abs=0.03)
+        assert histogram[1] == pytest.approx(0.5, abs=0.03)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            KSubsetPolicy(0)
+
+    def test_k_exceeding_cluster_rejected_at_bind(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            bound(KSubsetPolicy(11), num_servers=10)
+
+    def test_name(self):
+        assert KSubsetPolicy(2).name == "k=2-subset"
+
+
+class TestThresholdPolicy:
+    def test_prefers_lightly_loaded(self):
+        policy = bound(ThresholdPolicy(threshold=2.0))
+        view = make_view([0.0, 1.0, 2.0, 50.0, 60.0, 70.0, 80.0, 90.0, 95.0, 99.0])
+        histogram = selection_histogram(policy, view)
+        np.testing.assert_allclose(histogram[:3], [1 / 3] * 3, atol=0.02)
+        np.testing.assert_allclose(histogram[3:], 0.0, atol=1e-12)
+
+    def test_fallback_random_when_all_heavy(self):
+        policy = bound(ThresholdPolicy(threshold=1.0))
+        view = make_view(np.full(10, 50.0))
+        histogram = selection_histogram(policy, view)
+        np.testing.assert_allclose(histogram, [0.1] * 10, atol=0.015)
+
+    def test_fallback_least_loaded(self):
+        policy = bound(ThresholdPolicy(threshold=1.0, fallback="least-loaded"))
+        view = make_view([50.0, 40.0, 60.0] + [70.0] * 7)
+        assert all(policy.select(view) == 1 for _ in range(50))
+
+    def test_huge_threshold_is_uniform(self):
+        policy = bound(ThresholdPolicy(threshold=1e9))
+        histogram = selection_histogram(policy, make_view(np.arange(10)))
+        np.testing.assert_allclose(histogram, [0.1] * 10, atol=0.015)
+
+    def test_with_subset_restriction(self):
+        policy = bound(ThresholdPolicy(threshold=0.0, k=2))
+        view = make_view([0.0] + [9.0] * 9)
+        histogram = selection_histogram(policy, view)
+        # Server 0 is idle; it is in the 2-subset with probability 2/10 and
+        # always chosen when present; otherwise a random heavy server wins.
+        assert histogram[0] == pytest.approx(0.2, abs=0.02)
+
+    def test_threshold_boundary_inclusive(self):
+        policy = bound(ThresholdPolicy(threshold=3.0), num_servers=2)
+        view = make_view([3.0, 100.0])
+        assert all(policy.select(view) == 0 for _ in range(30))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ThresholdPolicy(threshold=-1.0)
+        with pytest.raises(ValueError, match="fallback"):
+            ThresholdPolicy(threshold=1.0, fallback="panic")
+        with pytest.raises(ValueError, match="k must be"):
+            ThresholdPolicy(threshold=1.0, k=0)
+
+    def test_k_validated_at_bind(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            bound(ThresholdPolicy(threshold=1.0, k=20), num_servers=10)

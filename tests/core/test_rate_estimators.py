@@ -1,0 +1,97 @@
+"""Tests for λ estimation strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rate_estimators import (
+    EWMARate,
+    ExactRate,
+    FixedRate,
+    ScaledRate,
+)
+
+
+class TestExactRate:
+    def test_returns_true_rate(self):
+        estimator = ExactRate()
+        estimator.bind(10, 0.9)
+        assert estimator.per_server_rate() == 0.9
+
+    def test_bind_validation(self):
+        with pytest.raises(ValueError, match="num_servers"):
+            ExactRate().bind(0, 0.9)
+        with pytest.raises(ValueError, match="positive"):
+            ExactRate().bind(10, 0.0)
+
+
+class TestFixedRate:
+    def test_ignores_truth(self):
+        estimator = FixedRate(1.0)
+        estimator.bind(10, 0.3)
+        assert estimator.per_server_rate() == 1.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError, match="positive"):
+            FixedRate(0.0)
+
+
+class TestScaledRate:
+    @pytest.mark.parametrize("factor", [0.125, 0.5, 1.0, 2.0, 8.0])
+    def test_scales_truth(self, factor):
+        estimator = ScaledRate(factor)
+        estimator.bind(10, 0.9)
+        assert estimator.per_server_rate() == pytest.approx(0.9 * factor)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError, match="positive"):
+            ScaledRate(-1.0)
+
+
+class TestEWMARate:
+    def test_prior_before_observations(self):
+        estimator = EWMARate(initial_rate=1.0)
+        estimator.bind(10, 0.9)
+        assert estimator.per_server_rate() == 1.0
+
+    def test_converges_to_true_rate(self):
+        """Feeding Poisson arrivals at aggregate rate n*lambda converges."""
+        rng = np.random.default_rng(0)
+        estimator = EWMARate(smoothing=0.05)
+        estimator.bind(10, 0.9)
+        now = 0.0
+        for _ in range(20_000):
+            now += rng.exponential(1.0 / 9.0)  # aggregate rate 9
+            estimator.observe_arrival(now)
+        assert estimator.per_server_rate() == pytest.approx(0.9, rel=0.15)
+
+    def test_deterministic_gaps_exact(self):
+        estimator = EWMARate(smoothing=1.0)
+        estimator.bind(4, 0.5)
+        for i in range(10):
+            estimator.observe_arrival(i * 0.5)  # aggregate rate 2
+        assert estimator.per_server_rate() == pytest.approx(0.5)
+
+    def test_single_observation_keeps_prior(self):
+        estimator = EWMARate(initial_rate=0.7)
+        estimator.bind(10, 0.9)
+        estimator.observe_arrival(1.0)
+        assert estimator.per_server_rate() == 0.7
+
+    def test_rebind_resets_state(self):
+        estimator = EWMARate(smoothing=1.0)
+        estimator.bind(2, 0.5)
+        estimator.observe_arrival(0.0)
+        estimator.observe_arrival(1.0)
+        assert estimator.per_server_rate() == pytest.approx(0.5)
+        estimator.bind(2, 0.5)
+        assert estimator.per_server_rate() == estimator.initial_rate
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="smoothing"):
+            EWMARate(smoothing=0.0)
+        with pytest.raises(ValueError, match="smoothing"):
+            EWMARate(smoothing=1.5)
+        with pytest.raises(ValueError, match="positive"):
+            EWMARate(initial_rate=0.0)

@@ -1,0 +1,76 @@
+"""Tests for the round-robin baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.mmk import random_split_response_time
+from repro.core.random_policy import RandomPolicy
+from repro.core.round_robin import RoundRobinPolicy
+from tests.conftest import small_simulation
+from tests.core.test_policies_baselines import bound, make_view
+
+
+class TestSelection:
+    def test_cycles_through_all_servers(self):
+        policy = bound(RoundRobinPolicy(), num_servers=5)
+        view = make_view(np.zeros(5))
+        picks = [policy.select(view) for _ in range(10)]
+        assert sorted(picks[:5]) == [0, 1, 2, 3, 4]
+        assert picks[:5] == picks[5:]  # exact cycle
+
+    def test_ignores_loads(self):
+        policy = bound(RoundRobinPolicy(), num_servers=3)
+        loaded = make_view([1e9, 0.0, 1e9])
+        picks = {policy.select(loaded) for _ in range(3)}
+        assert picks == {0, 1, 2}
+
+    def test_offset_randomized_per_seed(self):
+        starts = set()
+        for seed in range(10):
+            policy = bound(RoundRobinPolicy(), num_servers=10, seed=seed)
+            starts.add(policy.select(make_view(np.zeros(10))))
+        assert len(starts) > 3
+
+    def test_rebind_resets_cycle(self):
+        policy = bound(RoundRobinPolicy(), num_servers=4, seed=1)
+        first_cycle = [policy.select(make_view(np.zeros(4))) for _ in range(4)]
+        bound(policy, num_servers=4, seed=1)
+        second_cycle = [policy.select(make_view(np.zeros(4))) for _ in range(4)]
+        assert first_cycle == second_cycle
+
+
+class TestQueueing:
+    def test_beats_random_slightly_under_poisson(self):
+        """Round-robin gives each server an Erlang-n arrival stream
+        (CV^2 = 1/n < 1), so it queues less than random splitting."""
+        round_robin = small_simulation(
+            RoundRobinPolicy(), total_jobs=60_000, seed=8
+        ).run()
+        random_result = small_simulation(
+            RandomPolicy(), total_jobs=60_000, seed=8
+        ).run()
+        assert round_robin.mean_response_time < random_result.mean_response_time
+        # But still far above what load information enables: ~E[W] of the
+        # M/M/1 baseline, not the pooled M/M/c bound.
+        assert round_robin.mean_response_time > 0.4 * random_split_response_time(0.9)
+
+    def test_flat_in_information_age(self):
+        from repro.staleness.periodic import PeriodicUpdate
+
+        fresh = small_simulation(
+            RoundRobinPolicy(),
+            staleness=PeriodicUpdate(0.5),
+            total_jobs=20_000,
+            seed=9,
+        ).run()
+        stale = small_simulation(
+            RoundRobinPolicy(),
+            staleness=PeriodicUpdate(64.0),
+            total_jobs=20_000,
+            seed=9,
+        ).run()
+        assert fresh.mean_response_time == pytest.approx(
+            stale.mean_response_time, rel=1e-9
+        )

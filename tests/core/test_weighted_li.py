@@ -1,0 +1,159 @@
+"""Tests for the heterogeneous-capacity LI extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.li_weighted import WeightedLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.core.weights import (
+    waterfill_probabilities,
+    weighted_waterfill_probabilities,
+)
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import exponential_service
+
+loads_and_rates = st.integers(min_value=1, max_value=20).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        ).map(np.array),
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        ).map(np.array),
+    )
+)
+
+
+class TestWeightedWaterfill:
+    def test_unit_rates_reduce_to_standard(self):
+        loads = np.array([3.0, 0.0, 7.0, 1.0])
+        rates = np.ones(4)
+        np.testing.assert_allclose(
+            weighted_waterfill_probabilities(loads, rates, 12.0),
+            waterfill_probabilities(loads, 12.0),
+        )
+
+    def test_zero_budget_targets_shortest_wait(self):
+        # Server 1 has more jobs but drains 4x faster: wait 2.5 vs 3.0.
+        loads = np.array([3.0, 10.0])
+        rates = np.array([1.0, 4.0])
+        probabilities = weighted_waterfill_probabilities(loads, rates, 0.0)
+        np.testing.assert_allclose(probabilities, [0.0, 1.0])
+
+    def test_large_budget_capacity_proportional(self):
+        loads = np.array([5.0, 5.0])
+        rates = np.array([1.0, 3.0])
+        probabilities = weighted_waterfill_probabilities(loads, rates, 1e9)
+        np.testing.assert_allclose(probabilities, [0.25, 0.75], atol=1e-6)
+
+    def test_hand_case_equalizes_drain_time(self):
+        loads = np.array([0.0, 6.0])
+        rates = np.array([1.0, 2.0])
+        budget = 6.0
+        probabilities = weighted_waterfill_probabilities(loads, rates, budget)
+        final = loads + probabilities * budget
+        drain = final / rates
+        assert drain[0] == pytest.approx(drain[1])
+
+    def test_small_budget_fills_fast_empty_server_first(self):
+        loads = np.array([0.0, 100.0])
+        rates = np.array([2.0, 1.0])
+        probabilities = weighted_waterfill_probabilities(loads, rates, 10.0)
+        np.testing.assert_allclose(probabilities, [1.0, 0.0])
+
+    @given(data=loads_and_rates, budget=st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=150, deadline=None)
+    def test_valid_probability_vector(self, data, budget):
+        loads, rates = data
+        probabilities = weighted_waterfill_probabilities(loads, rates, budget)
+        assert np.all(probabilities >= 0.0)
+        assert probabilities.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(data=loads_and_rates, budget=st.floats(min_value=1e-3, max_value=1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_recipients_equalize_drain_time(self, data, budget):
+        loads, rates = data
+        probabilities = weighted_waterfill_probabilities(loads, rates, budget)
+        final_drain = (loads + probabilities * budget) / rates
+        recipients = probabilities > 1e-9
+        if recipients.sum() > 1:
+            levels = final_drain[recipients]
+            assert levels.max() - levels.min() < 1e-5 * max(1.0, levels.max())
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            weighted_waterfill_probabilities(
+                np.array([1.0, 2.0]), np.array([1.0]), 1.0
+            )
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError, match="rates must be positive"):
+            weighted_waterfill_probabilities(
+                np.array([1.0]), np.array([0.0]), 1.0
+            )
+
+
+class TestWeightedLIPolicy:
+    def run_cluster(self, policy, rates, seed=6, jobs=25_000, load=0.85):
+        total_capacity = sum(rates)
+        simulation = ClusterSimulation(
+            num_servers=len(rates),
+            arrivals=PoissonArrivals(total_capacity * load),
+            service=exponential_service(),
+            policy=policy,
+            staleness=PeriodicUpdate(4.0),
+            total_jobs=jobs,
+            seed=seed,
+            server_rates=list(rates),
+        )
+        return simulation.run()
+
+    def test_homogeneous_matches_basic_li(self):
+        rates = [1.0] * 10
+        weighted = self.run_cluster(WeightedLIPolicy(), rates, jobs=10_000)
+        basic = self.run_cluster(BasicLIPolicy(), rates, jobs=10_000)
+        assert weighted.mean_response_time == pytest.approx(
+            basic.mean_response_time, rel=0.1
+        )
+
+    def test_routes_capacity_proportionally(self):
+        rates = [1.0, 1.0, 4.0]
+        result = self.run_cluster(WeightedLIPolicy(), rates)
+        fractions = result.dispatch_fractions
+        assert fractions[2] > 0.5  # the fast server holds 2/3 of capacity
+
+    def test_beats_random_and_basic_li_on_heterogeneous_cluster(self):
+        rates = [0.5, 0.5, 1.0, 1.0, 3.0]
+        weighted = self.run_cluster(WeightedLIPolicy(), rates)
+        random_result = self.run_cluster(RandomPolicy(), rates)
+        assert weighted.mean_response_time < random_result.mean_response_time
+
+    def test_bind_validates_rates(self):
+        policy = WeightedLIPolicy()
+        with pytest.raises(ValueError, match="shape"):
+            policy.bind(
+                3,
+                np.random.default_rng(0),
+                server_rates=np.array([1.0, 2.0]),
+            )
+        with pytest.raises(ValueError, match="positive"):
+            policy.bind(
+                2,
+                np.random.default_rng(0),
+                server_rates=np.array([1.0, -1.0]),
+            )
+
+    def test_default_rates_are_ones(self):
+        policy = WeightedLIPolicy()
+        policy.bind(4, np.random.default_rng(0))
+        np.testing.assert_array_equal(policy.server_rates, np.ones(4))

@@ -1,0 +1,200 @@
+"""Tests for the water-filling core (Eqs. 2–5), including properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.weights import equalization_boundaries, waterfill_probabilities
+
+loads_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+).map(np.array)
+
+
+class TestWaterfillHandCases:
+    def test_equal_loads_give_uniform(self):
+        probabilities = waterfill_probabilities(np.array([5.0, 5.0, 5.0]), 9.0)
+        np.testing.assert_allclose(probabilities, [1 / 3] * 3)
+
+    def test_large_budget_approaches_uniform(self):
+        loads = np.array([0.0, 10.0, 20.0])
+        probabilities = waterfill_probabilities(loads, 1e9)
+        np.testing.assert_allclose(probabilities, [1 / 3] * 3, atol=1e-6)
+
+    def test_zero_budget_targets_minimum(self):
+        probabilities = waterfill_probabilities(np.array([3.0, 1.0, 2.0]), 0.0)
+        np.testing.assert_allclose(probabilities, [0.0, 1.0, 0.0])
+
+    def test_zero_budget_splits_ties(self):
+        probabilities = waterfill_probabilities(np.array([1.0, 1.0, 5.0]), 0.0)
+        np.testing.assert_allclose(probabilities, [0.5, 0.5, 0.0])
+
+    def test_small_budget_fills_valley_only(self):
+        """R too small to reach the second server: all jobs to the least
+        loaded (the paper's c < n case, Eq. 3/4)."""
+        loads = np.array([0.0, 10.0])
+        probabilities = waterfill_probabilities(loads, 5.0)
+        np.testing.assert_allclose(probabilities, [1.0, 0.0])
+
+    def test_exact_equalization_point(self):
+        """R exactly fills server 1 to server 2's level."""
+        loads = np.array([0.0, 10.0])
+        probabilities = waterfill_probabilities(loads, 10.0)
+        np.testing.assert_allclose(probabilities, [1.0, 0.0])
+
+    def test_budget_past_equalization_spreads(self):
+        loads = np.array([0.0, 10.0])
+        # R = 20: 10 jobs fill the valley, 10 split evenly -> 15 vs 5.
+        probabilities = waterfill_probabilities(loads, 20.0)
+        np.testing.assert_allclose(probabilities, [0.75, 0.25])
+
+    def test_paper_equation_2_case(self):
+        """When R equalizes everything, p_i = ((sum+R)/n - q_i) / R."""
+        loads = np.array([2.0, 4.0, 6.0])
+        budget = 30.0
+        expected_level = (loads.sum() + budget) / 3  # 14
+        expected = (expected_level - loads) / budget
+        np.testing.assert_allclose(
+            waterfill_probabilities(loads, budget), expected
+        )
+
+    def test_single_server(self):
+        np.testing.assert_allclose(
+            waterfill_probabilities(np.array([7.0]), 3.0), [1.0]
+        )
+
+    def test_three_tier_partial_fill(self):
+        """R covers tier one and part of tier two."""
+        loads = np.array([0.0, 4.0, 100.0])
+        # Fill server 0 to 4 (cost 4), then split remaining 6 across both:
+        # level = (0 + 4 + 10)/2 = 7 -> p = (7, 3)/10.
+        probabilities = waterfill_probabilities(loads, 10.0)
+        np.testing.assert_allclose(probabilities, [0.7, 0.3, 0.0])
+
+
+class TestWaterfillProperties:
+    @given(loads=loads_strategy, budget=st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=200, deadline=None)
+    def test_valid_probability_vector(self, loads, budget):
+        probabilities = waterfill_probabilities(loads, budget)
+        assert probabilities.shape == loads.shape
+        assert np.all(probabilities >= 0.0)
+        assert probabilities.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(loads=loads_strategy, budget=st.floats(min_value=1e-6, max_value=1e6))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_load(self, loads, budget):
+        """A more-loaded server never gets a higher probability."""
+        probabilities = waterfill_probabilities(loads, budget)
+        order = np.argsort(loads)
+        sorted_probabilities = probabilities[order]
+        assert np.all(np.diff(sorted_probabilities) <= 1e-12)
+
+    @given(loads=loads_strategy, budget=st.floats(min_value=1e-6, max_value=1e6))
+    @settings(max_examples=200, deadline=None)
+    def test_equal_loads_equal_probability(self, loads, budget):
+        probabilities = waterfill_probabilities(loads, budget)
+        for i in range(len(loads)):
+            for j in range(i + 1, len(loads)):
+                if loads[i] == loads[j]:
+                    assert probabilities[i] == pytest.approx(
+                        probabilities[j], abs=1e-9
+                    )
+
+    @given(loads=loads_strategy, budget=st.floats(min_value=1e-3, max_value=1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_final_levels_equalized_among_recipients(self, loads, budget):
+        """Servers that receive jobs all end at the same water level."""
+        probabilities = waterfill_probabilities(loads, budget)
+        final = loads + probabilities * budget
+        recipients = probabilities > 1e-12
+        if recipients.sum() > 1:
+            levels = final[recipients]
+            assert levels.max() - levels.min() < 1e-6 * max(1.0, levels.max())
+
+    @given(loads=loads_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_shift_invariance(self, loads):
+        """Adding a constant to every load does not change the answer."""
+        budget = 10.0
+        base = waterfill_probabilities(loads, budget)
+        shifted = waterfill_probabilities(loads + 42.0, budget)
+        np.testing.assert_allclose(base, shifted, atol=1e-9)
+
+    def test_permutation_equivariance(self):
+        loads = np.array([3.0, 0.0, 7.0, 1.0])
+        permutation = np.array([2, 0, 3, 1])
+        direct = waterfill_probabilities(loads[permutation], 5.0)
+        permuted = waterfill_probabilities(loads, 5.0)[permutation]
+        np.testing.assert_allclose(direct, permuted)
+
+
+class TestWaterfillValidation:
+    def test_empty_loads_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            waterfill_probabilities(np.array([]), 1.0)
+
+    def test_negative_loads_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            waterfill_probabilities(np.array([-1.0, 2.0]), 1.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            waterfill_probabilities(np.array([1.0]), -1.0)
+
+
+class TestEqualizationBoundaries:
+    def test_hand_case(self):
+        """Loads (0, 2, 5), rate 1: raise 1 server by 2 (2 units of time),
+        then 2 servers by 3 (6 units)."""
+        boundaries = equalization_boundaries(np.array([0.0, 2.0, 5.0]), 1.0)
+        np.testing.assert_allclose(boundaries, [2.0, 8.0])
+
+    def test_rate_scales_time(self):
+        slow = equalization_boundaries(np.array([0.0, 4.0]), 1.0)
+        fast = equalization_boundaries(np.array([0.0, 4.0]), 4.0)
+        np.testing.assert_allclose(slow, fast * 4.0)
+
+    def test_equal_loads_zero_length_intervals(self):
+        boundaries = equalization_boundaries(np.array([3.0, 3.0, 3.0]), 1.0)
+        np.testing.assert_allclose(boundaries, [0.0, 0.0])
+
+    def test_single_server_no_boundaries(self):
+        assert equalization_boundaries(np.array([5.0]), 1.0).size == 0
+
+    def test_boundaries_non_decreasing(self):
+        boundaries = equalization_boundaries(
+            np.array([0.0, 1.0, 1.0, 4.0, 9.0]), 2.0
+        )
+        assert np.all(np.diff(boundaries) >= 0)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            equalization_boundaries(np.array([5.0, 1.0]), 1.0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            equalization_boundaries(np.array([1.0, 2.0]), 0.0)
+
+    @given(
+        loads=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        ),
+        rate=st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_total_time_equals_total_deficit(self, loads, rate):
+        """The last boundary is the time to equalize everything: the sum of
+        all deficits below the maximum load, divided by the arrival rate."""
+        sorted_loads = np.sort(np.array(loads))
+        boundaries = equalization_boundaries(sorted_loads, rate)
+        total_deficit = (sorted_loads.max() - sorted_loads).sum()
+        assert boundaries[-1] == pytest.approx(
+            total_deficit / rate, rel=1e-9, abs=1e-9
+        )

@@ -1,0 +1,123 @@
+"""Tests for the event calendar."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine.events import EventQueue
+
+
+def record_action(log, value):
+    def action():
+        log.append(value)
+
+    return action
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        log = []
+        queue.push(3.0, record_action(log, "c"))
+        queue.push(1.0, record_action(log, "a"))
+        queue.push(2.0, record_action(log, "b"))
+        while queue:
+            queue.pop().action()
+        assert log == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        queue = EventQueue()
+        log = []
+        for label in "abcde":
+            queue.push(1.0, record_action(log, label))
+        while queue:
+            queue.pop().action()
+        assert log == list("abcde")
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        log = []
+        queue.push(1.0, record_action(log, "late"), priority=0)
+        queue.push(1.0, record_action(log, "early"), priority=-1)
+        while queue:
+            queue.pop().action()
+        assert log == ["early", "late"]
+
+    def test_priority_does_not_override_time(self):
+        queue = EventQueue()
+        log = []
+        queue.push(2.0, record_action(log, "t2"), priority=-100)
+        queue.push(1.0, record_action(log, "t1"), priority=100)
+        while queue:
+            queue.pop().action()
+        assert log == ["t1", "t2"]
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        log = []
+        keep = queue.push(1.0, record_action(log, "keep"))
+        drop = queue.push(0.5, record_action(log, "drop"))
+        drop.cancel()
+        assert queue.pop() is keep
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(5)]
+        events[0].cancel()
+        events[3].cancel()
+        assert len(queue) == 3
+
+    def test_bool_false_when_all_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert not queue
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+
+class TestEdgeCases:
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError, match="empty"):
+            EventQueue().pop()
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            EventQueue().push(math.nan, lambda: None)
+
+    def test_clear_empties_queue(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert len(queue) == 0
+        assert not queue
+
+    def test_infinite_time_allowed(self):
+        queue = EventQueue()
+        queue.push(math.inf, lambda: None)
+        assert queue.peek_time() == math.inf
+
+    def test_many_events_stay_sorted(self):
+        import random
+
+        local = random.Random(4)
+        queue = EventQueue()
+        times = [local.uniform(0, 100) for _ in range(500)]
+        for t in times:
+            queue.push(t, lambda: None)
+        popped = []
+        while queue:
+            popped.append(queue.pop().time)
+        assert popped == sorted(times)

@@ -1,0 +1,106 @@
+"""Tests for the multi-stream RNG substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.rng import RandomStreams
+
+
+class TestStreamIdentity:
+    def test_same_label_returns_same_generator(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_different_labels_return_different_generators(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is not streams.stream("b")
+
+    def test_master_seed_property(self):
+        assert RandomStreams(42).master_seed == 42
+
+
+class TestDeterminism:
+    def test_same_seed_same_label_same_draws(self):
+        first = RandomStreams(9).stream("arrivals").random(100)
+        second = RandomStreams(9).stream("arrivals").random(100)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = RandomStreams(9).stream("arrivals").random(100)
+        second = RandomStreams(10).stream("arrivals").random(100)
+        assert not np.array_equal(first, second)
+
+    def test_different_labels_differ(self):
+        streams = RandomStreams(9)
+        first = streams.stream("arrivals").random(100)
+        second = streams.stream("service").random(100)
+        assert not np.array_equal(first, second)
+
+    def test_request_order_does_not_matter(self):
+        forward = RandomStreams(5)
+        forward.stream("a")
+        a_then_b = forward.stream("b").random(10)
+        backward = RandomStreams(5)
+        backward.stream("b")
+        b_first = backward.fresh("b").random(10)
+        np.testing.assert_array_equal(a_then_b, b_first)
+
+
+class TestFresh:
+    def test_fresh_replays_initial_state(self):
+        streams = RandomStreams(3)
+        original = streams.stream("x").random(5)
+        replay = streams.fresh("x").random(5)
+        np.testing.assert_array_equal(original, replay)
+
+    def test_fresh_does_not_advance_shared_stream(self):
+        streams = RandomStreams(3)
+        streams.fresh("x").random(5)
+        first_draw = streams.stream("x").random()
+        assert first_draw == RandomStreams(3).stream("x").random()
+
+
+class TestSpawn:
+    def test_spawn_is_deterministic(self):
+        a = RandomStreams(7).spawn(2).stream("s").random(10)
+        b = RandomStreams(7).spawn(2).stream("s").random(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawned_children_differ(self):
+        parent = RandomStreams(7)
+        a = parent.spawn(0).stream("s").random(10)
+        b = parent.spawn(1).stream("s").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_child_differs_from_parent(self):
+        parent = RandomStreams(7)
+        child = parent.spawn(0)
+        assert not np.array_equal(
+            parent.fresh("s").random(10), child.fresh("s").random(10)
+        )
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RandomStreams(7).spawn(-1)
+
+
+class TestValidation:
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RandomStreams(-1)
+
+
+class TestStatisticalSanity:
+    def test_streams_look_independent(self):
+        """Correlation between two named streams should be negligible."""
+        streams = RandomStreams(11)
+        a = streams.stream("one").random(20_000)
+        b = streams.stream("two").random(20_000)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.03
+
+    def test_uniformity(self):
+        draws = RandomStreams(13).stream("u").random(50_000)
+        assert abs(draws.mean() - 0.5) < 0.01
+        assert abs(draws.var() - 1.0 / 12.0) < 0.005

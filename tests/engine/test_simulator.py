@@ -1,0 +1,162 @@
+"""Tests for the discrete-event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.simulator import SimulationError, Simulator
+
+
+class TestBasicRun:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_runs_events_in_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append(("b", sim.now)))
+        sim.schedule(1.0, lambda: log.append(("a", sim.now)))
+        sim.run()
+        assert log == [("a", 1.0), ("b", 2.0)]
+
+    def test_returns_final_time(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        assert sim.run() == 5.0
+
+    def test_empty_run_returns_zero(self):
+        assert Simulator().run() == 0.0
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+
+class TestSelfScheduling:
+    def test_recurring_process(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) < 5:
+                sim.schedule_after(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        assert ticks == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_schedule_after_zero_delay(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: sim.schedule_after(0.0, lambda: log.append(sim.now)))
+        sim.run()
+        assert log == [1.0]
+
+
+class TestUntil:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(10.0, lambda: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_until_exactly_at_event_time_fires(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append(5))
+        sim.run(until=5.0)
+        assert log == [5]
+
+    def test_until_advances_clock_when_no_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_run_can_resume(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(3.0, lambda: log.append(3))
+        sim.run(until=2.0)
+        sim.run()
+        assert log == [1, 3]
+
+
+class TestStop:
+    def test_stop_ends_run_after_current_event(self):
+        sim = Simulator()
+        log = []
+
+        def stopper():
+            log.append("stop")
+            sim.stop()
+
+        sim.schedule(1.0, stopper)
+        sim.schedule(2.0, lambda: log.append("never"))
+        sim.run()
+        assert log == ["stop"]
+        assert sim.pending_events == 1
+
+    def test_stop_does_not_advance_to_until(self):
+        sim = Simulator()
+        sim.schedule(1.0, sim.stop)
+        sim.run(until=100.0)
+        assert sim.now == 1.0
+
+
+class TestErrors:
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="before current time"):
+            sim.schedule(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError, match="non-negative"):
+            Simulator().schedule_after(-1.0, lambda: None)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule_after(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        failures = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError:
+                failures.append(True)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert failures == [True]
+
+    def test_runnable_again_after_error(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule_after(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=10)
+        # The loop must release its running flag even on error.
+        sim.stop()
+        sim.run(until=sim.now)

@@ -1,0 +1,178 @@
+"""Tests for streaming statistics, including Hypothesis properties."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.stats import (
+    ConfidenceInterval,
+    PercentileSummary,
+    RunningStats,
+    mean_confidence_interval,
+)
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        acc = RunningStats()
+        assert acc.count == 0
+        assert acc.mean == 0.0
+        assert acc.variance == 0.0
+
+    def test_single_value(self):
+        acc = RunningStats()
+        acc.add(4.0)
+        assert acc.mean == 4.0
+        assert acc.variance == 0.0
+        assert acc.minimum == 4.0
+        assert acc.maximum == 4.0
+
+    def test_known_values(self):
+        acc = RunningStats()
+        acc.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert acc.mean == pytest.approx(5.0)
+        assert acc.variance == pytest.approx(32.0 / 7.0)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    def test_matches_numpy(self, values):
+        acc = RunningStats()
+        acc.extend(values)
+        assert acc.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+        assert acc.variance == pytest.approx(
+            np.var(values, ddof=1), rel=1e-6, abs=1e-6
+        )
+        assert acc.minimum == min(values)
+        assert acc.maximum == max(values)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=100),
+        st.lists(finite_floats, min_size=1, max_size=100),
+    )
+    def test_merge_equals_concatenation(self, left, right):
+        merged = RunningStats()
+        merged.extend(left)
+        other = RunningStats()
+        other.extend(right)
+        merged.merge(other)
+
+        reference = RunningStats()
+        reference.extend(left + right)
+        assert merged.count == reference.count
+        assert merged.mean == pytest.approx(reference.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(
+            reference.variance, rel=1e-6, abs=1e-6
+        )
+
+    def test_merge_into_empty(self):
+        acc = RunningStats()
+        other = RunningStats()
+        other.extend([1.0, 2.0, 3.0])
+        acc.merge(other)
+        assert acc.mean == pytest.approx(2.0)
+        assert acc.count == 3
+
+    def test_merge_empty_is_noop(self):
+        acc = RunningStats()
+        acc.extend([1.0, 2.0])
+        acc.merge(RunningStats())
+        assert acc.count == 2
+
+    def test_numerical_stability_large_offset(self):
+        """Welford should survive a huge common offset."""
+        acc = RunningStats()
+        offset = 1e12
+        for value in (offset + 1, offset + 2, offset + 3):
+            acc.add(value)
+        assert acc.variance == pytest.approx(1.0, rel=1e-6)
+
+
+class TestConfidenceInterval:
+    def test_single_sample_zero_width(self):
+        interval = mean_confidence_interval([5.0])
+        assert interval.mean == 5.0
+        assert interval.half_width == 0.0
+
+    def test_matches_scipy_t(self):
+        samples = [10.1, 9.8, 10.3, 9.9, 10.2]
+        interval = mean_confidence_interval(samples, confidence=0.90)
+        from scipy import stats
+
+        mean = np.mean(samples)
+        sem = stats.sem(samples)
+        low, high = stats.t.interval(0.90, len(samples) - 1, loc=mean, scale=sem)
+        assert interval.low == pytest.approx(low)
+        assert interval.high == pytest.approx(high)
+
+    def test_contains(self):
+        interval = ConfidenceInterval(mean=10.0, half_width=1.0, confidence=0.9, samples=5)
+        assert interval.contains(10.5)
+        assert interval.contains(9.0)
+        assert not interval.contains(11.5)
+
+    def test_low_high(self):
+        interval = ConfidenceInterval(mean=10.0, half_width=2.0, confidence=0.9, samples=3)
+        assert interval.low == 8.0
+        assert interval.high == 12.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            mean_confidence_interval([])
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_confidence_rejected(self, confidence):
+        with pytest.raises(ValueError, match="confidence"):
+            mean_confidence_interval([1.0, 2.0], confidence=confidence)
+
+    def test_wider_confidence_wider_interval(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        narrow = mean_confidence_interval(samples, confidence=0.80)
+        wide = mean_confidence_interval(samples, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_str_format(self):
+        interval = ConfidenceInterval(mean=1.5, half_width=0.25, confidence=0.9, samples=5)
+        assert "1.5" in str(interval)
+        assert "±" in str(interval)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_mean_always_inside(self, samples):
+        interval = mean_confidence_interval(samples)
+        assert interval.contains(interval.mean)
+        assert interval.half_width >= 0.0
+
+
+class TestPercentileSummary:
+    def test_known_values(self):
+        box = PercentileSummary.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert box.median == 3.0
+        assert box.minimum == 1.0
+        assert box.maximum == 5.0
+        assert box.p25 == 2.0
+        assert box.p75 == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PercentileSummary.from_samples([])
+
+    def test_single_sample(self):
+        box = PercentileSummary.from_samples([7.0])
+        assert box.minimum == box.median == box.maximum == 7.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_ordering_invariant(self, samples):
+        box = PercentileSummary.from_samples(samples)
+        assert (
+            box.minimum <= box.p25 <= box.median <= box.p75 <= box.maximum
+        )
+
+    def test_str_contains_median(self):
+        box = PercentileSummary.from_samples([1.0, 2.0, 3.0])
+        assert "median=2.0000" in str(box)

@@ -1,0 +1,33 @@
+"""Tests for the Fig. 1 reproduction (Eq. 1 vs Monte Carlo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+
+
+class TestFig1:
+    def test_empirical_matches_analytic(self):
+        result = run_fig1(num_servers=10, k_values=(1, 2, 3), draws=40_000)
+        for k in (1, 2, 3):
+            assert result.max_abs_error(k) < 0.01
+
+    def test_k_equal_n_exact(self):
+        result = run_fig1(num_servers=10, k_values=(10,), draws=1_000)
+        assert result.max_abs_error(10) == 0.0
+
+    def test_deterministic(self):
+        first = run_fig1(k_values=(2,), draws=5_000, seed=4)
+        second = run_fig1(k_values=(2,), draws=5_000, seed=4)
+        assert (first.empirical[2] == second.empirical[2]).all()
+
+    def test_table_mentions_every_rank(self):
+        result = run_fig1(num_servers=5, k_values=(2,), draws=2_000)
+        table = result.format_table()
+        for rank in range(1, 6):
+            assert f"\n{rank}" in table or table.startswith(f"{rank}")
+
+    def test_invalid_draws(self):
+        with pytest.raises(ValueError, match="draws"):
+            run_fig1(draws=0)

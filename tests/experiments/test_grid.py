@@ -1,0 +1,118 @@
+"""Tests for the (T x load) advantage grid and its CLI command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.experiments.grid import GridResult, run_advantage_grid
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return run_advantage_grid(
+        BasicLIPolicy,
+        RandomPolicy,
+        subject_label="basic-li",
+        baseline_label="random",
+        t_values=(0.5, 8.0),
+        load_values=(0.5, 0.9),
+        jobs=6_000,
+        seeds=2,
+    )
+
+
+class TestRunAdvantageGrid:
+    def test_all_cells_present(self, small_grid):
+        assert len(small_grid.cells) == 4
+
+    def test_li_wins_everywhere_on_this_grid(self, small_grid):
+        for t in (0.5, 8.0):
+            for load in (0.5, 0.9):
+                assert small_grid.ratio(t, load) > 1.0
+
+    def test_advantage_grows_with_load(self, small_grid):
+        assert small_grid.ratio(0.5, 0.9) > small_grid.ratio(0.5, 0.5)
+
+    def test_advantage_shrinks_with_staleness(self, small_grid):
+        assert small_grid.ratio(8.0, 0.9) < small_grid.ratio(0.5, 0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_advantage_grid(
+                BasicLIPolicy, RandomPolicy, "a", "b", jobs=0
+            )
+        with pytest.raises(ValueError, match="seeds"):
+            run_advantage_grid(
+                BasicLIPolicy, RandomPolicy, "a", "b", seeds=0
+            )
+
+
+class TestFormatting:
+    def test_table_contains_ratios(self, small_grid):
+        table = small_grid.format_table()
+        assert "basic-li" in table
+        assert "random" in table
+        assert "T=0.5" in table
+
+    def test_heatmap_symbols(self, small_grid):
+        heatmap = small_grid.format_heatmap()
+        assert "heatmap" in heatmap
+        # Every data symbol must come from the legend alphabet.
+        body_rows = heatmap.splitlines()[2:-1]
+        for row in body_rows:
+            symbols = set(row.split()[1:])
+            assert symbols <= {"#", "*", "+", ".", "-"}
+
+    def test_heatmap_reflects_ratio_buckets(self):
+        result = GridResult(
+            subject_label="s",
+            baseline_label="b",
+            t_values=(1.0,),
+            load_values=(0.5,),
+            jobs=1,
+            seeds=1,
+            cells={(1.0, 0.5): (1.0, 5.0)},  # ratio 5 -> '#'
+        )
+        assert "#" in result.format_heatmap().splitlines()[2]
+
+
+class TestCLIGrid:
+    def test_grid_command(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "grid",
+                "--subject",
+                "basic-li",
+                "--baseline",
+                "random",
+                "--t",
+                "1",
+                "--loads",
+                "0.9",
+                "--jobs",
+                "2000",
+                "--seeds",
+                "1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "advantage" in output
+        assert "heatmap" in output
+
+    def test_unknown_policy(self, capsys):
+        from repro.cli import main
+
+        assert main(["grid", "--subject", "bogus"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_parameterized_policy_names(self):
+        from repro.cli import _grid_policy_factory
+
+        factory = _grid_policy_factory("k=2")
+        policy = factory()
+        assert policy.k == 2

@@ -1,0 +1,106 @@
+"""Tests for figure-result persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.persistence import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.experiments.report import CellResult, FigureResult
+
+
+def make_result():
+    result = FigureResult(
+        figure_id="figX",
+        title="Persist me",
+        x_label="T",
+        x_values=(1.0, 2.0),
+        curve_labels=("a", "b"),
+        summary="ci",
+        jobs=500,
+        seeds=2,
+        notes="note",
+    )
+    for curve in ("a", "b"):
+        for x in (1.0, 2.0):
+            result.cells[(curve, x)] = CellResult(
+                curve=curve, x=x, samples=(x + 0.5, x + 1.5)
+            )
+    return result
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        original = make_result()
+        restored = result_from_dict(result_to_dict(original))
+        assert restored.figure_id == original.figure_id
+        assert restored.x_values == original.x_values
+        assert restored.curve_labels == original.curve_labels
+        assert restored.cells.keys() == original.cells.keys()
+        for key in original.cells:
+            assert restored.cells[key].samples == original.cells[key].samples
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "result.json"
+        original = make_result()
+        save_result(original, path)
+        restored = load_result(path)
+        assert restored.format_table() == original.format_table()
+
+    def test_saved_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(make_result(), path)
+        payload = json.loads(path.read_text())
+        assert payload["figure_id"] == "figX"
+        assert payload["format_version"] == 1
+
+    def test_wrong_version_rejected(self):
+        payload = result_to_dict(make_result())
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            result_from_dict(payload)
+
+
+class TestCLIIntegration:
+    def test_run_save_then_show(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "fig2.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "fig2",
+                    "--jobs",
+                    "300",
+                    "--seeds",
+                    "1",
+                    "--curves",
+                    "random",
+                    "--x",
+                    "1",
+                    "--save",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        run_output = capsys.readouterr().out
+        assert path.exists()
+        assert main(["show", str(path)]) == 0
+        show_output = capsys.readouterr().out
+        assert show_output.strip() == run_output.strip()
+
+    def test_show_bad_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["show", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err

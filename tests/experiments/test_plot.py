@@ -1,0 +1,87 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.plot import ascii_chart
+from repro.experiments.report import CellResult, FigureResult
+
+
+def make_result(num_curves=2, x_values=(1.0, 2.0, 4.0)):
+    labels = tuple(f"curve{i}" for i in range(num_curves))
+    result = FigureResult(
+        figure_id="figX",
+        title="Chart test",
+        x_label="T",
+        x_values=x_values,
+        curve_labels=labels,
+        summary="ci",
+        jobs=100,
+        seeds=1,
+    )
+    for curve_index, label in enumerate(labels):
+        for x_index, x in enumerate(x_values):
+            value = 1.0 + curve_index * 10.0 + x_index
+            result.cells[(label, x)] = CellResult(
+                curve=label, x=x, samples=(value,)
+            )
+    return result
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self):
+        chart = ascii_chart(make_result())
+        assert "figX" in chart
+        assert "o=curve0" in chart
+        assert "*=curve1" in chart
+
+    def test_axis_endpoints_shown(self):
+        chart = ascii_chart(make_result(x_values=(0.5, 64.0)))
+        assert "0.5" in chart
+        assert "64" in chart
+
+    def test_markers_present(self):
+        chart = ascii_chart(make_result())
+        plot_lines = chart.splitlines()[1:-3]
+        body = "\n".join(plot_lines)
+        assert "o" in body
+        assert "*" in body
+
+    def test_higher_values_plot_higher(self):
+        result = make_result(num_curves=2)
+        chart_lines = ascii_chart(result).splitlines()[1:-3]
+        first_star = next(
+            i for i, line in enumerate(chart_lines) if "*" in line
+        )
+        last_o = max(i for i, line in enumerate(chart_lines) if "o" in line)
+        # curve1 (values ~11-13) must appear above curve0 (values ~1-3).
+        assert first_star < last_o
+
+    def test_log_scale(self):
+        chart = ascii_chart(make_result(), log_y=True)
+        assert "log10(resp)" in chart
+
+    def test_flat_series_does_not_crash(self):
+        result = make_result(num_curves=1, x_values=(1.0, 2.0))
+        for key in result.cells:
+            result.cells[key] = CellResult(curve=key[0], x=key[1], samples=(5.0,))
+        ascii_chart(result)
+
+    def test_single_x_value(self):
+        ascii_chart(make_result(x_values=(4.0,)))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            ascii_chart(make_result(), width=5, height=2)
+
+    def test_too_many_curves_rejected(self):
+        with pytest.raises(ValueError, match="too many curves"):
+            ascii_chart(make_result(num_curves=9))
+
+    def test_dimensions(self):
+        chart = ascii_chart(make_result(), width=40, height=10)
+        plot_lines = chart.splitlines()[1:11]
+        assert len(plot_lines) == 10
+        for line in plot_lines:
+            assert len(line) <= 10 + 40

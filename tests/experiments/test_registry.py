@@ -1,0 +1,160 @@
+"""Tests for the figure registry: every spec must be buildable and sane."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import (
+    FIGURES,
+    _clients_for_age,
+    figure_ids,
+    get_figure,
+)
+
+PAPER_FIGURES = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5a",
+    "fig5b",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig6d",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "fig8",
+    "fig9",
+    "fig10a",
+    "fig10b",
+    "fig10c",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14a",
+    "fig14b",
+    "fig14c",
+]
+
+
+class TestCoverage:
+    def test_every_paper_figure_registered(self):
+        for figure_id in PAPER_FIGURES:
+            assert figure_id in FIGURES, f"missing {figure_id}"
+
+    def test_extensions_registered(self):
+        for figure_id in (
+            "ext-hybrid",
+            "ext-individual",
+            "ext-ewma",
+            "ext-workinfo",
+        ):
+            assert figure_id in FIGURES
+
+    def test_figure_ids_order_stable(self):
+        assert figure_ids()[0] == "fig2"
+
+    def test_get_figure_unknown(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            get_figure("fig99")
+
+
+class TestEverySpecBuilds:
+    @pytest.mark.parametrize("figure_id", sorted(FIGURES))
+    def test_first_cell_runs(self, figure_id):
+        """Each figure's first (curve, x) cell must simulate end to end."""
+        spec = get_figure(figure_id)
+        simulation = spec.build_simulation(
+            spec.curves[0], x=spec.x_values[0], seed=1, total_jobs=300
+        )
+        result = simulation.run()
+        assert result.jobs_total == 300
+        assert result.mean_response_time > 0.0
+
+    @pytest.mark.parametrize("figure_id", sorted(FIGURES))
+    def test_every_curve_constructs(self, figure_id):
+        spec = get_figure(figure_id)
+        for curve in spec.curves:
+            policy = curve.make_policy()
+            estimator = curve.make_estimator()
+            assert policy is not None
+            assert estimator is not None
+
+
+class TestSpecificSemantics:
+    def test_fig3_light_load(self):
+        assert get_figure("fig3").offered_load == 0.5
+
+    def test_fig4_hundred_servers(self):
+        assert get_figure("fig4").num_servers == 100
+
+    def test_fig13_lambda_axis(self):
+        spec = get_figure("fig13")
+        assert spec.x_label == "lambda"
+        simulation = spec.build_simulation(
+            spec.curve("random"), x=0.5, seed=1, total_jobs=10
+        )
+        assert simulation.arrivals.total_rate == pytest.approx(5.0)
+        assert simulation.staleness.period == 4.0
+
+    def test_fig10_box_summary(self):
+        assert get_figure("fig10c").summary == "box"
+
+    def test_fig8_client_count_tracks_age(self):
+        assert _clients_for_age(2.0, 10, 0.9) == 18
+        assert _clients_for_age(0.01, 10, 0.9) == 1  # floor at one client
+
+    def test_fig9_bursty_arrivals(self):
+        spec = get_figure("fig9")
+        arrivals = spec.make_arrivals(2.0, 10, 0.9)
+        assert arrivals.burst_size == 10
+        assert arrivals.total_rate == pytest.approx(9.0)
+
+    def test_fig6_vs_fig7_age_knowledge(self):
+        fig6 = get_figure("fig6d").make_staleness(1.0)
+        fig7 = get_figure("fig7c").make_staleness(1.0)
+        assert fig6.known_age is False
+        assert fig7.known_age is True
+
+    def test_fig12_misestimation_factors(self):
+        spec = get_figure("fig12")
+        labels = [curve.label for curve in spec.curves]
+        assert "li(0.125x)" in labels
+        assert "li(8x)" in labels
+        estimator = spec.curve("li(2x)").make_estimator()
+        estimator.bind(10, 0.9)
+        assert estimator.per_server_rate() == pytest.approx(1.8)
+
+    def test_fig13_conservative_estimator(self):
+        spec = get_figure("fig13")
+        estimator = spec.curve("basic-li(assume=1.0)").make_estimator()
+        estimator.bind(10, 0.3)
+        assert estimator.per_server_rate() == 1.0
+
+    def test_fig11_heavier_tail(self):
+        service = get_figure("fig11").make_service()
+        assert service.p == pytest.approx(10_000.0)
+
+
+class TestCurveLevelStalenessOverride:
+    def test_workinfo_curves_use_work_metric(self):
+        spec = get_figure("ext-workinfo")
+        work_sim = spec.build_simulation(
+            spec.curve("basic-li(work)"), x=2.0, seed=1, total_jobs=10
+        )
+        queue_sim = spec.build_simulation(
+            spec.curve("basic-li(queue)"), x=2.0, seed=1, total_jobs=10
+        )
+        assert work_sim.staleness.metric == "work-backlog"
+        assert queue_sim.staleness.metric == "queue-length"
+
+    def test_hetero_figure_passes_server_rates(self):
+        spec = get_figure("ext-hetero")
+        simulation = spec.build_simulation(
+            spec.curve("weighted-li"), x=2.0, seed=1, total_jobs=10
+        )
+        assert simulation.server_rates is not None
+        assert sum(simulation.server_rates) == pytest.approx(12.0)
+        result = simulation.run()
+        assert result.jobs_total == 10

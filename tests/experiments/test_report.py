@@ -1,0 +1,99 @@
+"""Tests for result containers and table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import CellResult, FigureResult
+
+
+def make_result(summary="ci"):
+    result = FigureResult(
+        figure_id="figX",
+        title="Example figure",
+        x_label="T",
+        x_values=(1.0, 2.0),
+        curve_labels=("random", "basic-li"),
+        summary=summary,
+        jobs=1000,
+        seeds=3,
+        notes="a note",
+    )
+    values = {
+        ("random", 1.0): (10.0, 10.5, 9.5),
+        ("random", 2.0): (10.2, 10.0, 9.8),
+        ("basic-li", 1.0): (3.0, 3.2, 2.8),
+        ("basic-li", 2.0): (4.0, 4.4, 3.6),
+    }
+    for (curve, x), samples in values.items():
+        result.cells[(curve, x)] = CellResult(curve=curve, x=x, samples=samples)
+    return result
+
+
+class TestCellResult:
+    def test_mean_and_median(self):
+        cell = CellResult(curve="c", x=1.0, samples=(1.0, 2.0, 6.0))
+        assert cell.mean == pytest.approx(3.0)
+        assert cell.median == 2.0
+
+    def test_even_median(self):
+        cell = CellResult(curve="c", x=1.0, samples=(1.0, 3.0))
+        assert cell.median == 2.0
+
+    def test_confidence_interval(self):
+        cell = CellResult(curve="c", x=1.0, samples=(10.0, 10.0, 10.0))
+        interval = cell.confidence_interval()
+        assert interval.mean == 10.0
+        assert interval.half_width == 0.0
+
+    def test_percentile_box(self):
+        cell = CellResult(curve="c", x=1.0, samples=(1.0, 2.0, 3.0, 4.0, 5.0))
+        box = cell.percentile_box()
+        assert box.median == 3.0
+
+
+class TestFigureResult:
+    def test_value_mean_for_ci(self):
+        result = make_result("ci")
+        assert result.value("random", 1.0) == pytest.approx(10.0)
+
+    def test_value_median_for_box(self):
+        result = make_result("box")
+        assert result.value("basic-li", 2.0) == 4.0
+
+    def test_series(self):
+        result = make_result()
+        assert result.series("basic-li") == [
+            pytest.approx(3.0),
+            pytest.approx(4.0),
+        ]
+
+    def test_best_curve_at(self):
+        result = make_result()
+        assert result.best_curve_at(1.0) == "basic-li"
+        assert result.best_curve_at(1.0, exclude=("basic-li",)) == "random"
+
+    def test_missing_cell_raises(self):
+        with pytest.raises(KeyError, match="no cell"):
+            make_result().cell("random", 99.0)
+
+    def test_format_table_contains_everything(self):
+        text = make_result().format_table()
+        assert "figX" in text
+        assert "Example figure" in text
+        assert "random" in text
+        assert "basic-li" in text
+        assert "a note" in text
+        assert "10.000" in text
+        assert "±" in text
+
+    def test_format_table_box_mode(self):
+        text = make_result("box").format_table()
+        assert "[" in text and ".." in text
+
+    def test_format_markdown(self):
+        text = make_result().format_markdown()
+        lines = text.splitlines()
+        assert lines[0].startswith("| T |")
+        assert set(lines[1].replace("|", "")) <= {"-"}
+        assert len(lines) == 2 + 2  # header + rule + two x rows

@@ -1,0 +1,169 @@
+"""Tests for the sweep runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_cell, run_figure
+
+
+class TestRunCell:
+    def test_returns_response_time(self):
+        value = run_cell("fig2", "random", x=1.0, seed=1, total_jobs=2_000)
+        assert 1.0 < value < 100.0
+
+    def test_deterministic(self):
+        first = run_cell("fig2", "basic-li", x=4.0, seed=2, total_jobs=1_000)
+        second = run_cell("fig2", "basic-li", x=4.0, seed=2, total_jobs=1_000)
+        assert first == second
+
+    def test_seed_changes_result(self):
+        first = run_cell("fig2", "basic-li", x=4.0, seed=2, total_jobs=1_000)
+        second = run_cell("fig2", "basic-li", x=4.0, seed=3, total_jobs=1_000)
+        assert first != second
+
+
+class TestRunFigure:
+    def test_small_sweep_complete(self):
+        result = run_figure(
+            "fig2",
+            jobs=1_000,
+            seeds=2,
+            x_values=(1.0, 8.0),
+            curves=("random", "basic-li"),
+        )
+        assert result.x_values == (1.0, 8.0)
+        assert result.curve_labels == ("random", "basic-li")
+        assert len(result.cells) == 4
+        for cell in result.cells.values():
+            assert len(cell.samples) == 2
+
+    def test_defaults_come_from_spec(self):
+        result = run_figure(
+            "fig2", jobs=500, x_values=(1.0,), curves=("random",)
+        )
+        assert result.seeds == 5  # fig2 default_seeds
+
+    def test_unknown_curve_rejected_early(self):
+        with pytest.raises(KeyError, match="no curve"):
+            run_figure("fig2", jobs=100, curves=("nonexistent",))
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            run_figure("figZZ")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_figure("fig2", jobs=0)
+        with pytest.raises(ValueError, match="seeds"):
+            run_figure("fig2", seeds=0)
+
+    def test_parallel_matches_serial(self):
+        """Process-parallel execution must be bit-identical to serial."""
+        kwargs = dict(
+            jobs=800,
+            seeds=2,
+            x_values=(1.0, 4.0),
+            curves=("random", "basic-li"),
+        )
+        serial = run_figure("fig2", processes=1, **kwargs)
+        parallel = run_figure("fig2", processes=4, **kwargs)
+        for key, cell in serial.cells.items():
+            assert parallel.cells[key].samples == cell.samples
+
+    def test_common_random_numbers_across_curves(self):
+        """Same base seed => same workload draws for every curve, so the
+        random curve is identical across separately-run figures."""
+        first = run_figure(
+            "fig2", jobs=500, seeds=2, x_values=(1.0,), curves=("random",)
+        )
+        second = run_figure(
+            "fig2",
+            jobs=500,
+            seeds=2,
+            x_values=(1.0,),
+            curves=("random", "k=2"),
+        )
+        assert (
+            first.cell("random", 1.0).samples
+            == second.cell("random", 1.0).samples
+        )
+
+    def test_box_summary_figure(self):
+        result = run_figure(
+            "fig10c",
+            jobs=1_000,
+            seeds=3,
+            x_values=(2.0,),
+            curves=("random", "basic-li"),
+        )
+        box = result.cell("basic-li", 2.0).percentile_box()
+        assert box.minimum <= box.median <= box.maximum
+
+
+class TestRunUntilPrecise:
+    def test_stops_when_precise(self):
+        from repro.experiments.runner import run_until_precise
+
+        cell = run_until_precise(
+            "fig2",
+            "random",
+            x=1.0,
+            jobs=8_000,
+            target_relative_halfwidth=0.25,
+            min_seeds=3,
+            max_seeds=20,
+        )
+        assert 3 <= len(cell.samples) <= 20
+        interval = cell.confidence_interval()
+        assert interval.half_width / interval.mean <= 0.25
+
+    def test_respects_max_seeds(self):
+        from repro.experiments.runner import run_until_precise
+
+        cell = run_until_precise(
+            "fig2",
+            "random",
+            x=1.0,
+            jobs=500,
+            target_relative_halfwidth=0.001,  # unreachable at this scale
+            min_seeds=3,
+            max_seeds=5,
+        )
+        assert len(cell.samples) == 5
+
+    def test_tighter_target_needs_more_seeds(self):
+        from repro.experiments.runner import run_until_precise
+
+        loose = run_until_precise(
+            "fig2", "random", x=1.0, jobs=3_000,
+            target_relative_halfwidth=0.5, max_seeds=30,
+        )
+        tight = run_until_precise(
+            "fig2", "random", x=1.0, jobs=3_000,
+            target_relative_halfwidth=0.03, max_seeds=30,
+        )
+        assert len(tight.samples) >= len(loose.samples)
+
+    def test_validation(self):
+        from repro.experiments.runner import run_until_precise
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="target_relative_halfwidth"):
+            run_until_precise("fig2", "random", 1.0, 100, target_relative_halfwidth=1.5)
+        with _pytest.raises(ValueError, match="min_seeds"):
+            run_until_precise("fig2", "random", 1.0, 100, min_seeds=1)
+
+
+class TestCsvExport:
+    def test_csv_round_numbers(self):
+        result = run_figure(
+            "fig2", jobs=500, seeds=2, x_values=(1.0,), curves=("random",)
+        )
+        csv_text = result.format_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "curve,x,seed_index,mean_response_time"
+        assert len(lines) == 3  # header + 2 seeds
+        curve, x, seed_index, value = lines[1].split(",")
+        assert curve == "random"
+        assert float(value) > 0

@@ -1,0 +1,88 @@
+"""Tests for figure/curve specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.random_policy import RandomPolicy
+from repro.experiments.registry import (
+    periodic,
+    poisson_arrivals,
+)
+from repro.experiments.spec import CurveSpec, FigureSpec
+from repro.workloads.service import exponential_service
+
+
+def minimal_figure(**overrides):
+    defaults = dict(
+        figure_id="test-fig",
+        title="test",
+        x_label="T",
+        x_values=(1.0, 2.0),
+        curves=(CurveSpec("random", RandomPolicy),),
+        num_servers=4,
+        offered_load=0.5,
+        make_arrivals=poisson_arrivals,
+        make_staleness=periodic,
+        make_service=exponential_service,
+    )
+    defaults.update(overrides)
+    return FigureSpec(**defaults)
+
+
+class TestCurveSpec:
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            CurveSpec("", RandomPolicy)
+
+
+class TestFigureSpecValidation:
+    def test_valid(self):
+        minimal_figure()
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError, match="x_values"):
+            minimal_figure(x_values=())
+
+    def test_empty_curves_rejected(self):
+        with pytest.raises(ValueError, match="curves"):
+            minimal_figure(curves=())
+
+    def test_bad_summary_rejected(self):
+        with pytest.raises(ValueError, match="summary"):
+            minimal_figure(summary="histogram")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            minimal_figure(
+                curves=(
+                    CurveSpec("a", RandomPolicy),
+                    CurveSpec("a", RandomPolicy),
+                )
+            )
+
+
+class TestLookupAndBuild:
+    def test_curve_lookup(self):
+        spec = minimal_figure()
+        assert spec.curve("random").label == "random"
+
+    def test_curve_lookup_missing(self):
+        with pytest.raises(KeyError, match="no curve"):
+            minimal_figure().curve("nope")
+
+    def test_build_simulation_runs(self):
+        spec = minimal_figure()
+        simulation = spec.build_simulation(
+            spec.curve("random"), x=1.0, seed=1, total_jobs=500
+        )
+        result = simulation.run()
+        assert result.jobs_total == 500
+        assert result.mean_response_time > 0
+
+    def test_build_uses_x_for_staleness(self):
+        spec = minimal_figure()
+        simulation = spec.build_simulation(
+            spec.curve("random"), x=7.0, seed=1, total_jobs=10
+        )
+        assert simulation.staleness.period == 7.0

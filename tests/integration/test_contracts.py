@@ -1,0 +1,137 @@
+"""Property-based contract tests for the staleness/policy interface.
+
+A probe policy validates every :class:`LoadView` it is handed while
+Hypothesis drives randomized workloads through each staleness model —
+catching contract violations (negative ages, loads out of range, phase
+metadata drift) anywhere in the stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.policy import Policy
+from repro.staleness.continuous import ContinuousUpdate
+from repro.staleness.individual import IndividualUpdate
+from repro.staleness.periodic import PeriodicUpdate
+from repro.staleness.update_on_access import UpdateOnAccess
+from repro.workloads.arrivals import ClientArrivals, PoissonArrivals
+from repro.workloads.distributions import Exponential, Uniform
+from repro.workloads.service import exponential_service
+
+
+class ProbePolicy(Policy):
+    """Uniform-random dispatch that asserts view invariants on the way."""
+
+    name = "probe"
+
+    def __init__(self, check):
+        super().__init__()
+        self._check = check
+
+    def select(self, view) -> int:
+        self._check(view)
+        return int(self.rng.integers(self.num_servers))
+
+
+def run_with_probe(staleness, check, arrivals=None, jobs=600, seed=3):
+    simulation = ClusterSimulation(
+        num_servers=5,
+        arrivals=arrivals or PoissonArrivals(4.0),
+        service=exponential_service(),
+        policy=ProbePolicy(check),
+        staleness=staleness,
+        total_jobs=jobs,
+        seed=seed,
+    )
+    simulation.run()
+
+
+def universal_invariants(view) -> None:
+    assert np.all(view.loads >= 0), "loads must be non-negative"
+    assert np.all(np.isfinite(view.loads)), "loads must be finite"
+    assert view.elapsed >= -1e-12, "information cannot come from the future"
+    assert view.horizon > 0, "interpretation window must be positive"
+    assert view.now >= view.info_time - 1e-9
+    assert view.effective_window >= 0
+
+
+class TestPeriodicContract:
+    @given(period=st.floats(min_value=0.05, max_value=30.0), seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants(self, period, seed):
+        def check(view):
+            universal_invariants(view)
+            assert view.phase_based
+            # Within a phase the age never reaches the period (the
+            # refresh event fires before same-instant arrivals).
+            assert view.elapsed <= period + 1e-9
+            assert view.horizon == period
+
+        run_with_probe(PeriodicUpdate(period), check, seed=seed)
+
+
+class TestContinuousContract:
+    @given(
+        mean_delay=st.floats(min_value=0.05, max_value=20.0),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_invariants(self, mean_delay, seed):
+        delay = Uniform(0.0, 2.0 * mean_delay)
+
+        def check(view):
+            universal_invariants(view)
+            assert not view.phase_based
+            assert 0.0 <= view.elapsed <= 2.0 * mean_delay + 1e-9
+
+        run_with_probe(ContinuousUpdate(delay), check, seed=seed)
+
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_exponential_delays(self, seed):
+        def check(view):
+            universal_invariants(view)
+
+        run_with_probe(ContinuousUpdate(Exponential(3.0)), check, seed=seed)
+
+
+class TestUpdateOnAccessContract:
+    @given(num_clients=st.integers(1, 12), seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants(self, num_clients, seed):
+        last_request_time: dict[int, float] = {}
+
+        def check(view):
+            universal_invariants(view)
+            assert view.known_age
+            previous = last_request_time.get(view.client_id)
+            if previous is not None:
+                # The snapshot is exactly as old as the client's own gap.
+                assert abs(view.elapsed - (view.now - previous)) < 1e-9
+            last_request_time[view.client_id] = view.now
+
+        run_with_probe(
+            UpdateOnAccess(nominal_age=1.0),
+            check,
+            arrivals=ClientArrivals(num_clients, 4.0),
+            seed=seed,
+        )
+
+
+class TestIndividualContract:
+    @given(period=st.floats(min_value=0.2, max_value=10.0), seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_invariants(self, period, seed):
+        def check(view):
+            universal_invariants(view)
+            assert view.ages is not None
+            assert view.ages.shape == view.loads.shape
+            assert np.all(view.ages >= -1e-9)
+            # No entry is ever older than one full period plus its
+            # initial random offset.
+            assert np.all(view.ages <= 2.0 * period + 1e-9)
+
+        run_with_probe(IndividualUpdate(period), check, seed=seed)

@@ -1,0 +1,127 @@
+"""Reproducibility across every staleness model and policy family.
+
+Reproducibility is a first-class property for a simulation study: the
+paper's figures are only meaningful if a (seed, configuration) pair maps
+to exactly one result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.ksubset import KSubsetPolicy
+from repro.core.li_aggressive import AggressiveLIPolicy
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.li_hybrid import HybridLIPolicy
+from repro.core.li_subset import SubsetLIPolicy
+from repro.core.li_weighted import WeightedLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.core.threshold import ThresholdPolicy
+from repro.staleness.continuous import ContinuousUpdate
+from repro.staleness.individual import IndividualUpdate
+from repro.staleness.periodic import PeriodicUpdate
+from repro.staleness.update_on_access import UpdateOnAccess
+from repro.workloads.arrivals import (
+    BurstyClientArrivals,
+    ClientArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.distributions import Exponential
+from repro.workloads.service import bounded_pareto_service, exponential_service
+
+POLICIES = [
+    RandomPolicy,
+    lambda: KSubsetPolicy(2),
+    lambda: ThresholdPolicy(4.0, k=2),
+    BasicLIPolicy,
+    AggressiveLIPolicy,
+    HybridLIPolicy,
+    lambda: SubsetLIPolicy(3),
+    WeightedLIPolicy,
+]
+
+STALENESS = [
+    lambda: PeriodicUpdate(4.0),
+    lambda: ContinuousUpdate(Exponential(4.0)),
+    lambda: UpdateOnAccess(4.0),
+    lambda: IndividualUpdate(4.0),
+]
+
+ARRIVALS = [
+    lambda: PoissonArrivals(9.0),
+    lambda: ClientArrivals(num_clients=9, total_rate=9.0),
+    lambda: BurstyClientArrivals(num_clients=9, total_rate=9.0, burst_size=5),
+]
+
+
+def run_once(policy_factory, staleness_factory, arrivals_factory, service):
+    simulation = ClusterSimulation(
+        num_servers=10,
+        arrivals=arrivals_factory(),
+        service=service,
+        policy=policy_factory(),
+        staleness=staleness_factory(),
+        total_jobs=3_000,
+        seed=17,
+    )
+    return simulation.run().mean_response_time
+
+
+@pytest.mark.parametrize(
+    "policy_factory", POLICIES, ids=lambda f: getattr(f, "__name__", "lambda")
+)
+@pytest.mark.parametrize("staleness_index", range(len(STALENESS)))
+def test_policy_model_grid_deterministic(policy_factory, staleness_index):
+    staleness_factory = STALENESS[staleness_index]
+    first = run_once(
+        policy_factory, staleness_factory, ARRIVALS[0], exponential_service()
+    )
+    second = run_once(
+        policy_factory, staleness_factory, ARRIVALS[0], exponential_service()
+    )
+    assert first == second
+
+
+@pytest.mark.parametrize("arrivals_index", range(len(ARRIVALS)))
+def test_arrival_sources_deterministic(arrivals_index):
+    arrivals_factory = ARRIVALS[arrivals_index]
+    first = run_once(
+        BasicLIPolicy, STALENESS[0], arrivals_factory, exponential_service()
+    )
+    second = run_once(
+        BasicLIPolicy, STALENESS[0], arrivals_factory, exponential_service()
+    )
+    assert first == second
+
+
+def test_heavy_tailed_service_deterministic():
+    service = bounded_pareto_service()
+    first = run_once(BasicLIPolicy, STALENESS[0], ARRIVALS[0], service)
+    second = run_once(
+        BasicLIPolicy, STALENESS[0], ARRIVALS[0], bounded_pareto_service()
+    )
+    assert first == second
+
+
+def test_policy_reuse_across_runs_is_clean():
+    """Reusing one policy object for two runs must give the same pair of
+    results as using fresh objects (no state leakage through caches)."""
+    shared = BasicLIPolicy()
+
+    def run_with(policy):
+        simulation = ClusterSimulation(
+            num_servers=10,
+            arrivals=PoissonArrivals(9.0),
+            service=exponential_service(),
+            policy=policy,
+            staleness=PeriodicUpdate(4.0),
+            total_jobs=3_000,
+            seed=21,
+        )
+        return simulation.run().mean_response_time
+
+    reused_first = run_with(shared)
+    reused_second = run_with(shared)
+    fresh = run_with(BasicLIPolicy())
+    assert reused_first == reused_second == fresh

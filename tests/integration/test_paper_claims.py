@@ -1,0 +1,212 @@
+"""End-to-end checks of the paper's headline claims, at reduced scale.
+
+These tests assert the *shape* of the paper's results (who wins, and
+roughly where the crossovers fall), not absolute numbers: the runs here
+use far fewer arrivals and seeds than the paper's 500,000 x 10.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.mmk import random_split_response_time
+from repro.experiments.runner import run_cell, run_figure
+
+JOBS = 25_000
+SEEDS = 3
+
+
+def sweep(figure_id, curves, x_values, jobs=JOBS, seeds=SEEDS):
+    return run_figure(
+        figure_id, jobs=jobs, seeds=seeds, curves=curves, x_values=x_values
+    )
+
+
+class TestClaim1FreshInformation:
+    """Fresh info: LI matches the most aggressive algorithms and all
+    load-aware policies crush oblivious random."""
+
+    def test_li_matches_greedy_when_fresh(self):
+        result = sweep(
+            "fig2", ("k=10", "basic-li", "aggressive-li", "random"), (0.1,)
+        )
+        greedy = result.value("k=10", 0.1)
+        for li in ("basic-li", "aggressive-li"):
+            assert result.value(li, 0.1) <= greedy * 1.15
+        assert result.value("basic-li", 0.1) < result.value("random", 0.1) / 2
+
+
+class TestClaim2ModerateStaleness:
+    """Moderately old info: LI beats the best k-subset variant."""
+
+    def test_li_beats_all_ksubsets_at_moderate_age(self):
+        result = sweep(
+            "fig2",
+            ("k=2", "k=3", "k=10", "basic-li", "aggressive-li"),
+            (8.0,),
+            seeds=4,
+        )
+        best_subset = min(result.value(k, 8.0) for k in ("k=2", "k=3", "k=10"))
+        assert result.value("aggressive-li", 8.0) < best_subset
+        assert result.value("basic-li", 8.0) < best_subset
+
+
+class TestClaim3StaleInformation:
+    """Very old info: k-subset algorithms herd and lose to random; LI
+    degrades gracefully to (or below) random."""
+
+    def test_ksubset_pathological_at_large_t(self):
+        result = sweep("fig2", ("random", "k=2", "k=10"), (64.0,))
+        random_value = result.value("random", 64.0)
+        assert result.value("k=10", 64.0) > 3 * random_value
+        assert result.value("k=2", 64.0) > random_value
+
+    def test_li_never_pathological(self):
+        result = sweep(
+            "fig2", ("random", "basic-li", "aggressive-li"), (64.0,), seeds=4
+        )
+        random_value = result.value("random", 64.0)
+        assert result.value("basic-li", 64.0) <= random_value * 1.10
+        assert result.value("aggressive-li", 64.0) <= random_value * 1.10
+
+    def test_li_retains_measurable_advantage(self):
+        """The paper reports LI still beats oblivious random at large T."""
+        result = sweep(
+            "fig2", ("random", "aggressive-li"), (32.0,), seeds=4
+        )
+        assert result.value("aggressive-li", 32.0) < result.value(
+            "random", 32.0
+        )
+
+
+class TestClaim4LightLoad:
+    """At load 0.5 gains shrink and nothing beats random by much at
+    large T, but LI stays at least as good as the alternatives."""
+
+    def test_fig3_shape(self):
+        result = sweep("fig3", ("random", "k=10", "basic-li"), (0.5, 16.0))
+        # Fresh: big win over random.
+        assert result.value("basic-li", 0.5) < result.value("random", 0.5)
+        # Stale: greedy worse than random, LI not.
+        assert result.value("k=10", 16.0) > result.value("random", 16.0)
+        assert result.value("basic-li", 16.0) <= result.value("random", 16.0) * 1.1
+
+    def test_random_matches_mm1_at_half_load(self):
+        value = run_cell("fig3", "random", x=1.0, seed=1, total_jobs=40_000)
+        assert value == pytest.approx(random_split_response_time(0.5), rel=0.1)
+
+
+class TestClaim5Misestimation:
+    """Underestimating λ is dangerous; overestimating is nearly free."""
+
+    def test_asymmetry(self):
+        result = sweep(
+            "fig12", ("li(0.125x)", "li(1x)", "li(8x)", "random"), (8.0,), seeds=4
+        )
+        exact = result.value("li(1x)", 8.0)
+        underestimate = result.value("li(0.125x)", 8.0)
+        overestimate = result.value("li(8x)", 8.0)
+        assert underestimate > exact * 1.5  # severe damage
+        assert overestimate < exact * 1.6  # modest damage by comparison
+        assert overestimate < underestimate
+        assert overestimate < result.value("random", 8.0)
+
+    def test_conservative_strategy_near_exact(self):
+        """Fig. 13: assuming λ = 1.0 costs almost nothing at λ = 0.9."""
+        result = sweep(
+            "fig13", ("basic-li(exact)", "basic-li(assume=1.0)"), (0.9,), seeds=4
+        )
+        exact = result.value("basic-li(exact)", 0.9)
+        conservative = result.value("basic-li(assume=1.0)", 0.9)
+        assert conservative == pytest.approx(exact, rel=0.10)
+
+    def test_conservative_fine_at_light_load_too(self):
+        result = sweep(
+            "fig13",
+            ("basic-li(assume=1.0)", "random"),
+            (0.5,),
+        )
+        # Over-conservative LI degrades toward random, never below it much.
+        assert result.value("basic-li(assume=1.0)", 0.5) <= result.value(
+            "random", 0.5
+        ) * 1.1
+
+
+class TestClaim6RestrictedInformation:
+    """LI-k: more information monotonically helps, unlike plain k-subset."""
+
+    def test_li_k_improves_with_k_under_periodic(self):
+        result = sweep("fig14c", ("li-2", "li-3", "li-10"), (8.0,), seeds=4)
+        assert result.value("li-10", 8.0) <= result.value("li-3", 8.0) * 1.05
+        assert result.value("li-3", 8.0) <= result.value("li-2", 8.0) * 1.05
+
+    def test_li_2_beats_plain_k2_when_stale(self):
+        result = sweep("fig14c", ("k=2", "li-2"), (16.0,), seeds=4)
+        assert result.value("li-2", 16.0) < result.value("k=2", 16.0)
+
+
+class TestClaim7UpdateModels:
+    def test_update_on_access_all_reasonable(self):
+        """Per-client updates desynchronize clients; even greedy stays
+        close to random instead of herding."""
+        result = sweep("fig8", ("random", "k=10", "basic-li"), (8.0,))
+        random_value = result.value("random", 8.0)
+        assert result.value("k=10", 8.0) < random_value * 2.0
+        assert result.value("basic-li", 8.0) <= random_value
+
+    def test_bursty_clients_help_load_aware_policies(self):
+        """Fig. 9: with bursts, a typical request sees a fresh snapshot,
+        so load-aware policies beat random clearly even at large T."""
+        result = sweep("fig9", ("random", "basic-li"), (8.0,))
+        assert result.value("basic-li", 8.0) < result.value("random", 8.0) * 0.8
+
+    def test_continuous_update_li_safe(self):
+        result = sweep("fig6a", ("random", "k=10", "basic-li"), (16.0,))
+        assert result.value("k=10", 16.0) > result.value("random", 16.0)
+        assert result.value("basic-li", 16.0) <= result.value("random", 16.0) * 1.1
+
+    def test_known_age_at_least_as_good(self):
+        """Fig. 7 vs Fig. 6: knowing each request's actual delay should
+        not hurt (and helps for variable delay distributions)."""
+        mean_only = sweep("fig6d", ("basic-li",), (8.0,), seeds=4)
+        known = sweep("fig7c", ("basic-li",), (8.0,), seeds=4)
+        assert known.value("basic-li", 8.0) <= mean_only.value(
+            "basic-li", 8.0
+        ) * 1.05
+
+
+class TestClaim8HighVariability:
+    def test_pareto_li_beats_random(self):
+        result = run_figure(
+            "fig10b",
+            jobs=30_000,
+            seeds=4,
+            curves=("random", "basic-li"),
+            x_values=(2.0,),
+        )
+        assert result.value("basic-li", 2.0) < result.value("random", 2.0)
+
+    def test_selection_matters_more_under_high_variability(self):
+        """§5.5: the gap between random and the load-aware policies is far
+        larger under Bounded Pareto than under exponential service."""
+        result = run_figure(
+            "fig10c",
+            jobs=30_000,
+            seeds=4,
+            curves=("random", "basic-li"),
+            x_values=(0.5,),
+        )
+        assert result.value("basic-li", 0.5) < result.value("random", 0.5) / 3
+
+    def test_pareto_greedy_degrades_with_staleness(self):
+        """Greedy (k=10) deteriorates steeply as information ages, while
+        LI degrades slowly and stays far below random."""
+        result = run_figure(
+            "fig10c",
+            jobs=30_000,
+            seeds=4,
+            curves=("random", "k=10", "basic-li"),
+            x_values=(0.5, 32.0),
+        )
+        assert result.value("k=10", 32.0) > 3 * result.value("k=10", 0.5)
+        assert result.value("basic-li", 32.0) < result.value("random", 32.0)

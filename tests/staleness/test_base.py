@@ -1,0 +1,73 @@
+"""Tests for the LoadView contract shared by all staleness models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Server
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.staleness.base import LoadView
+from repro.staleness.periodic import PeriodicUpdate
+
+
+def make_view(**overrides):
+    defaults = dict(
+        loads=np.array([1.0, 2.0]),
+        version=0,
+        info_time=10.0,
+        now=13.0,
+        horizon=8.0,
+        elapsed=3.0,
+        known_age=True,
+        phase_based=True,
+    )
+    defaults.update(overrides)
+    return LoadView(**defaults)
+
+
+class TestEffectiveWindow:
+    def test_phase_based_uses_full_horizon(self):
+        view = make_view(phase_based=True, horizon=8.0, elapsed=3.0)
+        assert view.effective_window == 8.0
+
+    def test_sliding_with_known_age_uses_elapsed(self):
+        view = make_view(phase_based=False, known_age=True, elapsed=3.0)
+        assert view.effective_window == 3.0
+
+    def test_sliding_with_unknown_age_uses_mean(self):
+        view = make_view(
+            phase_based=False, known_age=False, horizon=8.0, elapsed=3.0
+        )
+        assert view.effective_window == 8.0
+
+    def test_phase_based_ignores_known_age_flag(self):
+        """Bulletin-board semantics equalize over the whole phase even
+        though the phase position is known."""
+        view = make_view(phase_based=True, known_age=True, horizon=8.0)
+        assert view.effective_window == 8.0
+
+
+class TestTrueLoads:
+    def test_true_loads_reflect_current_state(self):
+        sim = Simulator()
+        servers = [Server(0), Server(1)]
+        model = PeriodicUpdate(period=100.0)
+        model.attach(sim, servers, RandomStreams(1).stream("staleness"))
+        servers[1].assign(1.0, 50.0)
+        # The board is stale (refreshed at t=0) but true_loads is live.
+        np.testing.assert_array_equal(model.true_loads(2.0), [0, 1])
+        np.testing.assert_array_equal(model.view(0, 2.0).loads, [0, 0])
+
+    def test_num_servers_property(self):
+        sim = Simulator()
+        model = PeriodicUpdate(period=1.0)
+        model.attach(
+            sim, [Server(i) for i in range(7)], RandomStreams(1).stream("s")
+        )
+        assert model.num_servers == 7
+
+    def test_num_servers_requires_attach(self):
+        with pytest.raises(RuntimeError, match="not attached"):
+            PeriodicUpdate(period=1.0).num_servers

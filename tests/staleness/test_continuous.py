@@ -1,0 +1,85 @@
+"""Tests for the continuous-update (random lag) model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Server
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.staleness.continuous import ContinuousUpdate
+from repro.workloads.distributions import Constant, Exponential, Uniform
+
+
+def make_model(delay, known_age=False, num_servers=2):
+    sim = Simulator()
+    servers = [Server(i) for i in range(num_servers)]
+    model = ContinuousUpdate(delay, known_age=known_age)
+    model.attach(sim, servers, RandomStreams(1).stream("staleness"))
+    return servers, model
+
+
+class TestLagSemantics:
+    def test_constant_lag_reads_past_state(self):
+        servers, model = make_model(Constant(5.0))
+        servers[0].assign(0.0, 100.0)  # queue length 1 from t=0 on
+        servers[0].assign(7.0, 100.0)  # queue length 2 from t=7 on
+        view = model.view(0, now=10.0)  # reads state at t=5
+        np.testing.assert_array_equal(view.loads, [1, 0])
+        assert view.elapsed == 5.0
+        assert view.info_time == 5.0
+
+    def test_zero_lag_is_fresh(self):
+        servers, model = make_model(Constant(0.0))
+        servers[1].assign(0.0, 100.0)
+        view = model.view(0, now=1.0)
+        np.testing.assert_array_equal(view.loads, [0, 1])
+
+    def test_lag_before_time_zero_clamped_to_empty(self):
+        servers, model = make_model(Constant(50.0))
+        servers[0].assign(0.0, 100.0)
+        view = model.view(0, now=10.0)  # t-50 < 0 -> initial empty state
+        np.testing.assert_array_equal(view.loads, [1, 0])
+        # Clamping reads t=0 state, at which the t=0 arrival is present.
+
+    def test_float_shorthand(self):
+        _, model = make_model(3.0)
+        assert isinstance(model.delay, Constant)
+        assert model.delay.mean == 3.0
+
+
+class TestAgeKnowledge:
+    def test_mean_age_only(self):
+        _, model = make_model(Uniform(0.0, 10.0), known_age=False)
+        view = model.view(0, now=100.0)
+        assert view.known_age is False
+        assert view.horizon == pytest.approx(5.0)
+        assert view.effective_window == pytest.approx(5.0)
+
+    def test_actual_age_known(self):
+        _, model = make_model(Uniform(0.0, 10.0), known_age=True)
+        view = model.view(0, now=100.0)
+        assert view.known_age is True
+        assert view.effective_window == view.elapsed
+
+    def test_lags_follow_distribution(self):
+        _, model = make_model(Exponential(4.0), known_age=True)
+        lags = [model.view(0, now=1000.0).elapsed for _ in range(5_000)]
+        assert np.mean(lags) == pytest.approx(4.0, rel=0.1)
+
+    def test_not_phase_based(self):
+        _, model = make_model(Constant(1.0))
+        assert model.view(0, now=5.0).phase_based is False
+
+    def test_version_increments_every_view(self):
+        _, model = make_model(Constant(1.0))
+        first = model.view(0, now=5.0)
+        second = model.view(0, now=5.0)
+        assert second.version == first.version + 1
+
+
+class TestValidation:
+    def test_negative_constant_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousUpdate(Constant(-1.0))

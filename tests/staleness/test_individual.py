@@ -1,0 +1,70 @@
+"""Tests for the individual per-server update model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Server
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.staleness.individual import IndividualUpdate
+
+
+def make_model(num_servers=4, period=10.0, seed=1):
+    sim = Simulator()
+    servers = [Server(i) for i in range(num_servers)]
+    model = IndividualUpdate(period=period)
+    model.attach(sim, servers, RandomStreams(seed).stream("staleness"))
+    return sim, servers, model
+
+
+class TestPostings:
+    def test_initial_board_empty(self):
+        _, _, model = make_model()
+        view = model.view(0, now=0.0)
+        np.testing.assert_array_equal(view.loads, [0, 0, 0, 0])
+
+    def test_servers_post_within_first_period(self):
+        sim, servers, model = make_model(period=10.0)
+        for server in servers:
+            server.assign(0.0, 1000.0)
+        sim.run(until=10.0)
+        view = model.view(0, now=10.0)
+        # Every server posted once (offsets are uniform in [0, period)).
+        np.testing.assert_array_equal(view.loads, [1, 1, 1, 1])
+
+    def test_offsets_desynchronized(self):
+        sim, _, model = make_model(period=10.0)
+        sim.run(until=10.0)
+        post_times = model._post_times.copy()
+        assert len(np.unique(post_times)) == 4  # distinct random offsets
+
+    def test_ages_reported_per_server(self):
+        sim, _, model = make_model(period=10.0)
+        sim.run(until=10.0)
+        view = model.view(0, now=12.0)
+        assert view.ages is not None
+        assert view.ages.shape == (4,)
+        assert np.all(view.ages >= 0)
+        assert np.all(view.ages <= 10.0 + 2.0)
+
+    def test_posts_recur(self):
+        sim, servers, model = make_model(period=5.0)
+        sim.run(until=50.0)
+        # ~10 posting rounds x 4 servers.
+        assert model._version >= 36
+
+    def test_horizon_is_half_period(self):
+        _, _, model = make_model(period=8.0)
+        assert model.view(0, now=0.0).horizon == 4.0
+
+
+class TestValidation:
+    def test_invalid_period(self):
+        with pytest.raises(ValueError, match="positive"):
+            IndividualUpdate(period=-1.0)
+
+    def test_view_before_attach(self):
+        with pytest.raises(RuntimeError, match="attach"):
+            IndividualUpdate(period=1.0).view(0, now=0.0)

@@ -1,0 +1,91 @@
+"""Tests for the lossy-update fault-injection model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Server
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.staleness.lossy import LossyPeriodicUpdate
+from repro.staleness.periodic import PeriodicUpdate
+from tests.conftest import small_simulation
+
+
+def attach(model, horizon, num_servers=2, seed=1):
+    sim = Simulator()
+    servers = [Server(i) for i in range(num_servers)]
+    model.attach(sim, servers, RandomStreams(seed).stream("staleness"))
+    sim.run(until=horizon)
+    return sim, servers
+
+
+class TestDropBehavior:
+    def test_zero_drop_matches_periodic(self):
+        lossy = LossyPeriodicUpdate(period=5.0, drop_probability=0.0)
+        attach(lossy, horizon=50.0)
+        assert lossy.refreshes_attempted == 10
+        assert lossy.refreshes_dropped == 0
+        assert lossy.version == 10
+
+    def test_drops_happen_at_configured_rate(self):
+        lossy = LossyPeriodicUpdate(period=1.0, drop_probability=0.5)
+        attach(lossy, horizon=2_000.0)
+        drop_rate = lossy.refreshes_dropped / lossy.refreshes_attempted
+        assert drop_rate == pytest.approx(0.5, abs=0.05)
+
+    def test_dropped_refresh_keeps_stale_board(self):
+        lossy = LossyPeriodicUpdate(period=5.0, drop_probability=0.999)
+        sim, servers = attach(lossy, horizon=0.0)
+        servers[0].assign(1.0, 1000.0)
+        sim.run(until=50.0)
+        view = lossy.view(0, now=50.0)
+        # With near-certain drops the board still shows the t=0 state.
+        np.testing.assert_array_equal(view.loads, [0, 0])
+        assert view.info_time == 0.0
+
+    def test_hidden_staleness_exceeds_horizon(self):
+        """After a drop, the true age exceeds the advertised horizon."""
+        lossy = LossyPeriodicUpdate(period=5.0, drop_probability=0.999)
+        _, _ = attach(lossy, horizon=23.0)
+        view = lossy.view(0, now=23.0)
+        assert view.horizon == 5.0
+        assert view.elapsed > view.horizon
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="drop_probability"):
+            LossyPeriodicUpdate(period=1.0, drop_probability=1.0)
+        with pytest.raises(ValueError, match="drop_probability"):
+            LossyPeriodicUpdate(period=1.0, drop_probability=-0.1)
+
+    def test_counters_reset_on_reattach(self):
+        lossy = LossyPeriodicUpdate(period=1.0, drop_probability=0.5)
+        attach(lossy, horizon=100.0)
+        attach(lossy, horizon=0.0)
+        assert lossy.refreshes_attempted == 0
+
+
+class TestEndToEnd:
+    def test_li_degrades_gracefully_under_loss(self):
+        """Hidden staleness hurts LI (it under-estimates the age) but must
+        not push it past the random baseline at moderate drop rates."""
+        lossless = small_simulation(
+            BasicLIPolicy(),
+            staleness=PeriodicUpdate(4.0),
+            total_jobs=25_000,
+            seed=6,
+        ).run()
+        lossy = small_simulation(
+            BasicLIPolicy(),
+            staleness=LossyPeriodicUpdate(4.0, drop_probability=0.5),
+            total_jobs=25_000,
+            seed=6,
+        ).run()
+        random_baseline = small_simulation(
+            RandomPolicy(), total_jobs=25_000, seed=6
+        ).run()
+        assert lossy.mean_response_time >= lossless.mean_response_time * 0.95
+        assert lossy.mean_response_time < random_baseline.mean_response_time

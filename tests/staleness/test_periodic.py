@@ -1,0 +1,88 @@
+"""Tests for the periodic bulletin-board model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Server
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.staleness.periodic import PeriodicUpdate
+
+
+@pytest.fixture
+def attached():
+    sim = Simulator()
+    servers = [Server(i) for i in range(3)]
+    model = PeriodicUpdate(period=10.0)
+    model.attach(sim, servers, RandomStreams(1).stream("staleness"))
+    return sim, servers, model
+
+
+class TestBoardLifecycle:
+    def test_initial_board_is_empty_system(self, attached):
+        _, _, model = attached
+        view = model.view(0, now=0.0)
+        np.testing.assert_array_equal(view.loads, [0, 0, 0])
+        assert view.version == 0
+
+    def test_board_frozen_within_phase(self, attached):
+        sim, servers, model = attached
+        servers[0].assign(1.0, 100.0)
+        servers[0].assign(1.0, 100.0)
+        sim.run(until=5.0)
+        view = model.view(0, now=5.0)
+        # Queue grew to 2 at t=1, but the board still shows the t=0 state.
+        np.testing.assert_array_equal(view.loads, [0, 0, 0])
+
+    def test_refresh_at_period(self, attached):
+        sim, servers, model = attached
+        servers[0].assign(1.0, 100.0)
+        servers[2].assign(2.0, 100.0)
+        servers[2].assign(2.0, 100.0)
+        sim.run(until=10.0)
+        view = model.view(0, now=10.0)
+        np.testing.assert_array_equal(view.loads, [1, 0, 2])
+        assert view.version == 1
+        assert model.phase_start == 10.0
+
+    def test_repeated_refreshes(self, attached):
+        sim, _, model = attached
+        sim.run(until=35.0)
+        assert model.version == 3
+        assert model.phase_start == 30.0
+
+
+class TestViewSemantics:
+    def test_view_fields(self, attached):
+        sim, _, model = attached
+        sim.run(until=10.0)
+        view = model.view(0, now=14.0)
+        assert view.phase_based is True
+        assert view.known_age is True
+        assert view.horizon == 10.0
+        assert view.info_time == 10.0
+        assert view.elapsed == pytest.approx(4.0)
+        assert view.effective_window == 10.0  # full phase, not elapsed
+
+    def test_all_clients_share_board(self, attached):
+        _, _, model = attached
+        first = model.view(0, now=1.0)
+        second = model.view(42, now=1.0)
+        assert first.loads is second.loads
+        assert first.version == second.version
+
+
+class TestValidation:
+    def test_invalid_period(self):
+        with pytest.raises(ValueError, match="positive"):
+            PeriodicUpdate(period=0.0)
+
+    def test_view_before_attach(self):
+        with pytest.raises(RuntimeError, match="attach"):
+            PeriodicUpdate(period=1.0).view(0, now=0.0)
+
+    def test_true_loads_requires_attach(self):
+        with pytest.raises(RuntimeError, match="not attached"):
+            PeriodicUpdate(period=1.0).true_loads(0.0)

@@ -1,0 +1,94 @@
+"""Tests for the update-on-access model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Server
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.staleness.update_on_access import UpdateOnAccess
+
+
+def make_model(num_servers=3, nominal_age=2.0):
+    sim = Simulator()
+    servers = [Server(i) for i in range(num_servers)]
+    model = UpdateOnAccess(nominal_age=nominal_age)
+    model.attach(sim, servers, RandomStreams(1).stream("staleness"))
+    return servers, model
+
+
+class TestSnapshots:
+    def test_first_request_sees_empty_system(self):
+        servers, model = make_model()
+        servers[0].assign(0.0, 100.0)
+        view = model.view(client_id=0, now=5.0)
+        np.testing.assert_array_equal(view.loads, [0, 0, 0])
+        assert view.info_time == 0.0
+        assert view.elapsed == 5.0
+
+    def test_dispatch_refreshes_snapshot(self):
+        servers, model = make_model()
+        servers[0].assign(0.0, 100.0)
+        model.on_dispatch(client_id=0, server_id=0, now=5.0)
+        view = model.view(client_id=0, now=8.0)
+        np.testing.assert_array_equal(view.loads, [1, 0, 0])
+        assert view.info_time == 5.0
+        assert view.elapsed == pytest.approx(3.0)
+
+    def test_snapshot_includes_the_answered_request(self):
+        """The reply reflects the request it answers (taken post-assign)."""
+        servers, model = make_model()
+        servers[1].assign(2.0, 100.0)
+        model.on_dispatch(client_id=7, server_id=1, now=2.0)
+        view = model.view(client_id=7, now=3.0)
+        np.testing.assert_array_equal(view.loads, [0, 1, 0])
+
+    def test_clients_are_isolated(self):
+        servers, model = make_model()
+        servers[0].assign(0.0, 100.0)
+        model.on_dispatch(client_id=0, server_id=0, now=5.0)
+        fresh_client = model.view(client_id=1, now=6.0)
+        np.testing.assert_array_equal(fresh_client.loads, [0, 0, 0])
+        informed_client = model.view(client_id=0, now=6.0)
+        np.testing.assert_array_equal(informed_client.loads, [1, 0, 0])
+
+    def test_snapshot_is_a_copy_not_live(self):
+        servers, model = make_model()
+        model.on_dispatch(client_id=0, server_id=0, now=1.0)
+        servers[0].assign(2.0, 100.0)
+        view = model.view(client_id=0, now=3.0)
+        np.testing.assert_array_equal(view.loads, [0, 0, 0])
+
+
+class TestViewSemantics:
+    def test_ages_are_known(self):
+        _, model = make_model()
+        view = model.view(client_id=0, now=4.0)
+        assert view.known_age is True
+        assert view.phase_based is False
+        assert view.effective_window == view.elapsed
+
+    def test_horizon_is_nominal_age(self):
+        _, model = make_model(nominal_age=7.5)
+        assert model.view(0, now=1.0).horizon == 7.5
+
+    def test_reuse_resets_snapshots(self):
+        servers, model = make_model()
+        model.on_dispatch(client_id=0, server_id=0, now=1.0)
+        # Re-attach (fresh run): old snapshots must not leak.
+        sim = Simulator()
+        model.attach(
+            sim,
+            [Server(i) for i in range(3)],
+            RandomStreams(2).stream("staleness"),
+        )
+        view = model.view(client_id=0, now=0.5)
+        assert view.info_time == 0.0
+
+
+class TestValidation:
+    def test_invalid_nominal_age(self):
+        with pytest.raises(ValueError, match="positive"):
+            UpdateOnAccess(nominal_age=0.0)

@@ -1,0 +1,115 @@
+"""Tests for the work-backlog information metric extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Server
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.li_basic import BasicLIPolicy
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.staleness.continuous import ContinuousUpdate
+from repro.staleness.periodic import PeriodicUpdate
+from repro.staleness.update_on_access import UpdateOnAccess
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import bounded_pareto_service, exponential_service
+
+
+def attach(model, num_servers=2):
+    sim = Simulator()
+    servers = [Server(i) for i in range(num_servers)]
+    model.attach(sim, servers, RandomStreams(1).stream("staleness"))
+    return sim, servers
+
+
+class TestMetricSelection:
+    def test_default_is_queue_length(self):
+        assert PeriodicUpdate(1.0).metric == "queue-length"
+
+    def test_invalid_metric_rejected(self):
+        with pytest.raises(ValueError, match="metric"):
+            PeriodicUpdate(1.0, metric="vibes")
+
+    @pytest.mark.parametrize(
+        "model_factory",
+        [
+            lambda: PeriodicUpdate(1.0, metric="work-backlog"),
+            lambda: ContinuousUpdate(0.0, metric="work-backlog"),
+            lambda: UpdateOnAccess(1.0, metric="work-backlog"),
+        ],
+        ids=["periodic", "continuous", "update-on-access"],
+    )
+    def test_metric_accepted_everywhere(self, model_factory):
+        assert model_factory().metric == "work-backlog"
+
+
+class TestWorkReports:
+    def test_work_backlog_reported(self):
+        model = ContinuousUpdate(0.0, metric="work-backlog")
+        _, servers = attach(model)
+        servers[0].assign(0.0, 5.0)
+        servers[0].assign(0.0, 3.0)
+        view = model.view(0, now=1.0)
+        # 4 units left of the first job + 3 queued.
+        np.testing.assert_allclose(view.loads, [7.0, 0.0])
+
+    def test_queue_metric_counts_jobs_instead(self):
+        model = ContinuousUpdate(0.0, metric="queue-length")
+        _, servers = attach(model)
+        servers[0].assign(0.0, 5.0)
+        servers[0].assign(0.0, 3.0)
+        view = model.view(0, now=1.0)
+        np.testing.assert_allclose(view.loads, [2.0, 0.0])
+
+    def test_work_metric_distinguishes_big_jobs(self):
+        """One huge job and three tiny jobs look identical to the queue
+        metric once counts match, but not to the work metric."""
+        queue_model = ContinuousUpdate(0.0)
+        work_model = ContinuousUpdate(0.0, metric="work-backlog")
+        for model in (queue_model, work_model):
+            _, servers = attach(model)
+            servers[0].assign(0.0, 100.0)  # one huge job
+            servers[1].assign(0.0, 0.1)  # tiny jobs
+            servers[1].assign(0.0, 0.1)
+            if model is queue_model:
+                view = model.view(0, now=0.0)
+                assert view.loads[0] < view.loads[1]  # queue: 1 vs 2
+            else:
+                view = model.view(0, now=0.0)
+                assert view.loads[0] > view.loads[1]  # work: 100 vs 0.2
+
+
+class TestEndToEnd:
+    def test_li_runs_with_work_metric(self):
+        simulation = ClusterSimulation(
+            num_servers=5,
+            arrivals=PoissonArrivals(4.0),
+            service=exponential_service(),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(4.0, metric="work-backlog"),
+            total_jobs=5_000,
+            seed=2,
+        )
+        result = simulation.run()
+        assert result.jobs_total == 5_000
+        assert result.mean_response_time > 1.0
+
+    def test_work_metric_helps_under_heavy_tails(self):
+        """With Bounded Pareto jobs and fresh info, work-backlog reports
+        should do at least as well as queue-length reports."""
+
+        def run(metric):
+            simulation = ClusterSimulation(
+                num_servers=5,
+                arrivals=PoissonArrivals(5 * 0.7),
+                service=bounded_pareto_service(),
+                policy=BasicLIPolicy(),
+                staleness=PeriodicUpdate(0.5, metric=metric),
+                total_jobs=30_000,
+                seed=3,
+            )
+            return simulation.run().mean_response_time
+
+        assert run("work-backlog") <= run("queue-length") * 1.05

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig2" in output
+        assert "fig14c" in output
+        assert "ext-hybrid" in output
+
+
+class TestRun:
+    def test_run_small_figure(self, capsys):
+        code = main(
+            [
+                "run",
+                "fig2",
+                "--jobs",
+                "500",
+                "--seeds",
+                "2",
+                "--curves",
+                "random,basic-li",
+                "--x",
+                "1,8",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fig2" in output
+        assert "basic-li" in output
+        assert "±" in output
+
+    def test_run_markdown(self, capsys):
+        code = main(
+            [
+                "run",
+                "fig2",
+                "--jobs",
+                "300",
+                "--seeds",
+                "1",
+                "--curves",
+                "random",
+                "--x",
+                "1",
+                "--markdown",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.startswith("| T |")
+
+    def test_unknown_figure_exit_code(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_unknown_curve_exit_code(self, capsys):
+        code = main(["run", "fig2", "--jobs", "100", "--curves", "bogus"])
+        assert code == 2
+        assert "no curve" in capsys.readouterr().err
+
+
+class TestFig1Command:
+    def test_fig1_runs(self, capsys):
+        code = main(["fig1", "--draws", "2000", "--k", "1,2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fig1" in output
+        assert "eq.1" in output
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig2"])
+        assert args.jobs is None
+        assert args.processes == 1
+
+
+class TestReport:
+    def test_report_assembles_tables(self, tmp_path, capsys):
+        (tmp_path / "figA.txt").write_text("table A\n")
+        (tmp_path / "figB.txt").write_text("table B\n")
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "table A" in output
+        assert "table B" in output
+        assert "2 tables" in output
+
+    def test_report_missing_directory(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["report", "--results", str(missing)]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_report_empty_directory(self, tmp_path, capsys):
+        assert main(["report", "--results", str(tmp_path)]) == 2
+        assert "no tables" in capsys.readouterr().err

@@ -1,0 +1,101 @@
+"""Guard rails for the public API surface."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.engine",
+    "repro.workloads",
+    "repro.cluster",
+    "repro.staleness",
+    "repro.core",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+class TestTopLevelApi:
+    def test_everything_in_all_is_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_key_entry_points_present(self):
+        for name in (
+            "ClusterSimulation",
+            "BasicLIPolicy",
+            "AggressiveLIPolicy",
+            "PeriodicUpdate",
+            "ContinuousUpdate",
+            "UpdateOnAccess",
+            "PoissonArrivals",
+            "exponential_service",
+            "bounded_pareto_service",
+        ):
+            assert name in repro.__all__
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_public_classes_documented(self):
+        """Every public class and function carries a docstring."""
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            member = getattr(repro, name)
+            if inspect.isclass(member) or inspect.isfunction(member):
+                assert member.__doc__, f"repro.{name} lacks a docstring"
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_is_importable(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_public_members_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            member = getattr(module, name)
+            if inspect.isclass(member) or inspect.isfunction(member):
+                assert member.__doc__, f"{module_name}.{name} lacks a docstring"
+
+    def test_policies_share_base_class(self):
+        from repro.core.policy import Policy
+
+        policy_names = [
+            "RandomPolicy",
+            "RoundRobinPolicy",
+            "KSubsetPolicy",
+            "ThresholdPolicy",
+            "BasicLIPolicy",
+            "AggressiveLIPolicy",
+            "HybridLIPolicy",
+            "SubsetLIPolicy",
+            "WeightedLIPolicy",
+            "DecayedLoadPolicy",
+            "NearestServerPolicy",
+            "LocalityAwareLIPolicy",
+        ]
+        for name in policy_names:
+            assert issubclass(getattr(repro, name), Policy), name
+
+    def test_staleness_models_share_base_class(self):
+        from repro.staleness.base import StalenessModel
+
+        for name in (
+            "PeriodicUpdate",
+            "LossyPeriodicUpdate",
+            "ContinuousUpdate",
+            "UpdateOnAccess",
+            "IndividualUpdate",
+        ):
+            assert issubclass(getattr(repro, name), StalenessModel), name

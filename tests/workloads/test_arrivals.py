@@ -1,0 +1,151 @@
+"""Tests for arrival processes, driven through the real event engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.workloads.arrivals import (
+    BurstyClientArrivals,
+    ClientArrivals,
+    PoissonArrivals,
+)
+
+
+def collect_arrivals(source, horizon: float, seed: int = 3):
+    """Run a source until ``horizon`` and return (times, client_ids)."""
+    sim = Simulator()
+    times: list[float] = []
+    clients: list[int] = []
+
+    def on_arrival(client_id: int) -> None:
+        times.append(sim.now)
+        clients.append(client_id)
+
+    source.start(sim, RandomStreams(seed).stream("arrivals"), on_arrival)
+    sim.run(until=horizon)
+    return np.array(times), np.array(clients)
+
+
+class TestPoissonArrivals:
+    def test_rate_property(self):
+        assert PoissonArrivals(9.0).total_rate == 9.0
+        assert PoissonArrivals(9.0).num_clients == 1
+
+    def test_empirical_rate(self):
+        times, _ = collect_arrivals(PoissonArrivals(5.0), horizon=2_000.0)
+        assert len(times) / 2_000.0 == pytest.approx(5.0, rel=0.05)
+
+    def test_exponential_gaps(self):
+        times, _ = collect_arrivals(PoissonArrivals(2.0), horizon=5_000.0)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(0.5, rel=0.05)
+        # Exponential: CV^2 = 1.
+        assert gaps.var() / gaps.mean() ** 2 == pytest.approx(1.0, rel=0.1)
+
+    def test_single_client_id(self):
+        _, clients = collect_arrivals(PoissonArrivals(5.0), horizon=100.0)
+        assert set(clients) == {0}
+
+    def test_times_strictly_ordered(self):
+        times, _ = collect_arrivals(PoissonArrivals(10.0), horizon=500.0)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            PoissonArrivals(0.0)
+
+
+class TestClientArrivals:
+    def test_superposition_rate(self):
+        source = ClientArrivals(num_clients=20, total_rate=5.0)
+        times, _ = collect_arrivals(source, horizon=2_000.0)
+        assert len(times) / 2_000.0 == pytest.approx(5.0, rel=0.05)
+
+    def test_all_clients_contribute(self):
+        source = ClientArrivals(num_clients=5, total_rate=10.0)
+        _, clients = collect_arrivals(source, horizon=500.0)
+        assert set(clients) == set(range(5))
+
+    def test_per_client_mean_interarrival(self):
+        source = ClientArrivals(num_clients=18, total_rate=9.0)
+        assert source.per_client_mean_interarrival == pytest.approx(2.0)
+
+    def test_per_client_gap_matches_configuration(self):
+        source = ClientArrivals(num_clients=4, total_rate=2.0)  # gap = 2.0
+        times, clients = collect_arrivals(source, horizon=10_000.0)
+        gaps = np.diff(times[clients == 0])
+        assert gaps.mean() == pytest.approx(2.0, rel=0.1)
+
+    def test_superposition_looks_poisson(self):
+        """Merged gaps should have the aggregate exponential distribution."""
+        source = ClientArrivals(num_clients=10, total_rate=5.0)
+        times, _ = collect_arrivals(source, horizon=4_000.0)
+        gaps = np.diff(np.sort(times))
+        assert gaps.mean() == pytest.approx(0.2, rel=0.05)
+        assert gaps.var() / gaps.mean() ** 2 == pytest.approx(1.0, rel=0.15)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="num_clients"):
+            ClientArrivals(num_clients=0, total_rate=1.0)
+        with pytest.raises(ValueError, match="positive"):
+            ClientArrivals(num_clients=1, total_rate=-1.0)
+
+
+class TestBurstyClientArrivals:
+    def test_average_rate_preserved(self):
+        """Burstiness must not change the offered load."""
+        source = BurstyClientArrivals(
+            num_clients=9, total_rate=9.0, burst_size=10
+        )
+        times, _ = collect_arrivals(source, horizon=5_000.0)
+        assert len(times) / 5_000.0 == pytest.approx(9.0, rel=0.05)
+
+    def test_mean_interarrival_identity(self):
+        source = BurstyClientArrivals(num_clients=9, total_rate=9.0, burst_size=10)
+        burst = source.burst_size
+        implied = (
+            (burst - 1) * source.intra_gap_mean + source.inter_burst_mean
+        ) / burst
+        assert implied == pytest.approx(source.per_client_mean_interarrival)
+
+    def test_gaps_are_bimodal(self):
+        """Intra-burst gaps are much shorter than inter-burst gaps."""
+        source = BurstyClientArrivals(
+            num_clients=1, total_rate=0.25, burst_size=10
+        )
+        times, _ = collect_arrivals(source, horizon=50_000.0)
+        gaps = np.diff(times)
+        short = (gaps < source.per_client_mean_interarrival / 2).mean()
+        # 9 of every 10 gaps are intra-burst and short.
+        assert short == pytest.approx(0.9, abs=0.05)
+
+    def test_burst_size_one_is_poisson_like(self):
+        source = BurstyClientArrivals(num_clients=2, total_rate=1.0, burst_size=1)
+        times, _ = collect_arrivals(source, horizon=5_000.0)
+        assert len(times) / 5_000.0 == pytest.approx(1.0, rel=0.1)
+
+    def test_explicit_intra_gap(self):
+        source = BurstyClientArrivals(
+            num_clients=9, total_rate=9.0, burst_size=10, intra_gap_mean=0.1
+        )
+        assert source.intra_gap_mean == 0.1
+        assert source.inter_burst_mean == pytest.approx(10 * 1.0 - 9 * 0.1)
+
+    def test_too_large_intra_gap_rejected(self):
+        with pytest.raises(ValueError, match="too large"):
+            BurstyClientArrivals(
+                num_clients=1, total_rate=1.0, burst_size=10, intra_gap_mean=2.0
+            )
+
+    def test_invalid_burst_size_rejected(self):
+        with pytest.raises(ValueError, match="burst_size"):
+            BurstyClientArrivals(num_clients=1, total_rate=1.0, burst_size=0)
+
+    def test_deterministic_across_runs(self):
+        source = BurstyClientArrivals(num_clients=3, total_rate=3.0)
+        first, _ = collect_arrivals(source, horizon=100.0, seed=5)
+        second, _ = collect_arrivals(source, horizon=100.0, seed=5)
+        np.testing.assert_array_equal(first, second)

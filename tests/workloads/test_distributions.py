@@ -1,0 +1,253 @@
+"""Tests for random-variate distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.distributions import (
+    BoundedPareto,
+    Constant,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    Uniform,
+    Weibull,
+)
+
+SAMPLES = 100_000
+
+
+def empirical_mean(dist, rng, size=SAMPLES):
+    return float(dist.sample_array(rng, size).mean())
+
+
+class TestConstant:
+    def test_sample(self, rng):
+        dist = Constant(3.5)
+        assert dist.sample(rng) == 3.5
+        np.testing.assert_array_equal(dist.sample_array(rng, 4), [3.5] * 4)
+
+    def test_moments(self):
+        dist = Constant(3.5)
+        assert dist.mean == 3.5
+        assert dist.variance == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Constant(-1.0)
+
+    def test_zero_allowed(self):
+        assert Constant(0.0).mean == 0.0
+
+
+class TestExponential:
+    def test_moments(self):
+        dist = Exponential(2.0)
+        assert dist.mean == 2.0
+        assert dist.variance == 4.0
+        assert dist.rate == 0.5
+        assert dist.squared_coefficient_of_variation == pytest.approx(1.0)
+
+    def test_empirical_mean(self, rng):
+        assert empirical_mean(Exponential(2.0), rng) == pytest.approx(2.0, rel=0.02)
+
+    def test_empirical_variance(self, rng):
+        draws = Exponential(1.5).sample_array(rng, SAMPLES)
+        assert draws.var() == pytest.approx(1.5**2, rel=0.05)
+
+    def test_scalar_sample_positive(self, rng):
+        assert all(Exponential(1.0).sample(rng) > 0 for _ in range(100))
+
+    @pytest.mark.parametrize("mean", [0.0, -1.0])
+    def test_bad_mean_rejected(self, mean):
+        with pytest.raises(ValueError, match="positive"):
+            Exponential(mean)
+
+
+class TestUniform:
+    def test_moments(self):
+        dist = Uniform(2.0, 6.0)
+        assert dist.mean == 4.0
+        assert dist.variance == pytest.approx(16.0 / 12.0)
+
+    def test_bounds_respected(self, rng):
+        draws = Uniform(2.0, 6.0).sample_array(rng, 10_000)
+        assert draws.min() >= 2.0
+        assert draws.max() <= 6.0
+
+    def test_degenerate_interval(self, rng):
+        dist = Uniform(3.0, 3.0)
+        assert dist.sample(rng) == 3.0
+        assert dist.variance == 0.0
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(ValueError, match="low <= high"):
+            Uniform(5.0, 1.0)
+
+    def test_negative_low_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Uniform(-1.0, 1.0)
+
+
+class TestBoundedPareto:
+    def test_analytic_mean_matches_empirical(self, rng):
+        dist = BoundedPareto(alpha=1.5, k=1.0, p=100.0)
+        assert empirical_mean(dist, rng) == pytest.approx(dist.mean, rel=0.03)
+
+    def test_bounds_respected(self, rng):
+        dist = BoundedPareto(alpha=1.1, k=0.5, p=50.0)
+        draws = dist.sample_array(rng, 50_000)
+        assert draws.min() >= dist.k
+        assert draws.max() <= dist.p
+
+    def test_from_mean_solves_k(self):
+        dist = BoundedPareto.from_mean(alpha=1.1, p=1000.0, mean=1.0)
+        assert dist.mean == pytest.approx(1.0, rel=1e-9)
+        assert 0 < dist.k < 1.0
+        assert dist.p == 1000.0
+
+    def test_from_mean_heavy_tail_paper_parameters(self):
+        """The Fig. 11 configuration: max job is 10^4 times the mean."""
+        dist = BoundedPareto.from_mean(alpha=1.1, p=10_000.0, mean=1.0)
+        assert dist.mean == pytest.approx(1.0, rel=1e-9)
+        assert dist.squared_coefficient_of_variation > 10.0
+
+    def test_cdf_endpoints(self):
+        dist = BoundedPareto(alpha=1.5, k=1.0, p=10.0)
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(1.0) == 0.0
+        assert dist.cdf(10.0) == 1.0
+        assert dist.cdf(100.0) == 1.0
+
+    def test_cdf_monotone(self):
+        dist = BoundedPareto(alpha=1.5, k=1.0, p=10.0)
+        xs = np.linspace(1.0, 10.0, 50)
+        values = [dist.cdf(x) for x in xs]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_cdf_matches_empirical(self, rng):
+        dist = BoundedPareto(alpha=1.1, k=1.0, p=100.0)
+        draws = dist.sample_array(rng, SAMPLES)
+        for x in (2.0, 5.0, 20.0):
+            assert (draws <= x).mean() == pytest.approx(dist.cdf(x), abs=0.01)
+
+    def test_alpha_one_mean_uses_log_form(self):
+        dist = BoundedPareto(alpha=1.0, k=1.0, p=100.0)
+        expected = np.log(100.0) / (1.0 - 1.0 / 100.0)
+        assert dist.mean == pytest.approx(expected)
+
+    def test_high_variability(self):
+        """alpha near 1 with a wide range should produce CV^2 >> 1."""
+        dist = BoundedPareto.from_mean(alpha=1.1, p=1000.0, mean=1.0)
+        assert dist.squared_coefficient_of_variation > 5.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            BoundedPareto(alpha=0.0, k=1.0, p=10.0)
+        with pytest.raises(ValueError, match="0 < k < p"):
+            BoundedPareto(alpha=1.0, k=10.0, p=10.0)
+        with pytest.raises(ValueError, match="0 < k < p"):
+            BoundedPareto(alpha=1.0, k=0.0, p=10.0)
+
+    def test_from_mean_invalid(self):
+        with pytest.raises(ValueError, match="mean"):
+            BoundedPareto.from_mean(alpha=1.1, p=10.0, mean=0.0)
+        with pytest.raises(ValueError, match="exceed"):
+            BoundedPareto.from_mean(alpha=1.1, p=1.0, mean=2.0)
+
+    @given(
+        alpha=st.floats(min_value=0.5, max_value=3.0),
+        ratio=st.floats(min_value=2.0, max_value=1e5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_from_mean_property(self, alpha, ratio):
+        dist = BoundedPareto.from_mean(alpha=alpha, p=ratio, mean=1.0)
+        assert dist.mean == pytest.approx(1.0, rel=1e-6)
+        assert 0 < dist.k < 1.0 < dist.p
+
+
+class TestWeibull:
+    def test_from_mean(self):
+        dist = Weibull.from_mean(shape=0.8, mean=2.0)
+        assert dist.mean == pytest.approx(2.0)
+
+    def test_empirical_mean(self, rng):
+        dist = Weibull.from_mean(shape=1.5, mean=1.0)
+        assert empirical_mean(dist, rng) == pytest.approx(1.0, rel=0.02)
+
+    def test_shape_one_is_exponential(self):
+        dist = Weibull(shape=1.0, scale=2.0)
+        assert dist.mean == pytest.approx(2.0)
+        assert dist.variance == pytest.approx(4.0)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Weibull(shape=0.0, scale=1.0)
+
+
+class TestErlang:
+    def test_moments(self):
+        dist = Erlang(stages=4, mean=2.0)
+        assert dist.mean == 2.0
+        assert dist.variance == pytest.approx(1.0)
+        assert dist.squared_coefficient_of_variation == pytest.approx(0.25)
+
+    def test_one_stage_is_exponential(self):
+        dist = Erlang(stages=1, mean=3.0)
+        assert dist.variance == pytest.approx(9.0)
+
+    def test_empirical(self, rng):
+        dist = Erlang(stages=3, mean=1.0)
+        draws = dist.sample_array(rng, SAMPLES)
+        assert draws.mean() == pytest.approx(1.0, rel=0.02)
+        assert draws.var() == pytest.approx(1.0 / 3.0, rel=0.05)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError, match="stages"):
+            Erlang(stages=0, mean=1.0)
+
+
+class TestHyperexponential:
+    def test_moments(self):
+        dist = Hyperexponential(p1=0.5, mean1=1.0, mean2=3.0)
+        assert dist.mean == pytest.approx(2.0)
+        # E[X^2] = 2(0.5*1 + 0.5*9) = 10, var = 10 - 4 = 6.
+        assert dist.variance == pytest.approx(6.0)
+        assert dist.squared_coefficient_of_variation > 1.0
+
+    def test_empirical(self, rng):
+        dist = Hyperexponential(p1=0.9, mean1=0.5, mean2=5.5)
+        assert empirical_mean(dist, rng) == pytest.approx(dist.mean, rel=0.03)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError, match="p1"):
+            Hyperexponential(p1=1.0, mean1=1.0, mean2=2.0)
+        with pytest.raises(ValueError, match="positive"):
+            Hyperexponential(p1=0.5, mean1=0.0, mean2=2.0)
+
+
+class TestVectorizedConsistency:
+    """sample() and sample_array() must agree distributionally."""
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential(1.0),
+            Uniform(0.0, 2.0),
+            BoundedPareto(alpha=1.5, k=0.5, p=50.0),
+            Weibull(shape=1.2, scale=1.0),
+            Erlang(stages=2, mean=1.0),
+            Hyperexponential(p1=0.7, mean1=0.5, mean2=2.0),
+        ],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_scalar_vs_vector_mean(self, dist):
+        rng_scalar = np.random.default_rng(0)
+        rng_vector = np.random.default_rng(0)
+        scalar_draws = np.array([dist.sample(rng_scalar) for _ in range(20_000)])
+        vector_draws = dist.sample_array(rng_vector, 20_000)
+        assert scalar_draws.mean() == pytest.approx(
+            vector_draws.mean(), rel=0.05
+        )

@@ -1,0 +1,41 @@
+"""Tests for service-time convenience constructors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.distributions import BoundedPareto, Exponential
+from repro.workloads.service import bounded_pareto_service, exponential_service
+
+
+class TestExponentialService:
+    def test_default_mean_is_one(self):
+        dist = exponential_service()
+        assert isinstance(dist, Exponential)
+        assert dist.mean == 1.0
+
+    def test_custom_mean(self):
+        assert exponential_service(2.5).mean == 2.5
+
+
+class TestBoundedParetoService:
+    def test_paper_defaults(self):
+        dist = bounded_pareto_service()
+        assert isinstance(dist, BoundedPareto)
+        assert dist.mean == pytest.approx(1.0, rel=1e-9)
+        assert dist.alpha == 1.1
+        assert dist.p == 1000.0
+
+    def test_fig11_configuration(self):
+        dist = bounded_pareto_service(alpha=1.1, max_ratio=10_000.0)
+        assert dist.p == 10_000.0
+        assert dist.mean == pytest.approx(1.0, rel=1e-9)
+
+    def test_max_ratio_scales_with_mean(self):
+        dist = bounded_pareto_service(mean=2.0, max_ratio=100.0)
+        assert dist.p == 200.0
+        assert dist.mean == pytest.approx(2.0, rel=1e-9)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError, match="max_ratio"):
+            bounded_pareto_service(max_ratio=1.0)

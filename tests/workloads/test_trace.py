@@ -1,0 +1,208 @@
+"""Tests for trace-driven workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.distributions import Constant, Exponential
+from repro.workloads.trace import (
+    Trace,
+    TraceArrivals,
+    TraceRecord,
+    TraceService,
+    synthesize_diurnal_trace,
+)
+
+
+def tiny_trace():
+    return Trace(
+        [
+            TraceRecord(0.5, 1.0, client_id=0),
+            TraceRecord(1.0, 2.0, client_id=1),
+            TraceRecord(2.5, 0.5, client_id=0),
+        ]
+    )
+
+
+class TestTraceValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Trace([])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Trace([TraceRecord(2.0, 1.0), TraceRecord(1.0, 1.0)])
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Trace([TraceRecord(-1.0, 1.0)])
+
+    def test_properties(self):
+        trace = tiny_trace()
+        assert len(trace) == 3
+        assert trace.duration == 2.5
+        assert trace.mean_service_time == pytest.approx(3.5 / 3)
+        assert trace.mean_rate == pytest.approx(3 / 2.5)
+        assert trace.num_clients == 2
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        original = tiny_trace()
+        original.save_csv(path)
+        restored = Trace.load_csv(path)
+        assert restored.records == original.records
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="not a trace CSV"):
+            Trace.load_csv(path)
+
+
+class TestReplay:
+    def test_arrivals_fire_at_recorded_times(self):
+        trace = tiny_trace()
+        sim = Simulator()
+        fired: list[tuple[float, int]] = []
+        TraceArrivals(trace).start(
+            sim,
+            RandomStreams(1).stream("arrivals"),
+            lambda client_id: fired.append((sim.now, client_id)),
+        )
+        sim.run()
+        assert fired == [(0.5, 0), (1.0, 1), (2.5, 0)]
+
+    def test_service_replays_in_order(self):
+        service = TraceService(tiny_trace())
+        rng = np.random.default_rng(0)
+        assert [service.sample(rng) for _ in range(3)] == [1.0, 2.0, 0.5]
+
+    def test_service_exhaustion_raises(self):
+        service = TraceService(tiny_trace())
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            service.sample(rng)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            service.sample(rng)
+
+    def test_service_reset(self):
+        service = TraceService(tiny_trace())
+        rng = np.random.default_rng(0)
+        service.sample(rng)
+        service.reset()
+        assert service.sample(rng) == 1.0
+
+    def test_end_to_end_simulation(self):
+        """A synthesized trace replayed through the full driver."""
+        rng = RandomStreams(3).stream("gen")
+        trace = synthesize_diurnal_trace(
+            rng,
+            num_jobs=2_000,
+            base_rate=9.0,
+            amplitude=0.0,
+            period=100.0,
+            service=Exponential(1.0),
+        )
+        simulation = ClusterSimulation(
+            num_servers=10,
+            arrivals=TraceArrivals(trace),
+            service=TraceService(trace),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(4.0),
+            total_jobs=2_000,
+            seed=1,
+        )
+        result = simulation.run()
+        assert result.jobs_total == 2_000
+        assert result.mean_response_time > 1.0
+
+    def test_replay_is_exactly_reproducible(self):
+        rng = RandomStreams(4).stream("gen")
+        trace = synthesize_diurnal_trace(
+            rng, 500, base_rate=5.0, amplitude=0.3, period=50.0,
+            service=Constant(1.0),
+        )
+
+        def run():
+            simulation = ClusterSimulation(
+                num_servers=5,
+                arrivals=TraceArrivals(trace),
+                service=TraceService(trace),
+                policy=RandomPolicy(),
+                staleness=PeriodicUpdate(2.0),
+                total_jobs=500,
+                seed=2,
+            )
+            return simulation.run().mean_response_time
+
+        assert run() == run()
+
+
+class TestSynthesize:
+    def test_job_count(self):
+        rng = np.random.default_rng(0)
+        trace = synthesize_diurnal_trace(
+            rng, 1_000, base_rate=4.0, amplitude=0.5, period=100.0,
+            service=Constant(1.0),
+        )
+        assert len(trace) == 1_000
+
+    def test_average_rate_near_base(self):
+        rng = np.random.default_rng(1)
+        trace = synthesize_diurnal_trace(
+            rng, 20_000, base_rate=8.0, amplitude=0.6, period=100.0,
+            service=Constant(1.0),
+        )
+        assert trace.mean_rate == pytest.approx(8.0, rel=0.05)
+
+    def test_rate_actually_varies(self):
+        """Arrivals must bunch in high-rate half-periods."""
+        rng = np.random.default_rng(2)
+        period = 100.0
+        trace = synthesize_diurnal_trace(
+            rng, 20_000, base_rate=8.0, amplitude=0.9, period=period,
+            service=Constant(1.0),
+        )
+        phases = np.array([r.arrival_time % period for r in trace])
+        rising_half = (phases < period / 2).mean()  # sin > 0 half
+        assert rising_half > 0.6
+
+    def test_zero_amplitude_is_stationary(self):
+        rng = np.random.default_rng(3)
+        trace = synthesize_diurnal_trace(
+            rng, 20_000, base_rate=5.0, amplitude=0.0, period=10.0,
+            service=Constant(1.0),
+        )
+        gaps = np.diff([r.arrival_time for r in trace])
+        assert gaps.mean() == pytest.approx(0.2, rel=0.05)
+        assert gaps.var() / gaps.mean() ** 2 == pytest.approx(1.0, rel=0.1)
+
+    def test_client_ids_assigned(self):
+        rng = np.random.default_rng(4)
+        trace = synthesize_diurnal_trace(
+            rng, 1_000, base_rate=5.0, amplitude=0.2, period=10.0,
+            service=Constant(1.0), num_clients=7,
+        )
+        assert trace.num_clients == 7
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="amplitude"):
+            synthesize_diurnal_trace(
+                rng, 10, base_rate=1.0, amplitude=1.0, period=10.0,
+                service=Constant(1.0),
+            )
+        with pytest.raises(ValueError, match="num_jobs"):
+            synthesize_diurnal_trace(
+                rng, 0, base_rate=1.0, amplitude=0.5, period=10.0,
+                service=Constant(1.0),
+            )
