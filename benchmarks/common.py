@@ -11,6 +11,8 @@ Scale knobs:
 * ``REPRO_BENCH_JOBS``  — arrivals per run (default 15000; paper: 500000)
 * ``REPRO_BENCH_SEEDS`` — replications per cell (default 2; paper: >= 10)
 * ``REPRO_BENCH_PROCESSES`` — worker processes (default 1)
+* ``REPRO_BENCH_TRACE`` — set to 1 to attach observability probes and
+  write a run manifest per figure into ``benchmarks/results/``
 
 Raising the knobs reproduces the paper's scale exactly::
 
@@ -31,6 +33,7 @@ __all__ = [
     "bench_jobs",
     "bench_seeds",
     "bench_processes",
+    "bench_trace",
     "generate_figure",
     "kernel",
     "RESULTS_DIR",
@@ -65,6 +68,14 @@ def bench_processes(default: int = 1) -> int:
     return _env_int("REPRO_BENCH_PROCESSES", default)
 
 
+def bench_trace(default: bool = False) -> bool:
+    """Whether bench sweeps attach observability probes (REPRO_BENCH_TRACE)."""
+    raw = os.environ.get("REPRO_BENCH_TRACE")
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("", "0", "false", "no")
+
+
 def generate_figure(
     figure_id: str,
     jobs: int | None = None,
@@ -76,15 +87,26 @@ def generate_figure(
 
     ``record_as`` renames the results file — used when a bench re-runs a
     *subset* of another figure as a reference, so the partial table does
-    not overwrite the full one.
+    not overwrite the full one.  With ``REPRO_BENCH_TRACE=1`` the sweep
+    runs with the standard probes attached and its run manifest (probe
+    summaries included) lands next to the table in ``results/``.
     """
-    result = run_figure(
-        figure_id,
+    traced = bench_trace()
+    kwargs = dict(
         jobs=jobs if jobs is not None else bench_jobs(),
         seeds=seeds if seeds is not None else bench_seeds(),
         processes=bench_processes(),
+        trace=traced,
         **overrides,
     )
+    if traced:
+        from repro.experiments.runner import run_figure_with_manifest
+
+        result, _manifest_path = run_figure_with_manifest(
+            figure_id, RESULTS_DIR, **kwargs
+        )
+    else:
+        result = run_figure(figure_id, **kwargs)
     record_table(record_as or figure_id, result.format_table())
     return result
 

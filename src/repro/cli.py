@@ -88,7 +88,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the raw per-seed samples to PATH as JSON",
     )
+    run_cmd.add_argument(
+        "--trace",
+        action="store_true",
+        help="attach observability probes (queue traces, response "
+        "histograms, herd detection) to every cell",
+    )
+    run_cmd.add_argument(
+        "--trace-interval",
+        type=float,
+        default=1.0,
+        metavar="DT",
+        help="queue-trace sample spacing in mean service times (default 1.0)",
+    )
+    run_cmd.add_argument(
+        "--full-traces",
+        action="store_true",
+        help="with --trace: embed complete queue traces and per-epoch "
+        "herd records in the manifest (larger files)",
+    )
+    run_cmd.add_argument(
+        "--manifest-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="write a JSON run manifest (spec, seeds, git describe, wall "
+        "time, probe summaries) into DIR",
+    )
     run_cmd.set_defaults(handler=_cmd_run)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="summarize a run manifest written by `run --manifest-dir`"
+    )
+    obs_cmd.add_argument("path", help="manifest JSON file")
+    obs_cmd.add_argument(
+        "--epochs",
+        action="store_true",
+        help="also print per-epoch herd records (requires --full-traces "
+        "at run time)",
+    )
+    obs_cmd.set_defaults(handler=_cmd_obs)
 
     show_cmd = sub.add_parser(
         "show", help="re-render a saved result (from `run --save`)"
@@ -166,15 +205,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     x_values = (
         tuple(float(value) for value in args.x.split(",")) if args.x else None
     )
+    sweep_kwargs = dict(
+        jobs=args.jobs,
+        seeds=args.seeds,
+        curves=curves,
+        x_values=x_values,
+        processes=args.processes,
+        trace=args.trace,
+        trace_interval=args.trace_interval,
+        full_traces=args.full_traces,
+    )
     try:
-        result = run_figure(
-            args.figure,
-            jobs=args.jobs,
-            seeds=args.seeds,
-            curves=curves,
-            x_values=x_values,
-            processes=args.processes,
-        )
+        if args.manifest_dir:
+            from repro.experiments.runner import run_figure_with_manifest
+
+            result, manifest_path = run_figure_with_manifest(
+                args.figure, args.manifest_dir, **sweep_kwargs
+            )
+        else:
+            result = run_figure(args.figure, **sweep_kwargs)
+            manifest_path = None
     except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -183,6 +233,68 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         save_result(result, args.save)
     _render_result(result, markdown=args.markdown, chart=args.chart, log_y=args.log_y)
+    if args.trace and result.observations:
+        print()
+        print(_observations_digest(result))
+    if manifest_path is not None:
+        print(f"\nmanifest written to {manifest_path}")
+    return 0
+
+
+def _observations_digest(result) -> str:
+    """One line per traced cell: utilization spread and herd statistics."""
+    lines = ["observations:"]
+    for (curve, x, seed), probes in sorted(result.observations.items()):
+        parts = [f"  {curve:<24} {result.x_label}={x:<8g} seed={seed}"]
+        trace = probes.get("queue_trace") or {}
+        if trace.get("utilization"):
+            util = trace["utilization"]
+            parts.append(f"util {min(util):.2f}..{max(util):.2f}")
+            parts.append(f"imbalance {trace['imbalance']:.2f}")
+        herd = probes.get("herd") or {}
+        if herd.get("epochs"):
+            parts.append(
+                f"herding {herd['herding_epochs']}/{herd['epochs']} epochs"
+            )
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import format_manifest, load_manifest
+
+    try:
+        manifest = load_manifest(args.path)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_manifest(manifest))
+    if args.epochs:
+        printed = False
+        for entry in manifest.get("observations", []):
+            records = (entry.get("probes", {}).get("herd") or {}).get(
+                "epoch_records"
+            )
+            if not records:
+                continue
+            printed = True
+            print(
+                f"\nepochs for {entry['curve']} x={entry['x']:g} "
+                f"seed={entry['seed']}:"
+            )
+            print("  idx    start      end   jobs  max_share  top  entropy")
+            for record in records:
+                print(
+                    f"  {record['index']:>3} {record['start']:>8.2f} "
+                    f"{record['end']:>8.2f} {record['total']:>6} "
+                    f"{record['max_share']:>10.3f} {record['top_server']:>4} "
+                    f"{record['entropy']:>8.3f}"
+                )
+        if not printed:
+            print(
+                "\nno per-epoch records in this manifest "
+                "(re-run with --trace --full-traces)"
+            )
     return 0
 
 

@@ -126,6 +126,11 @@ class ClusterSimulation:
         first-order model in which propagation delays requests and
         replies without reordering queue entries).  Client ids index rows
         modulo the matrix height.
+    probes:
+        Optional observability probes (:class:`repro.obs.Probe`); they
+        observe dispatches, job lifecycles and board refreshes passively
+        and cannot perturb the simulation.  When empty or ``None`` the
+        probe code paths reduce to a single ``None`` check per arrival.
     """
 
     def __init__(
@@ -143,6 +148,7 @@ class ClusterSimulation:
         trace_response_times: bool = False,
         server_rates: list[float] | None = None,
         client_latency: np.ndarray | None = None,
+        probes: list | None = None,
     ) -> None:
         if num_servers < 1:
             raise ValueError(f"num_servers must be >= 1, got {num_servers}")
@@ -181,6 +187,7 @@ class ClusterSimulation:
         self.trace_response_times = trace_response_times
         self.server_rates = server_rates
         self.client_latency = client_latency
+        self.probes = list(probes) if probes else None
 
     @property
     def offered_load(self) -> float:
@@ -199,7 +206,16 @@ class ClusterSimulation:
         rates = self.server_rates or [1.0] * self.num_servers
         servers = [Server(i, rate) for i, rate in enumerate(rates)]
 
-        self.staleness.attach(sim, servers, streams.stream("staleness"))
+        probe_set = None
+        if self.probes:
+            from repro.obs.probes import ProbeSet
+
+            probe_set = ProbeSet(self.probes)
+            probe_set.on_attach(sim, servers)
+
+        self.staleness.attach(
+            sim, servers, streams.stream("staleness"), probes=probe_set
+        )
         self.rate_estimator.bind(self.num_servers, self._per_server_rate())
         self.policy.bind(
             self.num_servers,
@@ -237,6 +253,13 @@ class ClusterSimulation:
                     client_id % self.client_latency.shape[0], server_id
                 ]
             metrics.record(server_id, response)
+            if probe_set is not None:
+                occupancy = service_time / servers[server_id].service_rate
+                probe_set.on_dispatch(
+                    now, client_id, server_id, servers[server_id].queue_length(now)
+                )
+                probe_set.on_job_start(server_id, completion - occupancy, service_time)
+                probe_set.on_job_complete(server_id, completion, response)
             if trace is not None:
                 trace.append(
                     Job(
@@ -254,6 +277,8 @@ class ClusterSimulation:
 
         self.arrivals.start(sim, streams.stream("arrivals"), on_arrival)
         sim.run()
+        if probe_set is not None:
+            probe_set.on_finish(sim.now)
 
         return SimulationResult(
             mean_response_time=metrics.mean_response_time,

@@ -32,6 +32,7 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._stop_requested = False
+        self._hooks: list[Callable[[float], Any]] = []
         self.events_processed = 0
 
     @property
@@ -70,6 +71,29 @@ class Simulator:
         """Request that :meth:`run` return after the current event."""
         self._stop_requested = True
 
+    def add_hook(self, hook: Callable[[float], Any]) -> None:
+        """Register an observer called with the clock after every event.
+
+        This is the engine-level probe point: observers (e.g. queue-trace
+        sampling in :mod:`repro.obs`) see every instant at which state can
+        have changed without adding anything to the event calendar, so
+        they cannot perturb event ordering or randomness.  With no hooks
+        registered the event loop pays a single truthiness check per
+        event — the zero-overhead contract of the observability layer.
+
+        Hooks must not schedule events or mutate simulation state.
+        """
+        if hook in self._hooks:
+            raise SimulationError("hook is already registered")
+        self._hooks.append(hook)
+
+    def remove_hook(self, hook: Callable[[float], Any]) -> None:
+        """Unregister an event hook; unknown hooks are ignored."""
+        try:
+            self._hooks.remove(hook)
+        except ValueError:
+            pass
+
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Process events in time order and return the final clock value.
 
@@ -100,6 +124,9 @@ class Simulator:
                 self._now = event.time
                 event.action()
                 self.events_processed += 1
+                if self._hooks:
+                    for hook in self._hooks:
+                        hook(self._now)
                 if max_events is not None and self.events_processed > max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; "

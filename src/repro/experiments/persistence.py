@@ -1,8 +1,11 @@
-"""Save and load figure results as JSON.
+"""Save and load figure results and run manifests as JSON.
 
 Sweeps at paper scale take real time; persisting their raw per-seed
 samples lets tables and charts be re-rendered, compared across code
-versions, or post-processed without re-simulating.
+versions, or post-processed without re-simulating.  Run manifests (see
+:mod:`repro.obs.manifest`) additionally record the code version,
+environment, wall time and probe observations of a sweep; they are
+re-exported here so the experiments layer has one persistence surface.
 """
 
 from __future__ import annotations
@@ -11,8 +14,16 @@ import json
 from pathlib import Path
 
 from repro.experiments.report import CellResult, FigureResult
+from repro.obs.manifest import load_manifest, save_manifest
 
-__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+    "save_manifest",
+    "load_manifest",
+]
 
 FORMAT_VERSION = 1
 

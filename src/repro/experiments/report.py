@@ -58,6 +58,12 @@ class FigureResult:
     seeds: int
     cells: dict[tuple[str, float], CellResult] = field(default_factory=dict)
     notes: str = ""
+    # Probe summaries from traced runs, keyed by (curve, x, seed); empty
+    # unless the sweep ran with trace=True.  Persisted via run manifests
+    # (repro.obs.manifest), not the figure-result JSON format.
+    observations: dict[tuple[str, float, int], dict] = field(
+        default_factory=dict, repr=False
+    )
 
     def cell(self, curve: str, x: float) -> CellResult:
         """Look up one cell."""

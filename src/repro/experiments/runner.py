@@ -3,18 +3,33 @@
 The runner supports optional process-level parallelism.  Work units are
 shipped to workers as plain ``(figure_id, curve_label, x, seed, jobs)``
 tuples and re-materialized from the registry inside the worker, so nothing
-unpicklable crosses the process boundary.
+unpicklable crosses the process boundary.  Traced runs attach the standard
+observability probes (queue trace, response histogram, herd detector)
+inside the worker and return their summaries as plain dictionaries.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
 
 from repro.experiments.registry import get_figure
 from repro.experiments.report import CellResult, FigureResult
 
-__all__ = ["run_figure", "run_cell"]
+__all__ = [
+    "run_cell",
+    "run_cell_observed",
+    "run_figure",
+    "run_figure_with_manifest",
+    "run_until_precise",
+    "PreciseCellResult",
+]
+
+#: Default spacing (in mean service times) of queue-trace samples.
+DEFAULT_TRACE_INTERVAL = 1.0
 
 
 def run_cell(
@@ -27,6 +42,67 @@ def run_cell(
     return simulation.run().mean_response_time
 
 
+def standard_probes(
+    figure_id: str, x: float, sample_interval: float = DEFAULT_TRACE_INTERVAL
+) -> list:
+    """The default probe line-up for traced sweeps.
+
+    The herd detector epochs on board refreshes when the figure's
+    staleness model publishes them (periodic-family models) and falls back
+    to fixed windows of the cell's x value (the information age axis)
+    otherwise, so every figure gets meaningful per-epoch concentration
+    statistics.
+    """
+    from repro.obs.herd import HerdDetector
+    from repro.obs.traces import QueueTraceProbe, ResponseHistogramProbe
+    from repro.staleness.periodic import PeriodicUpdate
+
+    spec = get_figure(figure_id)
+    phase_based = isinstance(spec.make_staleness(max(x, 1e-9)), PeriodicUpdate)
+    epoch_length = None if phase_based else max(float(x), sample_interval)
+    return [
+        QueueTraceProbe(sample_interval=sample_interval),
+        ResponseHistogramProbe(),
+        HerdDetector(epoch_length=epoch_length),
+    ]
+
+
+def run_cell_observed(
+    figure_id: str,
+    curve_label: str,
+    x: float,
+    seed: int,
+    total_jobs: int,
+    sample_interval: float = DEFAULT_TRACE_INTERVAL,
+    full_traces: bool = False,
+) -> tuple[float, dict]:
+    """Run one cell with the standard probes attached.
+
+    Returns ``(mean_response_time, probe_summaries)`` where the summaries
+    are plain JSON-serializable dictionaries (safe to ship across process
+    boundaries).  ``full_traces`` additionally embeds the complete queue
+    trace (timestamps × per-server queue lengths) and per-epoch herd
+    records rather than just their digests.
+    """
+    spec = get_figure(figure_id)
+    curve = spec.curve(curve_label)
+    simulation = spec.build_simulation(curve, x, seed, total_jobs)
+    probes = standard_probes(figure_id, x, sample_interval)
+    simulation.probes = probes
+    result = simulation.run()
+
+    from repro.obs.probes import ProbeSet
+
+    summaries = ProbeSet(probes).summary()
+    if full_traces:
+        for probe in probes:
+            if hasattr(probe, "trace_dict"):
+                summaries[probe.name]["trace"] = probe.trace_dict()
+            if hasattr(probe, "epochs_dict"):
+                summaries[probe.name]["epoch_records"] = probe.epochs_dict()
+    return result.mean_response_time, summaries
+
+
 def run_figure(
     figure_id: str,
     jobs: int | None = None,
@@ -35,6 +111,9 @@ def run_figure(
     curves: tuple[str, ...] | None = None,
     processes: int | None = None,
     base_seed: int = 1,
+    trace: bool = False,
+    trace_interval: float = DEFAULT_TRACE_INTERVAL,
+    full_traces: bool = False,
 ) -> FigureResult:
     """Execute a figure's full sweep and return its :class:`FigureResult`.
 
@@ -54,6 +133,16 @@ def run_figure(
     base_seed:
         Replication ``r`` of every cell runs with seed ``base_seed + r``,
         giving common random numbers across curves for variance reduction.
+    trace:
+        Attach the standard observability probes to every cell and
+        collect their summaries into ``result.observations`` (keyed by
+        ``(curve, x, seed)``).  Probes never perturb measurements: a
+        traced sweep's samples are bit-identical to an untraced one's.
+    trace_interval:
+        Queue-trace sample spacing, in mean service times.
+    full_traces:
+        With ``trace``, embed complete queue traces and per-epoch herd
+        records in the observations (larger manifests).
     """
     spec = get_figure(figure_id)
     jobs = jobs if jobs is not None else spec.default_jobs
@@ -76,21 +165,33 @@ def run_figure(
         for x in sweep_x
         for replication in range(seeds)
     ]
-    work = [(figure_id, label, x, seed, jobs) for (label, x, seed) in cells]
+    if trace:
+        work = [
+            (figure_id, label, x, seed, jobs, trace_interval, full_traces)
+            for (label, x, seed) in cells
+        ]
+        worker = _run_observed_tuple
+    else:
+        work = [(figure_id, label, x, seed, jobs) for (label, x, seed) in cells]
+        worker = _run_cell_tuple
 
     if processes is None:
         processes = 1
     if processes > 1:
         max_workers = min(processes, os.cpu_count() or 1, len(work))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            values = list(pool.map(_run_cell_tuple, work, chunksize=1))
+            values = list(pool.map(worker, work, chunksize=1))
     else:
-        values = [_run_cell_tuple(item) for item in work]
+        values = [worker(item) for item in work]
 
     samples: dict[tuple[str, float], list[float]] = {
         (label, x): [] for label in curve_labels for x in sweep_x
     }
-    for (label, x, _seed), value in zip(cells, values):
+    observations: dict[tuple[str, float, int], dict] = {}
+    for (label, x, seed), value in zip(cells, values):
+        if trace:
+            value, obs = value
+            observations[(label, x, seed)] = obs
         samples[(label, x)].append(value)
 
     result = FigureResult(
@@ -103,6 +204,7 @@ def run_figure(
         jobs=jobs,
         seeds=seeds,
         notes=spec.notes,
+        observations=observations,
     )
     for key, cell_samples in samples.items():
         label, x = key
@@ -112,9 +214,60 @@ def run_figure(
     return result
 
 
+def run_figure_with_manifest(
+    figure_id: str,
+    manifest_dir: str | Path,
+    base_seed: int = 1,
+    **kwargs,
+) -> tuple[FigureResult, Path]:
+    """Run a sweep and write its JSON run manifest.
+
+    Times the sweep, assembles the manifest (spec, seeds, git describe,
+    environment, wall time, per-cell results, probe observations when
+    ``trace=True``) and writes ``<figure_id>.manifest.json`` into
+    ``manifest_dir``.  Returns ``(result, manifest_path)``.
+    """
+    from repro.obs.manifest import build_manifest, save_manifest
+
+    started = time.perf_counter()
+    result = run_figure(figure_id, base_seed=base_seed, **kwargs)
+    wall_time = time.perf_counter() - started
+    manifest = build_manifest(result, wall_time, base_seed=base_seed)
+    path = save_manifest(manifest, manifest_dir)
+    return result, path
+
+
 def _run_cell_tuple(item: tuple[str, str, float, int, int]) -> float:
     figure_id, curve_label, x, seed, total_jobs = item
     return run_cell(figure_id, curve_label, x, seed, total_jobs)
+
+
+def _run_observed_tuple(
+    item: tuple[str, str, float, int, int, float, bool]
+) -> tuple[float, dict]:
+    figure_id, curve_label, x, seed, total_jobs, interval, full = item
+    return run_cell_observed(
+        figure_id,
+        curve_label,
+        x,
+        seed,
+        total_jobs,
+        sample_interval=interval,
+        full_traces=full,
+    )
+
+
+@dataclass(frozen=True)
+class PreciseCellResult(CellResult):
+    """A :class:`CellResult` from sequential sampling, with its verdict.
+
+    ``converged`` is True when the precision target was provably met; a
+    False value means the caller got ``max_seeds`` replications (or a
+    degenerate near-zero mean) without reaching the target and must not
+    silently treat the samples as high-precision.
+    """
+
+    converged: bool = False
 
 
 def run_until_precise(
@@ -127,7 +280,8 @@ def run_until_precise(
     min_seeds: int = 3,
     max_seeds: int = 50,
     base_seed: int = 1,
-):
+    zero_mean_atol: float = 1e-9,
+) -> PreciseCellResult:
     """Add replications until the CI half-width is small enough.
 
     Sequential-sampling helper for high-accuracy single points: runs at
@@ -135,10 +289,18 @@ def run_until_precise(
     confidence interval's half-width falls below
     ``target_relative_halfwidth`` of the mean, or ``max_seeds`` is hit.
 
+    A *relative* precision target is undefined at a mean of zero, and a
+    near-zero mean turns the stopping rule into a near-unsatisfiable one;
+    instead of silently burning ``max_seeds`` replications, the loop stops
+    as soon as ``|mean| <= zero_mean_atol`` and reports convergence only
+    if the half-width is also within ``zero_mean_atol`` (the genuinely
+    degenerate all-zeros case).
+
     Returns
     -------
-    CellResult
-        With however many samples precision required.
+    PreciseCellResult
+        With however many samples precision required, and ``converged``
+        stating whether the target was actually met.
     """
     from repro.engine.stats import mean_confidence_interval
 
@@ -151,7 +313,12 @@ def run_until_precise(
         raise ValueError(
             f"need 1 < min_seeds <= max_seeds, got {min_seeds}, {max_seeds}"
         )
+    if zero_mean_atol < 0:
+        raise ValueError(
+            f"zero_mean_atol must be non-negative, got {zero_mean_atol}"
+        )
     samples: list[float] = []
+    converged = False
     for replication in range(max_seeds):
         samples.append(
             run_cell(figure_id, curve_label, x, base_seed + replication, jobs)
@@ -159,8 +326,13 @@ def run_until_precise(
         if len(samples) < min_seeds:
             continue
         interval = mean_confidence_interval(samples, confidence)
-        if interval.mean > 0 and (
-            interval.half_width / interval.mean <= target_relative_halfwidth
-        ):
+        scale = abs(interval.mean)
+        if scale <= zero_mean_atol:
+            converged = interval.half_width <= zero_mean_atol
             break
-    return CellResult(curve=curve_label, x=x, samples=tuple(samples))
+        if interval.half_width / scale <= target_relative_halfwidth:
+            converged = True
+            break
+    return PreciseCellResult(
+        curve=curve_label, x=x, samples=tuple(samples), converged=converged
+    )

@@ -1,0 +1,36 @@
+"""Observability: probes, traces, herd detection and run manifests.
+
+The paper's central phenomenon — the herd effect under stale load
+information — is invisible in headline means.  This package provides the
+instrumentation layer a real dispatcher fleet would have: a zero-overhead
+probe protocol on the simulation loop, time-weighted per-server queue and
+utilization traces, a per-epoch dispatch-concentration (herd) detector,
+and JSON run manifests that make every sweep reproducible and auditable.
+"""
+
+from repro.obs.herd import EpochStats, HerdDetector
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    build_manifest,
+    format_manifest,
+    git_describe,
+    load_manifest,
+    save_manifest,
+)
+from repro.obs.probes import Probe, ProbeSet
+from repro.obs.traces import QueueTraceProbe, ResponseHistogramProbe
+
+__all__ = [
+    "Probe",
+    "ProbeSet",
+    "QueueTraceProbe",
+    "ResponseHistogramProbe",
+    "HerdDetector",
+    "EpochStats",
+    "MANIFEST_VERSION",
+    "build_manifest",
+    "format_manifest",
+    "git_describe",
+    "load_manifest",
+    "save_manifest",
+]

@@ -1,0 +1,234 @@
+"""Per-epoch dispatch-concentration statistics: the herd effect, measured.
+
+The herd effect (paper §3, Figs. 2–4) is a *within-epoch* phenomenon:
+during one information phase every dispatcher sees the same stale board,
+and a greedy policy funnels most arrivals to the apparently-least-loaded
+server.  The headline mean hides this; the per-epoch dispatch distribution
+exposes it directly.
+
+:class:`HerdDetector` partitions the run into information epochs — one per
+``on_load_update`` (board refresh), or a fixed ``epoch_length`` for models
+without global refresh events — and reports per epoch the dispatch share
+of the hottest server and the normalized entropy of the dispatch
+distribution.  LI's probability vectors keep entropy high and the max
+share near the fair share; greedy policies collapse both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.probes import Probe
+
+__all__ = ["EpochStats", "HerdDetector"]
+
+
+@dataclass(frozen=True, slots=True)
+class EpochStats:
+    """Dispatch-concentration statistics for one information epoch.
+
+    Attributes
+    ----------
+    index:
+        Sequential epoch number (0-based).
+    version:
+        Information version active during the epoch (board refresh count),
+        or the epoch index for time-partitioned detection.
+    start / end:
+        Epoch boundaries in simulation time.
+    total:
+        Jobs dispatched during the epoch.
+    max_share:
+        Largest fraction of the epoch's dispatches sent to one server.
+    top_server:
+        The server receiving ``max_share``.
+    entropy:
+        Shannon entropy of the dispatch distribution normalized by
+        ``log(n)`` — 1.0 is uniform, 0.0 is total collapse onto one
+        server.  1.0 by convention for single-server clusters.
+    """
+
+    index: int
+    version: int
+    start: float
+    end: float
+    total: int
+    max_share: float
+    top_server: int
+    entropy: float
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for manifests."""
+        return {
+            "index": self.index,
+            "version": self.version,
+            "start": round(self.start, 6),
+            "end": round(self.end, 6),
+            "total": self.total,
+            "max_share": round(self.max_share, 6),
+            "top_server": self.top_server,
+            "entropy": round(self.entropy, 6),
+        }
+
+
+def _dispatch_entropy(counts: np.ndarray, total: int) -> float:
+    """Normalized Shannon entropy of a dispatch count vector."""
+    n = counts.size
+    if n <= 1:
+        return 1.0
+    positive = counts[counts > 0]
+    shares = positive / total
+    raw = -float((shares * np.log(shares)).sum())
+    return raw / math.log(n)
+
+
+class HerdDetector(Probe):
+    """Detect dispatch concentration per information epoch.
+
+    Parameters
+    ----------
+    herd_factor:
+        An epoch is flagged as *herding* when its ``max_share`` exceeds
+        ``herd_factor`` times the fair share ``1/n`` (capped at 1.0).
+        The default 2.0 flags any epoch in which one server absorbed more
+        than twice its fair share of the arrivals.
+    epoch_length:
+        When set, epochs are fixed time windows of this length instead of
+        board-refresh intervals — required for staleness models that never
+        publish a global refresh (continuous, update-on-access).
+
+    Caveat: with very short epochs (a handful of jobs each) binomial
+    noise alone pushes ``max_share`` past the threshold, so even a
+    load-blind random policy "herds" in most epochs.  Compare herding
+    fractions between policies at equal epoch length, or read
+    ``mean_max_share`` / ``mean_entropy``, which stay discriminative.
+    """
+
+    name = "herd"
+
+    def __init__(
+        self, herd_factor: float = 2.0, epoch_length: float | None = None
+    ) -> None:
+        if herd_factor <= 1.0:
+            raise ValueError(f"herd_factor must be > 1, got {herd_factor}")
+        if epoch_length is not None and epoch_length <= 0:
+            raise ValueError(
+                f"epoch_length must be positive, got {epoch_length}"
+            )
+        self.herd_factor = float(herd_factor)
+        self.epoch_length = epoch_length
+        self.epochs: list[EpochStats] = []
+        self._counts: np.ndarray | None = None
+        self._epoch_start = 0.0
+        self._epoch_version = 0
+        self._empty_epochs = 0
+        self._next_boundary = math.inf
+
+    def on_attach(self, sim, servers) -> None:
+        self.epochs = []
+        self._counts = np.zeros(len(servers), dtype=np.int64)
+        self._epoch_start = 0.0
+        self._epoch_version = 0
+        self._empty_epochs = 0
+        self._next_boundary = (
+            self.epoch_length if self.epoch_length is not None else math.inf
+        )
+
+    def on_dispatch(
+        self, now: float, client_id: int, server_id: int, queue_length: int
+    ) -> None:
+        assert self._counts is not None
+        while now >= self._next_boundary:
+            # Fixed-window mode: close every elapsed window, even idle ones.
+            self._close_epoch(self._next_boundary, self._epoch_version + 1)
+            self._next_boundary += self.epoch_length  # type: ignore[operator]
+        self._counts[server_id] += 1
+
+    def on_load_update(
+        self, now: float, version: int, loads: np.ndarray
+    ) -> None:
+        if self.epoch_length is not None:
+            return  # fixed windows take precedence over refresh events
+        if now > self._epoch_start:
+            self._close_epoch(now, version)
+
+    def on_finish(self, now: float) -> None:
+        if self._counts is not None and now > self._epoch_start:
+            self._close_epoch(now, self._epoch_version + 1)
+
+    def _close_epoch(self, end: float, next_version: int) -> None:
+        assert self._counts is not None
+        total = int(self._counts.sum())
+        if total > 0:
+            top = int(self._counts.argmax())
+            self.epochs.append(
+                EpochStats(
+                    index=len(self.epochs),
+                    version=self._epoch_version,
+                    start=self._epoch_start,
+                    end=end,
+                    total=total,
+                    max_share=float(self._counts[top]) / total,
+                    top_server=top,
+                    entropy=_dispatch_entropy(self._counts, total),
+                )
+            )
+            self._counts[:] = 0
+        else:
+            self._empty_epochs += 1
+        self._epoch_start = end
+        self._epoch_version = next_version
+
+    # ------------------------------------------------------------------
+    # Derived measurements
+    # ------------------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        """Cluster size (available after on_attach)."""
+        if self._counts is None:
+            raise RuntimeError("HerdDetector is not attached")
+        return int(self._counts.size)
+
+    def herd_threshold(self) -> float:
+        """The max-share level above which an epoch counts as herding."""
+        return min(1.0, self.herd_factor / self.num_servers)
+
+    def herding_epochs(self) -> list[EpochStats]:
+        """Epochs whose hottest server exceeded the herd threshold."""
+        threshold = self.herd_threshold()
+        return [e for e in self.epochs if e.max_share > threshold]
+
+    def summary(self) -> dict:
+        herding = self.herding_epochs() if self._counts is not None else []
+        worst = max(self.epochs, key=lambda e: e.max_share, default=None)
+        return {
+            "epochs": len(self.epochs),
+            "empty_epochs": self._empty_epochs,
+            "herd_factor": self.herd_factor,
+            "herd_threshold": (
+                self.herd_threshold() if self._counts is not None else None
+            ),
+            "herding_epochs": len(herding),
+            "herding_fraction": (
+                len(herding) / len(self.epochs) if self.epochs else 0.0
+            ),
+            "mean_max_share": (
+                float(np.mean([e.max_share for e in self.epochs]))
+                if self.epochs
+                else None
+            ),
+            "mean_entropy": (
+                float(np.mean([e.entropy for e in self.epochs]))
+                if self.epochs
+                else None
+            ),
+            "worst_epoch": worst.to_dict() if worst is not None else None,
+        }
+
+    def epochs_dict(self) -> list[dict]:
+        """All per-epoch records, for manifests."""
+        return [epoch.to_dict() for epoch in self.epochs]

@@ -1,0 +1,194 @@
+"""Run manifests: what ran, with which code, seeds and observations.
+
+A manifest is the audit record a production experiment pipeline keeps for
+every sweep: the exact spec (figure, curves, x values, jobs, seeds), the
+code version (``git describe``), the environment, wall time, the headline
+results, and — when tracing was enabled — the per-cell probe summaries
+(queue traces, utilization, herd epochs, response histograms).
+
+Manifests are plain dictionaries serialized as JSON so they can be diffed,
+archived and post-processed without this library.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.report import FigureResult
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "git_describe",
+    "build_manifest",
+    "save_manifest",
+    "load_manifest",
+    "format_manifest",
+]
+
+MANIFEST_VERSION = 1
+
+
+def git_describe(repo_root: str | Path | None = None) -> str | None:
+    """Best-effort ``git describe --always --dirty`` of the running code.
+
+    Returns ``None`` when git or the repository is unavailable — manifests
+    must never fail a run over missing version metadata.
+    """
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=str(repo_root) if repo_root is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def build_manifest(
+    result: "FigureResult",
+    wall_time_seconds: float,
+    base_seed: int = 1,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble the manifest dictionary for one completed figure sweep.
+
+    Probe observations, when the sweep was traced, are read from
+    ``result.observations`` (keyed by ``(curve, x, seed)``).
+    """
+    manifest: dict = {
+        "manifest_version": MANIFEST_VERSION,
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_describe": git_describe(),
+        "wall_time_seconds": round(wall_time_seconds, 3),
+        "spec": {
+            "x_label": result.x_label,
+            "x_values": list(result.x_values),
+            "curves": list(result.curve_labels),
+            "jobs": result.jobs,
+            "seeds": result.seeds,
+            "base_seed": base_seed,
+            "summary": result.summary,
+        },
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "cells": [
+            {
+                "curve": cell.curve,
+                "x": cell.x,
+                "samples": list(cell.samples),
+                "mean": cell.mean,
+            }
+            for cell in result.cells.values()
+        ],
+    }
+    observations = getattr(result, "observations", None)
+    if observations:
+        manifest["observations"] = [
+            {"curve": curve, "x": x, "seed": seed, "probes": probes}
+            for (curve, x, seed), probes in sorted(observations.items())
+        ]
+    if extra:
+        manifest["extra"] = dict(extra)
+    return manifest
+
+
+def save_manifest(manifest: dict, directory: str | Path) -> Path:
+    """Write ``manifest`` into ``directory`` and return the file path.
+
+    The file is named ``<figure_id>.manifest.json``; the directory is
+    created if needed.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{manifest['figure_id']}.manifest.json"
+    path.write_text(json.dumps(manifest, indent=2) + "\n")
+    return path
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Read a manifest previously written by :func:`save_manifest`."""
+    manifest = json.loads(Path(path).read_text())
+    version = manifest.get("manifest_version")
+    if version != MANIFEST_VERSION:
+        raise ValueError(
+            f"unsupported manifest version {version!r}; "
+            f"this build reads version {MANIFEST_VERSION}"
+        )
+    return manifest
+
+
+def _format_observation_row(entry: dict) -> str:
+    probes = entry.get("probes", {})
+    parts = [f"{entry['curve']:<24} x={entry['x']:<8g} seed={entry['seed']}"]
+    trace = probes.get("queue_trace")
+    if trace:
+        util = trace.get("utilization") or []
+        if util:
+            parts.append(f"util {min(util):.2f}..{max(util):.2f}")
+        parts.append(f"imbalance {trace.get('imbalance', 0.0):.2f}")
+    herd = probes.get("herd")
+    if herd and herd.get("epochs"):
+        parts.append(
+            f"herding {herd['herding_epochs']}/{herd['epochs']} epochs "
+            f"(worst share {herd['worst_epoch']['max_share']:.2f})"
+        )
+    hist = probes.get("response_histogram")
+    if hist and hist.get("count"):
+        parts.append(
+            f"p50/p99 {hist.get('p50', 0.0):.2f}/{hist.get('p99', 0.0):.2f}"
+        )
+    return "  ".join(parts)
+
+
+def format_manifest(manifest: dict) -> str:
+    """Render a manifest as the human-readable `repro obs` summary."""
+    spec = manifest["spec"]
+    lines = [
+        f"{manifest['figure_id']}: {manifest['title']}",
+        f"created {manifest['created_at']}"
+        + (
+            f"  code {manifest['git_describe']}"
+            if manifest.get("git_describe")
+            else ""
+        ),
+        f"jobs={spec['jobs']} seeds={spec['seeds']} "
+        f"base_seed={spec.get('base_seed', 1)} "
+        f"wall={manifest['wall_time_seconds']:.1f}s",
+        f"curves: {', '.join(spec['curves'])}",
+        f"{spec['x_label']} sweep: "
+        + ", ".join(f"{x:g}" for x in spec["x_values"]),
+        "",
+        "cell means:",
+    ]
+    for cell in manifest["cells"]:
+        lines.append(
+            f"  {cell['curve']:<24} {spec['x_label']}={cell['x']:<8g} "
+            f"mean={cell['mean']:.4f}  ({len(cell['samples'])} seeds)"
+        )
+    observations = manifest.get("observations")
+    if observations:
+        lines += ["", "observations (traced cells):"]
+        for entry in observations:
+            lines.append("  " + _format_observation_row(entry))
+    else:
+        lines += ["", "no probe observations (run with --trace to collect)"]
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Queue-length / utilization traces and response-time histograms.
+
+:class:`QueueTraceProbe` samples the exact per-server queue lengths on a
+time grid, riding the simulator's event hook so it adds *nothing* to the
+event calendar and cannot perturb event ordering; the cluster's historical
+queue queries (two binary searches per server) make each sample exact.
+
+:class:`ResponseHistogramProbe` folds every completed job into a
+streaming :class:`~repro.engine.stats.LogBinnedHistogram`, giving tail
+percentiles at O(bins) memory for runs of any length.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.stats import LogBinnedHistogram
+from repro.obs.probes import Probe
+
+__all__ = ["QueueTraceProbe", "ResponseHistogramProbe"]
+
+
+class QueueTraceProbe(Probe):
+    """Time-weighted per-server queue-length and utilization traces.
+
+    Parameters
+    ----------
+    sample_interval:
+        Target spacing of samples in simulation time units (mean service
+        times).  Samples land on the first event at or after each grid
+        point, so actual spacing can exceed the target during quiet
+        stretches; recorded timestamps are always the true sample times.
+    max_samples:
+        Memory bound.  When the trace would exceed this many samples, it
+        is decimated (every other sample dropped) and the interval doubled
+        — resolution degrades gracefully instead of memory growing without
+        bound on paper-scale runs.
+    """
+
+    name = "queue_trace"
+
+    def __init__(
+        self, sample_interval: float = 1.0, max_samples: int = 20_000
+    ) -> None:
+        if sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be positive, got {sample_interval}"
+            )
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.sample_interval = float(sample_interval)
+        self.max_samples = int(max_samples)
+        self._sim = None
+        self._servers: Sequence = ()
+        self._times: list[float] = []
+        self._queues: list[list[int]] = []
+        self._next_sample = 0.0
+        self._finished = False
+        self._duration = 0.0
+        self._utilization: np.ndarray | None = None
+
+    def on_attach(self, sim, servers) -> None:
+        self._sim = sim
+        self._servers = servers
+        self._times = []
+        self._queues = []
+        self._next_sample = 0.0
+        self._finished = False
+        self._sample(0.0)
+        self._next_sample = self.sample_interval
+        sim.add_hook(self._on_event)
+
+    def _on_event(self, now: float) -> None:
+        if now >= self._next_sample:
+            self._sample(now)
+            self._next_sample = now + self.sample_interval
+
+    def _sample(self, now: float) -> None:
+        self._times.append(now)
+        self._queues.append(
+            [server.queue_length(now) for server in self._servers]
+        )
+        if len(self._times) > self.max_samples:
+            # Halve resolution: keep every other sample, double the grid.
+            self._times = self._times[::2]
+            self._queues = self._queues[::2]
+            self.sample_interval *= 2.0
+
+    def on_finish(self, now: float) -> None:
+        if self._times and now > self._times[-1]:
+            self._sample(now)
+        if self._sim is not None:
+            self._sim.remove_hook(self._on_event)
+        self._duration = now
+        if now > 0:
+            self._utilization = np.array(
+                [
+                    min(server.busy_time, now) / now
+                    for server in self._servers
+                ]
+            )
+        else:
+            self._utilization = np.zeros(len(self._servers))
+        self._finished = True
+
+    # ------------------------------------------------------------------
+    # Derived measurements
+    # ------------------------------------------------------------------
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample timestamps."""
+        return np.asarray(self._times, dtype=np.float64)
+
+    @property
+    def queue_lengths(self) -> np.ndarray:
+        """``(samples, servers)`` queue-length matrix."""
+        return np.asarray(self._queues, dtype=np.int64)
+
+    @property
+    def utilization(self) -> np.ndarray:
+        """Per-server busy fraction over the whole run."""
+        if self._utilization is None:
+            raise RuntimeError("utilization is available after on_finish()")
+        return self._utilization
+
+    def mean_queue_lengths(self) -> np.ndarray:
+        """Time-weighted mean queue length per server.
+
+        Uses the step interpolation the trace actually observed: each
+        sample's vector is held until the next sample.
+        """
+        times = self.times
+        queues = self.queue_lengths
+        if len(times) < 2:
+            return queues[0].astype(np.float64) if len(times) else np.array([])
+        widths = np.diff(times)
+        span = times[-1] - times[0]
+        if span <= 0:
+            return queues[0].astype(np.float64)
+        return (widths[:, None] * queues[:-1]).sum(axis=0) / span
+
+    def imbalance(self) -> float:
+        """Max over mean of the time-weighted per-server queue lengths.
+
+        1.0 is a perfectly balanced cluster; a herding cluster shows
+        values well above 1 (one server's time-averaged queue dwarfs the
+        rest).  Returns 1.0 for an idle cluster.
+        """
+        means = self.mean_queue_lengths()
+        if means.size == 0 or means.mean() <= 0:
+            return 1.0
+        return float(means.max() / means.mean())
+
+    def summary(self) -> dict:
+        queues = self.queue_lengths
+        return {
+            "sample_interval": self.sample_interval,
+            "samples": len(self._times),
+            "duration": self._duration,
+            "mean_queue_length": [
+                round(v, 6) for v in self.mean_queue_lengths()
+            ],
+            "max_queue_length": (
+                queues.max(axis=0).tolist() if queues.size else []
+            ),
+            "utilization": (
+                [round(v, 6) for v in self._utilization]
+                if self._utilization is not None
+                else []
+            ),
+            "imbalance": round(self.imbalance(), 6),
+        }
+
+    def trace_dict(self) -> dict:
+        """The full trace (timestamps + queue matrix) for manifests."""
+        return {
+            "times": [round(t, 6) for t in self._times],
+            "queue_lengths": [list(row) for row in self._queues],
+        }
+
+
+class ResponseHistogramProbe(Probe):
+    """Streaming log-binned response-time histogram with tail percentiles."""
+
+    name = "response_histogram"
+
+    def __init__(
+        self, min_value: float = 1e-3, bins_per_doubling: int = 8
+    ) -> None:
+        self.histogram = LogBinnedHistogram(
+            min_value=min_value, bins_per_doubling=bins_per_doubling
+        )
+
+    def on_job_complete(
+        self, server_id: int, completion_time: float, response_time: float
+    ) -> None:
+        self.histogram.add(response_time)
+
+    def summary(self) -> dict:
+        return self.histogram.to_dict()

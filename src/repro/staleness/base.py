@@ -112,6 +112,7 @@ class StalenessModel(ABC):
         self.metric = metric
         self._servers: list[Server] | None = None
         self._sim: Simulator | None = None
+        self._probes = None
 
     @property
     def num_servers(self) -> int:
@@ -120,16 +121,35 @@ class StalenessModel(ABC):
         return len(servers)
 
     def attach(
-        self, sim: Simulator, servers: list[Server], rng: np.random.Generator
+        self,
+        sim: Simulator,
+        servers: list[Server],
+        rng: np.random.Generator,
+        probes=None,
     ) -> None:
-        """Bind to a simulation and schedule any recurring processes."""
+        """Bind to a simulation and schedule any recurring processes.
+
+        ``probes``, when given, is a :class:`repro.obs.probes.Probe` (or
+        :class:`~repro.obs.probes.ProbeSet`) notified via its
+        ``on_load_update`` hook whenever this model publishes fresh load
+        information.  It is rebound on every attach so probe wiring never
+        leaks across runs of a reused model object.
+        """
         self._sim = sim
         self._servers = servers
         self._rng = rng
+        self._probes = probes
         self._on_attach()
 
     def _on_attach(self) -> None:
         """Hook for subclasses (e.g. to schedule the first board refresh)."""
+
+    def _emit_load_update(
+        self, now: float, version: int, loads: np.ndarray
+    ) -> None:
+        """Notify attached probes of a load-information refresh (if any)."""
+        if self._probes is not None:
+            self._probes.on_load_update(now, version, loads)
 
     @abstractmethod
     def view(self, client_id: int, now: float) -> LoadView:

@@ -60,6 +60,7 @@ class IndividualUpdate(StalenessModel):
                 self._board[server_id] = server.queue_length(now)
             self._post_times[server_id] = now
             self._version += 1
+            self._emit_load_update(now, self._version, self._board)
             self._sim.schedule_after(
                 self.period, post, priority=self.REFRESH_PRIORITY
             )

@@ -51,6 +51,7 @@ class PeriodicUpdate(StalenessModel):
         self._board = self._sample_loads(now)
         self._phase_start = now
         self._version += 1
+        self._emit_load_update(now, self._version, self._board)
         self._sim.schedule_after(
             self.period, self._refresh, priority=self.REFRESH_PRIORITY
         )

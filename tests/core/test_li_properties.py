@@ -1,0 +1,126 @@
+"""Hypothesis properties of the LI water-filling math (paper Eqs. 2–5).
+
+These pin the *algebraic contract* of load interpretation rather than
+specific numbers: every probability vector must be a distribution, Basic
+LI must equalize the end-of-window queue lengths on its support set, and
+the heterogeneous extension must reduce to the paper's equal-capacity
+formula when all rates are 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.weights import (
+    equalization_boundaries,
+    waterfill_level,
+    waterfill_probabilities,
+    weighted_waterfill_probabilities,
+)
+
+loads_arrays = st.lists(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    min_size=1,
+    max_size=40,
+).map(lambda values: np.array(values, dtype=np.float64))
+
+arrivals = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+positive_arrivals = st.floats(min_value=1e-3, max_value=1e5, allow_nan=False)
+rates_for = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+class TestProbabilityVectorContract:
+    @given(loads_arrays, arrivals)
+    def test_is_a_distribution(self, loads, R):
+        p = waterfill_probabilities(loads, R)
+        assert p.shape == loads.shape
+        assert np.all(p >= 0.0)
+        np.testing.assert_allclose(p.sum(), 1.0, rtol=1e-9)
+
+    @given(loads_arrays, arrivals)
+    def test_weighted_is_a_distribution(self, loads, R):
+        rates = np.ones_like(loads) * 2.0
+        p = weighted_waterfill_probabilities(loads, rates, R)
+        assert np.all(p >= 0.0)
+        np.testing.assert_allclose(p.sum(), 1.0, rtol=1e-9)
+
+    @given(loads_arrays)
+    def test_fresh_information_targets_minimum(self, loads):
+        p = waterfill_probabilities(loads, 0.0)
+        support = p > 0
+        assert np.all(loads[support] == loads.min())
+        np.testing.assert_allclose(p[support], 1.0 / support.sum())
+
+
+class TestWaterFillingEqualizes:
+    @given(loads_arrays, positive_arrivals)
+    def test_support_set_reaches_common_level(self, loads, R):
+        """Eq. 2: q_i + p_i * R == L for every server that receives jobs,
+        and servers above the water level receive nothing."""
+        p = waterfill_probabilities(loads, R)
+        level = waterfill_level(loads, R)
+        final = loads + p * R
+        support = p > 0
+        scale = max(level, 1.0)
+        np.testing.assert_allclose(
+            final[support], level, rtol=1e-7, atol=1e-7 * scale
+        )
+        # Off-support servers already sit at or above the water level.
+        assert np.all(loads[~support] >= level - 1e-7 * scale)
+
+    @given(loads_arrays, positive_arrivals)
+    def test_level_conserves_mass(self, loads, R):
+        """Eq. 3/4: the deficits below the level absorb exactly R."""
+        level = waterfill_level(loads, R)
+        poured = np.maximum(level - loads, 0.0).sum()
+        if poured > 0:  # guard against float collapse for tiny R
+            np.testing.assert_allclose(poured, R, rtol=1e-6)
+
+    @given(loads_arrays, positive_arrivals)
+    def test_more_loaded_server_never_gets_more(self, loads, R):
+        p = waterfill_probabilities(loads, R)
+        order = np.argsort(loads, kind="stable")
+        assert np.all(np.diff(p[order]) <= 1e-12)
+
+    @given(loads_arrays)
+    def test_large_R_tends_uniform(self, loads):
+        p = waterfill_probabilities(loads, 1e9)
+        np.testing.assert_allclose(p, 1.0 / loads.size, atol=1e-4)
+
+
+class TestWeightedReduction:
+    @given(loads_arrays, arrivals)
+    def test_unit_rates_reduce_to_plain_waterfill(self, loads, R):
+        rates = np.ones_like(loads)
+        plain = waterfill_probabilities(loads, R)
+        weighted = weighted_waterfill_probabilities(loads, rates, R)
+        np.testing.assert_allclose(weighted, plain, rtol=1e-9, atol=1e-12)
+
+    @given(loads_arrays, st.data())
+    @settings(max_examples=50)
+    def test_capacity_proportional_limit(self, loads, data):
+        rates = np.array(
+            [
+                data.draw(rates_for, label=f"rate[{i}]")
+                for i in range(loads.size)
+            ]
+        )
+        p = weighted_waterfill_probabilities(loads, rates, 1e9)
+        np.testing.assert_allclose(p, rates / rates.sum(), atol=1e-4)
+
+
+class TestEqualizationBoundaries:
+    @given(loads_arrays, positive_arrivals)
+    def test_boundaries_monotone_and_complete(self, loads, rate):
+        sorted_loads = np.sort(loads)
+        boundaries = equalization_boundaries(sorted_loads, rate)
+        assert boundaries.size == loads.size - 1
+        assert np.all(np.diff(boundaries) >= -1e-12)
+        assert np.all(boundaries >= -1e-12)
+        # Total equalization time pours exactly the total deficit to the max.
+        deficit = (sorted_loads.max() - sorted_loads).sum()
+        if boundaries.size:
+            np.testing.assert_allclose(
+                boundaries[-1], deficit / rate, rtol=1e-9, atol=1e-12
+            )

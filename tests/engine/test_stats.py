@@ -10,6 +10,7 @@ from hypothesis import given, strategies as st
 
 from repro.engine.stats import (
     ConfidenceInterval,
+    LogBinnedHistogram,
     PercentileSummary,
     RunningStats,
     mean_confidence_interval,
@@ -176,3 +177,109 @@ class TestPercentileSummary:
     def test_str_contains_median(self):
         box = PercentileSummary.from_samples([1.0, 2.0, 3.0])
         assert "median=2.0000" in str(box)
+
+
+positive_floats = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestLogBinnedHistogram:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_value"):
+            LogBinnedHistogram(min_value=0.0)
+        with pytest.raises(ValueError, match="bins_per_doubling"):
+            LogBinnedHistogram(bins_per_doubling=0)
+        hist = LogBinnedHistogram()
+        with pytest.raises(ValueError, match="non-negative"):
+            hist.add(-1.0)
+        with pytest.raises(ValueError, match="q must be"):
+            hist.quantile(1.0)
+        with pytest.raises(ValueError, match="empty"):
+            hist.quantile(0.5)
+
+    def test_underflow_bin(self):
+        hist = LogBinnedHistogram(min_value=1.0)
+        hist.add(0.0)
+        hist.add(0.5)
+        low, high = hist.bin_edges(0)
+        assert (low, high) == (0.0, 1.0)
+        assert hist.to_dict()["bins"][0]["count"] == 2
+
+    def test_bin_edges_are_geometric(self):
+        hist = LogBinnedHistogram(min_value=1.0, bins_per_doubling=1)
+        assert hist.bin_edges(1) == (1.0, 2.0)
+        assert hist.bin_edges(2) == (2.0, 4.0)
+        assert hist.bin_edges(3) == (4.0, 8.0)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=200))
+    def test_every_value_lands_in_its_bin(self, values):
+        hist = LogBinnedHistogram()
+        for value in values:
+            hist.add(value)
+        digest = hist.to_dict()
+        assert sum(b["count"] for b in digest["bins"]) == len(values)
+        assert digest["count"] == len(values)
+        for value in values:
+            assert any(
+                b["low"] <= value < b["high"] or value == b["low"]
+                for b in digest["bins"]
+            )
+
+    @given(st.lists(positive_floats, min_size=1, max_size=200))
+    def test_quantile_relative_error_bounded(self, values):
+        min_value = 1e-3
+        hist = LogBinnedHistogram(min_value=min_value, bins_per_doubling=8)
+        for value in values:
+            hist.add(value)
+        growth = 2.0 ** (1.0 / 8.0)
+        for q in (0.5, 0.9, 0.99):
+            estimate = hist.quantile(q)
+            # Same quantile definition at bin granularity: the smallest
+            # observation whose empirical CDF reaches q.
+            exact = float(np.quantile(values, q, method="inverted_cdf"))
+            assert estimate <= max(values) + 1e-12
+            if exact >= min_value:
+                # Estimate is the covering bin's upper edge (clamped to
+                # the max): within one bin's relative width of exact.
+                assert estimate >= exact * (1.0 - 1e-9)
+                assert estimate <= exact * growth * (1.0 + 1e-9)
+
+    def test_quantiles_monotone(self):
+        hist = LogBinnedHistogram()
+        for value in np.linspace(0.01, 100.0, 500):
+            hist.add(float(value))
+        assert hist.quantile(0.1) <= hist.quantile(0.5) <= hist.quantile(0.99)
+
+    def test_merge_equals_combined_stream(self):
+        left, right, combined = (
+            LogBinnedHistogram(),
+            LogBinnedHistogram(),
+            LogBinnedHistogram(),
+        )
+        lhs, rhs = [0.5, 1.0, 2.0, 8.0], [0.25, 16.0, 32.0]
+        for value in lhs:
+            left.add(value)
+            combined.add(value)
+        for value in rhs:
+            right.add(value)
+            combined.add(value)
+        left.merge(right)
+        merged, reference = left.to_dict(), combined.to_dict()
+        assert merged["bins"] == reference["bins"]
+        assert merged["count"] == reference["count"]
+        for key in ("mean", "stddev", "min", "max", "p50", "p90", "p99"):
+            assert merged[key] == pytest.approx(reference[key])
+
+    def test_merge_rejects_different_binning(self):
+        with pytest.raises(ValueError, match="different binning"):
+            LogBinnedHistogram(min_value=1.0).merge(
+                LogBinnedHistogram(min_value=2.0)
+            )
+
+    def test_to_dict_of_empty_histogram(self):
+        digest = LogBinnedHistogram().to_dict()
+        assert digest["count"] == 0
+        assert digest["bins"] == []
+        assert digest["min"] is None
+        assert "p50" not in digest

@@ -153,6 +153,76 @@ class TestRunUntilPrecise:
             run_until_precise("fig2", "random", 1.0, 100, target_relative_halfwidth=1.5)
         with _pytest.raises(ValueError, match="min_seeds"):
             run_until_precise("fig2", "random", 1.0, 100, min_seeds=1)
+        with _pytest.raises(ValueError, match="zero_mean_atol"):
+            run_until_precise("fig2", "random", 1.0, 100, zero_mean_atol=-1.0)
+
+    def test_converged_flag_set_when_target_met(self):
+        from repro.experiments.runner import run_until_precise
+
+        cell = run_until_precise(
+            "fig2", "random", x=1.0, jobs=8_000,
+            target_relative_halfwidth=0.25, min_seeds=3, max_seeds=20,
+        )
+        assert cell.converged is True
+
+    def test_converged_flag_false_at_max_seeds(self):
+        from repro.experiments.runner import run_until_precise
+
+        cell = run_until_precise(
+            "fig2", "random", x=1.0, jobs=500,
+            target_relative_halfwidth=0.001, min_seeds=3, max_seeds=5,
+        )
+        assert cell.converged is False
+        assert len(cell.samples) == 5
+
+    def test_zero_mean_stops_early_instead_of_burning_seeds(self, monkeypatch):
+        """A relative target is undefined at mean zero; the guard must stop
+        at min_seeds with converged=True rather than looping to max_seeds."""
+        import repro.experiments.runner as runner_module
+        from repro.experiments.runner import run_until_precise
+
+        calls = []
+
+        def zero_cell(figure_id, curve_label, x, seed, jobs):
+            calls.append(seed)
+            return 0.0
+
+        monkeypatch.setattr(runner_module, "run_cell", zero_cell)
+        cell = run_until_precise(
+            "fig2", "random", x=1.0, jobs=100,
+            min_seeds=3, max_seeds=50,
+        )
+        assert len(calls) == 3  # stopped at min_seeds, not 50
+        assert cell.samples == (0.0, 0.0, 0.0)
+        assert cell.converged is True  # degenerate but provably tight
+
+    def test_near_zero_noisy_mean_reports_not_converged(self, monkeypatch):
+        """Tiny mean with non-tiny spread: stop early, but flag the result
+        as unconverged so callers cannot mistake it for precise."""
+        import repro.experiments.runner as runner_module
+        from repro.experiments.runner import run_until_precise
+
+        values = iter([1.0, -1.0, 0.0, 1.0, -1.0] * 20)
+
+        def noisy_zero_cell(figure_id, curve_label, x, seed, jobs):
+            return next(values)
+
+        monkeypatch.setattr(runner_module, "run_cell", noisy_zero_cell)
+        cell = run_until_precise(
+            "fig2", "random", x=1.0, jobs=100,
+            min_seeds=3, max_seeds=50,
+        )
+        assert len(cell.samples) == 3  # guard fired at min_seeds
+        assert cell.converged is False
+
+    def test_precise_cell_result_is_a_cell_result(self):
+        from repro.experiments.runner import PreciseCellResult
+
+        cell = PreciseCellResult(
+            curve="random", x=1.0, samples=(1.0, 2.0, 3.0), converged=True
+        )
+        assert cell.mean == 2.0  # CellResult behavior intact
+        assert cell.converged is True
 
 
 class TestCsvExport:

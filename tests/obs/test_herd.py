@@ -1,0 +1,154 @@
+"""Tests for per-epoch herd (dispatch concentration) detection."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.herd import EpochStats, HerdDetector, _dispatch_entropy
+
+
+def attached(num_servers=4, **kwargs) -> HerdDetector:
+    detector = HerdDetector(**kwargs)
+    detector.on_attach(None, [object()] * num_servers)
+    return detector
+
+
+class TestValidation:
+    def test_herd_factor(self):
+        with pytest.raises(ValueError, match="herd_factor"):
+            HerdDetector(herd_factor=1.0)
+
+    def test_epoch_length(self):
+        with pytest.raises(ValueError, match="epoch_length"):
+            HerdDetector(epoch_length=0.0)
+
+    def test_num_servers_requires_attach(self):
+        with pytest.raises(RuntimeError, match="not attached"):
+            HerdDetector().num_servers
+
+
+class TestEntropy:
+    def test_uniform_is_one(self):
+        counts = np.array([5, 5, 5, 5])
+        assert _dispatch_entropy(counts, 20) == pytest.approx(1.0)
+
+    def test_collapse_is_zero(self):
+        counts = np.array([10, 0, 0, 0])
+        assert _dispatch_entropy(counts, 10) == pytest.approx(0.0)
+
+    def test_single_server_convention(self):
+        assert _dispatch_entropy(np.array([7]), 7) == 1.0
+
+    def test_partial_concentration(self):
+        counts = np.array([8, 2, 0, 0])
+        expected = -(0.8 * math.log(0.8) + 0.2 * math.log(0.2)) / math.log(4)
+        assert _dispatch_entropy(counts, 10) == pytest.approx(expected)
+
+
+class TestRefreshEpochs:
+    def test_epochs_close_on_load_updates(self):
+        detector = attached()
+        loads = np.zeros(4)
+        for _ in range(6):
+            detector.on_dispatch(0.5, 0, 0, 1)
+        detector.on_load_update(2.0, 1, loads)
+        for server in (0, 1, 2, 3):
+            detector.on_dispatch(2.5, 0, server, 1)
+        detector.on_load_update(4.0, 2, loads)
+        detector.on_finish(5.0)  # no dispatches after t=4: empty tail epoch
+
+        assert len(detector.epochs) == 2
+        first, second = detector.epochs
+        assert first == EpochStats(
+            index=0, version=0, start=0.0, end=2.0, total=6,
+            max_share=1.0, top_server=0, entropy=0.0,
+        )
+        assert second.total == 4
+        assert second.max_share == pytest.approx(0.25)
+        assert second.entropy == pytest.approx(1.0)
+        assert detector.summary()["empty_epochs"] == 1
+
+    def test_herding_epochs_flagged(self):
+        detector = attached(num_servers=4, herd_factor=2.0)
+        loads = np.zeros(4)
+        # Epoch 0: everything to server 2 (max_share 1.0 > 0.5 threshold).
+        for _ in range(10):
+            detector.on_dispatch(0.1, 0, 2, 1)
+        detector.on_load_update(1.0, 1, loads)
+        # Epoch 1: uniform (max_share 0.25 <= 0.5).
+        for server in range(4):
+            detector.on_dispatch(1.5, 0, server, 1)
+        detector.on_finish(2.0)
+
+        assert detector.herd_threshold() == pytest.approx(0.5)
+        herding = detector.herding_epochs()
+        assert [epoch.index for epoch in herding] == [0]
+        summary = detector.summary()
+        assert summary["herding_epochs"] == 1
+        assert summary["epochs"] == 2
+        assert summary["herding_fraction"] == pytest.approx(0.5)
+        assert summary["worst_epoch"]["top_server"] == 2
+
+    def test_same_instant_update_does_not_close_empty_epoch(self):
+        detector = attached()
+        detector.on_load_update(0.0, 1, np.zeros(4))
+        assert detector.epochs == []
+
+    def test_reattach_resets_state(self):
+        detector = attached()
+        detector.on_dispatch(0.5, 0, 1, 1)
+        detector.on_finish(1.0)
+        assert len(detector.epochs) == 1
+        detector.on_attach(None, [object()] * 4)
+        assert detector.epochs == []
+
+
+class TestFixedWindowEpochs:
+    def test_windows_close_on_time(self):
+        detector = attached(epoch_length=1.0)
+        for t in (0.2, 0.4, 1.2, 2.6):
+            detector.on_dispatch(t, 0, 0, 1)
+        detector.on_finish(3.0)
+        # Windows [0,1), [1,2), [2,3): totals 2, 1, 1.
+        assert [epoch.total for epoch in detector.epochs] == [2, 1, 1]
+        assert detector.epochs[0].end == pytest.approx(1.0)
+        assert detector.epochs[1].start == pytest.approx(1.0)
+
+    def test_idle_windows_counted_as_empty(self):
+        detector = attached(epoch_length=1.0)
+        detector.on_dispatch(0.5, 0, 0, 1)
+        detector.on_dispatch(3.5, 0, 1, 1)  # windows [1,2) and [2,3) idle
+        detector.on_finish(4.0)
+        assert len(detector.epochs) == 2
+        assert detector.summary()["empty_epochs"] == 2
+
+    def test_load_updates_ignored_in_window_mode(self):
+        detector = attached(epoch_length=10.0)
+        detector.on_dispatch(0.5, 0, 0, 1)
+        detector.on_load_update(1.0, 1, np.zeros(4))
+        detector.on_dispatch(1.5, 0, 0, 1)
+        detector.on_finish(2.0)
+        assert len(detector.epochs) == 1
+        assert detector.epochs[0].total == 2
+
+
+class TestSummaryShape:
+    def test_json_serializable(self):
+        import json
+
+        detector = attached()
+        detector.on_dispatch(0.5, 0, 1, 1)
+        detector.on_finish(1.0)
+        assert json.dumps(detector.summary())
+        assert json.dumps(detector.epochs_dict())
+
+    def test_empty_run_summary(self):
+        detector = attached()
+        detector.on_finish(0.0)
+        summary = detector.summary()
+        assert summary["epochs"] == 0
+        assert summary["mean_max_share"] is None
+        assert summary["worst_epoch"] is None

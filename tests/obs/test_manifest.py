@@ -1,0 +1,124 @@
+"""Tests for run-manifest build/save/load/format round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import run_figure, run_figure_with_manifest
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    build_manifest,
+    format_manifest,
+    git_describe,
+    load_manifest,
+    save_manifest,
+)
+
+SWEEP = dict(
+    jobs=300,
+    seeds=2,
+    x_values=[1.0],
+    curves=["random", "basic-li"],
+)
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    return run_figure("fig2", trace=True, **SWEEP)
+
+
+class TestGitDescribe:
+    def test_returns_string_or_none(self):
+        described = git_describe()
+        assert described is None or (isinstance(described, str) and described)
+
+    def test_missing_repo_returns_none(self, tmp_path):
+        assert git_describe(tmp_path) is None
+
+
+class TestBuildManifest:
+    def test_shape(self, traced_result):
+        manifest = build_manifest(traced_result, wall_time_seconds=1.25)
+        assert manifest["manifest_version"] == MANIFEST_VERSION
+        assert manifest["figure_id"] == "fig2"
+        assert manifest["wall_time_seconds"] == 1.25
+        assert manifest["spec"]["jobs"] == 300
+        assert manifest["spec"]["seeds"] == 2
+        assert manifest["spec"]["x_values"] == [1.0]
+        assert set(manifest["spec"]["curves"]) == {"random", "basic-li"}
+        assert len(manifest["cells"]) == 2
+        for cell in manifest["cells"]:
+            assert len(cell["samples"]) == 2
+        # 2 curves x 1 x-value x 2 seeds traced observations
+        assert len(manifest["observations"]) == 4
+        for entry in manifest["observations"]:
+            assert set(entry["probes"]) >= {
+                "queue_trace",
+                "response_histogram",
+                "herd",
+            }
+
+    def test_untraced_result_has_no_observations(self):
+        result = run_figure("fig2", jobs=200, seeds=1, x_values=[1.0],
+                            curves=["random"])
+        manifest = build_manifest(result, wall_time_seconds=0.1)
+        assert "observations" not in manifest
+
+    def test_extra_payload(self, traced_result):
+        manifest = build_manifest(
+            traced_result, wall_time_seconds=0.5, extra={"note": "smoke"}
+        )
+        assert manifest["extra"] == {"note": "smoke"}
+
+    def test_json_serializable(self, traced_result):
+        manifest = build_manifest(traced_result, wall_time_seconds=0.5)
+        assert json.loads(json.dumps(manifest)) == manifest
+
+
+class TestSaveLoad:
+    def test_round_trip(self, traced_result, tmp_path):
+        manifest = build_manifest(traced_result, wall_time_seconds=2.0)
+        path = save_manifest(manifest, tmp_path / "nested")
+        assert path == tmp_path / "nested" / "fig2.manifest.json"
+        assert load_manifest(path) == manifest
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "old.manifest.json"
+        path.write_text(json.dumps({"manifest_version": 99, "figure_id": "x"}))
+        with pytest.raises(ValueError, match="version"):
+            load_manifest(path)
+
+
+class TestFormatManifest:
+    def test_mentions_cells_and_observations(self, traced_result):
+        manifest = build_manifest(traced_result, wall_time_seconds=2.0)
+        text = format_manifest(manifest)
+        assert "fig2" in text
+        assert "cell means:" in text
+        assert "observations (traced cells):" in text
+        assert "imbalance" in text
+        assert "p50/p99" in text
+
+    def test_untraced_manifest_notes_missing_observations(self):
+        result = run_figure("fig2", jobs=200, seeds=1, x_values=[1.0],
+                            curves=["random"])
+        manifest = build_manifest(result, wall_time_seconds=0.1)
+        assert "--trace" in format_manifest(manifest)
+
+
+class TestRunFigureWithManifest:
+    def test_writes_manifest_and_returns_result(self, tmp_path):
+        result, path = run_figure_with_manifest(
+            "fig2", tmp_path, jobs=200, seeds=1, x_values=[1.0],
+            curves=["random"], trace=True,
+        )
+        assert path.exists()
+        manifest = load_manifest(path)
+        assert manifest["figure_id"] == "fig2"
+        assert manifest["wall_time_seconds"] >= 0.0
+        assert len(manifest["observations"]) == 1
+        (curve, x, seed), probes = next(iter(result.observations.items()))
+        assert (curve, x, seed) == ("random", 1.0, 1)
+        assert probes["queue_trace"]["samples"] > 0

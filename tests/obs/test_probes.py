@@ -1,0 +1,173 @@
+"""Tests for the probe protocol and its simulation wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.engine.simulator import SimulationError, Simulator
+from repro.obs.probes import Probe, ProbeSet
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import exponential_service
+
+
+class RecordingProbe(Probe):
+    """Counts every hook invocation for assertions."""
+
+    name = "recording"
+
+    def __init__(self) -> None:
+        self.attached = 0
+        self.dispatches = []
+        self.starts = []
+        self.completions = []
+        self.load_updates = []
+        self.finished_at = None
+
+    def on_attach(self, sim, servers) -> None:
+        self.attached += 1
+        self.num_servers = len(servers)
+
+    def on_dispatch(self, now, client_id, server_id, queue_length) -> None:
+        self.dispatches.append((now, client_id, server_id, queue_length))
+
+    def on_job_start(self, server_id, start_time, service_time) -> None:
+        self.starts.append((server_id, start_time, service_time))
+
+    def on_job_complete(self, server_id, completion_time, response_time) -> None:
+        self.completions.append((server_id, completion_time, response_time))
+
+    def on_load_update(self, now, version, loads) -> None:
+        self.load_updates.append((now, version))
+
+    def on_finish(self, now) -> None:
+        self.finished_at = now
+
+    def summary(self) -> dict:
+        return {"dispatches": len(self.dispatches)}
+
+
+def small_simulation(probes=None, policy=None, jobs=400, seed=3):
+    return ClusterSimulation(
+        num_servers=4,
+        arrivals=PoissonArrivals(3.6),
+        service=exponential_service(),
+        policy=policy or RandomPolicy(),
+        staleness=PeriodicUpdate(period=2.0),
+        total_jobs=jobs,
+        seed=seed,
+        probes=probes,
+    )
+
+
+class TestProbeBase:
+    def test_default_hooks_are_noops(self):
+        probe = Probe()
+        probe.on_attach(None, [])
+        probe.on_dispatch(0.0, 0, 0, 1)
+        probe.on_job_start(0, 0.0, 1.0)
+        probe.on_job_complete(0, 1.0, 1.0)
+        probe.on_load_update(0.0, 1, np.zeros(2))
+        probe.on_finish(5.0)
+        assert probe.summary() == {}
+
+
+class TestProbeSet:
+    def test_fans_out_to_all_members(self):
+        first, second = RecordingProbe(), RecordingProbe()
+        probe_set = ProbeSet([first, second])
+        probe_set.on_dispatch(1.0, 0, 2, 3)
+        assert first.dispatches == [(1.0, 0, 2, 3)]
+        assert second.dispatches == [(1.0, 0, 2, 3)]
+        assert len(probe_set) == 2
+
+    def test_summary_keyed_by_name_with_dedup(self):
+        probes = [RecordingProbe(), RecordingProbe()]
+        summary = ProbeSet(probes).summary()
+        assert set(summary) == {"recording", "recording#2"}
+
+
+class TestSimulationWiring:
+    def test_every_hook_fires(self):
+        probe = RecordingProbe()
+        result = small_simulation(probes=[probe]).run()
+        assert probe.attached == 1
+        assert probe.num_servers == 4
+        assert len(probe.dispatches) == result.jobs_total == 400
+        assert len(probe.starts) == 400
+        assert len(probe.completions) == 400
+        assert probe.load_updates  # board refreshed at least once
+        assert probe.finished_at == result.duration
+
+    def test_dispatch_payload_is_consistent(self):
+        probe = RecordingProbe()
+        small_simulation(probes=[probe], jobs=100).run()
+        for now, _client, server_id, queue_length in probe.dispatches:
+            assert 0 <= server_id < 4
+            assert queue_length >= 1  # includes the dispatched job
+            assert now >= 0.0
+        # Job timeline invariants: start >= arrival, completion > start.
+        for (now, _c, _s, _q), (_sid, start, service), (_sid2, done, resp) in zip(
+            probe.dispatches, probe.starts, probe.completions
+        ):
+            assert start >= now - 1e-12
+            assert done == pytest.approx(start + service)
+            assert resp == pytest.approx(done - now)
+
+    def test_load_update_versions_increment(self):
+        probe = RecordingProbe()
+        small_simulation(probes=[probe]).run()
+        versions = [version for _now, version in probe.load_updates]
+        assert versions == sorted(versions)
+        assert len(set(versions)) == len(versions)
+
+    def test_probes_do_not_perturb_measurements(self):
+        """The zero-interference contract: traced == untraced, bit for bit."""
+        for policy_cls in (RandomPolicy, BasicLIPolicy):
+            plain = small_simulation(policy=policy_cls()).run()
+            probed = small_simulation(
+                probes=[RecordingProbe()], policy=policy_cls()
+            ).run()
+            assert plain.mean_response_time == probed.mean_response_time
+            assert np.array_equal(plain.dispatch_counts, probed.dispatch_counts)
+            assert plain.duration == probed.duration
+
+    def test_no_probes_means_no_probe_set(self):
+        simulation = small_simulation()
+        assert simulation.probes is None
+        simulation = small_simulation(probes=[])
+        assert simulation.probes is None
+
+
+class TestSimulatorHooks:
+    def test_hook_called_after_every_event(self):
+        sim = Simulator()
+        seen = []
+        sim.add_hook(seen.append)
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_duplicate_hook_rejected(self):
+        sim = Simulator()
+        hook = lambda now: None  # noqa: E731
+        sim.add_hook(hook)
+        with pytest.raises(SimulationError, match="already registered"):
+            sim.add_hook(hook)
+
+    def test_remove_hook(self):
+        sim = Simulator()
+        seen = []
+        sim.add_hook(seen.append)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.remove_hook(seen.append)
+        sim.remove_hook(seen.append)  # no longer registered: ignored
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert seen == [1.0]

@@ -1,0 +1,131 @@
+"""Tests for queue/utilization traces and the response histogram probe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Server
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.random_policy import RandomPolicy
+from repro.engine.simulator import Simulator
+from repro.obs.traces import QueueTraceProbe, ResponseHistogramProbe
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import exponential_service
+
+
+def traced_run(probe, jobs=600, num_servers=4, seed=5):
+    simulation = ClusterSimulation(
+        num_servers=num_servers,
+        arrivals=PoissonArrivals(0.9 * num_servers),
+        service=exponential_service(),
+        policy=RandomPolicy(),
+        staleness=PeriodicUpdate(period=4.0),
+        total_jobs=jobs,
+        seed=seed,
+        probes=[probe],
+    )
+    return simulation.run()
+
+
+class TestQueueTraceProbe:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sample_interval"):
+            QueueTraceProbe(sample_interval=0.0)
+        with pytest.raises(ValueError, match="max_samples"):
+            QueueTraceProbe(max_samples=1)
+
+    def test_samples_cover_the_run(self):
+        probe = QueueTraceProbe(sample_interval=1.0)
+        result = traced_run(probe)
+        times = probe.times
+        assert times[0] == 0.0
+        assert times[-1] == pytest.approx(result.duration)
+        assert np.all(np.diff(times) > 0)
+        # Samples ride events, so spacing is at least the interval (minus
+        # nothing) and can exceed it during quiet stretches.
+        assert np.all(np.diff(times) >= 1.0 - 1e-12)
+        assert probe.queue_lengths.shape == (len(times), 4)
+        assert np.all(probe.queue_lengths >= 0)
+
+    def test_samples_are_exact_queue_lengths(self):
+        probe = QueueTraceProbe(sample_interval=2.0)
+        result = traced_run(probe)
+        # Total jobs in queues can never exceed jobs dispatched so far.
+        assert probe.queue_lengths.sum(axis=1).max() <= result.jobs_total
+
+    def test_utilization_bounds(self):
+        probe = QueueTraceProbe()
+        traced_run(probe)
+        util = probe.utilization
+        assert util.shape == (4,)
+        assert np.all(util >= 0.0) and np.all(util <= 1.0)
+        # load 0.9 keeps servers busy most of the time
+        assert util.mean() > 0.5
+
+    def test_utilization_requires_finish(self):
+        probe = QueueTraceProbe()
+        with pytest.raises(RuntimeError, match="on_finish"):
+            probe.utilization
+
+    def test_mean_queue_lengths_time_weighted(self):
+        probe = QueueTraceProbe()
+        # Hand-driven: one server, deterministic queue steps.
+        sim = Simulator()
+        server = Server(0)
+        probe.on_attach(sim, [server])
+        sim.schedule(1.0, lambda: server.assign(1.0, 10.0))
+        sim.schedule(2.0, lambda: server.assign(2.0, 10.0))
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        probe.on_finish(4.0)
+        # Queue is 0 on [0,1), 1 on [1,2), 2 on [2,4): mean = 5/4
+        assert probe.mean_queue_lengths()[0] == pytest.approx(5.0 / 4.0)
+
+    def test_imbalance_of_balanced_cluster_near_one(self):
+        probe = QueueTraceProbe()
+        traced_run(probe, jobs=2_000)
+        assert probe.imbalance() >= 1.0
+
+    def test_decimation_bounds_memory(self):
+        probe = QueueTraceProbe(sample_interval=0.01, max_samples=64)
+        traced_run(probe, jobs=2_000)
+        assert len(probe.times) <= 65  # final on_finish sample may exceed by 1
+        assert probe.sample_interval > 0.01  # interval doubled at least once
+
+    def test_summary_and_trace_dict_are_json_ready(self):
+        import json
+
+        probe = QueueTraceProbe()
+        traced_run(probe)
+        summary = probe.summary()
+        assert json.dumps(summary)
+        assert summary["samples"] == len(probe.times)
+        assert len(summary["utilization"]) == 4
+        assert summary["imbalance"] >= 1.0
+        trace = probe.trace_dict()
+        assert json.dumps(trace)
+        assert len(trace["times"]) == len(trace["queue_lengths"])
+
+    def test_empty_probe_summary_is_safe(self):
+        # A probe that never attached (e.g. driver without probe support)
+        # must still summarize without crashing.
+        probe = QueueTraceProbe()
+        summary = probe.summary()
+        assert summary["samples"] == 0
+
+
+class TestResponseHistogramProbe:
+    def test_counts_every_job(self):
+        probe = ResponseHistogramProbe()
+        result = traced_run(probe)
+        assert probe.histogram.count == result.jobs_total
+
+    def test_summary_percentiles_ordered(self):
+        probe = ResponseHistogramProbe()
+        traced_run(probe)
+        summary = probe.summary()
+        assert summary["min"] <= summary["p50"] <= summary["p90"]
+        assert summary["p90"] <= summary["p99"] <= summary["max"] + 1e-9
+        assert summary["count"] == sum(b["count"] for b in summary["bins"])

@@ -105,3 +105,93 @@ class TestReport:
     def test_report_empty_directory(self, tmp_path, capsys):
         assert main(["report", "--results", str(tmp_path)]) == 2
         assert "no tables" in capsys.readouterr().err
+
+
+class TestRunTraced:
+    def test_trace_prints_observations_digest(self, capsys):
+        code = main(
+            [
+                "run", "fig2",
+                "--jobs", "300", "--seeds", "1",
+                "--curves", "random", "--x", "1",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "observations:" in output
+        assert "imbalance" in output
+
+    def test_manifest_dir_writes_manifest(self, tmp_path, capsys):
+        code = main(
+            [
+                "run", "fig2",
+                "--jobs", "300", "--seeds", "1",
+                "--curves", "random", "--x", "1",
+                "--trace", "--manifest-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        manifest_path = tmp_path / "fig2.manifest.json"
+        assert manifest_path.exists()
+        assert str(manifest_path) in capsys.readouterr().out
+
+    def test_manifest_without_trace_has_no_observations(self, tmp_path, capsys):
+        code = main(
+            [
+                "run", "fig2",
+                "--jobs", "300", "--seeds", "1",
+                "--curves", "random", "--x", "1",
+                "--manifest-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        import json
+
+        manifest = json.loads((tmp_path / "fig2.manifest.json").read_text())
+        assert "observations" not in manifest
+
+
+class TestObs:
+    @pytest.fixture()
+    def manifest_path(self, tmp_path, capsys):
+        main(
+            [
+                "run", "fig2",
+                "--jobs", "300", "--seeds", "1",
+                "--curves", "random,basic-li", "--x", "8",
+                "--trace", "--full-traces", "--manifest-dir", str(tmp_path),
+            ]
+        )
+        capsys.readouterr()  # drop the run output
+        return tmp_path / "fig2.manifest.json"
+
+    def test_summarizes_manifest(self, manifest_path, capsys):
+        assert main(["obs", str(manifest_path)]) == 0
+        output = capsys.readouterr().out
+        assert "fig2" in output
+        assert "cell means:" in output
+        assert "observations (traced cells):" in output
+
+    def test_epochs_table(self, manifest_path, capsys):
+        assert main(["obs", str(manifest_path), "--epochs"]) == 0
+        output = capsys.readouterr().out
+        assert "max_share" in output
+        assert "epochs for" in output
+
+    def test_epochs_flag_without_records_explains(self, tmp_path, capsys):
+        main(
+            [
+                "run", "fig2",
+                "--jobs", "300", "--seeds", "1",
+                "--curves", "random", "--x", "1",
+                "--trace", "--manifest-dir", str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["obs", str(tmp_path / "fig2.manifest.json"), "--epochs"]) == 0
+        assert "no per-epoch records" in capsys.readouterr().out
+
+    def test_missing_file_exit_code(self, tmp_path, capsys):
+        assert main(["obs", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
