@@ -54,6 +54,14 @@ from repro.core import (
     weighted_waterfill_probabilities,
 )
 from repro.engine import RandomStreams, Simulator
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    RetryPolicy,
+    ServerState,
+    parse_fault_spec,
+)
 from repro.staleness import (
     ContinuousUpdate,
     IndividualUpdate,
@@ -116,6 +124,13 @@ __all__ = [
     "ContinuousUpdate",
     "UpdateOnAccess",
     "IndividualUpdate",
+    # fault injection
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "RetryPolicy",
+    "ServerState",
+    "parse_fault_spec",
     # workloads
     "PoissonArrivals",
     "ClientArrivals",

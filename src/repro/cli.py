@@ -115,6 +115,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON run manifest (spec, seeds, git describe, wall "
         "time, probe summaries) into DIR",
     )
+    run_cmd.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="inject server faults into every cell: comma-separated "
+        "key=value pairs (mttf, mttr, degrade-mttf, degrade-mttr, "
+        "degrade-factor, mode=stall|abort, timeout, backoff, "
+        "backoff-cap, attempts), e.g. "
+        "'mttf=200,mttr=10,mode=abort,timeout=0.5'",
+    )
     run_cmd.set_defaults(handler=_cmd_run)
 
     obs_cmd = sub.add_parser(
@@ -214,6 +225,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace=args.trace,
         trace_interval=args.trace_interval,
         full_traces=args.full_traces,
+        faults=args.faults,
     )
     try:
         if args.manifest_dir:
@@ -225,7 +237,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             result = run_figure(args.figure, **sweep_kwargs)
             manifest_path = None
-    except (KeyError, ValueError) as error:
+    except (KeyError, ValueError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if args.save:
@@ -255,6 +267,20 @@ def _observations_digest(result) -> str:
         if herd.get("epochs"):
             parts.append(
                 f"herding {herd['herding_epochs']}/{herd['epochs']} epochs"
+            )
+        faults = probes.get("faults") or {}
+        if faults.get("retries") or faults.get("availability"):
+            availability = faults.get("availability") or {}
+            failed = sum(faults.get("failures", {}).values())
+            parts.append(
+                f"avail {availability.get('availability', 1.0):.3f} "
+                f"retries {faults.get('retries', 0)} failed {failed}"
+            )
+        info = probes.get("staleness_info") or {}
+        if info.get("refreshes_attempted"):
+            parts.append(
+                f"refreshes {info['refreshes_attempted'] - info['refreshes_dropped']}"
+                f"/{info['refreshes_attempted']} delivered"
             )
         lines.append("  ".join(parts))
     return "\n".join(lines)

@@ -31,6 +31,12 @@ class Job:
         The job's service demand in units of mean service time.
     completion_time:
         Time the job finishes service (FIFO discipline).
+    retries:
+        Number of re-dispatch attempts the job needed (0 on the fault-free
+        path).
+    penalty:
+        Total timeout + backoff latency accumulated across retries; already
+        included in the measured response time.
     """
 
     index: int
@@ -39,6 +45,8 @@ class Job:
     arrival_time: float
     service_time: float
     completion_time: float
+    retries: int = 0
+    penalty: float = 0.0
 
     @property
     def response_time(self) -> float:

@@ -43,6 +43,10 @@ class ClusterMetrics:
         self.response_stats = RunningStats()
         self.dispatch_counts = np.zeros(num_servers, dtype=np.int64)
         self._trace: list[float] | None = [] if trace_response_times else None
+        self._jobs_failed = 0
+        self._jobs_retried = 0
+        self._retries_total = 0
+        self._retry_penalty_total = 0.0
 
     @property
     def warmup_jobs(self) -> int:
@@ -59,20 +63,66 @@ class ClusterMetrics:
         """Arrivals contributing to the reported statistics."""
         return self.response_stats.count
 
-    def record(self, server_id: int, response_time: float) -> None:
-        """Record one dispatched job."""
+    def record(
+        self,
+        server_id: int,
+        response_time: float,
+        retries: int = 0,
+        penalty: float = 0.0,
+    ) -> None:
+        """Record one completed job.
+
+        ``response_time`` must already include any retry ``penalty``
+        (timeouts plus backoff); the penalty is passed separately only so
+        the fault overhead can be reported on its own.
+        """
         self._jobs_seen += 1
         self.dispatch_counts[server_id] += 1
+        if retries > 0:
+            self._jobs_retried += 1
+            self._retries_total += retries
+            self._retry_penalty_total += penalty
         if self._jobs_seen <= self._warmup_jobs:
             return
         self.response_stats.add(response_time)
         if self._trace is not None:
             self._trace.append(response_time)
 
+    def record_failure(self, server_id: int, retries: int = 0) -> None:
+        """Record a job that never completed (stalled forever or aborted
+        past its retry budget).  Failed jobs count toward the dispatch
+        histogram but contribute no response time."""
+        self._jobs_seen += 1
+        self.dispatch_counts[server_id] += 1
+        self._jobs_failed += 1
+        if retries > 0:
+            self._jobs_retried += 1
+            self._retries_total += retries
+
     @property
     def mean_response_time(self) -> float:
         """Mean response time over measured jobs."""
         return self.response_stats.mean
+
+    @property
+    def jobs_failed(self) -> int:
+        """Jobs that never completed (includes warm-up arrivals)."""
+        return self._jobs_failed
+
+    @property
+    def jobs_retried(self) -> int:
+        """Jobs that needed at least one re-dispatch."""
+        return self._jobs_retried
+
+    @property
+    def retries_total(self) -> int:
+        """Re-dispatch attempts summed over all jobs."""
+        return self._retries_total
+
+    @property
+    def retry_penalty_total(self) -> float:
+        """Timeout + backoff latency summed over all completed jobs."""
+        return self._retry_penalty_total
 
     @property
     def response_times(self) -> np.ndarray:

@@ -15,11 +15,25 @@ must read) is::
 computed with two binary searches.  This gives the cluster substrate exact
 event semantics at O(1) amortized cost per dispatch and O(log m) per load
 query, with no event-queue traffic for departures at all.
+
+Fault lifecycle: when a :class:`~repro.faults.injector.FaultInjector` is
+active it hands each server a realized
+:class:`~repro.faults.schedule.ServerTimeline` (UP / DEGRADED / DOWN
+spans drawn before they are consulted).  The same closed-form dispatch
+works unchanged — the completion recurrence just integrates the
+piecewise-constant capacity profile instead of a constant rate, DOWN
+spans deliver zero work (jobs stall), and under an ``"abort"`` schedule
+a crash while a job is present discards it at the crash instant.
 """
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.schedule import ServerState, ServerTimeline
 
 __all__ = ["Server"]
 
@@ -36,28 +50,43 @@ class Server:
         server for ``s / service_rate`` time units.  The paper studies the
         homogeneous case (rate 1.0 everywhere); heterogeneous rates are an
         extension flagged as future work in the paper's conclusions.
+    timeline:
+        Optional fault lifecycle profile; ``None`` (the default) keeps the
+        original always-UP fast path.  The fault injector sets this when
+        it attaches.
     """
 
     __slots__ = (
         "server_id",
         "service_rate",
+        "timeline",
         "_arrival_times",
         "_completion_times",
         "_last_completion",
         "_jobs_assigned",
         "_busy_time",
+        "_jobs_aborted",
+        "_last_assign_aborted",
     )
 
-    def __init__(self, server_id: int, service_rate: float = 1.0) -> None:
+    def __init__(
+        self,
+        server_id: int,
+        service_rate: float = 1.0,
+        timeline: "ServerTimeline | None" = None,
+    ) -> None:
         if service_rate <= 0:
             raise ValueError(f"service_rate must be positive, got {service_rate}")
         self.server_id = server_id
         self.service_rate = float(service_rate)
+        self.timeline = timeline
         self._arrival_times: list[float] = []
         self._completion_times: list[float] = []
         self._last_completion = 0.0
         self._jobs_assigned = 0
         self._busy_time = 0.0
+        self._jobs_aborted = 0
+        self._last_assign_aborted = False
 
     @property
     def jobs_assigned(self) -> int:
@@ -74,8 +103,32 @@ class Server:
         """Completion time of the most recently assigned job (0.0 if none)."""
         return self._last_completion
 
+    @property
+    def jobs_aborted(self) -> int:
+        """Jobs discarded mid-service by a crash (abort-mode schedules)."""
+        return self._jobs_aborted
+
+    @property
+    def last_assign_aborted(self) -> bool:
+        """Whether the most recent :meth:`assign` ended in a crash abort."""
+        return self._last_assign_aborted
+
+    def state_at(self, time: float) -> "ServerState":
+        """Lifecycle state (UP/DEGRADED/DOWN) at ``time``."""
+        if self.timeline is None:
+            from repro.faults.schedule import ServerState
+
+            return ServerState.UP
+        return self.timeline.state_at(time)
+
     def assign(self, now: float, service_time: float) -> float:
         """Enqueue a job arriving at ``now`` and return its completion time.
+
+        With a fault timeline attached the completion integrates the
+        server's piecewise-constant capacity; it can be ``inf`` if the
+        server stalls in a permanent outage, and under an abort-on-crash
+        schedule the job may be cut short at a crash instant (check
+        :attr:`last_assign_aborted`).
 
         Raises
         ------
@@ -90,14 +143,27 @@ class Server:
             raise ValueError(
                 f"arrival at t={now} precedes previous arrival at t={arrivals[-1]}"
             )
-        occupancy = service_time / self.service_rate
         start = now if now > self._last_completion else self._last_completion
-        completion = start + occupancy
+        if self.timeline is None:
+            occupancy = service_time / self.service_rate
+            completion = start + occupancy
+            aborted = False
+            self._busy_time += occupancy
+        else:
+            completion, aborted = self.timeline.serve(
+                now, start, service_time, self.service_rate
+            )
+            if aborted:
+                self._jobs_aborted += 1
+            elif math.isfinite(completion):
+                # Busy time is wall-clock occupancy: under degradation the
+                # same work holds the server longer.
+                self._busy_time += completion - start
+        self._last_assign_aborted = aborted
         arrivals.append(now)
         self._completion_times.append(completion)
         self._last_completion = completion
         self._jobs_assigned += 1
-        self._busy_time += occupancy
         return completion
 
     def queue_length(self, at_time: float) -> int:

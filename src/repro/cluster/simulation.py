@@ -10,6 +10,7 @@ the remainder is the headline metric.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,6 +22,7 @@ from repro.core.policy import Policy
 from repro.core.rate_estimators import ExactRate, RateEstimator
 from repro.engine.rng import RandomStreams
 from repro.engine.simulator import Simulator
+from repro.faults.injector import FaultInjector
 from repro.staleness.base import StalenessModel
 from repro.workloads.arrivals import ArrivalSource
 from repro.workloads.distributions import Distribution
@@ -44,6 +46,17 @@ class SimulationResult:
         Simulation time at which the run stopped.
     dispatch_counts:
         Jobs sent to each server (including warm-up).
+    jobs_failed:
+        Jobs that never completed: stalled in a permanent outage, aborted
+        by a crash, or dropped after exhausting their retry budget.
+        Always 0 on fault-free runs.
+    jobs_retried:
+        Jobs that needed at least one re-dispatch after a timeout.
+    retries_total:
+        Re-dispatch attempts summed over all jobs.
+    retry_penalty:
+        Total timeout + backoff latency paid by completed jobs (already
+        included in their measured response times).
     response_times:
         Per-job response times when tracing was enabled, else ``None``.
     trace:
@@ -55,6 +68,10 @@ class SimulationResult:
     jobs_total: int
     duration: float
     dispatch_counts: np.ndarray
+    jobs_failed: int = 0
+    jobs_retried: int = 0
+    retries_total: int = 0
+    retry_penalty: float = 0.0
     response_times: np.ndarray | None = None
     trace: list[Job] | None = field(default=None, repr=False)
 
@@ -131,6 +148,12 @@ class ClusterSimulation:
         observe dispatches, job lifecycles and board refreshes passively
         and cannot perturb the simulation.  When empty or ``None`` the
         probe code paths reduce to a single ``None`` check per arrival.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector` driving
+        per-server crash/recovery and degraded-service lifecycles off the
+        dedicated ``"faults"`` random stream, plus the dispatcher's
+        timeout/retry behavior.  ``None`` (and an injector with the null
+        schedule) leaves the run bit-identical to a fault-free one.
     """
 
     def __init__(
@@ -149,6 +172,7 @@ class ClusterSimulation:
         server_rates: list[float] | None = None,
         client_latency: np.ndarray | None = None,
         probes: list | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         if num_servers < 1:
             raise ValueError(f"num_servers must be >= 1, got {num_servers}")
@@ -185,9 +209,15 @@ class ClusterSimulation:
         self.seed = seed
         self.trace_jobs = trace_jobs
         self.trace_response_times = trace_response_times
+        if faults is not None and not isinstance(faults, FaultInjector):
+            raise TypeError(
+                "faults must be a FaultInjector (or None), got "
+                f"{type(faults).__name__}"
+            )
         self.server_rates = server_rates
         self.client_latency = client_latency
         self.probes = list(probes) if probes else None
+        self.faults = faults
 
     @property
     def offered_load(self) -> float:
@@ -213,8 +243,17 @@ class ClusterSimulation:
             probe_set = ProbeSet(self.probes)
             probe_set.on_attach(sim, servers)
 
+        faults = self.faults
+        retry = faults.retry if faults is not None else None
+        if faults is not None:
+            faults.attach(sim, servers, streams.stream("faults"), probes=probe_set)
+
         self.staleness.attach(
-            sim, servers, streams.stream("staleness"), probes=probe_set
+            sim,
+            servers,
+            streams.stream("staleness"),
+            probes=probe_set,
+            faults=faults,
         )
         self.rate_estimator.bind(self.num_servers, self._per_server_rate())
         self.policy.bind(
@@ -231,10 +270,133 @@ class ClusterSimulation:
         )
         service_rng = streams.stream("service")
         trace: list[Job] | None = [] if self.trace_jobs else None
-        jobs_dispatched = 0
+        arrivals_seen = 0
+        pending_retries = 0
+
+        def maybe_stop() -> None:
+            if arrivals_seen >= self.total_jobs and pending_retries == 0:
+                sim.stop()
+
+        def select_retry_target(client_id: int, excluded: frozenset[int]) -> int:
+            # Re-dispatch targets are picked by the dispatcher itself —
+            # least reported load among non-excluded servers, lowest id on
+            # ties — rather than by re-running the policy: policies cache
+            # per-version state and RandomPolicy ignores exclusions, so
+            # re-selection would either poison caches or spin.
+            loads = self.staleness.view(client_id, sim.now).loads
+            best = -1
+            best_load = math.inf
+            for candidate in range(self.num_servers):
+                if candidate in excluded:
+                    continue
+                load = loads[candidate]
+                if load < best_load:
+                    best_load = load
+                    best = candidate
+            return best
+
+        def attempt_dispatch(
+            index: int,
+            client_id: int,
+            arrival_time: float,
+            service_time: float,
+            server_id: int,
+            excluded: frozenset[int],
+            retries_done: int,
+        ) -> None:
+            nonlocal pending_retries
+            now = sim.now
+            server = servers[server_id]
+            if faults is not None and faults.is_down(server_id, now):
+                # The board said otherwise; the dispatcher discovers the
+                # crash the hard way, by waiting out the timeout.
+                if retry.max_attempts and retries_done >= retry.max_attempts:
+                    metrics.record_failure(server_id, retries=retries_done)
+                    if probe_set is not None:
+                        probe_set.on_job_failed(
+                            now + retry.timeout, server_id, "retries-exhausted"
+                        )
+                    return
+                next_attempt = retries_done + 1
+                excluded = excluded | {server_id}
+                if len(excluded) >= self.num_servers:
+                    excluded = frozenset()
+                if probe_set is not None:
+                    probe_set.on_retry(now, client_id, server_id, next_attempt)
+                pending_retries += 1
+
+                def redispatch() -> None:
+                    nonlocal pending_retries
+                    pending_retries -= 1
+                    target = select_retry_target(client_id, excluded)
+                    attempt_dispatch(
+                        index,
+                        client_id,
+                        arrival_time,
+                        service_time,
+                        target,
+                        excluded,
+                        next_attempt,
+                    )
+                    maybe_stop()
+
+                sim.schedule_after(
+                    retry.timeout + retry.backoff_delay(next_attempt), redispatch
+                )
+                return
+
+            completion = server.assign(now, service_time)
+            aborted = server.last_assign_aborted
+            if aborted or not math.isfinite(completion):
+                metrics.record_failure(server_id, retries=retries_done)
+                if probe_set is not None:
+                    probe_set.on_dispatch(
+                        now, client_id, server_id, server.queue_length(now)
+                    )
+                    probe_set.on_job_failed(
+                        completion if aborted else now,
+                        server_id,
+                        "aborted" if aborted else "stalled",
+                    )
+                return
+            self.staleness.on_dispatch(client_id, server_id, now)
+            penalty = now - arrival_time
+            response = completion - arrival_time
+            if self.client_latency is not None:
+                response += self.client_latency[
+                    client_id % self.client_latency.shape[0], server_id
+                ]
+            metrics.record(
+                server_id, response, retries=retries_done, penalty=penalty
+            )
+            if probe_set is not None:
+                if server.timeline is None:
+                    start = completion - service_time / server.service_rate
+                else:
+                    start = max(now, completion - service_time / server.service_rate)
+                probe_set.on_dispatch(
+                    now, client_id, server_id, server.queue_length(now)
+                )
+                probe_set.on_job_start(server_id, start, service_time)
+                probe_set.on_job_complete(server_id, completion, response)
+            if trace is not None:
+                trace.append(
+                    Job(
+                        index=index,
+                        client_id=client_id,
+                        server_id=server_id,
+                        arrival_time=arrival_time,
+                        service_time=service_time,
+                        completion_time=completion,
+                        retries=retries_done,
+                        penalty=penalty,
+                    )
+                )
 
         def on_arrival(client_id: int) -> None:
-            nonlocal jobs_dispatched
+            nonlocal arrivals_seen
+            if arrivals_seen >= self.total_jobs:
+                return  # quota reached; the run is only draining retries
             now = sim.now
             self.rate_estimator.observe_arrival(now)
             view = self.staleness.view(client_id, now)
@@ -245,35 +407,12 @@ class ClusterSimulation:
                     f"{server_id} (cluster size {self.num_servers})"
                 )
             service_time = self.service.sample(service_rng)
-            completion = servers[server_id].assign(now, service_time)
-            self.staleness.on_dispatch(client_id, server_id, now)
-            response = completion - now
-            if self.client_latency is not None:
-                response += self.client_latency[
-                    client_id % self.client_latency.shape[0], server_id
-                ]
-            metrics.record(server_id, response)
-            if probe_set is not None:
-                occupancy = service_time / servers[server_id].service_rate
-                probe_set.on_dispatch(
-                    now, client_id, server_id, servers[server_id].queue_length(now)
-                )
-                probe_set.on_job_start(server_id, completion - occupancy, service_time)
-                probe_set.on_job_complete(server_id, completion, response)
-            if trace is not None:
-                trace.append(
-                    Job(
-                        index=jobs_dispatched,
-                        client_id=client_id,
-                        server_id=server_id,
-                        arrival_time=now,
-                        service_time=service_time,
-                        completion_time=completion,
-                    )
-                )
-            jobs_dispatched += 1
-            if jobs_dispatched >= self.total_jobs:
-                sim.stop()
+            index = arrivals_seen
+            arrivals_seen += 1
+            attempt_dispatch(
+                index, client_id, now, service_time, server_id, frozenset(), 0
+            )
+            maybe_stop()
 
         self.arrivals.start(sim, streams.stream("arrivals"), on_arrival)
         sim.run()
@@ -286,6 +425,10 @@ class ClusterSimulation:
             jobs_total=metrics.jobs_seen,
             duration=sim.now,
             dispatch_counts=metrics.dispatch_counts.copy(),
+            jobs_failed=metrics.jobs_failed,
+            jobs_retried=metrics.jobs_retried,
+            retries_total=metrics.retries_total,
+            retry_penalty=metrics.retry_penalty_total,
             response_times=(
                 metrics.response_times if self.trace_response_times else None
             ),

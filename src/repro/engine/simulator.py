@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable
 
 from repro.engine.events import Event, EventQueue
@@ -51,8 +52,13 @@ class Simulator:
         """Schedule ``action`` at absolute ``time``.
 
         ``time`` may equal :attr:`now` (the event fires during the current
-        sweep of the loop) but must not precede it.
+        sweep of the loop) but must not precede it, and must be finite —
+        an event at ``inf`` or ``nan`` would silently wedge the calendar.
         """
+        if not math.isfinite(time):
+            raise SimulationError(
+                f"cannot schedule event at non-finite time t={time}"
+            )
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at t={time} before current time t={self._now}"
@@ -62,7 +68,9 @@ class Simulator:
     def schedule_after(
         self, delay: float, action: Callable[[], Any], priority: int = 0
     ) -> Event:
-        """Schedule ``action`` after a non-negative ``delay``."""
+        """Schedule ``action`` after a non-negative, finite ``delay``."""
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay}")
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay}")
         return self._queue.push(self._now + delay, action, priority)

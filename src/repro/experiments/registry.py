@@ -29,6 +29,7 @@ from repro.core.random_policy import RandomPolicy
 from repro.core.rate_estimators import EWMARate, FixedRate, ScaledRate
 from repro.core.threshold import ThresholdPolicy
 from repro.experiments.spec import CurveSpec, FigureSpec
+from repro.faults import FaultInjector, FaultSchedule
 from repro.staleness.continuous import ContinuousUpdate
 from repro.staleness.individual import IndividualUpdate
 from repro.staleness.lossy import LossyPeriodicUpdate
@@ -667,6 +668,94 @@ _register(
         default_seeds=10,
         notes="work reports expose job sizes that queue lengths hide "
         "(cf. Harchol-Balter et al., paper §2)",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection ablations: stale information about servers that crash
+# ---------------------------------------------------------------------------
+
+def faults_failure_rate(x: float, mttr: float = 10.0) -> FaultInjector:
+    """x axis is the per-server crash rate 1/MTTF; x=0 means no faults."""
+    if x <= 0:
+        return FaultInjector()
+    return FaultInjector(schedule=FaultSchedule(mttf=1.0 / x, mttr=mttr))
+
+
+def faults_mttr(x: float, mttf: float = 500.0) -> FaultInjector:
+    """x axis is the mean repair time for a fixed crash rate."""
+    return FaultInjector(schedule=FaultSchedule(mttf=mttf, mttr=x))
+
+
+def faults_degraded(
+    x: float, mttf: float = 200.0, mttr: float = 20.0
+) -> FaultInjector:
+    """x axis is the degraded-mode service-rate factor (no crashes)."""
+    return FaultInjector(
+        schedule=FaultSchedule(
+            degrade_mttf=mttf, degrade_mttr=mttr, degrade_factor=x
+        )
+    )
+
+
+def fault_curves() -> tuple[CurveSpec, ...]:
+    """The line-up of the fault ablations: baselines, threshold, both LIs."""
+    return (
+        CurveSpec("random", RandomPolicy),
+        CurveSpec("k=2", partial(KSubsetPolicy, 2)),
+        CurveSpec("k=10", partial(KSubsetPolicy, 10)),
+        CurveSpec("thr=1,k=2", partial(ThresholdPolicy, 1.0, 2)),
+        CurveSpec("basic-li", BasicLIPolicy),
+        CurveSpec("aggressive-li", AggressiveLIPolicy),
+    )
+
+
+_register(
+    _periodic_figure(
+        "ext-faults",
+        "Extension: server crashes under stale boards — response time vs "
+        "failure rate (periodic T=4, n=10, load=0.7, MTTR=10)",
+        load=0.7,
+        x_label="failure_rate",
+        x_values=(0.0, 0.0005, 0.001, 0.002, 0.005),
+        curves=fault_curves(),
+        make_staleness=partial(periodic_fixed, period=4.0),
+        make_faults=faults_failure_rate,
+        notes="boards keep advertising a crashed server's last load; "
+        "misdirected jobs pay timeout=0.5 plus capped backoff; x=0 is the "
+        "fault-free baseline (bit-identical to an uninjected run)",
+    )
+)
+_register(
+    _periodic_figure(
+        "ext-faults-mttr",
+        "Extension: repair time under stale boards — response time vs MTTR "
+        "(periodic T=4, n=10, load=0.7, MTTF=500)",
+        load=0.7,
+        x_label="mttr",
+        x_values=(2.0, 5.0, 10.0, 20.0, 40.0),
+        curves=fault_curves(),
+        make_staleness=partial(periodic_fixed, period=4.0),
+        make_faults=faults_mttr,
+        notes="longer outages widen the window in which every policy "
+        "trusts a dead server's last report",
+    )
+)
+_register(
+    _periodic_figure(
+        "ext-faults-degraded",
+        "Extension: degraded servers (brownout) under stale boards — "
+        "response time vs degraded rate factor "
+        "(periodic T=4, n=10, load=0.7)",
+        load=0.7,
+        x_label="degrade_factor",
+        x_values=(0.1, 0.25, 0.5, 0.75, 0.9),
+        curves=fault_curves(),
+        make_staleness=partial(periodic_fixed, period=4.0),
+        make_faults=faults_degraded,
+        notes="degraded servers still report their queue length but drain "
+        "it slower than any policy's model assumes",
     )
 )
 

@@ -32,13 +32,40 @@ __all__ = [
 DEFAULT_TRACE_INTERVAL = 1.0
 
 
+def _apply_fault_spec(simulation, fault_spec: str, figure_id: str) -> None:
+    """Attach a parsed ``--faults`` injector to a cell's simulation.
+
+    Only the standard :class:`~repro.cluster.simulation.ClusterSimulation`
+    driver supports fault injection; figures built on alternative drivers
+    (e.g. the work-stealing cluster) fail with a clear error instead of
+    silently running fault-free.
+    """
+    from repro.cluster.simulation import ClusterSimulation
+    from repro.faults import parse_fault_spec
+
+    if not isinstance(simulation, ClusterSimulation):
+        raise TypeError(
+            f"figure {figure_id!r} builds {type(simulation).__name__}, "
+            "which does not support fault injection; --faults requires "
+            "figures driven by ClusterSimulation"
+        )
+    simulation.faults = parse_fault_spec(fault_spec)
+
+
 def run_cell(
-    figure_id: str, curve_label: str, x: float, seed: int, total_jobs: int
+    figure_id: str,
+    curve_label: str,
+    x: float,
+    seed: int,
+    total_jobs: int,
+    fault_spec: str | None = None,
 ) -> float:
     """Run one replication of one sweep cell; returns the mean response time."""
     spec = get_figure(figure_id)
     curve = spec.curve(curve_label)
     simulation = spec.build_simulation(curve, x, seed, total_jobs)
+    if fault_spec is not None:
+        _apply_fault_spec(simulation, fault_spec, figure_id)
     return simulation.run().mean_response_time
 
 
@@ -75,6 +102,7 @@ def run_cell_observed(
     total_jobs: int,
     sample_interval: float = DEFAULT_TRACE_INTERVAL,
     full_traces: bool = False,
+    fault_spec: str | None = None,
 ) -> tuple[float, dict]:
     """Run one cell with the standard probes attached.
 
@@ -82,18 +110,32 @@ def run_cell_observed(
     are plain JSON-serializable dictionaries (safe to ship across process
     boundaries).  ``full_traces`` additionally embeds the complete queue
     trace (timestamps × per-server queue lengths) and per-epoch herd
-    records rather than just their digests.
+    records rather than just their digests.  Cells with a fault injector
+    (from the figure spec or ``fault_spec``) additionally get a
+    :class:`~repro.obs.fault_trace.FaultTraceProbe` recording availability
+    and retry timelines.
     """
     spec = get_figure(figure_id)
     curve = spec.curve(curve_label)
     simulation = spec.build_simulation(curve, x, seed, total_jobs)
+    if fault_spec is not None:
+        _apply_fault_spec(simulation, fault_spec, figure_id)
     probes = standard_probes(figure_id, x, sample_interval)
+    if getattr(simulation, "faults", None) is not None:
+        from repro.obs.fault_trace import FaultTraceProbe
+
+        probes.append(FaultTraceProbe())
     simulation.probes = probes
     result = simulation.run()
 
     from repro.obs.probes import ProbeSet
 
     summaries = ProbeSet(probes).summary()
+    staleness = getattr(simulation, "staleness", None)
+    if staleness is not None:
+        info = staleness.info_summary()
+        if info:
+            summaries["staleness_info"] = info
     if full_traces:
         for probe in probes:
             if hasattr(probe, "trace_dict"):
@@ -114,6 +156,7 @@ def run_figure(
     trace: bool = False,
     trace_interval: float = DEFAULT_TRACE_INTERVAL,
     full_traces: bool = False,
+    faults: str | None = None,
 ) -> FigureResult:
     """Execute a figure's full sweep and return its :class:`FigureResult`.
 
@@ -143,6 +186,12 @@ def run_figure(
     full_traces:
         With ``trace``, embed complete queue traces and per-epoch herd
         records in the observations (larger manifests).
+    faults:
+        Optional ``--faults`` specification string (see
+        :func:`repro.faults.parse_fault_spec`) applied to every cell.
+        Shipped to workers as a string and parsed there, so the sweep
+        stays picklable.  Fails with a clear error on figures whose
+        cells are not driven by ``ClusterSimulation``.
     """
     spec = get_figure(figure_id)
     jobs = jobs if jobs is not None else spec.default_jobs
@@ -165,14 +214,21 @@ def run_figure(
         for x in sweep_x
         for replication in range(seeds)
     ]
+    if faults is not None:
+        from repro.faults import parse_fault_spec
+
+        parse_fault_spec(faults)  # validate once, before any worker starts
     if trace:
         work = [
-            (figure_id, label, x, seed, jobs, trace_interval, full_traces)
+            (figure_id, label, x, seed, jobs, trace_interval, full_traces, faults)
             for (label, x, seed) in cells
         ]
         worker = _run_observed_tuple
     else:
-        work = [(figure_id, label, x, seed, jobs) for (label, x, seed) in cells]
+        work = [
+            (figure_id, label, x, seed, jobs, faults)
+            for (label, x, seed) in cells
+        ]
         worker = _run_cell_tuple
 
     if processes is None:
@@ -232,20 +288,29 @@ def run_figure_with_manifest(
     started = time.perf_counter()
     result = run_figure(figure_id, base_seed=base_seed, **kwargs)
     wall_time = time.perf_counter() - started
-    manifest = build_manifest(result, wall_time, base_seed=base_seed)
+    extra = None
+    fault_spec = kwargs.get("faults")
+    if fault_spec:
+        from repro.faults import parse_fault_spec
+
+        injector = parse_fault_spec(fault_spec)
+        extra = {"faults": {"spec": fault_spec, **injector.describe()}}
+    manifest = build_manifest(result, wall_time, base_seed=base_seed, extra=extra)
     path = save_manifest(manifest, manifest_dir)
     return result, path
 
 
-def _run_cell_tuple(item: tuple[str, str, float, int, int]) -> float:
-    figure_id, curve_label, x, seed, total_jobs = item
-    return run_cell(figure_id, curve_label, x, seed, total_jobs)
+def _run_cell_tuple(item: tuple[str, str, float, int, int, str | None]) -> float:
+    figure_id, curve_label, x, seed, total_jobs, fault_spec = item
+    return run_cell(
+        figure_id, curve_label, x, seed, total_jobs, fault_spec=fault_spec
+    )
 
 
 def _run_observed_tuple(
-    item: tuple[str, str, float, int, int, float, bool]
+    item: tuple[str, str, float, int, int, float, bool, str | None]
 ) -> tuple[float, dict]:
-    figure_id, curve_label, x, seed, total_jobs, interval, full = item
+    figure_id, curve_label, x, seed, total_jobs, interval, full, fault_spec = item
     return run_cell_observed(
         figure_id,
         curve_label,
@@ -254,6 +319,7 @@ def _run_observed_tuple(
         total_jobs,
         sample_interval=interval,
         full_traces=full,
+        fault_spec=fault_spec,
     )
 
 

@@ -97,6 +97,9 @@ class FigureSpec:
     # object with .run() returning a SimulationResult.  Used by sweeps on
     # alternative drivers (e.g. the work-stealing cluster).
     make_simulation: Callable[..., object] | None = None
+    # Optional per-x fault-injector factory (x -> FaultInjector); used by
+    # the ext-faults ablations, where the x axis is a fault parameter.
+    make_faults: Callable[[float], object] | None = None
 
     def __post_init__(self) -> None:
         if not self.x_values:
@@ -148,4 +151,5 @@ class FigureSpec:
             server_rates=(
                 list(self.server_rates) if self.server_rates is not None else None
             ),
+            faults=self.make_faults(x) if self.make_faults is not None else None,
         )

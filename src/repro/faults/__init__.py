@@ -1,0 +1,29 @@
+"""Fault injection: server crash/recovery, degraded service, retry policy.
+
+The adversarial limit of stale load information is a report from a server
+that no longer exists.  This package grows the cluster substrate a
+principled fault model: per-server lifecycle timelines (UP / DEGRADED /
+DOWN) realized from a dedicated random stream, bulletin boards that keep
+advertising a crashed server's last report, and a dispatcher that pays
+for each misdirected job with a timeout and capped-backoff retries.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.parse import parse_fault_spec
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    ServerState,
+    ServerTimeline,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "RetryPolicy",
+    "ServerState",
+    "ServerTimeline",
+    "parse_fault_spec",
+]

@@ -1,0 +1,222 @@
+"""The fault injector: binds a schedule to a running simulation.
+
+A :class:`FaultInjector` is configuration until :meth:`attach` is called
+(so it pickles cleanly into worker processes and can be reused across
+runs); attaching realizes one per-server :class:`ServerTimeline` from the
+dedicated ``"faults"`` random stream and hands each timeline to its
+server.  Everything downstream is pull-based — the dispatcher, the
+bulletin board and the observability layer query the injector; no events
+are added to the calendar — so a null schedule leaves every other
+component of the run bit-identical to a fault-free one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule, ServerState, ServerTimeline
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.server import Server
+    from repro.engine.simulator import Simulator
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Per-server fault lifecycle driver plus the dispatcher's retry knobs.
+
+    Parameters
+    ----------
+    schedule:
+        The fault process; defaults to the null schedule (no faults).
+    retry:
+        Dispatcher timeout/backoff parameters.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._timelines: list[ServerTimeline] | None = None
+        self._servers: Sequence["Server"] | None = None
+
+    @property
+    def attached(self) -> bool:
+        return self._timelines is not None
+
+    @property
+    def num_servers(self) -> int:
+        timelines = self._require_attached()
+        return len(timelines)
+
+    def attach(
+        self,
+        sim: "Simulator",
+        servers: Sequence["Server"],
+        rng: np.random.Generator,
+        probes=None,
+    ) -> None:
+        """Realize timelines for ``servers`` and bind them.
+
+        All previous state is discarded, so one injector object can drive
+        any number of runs; each run's realization depends only on the
+        generator it is handed (the run's named ``"faults"`` substream).
+        """
+        del sim  # pull-based: the injector schedules no events
+        scripted = self.schedule.scripted
+        timelines: list[ServerTimeline] = []
+        # One child seed per server, drawn up front, so lazy extension of
+        # one server's timeline never perturbs another's realization.
+        child_seeds = rng.integers(0, 2**63 - 1, size=len(servers))
+        for server in servers:
+            events = tuple(
+                event for event in scripted if event.server_id == server.server_id
+            )
+            if events:
+                timeline = ServerTimeline(self.schedule, scripted=events)
+                server.timeline = timeline
+            elif self.schedule.is_null or scripted:
+                # No fault ever touches this server (null schedule, or a
+                # scripted schedule that names other servers only): keep it
+                # on its exact closed-form fast path, so an attached-but-
+                # harmless injector leaves the run bit-identical to a
+                # fault-free one, down to the last ulp of busy time.
+                timeline = ServerTimeline(self.schedule)
+                server.timeline = None
+            else:
+                child = np.random.Generator(
+                    np.random.PCG64(int(child_seeds[server.server_id]))
+                )
+                timeline = ServerTimeline(self.schedule, rng=child)
+                server.timeline = timeline
+            timelines.append(timeline)
+        self._timelines = timelines
+        self._servers = servers
+        if probes is not None:
+            probes.on_fault_attach(self)
+
+    # -- queries --------------------------------------------------------
+
+    def state_at(self, server_id: int, time: float) -> ServerState:
+        return self._require_attached()[server_id].state_at(time)
+
+    def is_down(self, server_id: int, time: float) -> bool:
+        return self._require_attached()[server_id].is_down(time)
+
+    def rate_multiplier(self, server_id: int, time: float) -> float:
+        return self._require_attached()[server_id].multiplier_at(time)
+
+    def timeline(self, server_id: int) -> ServerTimeline:
+        return self._require_attached()[server_id]
+
+    def mask_refresh(
+        self, now: float, fresh: np.ndarray, previous: np.ndarray | None
+    ) -> np.ndarray:
+        """Board refresh as seen through failures.
+
+        A crashed server cannot send its report, so the board keeps the
+        last value it heard — the same hidden-staleness fault
+        :class:`~repro.staleness.lossy.LossyPeriodicUpdate` injects for
+        the whole board, here per server.  Degraded servers still report.
+        """
+        timelines = self._require_attached()
+        if previous is None:
+            return fresh
+        masked = fresh
+        copied = False
+        for server_id, timeline in enumerate(timelines):
+            if timeline.is_down(now):
+                if not copied:
+                    masked = fresh.copy()
+                    copied = True
+                masked[server_id] = previous[server_id]
+        return masked
+
+    # -- observability --------------------------------------------------
+
+    def availability_summary(self, duration: float) -> dict:
+        """Realized availability over ``[0, duration]``, JSON-serializable."""
+        timelines = self._require_attached()
+        if duration <= 0:
+            return {
+                "duration": duration,
+                "crashes": 0,
+                "availability": 1.0,
+                "servers": [],
+            }
+        servers = []
+        total_down = 0.0
+        total_crashes = 0
+        for server_id, timeline in enumerate(timelines):
+            down = degraded = 0.0
+            for begin, end, state, _mult in timeline.spans(duration):
+                span = end - begin
+                if state == ServerState.DOWN.value:
+                    down += span
+                elif state == ServerState.DEGRADED.value:
+                    degraded += span
+            crashes = len(timeline.crash_times(duration))
+            total_down += down
+            total_crashes += crashes
+            servers.append(
+                {
+                    "server": server_id,
+                    "crashes": crashes,
+                    "down_fraction": down / duration,
+                    "degraded_fraction": degraded / duration,
+                }
+            )
+        return {
+            "duration": duration,
+            "crashes": total_crashes,
+            "availability": 1.0 - total_down / (duration * len(timelines)),
+            "servers": servers,
+        }
+
+    def fault_spans(self, duration: float) -> list[dict]:
+        """Non-UP spans over ``[0, duration]`` (the availability timeline)."""
+        timelines = self._require_attached()
+        out = []
+        for server_id, timeline in enumerate(timelines):
+            for begin, end, state, mult in timeline.spans(duration):
+                if state == ServerState.UP.value:
+                    continue
+                span = {
+                    "server": server_id,
+                    "start": begin,
+                    "end": end if math.isfinite(end) else None,
+                    "state": state,
+                }
+                if state == ServerState.DEGRADED.value:
+                    span["factor"] = mult
+                out.append(span)
+        out.sort(key=lambda span: (span["start"], span["server"]))
+        return out
+
+    def describe(self) -> dict:
+        """Configuration digest for run manifests."""
+        return {
+            "schedule": self.schedule.describe(),
+            "retry": self.retry.describe(),
+        }
+
+    def _require_attached(self) -> list[ServerTimeline]:
+        if self._timelines is None:
+            raise RuntimeError(
+                "FaultInjector is not attached to a simulation; "
+                "ClusterSimulation(faults=...) attaches it for you"
+            )
+        return self._timelines
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(schedule={self.schedule!r}, retry={self.retry!r})"
+        )

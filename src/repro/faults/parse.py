@@ -1,0 +1,87 @@
+"""Parse the CLI's compact ``--faults`` specification string.
+
+The format is ``key=value`` pairs separated by commas, e.g.::
+
+    --faults mttf=200,mttr=10,mode=abort,timeout=0.5,backoff=0.25
+
+Schedule keys: ``mttf``, ``mttr``, ``degrade-mttf``, ``degrade-mttr``,
+``degrade-factor``, ``mode`` (stall|abort).  Retry keys: ``timeout``,
+``backoff``, ``backoff-cap``, ``attempts``.  Validation happens in the
+:class:`FaultSchedule`/:class:`RetryPolicy` constructors, so malformed
+values fail with the same messages the library API gives.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule
+
+__all__ = ["parse_fault_spec"]
+
+_SCHEDULE_KEYS = {
+    "mttf": "mttf",
+    "mttr": "mttr",
+    "degrade-mttf": "degrade_mttf",
+    "degrade-mttr": "degrade_mttr",
+    "degrade-factor": "degrade_factor",
+}
+_RETRY_KEYS = {
+    "timeout": "timeout",
+    "backoff": "backoff_base",
+    "backoff-cap": "backoff_cap",
+}
+
+
+def parse_fault_spec(text: str) -> FaultInjector:
+    """Build a :class:`FaultInjector` from a ``--faults`` string."""
+    schedule_kwargs: dict = {}
+    retry_kwargs: dict = {}
+    for raw in text.split(","):
+        part = raw.strip()
+        if not part:
+            continue
+        key, separator, value = part.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if not separator or not value:
+            raise ValueError(
+                f"malformed --faults entry {part!r}; expected key=value"
+            )
+        if key in _SCHEDULE_KEYS:
+            schedule_kwargs[_SCHEDULE_KEYS[key]] = _parse_number(key, value)
+        elif key in _RETRY_KEYS:
+            retry_kwargs[_RETRY_KEYS[key]] = _parse_number(key, value)
+        elif key == "mode":
+            schedule_kwargs["on_crash"] = value
+        elif key == "attempts":
+            retry_kwargs["max_attempts"] = _parse_int(key, value)
+        else:
+            known = sorted(
+                [*_SCHEDULE_KEYS, *_RETRY_KEYS, "mode", "attempts"]
+            )
+            raise ValueError(
+                f"unknown --faults key {key!r}; known keys: {', '.join(known)}"
+            )
+    return FaultInjector(
+        schedule=FaultSchedule(**schedule_kwargs),
+        retry=RetryPolicy(**retry_kwargs),
+    )
+
+
+def _parse_number(key: str, value: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(
+            f"--faults key {key!r} needs a number, got {value!r}"
+        ) from None
+
+
+def _parse_int(key: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"--faults key {key!r} needs an integer, got {value!r}"
+        ) from None

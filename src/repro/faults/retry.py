@@ -1,0 +1,89 @@
+"""Dispatcher-side robustness: timeout, capped exponential backoff, retries.
+
+When the dispatcher sends a job to a server that has crashed, it does not
+learn the truth from the (stale) bulletin board — it discovers it the hard
+way, by waiting out a timeout.  The job is then re-dispatched to another
+server, with the failed one on an exclusion list and an exponentially
+growing (capped) backoff between attempts.  Every time unit spent on
+timeouts and backoff is added to the job's measured response time: under
+stale information, failures are paid for in latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Timeout/retry parameters of the dispatcher.
+
+    Attributes
+    ----------
+    timeout:
+        Time ``t_o`` a dispatch to a down server wastes before the
+        dispatcher gives up on it.
+    backoff_base:
+        Backoff before the first re-dispatch; attempt ``k`` waits
+        ``min(backoff_base * 2**(k-1), backoff_cap)``.
+    backoff_cap:
+        Upper bound on any single backoff delay.
+    max_attempts:
+        Re-dispatch attempts before the job is dropped as failed;
+        0 means retry until a live server is found.
+    """
+
+    timeout: float = 0.5
+    backoff_base: float = 0.25
+    backoff_cap: float = 8.0
+    max_attempts: int = 0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.timeout) or self.timeout < 0:
+            raise ValueError(
+                f"timeout must be finite and non-negative, got {self.timeout}"
+            )
+        if not math.isfinite(self.backoff_base) or self.backoff_base < 0:
+            raise ValueError(
+                "backoff_base must be finite and non-negative, got "
+                f"{self.backoff_base}"
+            )
+        if not math.isfinite(self.backoff_cap) or self.backoff_cap < 0:
+            raise ValueError(
+                "backoff_cap must be finite and non-negative, got "
+                f"{self.backoff_cap}"
+            )
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"backoff_cap ({self.backoff_cap}) must be >= backoff_base "
+                f"({self.backoff_base})"
+            )
+        if self.max_attempts < 0:
+            raise ValueError(
+                f"max_attempts must be >= 0, got {self.max_attempts}"
+            )
+        if self.timeout == 0 and self.backoff_base == 0 and self.max_attempts == 0:
+            raise ValueError(
+                "timeout and backoff_base cannot both be zero with unlimited "
+                "max_attempts: retries would spin at a single instant"
+            )
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Backoff before re-dispatch attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        # Cap the exponent as well: 2.0**large overflows to inf.
+        doubling = min(attempt - 1, 64)
+        return min(self.backoff_base * 2.0**doubling, self.backoff_cap)
+
+    def describe(self) -> dict:
+        """JSON-serializable summary (for run manifests)."""
+        return {
+            "timeout": self.timeout,
+            "backoff_base": self.backoff_base,
+            "backoff_cap": self.backoff_cap,
+            "max_attempts": self.max_attempts,
+        }

@@ -1,0 +1,406 @@
+"""Fault schedules and per-server lifecycle timelines.
+
+A server's availability over one run is a piecewise-constant *capacity
+profile*: alternating spans of ``UP`` (full rate), ``DEGRADED`` (rate
+scaled by a factor in (0, 1)) and ``DOWN`` (rate zero).  Because the
+cluster substrate computes completion times analytically at dispatch
+(:class:`~repro.cluster.server.Server`), faults are modeled the same way:
+the profile is a function of time drawn *before* it is consulted, from a
+dedicated random stream, so the fault process is independent of the
+workload and of every other stochastic component.
+
+Two ways to describe a profile:
+
+* stochastically, as a renewal process parameterized by MTTF/MTTR (and an
+  analogous incidence/duration pair for degraded spans), extended lazily
+  as far as the simulation asks; or
+* exactly, as a scripted list of :class:`FaultEvent` transitions — the
+  form unit tests and postmortem replays use.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["ServerState", "FaultEvent", "FaultSchedule", "ServerTimeline"]
+
+
+class ServerState(Enum):
+    """Lifecycle state of one server."""
+
+    UP = "up"
+    DEGRADED = "degraded"
+    DOWN = "down"
+
+
+#: Scripted transition kinds and the state each one enters.
+_EVENT_STATES = {
+    "crash": ServerState.DOWN,
+    "recover": ServerState.UP,
+    "degrade": ServerState.DEGRADED,
+    "restore": ServerState.UP,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scripted lifecycle transition.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the transition (>= 0).
+    server_id:
+        Index of the affected server.
+    kind:
+        ``"crash"`` (enter DOWN), ``"recover"`` (leave DOWN),
+        ``"degrade"`` (enter DEGRADED) or ``"restore"`` (leave DEGRADED).
+    factor:
+        Service-rate multiplier for ``"degrade"`` events, in (0, 1);
+        ignored for the other kinds.
+    """
+
+    time: float
+    server_id: int
+    kind: str
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time) or self.time < 0:
+            raise ValueError(
+                f"fault event time must be finite and >= 0, got {self.time}"
+            )
+        if self.server_id < 0:
+            raise ValueError(
+                f"fault event server_id must be >= 0, got {self.server_id}"
+            )
+        if self.kind not in _EVENT_STATES:
+            raise ValueError(
+                f"fault event kind must be one of {sorted(_EVENT_STATES)}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "degrade" and not 0.0 < self.factor < 1.0:
+            raise ValueError(
+                f"degrade factor must be in (0, 1), got {self.factor}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSchedule:
+    """Configuration of the per-server fault process.
+
+    With every stochastic knob at its default (``None``/zero incidence)
+    and no scripted events, the schedule is the *null schedule*: servers
+    stay UP forever and an attached injector is a pure pass-through.
+
+    Attributes
+    ----------
+    mttf:
+        Mean time to failure: from UP, crashes arrive Poisson with rate
+        ``1/mttf``.  ``None`` disables crashes.
+    mttr:
+        Mean time to repair: each DOWN span lasts exponential(``mttr``).
+    degrade_mttf:
+        Mean time between degradation incidents (``None`` disables them).
+    degrade_mttr:
+        Mean duration of a degraded span.
+    degrade_factor:
+        Service-rate multiplier while DEGRADED, in (0, 1).
+    scripted:
+        Explicit :class:`FaultEvent` timeline.  Mutually exclusive with
+        the stochastic knobs.
+    on_crash:
+        What a crash does to jobs present on the server: ``"stall"``
+        suspends service until recovery (jobs survive), ``"abort"``
+        discards every job present at the crash instant (fail-stop).
+    """
+
+    mttf: float | None = None
+    mttr: float = 10.0
+    degrade_mttf: float | None = None
+    degrade_mttr: float = 10.0
+    degrade_factor: float = 0.5
+    scripted: tuple[FaultEvent, ...] = ()
+    on_crash: str = "stall"
+
+    def __post_init__(self) -> None:
+        for name in ("mttf", "degrade_mttf"):
+            value = getattr(self, name)
+            if value is not None and (not math.isfinite(value) or value <= 0):
+                raise ValueError(
+                    f"{name} must be positive and finite (or None), got {value}"
+                )
+        for name in ("mttr", "degrade_mttr"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(
+                    f"{name} must be positive and finite, got {value}"
+                )
+        if not 0.0 < self.degrade_factor < 1.0:
+            raise ValueError(
+                f"degrade_factor must be in (0, 1), got {self.degrade_factor}"
+            )
+        if self.on_crash not in ("stall", "abort"):
+            raise ValueError(
+                f"on_crash must be 'stall' or 'abort', got {self.on_crash!r}"
+            )
+        if self.scripted:
+            object.__setattr__(self, "scripted", tuple(self.scripted))
+            if self.mttf is not None or self.degrade_mttf is not None:
+                raise ValueError(
+                    "a schedule is either scripted or stochastic; scripted "
+                    "events cannot be combined with mttf/degrade_mttf"
+                )
+            for event in self.scripted:
+                if not isinstance(event, FaultEvent):
+                    raise ValueError(
+                        f"scripted entries must be FaultEvent, got {event!r}"
+                    )
+
+    @property
+    def is_null(self) -> bool:
+        """True when no fault can ever occur under this schedule."""
+        return (
+            self.mttf is None
+            and self.degrade_mttf is None
+            and not self.scripted
+        )
+
+    def describe(self) -> dict:
+        """JSON-serializable summary (for run manifests)."""
+        summary: dict = {"on_crash": self.on_crash}
+        if self.scripted:
+            summary["scripted_events"] = len(self.scripted)
+        if self.mttf is not None:
+            summary["mttf"] = self.mttf
+            summary["mttr"] = self.mttr
+        if self.degrade_mttf is not None:
+            summary["degrade_mttf"] = self.degrade_mttf
+            summary["degrade_mttr"] = self.degrade_mttr
+            summary["degrade_factor"] = self.degrade_factor
+        return summary
+
+
+class ServerTimeline:
+    """The realized capacity profile of one server.
+
+    Segments are kept as three parallel arrays: boundary times, the rate
+    multiplier in force *from* each boundary, and the state entered at it.
+    A boundary belongs to the segment it opens (a server is DOWN at the
+    crash instant itself and UP again at the recovery instant).
+
+    Stochastic timelines are extended lazily, one incident cycle at a
+    time, from this server's own generator — so the realization is
+    independent of the order in which servers are queried.
+    """
+
+    __slots__ = (
+        "_times",
+        "_mults",
+        "_states",
+        "_crashes",
+        "_frontier",
+        "_rng",
+        "_schedule",
+    )
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        rng: np.random.Generator | None = None,
+        scripted: tuple[FaultEvent, ...] = (),
+    ) -> None:
+        self._times: list[float] = [0.0]
+        self._mults: list[float] = [1.0]
+        self._states: list[ServerState] = [ServerState.UP]
+        self._crashes: list[float] = []
+        self._schedule = schedule
+        self._rng = rng
+        if scripted:
+            self._apply_scripted(scripted)
+            self._frontier = math.inf
+        elif schedule.is_null or rng is None:
+            self._frontier = math.inf
+        else:
+            self._frontier = 0.0
+
+    def _apply_scripted(self, events: tuple[FaultEvent, ...]) -> None:
+        previous = -1.0
+        for event in sorted(events, key=lambda e: e.time):
+            if event.time == previous:
+                raise ValueError(
+                    "scripted fault events for one server must have "
+                    f"distinct times; duplicate at t={event.time}"
+                )
+            previous = event.time
+            state = _EVENT_STATES[event.kind]
+            if state is ServerState.DOWN:
+                multiplier = 0.0
+                self._crashes.append(event.time)
+            elif state is ServerState.DEGRADED:
+                multiplier = event.factor
+            else:
+                multiplier = 1.0
+            self._times.append(event.time)
+            self._mults.append(multiplier)
+            self._states.append(state)
+
+    # -- lazy stochastic extension -------------------------------------
+
+    def _extend(self) -> None:
+        """Generate one more incident cycle past the current frontier."""
+        schedule = self._schedule
+        rng = self._rng
+        assert rng is not None
+        crash_rate = 1.0 / schedule.mttf if schedule.mttf else 0.0
+        degrade_rate = (
+            1.0 / schedule.degrade_mttf if schedule.degrade_mttf else 0.0
+        )
+        total = crash_rate + degrade_rate
+        assert total > 0.0
+        incident = self._frontier + float(rng.exponential(1.0 / total))
+        is_crash = crash_rate > 0 and (
+            degrade_rate == 0 or float(rng.random()) < crash_rate / total
+        )
+        if is_crash:
+            duration = float(rng.exponential(schedule.mttr))
+            self._times.append(incident)
+            self._mults.append(0.0)
+            self._states.append(ServerState.DOWN)
+            self._crashes.append(incident)
+        else:
+            duration = float(rng.exponential(schedule.degrade_mttr))
+            self._times.append(incident)
+            self._mults.append(schedule.degrade_factor)
+            self._states.append(ServerState.DEGRADED)
+        end = incident + duration
+        self._times.append(end)
+        self._mults.append(1.0)
+        self._states.append(ServerState.UP)
+        self._frontier = end
+
+    def ensure_until(self, time: float) -> None:
+        """Realize the profile at least up to ``time``."""
+        if not math.isfinite(time):
+            return
+        while self._frontier <= time:
+            self._extend()
+
+    # -- queries --------------------------------------------------------
+
+    def _segment_index(self, time: float) -> int:
+        self.ensure_until(time)
+        return bisect_right(self._times, time) - 1
+
+    def state_at(self, time: float) -> ServerState:
+        """Lifecycle state at ``time`` (DOWN at the crash instant itself)."""
+        if time < 0:
+            return ServerState.UP
+        return self._states[self._segment_index(time)]
+
+    def multiplier_at(self, time: float) -> float:
+        """Service-rate multiplier in force at ``time``."""
+        if time < 0:
+            return 1.0
+        return self._mults[self._segment_index(time)]
+
+    def is_down(self, time: float) -> bool:
+        return self.state_at(time) is ServerState.DOWN
+
+    def first_crash_in(self, start: float, end: float) -> float | None:
+        """Earliest crash instant in ``[start, end)``, or ``None``."""
+        if end <= start:
+            return None
+        self.ensure_until(end if math.isfinite(end) else start)
+        index = bisect_right(self._crashes, start)
+        if index > 0 and self._crashes[index - 1] == start:
+            index -= 1  # a crash exactly at ``start`` is inside the window
+        if index < len(self._crashes) and self._crashes[index] < end:
+            return self._crashes[index]
+        return None
+
+    def serve(
+        self, arrival: float, start: float, service_time: float, base_rate: float
+    ) -> tuple[float, bool]:
+        """Completion of a job of demand ``service_time`` starting at ``start``.
+
+        Integrates the capacity profile ``base_rate * multiplier(t)`` from
+        ``start`` until ``service_time`` units of work are delivered.
+        Under an ``"abort"`` schedule, a crash while the job is present
+        (from ``arrival`` on) kills it instead: the job leaves the queue
+        at the crash instant and ``aborted`` is True.  A job stalled
+        behind a permanent scripted outage never completes and returns
+        ``(inf, False)``.
+        """
+        if not math.isfinite(start):
+            return math.inf, False
+        completion = self._completion(start, service_time, base_rate)
+        if self._schedule.on_crash == "abort":
+            crash = self.first_crash_in(arrival, completion)
+            if crash is not None:
+                return crash, True
+        return completion, False
+
+    def _completion(self, start: float, work: float, base_rate: float) -> float:
+        if work <= 0.0:
+            return start
+        remaining = work
+        time = start
+        index = self._segment_index(start)
+        while True:
+            multiplier = self._mults[index]
+            if index + 1 < len(self._times):
+                boundary = self._times[index + 1]
+            elif math.isfinite(self._frontier):
+                self._extend()
+                boundary = self._times[index + 1]
+            else:
+                boundary = math.inf
+            if multiplier > 0.0:
+                rate = base_rate * multiplier
+                span = remaining / rate
+                if time + span <= boundary or boundary == math.inf:
+                    return time + span
+                remaining -= (boundary - time) * rate
+            elif boundary == math.inf:
+                return math.inf  # permanently down: the job stalls forever
+            time = boundary
+            index += 1
+
+    def spans(self, until: float) -> list[tuple[float, float, str, float]]:
+        """Realized ``(start, end, state, multiplier)`` spans over ``[0, until]``.
+
+        Used by observability to report availability; extends a stochastic
+        timeline to ``until`` if needed and clips the final span.
+        """
+        if until < 0:
+            raise ValueError(f"until must be >= 0, got {until}")
+        self.ensure_until(until)
+        out: list[tuple[float, float, str, float]] = []
+        for index, begin in enumerate(self._times):
+            if begin > until:
+                break
+            end = (
+                self._times[index + 1]
+                if index + 1 < len(self._times)
+                else math.inf
+            )
+            out.append(
+                (
+                    begin,
+                    min(end, until),
+                    self._states[index].value,
+                    self._mults[index],
+                )
+            )
+        return out
+
+    def crash_times(self, until: float) -> list[float]:
+        """Crash instants realized in ``[0, until]``."""
+        self.ensure_until(until)
+        return [t for t in self._crashes if t <= until]

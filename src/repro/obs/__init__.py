@@ -8,6 +8,7 @@ utilization traces, a per-epoch dispatch-concentration (herd) detector,
 and JSON run manifests that make every sweep reproducible and auditable.
 """
 
+from repro.obs.fault_trace import FaultTraceProbe
 from repro.obs.herd import EpochStats, HerdDetector
 from repro.obs.manifest import (
     MANIFEST_VERSION,
@@ -23,6 +24,7 @@ from repro.obs.traces import QueueTraceProbe, ResponseHistogramProbe
 __all__ = [
     "Probe",
     "ProbeSet",
+    "FaultTraceProbe",
     "QueueTraceProbe",
     "ResponseHistogramProbe",
     "HerdDetector",

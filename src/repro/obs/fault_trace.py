@@ -1,0 +1,98 @@
+"""Fault-trace probe: availability and retry timelines for run manifests.
+
+The fault injector realizes per-server lifecycle timelines; this probe
+renders what actually happened during a run — which servers were down or
+degraded and when, how many dispatches hit a dead server, how much
+latency the timeouts and backoffs cost — into the JSON manifest, next to
+the queue traces and herd epochs.  Like every probe it is passive: it
+only queries the injector, never perturbs it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.probes import Probe
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultTraceProbe"]
+
+
+class FaultTraceProbe(Probe):
+    """Records realized availability plus the dispatcher's retry history.
+
+    Parameters
+    ----------
+    max_events:
+        Upper bound on retained retry/failure event records (the
+        aggregate counters are exact regardless); keeps manifests bounded
+        on long faulty runs.
+    """
+
+    name = "faults"
+
+    def __init__(self, max_events: int = 1000) -> None:
+        if max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {max_events}")
+        self.max_events = max_events
+        self._reset()
+
+    def _reset(self) -> None:
+        self._injector: "FaultInjector | None" = None
+        self._duration = 0.0
+        self._retries = 0
+        self._failures: dict[str, int] = {}
+        self._events: list[dict] = []
+        self._events_dropped = 0
+
+    def on_attach(self, sim, servers) -> None:
+        self._reset()
+
+    def on_fault_attach(self, injector) -> None:
+        self._injector = injector
+
+    def on_retry(
+        self, now: float, client_id: int, server_id: int, attempt: int
+    ) -> None:
+        self._retries += 1
+        self._record(
+            {
+                "kind": "retry",
+                "time": now,
+                "client": client_id,
+                "server": server_id,
+                "attempt": attempt,
+            }
+        )
+
+    def on_job_failed(self, time: float, server_id: int, reason: str) -> None:
+        self._failures[reason] = self._failures.get(reason, 0) + 1
+        self._record(
+            {"kind": "failed", "time": time, "server": server_id, "reason": reason}
+        )
+
+    def on_finish(self, now: float) -> None:
+        self._duration = now
+
+    def _record(self, event: dict) -> None:
+        if len(self._events) < self.max_events:
+            self._events.append(event)
+        else:
+            self._events_dropped += 1
+
+    def summary(self) -> dict:
+        out: dict = {
+            "retries": self._retries,
+            "failures": dict(sorted(self._failures.items())),
+            "events": self._events,
+            "events_dropped": self._events_dropped,
+        }
+        if self._injector is not None and self._injector.attached:
+            out["config"] = self._injector.describe()
+            out["availability"] = self._injector.availability_summary(
+                self._duration
+            )
+            out["spans"] = self._injector.fault_spans(self._duration)
+        return out

@@ -156,6 +156,20 @@ def _format_observation_row(entry: dict) -> str:
         parts.append(
             f"p50/p99 {hist.get('p50', 0.0):.2f}/{hist.get('p99', 0.0):.2f}"
         )
+    faults = probes.get("faults")
+    if faults and (faults.get("retries") or faults.get("availability")):
+        availability = faults.get("availability") or {}
+        failures = sum(faults.get("failures", {}).values())
+        parts.append(
+            f"avail {availability.get('availability', 1.0):.3f} "
+            f"retries {faults.get('retries', 0)} failed {failures}"
+        )
+    info = probes.get("staleness_info")
+    if info and info.get("refreshes_attempted"):
+        parts.append(
+            f"refreshes {info['refreshes_attempted'] - info['refreshes_dropped']}"
+            f"/{info['refreshes_attempted']} delivered"
+        )
     return "  ".join(parts)
 
 

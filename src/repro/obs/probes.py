@@ -75,6 +75,20 @@ class Probe:
     ) -> None:
         """Called when a staleness model publishes fresh load information."""
 
+    def on_fault_attach(self, injector) -> None:
+        """Called when a :class:`~repro.faults.injector.FaultInjector`
+        binds to the run, before the first event fires."""
+
+    def on_retry(
+        self, now: float, client_id: int, server_id: int, attempt: int
+    ) -> None:
+        """Called when a dispatch finds ``server_id`` down and schedules
+        re-dispatch attempt ``attempt`` (1-based) after timeout+backoff."""
+
+    def on_job_failed(self, time: float, server_id: int, reason: str) -> None:
+        """Called when a job is abandoned: ``"aborted"`` by a crash,
+        ``"stalled"`` in a permanent outage, or ``"retries-exhausted"``."""
+
     def on_finish(self, now: float) -> None:
         """Called once, after the event loop stops, at the final clock."""
 
@@ -129,6 +143,20 @@ class ProbeSet(Probe):
     ) -> None:
         for probe in self.probes:
             probe.on_load_update(now, version, loads)
+
+    def on_fault_attach(self, injector) -> None:
+        for probe in self.probes:
+            probe.on_fault_attach(injector)
+
+    def on_retry(
+        self, now: float, client_id: int, server_id: int, attempt: int
+    ) -> None:
+        for probe in self.probes:
+            probe.on_retry(now, client_id, server_id, attempt)
+
+    def on_job_failed(self, time: float, server_id: int, reason: str) -> None:
+        for probe in self.probes:
+            probe.on_job_failed(time, server_id, reason)
 
     def on_finish(self, now: float) -> None:
         for probe in self.probes:

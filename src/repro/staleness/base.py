@@ -113,6 +113,7 @@ class StalenessModel(ABC):
         self._servers: list[Server] | None = None
         self._sim: Simulator | None = None
         self._probes = None
+        self._faults = None
 
     @property
     def num_servers(self) -> int:
@@ -126,20 +127,36 @@ class StalenessModel(ABC):
         servers: list[Server],
         rng: np.random.Generator,
         probes=None,
+        faults=None,
     ) -> None:
         """Bind to a simulation and schedule any recurring processes.
 
         ``probes``, when given, is a :class:`repro.obs.probes.Probe` (or
         :class:`~repro.obs.probes.ProbeSet`) notified via its
         ``on_load_update`` hook whenever this model publishes fresh load
-        information.  It is rebound on every attach so probe wiring never
-        leaks across runs of a reused model object.
+        information.  ``faults``, when given, is an attached
+        :class:`~repro.faults.injector.FaultInjector`: crashed servers
+        cannot send load reports, so refreshes keep their last pre-crash
+        entry — hidden staleness on top of the model's own aging.  Both
+        are rebound on every attach so wiring never leaks across runs of
+        a reused model object.
         """
         self._sim = sim
         self._servers = servers
         self._rng = rng
         self._probes = probes
+        self._faults = faults
         self._on_attach()
+
+    def info_summary(self) -> dict:
+        """JSON-serializable counters describing realized information flow.
+
+        The base model has nothing to report; subclasses with interesting
+        internal accounting (e.g. the lossy board's attempted/dropped
+        refresh counters) override this for run manifests and the ``obs``
+        CLI summary.
+        """
+        return {}
 
     def _on_attach(self) -> None:
         """Hook for subclasses (e.g. to schedule the first board refresh)."""

@@ -10,6 +10,8 @@ can exploit them.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.staleness.base import LoadView, StalenessModel
@@ -24,8 +26,8 @@ class IndividualUpdate(StalenessModel):
 
     def __init__(self, period: float, metric: str = "queue-length") -> None:
         super().__init__(metric=metric)
-        if period <= 0:
-            raise ValueError(f"period must be positive, got {period}")
+        if not math.isfinite(period) or period <= 0:
+            raise ValueError(f"period must be positive and finite, got {period}")
         self.period = float(period)
         self._board: np.ndarray | None = None
         self._post_times: np.ndarray | None = None
@@ -54,6 +56,13 @@ class IndividualUpdate(StalenessModel):
             )
             now = self._sim.now
             server = self._servers[server_id]
+            if self._faults is not None and self._faults.is_down(server_id, now):
+                # A crashed server cannot post; its board entry (and its
+                # timestamp) silently go stale until it recovers.
+                self._sim.schedule_after(
+                    self.period, post, priority=self.REFRESH_PRIORITY
+                )
+                return
             if self.metric == "work-backlog":
                 self._board[server_id] = server.work_remaining(now)
             else:

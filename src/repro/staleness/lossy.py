@@ -72,6 +72,16 @@ class LossyPeriodicUpdate(PeriodicUpdate):
     # loss; after a drop, the view's true elapsed age exceeds its horizon
     # — exactly the hidden-staleness fault this model injects.
 
+    def info_summary(self) -> dict:
+        """Realized refresh loss, surfaced in run manifests."""
+        attempted = self.refreshes_attempted
+        dropped = self.refreshes_dropped
+        return {
+            "refreshes_attempted": attempted,
+            "refreshes_dropped": dropped,
+            "drop_fraction": dropped / attempted if attempted else 0.0,
+        }
+
     def __repr__(self) -> str:
         return (
             f"LossyPeriodicUpdate(period={self.period!r}, "

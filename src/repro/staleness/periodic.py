@@ -7,6 +7,8 @@ a phase and ages linearly until the next refresh.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.staleness.base import LoadView, StalenessModel
@@ -28,8 +30,8 @@ class PeriodicUpdate(StalenessModel):
 
     def __init__(self, period: float, metric: str = "queue-length") -> None:
         super().__init__(metric=metric)
-        if period <= 0:
-            raise ValueError(f"period must be positive, got {period}")
+        if not math.isfinite(period) or period <= 0:
+            raise ValueError(f"period must be positive and finite, got {period}")
         self.period = float(period)
         self._board: np.ndarray | None = None
         self._phase_start = 0.0
@@ -48,7 +50,12 @@ class PeriodicUpdate(StalenessModel):
     def _refresh(self) -> None:
         assert self._sim is not None
         now = self._sim.now
-        self._board = self._sample_loads(now)
+        fresh = self._sample_loads(now)
+        if self._faults is not None:
+            # Crashed servers cannot send reports: the board keeps their
+            # last pre-crash entry, silently advertising a dead server.
+            fresh = self._faults.mask_refresh(now, fresh, self._board)
+        self._board = fresh
         self._phase_start = now
         self._version += 1
         self._emit_load_update(now, self._version, self._board)

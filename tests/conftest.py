@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,42 @@ from repro.cluster.simulation import ClusterSimulation
 from repro.staleness.periodic import PeriodicUpdate
 from repro.workloads.arrivals import PoissonArrivals
 from repro.workloads.service import exponential_service
+
+#: Fallback per-test wall-clock ceiling (seconds) for environments
+#: without pytest-timeout.  CI installs the plugin and passes --timeout,
+#: which takes precedence (this hook then stands down entirely).
+FALLBACK_TEST_TIMEOUT = 120
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Fail a wedged test instead of hanging the whole suite.
+
+    A simulator bug (runaway retry chain, event loop stuck at one
+    instant) would otherwise stall the run forever.  SIGALRM is
+    POSIX-only and main-thread-only, which is exactly how this suite
+    runs; where unavailable the hook is a no-op.
+    """
+    use_alarm = not item.config.pluginmanager.hasplugin(
+        "timeout"
+    ) and hasattr(signal, "SIGALRM")
+    if not use_alarm:
+        yield
+        return
+
+    def on_timeout(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {FALLBACK_TEST_TIMEOUT}s fallback timeout "
+            "(install pytest-timeout for configurable per-test limits)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_timeout)
+    signal.alarm(FALLBACK_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

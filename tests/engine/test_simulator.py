@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.engine.simulator import SimulationError, Simulator
@@ -123,6 +125,17 @@ class TestErrors:
     def test_negative_delay_rejected(self):
         with pytest.raises(SimulationError, match="non-negative"):
             Simulator().schedule_after(-1.0, lambda: None)
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_non_finite_time_rejected(self, bad):
+        # An event at inf or nan would silently wedge the calendar.
+        with pytest.raises(SimulationError, match="non-finite time"):
+            Simulator().schedule(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [math.inf, math.nan])
+    def test_non_finite_delay_rejected(self, bad):
+        with pytest.raises(SimulationError, match="delay must be finite"):
+            Simulator().schedule_after(bad, lambda: None)
 
     def test_max_events_guard(self):
         sim = Simulator()

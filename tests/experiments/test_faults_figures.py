@@ -1,0 +1,103 @@
+"""Tests for the fault-ablation figures and the runner's --faults plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import get_figure
+from repro.experiments.runner import run_cell, run_figure
+from repro.faults import FaultInjector
+
+
+class TestFaultFigureSpecs:
+    @pytest.mark.parametrize(
+        "figure_id", ["ext-faults", "ext-faults-mttr", "ext-faults-degraded"]
+    )
+    def test_registered(self, figure_id):
+        spec = get_figure(figure_id)
+        assert spec.make_faults is not None
+        labels = [curve.label for curve in spec.curves]
+        assert "random" in labels
+        assert "basic-li" in labels
+        assert "aggressive-li" in labels
+
+    def test_failure_rate_zero_is_null_injector(self):
+        spec = get_figure("ext-faults")
+        curve = spec.curves[0]
+        simulation = spec.build_simulation(curve, 0.0, seed=1, total_jobs=100)
+        assert isinstance(simulation.faults, FaultInjector)
+        assert simulation.faults.schedule.is_null
+
+    def test_failure_rate_maps_to_mttf(self):
+        spec = get_figure("ext-faults")
+        simulation = spec.build_simulation(
+            spec.curves[0], 0.002, seed=1, total_jobs=100
+        )
+        assert simulation.faults.schedule.mttf == pytest.approx(500.0)
+
+    def test_degraded_figure_sets_factor(self):
+        spec = get_figure("ext-faults-degraded")
+        simulation = spec.build_simulation(
+            spec.curves[0], 0.25, seed=1, total_jobs=100
+        )
+        schedule = simulation.faults.schedule
+        assert schedule.mttf is None  # brownout only, no crashes
+        assert schedule.degrade_factor == 0.25
+
+    def test_ext_faults_smoke_run(self):
+        table = run_figure(
+            "ext-faults",
+            jobs=300,
+            seeds=1,
+            x_values=[0.0, 0.005],
+            curves=["random", "basic-li"],
+        )
+        assert len(table.cells) == 4
+        for cell in table.cells.values():
+            assert cell.mean > 0
+
+
+class TestFaultSpecPlumbing:
+    SPEC = "mttf=100,mttr=10,timeout=0.5,backoff=0.25"
+    SWEEP = dict(
+        jobs=300,
+        seeds=2,
+        x_values=[4.0],
+        curves=["random", "basic-li"],
+        faults=SPEC,
+    )
+
+    def test_fault_spec_changes_the_result(self):
+        clean = run_cell("fig2", "basic-li", 4.0, seed=1, total_jobs=400)
+        faulty = run_cell(
+            "fig2", "basic-li", 4.0, seed=1, total_jobs=400,
+            fault_spec=self.SPEC,
+        )
+        assert faulty > clean
+
+    def test_parallel_matches_serial_with_faults(self):
+        serial = run_figure("fig2", processes=1, **self.SWEEP)
+        parallel = run_figure("fig2", processes=2, **self.SWEEP)
+        assert set(serial.cells) == set(parallel.cells)
+        for key, cell in serial.cells.items():
+            # Bit-identical: the fault realization is seeded from the
+            # cell's own named stream, so worker count cannot perturb it.
+            assert cell.samples == parallel.cells[key].samples, key
+
+    def test_invalid_spec_rejected_before_workers_start(self):
+        with pytest.raises(ValueError, match="unknown --faults key"):
+            run_figure(
+                "fig2", jobs=100, seeds=1, x_values=[4.0],
+                curves=["random"], faults="bogus=1",
+            )
+
+    def test_stealing_figure_rejects_fault_spec(self):
+        with pytest.raises(TypeError, match="does not support fault"):
+            run_cell(
+                "ext-stealing",
+                "random+steal",
+                4.0,
+                seed=1,
+                total_jobs=100,
+                fault_spec=self.SPEC,
+            )

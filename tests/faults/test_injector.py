@@ -1,0 +1,182 @@
+"""Tests for the fault injector's attach/query lifecycle."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Server
+from repro.engine.simulator import Simulator
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    RetryPolicy,
+    ServerState,
+)
+
+
+def attached(injector, num_servers=2, seed=0):
+    sim = Simulator()
+    servers = [Server(i) for i in range(num_servers)]
+    injector.attach(sim, servers, np.random.default_rng(seed))
+    return servers
+
+
+WINDOW = FaultSchedule(
+    scripted=(FaultEvent(5.0, 0, "crash"), FaultEvent(50.0, 0, "recover"))
+)
+
+
+class TestLifecycle:
+    def test_unattached_queries_raise(self):
+        injector = FaultInjector()
+        assert not injector.attached
+        with pytest.raises(RuntimeError, match="not attached"):
+            injector.is_down(0, 1.0)
+        with pytest.raises(RuntimeError, match="not attached"):
+            injector.availability_summary(10.0)
+
+    def test_defaults_are_null_schedule(self):
+        injector = FaultInjector()
+        assert injector.schedule.is_null
+        assert isinstance(injector.retry, RetryPolicy)
+
+    def test_null_attach_keeps_servers_on_fast_path(self):
+        injector = FaultInjector()
+        servers = attached(injector)
+        assert all(server.timeline is None for server in servers)
+        assert injector.attached
+        assert injector.num_servers == 2
+        assert not injector.is_down(0, 100.0)
+        assert injector.state_at(1, 100.0) is ServerState.UP
+
+    def test_scripted_attach_binds_only_named_servers(self):
+        injector = FaultInjector(schedule=WINDOW)
+        servers = attached(injector)
+        assert servers[0].timeline is not None
+        # Servers the script never names stay on the closed-form fast path.
+        assert servers[1].timeline is None
+        assert injector.is_down(0, 10.0)
+        assert not injector.is_down(1, 10.0)
+        # The injector still answers queries for unscripted servers.
+        assert injector.state_at(1, 10.0) is ServerState.UP
+
+    def test_stochastic_attach_binds_every_server(self):
+        injector = FaultInjector(schedule=FaultSchedule(mttf=50.0, mttr=5.0))
+        servers = attached(injector, num_servers=3)
+        assert all(server.timeline is not None for server in servers)
+
+    def test_reattach_discards_previous_realization(self):
+        injector = FaultInjector(schedule=FaultSchedule(mttf=50.0, mttr=5.0))
+        attached(injector, seed=1)
+        first = injector.fault_spans(500.0)
+        attached(injector, seed=1)
+        assert injector.fault_spans(500.0) == first
+        attached(injector, seed=2)
+        assert injector.fault_spans(500.0) != first
+
+    def test_per_server_realizations_are_independent(self):
+        injector = FaultInjector(schedule=FaultSchedule(mttf=50.0, mttr=5.0))
+        attached(injector, num_servers=2, seed=3)
+        # Querying server 1 far into the future must not perturb server 0.
+        reference = FaultInjector(schedule=FaultSchedule(mttf=50.0, mttr=5.0))
+        attached(reference, num_servers=2, seed=3)
+        injector.is_down(1, 10_000.0)
+        assert (
+            injector.timeline(0).spans(500.0)
+            == reference.timeline(0).spans(500.0)
+        )
+
+    def test_config_pickles_into_workers(self):
+        injector = FaultInjector(
+            schedule=FaultSchedule(mttf=100.0, on_crash="abort"),
+            retry=RetryPolicy(timeout=1.0),
+        )
+        clone = pickle.loads(pickle.dumps(injector))
+        assert clone.schedule == injector.schedule
+        assert clone.retry == injector.retry
+        assert not clone.attached
+
+
+class TestMaskRefresh:
+    def test_down_server_keeps_previous_board_entry(self):
+        injector = FaultInjector(schedule=WINDOW)
+        attached(injector)
+        fresh = np.array([7.0, 3.0])
+        previous = np.array([2.0, 4.0])
+        masked = injector.mask_refresh(10.0, fresh, previous)
+        assert masked.tolist() == [2.0, 3.0]
+        # Copy-on-write: the caller's fresh sample is left untouched.
+        assert fresh.tolist() == [7.0, 3.0]
+
+    def test_all_up_returns_fresh_unchanged(self):
+        injector = FaultInjector(schedule=WINDOW)
+        attached(injector)
+        fresh = np.array([7.0, 3.0])
+        masked = injector.mask_refresh(60.0, fresh, np.array([2.0, 4.0]))
+        assert masked is fresh
+
+    def test_first_refresh_has_no_previous(self):
+        injector = FaultInjector(schedule=WINDOW)
+        attached(injector)
+        fresh = np.array([7.0, 3.0])
+        assert injector.mask_refresh(10.0, fresh, None) is fresh
+
+
+class TestObservability:
+    def test_availability_summary_fractions(self):
+        injector = FaultInjector(schedule=WINDOW)
+        attached(injector)
+        summary = injector.availability_summary(100.0)
+        assert summary["crashes"] == 1
+        # Server 0 is down for 45 of 100 time units across 2 servers.
+        assert summary["availability"] == pytest.approx(1.0 - 45.0 / 200.0)
+        per_server = {row["server"]: row for row in summary["servers"]}
+        assert per_server[0]["down_fraction"] == pytest.approx(0.45)
+        assert per_server[1]["down_fraction"] == 0.0
+
+    def test_availability_summary_zero_duration(self):
+        injector = FaultInjector(schedule=WINDOW)
+        attached(injector)
+        summary = injector.availability_summary(0.0)
+        assert summary["availability"] == 1.0
+        assert summary["servers"] == []
+
+    def test_fault_spans_sorted_and_clipped(self):
+        schedule = FaultSchedule(
+            scripted=(
+                FaultEvent(5.0, 0, "crash"),
+                FaultEvent(50.0, 0, "recover"),
+                FaultEvent(2.0, 1, "degrade", factor=0.25),
+                FaultEvent(4.0, 1, "restore"),
+            )
+        )
+        injector = FaultInjector(schedule=schedule)
+        attached(injector)
+        spans = injector.fault_spans(20.0)
+        assert spans == [
+            {"server": 1, "start": 2.0, "end": 4.0, "state": "degraded",
+             "factor": 0.25},
+            {"server": 0, "start": 5.0, "end": 20.0, "state": "down"},
+        ]
+
+    def test_permanent_outage_span_clips_to_duration(self):
+        schedule = FaultSchedule(scripted=(FaultEvent(5.0, 0, "crash"),))
+        injector = FaultInjector(schedule=schedule)
+        attached(injector)
+        (span,) = injector.fault_spans(100.0)
+        assert span == {
+            "server": 0, "start": 5.0, "end": 100.0, "state": "down"
+        }
+
+    def test_describe_combines_schedule_and_retry(self):
+        injector = FaultInjector(
+            schedule=FaultSchedule(mttf=100.0),
+            retry=RetryPolicy(timeout=2.0),
+        )
+        summary = injector.describe()
+        assert summary["schedule"]["mttf"] == 100.0
+        assert summary["retry"]["timeout"] == 2.0

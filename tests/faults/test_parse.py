@@ -1,0 +1,66 @@
+"""Tests for the compact ``--faults`` specification parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultInjector, parse_fault_spec
+
+
+class TestParseFaultSpec:
+    def test_full_spec(self):
+        injector = parse_fault_spec(
+            "mttf=200,mttr=10,degrade-mttf=50,degrade-mttr=5,"
+            "degrade-factor=0.3,mode=abort,timeout=1.5,backoff=0.5,"
+            "backoff-cap=4,attempts=3"
+        )
+        assert isinstance(injector, FaultInjector)
+        assert injector.schedule.mttf == 200.0
+        assert injector.schedule.mttr == 10.0
+        assert injector.schedule.degrade_mttf == 50.0
+        assert injector.schedule.degrade_mttr == 5.0
+        assert injector.schedule.degrade_factor == 0.3
+        assert injector.schedule.on_crash == "abort"
+        assert injector.retry.timeout == 1.5
+        assert injector.retry.backoff_base == 0.5
+        assert injector.retry.backoff_cap == 4.0
+        assert injector.retry.max_attempts == 3
+
+    def test_empty_spec_is_null_injector_with_default_retry(self):
+        injector = parse_fault_spec("")
+        assert injector.schedule.is_null
+        assert injector.retry.timeout == 0.5
+
+    def test_whitespace_and_trailing_comma_tolerated(self):
+        injector = parse_fault_spec(" mttf = 100 , mttr = 5 , ")
+        assert injector.schedule.mttf == 100.0
+        assert injector.schedule.mttr == 5.0
+
+    def test_unknown_key_lists_known_keys(self):
+        with pytest.raises(ValueError, match="unknown --faults key 'mtbf'"):
+            parse_fault_spec("mtbf=100")
+        with pytest.raises(ValueError, match="known keys: .*mttf"):
+            parse_fault_spec("bogus=1")
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(ValueError, match="expected key=value"):
+            parse_fault_spec("mttf")
+        with pytest.raises(ValueError, match="expected key=value"):
+            parse_fault_spec("mttf=")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ValueError, match="'mttf' needs a number"):
+            parse_fault_spec("mttf=lots")
+
+    def test_attempts_must_be_integer(self):
+        with pytest.raises(ValueError, match="'attempts' needs an integer"):
+            parse_fault_spec("attempts=2.5")
+
+    def test_constructor_validation_surfaces(self):
+        # Out-of-range values fail with the library's own messages.
+        with pytest.raises(ValueError, match="mttf must be positive"):
+            parse_fault_spec("mttf=-5")
+        with pytest.raises(ValueError, match="on_crash must be"):
+            parse_fault_spec("mode=panic")
+        with pytest.raises(ValueError, match="timeout must be finite"):
+            parse_fault_spec("mttf=100,timeout=-1")

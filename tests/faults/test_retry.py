@@ -1,0 +1,84 @@
+"""Tests for the dispatcher's timeout/backoff retry policy."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.faults.retry import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.timeout == 0.5
+        assert policy.max_attempts == 0
+
+    @pytest.mark.parametrize("bad", [-0.1, math.inf, math.nan])
+    def test_timeout_must_be_finite_non_negative(self, bad):
+        with pytest.raises(ValueError, match="timeout must be finite"):
+            RetryPolicy(timeout=bad)
+
+    @pytest.mark.parametrize("bad", [-0.1, math.inf, math.nan])
+    def test_backoff_base_must_be_finite_non_negative(self, bad):
+        with pytest.raises(ValueError, match="backoff_base must be finite"):
+            RetryPolicy(backoff_base=bad)
+
+    @pytest.mark.parametrize("bad", [-0.1, math.inf, math.nan])
+    def test_backoff_cap_must_be_finite_non_negative(self, bad):
+        with pytest.raises(ValueError, match="backoff_cap must be finite"):
+            RetryPolicy(backoff_cap=bad)
+
+    def test_cap_below_base_rejected(self):
+        with pytest.raises(ValueError, match="must be >= backoff_base"):
+            RetryPolicy(backoff_base=2.0, backoff_cap=1.0)
+
+    def test_negative_max_attempts_rejected(self):
+        with pytest.raises(ValueError, match="max_attempts must be >= 0"):
+            RetryPolicy(max_attempts=-1)
+
+    def test_zero_delays_with_unlimited_attempts_rejected(self):
+        # Without this guard the dispatcher would retry at a single
+        # simulated instant forever.
+        with pytest.raises(ValueError, match="would spin"):
+            RetryPolicy(timeout=0.0, backoff_base=0.0, backoff_cap=0.0)
+
+    def test_zero_delays_allowed_with_bounded_attempts(self):
+        policy = RetryPolicy(
+            timeout=0.0, backoff_base=0.0, backoff_cap=0.0, max_attempts=3
+        )
+        assert policy.backoff_delay(1) == 0.0
+
+    def test_zero_timeout_allowed_with_nonzero_backoff(self):
+        RetryPolicy(timeout=0.0, backoff_base=0.25)
+
+
+class TestBackoffDelay:
+    def test_doubles_then_caps(self):
+        policy = RetryPolicy(backoff_base=0.25, backoff_cap=1.0)
+        assert policy.backoff_delay(1) == 0.25
+        assert policy.backoff_delay(2) == 0.5
+        assert policy.backoff_delay(3) == 1.0
+        assert policy.backoff_delay(4) == 1.0  # capped
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match="attempt must be >= 1"):
+            RetryPolicy().backoff_delay(0)
+
+    def test_huge_attempt_does_not_overflow(self):
+        policy = RetryPolicy(backoff_base=0.25, backoff_cap=8.0)
+        delay = policy.backoff_delay(10_000)
+        assert math.isfinite(delay)
+        assert delay == 8.0
+
+
+class TestDescribe:
+    def test_json_roundtrip_fields(self):
+        summary = RetryPolicy(timeout=1.5, max_attempts=4).describe()
+        assert summary == {
+            "timeout": 1.5,
+            "backoff_base": 0.25,
+            "backoff_cap": 8.0,
+            "max_attempts": 4,
+        }

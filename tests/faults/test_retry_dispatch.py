@@ -1,0 +1,217 @@
+"""End-to-end dispatcher behavior under injected faults.
+
+The acceptance property of the fault subsystem: every time unit a job
+spends on timeouts and backoff is visible in its measured response time,
+a null injector leaves a run bit-identical to a fault-free one, and
+faulty runs stay deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import BasicLIPolicy, RandomPolicy
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    RetryPolicy,
+)
+from tests.conftest import small_simulation
+
+
+def crash_window(server_id=0, start=5.0, end=60.0, on_crash="stall"):
+    return FaultSchedule(
+        scripted=(
+            FaultEvent(start, server_id, "crash"),
+            FaultEvent(end, server_id, "recover"),
+        ),
+        on_crash=on_crash,
+    )
+
+
+def run_with_faults(injector, *, policy=None, num_servers=2, jobs=400, **kwargs):
+    simulation = small_simulation(
+        policy or RandomPolicy(),
+        num_servers=num_servers,
+        load=0.7,
+        total_jobs=jobs,
+        faults=injector,
+        warmup_fraction=0.0,
+        **kwargs,
+    )
+    return simulation.run()
+
+
+class TestRetryPenaltyInResponseTime:
+    """ISSUE acceptance: retried jobs pay their timeout/backoff latency."""
+
+    RETRY = RetryPolicy(timeout=0.5, backoff_base=0.25, backoff_cap=8.0)
+
+    def run_scripted(self):
+        injector = FaultInjector(schedule=crash_window(), retry=self.RETRY)
+        return run_with_faults(injector, trace_jobs=True)
+
+    def test_every_retried_job_pays_exact_timeout_and_backoff(self):
+        result = self.run_scripted()
+        retried = [job for job in result.trace if job.retries > 0]
+        assert retried, "the crash window must hit some dispatches"
+        for job in retried:
+            expected = sum(
+                self.RETRY.timeout + self.RETRY.backoff_delay(attempt)
+                for attempt in range(1, job.retries + 1)
+            )
+            assert job.penalty == pytest.approx(expected)
+            # The penalty is part of the measured response time.
+            response = job.completion_time - job.arrival_time
+            assert response >= job.penalty
+
+    def test_unretried_jobs_pay_nothing(self):
+        result = self.run_scripted()
+        for job in result.trace:
+            if job.retries == 0:
+                assert job.penalty == 0.0
+
+    def test_retried_jobs_avoid_the_dead_server(self):
+        result = self.run_scripted()
+        for job in result.trace:
+            if job.retries == 0:
+                continue
+            dispatch_time = job.arrival_time + job.penalty
+            if dispatch_time < 60.0:  # still inside the outage window
+                assert job.server_id == 1
+
+    def test_result_counters_match_trace(self):
+        result = self.run_scripted()
+        retried = [job for job in result.trace if job.retries > 0]
+        assert result.jobs_retried == len(retried)
+        assert result.retries_total == sum(job.retries for job in retried)
+        assert result.retry_penalty == pytest.approx(
+            sum(job.penalty for job in retried)
+        )
+        assert result.jobs_failed == 0  # stall window ends; everyone finishes
+
+    def test_mean_response_time_includes_penalties(self):
+        faulty = self.run_scripted()
+        clean = run_with_faults(FaultInjector(retry=self.RETRY))
+        assert faulty.mean_response_time > clean.mean_response_time
+
+
+class TestZeroFaultBitIdentity:
+    """A null injector must not perturb the simulation in any way."""
+
+    def test_null_injector_matches_no_injector(self):
+        base = small_simulation(
+            BasicLIPolicy(), num_servers=4, load=0.7, total_jobs=2000
+        ).run()
+        nulled = small_simulation(
+            BasicLIPolicy(),
+            num_servers=4,
+            load=0.7,
+            total_jobs=2000,
+            faults=FaultInjector(),
+        ).run()
+        assert nulled.mean_response_time == base.mean_response_time
+        assert nulled.duration == base.duration
+        assert nulled.dispatch_counts.tolist() == base.dispatch_counts.tolist()
+        assert nulled.jobs_failed == 0
+        assert nulled.jobs_retried == 0
+        assert nulled.retry_penalty == 0.0
+
+    def test_scripted_faults_on_other_servers_leave_fast_path(self):
+        # A scripted schedule naming only server 0 must keep the other
+        # servers on the exact closed-form dispatch path.
+        injector = FaultInjector(schedule=crash_window(server_id=0))
+        simulation = small_simulation(
+            RandomPolicy(), num_servers=3, total_jobs=50, faults=injector
+        )
+        simulation.run()
+        # Reaching here also proves unscripted servers under a scripted
+        # schedule never touch the stochastic extension path.
+
+
+class TestFaultyRunDeterminism:
+    def test_same_seed_same_result(self):
+        def run():
+            injector = FaultInjector(
+                schedule=FaultSchedule(mttf=100.0, mttr=10.0),
+                retry=RetryPolicy(timeout=0.5, backoff_base=0.25),
+            )
+            return run_with_faults(injector, num_servers=4, jobs=1500)
+
+        first, second = run(), run()
+        assert first.mean_response_time == second.mean_response_time
+        assert first.duration == second.duration
+        assert first.retries_total == second.retries_total
+        assert first.retry_penalty == second.retry_penalty
+        assert (
+            first.dispatch_counts.tolist() == second.dispatch_counts.tolist()
+        )
+
+    def test_fault_stream_is_isolated(self):
+        # Stochastic faults draw from their own named stream: the arrival
+        # and service processes of a faulty run match the fault-free run
+        # (same duration profile of arrivals; here we check a cheap proxy:
+        # total arrivals and the fact faults only add latency).
+        clean = run_with_faults(FaultInjector(), num_servers=4, jobs=1500)
+        faulty = run_with_faults(
+            FaultInjector(schedule=FaultSchedule(mttf=50.0, mttr=10.0)),
+            num_servers=4,
+            jobs=1500,
+        )
+        assert faulty.jobs_total == clean.jobs_total
+        assert faulty.mean_response_time > clean.mean_response_time
+
+
+class TestFailureModes:
+    def test_abort_mode_discards_in_flight_jobs(self):
+        injector = FaultInjector(
+            schedule=crash_window(start=10.0, end=12.0, on_crash="abort")
+        )
+        result = run_with_faults(injector, trace_jobs=True)
+        assert result.jobs_failed > 0
+        # Failed jobs never enter the trace and never contribute a
+        # response time.
+        completed = len(result.trace)
+        assert completed + result.jobs_failed == result.jobs_total
+
+    def test_permanent_stall_marks_jobs_failed(self):
+        # Server 0 crashes at t=10 and never recovers: jobs already queued
+        # there stall forever; later arrivals time out and go to server 1.
+        schedule = FaultSchedule(
+            scripted=(FaultEvent(10.0, 0, "crash"),), on_crash="stall"
+        )
+        injector = FaultInjector(schedule=schedule)
+        result = run_with_faults(injector, jobs=200)
+        assert result.jobs_failed > 0
+        assert result.jobs_retried > 0
+        assert math.isfinite(result.duration)
+
+    def test_max_attempts_exhaustion_drops_jobs(self):
+        # A one-server cluster that is down from t=0: every job burns its
+        # retry budget and is dropped as failed.
+        schedule = FaultSchedule(
+            scripted=(FaultEvent(0.0, 0, "crash"),), on_crash="stall"
+        )
+        injector = FaultInjector(
+            schedule=schedule,
+            retry=RetryPolicy(timeout=0.5, backoff_base=0.25, max_attempts=2),
+        )
+        result = run_with_faults(injector, num_servers=1, jobs=50)
+        assert result.jobs_failed == 50
+        assert result.jobs_measured == 0
+        assert result.retries_total == 50 * 2
+
+    def test_degraded_service_slows_but_completes(self):
+        injector = FaultInjector(
+            schedule=FaultSchedule(
+                degrade_mttf=50.0, degrade_mttr=20.0, degrade_factor=0.25
+            )
+        )
+        degraded = run_with_faults(injector, num_servers=4, jobs=1500)
+        clean = run_with_faults(FaultInjector(), num_servers=4, jobs=1500)
+        assert degraded.jobs_failed == 0
+        assert degraded.jobs_retried == 0  # degraded servers still accept
+        assert degraded.mean_response_time > clean.mean_response_time

@@ -1,0 +1,321 @@
+"""Tests for fault schedules and per-server lifecycle timelines."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    ServerState,
+    ServerTimeline,
+)
+
+
+class TestFaultEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="time must be finite and >= 0"):
+            FaultEvent(-1.0, 0, "crash")
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(ValueError, match="time must be finite"):
+            FaultEvent(math.inf, 0, "crash")
+        with pytest.raises(ValueError, match="time must be finite"):
+            FaultEvent(math.nan, 0, "crash")
+
+    def test_negative_server_id_rejected(self):
+        with pytest.raises(ValueError, match="server_id must be >= 0"):
+            FaultEvent(1.0, -1, "crash")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind must be one of"):
+            FaultEvent(1.0, 0, "explode")
+
+    def test_degrade_factor_bounds(self):
+        with pytest.raises(ValueError, match="degrade factor must be in"):
+            FaultEvent(1.0, 0, "degrade", factor=0.0)
+        with pytest.raises(ValueError, match="degrade factor must be in"):
+            FaultEvent(1.0, 0, "degrade", factor=1.0)
+        # Factor is ignored for non-degrade kinds, even out of range.
+        FaultEvent(1.0, 0, "crash", factor=7.0)
+
+
+class TestFaultScheduleValidation:
+    @pytest.mark.parametrize("name", ["mttf", "degrade_mttf"])
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_incidence_must_be_positive_finite(self, name, bad):
+        with pytest.raises(
+            ValueError, match=f"{name} must be positive and finite"
+        ):
+            FaultSchedule(**{name: bad})
+
+    @pytest.mark.parametrize("name", ["mttr", "degrade_mttr"])
+    @pytest.mark.parametrize("bad", [0.0, -2.0, math.inf, math.nan])
+    def test_repair_must_be_positive_finite(self, name, bad):
+        with pytest.raises(
+            ValueError, match=f"{name} must be positive and finite"
+        ):
+            FaultSchedule(mttf=100.0, degrade_mttf=100.0, **{name: bad})
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_degrade_factor_bounds(self, bad):
+        with pytest.raises(ValueError, match="degrade_factor must be in"):
+            FaultSchedule(degrade_mttf=100.0, degrade_factor=bad)
+
+    def test_on_crash_vocabulary(self):
+        with pytest.raises(ValueError, match="on_crash must be"):
+            FaultSchedule(on_crash="panic")
+
+    def test_scripted_and_stochastic_are_exclusive(self):
+        events = (FaultEvent(1.0, 0, "crash"),)
+        with pytest.raises(ValueError, match="either scripted or stochastic"):
+            FaultSchedule(mttf=10.0, scripted=events)
+
+    def test_scripted_entries_must_be_events(self):
+        with pytest.raises(ValueError, match="must be FaultEvent"):
+            FaultSchedule(scripted=((1.0, 0, "crash"),))
+
+    def test_is_null(self):
+        assert FaultSchedule().is_null
+        assert not FaultSchedule(mttf=10.0).is_null
+        assert not FaultSchedule(degrade_mttf=10.0).is_null
+        assert not FaultSchedule(
+            scripted=(FaultEvent(1.0, 0, "crash"),)
+        ).is_null
+
+    def test_describe_reports_active_knobs_only(self):
+        null = FaultSchedule().describe()
+        assert null == {"on_crash": "stall"}
+        full = FaultSchedule(
+            mttf=100.0, mttr=5.0, degrade_mttf=50.0, degrade_factor=0.3
+        ).describe()
+        assert full["mttf"] == 100.0
+        assert full["mttr"] == 5.0
+        assert full["degrade_factor"] == 0.3
+
+
+def scripted_timeline(*events, on_crash="stall"):
+    schedule = FaultSchedule(scripted=tuple(events), on_crash=on_crash)
+    return ServerTimeline(schedule, scripted=tuple(events))
+
+
+class TestScriptedTimeline:
+    def test_states_and_boundaries(self):
+        timeline = scripted_timeline(
+            FaultEvent(5.0, 0, "crash"), FaultEvent(8.0, 0, "recover")
+        )
+        assert timeline.state_at(0.0) is ServerState.UP
+        assert timeline.state_at(4.999) is ServerState.UP
+        # A boundary belongs to the segment it opens: DOWN at the crash
+        # instant, UP again at the recovery instant.
+        assert timeline.state_at(5.0) is ServerState.DOWN
+        assert timeline.is_down(6.0)
+        assert timeline.state_at(8.0) is ServerState.UP
+        assert timeline.multiplier_at(6.0) == 0.0
+        assert timeline.multiplier_at(9.0) == 1.0
+
+    def test_negative_time_is_up(self):
+        timeline = scripted_timeline(FaultEvent(0.0, 0, "crash"))
+        assert timeline.state_at(-1.0) is ServerState.UP
+        assert timeline.multiplier_at(-1.0) == 1.0
+
+    def test_crash_at_time_zero(self):
+        timeline = scripted_timeline(FaultEvent(0.0, 0, "crash"))
+        assert timeline.state_at(0.0) is ServerState.DOWN
+
+    def test_degraded_span_multiplier(self):
+        timeline = scripted_timeline(
+            FaultEvent(2.0, 0, "degrade", factor=0.5),
+            FaultEvent(6.0, 0, "restore"),
+        )
+        assert timeline.state_at(3.0) is ServerState.DEGRADED
+        assert timeline.multiplier_at(3.0) == 0.5
+        assert not timeline.is_down(3.0)
+
+    def test_duplicate_times_rejected(self):
+        with pytest.raises(ValueError, match="distinct times"):
+            scripted_timeline(
+                FaultEvent(5.0, 0, "crash"), FaultEvent(5.0, 0, "recover")
+            )
+
+    def test_unsorted_events_are_sorted(self):
+        timeline = scripted_timeline(
+            FaultEvent(8.0, 0, "recover"), FaultEvent(5.0, 0, "crash")
+        )
+        assert timeline.state_at(6.0) is ServerState.DOWN
+        assert timeline.state_at(9.0) is ServerState.UP
+
+
+class TestFirstCrashIn:
+    def test_window_semantics(self):
+        timeline = scripted_timeline(
+            FaultEvent(5.0, 0, "crash"), FaultEvent(8.0, 0, "recover")
+        )
+        assert timeline.first_crash_in(0.0, 5.0) is None  # end exclusive
+        assert timeline.first_crash_in(0.0, 5.1) == 5.0
+        assert timeline.first_crash_in(5.0, 6.0) == 5.0  # start inclusive
+        assert timeline.first_crash_in(5.1, 9.0) is None
+        assert timeline.first_crash_in(6.0, 6.0) is None  # empty window
+
+    def test_infinite_window(self):
+        timeline = scripted_timeline(FaultEvent(5.0, 0, "crash"))
+        assert timeline.first_crash_in(0.0, math.inf) == 5.0
+
+
+class TestServe:
+    def test_job_straddling_outage_is_delayed_by_outage(self):
+        timeline = scripted_timeline(
+            FaultEvent(5.0, 0, "crash"), FaultEvent(8.0, 0, "recover")
+        )
+        completion, aborted = timeline.serve(3.0, 3.0, 4.0, 1.0)
+        # 2 units of work before the crash, 3-unit outage, 2 units after.
+        assert completion == pytest.approx(10.0)
+        assert not aborted
+
+    def test_degraded_span_slows_service(self):
+        timeline = scripted_timeline(
+            FaultEvent(2.0, 0, "degrade", factor=0.5),
+            FaultEvent(6.0, 0, "restore"),
+        )
+        completion, aborted = timeline.serve(0.0, 0.0, 4.0, 1.0)
+        # 2 units at full rate, remaining 2 units at half rate take 4.
+        assert completion == pytest.approx(6.0)
+        assert not aborted
+
+    def test_abort_mode_kills_job_present_at_crash(self):
+        timeline = scripted_timeline(
+            FaultEvent(5.0, 0, "crash"),
+            FaultEvent(8.0, 0, "recover"),
+            on_crash="abort",
+        )
+        completion, aborted = timeline.serve(3.0, 3.0, 4.0, 1.0)
+        assert completion == 5.0  # the job leaves at the crash instant
+        assert aborted
+
+    def test_abort_mode_spares_job_after_recovery(self):
+        timeline = scripted_timeline(
+            FaultEvent(5.0, 0, "crash"),
+            FaultEvent(8.0, 0, "recover"),
+            on_crash="abort",
+        )
+        completion, aborted = timeline.serve(8.0, 8.0, 1.0, 1.0)
+        assert completion == pytest.approx(9.0)
+        assert not aborted
+
+    def test_permanent_outage_stalls_forever(self):
+        timeline = scripted_timeline(FaultEvent(5.0, 0, "crash"))
+        completion, aborted = timeline.serve(3.0, 3.0, 4.0, 1.0)
+        assert completion == math.inf
+        assert not aborted
+
+    def test_permanent_outage_abort_mode_aborts_instead(self):
+        timeline = scripted_timeline(
+            FaultEvent(5.0, 0, "crash"), on_crash="abort"
+        )
+        completion, aborted = timeline.serve(3.0, 3.0, 4.0, 1.0)
+        assert completion == 5.0
+        assert aborted
+
+    def test_zero_work_completes_immediately(self):
+        timeline = scripted_timeline(FaultEvent(5.0, 0, "crash"))
+        assert timeline.serve(1.0, 1.0, 0.0, 1.0) == (1.0, False)
+
+    def test_infinite_start_stays_infinite(self):
+        timeline = scripted_timeline(FaultEvent(5.0, 0, "crash"))
+        assert timeline.serve(3.0, math.inf, 1.0, 1.0) == (math.inf, False)
+
+    def test_base_rate_scales_with_multiplier(self):
+        timeline = scripted_timeline(
+            FaultEvent(2.0, 0, "degrade", factor=0.5),
+            FaultEvent(100.0, 0, "restore"),
+        )
+        completion, _ = timeline.serve(4.0, 4.0, 2.0, 2.0)
+        # Effective rate 2.0 * 0.5 = 1.0, so 2 units of work take 2.
+        assert completion == pytest.approx(6.0)
+
+
+class TestSpans:
+    def test_spans_clip_to_duration(self):
+        timeline = scripted_timeline(
+            FaultEvent(5.0, 0, "crash"), FaultEvent(8.0, 0, "recover")
+        )
+        spans = timeline.spans(6.0)
+        assert spans == [
+            (0.0, 5.0, "up", 1.0),
+            (5.0, 6.0, "down", 0.0),
+        ]
+
+    def test_spans_negative_duration_rejected(self):
+        timeline = scripted_timeline(FaultEvent(5.0, 0, "crash"))
+        with pytest.raises(ValueError, match="until must be >= 0"):
+            timeline.spans(-1.0)
+
+    def test_crash_times(self):
+        timeline = scripted_timeline(
+            FaultEvent(5.0, 0, "crash"),
+            FaultEvent(8.0, 0, "recover"),
+            FaultEvent(20.0, 0, "crash"),
+        )
+        assert timeline.crash_times(10.0) == [5.0]
+        assert timeline.crash_times(25.0) == [5.0, 20.0]
+
+
+class TestStochasticTimeline:
+    def make(self, seed, **kwargs):
+        schedule = FaultSchedule(**kwargs)
+        rng = np.random.Generator(np.random.PCG64(seed))
+        return ServerTimeline(schedule, rng=rng)
+
+    def test_same_seed_same_realization(self):
+        a = self.make(42, mttf=50.0, mttr=5.0)
+        b = self.make(42, mttf=50.0, mttr=5.0)
+        assert a.spans(2000.0) == b.spans(2000.0)
+        assert a.crash_times(2000.0) == b.crash_times(2000.0)
+
+    def test_boundaries_strictly_increase(self):
+        timeline = self.make(7, mttf=20.0, mttr=2.0, degrade_mttf=30.0)
+        timeline.ensure_until(5000.0)
+        times = timeline._times
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_crash_only_schedule_never_degrades(self):
+        timeline = self.make(3, mttf=20.0, mttr=2.0)
+        states = {state for _, _, state, _ in timeline.spans(2000.0)}
+        assert states == {"up", "down"}
+        assert timeline.crash_times(2000.0)
+
+    def test_degrade_only_schedule_never_crashes(self):
+        timeline = self.make(
+            3, degrade_mttf=20.0, degrade_mttr=2.0, degrade_factor=0.3
+        )
+        states = {state for _, _, state, _ in timeline.spans(2000.0)}
+        assert states == {"up", "degraded"}
+        assert timeline.crash_times(2000.0) == []
+        mults = {
+            mult
+            for _, _, state, mult in timeline.spans(2000.0)
+            if state == "degraded"
+        }
+        assert mults == {0.3}
+
+    def test_mixed_schedule_produces_both(self):
+        timeline = self.make(11, mttf=20.0, mttr=2.0, degrade_mttf=20.0)
+        states = {state for _, _, state, _ in timeline.spans(5000.0)}
+        assert states == {"up", "down", "degraded"}
+
+    def test_lazy_extension_is_query_order_independent(self):
+        a = self.make(9, mttf=30.0, mttr=3.0)
+        b = self.make(9, mttf=30.0, mttr=3.0)
+        # Query a in small steps and b in one big leap; same realization.
+        for t in range(0, 1000, 50):
+            a.state_at(float(t))
+        b.ensure_until(1000.0)
+        assert a.spans(1000.0) == b.spans(1000.0)
+
+    def test_null_schedule_without_rng_is_always_up(self):
+        timeline = ServerTimeline(FaultSchedule())
+        assert timeline.state_at(1e9) is ServerState.UP
+        assert timeline.spans(100.0) == [(0.0, 100.0, "up", 1.0)]

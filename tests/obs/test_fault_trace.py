@@ -1,0 +1,127 @@
+"""Tests for the fault-trace probe and its manifest rendering."""
+
+from __future__ import annotations
+
+from repro.core import RandomPolicy
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    RetryPolicy,
+)
+from repro.obs.fault_trace import FaultTraceProbe
+from repro.obs.manifest import _format_observation_row
+from tests.conftest import small_simulation
+
+
+def faulty_run(probe, *, on_crash="stall", jobs=300):
+    schedule = FaultSchedule(
+        scripted=(
+            FaultEvent(10.0, 0, "crash"),
+            FaultEvent(40.0, 0, "recover"),
+        ),
+        on_crash=on_crash,
+    )
+    injector = FaultInjector(
+        schedule=schedule, retry=RetryPolicy(timeout=0.5, backoff_base=0.25)
+    )
+    simulation = small_simulation(
+        RandomPolicy(),
+        num_servers=2,
+        load=0.7,
+        total_jobs=jobs,
+        faults=injector,
+        probes=[probe],
+    )
+    return simulation.run()
+
+
+class TestFaultTraceProbe:
+    def test_records_retries_and_availability(self):
+        probe = FaultTraceProbe()
+        result = faulty_run(probe)
+        summary = probe.summary()
+        assert summary["retries"] == result.retries_total
+        assert summary["retries"] > 0
+        assert summary["availability"]["crashes"] == 1
+        assert 0.0 < summary["availability"]["availability"] < 1.0
+        assert summary["config"]["retry"]["timeout"] == 0.5
+        retry_events = [
+            event for event in summary["events"] if event["kind"] == "retry"
+        ]
+        assert len(retry_events) == summary["retries"]
+        assert all(event["server"] == 0 for event in retry_events)
+        assert summary["spans"][0]["state"] == "down"
+
+    def test_records_failures_by_reason(self):
+        probe = FaultTraceProbe()
+        result = faulty_run(probe, on_crash="abort")
+        summary = probe.summary()
+        assert sum(summary["failures"].values()) == result.jobs_failed
+        assert summary["failures"].get("aborted", 0) > 0
+
+    def test_event_cap_bounds_memory(self):
+        probe = FaultTraceProbe(max_events=3)
+        faulty_run(probe)
+        summary = probe.summary()
+        assert len(summary["events"]) == 3
+        assert summary["events_dropped"] == summary["retries"] - 3
+
+    def test_without_injector_reports_counters_only(self):
+        probe = FaultTraceProbe()
+        small_simulation(
+            RandomPolicy(), num_servers=2, total_jobs=100, probes=[probe]
+        ).run()
+        summary = probe.summary()
+        assert summary["retries"] == 0
+        assert "availability" not in summary
+
+    def test_reset_between_runs(self):
+        probe = FaultTraceProbe()
+        faulty_run(probe)
+        small_simulation(
+            RandomPolicy(), num_servers=2, total_jobs=100, probes=[probe]
+        ).run()
+        assert probe.summary()["retries"] == 0
+
+
+class TestManifestRows:
+    @staticmethod
+    def entry(probes):
+        return {"curve": "random", "x": 4.0, "seed": 1, "probes": probes}
+
+    def test_faults_row_renders_availability_and_retries(self):
+        row = _format_observation_row(
+            self.entry(
+                {
+                    "faults": {
+                        "retries": 7,
+                        "failures": {"aborted": 2, "stalled": 1},
+                        "availability": {"availability": 0.917},
+                    }
+                }
+            )
+        )
+        assert "avail 0.917" in row
+        assert "retries 7" in row
+        assert "failed 3" in row
+
+    def test_staleness_info_row_renders_delivery_ratio(self):
+        row = _format_observation_row(
+            self.entry(
+                {
+                    "staleness_info": {
+                        "refreshes_attempted": 57,
+                        "refreshes_dropped": 29,
+                    }
+                }
+            )
+        )
+        assert "refreshes 28/57 delivered" in row
+
+    def test_fault_free_entry_renders_no_fault_noise(self):
+        row = _format_observation_row(
+            self.entry({"faults": {"retries": 0, "failures": {}}})
+        )
+        assert "avail" not in row
+        assert "refreshes" not in row

@@ -1,0 +1,122 @@
+"""Edge-case coverage for the lossy and continuous staleness models.
+
+Two properties that guard refactors of the information layer:
+
+* ``LossyPeriodicUpdate`` with ``drop_probability=0`` is the identity
+  fault — a full run through it must be *bit-for-bit* equal to one
+  through plain ``PeriodicUpdate``, not merely statistically close.
+* ``ContinuousUpdate``'s very first views read "before the beginning":
+  the sampled lag can reach past t=0, where loads clamp to the empty
+  initial state while the advertised age stays the raw lag.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Server
+from repro.core import AggressiveLIPolicy, BasicLIPolicy
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.staleness.continuous import ContinuousUpdate
+from repro.staleness.individual import IndividualUpdate
+from repro.staleness.lossy import LossyPeriodicUpdate
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.distributions import Constant
+from tests.conftest import small_simulation
+
+
+class TestZeroDropIsIdentity:
+    @pytest.mark.parametrize("policy_cls", [BasicLIPolicy, AggressiveLIPolicy])
+    def test_run_bit_identical_to_periodic(self, policy_cls):
+        periodic = small_simulation(
+            policy_cls(),
+            staleness=PeriodicUpdate(period=4.0),
+            total_jobs=3000,
+            seed=11,
+        ).run()
+        lossy = small_simulation(
+            policy_cls(),
+            staleness=LossyPeriodicUpdate(period=4.0, drop_probability=0.0),
+            total_jobs=3000,
+            seed=11,
+        ).run()
+        # Exact equality: with p=0 every refresh is delivered, so board
+        # contents, phases and therefore every dispatch decision match.
+        assert lossy.mean_response_time == periodic.mean_response_time
+        assert lossy.duration == periodic.duration
+        assert (
+            lossy.dispatch_counts.tolist() == periodic.dispatch_counts.tolist()
+        )
+
+    def test_zero_drop_info_summary(self):
+        model = LossyPeriodicUpdate(period=4.0, drop_probability=0.0)
+        small_simulation(
+            BasicLIPolicy(), staleness=model, total_jobs=500, seed=11
+        ).run()
+        summary = model.info_summary()
+        assert summary["refreshes_attempted"] > 0
+        assert summary["refreshes_dropped"] == 0
+        assert summary["drop_fraction"] == 0.0
+
+    def test_plain_periodic_has_nothing_to_report(self):
+        assert PeriodicUpdate(period=4.0).info_summary() == {}
+
+    def test_unused_info_summary_divides_safely(self):
+        model = LossyPeriodicUpdate(period=4.0, drop_probability=0.5)
+        assert model.info_summary()["drop_fraction"] == 0.0
+
+
+class TestContinuousFirstView:
+    def make_model(self, delay, **kwargs):
+        sim = Simulator()
+        servers = [Server(i) for i in range(2)]
+        model = ContinuousUpdate(delay, **kwargs)
+        model.attach(sim, servers, RandomStreams(1).stream("staleness"))
+        return servers, model
+
+    def test_lag_past_time_zero_preserves_age_metadata(self):
+        servers, model = self.make_model(Constant(50.0))
+        servers[0].assign(0.0, 100.0)
+        view = model.view(0, now=10.0)
+        # The information timestamp is honest (before the beginning)...
+        assert view.info_time == -40.0
+        assert view.elapsed == 50.0
+        # ...while the loads clamp to the earliest observable state (t=0),
+        # at which the t=0 arrival is already present.
+        np.testing.assert_array_equal(view.loads, [1, 0])
+
+    def test_view_at_time_zero(self):
+        _, model = self.make_model(Constant(3.0))
+        view = model.view(0, now=0.0)
+        assert view.info_time == -3.0
+        assert view.elapsed == 3.0
+        np.testing.assert_array_equal(view.loads, [0, 0])
+
+    def test_age_knowledge_does_not_change_clamping(self):
+        servers, model = self.make_model(Constant(50.0), known_age=True)
+        view = model.view(0, now=10.0)
+        assert view.known_age is True
+        assert view.effective_window == 50.0
+        np.testing.assert_array_equal(view.loads, [0, 0])
+
+
+class TestPeriodValidationMessages:
+    @pytest.mark.parametrize(
+        "model_cls", [PeriodicUpdate, IndividualUpdate]
+    )
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_non_positive_or_non_finite_period_rejected(self, model_cls, bad):
+        with pytest.raises(
+            ValueError, match="period must be positive and finite"
+        ):
+            model_cls(period=bad)
+
+    def test_lossy_inherits_period_validation(self):
+        with pytest.raises(
+            ValueError, match="period must be positive and finite"
+        ):
+            LossyPeriodicUpdate(period=math.inf, drop_probability=0.1)

@@ -67,6 +67,86 @@ class TestRun:
         assert "no curve" in capsys.readouterr().err
 
 
+class TestRunFaults:
+    BASE = [
+        "run", "ext-faults",
+        "--jobs", "300", "--seeds", "1",
+        "--curves", "random", "--x", "0.005",
+    ]
+
+    def test_fault_figure_runs(self, capsys):
+        assert main(self.BASE) == 0
+        assert "ext-faults" in capsys.readouterr().out
+
+    def test_faults_spec_applies_to_any_figure(self, capsys):
+        code = main(
+            [
+                "run", "fig2",
+                "--jobs", "300", "--seeds", "1",
+                "--curves", "random", "--x", "4",
+                "--faults", "mttf=100,mttr=10,timeout=0.5",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_faults_spec_exit_code(self, capsys):
+        code = main(
+            [
+                "run", "fig2",
+                "--jobs", "100", "--seeds", "1",
+                "--curves", "random", "--x", "4",
+                "--faults", "mtbf=100",
+            ]
+        )
+        assert code == 2
+        assert "unknown --faults key" in capsys.readouterr().err
+
+    def test_faults_on_stealing_figure_exit_code(self, capsys):
+        code = main(
+            [
+                "run", "ext-stealing",
+                "--jobs", "100", "--seeds", "1",
+                "--curves", "random", "--x", "4",
+                "--faults", "mttf=100",
+            ]
+        )
+        assert code == 2
+        assert "does not support fault" in capsys.readouterr().err
+
+    def test_traced_faulty_run_prints_fault_digest(self, capsys):
+        code = main(
+            [
+                "run", "fig2",
+                "--jobs", "300", "--seeds", "1",
+                "--curves", "random", "--x", "4",
+                "--faults", "mttf=50,mttr=10,timeout=0.5",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "avail" in output
+        assert "retries" in output
+
+    def test_manifest_records_fault_config(self, tmp_path, capsys):
+        code = main(
+            [
+                "run", "fig2",
+                "--jobs", "300", "--seeds", "1",
+                "--curves", "random", "--x", "4",
+                "--faults", "mttf=100,mttr=10",
+                "--manifest-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        import json
+
+        manifest = json.loads((tmp_path / "fig2.manifest.json").read_text())
+        faults = manifest["extra"]["faults"]
+        assert faults["spec"] == "mttf=100,mttr=10"
+        assert faults["schedule"]["mttf"] == 100.0
+
+
 class TestFig1Command:
     def test_fig1_runs(self, capsys):
         code = main(["fig1", "--draws", "2000", "--k", "1,2"])
