@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper-scale figures report clean
+.PHONY: install test bench bench-paper-scale perf perf-trend figures report clean
 
 install:
 	pip install -e .
@@ -20,6 +20,13 @@ bench:
 bench-paper-scale:
 	REPRO_BENCH_JOBS=500000 REPRO_BENCH_SEEDS=10 \
 		$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Record one point of the performance trajectory -> benchmarks/BENCH_<date>.json
+perf:
+	REPRO_BENCH_JOBS=100000 PYTHONPATH=src $(PYTHON) benchmarks/perf.py
+
+perf-trend:
+	PYTHONPATH=src $(PYTHON) -m repro bench-trend
 
 figures:
 	$(PYTHON) -m repro list

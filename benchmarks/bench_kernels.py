@@ -50,6 +50,56 @@ def test_kernel_server_assign_and_query(benchmark):
     assert benchmark(workload) == 2_000
 
 
+def test_kernel_dispatch_event_engine(benchmark):
+    from benchmarks.common import bench_jobs
+    from repro.perf import _pinned_simulation
+
+    jobs = bench_jobs(default=4_000)
+    mean = benchmark(lambda: _pinned_simulation("event", jobs).run().mean_response_time)
+    assert mean > 0
+
+
+def test_kernel_dispatch_fast_engine(benchmark):
+    from benchmarks.common import bench_jobs
+    from repro.perf import _pinned_simulation
+
+    jobs = bench_jobs(default=4_000)
+    mean = benchmark(lambda: _pinned_simulation("fast", jobs).run().mean_response_time)
+    assert mean > 0
+
+
+def test_fast_engine_speedup_on_pinned_cell():
+    """The acceptance gate: at bench scale the fast path must beat the
+    event engine by a wide margin on the pinned dispatch cell, while
+    producing a bit-identical result."""
+    import time
+
+    from benchmarks.common import bench_jobs
+    from repro.perf import _pinned_simulation
+
+    jobs = bench_jobs(default=4_000)
+
+    def timed(engine):
+        simulation = _pinned_simulation(engine, jobs)
+        started = time.perf_counter()
+        result = simulation.run()
+        return time.perf_counter() - started, result
+
+    timed("fast")  # warm both code paths before timing
+    timed("event")
+    fast_s, fast_result = timed("fast")
+    event_s, event_result = timed("event")
+    assert event_result.mean_response_time == fast_result.mean_response_time
+    assert (
+        np.array_equal(event_result.dispatch_counts, fast_result.dispatch_counts)
+    )
+    speedup = event_s / fast_s
+    assert speedup >= 3.0, (
+        f"fast engine only {speedup:.2f}x faster "
+        f"({event_s:.3f}s vs {fast_s:.3f}s at {jobs} jobs)"
+    )
+
+
 def test_kernel_event_queue(benchmark):
     rng = RandomStreams(3).stream("bench")
     times = rng.uniform(0.0, 1_000.0, 5_000)

@@ -1,0 +1,64 @@
+"""Record one point of the performance trajectory.
+
+Thin runnable wrapper around :mod:`repro.perf` (deliberately named so
+pytest does not collect it): times the standard kernel line-up and writes
+``benchmarks/BENCH_<YYYYMMDD>.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf.py                # default scale
+    REPRO_BENCH_JOBS=100000 PYTHONPATH=src python benchmarks/perf.py
+    PYTHONPATH=src python benchmarks/perf.py --jobs 2000 --out /tmp/bench
+
+Compare points with ``python -m repro bench-trend``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.perf import (
+    bench_jobs_from_env,
+    run_kernels,
+    write_bench_file,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="arrivals per dispatch kernel (default: REPRO_BENCH_JOBS or 15000)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed calls per kernel"
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=str(Path(__file__).resolve().parent),
+        help="directory for the BENCH_*.json file (default: benchmarks/)",
+    )
+    parser.add_argument(
+        "--stdout",
+        action="store_true",
+        help="print the payload instead of (in addition to) the file path",
+    )
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs is not None else bench_jobs_from_env()
+    payload = run_kernels(jobs, repeats=args.repeats)
+    path = write_bench_file(payload, args.out)
+    if args.stdout:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -196,6 +196,73 @@ def build_parser() -> argparse.ArgumentParser:
     fig1_cmd.add_argument("--seed", type=int, default=1)
     fig1_cmd.set_defaults(handler=_cmd_fig1)
 
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="profile (cProfile) or time (timeit-style) one sweep cell",
+    )
+    profile_cmd.add_argument("figure", help="figure id (see `list`)")
+    profile_cmd.add_argument("curve", help="curve label within the figure")
+    profile_cmd.add_argument("x", type=float, help="x value of the cell")
+    profile_cmd.add_argument("--jobs", type=int, default=15_000)
+    profile_cmd.add_argument("--seed", type=int, default=1)
+    profile_cmd.add_argument(
+        "--engine",
+        choices=("auto", "event", "fast"),
+        default="auto",
+        help="force a simulation engine (default auto)",
+    )
+    profile_cmd.add_argument(
+        "--time",
+        action="store_true",
+        help="report best-of-N wall time instead of a cProfile listing",
+    )
+    profile_cmd.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions (--time)"
+    )
+    profile_cmd.add_argument(
+        "--sort",
+        type=str,
+        default="cumulative",
+        help="cProfile sort column (default cumulative)",
+    )
+    profile_cmd.add_argument(
+        "--limit", type=int, default=25, help="rows of profile output"
+    )
+    profile_cmd.set_defaults(handler=_cmd_profile)
+
+    trend_cmd = sub.add_parser(
+        "bench-trend",
+        help="print the BENCH_*.json performance trajectory; optionally "
+        "gate on regressions",
+    )
+    trend_cmd.add_argument(
+        "--dir",
+        type=str,
+        default="benchmarks",
+        help="directory holding BENCH_*.json files (default benchmarks/)",
+    )
+    trend_cmd.add_argument(
+        "--check",
+        action="store_true",
+        help="compare the newest point against the baseline and exit "
+        "non-zero on regression",
+    )
+    trend_cmd.add_argument(
+        "--against",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="baseline BENCH file for --check (default: second-newest "
+        "point in --dir)",
+    )
+    trend_cmd.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="relative slowdown tolerated by --check (default 0.15)",
+    )
+    trend_cmd.set_defaults(handler=_cmd_bench_trend)
+
     return parser
 
 
@@ -433,6 +500,99 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     print(result.format_table())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_cell
+
+    try:
+        get_figure(args.figure)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    def cell() -> float:
+        return run_cell(
+            args.figure,
+            args.curve,
+            args.x,
+            args.seed,
+            args.jobs,
+            engine=args.engine,
+        )
+
+    try:
+        if args.time:
+            import timeit
+
+            cell()  # warm-up: imports and caches stay out of the timing
+            times = timeit.repeat(cell, number=1, repeat=max(1, args.repeats))
+            best = min(times)
+            print(
+                f"{args.figure}/{args.curve} x={args.x:g} jobs={args.jobs} "
+                f"engine={args.engine}: best {best:.4f}s of {len(times)} "
+                f"({args.jobs / best:,.0f} jobs/sec)"
+            )
+        else:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            mean = cell()
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats(args.sort).print_stats(args.limit)
+            print(f"mean response time: {mean:.6g}")
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_bench_trend(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.perf import compare_benches, format_trend, load_bench_files
+
+    try:
+        benches = load_bench_files(args.dir)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_trend(benches))
+    if not args.check:
+        return 0
+    if not benches:
+        print("error: --check needs at least one BENCH file", file=sys.stderr)
+        return 2
+    current = benches[-1][1]
+    if args.against is not None:
+        try:
+            baseline = json.loads(Path(args.against).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: unreadable baseline: {error}", file=sys.stderr)
+            return 2
+    elif len(benches) >= 2:
+        baseline = benches[-2][1]
+    else:
+        print("\nonly one BENCH point; nothing to check against")
+        return 0
+    try:
+        regressions = compare_benches(
+            current, baseline, tolerance=args.tolerance
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        print(f"error: malformed bench payload: {error}", file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"\nREGRESSIONS (tolerance {args.tolerance:.0%}):")
+        for regression in regressions:
+            print(f"  {regression.describe()}")
+        return 1
+    print(f"\nno regressions (tolerance {args.tolerance:.0%})")
     return 0
 
 

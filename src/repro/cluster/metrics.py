@@ -28,6 +28,18 @@ class ClusterMetrics:
         only streaming aggregates are retained.
     """
 
+    __slots__ = (
+        "_warmup_jobs",
+        "_jobs_seen",
+        "response_stats",
+        "dispatch_counts",
+        "_trace",
+        "_jobs_failed",
+        "_jobs_retried",
+        "_retries_total",
+        "_retry_penalty_total",
+    )
+
     def __init__(
         self,
         num_servers: int,

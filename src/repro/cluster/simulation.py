@@ -154,7 +154,19 @@ class ClusterSimulation:
         dedicated ``"faults"`` random stream, plus the dispatcher's
         timeout/retry behavior.  ``None`` (and an injector with the null
         schedule) leaves the run bit-identical to a fault-free one.
+    engine:
+        ``"auto"`` (default) runs the phase-batched fast path
+        (:mod:`repro.engine.fastpath`) whenever the configuration permits
+        it and the event-driven loop otherwise; ``"event"`` forces the
+        event loop; ``"fast"`` forces the fast path and raises
+        :class:`ValueError` with the blocking reason if it is unavailable.
+        Both engines produce bit-identical :class:`SimulationResult`
+        objects, so the choice is purely a performance knob.  After
+        :meth:`run`, :attr:`engine_used` records which engine executed.
     """
+
+    #: Engine selected by the most recent :meth:`run` ("event" or "fast").
+    engine_used: str | None = None
 
     def __init__(
         self,
@@ -173,6 +185,7 @@ class ClusterSimulation:
         client_latency: np.ndarray | None = None,
         probes: list | None = None,
         faults: FaultInjector | None = None,
+        engine: str = "auto",
     ) -> None:
         if num_servers < 1:
             raise ValueError(f"num_servers must be >= 1, got {num_servers}")
@@ -218,6 +231,11 @@ class ClusterSimulation:
         self.client_latency = client_latency
         self.probes = list(probes) if probes else None
         self.faults = faults
+        if engine not in ("auto", "event", "fast"):
+            raise ValueError(
+                f"engine must be 'auto', 'event' or 'fast', got {engine!r}"
+            )
+        self.engine = engine
 
     @property
     def offered_load(self) -> float:
@@ -229,8 +247,117 @@ class ClusterSimulation:
         )
         return self.arrivals.total_rate * self.service.mean / total_capacity
 
+    def fast_path_blocker(self) -> str | None:
+        """Why the phase-batched fast path cannot run, or ``None`` if it can.
+
+        This is the fallback matrix documented in DESIGN.md §8: every
+        feature that would make batched draws diverge from the event
+        loop's scalar draw sequence (or change event interleaving at all)
+        names itself here and forces the event engine.
+        """
+        from repro.staleness.lossy import LossyPeriodicUpdate
+        from repro.staleness.periodic import PeriodicUpdate
+        from repro.workloads.arrivals import PoissonArrivals
+
+        if type(self) is not ClusterSimulation:
+            return (
+                f"{type(self).__name__} subclasses the driver and may add "
+                "event-loop behavior the batched kernel cannot replay"
+            )
+        if self.faults is not None:
+            return "fault injection (timeouts and retries are event-driven)"
+        if self.probes:
+            return "observability probes need the event loop's per-event hooks"
+        if type(self.staleness) not in (PeriodicUpdate, LossyPeriodicUpdate):
+            return (
+                f"staleness model {type(self.staleness).__name__} is not a "
+                "phase-based bulletin board"
+            )
+        if type(self.arrivals) is not PoissonArrivals:
+            return (
+                f"arrival source {type(self.arrivals).__name__} interleaves "
+                "per-client draws by event order"
+            )
+        if not self.service.batch_matches_scalar:
+            return (
+                f"service distribution {type(self.service).__name__} does "
+                "not draw bitwise-identically in batches"
+            )
+        if (
+            type(self.rate_estimator).observe_arrival
+            is not RateEstimator.observe_arrival
+        ):
+            return (
+                f"rate estimator {type(self.rate_estimator).__name__} "
+                "updates its estimate at every arrival"
+            )
+        if not self.policy.phase_batchable(self.num_servers):
+            return (
+                f"policy {type(self.policy).__name__} cannot replay a phase "
+                "with batched draws"
+            )
+        if not self._policy_batch_consistent():
+            return (
+                f"policy {type(self.policy).__name__} overrides select() "
+                "without a matching select_batch(), so the batched replay "
+                "could diverge from the scalar path"
+            )
+        return None
+
+    def _policy_batch_consistent(self) -> bool:
+        """Whether the policy's ``select_batch`` can stand in for ``select``.
+
+        A subclass that overrides ``select`` while inheriting its parent's
+        ``select_batch`` would batch-replay the *parent's* behavior; the
+        batch method is only trusted when it is defined at (or below) the
+        class that defines ``select``.
+        """
+
+        def defining_class(name: str) -> type:
+            for klass in type(self.policy).__mro__:
+                if name in vars(klass):
+                    return klass
+            raise AttributeError(name)  # unreachable: Policy defines both
+
+        return issubclass(
+            defining_class("select_batch"), defining_class("select")
+        )
+
+    def engine_decision(self) -> tuple[str, str]:
+        """Resolve the ``engine`` setting to ``(engine, reason)``.
+
+        Raises :class:`ValueError` when ``engine="fast"`` was requested
+        but the configuration is ineligible (the reason names the
+        blocking feature).
+        """
+        if self.engine == "event":
+            return "event", "engine='event' requested"
+        blocker = self.fast_path_blocker()
+        if blocker is None:
+            return "fast", "periodic board with batchable components"
+        if self.engine == "fast":
+            raise ValueError(
+                f"engine='fast' requested but the fast path is unavailable: "
+                f"{blocker}"
+            )
+        return "event", blocker
+
     def run(self) -> SimulationResult:
-        """Execute the simulation and return its measurements."""
+        """Execute the simulation and return its measurements.
+
+        Selects the phase-batched fast path or the event-driven loop per
+        :meth:`engine_decision`; both produce bit-identical results.
+        """
+        engine, _reason = self.engine_decision()
+        self.engine_used = engine
+        if engine == "fast":
+            from repro.engine.fastpath import run_fast_path
+
+            return run_fast_path(self)
+        return self._run_event()
+
+    def _run_event(self) -> SimulationResult:
+        """The reference event-driven engine (one heap event per arrival)."""
         streams = RandomStreams(self.seed)
         sim = Simulator()
         rates = self.server_rates or [1.0] * self.num_servers

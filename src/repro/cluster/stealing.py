@@ -183,6 +183,12 @@ class StealingClusterSimulation:
     each job to the server that actually ran it.
     """
 
+    #: Work stealing rewires completion events dynamically, which the
+    #: phase-batched fast path cannot replay; this simulation always runs
+    #: on the event engine.  Mirrors ClusterSimulation.engine_used so
+    #: callers can assert on either class uniformly.
+    engine_used = "event"
+
     def __init__(
         self,
         num_servers: int,

@@ -40,12 +40,36 @@ class KSubsetPolicy(Policy):
 
     def select(self, view: LoadView) -> int:
         if self.k == 1:
-            return int(self.rng.integers(self.num_servers))
+            return int(self._integers(self.num_servers))
         if self.k == self.num_servers:
             candidates = self._everyone
         else:
             candidates = self.rng.choice(self.num_servers, size=self.k, replace=False)
         return self._random_minimum(view.loads, candidates)
+
+    def phase_batchable(self, num_servers: int) -> bool:
+        # Intermediate k draws a random subset per request with
+        # Generator.choice, which has no bitwise batch equivalent.
+        return self.k == 1 or self.k == num_servers
+
+    def select_batch(
+        self, view: LoadView, arrival_times: np.ndarray
+    ) -> np.ndarray:
+        """Replay one phase of :meth:`select` calls with batched draws.
+
+        Only the degenerate ends of the k spectrum are batchable: k = 1
+        draws one bounded integer per arrival, and k = n examines a tied
+        least-loaded set that is fixed while the board is frozen (zero
+        draws if the minimum is unique, one fixed-bound draw otherwise).
+        """
+        size = arrival_times.size
+        if self.k == 1:
+            return self._integers(self.num_servers, size=size)
+        candidate_loads = view.loads[self._everyone]
+        tied = self._everyone[candidate_loads == candidate_loads.min()]
+        if tied.size == 1:
+            return np.full(size, int(tied[0]), dtype=np.int64)
+        return tied[self._integers(tied.size, size=size)]
 
     def __repr__(self) -> str:
         return f"KSubsetPolicy(k={self.k!r})"

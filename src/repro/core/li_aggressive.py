@@ -68,8 +68,42 @@ class AggressiveLIPolicy(Policy):
         )
         if eligible > self.num_servers:
             eligible = self.num_servers
-        choice = int(self.rng.integers(eligible))
+        choice = int(self._integers(eligible))
         return int(self._cached_order[choice])
+
+    def phase_batchable(self, num_servers: int) -> bool:
+        return True
+
+    def select_batch(
+        self, view: LoadView, arrival_times: np.ndarray
+    ) -> np.ndarray:
+        """Replay one phase of :meth:`select` calls with batched draws.
+
+        Within a phase the eligible-server count is non-decreasing in the
+        elapsed time, so the scalar draw sequence is a run of
+        ``integers(b)`` draws per distinct bound ``b``; drawing each run
+        as one batched ``integers(b, size=run)`` call is bitwise-identical
+        to the scalar sequence.
+        """
+        if not (view.phase_based and view.version == self._cached_version):
+            self._rebuild_schedule(view)
+        assert self._cached_order is not None
+        assert self._cached_boundaries is not None
+
+        elapsed = arrival_times - view.info_time
+        eligible = (
+            np.searchsorted(self._cached_boundaries, elapsed, side="right") + 1
+        )
+        np.minimum(eligible, self.num_servers, out=eligible)
+        choices = np.empty(arrival_times.size, dtype=np.int64)
+        run_starts = np.concatenate(
+            ([0], np.flatnonzero(np.diff(eligible)) + 1, [eligible.size])
+        )
+        for start, end in zip(run_starts[:-1], run_starts[1:]):
+            choices[start:end] = self._integers(
+                int(eligible[start]), size=end - start
+            )
+        return self._cached_order[choices]
 
     def _rebuild_schedule(self, view: LoadView) -> None:
         order = np.argsort(view.loads, kind="stable")

@@ -89,5 +89,58 @@ class BasicLIPolicy(Policy):
         return self._sample_cumulative(cumulative)
 
     def _sample_cumulative(self, cumulative: np.ndarray) -> int:
-        u = self.rng.random() * cumulative[-1]
+        u = self._random() * cumulative[-1]
         return int(np.searchsorted(cumulative, u, side="right"))
+
+    def phase_batchable(self, num_servers: int) -> bool:
+        return True
+
+    def select_batch(
+        self, view: LoadView, arrival_times: np.ndarray
+    ) -> np.ndarray:
+        """Replay one phase of :meth:`select` calls with batched draws.
+
+        The scalar path draws exactly one uniform per arrival, whatever
+        the board's age, so all uniforms are pre-drawn in one batch; the
+        inverse-transform lookup then uses the phase's cached cumulative
+        vector, except for arrivals whose board is *overdue* under
+        ``timestamp_aware`` interpretation (lost refreshes can age a lossy
+        board past its nominal window), which recompute the water filling
+        with their own widened window exactly as the scalar path does.
+        """
+        window = view.effective_window
+        uniforms = self._random(arrival_times.size)
+        expected_arrivals = (
+            self.rate_estimator.per_server_rate() * self.num_servers * window
+        )
+        cumulative = np.cumsum(
+            waterfill_probabilities(view.loads, expected_arrivals)
+        )
+        overdue = None
+        if self.timestamp_aware:
+            elapsed = arrival_times - view.info_time
+            overdue = elapsed > window
+        if overdue is None or not overdue.any():
+            if view.phase_based:
+                self._cached_version = view.version
+                self._cached_cumulative = cumulative
+            return np.searchsorted(
+                cumulative, uniforms * cumulative[-1], side="right"
+            )
+        selections = np.empty(arrival_times.size, dtype=np.int64)
+        fresh = ~overdue
+        selections[fresh] = np.searchsorted(
+            cumulative, uniforms[fresh] * cumulative[-1], side="right"
+        )
+        per_server = self.rate_estimator.per_server_rate() * self.num_servers
+        for i in np.flatnonzero(overdue):
+            widened = np.cumsum(
+                waterfill_probabilities(view.loads, per_server * elapsed[i])
+            )
+            selections[i] = np.searchsorted(
+                widened, uniforms[i] * widened[-1], side="right"
+            )
+        if view.phase_based and fresh.any():
+            self._cached_version = view.version
+            self._cached_cumulative = cumulative
+        return selections

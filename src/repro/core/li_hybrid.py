@@ -44,9 +44,44 @@ class HybridLIPolicy(Policy):
 
         elapsed = view.elapsed if view.phase_based else view.effective_window
         if elapsed >= self._cached_equalize_span:
-            return int(self.rng.integers(self.num_servers))
-        u = self.rng.random() * self._cached_cumulative[-1]
+            return int(self._integers(self.num_servers))
+        u = self._random() * self._cached_cumulative[-1]
         return int(np.searchsorted(self._cached_cumulative, u, side="right"))
+
+    def phase_batchable(self, num_servers: int) -> bool:
+        return True
+
+    def select_batch(
+        self, view: LoadView, arrival_times: np.ndarray
+    ) -> np.ndarray:
+        """Replay one phase of :meth:`select` calls with batched draws.
+
+        Elapsed time is non-decreasing within a phase, so the scalar draw
+        sequence is a run of ``random()`` draws (deficit subinterval)
+        followed by a run of ``integers(n)`` draws (uniform subinterval);
+        each run batches bitwise-identically.
+        """
+        if not (view.phase_based and view.version == self._cached_version):
+            self._rebuild(view)
+        assert self._cached_cumulative is not None
+
+        elapsed = arrival_times - view.info_time
+        deficit_count = int(
+            np.searchsorted(elapsed, self._cached_equalize_span, side="left")
+        )
+        selections = np.empty(arrival_times.size, dtype=np.int64)
+        if deficit_count > 0:
+            uniforms = self._random(deficit_count)
+            selections[:deficit_count] = np.searchsorted(
+                self._cached_cumulative,
+                uniforms * self._cached_cumulative[-1],
+                side="right",
+            )
+        if deficit_count < arrival_times.size:
+            selections[deficit_count:] = self._integers(
+                self.num_servers, size=arrival_times.size - deficit_count
+            )
+        return selections
 
     def _rebuild(self, view: LoadView) -> None:
         loads = view.loads

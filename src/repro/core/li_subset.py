@@ -48,8 +48,34 @@ class SubsetLIPolicy(Policy):
         expected_arrivals = self.rate_estimator.per_server_rate() * self.k * window
         probabilities = waterfill_probabilities(view.loads[subset], expected_arrivals)
         cumulative = np.cumsum(probabilities)
-        u = self.rng.random() * cumulative[-1]
+        u = self._random() * cumulative[-1]
         return int(subset[np.searchsorted(cumulative, u, side="right")])
+
+    def phase_batchable(self, num_servers: int) -> bool:
+        # Below k = n every request draws a fresh random subset with
+        # Generator.choice, which has no bitwise batch equivalent.
+        return self.k == num_servers
+
+    def select_batch(
+        self, view: LoadView, arrival_times: np.ndarray
+    ) -> np.ndarray:
+        """Replay one phase of :meth:`select` calls with batched draws.
+
+        At k = n the subset is the whole cluster, so the scalar path
+        recomputes the same water-filling vector per request (the board is
+        frozen) and draws exactly one uniform; computing the vector once
+        and batching the uniforms is bitwise-identical.
+        """
+        window = view.effective_window
+        expected_arrivals = self.rate_estimator.per_server_rate() * self.k * window
+        probabilities = waterfill_probabilities(
+            view.loads[self._everyone], expected_arrivals
+        )
+        cumulative = np.cumsum(probabilities)
+        uniforms = self._random(arrival_times.size)
+        return self._everyone[
+            np.searchsorted(cumulative, uniforms * cumulative[-1], side="right")
+        ]
 
     def __repr__(self) -> str:
         return f"SubsetLIPolicy(k={self.k!r})"

@@ -60,5 +60,32 @@ class WeightedLIPolicy(Policy):
         return self._sample_cumulative(cumulative)
 
     def _sample_cumulative(self, cumulative: np.ndarray) -> int:
-        u = self.rng.random() * cumulative[-1]
+        u = self._random() * cumulative[-1]
         return int(np.searchsorted(cumulative, u, side="right"))
+
+    def phase_batchable(self, num_servers: int) -> bool:
+        return True
+
+    def select_batch(
+        self, view: LoadView, arrival_times: np.ndarray
+    ) -> np.ndarray:
+        """Replay one phase of :meth:`select` calls with batched draws.
+
+        One weighted water-filling vector per phase, one uniform per
+        arrival — exactly the scalar path's draws, pre-drawn in a batch.
+        """
+        window = view.effective_window
+        expected_arrivals = (
+            self.rate_estimator.per_server_rate() * self.num_servers * window
+        )
+        probabilities = weighted_waterfill_probabilities(
+            view.loads, self.server_rates, expected_arrivals
+        )
+        cumulative = np.cumsum(probabilities)
+        if view.phase_based:
+            self._cached_version = view.version
+            self._cached_cumulative = cumulative
+        uniforms = self._random(arrival_times.size)
+        return np.searchsorted(
+            cumulative, uniforms * cumulative[-1], side="right"
+        )

@@ -28,6 +28,8 @@ class Policy(ABC):
     def __init__(self) -> None:
         self._num_servers: int | None = None
         self._rng: np.random.Generator | None = None
+        self._random = None
+        self._integers = None
         self._rate: RateEstimator = ExactRate()
         self._server_rates: np.ndarray | None = None
 
@@ -47,6 +49,10 @@ class Policy(ABC):
             raise ValueError(f"num_servers must be >= 1, got {num_servers}")
         self._num_servers = num_servers
         self._rng = rng
+        # Cache the generator's bound methods: the per-arrival hot paths
+        # then skip one property access and one attribute lookup per draw.
+        self._random = rng.random
+        self._integers = rng.integers
         if rate_estimator is not None:
             self._rate = rate_estimator
         if server_rates is not None:
@@ -98,6 +104,40 @@ class Policy(ABC):
         """Choose a server index for the arrival described by ``view``."""
 
     # ------------------------------------------------------------------
+    # Phase batching (the fast-path protocol)
+    # ------------------------------------------------------------------
+
+    def phase_batchable(self, num_servers: int) -> bool:
+        """Whether :meth:`select_batch` can replay a periodic-board phase.
+
+        A policy may return ``True`` only if, for a frozen board,
+        ``select_batch`` consumes the policy random stream *bitwise
+        identically* to the equivalent sequence of scalar :meth:`select`
+        calls and returns the same selections.  Policies that draw random
+        candidate subsets per request (``Generator.choice`` has no
+        batch-equivalent draw sequence) must return ``False``.  The
+        default is conservative: not batchable.
+        """
+        return False
+
+    def select_batch(
+        self, view: LoadView, arrival_times: np.ndarray
+    ) -> np.ndarray:
+        """Choose servers for one phase's worth of arrivals at once.
+
+        ``view`` describes the frozen board (``loads``, ``version``,
+        ``info_time``, ``horizon``; ``now``/``elapsed`` are those of the
+        batch's first arrival); ``arrival_times`` holds the absolute
+        arrival instants, so time-dependent policies recover each
+        arrival's age as ``arrival_times - view.info_time``.  Returns an
+        integer array of server indices, one per arrival.  Only called
+        when :meth:`phase_batchable` returned ``True``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support phase batching"
+        )
+
+    # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
 
@@ -110,7 +150,7 @@ class Policy(ABC):
         """
         cumulative = np.cumsum(probabilities)
         # Guard against cumulative[-1] slightly below 1 from rounding.
-        u = self.rng.random() * cumulative[-1]
+        u = self._random() * cumulative[-1]
         return int(np.searchsorted(cumulative, u, side="right"))
 
     def _random_minimum(self, loads: np.ndarray, candidates: np.ndarray) -> int:
@@ -120,7 +160,7 @@ class Policy(ABC):
         tied = candidates[candidate_loads == minimum]
         if tied.size == 1:
             return int(tied[0])
-        return int(tied[self.rng.integers(tied.size)])
+        return int(tied[self._integers(tied.size)])
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

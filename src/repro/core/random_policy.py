@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.policy import Policy
 from repro.staleness.base import LoadView
 
@@ -22,4 +24,14 @@ class RandomPolicy(Policy):
     name = "random"
 
     def select(self, view: LoadView) -> int:
-        return int(self.rng.integers(self.num_servers))
+        return int(self._integers(self.num_servers))
+
+    def phase_batchable(self, num_servers: int) -> bool:
+        return True
+
+    def select_batch(
+        self, view: LoadView, arrival_times: np.ndarray
+    ) -> np.ndarray:
+        # A batched integers() draw is bitwise-identical to the same
+        # number of scalar draws with the same fixed bound.
+        return self._integers(self.num_servers, size=arrival_times.size)

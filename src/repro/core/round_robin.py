@@ -11,6 +11,8 @@ flat in the information age.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.policy import Policy
 from repro.staleness.base import LoadView
 
@@ -37,3 +39,17 @@ class RoundRobinPolicy(Policy):
         choice = self._next
         self._next = (self._next + 1) % self.num_servers
         return choice
+
+    def phase_batchable(self, num_servers: int) -> bool:
+        return True
+
+    def select_batch(
+        self, view: LoadView, arrival_times: np.ndarray
+    ) -> np.ndarray:
+        # Deterministic cycle: no draws to replay, just advance the
+        # counter by the batch size.
+        selections = (
+            self._next + np.arange(arrival_times.size, dtype=np.int64)
+        ) % self.num_servers
+        self._next = (self._next + arrival_times.size) % self.num_servers
+        return selections

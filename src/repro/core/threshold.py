@@ -67,10 +67,39 @@ class ThresholdPolicy(Policy):
             candidates = self.rng.choice(self.num_servers, size=self.k, replace=False)
         lightly_loaded = candidates[view.loads[candidates] <= self.threshold]
         if lightly_loaded.size > 0:
-            return int(lightly_loaded[self.rng.integers(lightly_loaded.size)])
+            return int(lightly_loaded[self._integers(lightly_loaded.size)])
         if self.fallback == "least-loaded":
             return self._random_minimum(view.loads, candidates)
-        return int(candidates[self.rng.integers(candidates.size)])
+        return int(candidates[self._integers(candidates.size)])
+
+    def phase_batchable(self, num_servers: int) -> bool:
+        # A k-subset restriction below n needs a Generator.choice draw per
+        # request, which has no bitwise batch equivalent.
+        return self.k is None or self.k == num_servers
+
+    def select_batch(
+        self, view: LoadView, arrival_times: np.ndarray
+    ) -> np.ndarray:
+        """Replay one phase of :meth:`select` calls with batched draws.
+
+        With the candidate pool fixed at all ``n`` servers, the light/heavy
+        classification is frozen for the whole phase, so every arrival in
+        the batch takes the same branch of :meth:`select` and draws one
+        integer with the same fixed bound (or none, when the fallback's
+        least-loaded set is a singleton).
+        """
+        size = arrival_times.size
+        candidates = self._everyone
+        lightly_loaded = candidates[view.loads[candidates] <= self.threshold]
+        if lightly_loaded.size > 0:
+            return lightly_loaded[self._integers(lightly_loaded.size, size=size)]
+        if self.fallback == "least-loaded":
+            candidate_loads = view.loads[candidates]
+            tied = candidates[candidate_loads == candidate_loads.min()]
+            if tied.size == 1:
+                return np.full(size, int(tied[0]), dtype=np.int64)
+            return tied[self._integers(tied.size, size=size)]
+        return candidates[self._integers(candidates.size, size=size)]
 
     def __repr__(self) -> str:
         return (

@@ -22,6 +22,8 @@ the ``j`` least-loaded servers until their level reaches the ``(j+1)``-th;
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 __all__ = [
@@ -30,6 +32,24 @@ __all__ = [
     "weighted_waterfill_probabilities",
     "equalization_boundaries",
 ]
+
+# The 1..n ladder used to turn load prefixes into candidate water levels.
+# Cached per cluster size: the vector is immutable in every use below and
+# rebuilding it dominated the profile of small-n water filling.
+_counts_cache: dict[int, np.ndarray] = {}
+
+
+def _counts(n: int) -> np.ndarray:
+    counts = _counts_cache.get(n)
+    if counts is None:
+        counts = np.arange(1, n + 1, dtype=np.float64)
+        _counts_cache[n] = counts
+    return counts
+
+
+def _check_finite_loads(loads: np.ndarray) -> None:
+    if not np.isfinite(loads).all():
+        raise ValueError(f"loads must be finite, got {loads!r}")
 
 
 def waterfill_level(loads: np.ndarray, expected_arrivals: float) -> float:
@@ -43,18 +63,19 @@ def waterfill_level(loads: np.ndarray, expected_arrivals: float) -> float:
     loads = np.asarray(loads, dtype=np.float64)
     if loads.size == 0:
         raise ValueError("need at least one server")
+    _check_finite_loads(loads)
     if np.any(loads < 0):
         raise ValueError("loads must be non-negative")
-    if expected_arrivals < 0:
+    if not math.isfinite(expected_arrivals) or expected_arrivals < 0:
         raise ValueError(
-            f"expected_arrivals must be non-negative, got {expected_arrivals}"
+            f"expected_arrivals must be finite and non-negative, "
+            f"got {expected_arrivals}"
         )
     if expected_arrivals == 0.0:
         return float(loads.min())
     sorted_loads = np.sort(loads)
     prefix = np.cumsum(sorted_loads)
-    counts = np.arange(1, loads.size + 1, dtype=np.float64)
-    levels = (prefix + expected_arrivals) / counts
+    levels = (prefix + expected_arrivals) / _counts(loads.size)
     feasible = levels >= sorted_loads
     c = int(np.nonzero(feasible)[0].max()) + 1
     return float(levels[c - 1])
@@ -87,11 +108,13 @@ def waterfill_probabilities(
     n = loads.size
     if n == 0:
         raise ValueError("need at least one server")
+    _check_finite_loads(loads)
     if np.any(loads < 0):
         raise ValueError("loads must be non-negative")
-    if expected_arrivals < 0:
+    if not math.isfinite(expected_arrivals) or expected_arrivals < 0:
         raise ValueError(
-            f"expected_arrivals must be non-negative, got {expected_arrivals}"
+            f"expected_arrivals must be finite and non-negative, "
+            f"got {expected_arrivals}"
         )
 
     if expected_arrivals == 0.0:
@@ -102,10 +125,9 @@ def waterfill_probabilities(
 
     sorted_loads = np.sort(loads)
     prefix = np.cumsum(sorted_loads)
-    counts = np.arange(1, n + 1, dtype=np.float64)
     # levels[c-1] is the water level if exactly the c least-loaded servers
     # absorb all R arrivals.
-    levels = (prefix + expected_arrivals) / counts
+    levels = (prefix + expected_arrivals) / _counts(n)
     # The correct c is the largest for which the level stays at or above
     # the c-th smallest load (otherwise server c would be "overfilled"
     # past its own starting level, a contradiction).
@@ -158,13 +180,15 @@ def weighted_waterfill_probabilities(
     n = loads.size
     if n == 0:
         raise ValueError("need at least one server")
+    _check_finite_loads(loads)
     if np.any(loads < 0):
         raise ValueError("loads must be non-negative")
-    if np.any(rates <= 0):
-        raise ValueError("rates must be positive")
-    if expected_arrivals < 0:
+    if not np.isfinite(rates).all() or np.any(rates <= 0):
+        raise ValueError("rates must be positive and finite")
+    if not math.isfinite(expected_arrivals) or expected_arrivals < 0:
         raise ValueError(
-            f"expected_arrivals must be non-negative, got {expected_arrivals}"
+            f"expected_arrivals must be finite and non-negative, "
+            f"got {expected_arrivals}"
         )
 
     virtual = loads / rates  # expected drain time per server
@@ -213,13 +237,15 @@ def equalization_boundaries(
         dispatch is uniform over all of them.
     """
     sorted_loads = np.asarray(sorted_loads, dtype=np.float64)
-    if total_arrival_rate <= 0:
+    if not math.isfinite(total_arrival_rate) or total_arrival_rate <= 0:
         raise ValueError(
-            f"total_arrival_rate must be positive, got {total_arrival_rate}"
+            f"total_arrival_rate must be finite and positive, "
+            f"got {total_arrival_rate}"
         )
     n = sorted_loads.size
     if n == 0:
         raise ValueError("need at least one server")
+    _check_finite_loads(sorted_loads)
     if np.any(np.diff(sorted_loads) < 0):
         raise ValueError("sorted_loads must be non-decreasing")
     if n == 1:

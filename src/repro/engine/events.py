@@ -51,6 +51,8 @@ class Event:
 class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_counter")
+
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()

@@ -28,6 +28,15 @@ class Simulator:
     bugs at their source rather than as corrupted statistics.
     """
 
+    __slots__ = (
+        "_queue",
+        "_now",
+        "_running",
+        "_stop_requested",
+        "_hooks",
+        "events_processed",
+    )
+
     def __init__(self) -> None:
         self._queue = EventQueue()
         self._now = 0.0

@@ -59,14 +59,42 @@ def run_cell(
     seed: int,
     total_jobs: int,
     fault_spec: str | None = None,
+    engine: str = "auto",
 ) -> float:
-    """Run one replication of one sweep cell; returns the mean response time."""
+    """Run one replication of one sweep cell; returns the mean response time.
+
+    ``engine`` forwards to :class:`~repro.cluster.simulation.ClusterSimulation`
+    (``"auto"``, ``"event"`` or ``"fast"``); both engines are bit-identical,
+    so this is a performance knob for the profiling and benchmark harnesses.
+    Figures built on other drivers accept ``"auto"``/``"event"`` (they are
+    event-driven anyway) and reject ``"fast"``.
+    """
     spec = get_figure(figure_id)
     curve = spec.curve(curve_label)
     simulation = spec.build_simulation(curve, x, seed, total_jobs)
     if fault_spec is not None:
         _apply_fault_spec(simulation, fault_spec, figure_id)
+    if engine != "auto":
+        _apply_engine(simulation, engine, figure_id)
     return simulation.run().mean_response_time
+
+
+def _apply_engine(simulation, engine: str, figure_id: str) -> None:
+    """Force the simulation engine for a cell built from the registry."""
+    from repro.cluster.simulation import ClusterSimulation
+
+    if isinstance(simulation, ClusterSimulation):
+        if engine not in ("auto", "event", "fast"):
+            raise ValueError(
+                f"engine must be 'auto', 'event' or 'fast', got {engine!r}"
+            )
+        simulation.engine = engine
+        return
+    if engine == "fast":
+        raise ValueError(
+            f"figure {figure_id!r} builds {type(simulation).__name__}, "
+            "which only runs on the event engine"
+        )
 
 
 def standard_probes(

@@ -11,6 +11,12 @@ phase metadata (clients cannot see the loss), while ``elapsed`` and
 
 Used by the ``ext-lossy`` ablation to quantify how gracefully each
 policy tolerates update loss.
+
+Replay contract: the phase-batched fast path
+(:mod:`repro.engine.fastpath`) replays this model bit-identically by
+drawing one uniform from the ``"staleness"`` stream per scheduled
+attempt — delivered or dropped — in attempt order; keep that draw
+discipline if the drop logic changes.
 """
 
 from __future__ import annotations

@@ -3,6 +3,13 @@
 Every ``period`` time units a board visible to all arrivals is refreshed
 with the true load of every server.  Information is exact at the start of
 a phase and ages linearly until the next refresh.
+
+Replay contract: this model is one of the two the phase-batched fast
+path (:mod:`repro.engine.fastpath`) can replay bit-identically.  The
+fast path reproduces the refresh clock by repeated addition of
+``period`` (exactly how ``_refresh`` reschedules itself) and the
+refresh-before-arrival ordering implied by :attr:`REFRESH_PRIORITY`;
+changes to either must be mirrored there.
 """
 
 from __future__ import annotations

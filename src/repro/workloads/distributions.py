@@ -40,6 +40,16 @@ __all__ = [
 class Distribution(ABC):
     """A real-valued random variate with known analytic moments."""
 
+    #: Whether ``sample_array(rng, n)`` consumes the generator and produces
+    #: values *bitwise identically* to ``n`` successive ``sample(rng)``
+    #: calls.  The fast simulation path relies on this to pre-draw a whole
+    #: run's service times while staying bit-equal to the event-driven
+    #: engine; distributions whose vectorized transform rounds differently
+    #: from the scalar one must set it to ``False`` (they then fall back to
+    #: the event engine).  The base-class ``sample_array`` loops over
+    #: ``sample``, so the default is ``True``.
+    batch_matches_scalar: bool = True
+
     @abstractmethod
     def sample(self, rng: np.random.Generator) -> float:
         """Draw a single variate."""
@@ -173,6 +183,11 @@ class BoundedPareto(Distribution):
     carries much of the total work — the regime observed for web request
     sizes (Crovella et al.) that §5.5 of the paper studies.
     """
+
+    # The vectorized inverse-CDF uses numpy's elementwise ``**`` while the
+    # scalar path uses Python's float power; the two can differ by an ULP,
+    # so batched draws are not bitwise-reproducible against scalar ones.
+    batch_matches_scalar = False
 
     def __init__(self, alpha: float, k: float, p: float) -> None:
         if alpha <= 0:
@@ -347,6 +362,12 @@ class Hyperexponential(Distribution):
     A tunable high-variance service process lying between exponential and
     Bounded Pareto in tail weight.
     """
+
+    # The scalar path interleaves one phase-choice uniform with one
+    # exponential per draw; the vectorized path draws all uniforms first,
+    # then all exponentials, so the generator is consumed in a different
+    # order and batches are not bitwise-reproducible against scalar draws.
+    batch_matches_scalar = False
 
     def __init__(self, p1: float, mean1: float, mean2: float) -> None:
         if not 0.0 < p1 < 1.0:

@@ -1,0 +1,153 @@
+"""Analytic oracles: the simulator measured against closed forms.
+
+Two ground truths from queueing theory pin the whole pipeline end to end:
+
+* Random dispatch of a Poisson stream splits it into independent Poisson
+  streams, so each server is an M/M/1 queue and the mean response time is
+  ``1 / (1 - rho)`` — checked on BOTH engines with a seed-derived
+  confidence interval, so a bias in either engine's arrival, service or
+  measurement plumbing shows up as a failed containment.
+
+* Within one frozen phase the k-subset policy dispatches to load *ranks*
+  with the closed-form distribution of Eq. 1
+  (:func:`repro.analysis.ksubset_analytic.ksubset_rank_distribution`) —
+  checked empirically against the scalar path and, where the policy is
+  batchable, the fast path's ``select_batch``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ksubset_analytic import ksubset_rank_distribution
+from repro.analysis.mmk import random_split_response_time
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.ksubset import KSubsetPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.engine.rng import RandomStreams
+from repro.engine.stats import mean_confidence_interval
+from repro.staleness.base import LoadView
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import exponential_service
+
+
+class TestRandomDispatchMatchesMM1:
+    LOAD = 0.7
+    SERVERS = 10
+    JOBS = 25_000
+    SEEDS = range(1, 7)
+
+    def _mean(self, seed: int, engine: str) -> float:
+        return ClusterSimulation(
+            num_servers=self.SERVERS,
+            arrivals=PoissonArrivals(self.SERVERS * self.LOAD),
+            service=exponential_service(),
+            policy=RandomPolicy(),
+            staleness=PeriodicUpdate(period=2.0),
+            total_jobs=self.JOBS,
+            seed=seed,
+            engine=engine,
+        ).run().mean_response_time
+
+    def test_both_engines_inside_the_analytic_interval(self):
+        analytic = random_split_response_time(self.LOAD)
+        assert analytic == pytest.approx(1.0 / (1.0 - self.LOAD))
+
+        event_means = [self._mean(seed, "event") for seed in self.SEEDS]
+        fast_means = [self._mean(seed, "fast") for seed in self.SEEDS]
+        # The engines must agree bitwise seed by seed...
+        assert event_means == fast_means
+        # ...and their common estimate must contain the closed form.
+        interval = mean_confidence_interval(fast_means, confidence=0.99)
+        assert interval.contains(analytic), (
+            f"M/M/1 oracle {analytic:.4f} outside {interval} "
+            f"(seeds {list(self.SEEDS)})"
+        )
+        assert interval.mean == pytest.approx(analytic, rel=0.05)
+
+
+class TestKSubsetMatchesRankLaw:
+    SERVERS = 10
+    DRAWS = 20_000
+
+    def _view(self, loads: np.ndarray) -> LoadView:
+        return LoadView(
+            loads=loads,
+            version=1,
+            info_time=0.0,
+            now=0.5,
+            horizon=2.0,
+            elapsed=0.5,
+            known_age=True,
+            phase_based=True,
+        )
+
+    def _bound_policy(self, k: int, seed: int = 42) -> KSubsetPolicy:
+        policy = KSubsetPolicy(k)
+        policy.bind(
+            self.SERVERS,
+            RandomStreams(seed).stream("policy"),
+            server_rates=np.ones(self.SERVERS),
+        )
+        return policy
+
+    def _rank_frequencies(self, selections: np.ndarray, loads) -> np.ndarray:
+        # ranks[s] = 0 for the least-loaded server, n-1 for the most.
+        ranks = np.empty(self.SERVERS, dtype=np.intp)
+        ranks[np.argsort(loads)] = np.arange(self.SERVERS)
+        counts = np.bincount(ranks[selections], minlength=self.SERVERS)
+        return counts / float(len(selections))
+
+    def _assert_matches_law(self, frequencies: np.ndarray, k: int) -> None:
+        law = ksubset_rank_distribution(self.SERVERS, k)
+        # 5-sigma binomial tolerance per rank: loose enough to be stable,
+        # tight enough that an off-by-one-rank bug fails by a mile.
+        sigma = np.sqrt(law * (1.0 - law) / self.DRAWS)
+        np.testing.assert_array_less(np.abs(frequencies - law), 5 * sigma + 1e-9)
+        # The k-1 most loaded ranks receive exactly nothing, not merely
+        # little — the paper's sharpest qualitative claim about k-subset.
+        assert frequencies[self.SERVERS - k + 1 :].sum() == 0.0
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 10])
+    def test_scalar_select_follows_the_law(self, k, rng):
+        loads = rng.permutation(np.arange(self.SERVERS, dtype=np.float64))
+        policy = self._bound_policy(k)
+        view = self._view(loads)
+        selections = np.array(
+            [policy.select(view) for _ in range(self.DRAWS)]
+        )
+        self._assert_matches_law(self._rank_frequencies(selections, loads), k)
+
+    @pytest.mark.parametrize("k", [1, 10])
+    def test_batched_select_follows_the_law(self, k, rng):
+        loads = rng.permutation(np.arange(self.SERVERS, dtype=np.float64))
+        policy = self._bound_policy(k)
+        assert policy.phase_batchable(self.SERVERS)
+        selections = np.asarray(
+            policy.select_batch(self._view(loads), np.linspace(0.5, 1.9, self.DRAWS))
+        )
+        self._assert_matches_law(self._rank_frequencies(selections, loads), k)
+
+    def test_rank_law_is_age_invariant(self, rng):
+        # The distribution depends on rank only — rerunning the same
+        # frozen board with a very different age must not move it (this
+        # is the paper's core observation about why k-subset herds).
+        loads = rng.permutation(np.arange(self.SERVERS, dtype=np.float64))
+        policy = self._bound_policy(3)
+        young = self._view(loads)
+        old = LoadView(
+            loads=loads,
+            version=1,
+            info_time=0.0,
+            now=40.0,
+            horizon=80.0,
+            elapsed=40.0,
+            known_age=True,
+            phase_based=True,
+        )
+        young_picks = np.array([policy.select(young) for _ in range(5_000)])
+        policy = self._bound_policy(3)  # fresh RNG, same seed
+        old_picks = np.array([policy.select(old) for _ in range(5_000)])
+        assert np.array_equal(young_picks, old_picks)

@@ -1,0 +1,175 @@
+"""Property tests for the policies' phase-batch protocol.
+
+The fast path's correctness reduces to one claim per policy: over a
+frozen board, ``select_batch(view, arrival_times)`` must return exactly
+the servers that a fresh policy instance (same seed) would pick through a
+sequence of scalar ``select`` calls at those arrival instants.  Hypothesis
+hunts for the board/arrival combination that breaks the claim; fixed
+examples then pin the limit behaviors the paper reasons about (fresh
+information targets the minimum; unboundedly stale information spreads
+out).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ksubset import KSubsetPolicy
+from repro.core.li_aggressive import AggressiveLIPolicy
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.li_subset import SubsetLIPolicy
+from repro.core.li_weighted import WeightedLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.core.rate_estimators import ExactRate
+from repro.core.round_robin import RoundRobinPolicy
+from repro.core.threshold import ThresholdPolicy
+from repro.core.weights import waterfill_level, waterfill_probabilities
+from repro.engine.rng import RandomStreams
+from repro.staleness.base import LoadView
+
+NUM_SERVERS = 8
+HORIZON = 2.0
+PER_SERVER_RATE = 0.9
+
+POLICY_FACTORIES = [
+    RandomPolicy,
+    BasicLIPolicy,
+    lambda: BasicLIPolicy(timestamp_aware=True),
+    AggressiveLIPolicy,
+    lambda: KSubsetPolicy(1),
+    lambda: KSubsetPolicy(NUM_SERVERS),
+    lambda: ThresholdPolicy(2.0),
+    lambda: ThresholdPolicy(2.0, k=NUM_SERVERS, fallback="least-loaded"),
+    lambda: SubsetLIPolicy(NUM_SERVERS),
+    WeightedLIPolicy,
+    RoundRobinPolicy,
+]
+
+loads_strategy = st.lists(
+    st.floats(0.0, 40.0, allow_nan=False, allow_infinity=False),
+    min_size=NUM_SERVERS,
+    max_size=NUM_SERVERS,
+)
+# Arrival offsets reach past the phase end: the overdue regime (elapsed >
+# horizon) exercises timestamp-aware recomputation and the last
+# Aggressive LI subinterval.
+offsets_strategy = st.lists(
+    st.floats(0.0, 3.0 * HORIZON, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _bound(policy, seed: int):
+    estimator = ExactRate()
+    estimator.bind(NUM_SERVERS, PER_SERVER_RATE)
+    policy.bind(
+        NUM_SERVERS,
+        RandomStreams(seed).stream("policy"),
+        estimator,
+        server_rates=np.ones(NUM_SERVERS),
+    )
+    return policy
+
+
+def _view(loads: np.ndarray, now: float) -> LoadView:
+    return LoadView(
+        loads=loads,
+        version=1,
+        info_time=0.0,
+        now=now,
+        horizon=HORIZON,
+        elapsed=now,
+        known_age=True,
+        phase_based=True,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    loads=loads_strategy,
+    offsets=offsets_strategy,
+    seed=st.integers(0, 2**20),
+    factory_index=st.integers(0, len(POLICY_FACTORIES) - 1),
+)
+def test_batch_replays_scalar_selects(loads, offsets, seed, factory_index):
+    factory = POLICY_FACTORIES[factory_index]
+    loads = np.asarray(loads, dtype=np.float64)
+    times = np.sort(np.asarray(offsets, dtype=np.float64))
+
+    scalar_policy = _bound(factory(), seed)
+    scalar = [scalar_policy.select(_view(loads, t)) for t in times]
+
+    batch_policy = _bound(factory(), seed)
+    assert batch_policy.phase_batchable(NUM_SERVERS)
+    batch = batch_policy.select_batch(_view(loads, times[0]), times)
+
+    assert np.array_equal(np.asarray(scalar), np.asarray(batch))
+
+
+class TestAggressiveLILimits:
+    def _policy(self, seed: int = 9) -> AggressiveLIPolicy:
+        return _bound(AggressiveLIPolicy(), seed)
+
+    @given(loads=loads_strategy, seed=st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_fresh_information_targets_the_minimum(self, loads, seed):
+        # elapsed -> 0: only the first subinterval is active, which sends
+        # everything to the (unique) least-loaded server.
+        loads = np.asarray(loads, dtype=np.float64)
+        if np.unique(loads).size < loads.size:
+            loads = loads + np.arange(loads.size) * 1e-6  # break ties
+        picks = self._policy(seed).select_batch(
+            _view(loads, 0.0), np.zeros(16)
+        )
+        assert np.all(picks == np.argmin(loads))
+
+    def test_unboundedly_stale_information_spreads_everywhere(self):
+        # elapsed far past the last boundary: every server is eligible and
+        # the choice is uniform, so all servers appear in a long batch.
+        loads = np.arange(NUM_SERVERS, dtype=np.float64)
+        picks = self._policy().select_batch(
+            _view(loads, 0.0), np.full(4_000, 300.0 * HORIZON)
+        )
+        assert set(np.unique(picks)) == set(range(NUM_SERVERS))
+
+    @given(loads=loads_strategy, seed=st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_eligible_set_is_a_least_loaded_prefix(self, loads, seed):
+        # At any age the recipient set is {j least-loaded} for some j:
+        # a pick of rank r implies every rank below r is also reachable.
+        loads = np.asarray(loads, dtype=np.float64)
+        order = np.argsort(loads, kind="stable")
+        rank = np.empty(loads.size, dtype=np.intp)
+        rank[order] = np.arange(loads.size)
+        picks = self._policy(seed).select_batch(
+            _view(loads, 0.7), np.full(200, 0.7)
+        )
+        max_rank = int(rank[picks].max())
+        assert set(rank[picks]) <= set(range(max_rank + 1))
+
+
+class TestWaterfillSupport:
+    @given(
+        loads=loads_strategy,
+        budget=st.floats(0.0, 200.0, allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_zero_mass_strictly_above_the_water_level(self, loads, budget):
+        loads = np.asarray(loads, dtype=np.float64)
+        probabilities = waterfill_probabilities(loads, budget)
+        np.testing.assert_allclose(probabilities.sum(), 1.0, rtol=1e-9)
+        level = waterfill_level(loads, budget)
+        assert np.all(probabilities[loads > level + 1e-9] == 0.0)
+
+    def test_subset_li_mass_stays_inside_the_subset(self):
+        # LI-k interprets loads over a k-subset; servers outside the
+        # subset must receive zero probability even when they are idle.
+        policy = _bound(SubsetLIPolicy(NUM_SERVERS), seed=3)
+        loads = np.arange(NUM_SERVERS, dtype=np.float64)
+        picks = policy.select_batch(_view(loads, 0.1), np.full(2_000, 0.1))
+        level = waterfill_level(
+            loads, PER_SERVER_RATE * NUM_SERVERS * HORIZON
+        )
+        assert np.all(loads[np.unique(picks)] <= level)

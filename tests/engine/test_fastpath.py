@@ -1,0 +1,232 @@
+"""Unit tests for the phase-batched fast path's guard rails.
+
+Bit-identity with the event engine is pinned end-to-end in
+``tests/integration/test_engine_equivalence.py``; here we test the
+pieces in isolation: input validation, the refresh clock, the fallback
+matrix, and the bad-policy tripwire.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.policy import Policy
+from repro.core.random_policy import RandomPolicy
+from repro.core.rate_estimators import RateEstimator
+from repro.engine.fastpath import (
+    _refresh_attempt_times,
+    validate_fast_path_inputs,
+)
+from repro.staleness.continuous import ContinuousUpdate
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import ArrivalSource, PoissonArrivals
+from repro.workloads.distributions import Exponential
+from repro.workloads.service import exponential_service
+
+
+def _simulation(**overrides) -> ClusterSimulation:
+    kwargs = dict(
+        num_servers=10,
+        arrivals=PoissonArrivals(9.0),
+        service=exponential_service(),
+        policy=BasicLIPolicy(),
+        staleness=PeriodicUpdate(period=2.0),
+        total_jobs=200,
+        seed=3,
+    )
+    kwargs.update(overrides)
+    return ClusterSimulation(**kwargs)
+
+
+class TestInputValidation:
+    def _valid(self, **overrides) -> dict:
+        kwargs = dict(
+            num_servers=4,
+            arrival_rate=3.6,
+            period=2.0,
+            server_rates=[1.0, 1.0, 1.0, 1.0],
+            total_jobs=100,
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_valid_inputs_pass(self):
+        validate_fast_path_inputs(**self._valid())
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError, match="at least one server"):
+            validate_fast_path_inputs(**self._valid(num_servers=0))
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_arrival_rate_rejected(self, rate):
+        with pytest.raises(ValueError, match="arrival rate"):
+            validate_fast_path_inputs(**self._valid(arrival_rate=rate))
+
+    @pytest.mark.parametrize("period", [0.0, -2.0, float("nan"), float("inf")])
+    def test_bad_period_rejected(self, period):
+        with pytest.raises(ValueError, match="refresh period"):
+            validate_fast_path_inputs(**self._valid(period=period))
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError, match="total_jobs"):
+            validate_fast_path_inputs(**self._valid(total_jobs=0))
+
+    def test_wrong_rate_vector_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            validate_fast_path_inputs(**self._valid(server_rates=[1.0, 1.0]))
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_nonpositive_or_nonfinite_server_rate_rejected(self, bad):
+        with pytest.raises(ValueError, match="positive and finite"):
+            validate_fast_path_inputs(
+                **self._valid(server_rates=[1.0, bad, 1.0, 1.0])
+            )
+
+
+class TestRefreshClock:
+    def test_first_refresh_at_one_period(self):
+        times = _refresh_attempt_times(2.0, 7.0)
+        assert times[0] == 2.0
+
+    def test_accumulates_by_repeated_addition(self):
+        # The event loop computes each refresh as now + period; replaying
+        # with arange(...)*period would differ in the last ulp after many
+        # phases.  The fast path must accumulate identically.
+        period = 0.1
+        times = _refresh_attempt_times(period, 5.0)
+        t, expected = 0.0, []
+        while True:
+            t += period
+            if t > 5.0:
+                break
+            expected.append(t)
+        assert times == expected
+
+    def test_no_refresh_before_first_period(self):
+        assert _refresh_attempt_times(10.0, 5.0) == []
+
+
+class TestFallbackMatrix:
+    """Each ineligible feature must name itself in fast_path_blocker()."""
+
+    def test_eligible_configuration_has_no_blocker(self):
+        assert _simulation().fast_path_blocker() is None
+
+    def test_probes_block(self):
+        from repro.obs.traces import QueueTraceProbe
+
+        simulation = _simulation(probes=[QueueTraceProbe()])
+        assert "probes" in simulation.fast_path_blocker()
+
+    def test_non_phase_staleness_blocks(self):
+        simulation = _simulation(staleness=ContinuousUpdate(delay=1.0))
+        assert "phase-based" in simulation.fast_path_blocker()
+
+    def test_batch_divergent_service_distribution_blocks(self):
+        class FussyExponential(Exponential):
+            batch_matches_scalar = False
+
+        simulation = _simulation(service=FussyExponential(1.0))
+        assert "batches" in simulation.fast_path_blocker()
+
+    def test_per_arrival_rate_estimator_blocks(self):
+        class CountingRate(RateEstimator):
+            def per_server_rate(self) -> float:
+                return 0.9
+
+            def observe_arrival(self, now: float) -> None:
+                pass
+
+        simulation = _simulation(rate_estimator=CountingRate())
+        assert "every arrival" in simulation.fast_path_blocker()
+
+    def test_non_batchable_policy_blocks(self):
+        from repro.core.ksubset import KSubsetPolicy
+
+        simulation = _simulation(policy=KSubsetPolicy(3))
+        assert "batched draws" in simulation.fast_path_blocker()
+
+    def test_non_poisson_arrivals_block(self):
+        class WeirdArrivals(ArrivalSource):
+            @property
+            def total_rate(self) -> float:
+                return 9.0
+
+            @property
+            def num_clients(self) -> int:
+                return 1
+
+            def start(self, sim, rng, on_arrival) -> None:  # pragma: no cover
+                pass
+
+        simulation = _simulation(arrivals=WeirdArrivals())
+        assert "arrival source" in simulation.fast_path_blocker()
+
+    def test_inconsistent_select_override_blocks(self):
+        class SkewedRandom(RandomPolicy):
+            def select(self, view):
+                return 0
+
+        simulation = _simulation(policy=SkewedRandom())
+        assert "select_batch" in simulation.fast_path_blocker()
+
+
+class TestEngineKnob:
+    def test_unknown_engine_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="engine"):
+            _simulation(engine="vectorized")
+
+    def test_forced_fast_raises_with_blocking_reason(self):
+        simulation = _simulation(
+            staleness=ContinuousUpdate(delay=1.0), engine="fast"
+        )
+        with pytest.raises(ValueError, match="fast path is unavailable"):
+            simulation.run()
+
+    def test_engine_decision_reports_reason(self):
+        engine, reason = _simulation().engine_decision()
+        assert engine == "fast"
+        assert "batchable" in reason
+
+        engine, reason = _simulation(engine="event").engine_decision()
+        assert engine == "event"
+        assert "requested" in reason
+
+
+class TestBadPolicyTripwire:
+    def test_batch_selecting_invalid_server_raises(self):
+        class OutOfRange(Policy):
+            name = "out-of-range"
+
+            def phase_batchable(self, num_servers: int) -> bool:
+                return True
+
+            def select(self, view) -> int:  # pragma: no cover
+                return 99
+
+            def select_batch(self, view, arrival_times):
+                return np.full(len(arrival_times), 99)
+
+        simulation = _simulation(policy=OutOfRange(), engine="fast")
+        with pytest.raises(RuntimeError, match="invalid selections"):
+            simulation.run()
+
+    def test_batch_wrong_length_raises(self):
+        class ShortBatch(Policy):
+            name = "short-batch"
+
+            def phase_batchable(self, num_servers: int) -> bool:
+                return True
+
+            def select(self, view) -> int:  # pragma: no cover
+                return 0
+
+            def select_batch(self, view, arrival_times):
+                return np.zeros(max(0, len(arrival_times) - 1), dtype=np.intp)
+
+        simulation = _simulation(policy=ShortBatch(), engine="fast")
+        with pytest.raises(RuntimeError):
+            simulation.run()

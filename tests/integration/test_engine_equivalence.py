@@ -1,0 +1,164 @@
+"""Cross-engine equivalence: the fast path must be bit-identical.
+
+The phase-batched kernel (:mod:`repro.engine.fastpath`) claims bitwise
+equality with the event-driven reference engine — not statistical
+agreement, *the same floats*.  These tests pin that contract on real
+registry cells across seeds, and pin the fallback matrix: every
+configuration the kernel cannot replay must silently run on the event
+engine (or fail loudly when ``engine="fast"`` is forced).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.stealing import StealingClusterSimulation, StealingConfig
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.experiments.runner import run_cell
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import exponential_service
+
+SEEDS = (1, 2, 3)
+
+
+class TestRegistryCellsBitIdentical:
+    """fig2 / fig4 / fig5 cells: both engines, three seeds, same floats."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize(
+        ("figure_id", "curve", "x"),
+        [
+            ("fig2", "basic-li", 2.0),
+            ("fig2", "aggressive-li", 2.0),
+            ("fig2", "random", 8.0),
+            ("fig2", "k=10", 0.5),
+            ("fig4", "basic-li", 2.0),
+            ("fig5b", "thr=4,k=10", 2.0),
+        ],
+    )
+    def test_cell_means_match_bitwise(self, figure_id, curve, x, seed):
+        event = run_cell(figure_id, curve, x, seed, 2_500, engine="event")
+        fast = run_cell(figure_id, curve, x, seed, 2_500, engine="fast")
+        assert event == fast  # exact equality, not approx
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_lossy_cell_means_match_bitwise(self, seed):
+        event = run_cell("ext-lossy", "basic-li", 0.4, seed, 2_500, engine="event")
+        fast = run_cell("ext-lossy", "basic-li", 0.4, seed, 2_500, engine="fast")
+        assert event == fast
+
+
+class TestFullResultBitIdentical:
+    """Every field of SimulationResult, not just the headline mean."""
+
+    def _build(self, engine: str, seed: int) -> ClusterSimulation:
+        return ClusterSimulation(
+            num_servers=10,
+            arrivals=PoissonArrivals(9.0),
+            service=exponential_service(),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(period=2.0),
+            total_jobs=4_000,
+            seed=seed,
+            trace_response_times=True,
+            engine=engine,
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_all_fields_match(self, seed):
+        event = self._build("event", seed).run()
+        fast = self._build("fast", seed).run()
+        assert event.mean_response_time == fast.mean_response_time
+        assert event.jobs_measured == fast.jobs_measured
+        assert event.jobs_total == fast.jobs_total
+        assert event.duration == fast.duration
+        assert np.array_equal(event.dispatch_counts, fast.dispatch_counts)
+        assert np.array_equal(event.response_times, fast.response_times)
+
+    def test_mean_type_matches(self):
+        # The event engine's Welford mean is a python/numpy float chain;
+        # latency post-processing must see the same dtype on both paths.
+        event = self._build("event", 1).run()
+        fast = self._build("fast", 1).run()
+        assert type(event.mean_response_time) is type(fast.mean_response_time)
+
+
+class TestEngineSelection:
+    def _simulation(self, **overrides) -> ClusterSimulation:
+        kwargs = dict(
+            num_servers=10,
+            arrivals=PoissonArrivals(9.0),
+            service=exponential_service(),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(period=2.0),
+            total_jobs=300,
+            seed=5,
+        )
+        kwargs.update(overrides)
+        return ClusterSimulation(**kwargs)
+
+    def test_auto_picks_fast_on_eligible_configuration(self):
+        simulation = self._simulation()
+        simulation.run()
+        assert simulation.engine_used == "fast"
+
+    def test_event_can_be_forced(self):
+        simulation = self._simulation(engine="event")
+        simulation.run()
+        assert simulation.engine_used == "event"
+
+    def test_faults_fall_back_to_event(self):
+        injector = FaultInjector(FaultSchedule(mttf=50.0, mttr=2.0))
+        simulation = self._simulation(faults=injector)
+        simulation.run()
+        assert simulation.engine_used == "event"
+
+    def test_faults_block_forced_fast(self):
+        injector = FaultInjector(FaultSchedule(mttf=50.0, mttr=2.0))
+        simulation = self._simulation(faults=injector, engine="fast")
+        with pytest.raises(ValueError, match="fault injection"):
+            simulation.run()
+
+    def test_stealing_driver_stays_on_event_engine(self):
+        simulation = StealingClusterSimulation(
+            num_servers=4,
+            arrivals=PoissonArrivals(3.6),
+            service=exponential_service(),
+            policy=RandomPolicy(),
+            staleness=PeriodicUpdate(period=2.0),
+            stealing=StealingConfig(),
+            total_jobs=300,
+            seed=5,
+        )
+        simulation.run()
+        assert simulation.engine_used == "event"
+
+    def test_subclass_overriding_select_falls_back(self):
+        # The hazard `_policy_batch_consistent` exists for: a subclass
+        # that changes select() but inherits the parent's select_batch()
+        # would batch-replay the *parent's* behavior.
+        class SkewedRandom(RandomPolicy):
+            def select(self, view):
+                return 0
+
+        simulation = self._simulation(policy=SkewedRandom())
+        simulation.run()
+        assert simulation.engine_used == "event"
+
+    def test_subclass_with_matching_batch_is_eligible(self):
+        class SameRandom(RandomPolicy):
+            def select(self, view):
+                return super().select(view)
+
+            def select_batch(self, view, arrival_times):
+                return super().select_batch(view, arrival_times)
+
+        simulation = self._simulation(policy=SameRandom())
+        simulation.run()
+        assert simulation.engine_used == "fast"

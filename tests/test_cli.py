@@ -275,3 +275,119 @@ class TestObs:
     def test_missing_file_exit_code(self, tmp_path, capsys):
         assert main(["obs", str(tmp_path / "nope.json")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_timing_mode_reports_throughput(self, capsys):
+        code = main(
+            [
+                "profile", "fig2", "basic-li", "2",
+                "--jobs", "400", "--time", "--repeats", "1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "jobs/sec" in output
+        assert "fig2/basic-li" in output
+
+    def test_timing_mode_accepts_engine_override(self, capsys):
+        for engine in ("event", "fast"):
+            code = main(
+                [
+                    "profile", "fig2", "basic-li", "2",
+                    "--jobs", "400", "--time", "--repeats", "1",
+                    "--engine", engine,
+                ]
+            )
+            assert code == 0
+            assert f"engine={engine}" in capsys.readouterr().out
+
+    def test_profile_mode_prints_hot_functions(self, capsys):
+        code = main(
+            ["profile", "fig2", "random", "2", "--jobs", "300", "--limit", "5"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cumulative" in output
+        assert "mean response time:" in output
+
+    def test_unknown_figure_exit_code(self, capsys):
+        assert main(["profile", "nope", "random", "2", "--time"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_forced_fast_on_ineligible_cell_exit_code(self, capsys):
+        # ext-stealing runs on the event-driven stealing driver; forcing
+        # the fast engine must fail loudly, not silently fall back.
+        code = main(
+            [
+                "profile", "ext-stealing", "random+steal", "1",
+                "--jobs", "300", "--time", "--engine", "fast",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchTrend:
+    def _write_point(self, directory, date, scale=1.0):
+        import copy
+
+        from repro.perf import run_kernels, write_bench_file
+
+        if not hasattr(self, "_payload"):
+            type(self)._payload = run_kernels(150, repeats=1)
+        payload = copy.deepcopy(self._payload)
+        payload["date"] = f"{date[:4]}-{date[4:6]}-{date[6:]}"
+        for entry in payload["kernels"].values():
+            entry["median_s"] *= scale
+        return write_bench_file(payload, directory, date=date)
+
+    def test_prints_trajectory_table(self, tmp_path, capsys):
+        self._write_point(tmp_path, "20260101")
+        self._write_point(tmp_path, "20260201")
+        assert main(["bench-trend", "--dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "dispatch-fast" in output
+        assert "2026-01-01" in output and "2026-02-01" in output
+
+    def test_check_passes_on_flat_trend(self, tmp_path, capsys):
+        self._write_point(tmp_path, "20260101")
+        self._write_point(tmp_path, "20260201")
+        assert main(["bench-trend", "--dir", str(tmp_path), "--check"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        self._write_point(tmp_path, "20260101")
+        # Only the dispatch kernels regress; calibration stays flat, so
+        # the slowdown cannot be excused as hardware drift.
+        import json as jsonlib
+
+        path = self._write_point(tmp_path, "20260201")
+        payload = jsonlib.loads(path.read_text())
+        for name in ("dispatch-event", "dispatch-fast"):
+            payload["kernels"][name]["median_s"] *= 3.0
+        path.write_text(jsonlib.dumps(payload))
+        assert main(["bench-trend", "--dir", str(tmp_path), "--check"]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_check_against_explicit_baseline(self, tmp_path, capsys):
+        baseline = self._write_point(tmp_path / "base", "20260101")
+        (tmp_path / "cur").mkdir()
+        self._write_point(tmp_path / "cur", "20260201")
+        code = main(
+            [
+                "bench-trend", "--dir", str(tmp_path / "cur"),
+                "--check", "--against", str(baseline),
+            ]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_single_point_check_is_not_an_error(self, tmp_path, capsys):
+        self._write_point(tmp_path, "20260101")
+        assert main(["bench-trend", "--dir", str(tmp_path), "--check"]) == 0
+        assert "nothing to check against" in capsys.readouterr().out
+
+    def test_missing_directory_is_empty_trend(self, tmp_path, capsys):
+        assert main(["bench-trend", "--dir", str(tmp_path / "none")]) == 0
+        assert "no BENCH" in capsys.readouterr().out
