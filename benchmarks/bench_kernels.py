@@ -68,6 +68,17 @@ def test_kernel_dispatch_fast_engine(benchmark):
     assert mean > 0
 
 
+def test_kernel_dispatch_multidispatch(benchmark):
+    from benchmarks.common import bench_jobs
+    from repro.perf import _pinned_multidispatch
+
+    jobs = bench_jobs(default=4_000)
+    mean = benchmark(
+        lambda: _pinned_multidispatch(jobs).run().mean_response_time
+    )
+    assert mean > 0
+
+
 def test_fast_engine_speedup_on_pinned_cell():
     """The acceptance gate: at bench scale the fast path must beat the
     event engine by a wide margin on the pinned dispatch cell, while

@@ -54,6 +54,13 @@ from repro.core import (
     weighted_waterfill_probabilities,
 )
 from repro.engine import RandomStreams, Simulator
+from repro.multidispatch import (
+    JoinIdleQueuePolicy,
+    LocalShortestQueuePolicy,
+    MultiDispatcherPolicy,
+    MultiDispatchResult,
+    MultiDispatchSimulation,
+)
 from repro.faults import (
     FaultEvent,
     FaultInjector,
@@ -116,6 +123,12 @@ __all__ = [
     "SimulationResult",
     "Server",
     "Job",
+    # multi-dispatcher subsystem
+    "MultiDispatchSimulation",
+    "MultiDispatchResult",
+    "MultiDispatcherPolicy",
+    "JoinIdleQueuePolicy",
+    "LocalShortestQueuePolicy",
     # staleness models
     "StalenessModel",
     "LoadView",

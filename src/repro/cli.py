@@ -126,7 +126,50 @@ def build_parser() -> argparse.ArgumentParser:
         "backoff-cap, attempts), e.g. "
         "'mttf=200,mttr=10,mode=abort,timeout=0.5'",
     )
+    run_cmd.add_argument(
+        "--dispatchers",
+        type=int,
+        default=None,
+        metavar="M",
+        help="split every cell's arrival stream across M concurrent "
+        "front-ends sharing the cell's bulletin board (requires "
+        "ClusterSimulation-driven figures)",
+    )
     run_cmd.set_defaults(handler=_cmd_run)
+
+    multidisp_cmd = sub.add_parser(
+        "multidisp",
+        help="sweep the dispatcher count m for one policy and print "
+        "per-dispatcher herd statistics",
+    )
+    multidisp_cmd.add_argument(
+        "--policy",
+        type=str,
+        default="basic-li",
+        help="comma-separated policy labels (random, k=2, greedy, "
+        "basic-li, basic-li(global), aggressive-li, jiq, lsq); "
+        "default basic-li",
+    )
+    multidisp_cmd.add_argument(
+        "--m", type=str, default="1,2,4,8,16",
+        help="comma-separated dispatcher counts (default 1,2,4,8,16)",
+    )
+    multidisp_cmd.add_argument("--servers", type=int, default=10)
+    multidisp_cmd.add_argument("--load", type=float, default=0.9)
+    multidisp_cmd.add_argument(
+        "--period", type=float, default=4.0,
+        help="stale period T in mean service times (default 4.0)",
+    )
+    multidisp_cmd.add_argument(
+        "--board",
+        choices=("shared", "independent"),
+        default="shared",
+        help="one shared bulletin board, or per-dispatcher staggered "
+        "boards (default shared)",
+    )
+    multidisp_cmd.add_argument("--jobs", type=int, default=20_000)
+    multidisp_cmd.add_argument("--seed", type=int, default=1)
+    multidisp_cmd.set_defaults(handler=_cmd_multidisp)
 
     obs_cmd = sub.add_parser(
         "obs", help="summarize a run manifest written by `run --manifest-dir`"
@@ -293,6 +336,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_interval=args.trace_interval,
         full_traces=args.full_traces,
         faults=args.faults,
+        dispatchers=args.dispatchers,
     )
     try:
         if args.manifest_dir:
@@ -317,6 +361,74 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(_observations_digest(result))
     if manifest_path is not None:
         print(f"\nmanifest written to {manifest_path}")
+    return 0
+
+
+def _cmd_multidisp(args: argparse.Namespace) -> int:
+    """Sweep m for one or more policies; print herd-alignment columns."""
+    from functools import partial
+
+    from repro.experiments.registry import MULTIDISP_VARIANTS
+    from repro.multidispatch import MultiDispatchSimulation
+    from repro.obs.multidispatch import DispatcherTraceProbe
+    from repro.staleness.periodic import PeriodicUpdate
+    from repro.workloads.service import exponential_service
+
+    labels = [label.strip() for label in args.policy.split(",")]
+    for label in labels:
+        if label not in MULTIDISP_VARIANTS:
+            print(
+                f"error: unknown policy {label!r}; available: "
+                f"{', '.join(MULTIDISP_VARIANTS)}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        m_values = [int(value) for value in args.m.split(",")]
+    except ValueError:
+        print(f"error: --m must be comma-separated integers, got {args.m!r}",
+              file=sys.stderr)
+        return 2
+    print(
+        f"multidisp: n={args.servers} load={args.load:g} T={args.period:g} "
+        f"board={args.board} jobs={args.jobs} seed={args.seed}"
+    )
+    header = (
+        f"{'policy':<18} {'m':>3} {'mean_rt':>9} {'align':>7} "
+        f"{'imbal':>7} {'idle_rpts':>9} {'polls':>9} {'digest':>18}"
+    )
+    print(header)
+    for label in labels:
+        cfg = MULTIDISP_VARIANTS[label]
+        for m in m_values:
+            probe = DispatcherTraceProbe()
+            try:
+                simulation = MultiDispatchSimulation(
+                    num_servers=args.servers,
+                    total_rate=args.servers * args.load,
+                    service=exponential_service(),
+                    policy=cfg["policy"],
+                    staleness=partial(PeriodicUpdate, args.period),
+                    num_dispatchers=m,
+                    board=args.board,
+                    lambda_view=cfg.get("lambda_view", "local"),
+                    total_jobs=args.jobs,
+                    seed=args.seed,
+                    probes=[probe],
+                )
+                result = simulation.run()
+            except (ValueError, TypeError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            digest = probe.summary()
+            print(
+                f"{label:<18} {m:>3} {result.mean_response_time:>9.3f} "
+                f"{digest['herd_alignment']:>7.3f} "
+                f"{digest['dispatcher_imbalance']:>7.3f} "
+                f"{result.messages['idle_reports']:>9} "
+                f"{result.messages['load_polls']:>9} "
+                f"{digest['dispatch_matrix_digest']:>18}"
+            )
     return 0
 
 

@@ -100,6 +100,14 @@ class ClusterMetrics:
         if self._trace is not None:
             self._trace.append(response_time)
 
+    def record_lost(self) -> None:
+        """Record an arrival that no front-end could accept (every
+        dispatcher down at once).  The job was never dispatched, so no
+        server is charged in the histogram; it still consumes one slot of
+        the arrival quota and counts as failed."""
+        self._jobs_seen += 1
+        self._jobs_failed += 1
+
     def record_failure(self, server_id: int, retries: int = 0) -> None:
         """Record a job that never completed (stalled forever or aborted
         past its retry budget).  Failed jobs count toward the dispatch

@@ -27,7 +27,36 @@ from repro.staleness.base import StalenessModel
 from repro.workloads.arrivals import ArrivalSource
 from repro.workloads.distributions import Distribution
 
-__all__ = ["ClusterSimulation", "SimulationResult"]
+__all__ = [
+    "ClusterSimulation",
+    "SimulationResult",
+    "validate_dispatcher_count",
+]
+
+
+def validate_dispatcher_count(value) -> int:
+    """Validate a dispatcher count at the configuration boundary.
+
+    Accepts integers (and integer-valued floats, for CLI/JSON round
+    trips) that are >= 1; rejects booleans, NaN/inf and fractional
+    values with a message naming the offending input — mirroring the
+    non-finite-period validation in :mod:`repro.staleness`.
+    """
+    if isinstance(value, bool) or not isinstance(
+        value, (int, float, np.integer, np.floating)
+    ):
+        raise ValueError(
+            f"dispatchers must be an integer >= 1, got {value!r}"
+        )
+    as_float = float(value)
+    if not math.isfinite(as_float) or as_float != int(as_float):
+        raise ValueError(
+            f"dispatchers must be an integer >= 1, got {value!r}"
+        )
+    count = int(as_float)
+    if count < 1:
+        raise ValueError(f"dispatchers must be >= 1, got {count}")
+    return count
 
 
 @dataclass(frozen=True, slots=True)
@@ -163,6 +192,16 @@ class ClusterSimulation:
         Both engines produce bit-identical :class:`SimulationResult`
         objects, so the choice is purely a performance knob.  After
         :meth:`run`, :attr:`engine_used` records which engine executed.
+    dispatchers:
+        Number of concurrent front-ends ``m``.  The default 1 is the
+        paper's single-dispatcher model and leaves every code path (and
+        every random draw) untouched.  With ``m > 1`` the run is handed
+        to :class:`~repro.multidispatch.simulation.MultiDispatchSimulation`
+        with a shared board and the honest dispatcher-local λ_d = λ/m
+        view; this requires :class:`PoissonArrivals` (the aggregate
+        stream is split ``m`` ways) and is incompatible with server
+        ``faults`` (use ``MultiDispatchSimulation`` directly for
+        front-end faults).
     """
 
     #: Engine selected by the most recent :meth:`run` ("event" or "fast").
@@ -186,6 +225,7 @@ class ClusterSimulation:
         probes: list | None = None,
         faults: FaultInjector | None = None,
         engine: str = "auto",
+        dispatchers: int = 1,
     ) -> None:
         if num_servers < 1:
             raise ValueError(f"num_servers must be >= 1, got {num_servers}")
@@ -236,6 +276,7 @@ class ClusterSimulation:
                 f"engine must be 'auto', 'event' or 'fast', got {engine!r}"
             )
         self.engine = engine
+        self.dispatchers = validate_dispatcher_count(dispatchers)
 
     @property
     def offered_load(self) -> float:
@@ -264,6 +305,11 @@ class ClusterSimulation:
                 f"{type(self).__name__} subclasses the driver and may add "
                 "event-loop behavior the batched kernel cannot replay"
             )
+        if self.dispatchers > 1:
+            return (
+                f"multi_dispatcher: m={self.dispatchers} front-ends "
+                "interleave per-dispatcher draws by event order"
+            )
         if self.faults is not None:
             return "fault injection (timeouts and retries are event-driven)"
         if self.probes:
@@ -272,6 +318,11 @@ class ClusterSimulation:
             return (
                 f"staleness model {type(self.staleness).__name__} is not a "
                 "phase-based bulletin board"
+            )
+        if self.staleness.phase_offset != 0.0:
+            return (
+                "periodic board has a non-zero phase_offset; the batched "
+                "refresh clock replays the unstaggered schedule only"
             )
         if type(self.arrivals) is not PoissonArrivals:
             return (
@@ -350,11 +401,57 @@ class ClusterSimulation:
         """
         engine, _reason = self.engine_decision()
         self.engine_used = engine
+        if self.dispatchers > 1:
+            return self._run_multidispatch()
         if engine == "fast":
             from repro.engine.fastpath import run_fast_path
 
             return run_fast_path(self)
         return self._run_event()
+
+    def _run_multidispatch(self) -> SimulationResult:
+        """Delegate an m > 1 run to the multi-dispatcher driver.
+
+        The configuration maps to a shared bulletin board read by
+        ``dispatchers`` front-ends, each owning a deep copy of the policy
+        and rate estimator bound to the honest local rate λ_d = λ/m.
+        """
+        from repro.multidispatch.simulation import MultiDispatchSimulation
+        from repro.workloads.arrivals import PoissonArrivals
+
+        if type(self.arrivals) is not PoissonArrivals:
+            raise ValueError(
+                "dispatchers > 1 splits one aggregate Poisson stream "
+                f"across front-ends; {type(self.arrivals).__name__} cannot "
+                "be split (construct MultiDispatchSimulation directly for "
+                "custom setups)"
+            )
+        if self.faults is not None:
+            raise ValueError(
+                "server fault injection is not supported with "
+                "dispatchers > 1; use MultiDispatchSimulation("
+                "dispatcher_faults=...) for front-end faults"
+            )
+        delegate = MultiDispatchSimulation(
+            num_servers=self.num_servers,
+            total_rate=self.arrivals.total_rate,
+            service=self.service,
+            policy=self.policy,
+            staleness=self.staleness,
+            num_dispatchers=self.dispatchers,
+            board="shared",
+            rate_estimator=self.rate_estimator,
+            lambda_view="local",
+            total_jobs=self.total_jobs,
+            warmup_fraction=self.warmup_fraction,
+            seed=self.seed,
+            trace_jobs=self.trace_jobs,
+            trace_response_times=self.trace_response_times,
+            server_rates=self.server_rates,
+            client_latency=self.client_latency,
+            probes=self.probes,
+        )
+        return delegate.run()
 
     def _run_event(self) -> SimulationResult:
         """The reference event-driven engine (one heap event per arrival)."""

@@ -52,6 +52,29 @@ def _apply_fault_spec(simulation, fault_spec: str, figure_id: str) -> None:
     simulation.faults = parse_fault_spec(fault_spec)
 
 
+def _apply_dispatchers(simulation, dispatchers: int, figure_id: str) -> None:
+    """Apply a ``--dispatchers`` override to a cell's simulation.
+
+    Only cells driven by the standard
+    :class:`~repro.cluster.simulation.ClusterSimulation` can be re-split
+    across front-ends after the fact; figures built on alternative
+    drivers (including the multidispatch figures, which already fix their
+    own dispatcher count per x value) fail with a clear error.
+    """
+    from repro.cluster.simulation import (
+        ClusterSimulation,
+        validate_dispatcher_count,
+    )
+
+    if not isinstance(simulation, ClusterSimulation):
+        raise TypeError(
+            f"figure {figure_id!r} builds {type(simulation).__name__}, "
+            "which does not accept a dispatcher-count override; "
+            "--dispatchers requires figures driven by ClusterSimulation"
+        )
+    simulation.dispatchers = validate_dispatcher_count(dispatchers)
+
+
 def run_cell(
     figure_id: str,
     curve_label: str,
@@ -60,6 +83,7 @@ def run_cell(
     total_jobs: int,
     fault_spec: str | None = None,
     engine: str = "auto",
+    dispatchers: int | None = None,
 ) -> float:
     """Run one replication of one sweep cell; returns the mean response time.
 
@@ -67,13 +91,17 @@ def run_cell(
     (``"auto"``, ``"event"`` or ``"fast"``); both engines are bit-identical,
     so this is a performance knob for the profiling and benchmark harnesses.
     Figures built on other drivers accept ``"auto"``/``"event"`` (they are
-    event-driven anyway) and reject ``"fast"``.
+    event-driven anyway) and reject ``"fast"``.  ``dispatchers`` splits the
+    cell's arrival stream across that many concurrent front-ends (see
+    ``ClusterSimulation(dispatchers=...)``).
     """
     spec = get_figure(figure_id)
     curve = spec.curve(curve_label)
     simulation = spec.build_simulation(curve, x, seed, total_jobs)
     if fault_spec is not None:
         _apply_fault_spec(simulation, fault_spec, figure_id)
+    if dispatchers is not None:
+        _apply_dispatchers(simulation, dispatchers, figure_id)
     if engine != "auto":
         _apply_engine(simulation, engine, figure_id)
     return simulation.run().mean_response_time
@@ -131,6 +159,7 @@ def run_cell_observed(
     sample_interval: float = DEFAULT_TRACE_INTERVAL,
     full_traces: bool = False,
     fault_spec: str | None = None,
+    dispatchers: int | None = None,
 ) -> tuple[float, dict]:
     """Run one cell with the standard probes attached.
 
@@ -141,18 +170,29 @@ def run_cell_observed(
     records rather than just their digests.  Cells with a fault injector
     (from the figure spec or ``fault_spec``) additionally get a
     :class:`~repro.obs.fault_trace.FaultTraceProbe` recording availability
-    and retry timelines.
+    and retry timelines; multi-dispatcher cells (from the figure spec or
+    ``dispatchers``) get a
+    :class:`~repro.obs.multidispatch.DispatcherTraceProbe` recording the
+    dispatcher-by-server matrix and herd alignment.
     """
     spec = get_figure(figure_id)
     curve = spec.curve(curve_label)
     simulation = spec.build_simulation(curve, x, seed, total_jobs)
     if fault_spec is not None:
         _apply_fault_spec(simulation, fault_spec, figure_id)
+    if dispatchers is not None:
+        _apply_dispatchers(simulation, dispatchers, figure_id)
     probes = standard_probes(figure_id, x, sample_interval)
     if getattr(simulation, "faults", None) is not None:
         from repro.obs.fault_trace import FaultTraceProbe
 
         probes.append(FaultTraceProbe())
+    if getattr(simulation, "dispatchers", 1) > 1 or getattr(
+        simulation, "num_dispatchers", 1
+    ) > 1:
+        from repro.obs.multidispatch import DispatcherTraceProbe
+
+        probes.append(DispatcherTraceProbe())
     simulation.probes = probes
     result = simulation.run()
 
@@ -160,7 +200,7 @@ def run_cell_observed(
 
     summaries = ProbeSet(probes).summary()
     staleness = getattr(simulation, "staleness", None)
-    if staleness is not None:
+    if staleness is not None and hasattr(staleness, "info_summary"):
         info = staleness.info_summary()
         if info:
             summaries["staleness_info"] = info
@@ -185,6 +225,7 @@ def run_figure(
     trace_interval: float = DEFAULT_TRACE_INTERVAL,
     full_traces: bool = False,
     faults: str | None = None,
+    dispatchers: int | None = None,
 ) -> FigureResult:
     """Execute a figure's full sweep and return its :class:`FigureResult`.
 
@@ -220,6 +261,11 @@ def run_figure(
         Shipped to workers as a string and parsed there, so the sweep
         stays picklable.  Fails with a clear error on figures whose
         cells are not driven by ``ClusterSimulation``.
+    dispatchers:
+        Optional dispatcher-count override applied to every cell: the
+        arrival stream is split across that many concurrent front-ends
+        (``ClusterSimulation(dispatchers=...)``).  Like ``faults``, only
+        valid on figures driven by ``ClusterSimulation``.
     """
     spec = get_figure(figure_id)
     jobs = jobs if jobs is not None else spec.default_jobs
@@ -246,15 +292,22 @@ def run_figure(
         from repro.faults import parse_fault_spec
 
         parse_fault_spec(faults)  # validate once, before any worker starts
+    if dispatchers is not None:
+        from repro.cluster.simulation import validate_dispatcher_count
+
+        dispatchers = validate_dispatcher_count(dispatchers)
     if trace:
         work = [
-            (figure_id, label, x, seed, jobs, trace_interval, full_traces, faults)
+            (
+                figure_id, label, x, seed, jobs, trace_interval,
+                full_traces, faults, dispatchers,
+            )
             for (label, x, seed) in cells
         ]
         worker = _run_observed_tuple
     else:
         work = [
-            (figure_id, label, x, seed, jobs, faults)
+            (figure_id, label, x, seed, jobs, faults, dispatchers)
             for (label, x, seed) in cells
         ]
         worker = _run_cell_tuple
@@ -323,22 +376,36 @@ def run_figure_with_manifest(
 
         injector = parse_fault_spec(fault_spec)
         extra = {"faults": {"spec": fault_spec, **injector.describe()}}
+    dispatcher_override = kwargs.get("dispatchers")
+    if dispatcher_override is not None:
+        extra = {**(extra or {}), "dispatchers": int(dispatcher_override)}
     manifest = build_manifest(result, wall_time, base_seed=base_seed, extra=extra)
     path = save_manifest(manifest, manifest_dir)
     return result, path
 
 
-def _run_cell_tuple(item: tuple[str, str, float, int, int, str | None]) -> float:
-    figure_id, curve_label, x, seed, total_jobs, fault_spec = item
+def _run_cell_tuple(
+    item: tuple[str, str, float, int, int, str | None, int | None]
+) -> float:
+    figure_id, curve_label, x, seed, total_jobs, fault_spec, dispatchers = item
     return run_cell(
-        figure_id, curve_label, x, seed, total_jobs, fault_spec=fault_spec
+        figure_id,
+        curve_label,
+        x,
+        seed,
+        total_jobs,
+        fault_spec=fault_spec,
+        dispatchers=dispatchers,
     )
 
 
 def _run_observed_tuple(
-    item: tuple[str, str, float, int, int, float, bool, str | None]
+    item: tuple[str, str, float, int, int, float, bool, str | None, int | None]
 ) -> tuple[float, dict]:
-    figure_id, curve_label, x, seed, total_jobs, interval, full, fault_spec = item
+    (
+        figure_id, curve_label, x, seed, total_jobs, interval, full,
+        fault_spec, dispatchers,
+    ) = item
     return run_cell_observed(
         figure_id,
         curve_label,
@@ -348,6 +415,7 @@ def _run_observed_tuple(
         sample_interval=interval,
         full_traces=full,
         fault_spec=fault_spec,
+        dispatchers=dispatchers,
     )
 
 

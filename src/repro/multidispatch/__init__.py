@@ -1,0 +1,25 @@
+"""Multi-dispatcher extension: m concurrent stale-view front-ends.
+
+See :mod:`repro.multidispatch.simulation` for the driver and DESIGN.md §9
+for the model.
+"""
+
+from repro.multidispatch.coordinator import ClusterCoordinator
+from repro.multidispatch.policies import (
+    JoinIdleQueuePolicy,
+    LocalShortestQueuePolicy,
+    MultiDispatcherPolicy,
+)
+from repro.multidispatch.simulation import (
+    MultiDispatchResult,
+    MultiDispatchSimulation,
+)
+
+__all__ = [
+    "ClusterCoordinator",
+    "JoinIdleQueuePolicy",
+    "LocalShortestQueuePolicy",
+    "MultiDispatcherPolicy",
+    "MultiDispatchResult",
+    "MultiDispatchSimulation",
+]

@@ -1,0 +1,128 @@
+"""Server-side coordination channels for multi-dispatcher policies.
+
+The paper's policies are strictly *pull*-based: dispatchers read a stale
+bulletin board and never hear from servers directly.  The two
+multi-dispatcher baselines from the related work invert that:
+
+* **Join-Idle-Queue** (Lu et al.) — a server that *becomes idle* pushes
+  its id onto the I-queue of one dispatcher; dispatch is then O(1) and
+  message cost is at most one report per job.
+* **LSQ** (Vargaftik et al.) — dispatchers keep a *local* queue-length
+  estimate vector and spend a bounded per-arrival budget of fresh load
+  polls to pull it back toward the truth.
+
+:class:`ClusterCoordinator` is the shared substrate for both: it owns the
+per-dispatcher I-queues, answers fresh load polls, and counts every
+message so experiments can report communication cost next to response
+time.  It is created by
+:class:`~repro.multidispatch.simulation.MultiDispatchSimulation` only
+when some bound policy asks for it, so board-only runs carry no trace of
+it (and stay bit-identical to single-dispatcher runs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.server import Server
+    from repro.engine.simulator import Simulator
+
+__all__ = ["ClusterCoordinator"]
+
+
+class ClusterCoordinator:
+    """Idle-report queues and bounded load polling for ``m`` dispatchers.
+
+    Parameters
+    ----------
+    sim:
+        The event engine (idle checks read its clock).
+    servers:
+        The cluster; polls read true queue lengths from it.
+    num_dispatchers:
+        Number of I-queues to maintain.
+    rng:
+        The dedicated ``"coordination"`` stream.  Only the *server-side*
+        choice of which dispatcher receives an idle report draws from it;
+        dispatcher-side randomness stays on each dispatcher's own policy
+        stream.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        servers: Sequence["Server"],
+        num_dispatchers: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if num_dispatchers < 1:
+            raise ValueError(
+                f"num_dispatchers must be >= 1, got {num_dispatchers}"
+            )
+        self._sim = sim
+        self._servers = servers
+        self.num_dispatchers = num_dispatchers
+        self._integers = rng.integers
+        self._idle_queues: list[deque[int]] = [
+            deque() for _ in range(num_dispatchers)
+        ]
+        self._advertised = [False] * len(servers)
+        #: Idle reports actually sent (server -> dispatcher messages).
+        self.idle_reports = 0
+        #: Fresh queue-length polls answered (dispatcher -> server probes).
+        self.load_polls = 0
+
+    # -- Join-Idle-Queue ------------------------------------------------
+
+    def idle_check(self, server_id: int) -> None:
+        """Fired at a job's completion instant on ``server_id``.
+
+        If the server's queue just drained and it is not already sitting
+        in some I-queue, it reports to one uniformly chosen dispatcher —
+        the randomized-assignment variant of JIQ.
+        """
+        if self._advertised[server_id]:
+            return
+        now = self._sim.now
+        if self._servers[server_id].queue_length(now) > 0:
+            return
+        target = int(self._integers(self.num_dispatchers))
+        self._idle_queues[target].append(server_id)
+        self._advertised[server_id] = True
+        self.idle_reports += 1
+
+    def pop_idle(self, dispatcher_id: int) -> int | None:
+        """Pop the oldest advertised-idle server from one I-queue.
+
+        Entries can be stale — another dispatcher's random fallback may
+        have landed work on the server since it reported — and JIQ
+        dispatches to it anyway; that authentic imperfection is part of
+        what the experiments measure.  Returns ``None`` when the queue is
+        empty.
+        """
+        queue = self._idle_queues[dispatcher_id]
+        if not queue:
+            return None
+        server_id = queue.popleft()
+        self._advertised[server_id] = False
+        return server_id
+
+    # -- LSQ load polling ------------------------------------------------
+
+    def poll_load(self, server_id: int, now: float) -> int:
+        """Answer one fresh queue-length poll (counted as a message)."""
+        self.load_polls += 1
+        return self._servers[server_id].queue_length(now)
+
+    # -- observability ---------------------------------------------------
+
+    def message_summary(self) -> dict:
+        """Communication cost digest for results and manifests."""
+        return {
+            "idle_reports": self.idle_reports,
+            "load_polls": self.load_polls,
+        }

@@ -1,0 +1,138 @@
+"""Multi-dispatcher-native selection policies: JIQ and LSQ.
+
+The paper's policies (random, k-subset, LI) read a stale board and work
+unchanged with any number of dispatchers — the interesting question is
+*how well*.  These two baselines from the multi-dispatcher literature
+instead rely on server-to-dispatcher messages, so they only make sense
+inside :class:`~repro.multidispatch.simulation.MultiDispatchSimulation`,
+which wires them to a
+:class:`~repro.multidispatch.coordinator.ClusterCoordinator`.
+
+Using one in a plain single-board :class:`ClusterSimulation` raises a
+clear error at the first dispatch rather than silently degrading to
+random choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import Policy
+from repro.multidispatch.coordinator import ClusterCoordinator
+from repro.staleness.base import LoadView
+
+__all__ = [
+    "MultiDispatcherPolicy",
+    "JoinIdleQueuePolicy",
+    "LocalShortestQueuePolicy",
+]
+
+
+class MultiDispatcherPolicy(Policy):
+    """Base for policies that need the cluster coordinator.
+
+    Subclasses receive the coordinator and their dispatcher id via
+    :meth:`attach_coordinator` (called by the multidispatch driver after
+    :meth:`~repro.core.policy.Policy.bind`).
+    """
+
+    #: Whether the driver must schedule idle checks at job completions.
+    needs_idle_reports = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._coordinator: ClusterCoordinator | None = None
+        self._dispatcher_id: int | None = None
+
+    def attach_coordinator(
+        self, coordinator: ClusterCoordinator, dispatcher_id: int
+    ) -> None:
+        self._coordinator = coordinator
+        self._dispatcher_id = dispatcher_id
+
+    @property
+    def coordinator(self) -> ClusterCoordinator:
+        if self._coordinator is None:
+            raise RuntimeError(
+                f"{type(self).__name__} needs server-to-dispatcher "
+                "messages and only runs inside MultiDispatchSimulation "
+                "(ClusterSimulation's bulletin boards cannot carry them)"
+            )
+        return self._coordinator
+
+    @property
+    def dispatcher_id(self) -> int:
+        if self._dispatcher_id is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not attached to a dispatcher; "
+                "MultiDispatchSimulation does this for you"
+            )
+        return self._dispatcher_id
+
+
+class JoinIdleQueuePolicy(MultiDispatcherPolicy):
+    """Join-Idle-Queue: dispatch to an advertised-idle server if any.
+
+    Each dispatcher keeps an I-queue fed by servers that report when they
+    become idle (to one uniformly chosen dispatcher).  Selection pops the
+    own I-queue; when it is empty the dispatcher falls back to a uniform
+    random server — the standard JIQ fallback.  The stale board is never
+    consulted, so JIQ's response time is independent of ``T``; its cost
+    is the idle-report message stream.
+    """
+
+    name = "jiq"
+    needs_idle_reports = True
+
+    def select(self, view: LoadView) -> int:
+        server_id = self.coordinator.pop_idle(self.dispatcher_id)
+        if server_id is not None:
+            return server_id
+        return int(self._integers(self.num_servers))
+
+
+class LocalShortestQueuePolicy(MultiDispatcherPolicy):
+    """LSQ-style local shortest queue with a bounded poll budget.
+
+    Each dispatcher maintains a *local* queue-length estimate vector: it
+    increments its own entry for every job it dispatches, and per arrival
+    refreshes ``poll_budget`` uniformly drawn servers' entries with their
+    true queue length (each refresh counted as one message by the
+    coordinator).  Selection is the local-view argmin with uniform random
+    tie-breaking.  ``poll_budget=0`` degenerates to dispatching on the
+    dispatcher's own (ever-growing) counts; larger budgets interpolate
+    toward global shortest-queue at a measured communication cost.
+    """
+
+    name = "lsq"
+
+    def __init__(self, poll_budget: int = 2) -> None:
+        super().__init__()
+        if poll_budget < 0:
+            raise ValueError(
+                f"poll_budget must be >= 0, got {poll_budget}"
+            )
+        self.poll_budget = int(poll_budget)
+        self._estimates: np.ndarray | None = None
+        self._everyone: np.ndarray | None = None
+
+    def _on_bind(self) -> None:
+        self._estimates = np.zeros(self.num_servers, dtype=np.float64)
+        self._everyone = np.arange(self.num_servers)
+
+    def select(self, view: LoadView) -> int:
+        coordinator = self.coordinator  # fail fast when unattached
+        estimates = self._estimates
+        assert estimates is not None and self._everyone is not None
+        if self.poll_budget:
+            polled = self._integers(self.num_servers, size=self.poll_budget)
+            for server_id in polled:
+                estimates[server_id] = coordinator.poll_load(
+                    int(server_id), view.now
+                )
+        choice = self._random_minimum(estimates, self._everyone)
+        estimates[choice] += 1.0
+        return choice
+
+    def __repr__(self) -> str:
+        return f"LocalShortestQueuePolicy(poll_budget={self.poll_budget!r})"

@@ -18,12 +18,14 @@ from repro.obs.manifest import (
     load_manifest,
     save_manifest,
 )
+from repro.obs.multidispatch import DispatcherTraceProbe
 from repro.obs.probes import Probe, ProbeSet
 from repro.obs.traces import QueueTraceProbe, ResponseHistogramProbe
 
 __all__ = [
     "Probe",
     "ProbeSet",
+    "DispatcherTraceProbe",
     "FaultTraceProbe",
     "QueueTraceProbe",
     "ResponseHistogramProbe",

@@ -1,0 +1,134 @@
+"""Per-dispatcher observability: who sent what where, and in lockstep?
+
+With ``m`` dispatchers the herd effect has a new axis: not just "did
+dispatches collapse onto one server" (:class:`~repro.obs.herd.HerdDetector`
+measures that) but "did *independent* dispatchers collapse onto the *same*
+server".  :class:`DispatcherTraceProbe` accumulates the dispatcher-by-server
+dispatch matrix, per-epoch *alignment* (the fraction of active dispatchers
+whose modal server equals the epoch's global modal server — 1.0 means every
+front-end herded to the same place), and a content digest of the matrix for
+run manifests.
+
+The probe keys dispatchers by the ``client_id`` probe field, which the
+multidispatch driver sets to the handling dispatcher's id; it therefore
+also works (as a per-client trace) on single-dispatcher multi-client runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.obs.probes import Probe
+
+__all__ = ["DispatcherTraceProbe"]
+
+
+class DispatcherTraceProbe(Probe):
+    """Dispatch matrix, imbalance, and herd alignment across dispatchers.
+
+    Epochs are delimited by board refreshes (``on_load_update``); models
+    that never refresh produce a single whole-run epoch.
+    """
+
+    name = "dispatchers"
+
+    def __init__(self) -> None:
+        self._num_servers = 0
+        self._counts: dict[int, np.ndarray] = {}
+        self._epoch_counts: dict[int, np.ndarray] = {}
+        self._alignment: list[float] = []
+        self._epochs = 0
+        self._jobs_lost = 0
+
+    def on_attach(self, sim, servers) -> None:
+        self._num_servers = len(servers)
+        self._counts = {}
+        self._epoch_counts = {}
+        self._alignment = []
+        self._epochs = 0
+        self._jobs_lost = 0
+
+    def _row(self, table: dict[int, np.ndarray], dispatcher: int) -> np.ndarray:
+        row = table.get(dispatcher)
+        if row is None:
+            row = np.zeros(self._num_servers, dtype=np.int64)
+            table[dispatcher] = row
+        return row
+
+    def on_dispatch(
+        self, now: float, client_id: int, server_id: int, queue_length: int
+    ) -> None:
+        self._row(self._counts, client_id)[server_id] += 1
+        self._row(self._epoch_counts, client_id)[server_id] += 1
+
+    def on_job_failed(self, time: float, server_id: int, reason: str) -> None:
+        if reason == "dispatchers-down":
+            self._jobs_lost += 1
+
+    def on_load_update(self, now: float, version: int, loads) -> None:
+        self._close_epoch()
+
+    def on_finish(self, now: float) -> None:
+        self._close_epoch()
+
+    def _close_epoch(self) -> None:
+        if not self._epoch_counts:
+            return
+        rows = sorted(self._epoch_counts.items())
+        totals = np.zeros(self._num_servers, dtype=np.int64)
+        for _, row in rows:
+            totals += row
+        if totals.sum() == 0:
+            self._epoch_counts = {}
+            return
+        global_top = int(totals.argmax())
+        active = [row for _, row in rows if row.sum() > 0]
+        aligned = sum(1 for row in active if int(row.argmax()) == global_top)
+        self._alignment.append(aligned / len(active))
+        self._epochs += 1
+        self._epoch_counts = {}
+
+    # -- results ---------------------------------------------------------
+
+    def dispatch_matrix(self) -> np.ndarray:
+        """The (dispatchers, servers) job-count matrix observed so far."""
+        if not self._counts:
+            return np.zeros((0, self._num_servers), dtype=np.int64)
+        size = max(self._counts) + 1
+        matrix = np.zeros((size, self._num_servers), dtype=np.int64)
+        for dispatcher, row in self._counts.items():
+            matrix[dispatcher] = row
+        return matrix
+
+    def herd_alignment(self) -> float:
+        """Mean per-epoch fraction of dispatchers herding to the global
+        modal server; 1/m-ish when dispatchers disagree, 1.0 in lockstep."""
+        if not self._alignment:
+            return 0.0
+        return float(np.mean(self._alignment))
+
+    def summary(self) -> dict:
+        """JSON-serializable digest (lands in run manifests)."""
+        matrix = self.dispatch_matrix()
+        per_dispatcher = matrix.sum(axis=1)
+        total = int(per_dispatcher.sum())
+        digest = hashlib.sha256(
+            np.ascontiguousarray(matrix).tobytes()
+            + str(matrix.shape).encode()
+        ).hexdigest()[:16]
+        imbalance = (
+            float(per_dispatcher.max() / per_dispatcher.mean())
+            if total
+            else 0.0
+        )
+        return {
+            "num_dispatchers": int(matrix.shape[0]),
+            "jobs_per_dispatcher": [int(v) for v in per_dispatcher],
+            "dispatcher_imbalance": round(imbalance, 6),
+            "herd_alignment": round(self.herd_alignment(), 6),
+            "epochs": self._epochs,
+            "jobs_lost": self._jobs_lost,
+            "dispatch_matrix_digest": digest,
+        }

@@ -118,6 +118,28 @@ def _pinned_simulation(engine: str, jobs: int, seed: int = 1):
     )
 
 
+def _pinned_multidispatch(jobs: int, seed: int = 1):
+    """The pinned multi-dispatcher cell: the Fig. 2 configuration split
+    across four front-ends sharing one periodic board, each running its
+    own basic LI instance with the honest local rate lambda/4."""
+    from repro.multidispatch import MultiDispatchSimulation
+    from repro.core.li_basic import BasicLIPolicy
+    from repro.staleness.periodic import PeriodicUpdate
+    from repro.workloads.distributions import Exponential
+
+    return MultiDispatchSimulation(
+        num_servers=10,
+        total_rate=9.0,
+        service=Exponential(1.0),
+        policy=BasicLIPolicy,
+        staleness=lambda: PeriodicUpdate(period=2.0),
+        num_dispatchers=4,
+        board="shared",
+        total_jobs=jobs,
+        seed=seed,
+    )
+
+
 #: The pinned knobs recorded in every BENCH file, alongside ``jobs``.
 PINNED_KNOBS = {"num_servers": 10, "offered_load": 0.9, "period": 2.0}
 
@@ -189,10 +211,17 @@ def default_kernels(jobs: int) -> list[PerfKernel]:
 
         return make
 
+    def make_multidispatch() -> Callable[[], object]:
+        def run() -> float:
+            return _pinned_multidispatch(jobs).run().mean_response_time
+
+        return run
+
     return [
         PerfKernel(CALIBRATION_KERNEL, lambda: _calibration_workload(), inner=50),
         PerfKernel("dispatch-event", make_dispatch("event"), jobs=jobs),
         PerfKernel("dispatch-fast", make_dispatch("fast"), jobs=jobs),
+        PerfKernel("dispatch-multi4", make_multidispatch, jobs=jobs),
         PerfKernel("waterfill-n10", make_waterfill(10), inner=500),
         PerfKernel("waterfill-n1000", make_waterfill(1000), inner=250),
     ]

@@ -35,11 +35,21 @@ class PeriodicUpdate(StalenessModel):
     # Fire board refreshes before any same-instant arrival events.
     REFRESH_PRIORITY = -1
 
-    def __init__(self, period: float, metric: str = "queue-length") -> None:
+    def __init__(
+        self,
+        period: float,
+        metric: str = "queue-length",
+        phase_offset: float = 0.0,
+    ) -> None:
         super().__init__(metric=metric)
         if not math.isfinite(period) or period <= 0:
             raise ValueError(f"period must be positive and finite, got {period}")
+        if not math.isfinite(phase_offset) or phase_offset < 0:
+            raise ValueError(
+                f"phase_offset must be finite and >= 0, got {phase_offset}"
+            )
         self.period = float(period)
+        self.phase_offset = float(phase_offset)
         self._board: np.ndarray | None = None
         self._phase_start = 0.0
         self._version = 0
@@ -50,9 +60,15 @@ class PeriodicUpdate(StalenessModel):
         self._board = self._sample_loads(0.0)
         self._phase_start = 0.0
         self._version = 0
-        self._sim.schedule(
-            self.period, self._refresh, priority=self.REFRESH_PRIORITY
-        )
+        # With a phase offset o in (0, period) the refresh train runs at
+        # o, o + period, ... so staggered boards (one per dispatcher)
+        # never refresh in lockstep.  An offset of 0 — or any multiple of
+        # the period — reduces to the seed schedule, keeping single-board
+        # runs bit-identical.
+        first = self.phase_offset % self.period
+        if first == 0.0:
+            first = self.period
+        self._sim.schedule(first, self._refresh, priority=self.REFRESH_PRIORITY)
 
     def _refresh(self) -> None:
         assert self._sim is not None
@@ -96,4 +112,9 @@ class PeriodicUpdate(StalenessModel):
         )
 
     def __repr__(self) -> str:
+        if self.phase_offset:
+            return (
+                f"PeriodicUpdate(period={self.period!r}, "
+                f"phase_offset={self.phase_offset!r})"
+            )
         return f"PeriodicUpdate(period={self.period!r})"

@@ -165,6 +165,19 @@ class TestFallbackMatrix:
         simulation = _simulation(arrivals=WeirdArrivals())
         assert "arrival source" in simulation.fast_path_blocker()
 
+    def test_multiple_dispatchers_block(self):
+        simulation = _simulation(dispatchers=4)
+        assert "multi_dispatcher" in simulation.fast_path_blocker()
+
+    def test_single_dispatcher_does_not_block(self):
+        assert _simulation(dispatchers=1).fast_path_blocker() is None
+
+    def test_staggered_phase_offset_blocks(self):
+        simulation = _simulation(
+            staleness=PeriodicUpdate(period=2.0, phase_offset=0.5)
+        )
+        assert "phase_offset" in simulation.fast_path_blocker()
+
     def test_inconsistent_select_override_blocks(self):
         class SkewedRandom(RandomPolicy):
             def select(self, view):
@@ -183,6 +196,11 @@ class TestEngineKnob:
         simulation = _simulation(
             staleness=ContinuousUpdate(delay=1.0), engine="fast"
         )
+        with pytest.raises(ValueError, match="fast path is unavailable"):
+            simulation.run()
+
+    def test_forced_fast_raises_with_multiple_dispatchers(self):
+        simulation = _simulation(dispatchers=2, engine="fast")
         with pytest.raises(ValueError, match="fast path is unavailable"):
             simulation.run()
 

@@ -22,6 +22,28 @@ class TestRunCell:
         second = run_cell("fig2", "basic-li", x=4.0, seed=3, total_jobs=1_000)
         assert first != second
 
+    def test_dispatcher_override_matches_direct_configuration(self):
+        # The same (figure, curve, x, seed) cell split across 4 front-ends
+        # must equal the registry's own m=4 multidispatch cell.
+        overridden = run_cell(
+            "fig2", "basic-li", x=4.0, seed=2, total_jobs=1_000, dispatchers=4
+        )
+        direct = run_cell(
+            "ext-multidisp-herd", "basic-li", x=4.0, seed=2, total_jobs=1_000
+        )
+        assert overridden == direct
+
+    def test_dispatcher_override_rejected_on_other_drivers(self):
+        with pytest.raises(TypeError, match="dispatcher-count override"):
+            run_cell(
+                "ext-multidisp-herd",
+                "basic-li",
+                x=4.0,
+                seed=1,
+                total_jobs=200,
+                dispatchers=2,
+            )
+
 
 class TestRunFigure:
     def test_small_sweep_complete(self):

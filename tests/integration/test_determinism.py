@@ -104,6 +104,41 @@ def test_heavy_tailed_service_deterministic():
     assert first == second
 
 
+@pytest.mark.parametrize("dispatchers", [1, 2, 4])
+def test_dispatcher_count_grid_deterministic(dispatchers):
+    def run():
+        simulation = ClusterSimulation(
+            num_servers=10,
+            arrivals=PoissonArrivals(9.0),
+            service=exponential_service(),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(4.0),
+            total_jobs=3_000,
+            seed=17,
+            dispatchers=dispatchers,
+        )
+        return simulation.run().mean_response_time
+
+    assert run() == run()
+
+
+def test_multidispatch_figure_parallel_matches_serial():
+    """Worker processes must reproduce inline multi-dispatcher cells
+    exactly: the dispatcher override travels through the work tuples."""
+    from repro.experiments.runner import run_figure
+
+    kwargs = dict(
+        jobs=800,
+        seeds=2,
+        x_values=[2.0, 4.0],
+        curves=["basic-li", "greedy"],
+    )
+    serial = run_figure("ext-multidisp-herd", processes=1, **kwargs)
+    parallel = run_figure("ext-multidisp-herd", processes=2, **kwargs)
+    for key, cell in serial.cells.items():
+        assert parallel.cells[key].mean == cell.mean
+
+
 def test_policy_reuse_across_runs_is_clean():
     """Reusing one policy object for two runs must give the same pair of
     results as using fresh objects (no state leakage through caches)."""

@@ -58,6 +58,24 @@ def test_no_unexpected_cells(result):
     assert set(result.cells) == set(GOLDEN_MEANS)
 
 
+def test_dispatchers_1_reproduces_goldens_exactly():
+    """The multi-dispatcher knob at m=1 must not perturb a single draw:
+    every golden cell mean is reproduced bit-for-bit with the override
+    applied (m=1 collapses to the seed engines; only m>1 delegates)."""
+    delegated = run_figure(
+        "fig2",
+        jobs=JOBS,
+        seeds=SEEDS,
+        x_values=X_VALUES,
+        curves=["basic-li"],
+        dispatchers=1,
+    )
+    for x in X_VALUES:
+        assert delegated.cells[("basic-li", x)].mean == pytest.approx(
+            GOLDEN_MEANS[("basic-li", x)], rel=RTOL
+        )
+
+
 def test_goldens_reproduce_paper_ordering(result):
     """Sanity on the pinned values themselves: LI beats random, staleness
     hurts LI (fig2's qualitative claims)."""

@@ -1,0 +1,158 @@
+"""JIQ, LSQ and the cluster coordinator: messages instead of boards."""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Server
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.random_policy import RandomPolicy
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.multidispatch import (
+    JoinIdleQueuePolicy,
+    LocalShortestQueuePolicy,
+    MultiDispatchSimulation,
+)
+from repro.multidispatch.coordinator import ClusterCoordinator
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import exponential_service
+
+
+def _run(policy, m=4, jobs=4_000, seed=2, **overrides):
+    kwargs = dict(
+        num_servers=10,
+        total_rate=9.0,
+        service=exponential_service(),
+        policy=policy,
+        staleness=partial(PeriodicUpdate, 4.0),
+        num_dispatchers=m,
+        total_jobs=jobs,
+        seed=seed,
+    )
+    kwargs.update(overrides)
+    return MultiDispatchSimulation(**kwargs).run()
+
+
+class TestCoordinator:
+    def _fixture(self):
+        sim = Simulator()
+        servers = [Server(i) for i in range(4)]
+        rng = RandomStreams(5).stream("coordination")
+        return sim, servers, ClusterCoordinator(sim, servers, 3, rng)
+
+    def test_idle_server_reports_once(self):
+        sim, servers, coordinator = self._fixture()
+        coordinator.idle_check(0)
+        coordinator.idle_check(0)  # already advertised: no second report
+        assert coordinator.message_summary()["idle_reports"] == 1
+
+    def test_busy_server_does_not_report(self):
+        sim, servers, coordinator = self._fixture()
+        servers[1].assign(0.0, 5.0)
+        coordinator.idle_check(1)
+        assert coordinator.message_summary()["idle_reports"] == 0
+
+    def test_pop_clears_advertisement(self):
+        sim, servers, coordinator = self._fixture()
+        coordinator.idle_check(2)
+        owner = next(
+            d for d in range(3) if coordinator.pop_idle(d) is not None
+        )
+        assert coordinator.pop_idle(owner) is None
+        coordinator.idle_check(2)  # can re-advertise after the pop
+        assert coordinator.message_summary()["idle_reports"] == 2
+
+    def test_poll_load_counts_messages(self):
+        sim, servers, coordinator = self._fixture()
+        servers[3].assign(0.0, 5.0)
+        assert coordinator.poll_load(3, 1.0) == 1
+        assert coordinator.poll_load(0, 1.0) == 0
+        assert coordinator.message_summary()["load_polls"] == 2
+
+
+class TestUnattachedUse:
+    def test_unattached_policy_raises_clear_error(self):
+        policy = JoinIdleQueuePolicy()
+        policy.bind(10, RandomStreams(1).stream("policy"), None)
+        with pytest.raises(RuntimeError, match="MultiDispatchSimulation"):
+            policy.select(None)
+
+    def test_dispatcher_id_unattached_raises(self):
+        with pytest.raises(RuntimeError, match="not attached"):
+            JoinIdleQueuePolicy().dispatcher_id
+
+    def test_lsq_repr_shows_budget(self):
+        assert "poll_budget=3" in repr(LocalShortestQueuePolicy(3))
+
+    def test_jiq_inside_cluster_simulation_raises(self):
+        simulation = ClusterSimulation(
+            num_servers=10,
+            arrivals=PoissonArrivals(9.0),
+            service=exponential_service(),
+            policy=JoinIdleQueuePolicy(),
+            staleness=PeriodicUpdate(4.0),
+            total_jobs=100,
+            seed=1,
+        )
+        with pytest.raises(RuntimeError, match="MultiDispatchSimulation"):
+            simulation.run()
+
+
+class TestJoinIdleQueue:
+    def test_reports_flow_and_beat_random(self):
+        jiq = _run(JoinIdleQueuePolicy)
+        random = _run(RandomPolicy)
+        assert jiq.messages["idle_reports"] > 0
+        assert jiq.messages["load_polls"] == 0
+        assert jiq.mean_response_time < random.mean_response_time
+
+    def test_deterministic(self):
+        first = _run(JoinIdleQueuePolicy)
+        second = _run(JoinIdleQueuePolicy)
+        assert first.mean_response_time == second.mean_response_time
+        assert first.messages == second.messages
+
+    def test_independent_of_board_period(self):
+        # JIQ never reads the board, so T is irrelevant.
+        slow = _run(JoinIdleQueuePolicy, staleness=partial(PeriodicUpdate, 32.0))
+        fast = _run(JoinIdleQueuePolicy, staleness=partial(PeriodicUpdate, 0.5))
+        assert slow.mean_response_time == fast.mean_response_time
+
+
+class TestLocalShortestQueue:
+    def test_poll_budget_charged_per_arrival(self):
+        result = _run(partial(LocalShortestQueuePolicy, 2), jobs=3_000)
+        assert result.messages["load_polls"] == 2 * 3_000
+        assert result.messages["idle_reports"] == 0
+
+    def test_zero_budget_runs_without_messages(self):
+        result = _run(partial(LocalShortestQueuePolicy, 0), jobs=2_000)
+        assert result.messages["load_polls"] == 0
+        assert result.jobs_total == 2_000
+
+    def test_bigger_budget_helps(self):
+        budget0 = _run(partial(LocalShortestQueuePolicy, 0), jobs=6_000)
+        budget4 = _run(partial(LocalShortestQueuePolicy, 4), jobs=6_000)
+        assert (
+            budget4.mean_response_time < budget0.mean_response_time
+        )
+
+    def test_beats_random(self):
+        lsq = _run(partial(LocalShortestQueuePolicy, 2), jobs=6_000)
+        random = _run(RandomPolicy, jobs=6_000)
+        assert lsq.mean_response_time < random.mean_response_time
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="poll_budget"):
+            LocalShortestQueuePolicy(-1)
+
+    def test_deterministic(self):
+        first = _run(partial(LocalShortestQueuePolicy, 2))
+        second = _run(partial(LocalShortestQueuePolicy, 2))
+        assert first.mean_response_time == second.mean_response_time
+        assert np.array_equal(first.dispatch_matrix, second.dispatch_matrix)

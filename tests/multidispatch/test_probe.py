@@ -1,0 +1,96 @@
+"""DispatcherTraceProbe: matrices, alignment, digests, manifests."""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.core.li_basic import BasicLIPolicy
+from repro.multidispatch import MultiDispatchSimulation
+from repro.obs.multidispatch import DispatcherTraceProbe
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.service import exponential_service
+
+
+def _run(m=4, jobs=3_000, seed=9, probe=None):
+    probe = probe if probe is not None else DispatcherTraceProbe()
+    result = MultiDispatchSimulation(
+        num_servers=10,
+        total_rate=9.0,
+        service=exponential_service(),
+        policy=BasicLIPolicy,
+        staleness=partial(PeriodicUpdate, 4.0),
+        num_dispatchers=m,
+        total_jobs=jobs,
+        seed=seed,
+        probes=[probe],
+    ).run()
+    return result, probe
+
+
+def test_matrix_matches_driver_accounting():
+    result, probe = _run()
+    assert np.array_equal(probe.dispatch_matrix(), result.dispatch_matrix)
+
+
+def test_summary_shape_and_ranges():
+    result, probe = _run()
+    summary = probe.summary()
+    assert summary["num_dispatchers"] == 4
+    assert sum(summary["jobs_per_dispatcher"]) == 3_000
+    assert 0.0 <= summary["herd_alignment"] <= 1.0
+    assert summary["epochs"] > 0
+    assert summary["jobs_lost"] == 0
+    assert summary["dispatcher_imbalance"] >= 1.0
+    digest = summary["dispatch_matrix_digest"]
+    assert len(digest) == 16
+    int(digest, 16)  # hex
+
+
+def test_single_dispatcher_is_always_aligned():
+    _, probe = _run(m=1)
+    assert probe.summary()["herd_alignment"] == 1.0
+
+
+def test_digest_deterministic_and_content_sensitive():
+    _, first = _run()
+    _, second = _run()
+    _, other_seed = _run(seed=10)
+    assert (
+        first.summary()["dispatch_matrix_digest"]
+        == second.summary()["dispatch_matrix_digest"]
+    )
+    assert (
+        first.summary()["dispatch_matrix_digest"]
+        != other_seed.summary()["dispatch_matrix_digest"]
+    )
+
+
+def test_empty_probe_summary_is_safe():
+    probe = DispatcherTraceProbe()
+    summary = probe.summary()
+    assert summary["num_dispatchers"] == 0
+    assert summary["herd_alignment"] == 0.0
+    assert summary["dispatcher_imbalance"] == 0.0
+
+
+def test_runner_attaches_probe_for_multidispatch_cells():
+    from repro.experiments.runner import run_cell_observed
+
+    _, summaries = run_cell_observed(
+        "ext-multidisp-herd", "basic-li", 4.0, seed=1, total_jobs=400
+    )
+    digest = summaries["dispatchers"]
+    assert digest["num_dispatchers"] == 4
+    assert sum(digest["jobs_per_dispatcher"]) == 400
+
+
+def test_runner_does_not_attach_probe_for_single_dispatcher_cells():
+    from repro.experiments.runner import run_cell_observed
+
+    _, summaries = run_cell_observed(
+        "fig2", "basic-li", 4.0, seed=1, total_jobs=400
+    )
+    assert "dispatchers" not in summaries

@@ -147,6 +147,113 @@ class TestRunFaults:
         assert faults["schedule"]["mttf"] == 100.0
 
 
+class TestRunDispatchers:
+    def test_dispatchers_override_runs(self, capsys):
+        code = main(
+            [
+                "run",
+                "fig2",
+                "--jobs",
+                "400",
+                "--seeds",
+                "1",
+                "--curves",
+                "basic-li",
+                "--x",
+                "4",
+                "--dispatchers",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert "basic-li" in capsys.readouterr().out
+
+    def test_bad_dispatcher_count_exit_code(self, capsys):
+        code = main(
+            [
+                "run",
+                "fig2",
+                "--jobs",
+                "100",
+                "--curves",
+                "basic-li",
+                "--x",
+                "4",
+                "--dispatchers",
+                "0",
+            ]
+        )
+        assert code == 2
+        assert "dispatchers" in capsys.readouterr().err
+
+    def test_multidisp_figure_runs(self, capsys):
+        code = main(
+            [
+                "run",
+                "ext-multidisp-herd",
+                "--jobs",
+                "300",
+                "--seeds",
+                "1",
+                "--curves",
+                "basic-li,greedy",
+                "--x",
+                "1,4",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ext-multidisp-herd" in output
+        assert "greedy" in output
+
+
+class TestMultidispCommand:
+    def test_sweeps_m_and_policies(self, capsys):
+        code = main(
+            [
+                "multidisp",
+                "--policy",
+                "basic-li,jiq",
+                "--m",
+                "1,2",
+                "--jobs",
+                "400",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mean_rt" in output
+        assert "jiq" in output
+        assert "align" in output
+
+    def test_unknown_policy_exit_code(self, capsys):
+        code = main(["multidisp", "--policy", "bogus", "--jobs", "100"])
+        assert code == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_bad_m_exit_code(self, capsys):
+        code = main(["multidisp", "--m", "two", "--jobs", "100"])
+        assert code == 2
+        assert "--m" in capsys.readouterr().err
+
+    def test_independent_board(self, capsys):
+        code = main(
+            [
+                "multidisp",
+                "--policy",
+                "basic-li",
+                "--m",
+                "4",
+                "--board",
+                "independent",
+                "--jobs",
+                "400",
+            ]
+        )
+        assert code == 0
+        assert "basic-li" in capsys.readouterr().out
+
+
 class TestFig1Command:
     def test_fig1_runs(self, capsys):
         code = main(["fig1", "--draws", "2000", "--k", "1,2"])
