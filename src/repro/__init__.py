@@ -69,6 +69,18 @@ from repro.faults import (
     ServerState,
     parse_fault_spec,
 )
+from repro.overload import (
+    AdmissionPolicy,
+    AlwaysAdmit,
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    OverloadConfig,
+    ProbabilisticShed,
+    RetryStormConfig,
+    StaleBoardShed,
+    build_overload_config,
+)
 from repro.staleness import (
     ContinuousUpdate,
     IndividualUpdate,
@@ -144,6 +156,17 @@ __all__ = [
     "RetryPolicy",
     "ServerState",
     "parse_fault_spec",
+    # overload protection
+    "OverloadConfig",
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "ProbabilisticShed",
+    "StaleBoardShed",
+    "BreakerConfig",
+    "BreakerState",
+    "BreakerBoard",
+    "RetryStormConfig",
+    "build_overload_config",
     # workloads
     "PoissonArrivals",
     "ClientArrivals",

@@ -135,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
         "front-ends sharing the cell's bulletin board (requires "
         "ClusterSimulation-driven figures)",
     )
+    _add_overload_arguments(run_cmd)
     run_cmd.set_defaults(handler=_cmd_run)
 
     multidisp_cmd = sub.add_parser(
@@ -170,6 +171,35 @@ def build_parser() -> argparse.ArgumentParser:
     multidisp_cmd.add_argument("--jobs", type=int, default=20_000)
     multidisp_cmd.add_argument("--seed", type=int, default=1)
     multidisp_cmd.set_defaults(handler=_cmd_multidisp)
+
+    overload_cmd = sub.add_parser(
+        "overload",
+        help="sweep offered load rho for one or more policies under "
+        "overload protection and print goodput/drop/breaker columns",
+    )
+    overload_cmd.add_argument(
+        "--policy",
+        type=str,
+        default="basic-li",
+        help="comma-separated policy labels (random, greedy, threshold, "
+        "basic-li, aggressive-li, random+storm, basic-li+storm); "
+        "default basic-li",
+    )
+    overload_cmd.add_argument(
+        "--rho",
+        type=str,
+        default="0.8,0.9,1.0,1.1,1.2",
+        help="comma-separated offered loads (default 0.8,0.9,1.0,1.1,1.2)",
+    )
+    overload_cmd.add_argument("--servers", type=int, default=10)
+    overload_cmd.add_argument(
+        "--period", type=float, default=4.0,
+        help="stale period T in mean service times (default 4.0)",
+    )
+    overload_cmd.add_argument("--jobs", type=int, default=20_000)
+    overload_cmd.add_argument("--seed", type=int, default=1)
+    _add_overload_arguments(overload_cmd, default_capacity=16)
+    overload_cmd.set_defaults(handler=_cmd_overload)
 
     obs_cmd = sub.add_parser(
         "obs", help="summarize a run manifest written by `run --manifest-dir`"
@@ -309,6 +339,58 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_overload_arguments(
+    command: argparse.ArgumentParser, default_capacity: int | None = None
+) -> None:
+    """The overload-protection flag block shared by `run` and `overload`."""
+    command.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=default_capacity,
+        metavar="K",
+        help="bound every server queue at K jobs; dispatches beyond it "
+        "are rejected"
+        + (f" (default {default_capacity})" if default_capacity else ""),
+    )
+    command.add_argument(
+        "--admission",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="shed arrivals before dispatch: 'shed=P' (probabilistic) or "
+        "'threshold=T' (refuse when the stale board's minimum is >= T)",
+    )
+    command.add_argument(
+        "--breaker",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="per-server circuit breakers: 'on' for defaults, or "
+        "comma-separated threshold=N,cooldown=C,jitter=J",
+    )
+    command.add_argument(
+        "--storm",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="re-submit refused jobs after jittered client backoff "
+        "(retry storms): 'on' for defaults, or comma-separated "
+        "backoff=B,cap=C,jitter=J,resubmits=R",
+    )
+
+
+def _overload_tuple(args: argparse.Namespace) -> tuple | None:
+    """Collect the overload flags into the runner's primitive 4-tuple."""
+    if (
+        args.queue_capacity is None
+        and args.admission is None
+        and args.breaker is None
+        and args.storm is None
+    ):
+        return None
+    return (args.queue_capacity, args.admission, args.breaker, args.storm)
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     width = max(len(figure_id) for figure_id in FIGURES)
     for figure_id, spec in FIGURES.items():
@@ -337,6 +419,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         full_traces=args.full_traces,
         faults=args.faults,
         dispatchers=args.dispatchers,
+        overload=_overload_tuple(args),
     )
     try:
         if args.manifest_dir:
@@ -432,6 +515,78 @@ def _cmd_multidisp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    """Sweep rho for one or more policies; print overload accounting."""
+    from repro.cluster.simulation import ClusterSimulation
+    from repro.experiments.registry import OVERLOAD_VARIANTS
+    from repro.overload import build_overload_config
+    from repro.staleness.periodic import PeriodicUpdate
+    from repro.workloads.arrivals import PoissonArrivals
+    from repro.workloads.service import exponential_service
+
+    labels = [label.strip() for label in args.policy.split(",")]
+    for label in labels:
+        if label not in OVERLOAD_VARIANTS:
+            print(
+                f"error: unknown policy {label!r}; available: "
+                f"{', '.join(OVERLOAD_VARIANTS)}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        rho_values = [float(value) for value in args.rho.split(",")]
+    except ValueError:
+        print(
+            f"error: --rho must be comma-separated numbers, got {args.rho!r}",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"overload: n={args.servers} T={args.period:g} "
+        f"capacity={args.queue_capacity} admission={args.admission} "
+        f"breaker={args.breaker} storm={args.storm} "
+        f"jobs={args.jobs} seed={args.seed}"
+    )
+    header = (
+        f"{'policy':<16} {'rho':>5} {'goodput':>8} {'drop':>7} {'shed':>6} "
+        f"{'reject':>7} {'trips':>6} {'resub':>6} {'mean_rt':>8}"
+    )
+    print(header)
+    for label in labels:
+        policy_factory, storm_curve = OVERLOAD_VARIANTS[label]
+        storm_spec = args.storm if args.storm else ("on" if storm_curve else None)
+        for rho in rho_values:
+            try:
+                overload = build_overload_config(
+                    queue_capacity=args.queue_capacity,
+                    admission=args.admission,
+                    breaker=args.breaker,
+                    storm=storm_spec,
+                )
+                simulation = ClusterSimulation(
+                    num_servers=args.servers,
+                    arrivals=PoissonArrivals(args.servers * rho),
+                    service=exponential_service(),
+                    policy=policy_factory(),
+                    staleness=PeriodicUpdate(period=args.period),
+                    total_jobs=args.jobs,
+                    seed=args.seed,
+                    overload=overload,
+                )
+                result = simulation.run()
+            except (ValueError, TypeError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            print(
+                f"{label:<16} {rho:>5.2f} {result.goodput:>8.4f} "
+                f"{result.drop_rate:>7.4f} {result.jobs_shed:>6} "
+                f"{result.jobs_rejected:>7} {result.breaker_trips:>6} "
+                f"{result.storm_resubmits:>6} "
+                f"{result.mean_response_time:>8.3f}"
+            )
+    return 0
+
+
 def _observations_digest(result) -> str:
     """One line per traced cell: utilization spread and herd statistics."""
     lines = ["observations:"]
@@ -454,6 +609,14 @@ def _observations_digest(result) -> str:
             parts.append(
                 f"avail {availability.get('availability', 1.0):.3f} "
                 f"retries {faults.get('retries', 0)} failed {failed}"
+            )
+        overload = probes.get("overload") or {}
+        if overload:
+            parts.append(
+                f"sheds {overload.get('sheds', 0)} "
+                f"rejects {overload.get('rejects_total', 0)} "
+                f"drops {overload.get('drops_total', 0)} "
+                f"trips {overload.get('breaker', {}).get('trips_total', 0)}"
             )
         info = probes.get("staleness_info") or {}
         if info.get("refreshes_attempted"):

@@ -38,6 +38,10 @@ class ClusterMetrics:
         "_jobs_retried",
         "_retries_total",
         "_retry_penalty_total",
+        "_jobs_shed",
+        "_jobs_dropped",
+        "_storm_resubmits",
+        "rejected_counts",
     )
 
     def __init__(
@@ -59,6 +63,10 @@ class ClusterMetrics:
         self._jobs_retried = 0
         self._retries_total = 0
         self._retry_penalty_total = 0.0
+        self._jobs_shed = 0
+        self._jobs_dropped = 0
+        self._storm_resubmits = 0
+        self.rejected_counts = np.zeros(num_servers, dtype=np.int64)
 
     @property
     def warmup_jobs(self) -> int:
@@ -108,6 +116,32 @@ class ClusterMetrics:
         self._jobs_seen += 1
         self._jobs_failed += 1
 
+    def record_shed(self) -> None:
+        """Record an admission-control shed: the dispatcher refused the
+        arrival before selecting a server.  Non-terminal — the job's fate
+        is settled by a later :meth:`record` (storm re-submission that
+        eventually lands) or :meth:`record_drop`."""
+        self._jobs_shed += 1
+
+    def record_reject(self, server_id: int) -> None:
+        """Record a server-side queue-full rejection.  Non-terminal: the
+        dispatch failed but the job may still be retried or re-submitted;
+        no arrival-quota slot is consumed here."""
+        self.rejected_counts[server_id] += 1
+
+    def record_resubmit(self) -> None:
+        """Record a retry-storm re-submission (a refused job re-entering
+        the arrival pipeline after client backoff).  Non-terminal."""
+        self._storm_resubmits += 1
+
+    def record_drop(self) -> None:
+        """Record a job refused for good: shed or rejected with no retry
+        storm, or a storm that exhausted ``max_resubmits``.  Terminal —
+        consumes the job's arrival-quota slot; no server is charged in
+        the dispatch histogram."""
+        self._jobs_seen += 1
+        self._jobs_dropped += 1
+
     def record_failure(self, server_id: int, retries: int = 0) -> None:
         """Record a job that never completed (stalled forever or aborted
         past its retry budget).  Failed jobs count toward the dispatch
@@ -143,6 +177,27 @@ class ClusterMetrics:
     def retry_penalty_total(self) -> float:
         """Timeout + backoff latency summed over all completed jobs."""
         return self._retry_penalty_total
+
+    @property
+    def jobs_shed(self) -> int:
+        """Arrivals refused by admission control (shed events, not jobs:
+        a stormy job shed twice counts twice)."""
+        return self._jobs_shed
+
+    @property
+    def jobs_rejected(self) -> int:
+        """Dispatches refused by a full server queue, summed over servers."""
+        return int(self.rejected_counts.sum())
+
+    @property
+    def jobs_dropped(self) -> int:
+        """Jobs refused for good (never served, never dispatched)."""
+        return self._jobs_dropped
+
+    @property
+    def storm_resubmits(self) -> int:
+        """Retry-storm re-submissions summed over all jobs."""
+        return self._storm_resubmits
 
     @property
     def response_times(self) -> np.ndarray:

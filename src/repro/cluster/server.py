@@ -54,12 +54,18 @@ class Server:
         Optional fault lifecycle profile; ``None`` (the default) keeps the
         original always-UP fast path.  The fault injector sets this when
         it attaches.
+    queue_capacity:
+        Maximum jobs (queued + in service) the server holds; an arrival
+        that would exceed it is refused by :meth:`try_assign`.  ``None``
+        (the default) keeps the original unbounded queue, in which
+        :meth:`try_assign` never refuses.
     """
 
     __slots__ = (
         "server_id",
         "service_rate",
         "timeline",
+        "queue_capacity",
         "_arrival_times",
         "_completion_times",
         "_last_completion",
@@ -67,6 +73,7 @@ class Server:
         "_busy_time",
         "_jobs_aborted",
         "_last_assign_aborted",
+        "_jobs_rejected",
     )
 
     def __init__(
@@ -74,12 +81,18 @@ class Server:
         server_id: int,
         service_rate: float = 1.0,
         timeline: "ServerTimeline | None" = None,
+        queue_capacity: int | None = None,
     ) -> None:
         if service_rate <= 0:
             raise ValueError(f"service_rate must be positive, got {service_rate}")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1 or None, got {queue_capacity}"
+            )
         self.server_id = server_id
         self.service_rate = float(service_rate)
         self.timeline = timeline
+        self.queue_capacity = queue_capacity
         self._arrival_times: list[float] = []
         self._completion_times: list[float] = []
         self._last_completion = 0.0
@@ -87,6 +100,7 @@ class Server:
         self._busy_time = 0.0
         self._jobs_aborted = 0
         self._last_assign_aborted = False
+        self._jobs_rejected = 0
 
     @property
     def jobs_assigned(self) -> int:
@@ -112,6 +126,11 @@ class Server:
     def last_assign_aborted(self) -> bool:
         """Whether the most recent :meth:`assign` ended in a crash abort."""
         return self._last_assign_aborted
+
+    @property
+    def jobs_rejected(self) -> int:
+        """Arrivals refused by :meth:`try_assign` against a full queue."""
+        return self._jobs_rejected
 
     def state_at(self, time: float) -> "ServerState":
         """Lifecycle state (UP/DEGRADED/DOWN) at ``time``."""
@@ -165,6 +184,24 @@ class Server:
         self._last_completion = completion
         self._jobs_assigned += 1
         return completion
+
+    def try_assign(self, now: float, service_time: float) -> float | None:
+        """Like :meth:`assign`, but honoring :attr:`queue_capacity`.
+
+        Returns the completion time when the job is accepted, or ``None``
+        when the server already holds ``queue_capacity`` jobs at ``now``
+        (the arrival is rejected and counted in :attr:`jobs_rejected`).
+        The occupancy check uses the same instant-of-arrival convention
+        as :meth:`queue_length`: a job completing exactly at ``now``
+        frees its slot for this arrival.
+        """
+        if (
+            self.queue_capacity is not None
+            and self.queue_length(now) >= self.queue_capacity
+        ):
+            self._jobs_rejected += 1
+            return None
+        return self.assign(now, service_time)
 
     def queue_length(self, at_time: float) -> int:
         """Number of jobs present (queued + in service) at ``at_time``.

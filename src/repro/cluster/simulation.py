@@ -23,6 +23,7 @@ from repro.core.rate_estimators import ExactRate, RateEstimator
 from repro.engine.rng import RandomStreams
 from repro.engine.simulator import Simulator
 from repro.faults.injector import FaultInjector
+from repro.overload.config import OverloadConfig
 from repro.staleness.base import StalenessModel
 from repro.workloads.arrivals import ArrivalSource
 from repro.workloads.distributions import Distribution
@@ -86,6 +87,24 @@ class SimulationResult:
     retry_penalty:
         Total timeout + backoff latency paid by completed jobs (already
         included in their measured response times).
+    jobs_rejected:
+        Dispatches refused by a full server queue (bounded-queue runs);
+        a job can be rejected several times before landing or dropping.
+    jobs_shed:
+        Arrivals refused by admission control before server selection.
+    jobs_dropped:
+        Jobs refused for good — shed/rejected with no retry storm, or a
+        storm that exhausted its re-submission budget.  Disjoint from
+        ``jobs_failed`` (fault losses); both subtract from goodput.
+    storm_resubmits:
+        Retry-storm re-submissions (refused jobs re-entering the arrival
+        pipeline after client backoff).
+    breaker_trips:
+        Circuit-breaker CLOSED/HALF_OPEN → OPEN transitions summed over
+        servers.
+    rejected_counts:
+        Per-server queue-full rejections, or ``None`` when no overload
+        protection was active.
     response_times:
         Per-job response times when tracing was enabled, else ``None``.
     trace:
@@ -101,8 +120,33 @@ class SimulationResult:
     jobs_retried: int = 0
     retries_total: int = 0
     retry_penalty: float = 0.0
+    jobs_rejected: int = 0
+    jobs_shed: int = 0
+    jobs_dropped: int = 0
+    storm_resubmits: int = 0
+    breaker_trips: int = 0
+    rejected_counts: np.ndarray | None = None
     response_times: np.ndarray | None = None
     trace: list[Job] | None = field(default=None, repr=False)
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of all arrivals that completed service.
+
+        Counts both overload drops and fault failures against the run;
+        1.0 on a healthy unbounded-queue run.
+        """
+        if self.jobs_total == 0:
+            return 0.0
+        lost = self.jobs_failed + self.jobs_dropped
+        return (self.jobs_total - lost) / self.jobs_total
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of all arrivals lost (``1 - goodput``)."""
+        if self.jobs_total == 0:
+            return 0.0
+        return (self.jobs_failed + self.jobs_dropped) / self.jobs_total
 
     @property
     def dispatch_fractions(self) -> np.ndarray:
@@ -183,6 +227,13 @@ class ClusterSimulation:
         dedicated ``"faults"`` random stream, plus the dispatcher's
         timeout/retry behavior.  ``None`` (and an injector with the null
         schedule) leaves the run bit-identical to a fault-free one.
+    overload:
+        Optional :class:`~repro.overload.config.OverloadConfig` enabling
+        bounded server queues, admission control, circuit breakers
+        and/or retry storms.  ``None`` (and a config with every knob at
+        its default) leaves the run bit-identical to an unprotected one;
+        any active knob forces the event engine (see
+        :meth:`fast_path_blocker`).
     engine:
         ``"auto"`` (default) runs the phase-batched fast path
         (:mod:`repro.engine.fastpath`) whenever the configuration permits
@@ -207,6 +258,10 @@ class ClusterSimulation:
     #: Engine selected by the most recent :meth:`run` ("event" or "fast").
     engine_used: str | None = None
 
+    #: Breaker digest of the most recent :meth:`run` (``None`` unless the
+    #: run had circuit breakers enabled).
+    last_breaker_summary: dict | None = None
+
     def __init__(
         self,
         num_servers: int,
@@ -224,6 +279,7 @@ class ClusterSimulation:
         client_latency: np.ndarray | None = None,
         probes: list | None = None,
         faults: FaultInjector | None = None,
+        overload: OverloadConfig | None = None,
         engine: str = "auto",
         dispatchers: int = 1,
     ) -> None:
@@ -267,10 +323,16 @@ class ClusterSimulation:
                 "faults must be a FaultInjector (or None), got "
                 f"{type(faults).__name__}"
             )
+        if overload is not None and not isinstance(overload, OverloadConfig):
+            raise TypeError(
+                "overload must be an OverloadConfig (or None), got "
+                f"{type(overload).__name__}"
+            )
         self.server_rates = server_rates
         self.client_latency = client_latency
         self.probes = list(probes) if probes else None
         self.faults = faults
+        self.overload = overload
         if engine not in ("auto", "event", "fast"):
             raise ValueError(
                 f"engine must be 'auto', 'event' or 'fast', got {engine!r}"
@@ -280,13 +342,22 @@ class ClusterSimulation:
 
     @property
     def offered_load(self) -> float:
-        """Per-server offered load λ (arrival rate / aggregate capacity)."""
+        """Per-server offered load λ (arrival rate / aggregate capacity).
+
+        A cluster whose every server is rate-profiled to zero has no
+        capacity at all: any positive arrival rate overloads it
+        infinitely, so the ratio is reported as ``inf`` rather than
+        raising ``ZeroDivisionError``.
+        """
         total_capacity = (
             float(sum(self.server_rates))
             if self.server_rates is not None
             else float(self.num_servers)
         )
-        return self.arrivals.total_rate * self.service.mean / total_capacity
+        offered = self.arrivals.total_rate * self.service.mean
+        if total_capacity == 0.0:
+            return math.inf if offered > 0 else 0.0
+        return offered / total_capacity
 
     def fast_path_blocker(self) -> str | None:
         """Why the phase-batched fast path cannot run, or ``None`` if it can.
@@ -312,6 +383,11 @@ class ClusterSimulation:
             )
         if self.faults is not None:
             return "fault injection (timeouts and retries are event-driven)"
+        if self.overload is not None and self.overload.active:
+            return (
+                f"{self.overload.blocker_reason()}: per-arrival refusal "
+                "decisions are sequential, not phase-batchable"
+            )
         if self.probes:
             return "observability probes need the event loop's per-event hooks"
         if type(self.staleness) not in (PeriodicUpdate, LossyPeriodicUpdate):
@@ -432,6 +508,12 @@ class ClusterSimulation:
                 "dispatchers > 1; use MultiDispatchSimulation("
                 "dispatcher_faults=...) for front-end faults"
             )
+        if self.overload is not None and self.overload.retry_storm is not None:
+            raise ValueError(
+                "retry storms are not supported with dispatchers > 1: "
+                "re-submissions would need a per-client home dispatcher "
+                "the split-arrival model does not define"
+            )
         delegate = MultiDispatchSimulation(
             num_servers=self.num_servers,
             total_rate=self.arrivals.total_rate,
@@ -450,6 +532,7 @@ class ClusterSimulation:
             server_rates=self.server_rates,
             client_latency=self.client_latency,
             probes=self.probes,
+            overload=self.overload,
         )
         return delegate.run()
 
@@ -458,7 +541,17 @@ class ClusterSimulation:
         streams = RandomStreams(self.seed)
         sim = Simulator()
         rates = self.server_rates or [1.0] * self.num_servers
-        servers = [Server(i, rate) for i, rate in enumerate(rates)]
+
+        overload = self.overload if self.overload is not None else None
+        overload_active = overload is not None and overload.active
+        queue_capacity = overload.queue_capacity if overload_active else None
+        admission = overload.admission if overload_active and overload.sheds else None
+        storm = overload.retry_storm if overload_active else None
+
+        servers = [
+            Server(i, rate, queue_capacity=queue_capacity)
+            for i, rate in enumerate(rates)
+        ]
 
         probe_set = None
         if self.probes:
@@ -469,8 +562,44 @@ class ClusterSimulation:
 
         faults = self.faults
         retry = faults.retry if faults is not None else None
+        faults_rng = None
         if faults is not None:
-            faults.attach(sim, servers, streams.stream("faults"), probes=probe_set)
+            faults_rng = streams.stream("faults")
+            faults.attach(sim, servers, faults_rng, probes=probe_set)
+
+        breakers = None
+        if overload_active and overload.breaker is not None:
+            from repro.overload.breaker import BreakerBoard
+
+            on_transition = None
+            if probe_set is not None:
+                on_transition = probe_set.on_breaker_transition
+            breakers = BreakerBoard(
+                self.num_servers,
+                overload.breaker,
+                rng=(
+                    streams.stream("breaker")
+                    if overload.breaker.cooldown_jitter > 0
+                    else None
+                ),
+                on_transition=on_transition,
+            )
+        if admission is not None:
+            from repro.overload.admission import ProbabilisticShed
+
+            admission.bind(
+                self.num_servers,
+                (
+                    streams.stream("admission")
+                    if isinstance(admission, ProbabilisticShed)
+                    else None
+                ),
+            )
+        storm_rng = (
+            streams.stream("retry-storm")
+            if storm is not None and storm.jitter > 0
+            else None
+        )
 
         self.staleness.attach(
             sim,
@@ -496,9 +625,14 @@ class ClusterSimulation:
         trace: list[Job] | None = [] if self.trace_jobs else None
         arrivals_seen = 0
         pending_retries = 0
+        pending_storm = 0
 
         def maybe_stop() -> None:
-            if arrivals_seen >= self.total_jobs and pending_retries == 0:
+            if (
+                arrivals_seen >= self.total_jobs
+                and pending_retries == 0
+                and pending_storm == 0
+            ):
                 sim.stop()
 
         def select_retry_target(client_id: int, excluded: frozenset[int]) -> int:
@@ -527,13 +661,39 @@ class ClusterSimulation:
             server_id: int,
             excluded: frozenset[int],
             retries_done: int,
+            resubmits_done: int = 0,
         ) -> None:
             nonlocal pending_retries
             now = sim.now
+            if breakers is not None and not breakers.allow(server_id, now):
+                # The breaker knows what the stale board does not: this
+                # server has been refusing work.  Route around it — to the
+                # least-loaded server no breaker currently blocks — or
+                # refuse the job outright if every server is blocked.
+                blocked = excluded | frozenset(
+                    candidate
+                    for candidate in range(self.num_servers)
+                    if breakers.blocks(candidate, now)
+                )
+                if len(blocked) >= self.num_servers:
+                    refuse(
+                        index,
+                        client_id,
+                        arrival_time,
+                        service_time,
+                        resubmits_done,
+                        "breaker-blocked",
+                    )
+                    return
+                server_id = select_retry_target(client_id, blocked)
+                breakers.allow(server_id, now)  # may claim a half-open probe
             server = servers[server_id]
             if faults is not None and faults.is_down(server_id, now):
                 # The board said otherwise; the dispatcher discovers the
-                # crash the hard way, by waiting out the timeout.
+                # crash the hard way, by waiting out the timeout — which
+                # is exactly the signal that trips a breaker.
+                if breakers is not None:
+                    breakers.record_failure(server_id, now)
                 if retry.max_attempts and retries_done >= retry.max_attempts:
                     metrics.record_failure(server_id, retries=retries_done)
                     if probe_set is not None:
@@ -561,15 +721,42 @@ class ClusterSimulation:
                         target,
                         excluded,
                         next_attempt,
+                        resubmits_done,
                     )
                     maybe_stop()
 
                 sim.schedule_after(
-                    retry.timeout + retry.backoff_delay(next_attempt), redispatch
+                    retry.timeout + retry.backoff_delay(next_attempt, faults_rng),
+                    redispatch,
                 )
                 return
 
-            completion = server.assign(now, service_time)
+            if queue_capacity is None:
+                completion = server.assign(now, service_time)
+            else:
+                accepted = server.try_assign(now, service_time)
+                if accepted is None:
+                    # Queue full: the dispatch bounced off the capacity
+                    # limit.  Charged to the server's rejection count and
+                    # to its breaker, then the job is refused (and may
+                    # come back as a storm re-submission).
+                    metrics.record_reject(server_id)
+                    if breakers is not None:
+                        breakers.record_failure(server_id, now)
+                    if probe_set is not None:
+                        probe_set.on_job_rejected(now, server_id)
+                    refuse(
+                        index,
+                        client_id,
+                        arrival_time,
+                        service_time,
+                        resubmits_done,
+                        "queue-full",
+                    )
+                    return
+                completion = accepted
+            if breakers is not None:
+                breakers.record_success(server_id, now)
             aborted = server.last_assign_aborted
             if aborted or not math.isfinite(completion):
                 metrics.record_failure(server_id, retries=retries_done)
@@ -617,29 +804,99 @@ class ClusterSimulation:
                     )
                 )
 
-        def on_arrival(client_id: int) -> None:
-            nonlocal arrivals_seen
-            if arrivals_seen >= self.total_jobs:
-                return  # quota reached; the run is only draining retries
+        def refuse(
+            index: int,
+            client_id: int,
+            arrival_time: float,
+            service_time: float | None,
+            resubmits_done: int,
+            reason: str,
+        ) -> None:
+            # A job the system would not take: shed by admission, bounced
+            # by a full queue, or blocked by breakers on every server.
+            # Without a retry storm the client gives up immediately; with
+            # one, the job comes back as a fresh arrival after a jittered
+            # backoff — the feedback loop that makes overload metastable.
+            nonlocal pending_storm
+            if storm is None or resubmits_done >= storm.max_resubmits:
+                metrics.record_drop()
+                if probe_set is not None:
+                    probe_set.on_job_failed(
+                        sim.now,
+                        -1,
+                        "storm-exhausted" if storm is not None else reason,
+                    )
+                return
+            next_resubmit = resubmits_done + 1
+            metrics.record_resubmit()
+            pending_storm += 1
+
+            def resubmit() -> None:
+                nonlocal pending_storm
+                pending_storm -= 1
+                self.rate_estimator.observe_arrival(sim.now)
+                submit(index, client_id, arrival_time, next_resubmit, service_time)
+                maybe_stop()
+
+            sim.schedule_after(storm.delay(next_resubmit, storm_rng), resubmit)
+
+        def submit(
+            index: int,
+            client_id: int,
+            arrival_time: float,
+            resubmits_done: int,
+            service_time: float | None,
+        ) -> None:
+            # The dispatcher's full pipeline for one (re-)submission:
+            # stale view -> admission -> server selection -> dispatch.
+            # The job's service demand is sampled once, at its first
+            # dispatch attempt, and carried across re-submissions.
             now = sim.now
-            self.rate_estimator.observe_arrival(now)
             view = self.staleness.view(client_id, now)
+            if admission is not None and not admission.admit(view):
+                metrics.record_shed()
+                if probe_set is not None:
+                    probe_set.on_job_shed(now, client_id)
+                refuse(
+                    index, client_id, arrival_time, service_time,
+                    resubmits_done, "shed",
+                )
+                return
             server_id = self.policy.select(view)
             if not 0 <= server_id < self.num_servers:
                 raise RuntimeError(
                     f"{type(self.policy).__name__} selected invalid server "
                     f"{server_id} (cluster size {self.num_servers})"
                 )
-            service_time = self.service.sample(service_rng)
+            if service_time is None:
+                service_time = self.service.sample(service_rng)
+            attempt_dispatch(
+                index,
+                client_id,
+                arrival_time,
+                service_time,
+                server_id,
+                frozenset(),
+                0,
+                resubmits_done,
+            )
+
+        def on_arrival(client_id: int) -> None:
+            nonlocal arrivals_seen
+            if arrivals_seen >= self.total_jobs:
+                return  # quota reached; the run is only draining retries
+            now = sim.now
+            self.rate_estimator.observe_arrival(now)
             index = arrivals_seen
             arrivals_seen += 1
-            attempt_dispatch(
-                index, client_id, now, service_time, server_id, frozenset(), 0
-            )
+            submit(index, client_id, now, 0, None)
             maybe_stop()
 
         self.arrivals.start(sim, streams.stream("arrivals"), on_arrival)
         sim.run()
+        if breakers is not None:
+            breakers.finalize(sim.now)
+            self.last_breaker_summary = breakers.summary()
         if probe_set is not None:
             probe_set.on_finish(sim.now)
 
@@ -653,6 +910,14 @@ class ClusterSimulation:
             jobs_retried=metrics.jobs_retried,
             retries_total=metrics.retries_total,
             retry_penalty=metrics.retry_penalty_total,
+            jobs_rejected=metrics.jobs_rejected,
+            jobs_shed=metrics.jobs_shed,
+            jobs_dropped=metrics.jobs_dropped,
+            storm_resubmits=metrics.storm_resubmits,
+            breaker_trips=breakers.trips_total if breakers is not None else 0,
+            rejected_counts=(
+                metrics.rejected_counts.copy() if overload_active else None
+            ),
             response_times=(
                 metrics.response_times if self.trace_response_times else None
             ),

@@ -52,6 +52,41 @@ def _apply_fault_spec(simulation, fault_spec: str, figure_id: str) -> None:
     simulation.faults = parse_fault_spec(fault_spec)
 
 
+#: Overload overrides cross process boundaries as a 4-tuple of primitives
+#: ``(queue_capacity, admission_spec, breaker_spec, storm_spec)`` and are
+#: re-materialized in the worker via ``build_overload_config`` — same
+#: picklability discipline as the ``--faults`` string.
+OverloadSpec = "tuple[int | None, str | None, str | None, str | None]"
+
+
+def _apply_overload(simulation, overload: tuple, figure_id: str) -> None:
+    """Apply an overload-protection override to a cell's simulation.
+
+    ``overload`` is the primitive 4-tuple described by ``OverloadSpec``.
+    Only cells driven by the standard
+    :class:`~repro.cluster.simulation.ClusterSimulation` accept it;
+    figures built on alternative drivers fail with a clear error instead
+    of silently running unprotected.
+    """
+    from repro.cluster.simulation import ClusterSimulation
+    from repro.overload import build_overload_config
+
+    if not isinstance(simulation, ClusterSimulation):
+        raise TypeError(
+            f"figure {figure_id!r} builds {type(simulation).__name__}, "
+            "which does not accept an overload override; "
+            "--queue-capacity/--admission/--breaker/--storm require "
+            "figures driven by ClusterSimulation"
+        )
+    queue_capacity, admission, breaker, storm = overload
+    simulation.overload = build_overload_config(
+        queue_capacity=queue_capacity,
+        admission=admission,
+        breaker=breaker,
+        storm=storm,
+    )
+
+
 def _apply_dispatchers(simulation, dispatchers: int, figure_id: str) -> None:
     """Apply a ``--dispatchers`` override to a cell's simulation.
 
@@ -84,8 +119,12 @@ def run_cell(
     fault_spec: str | None = None,
     engine: str = "auto",
     dispatchers: int | None = None,
+    overload: tuple | None = None,
 ) -> float:
-    """Run one replication of one sweep cell; returns the mean response time.
+    """Run one replication of one sweep cell; returns the spec's metric.
+
+    Most figures report the mean response time; the overload sweeps set
+    ``FigureSpec.metric`` to ``"goodput"`` or ``"drop_rate"`` instead.
 
     ``engine`` forwards to :class:`~repro.cluster.simulation.ClusterSimulation`
     (``"auto"``, ``"event"`` or ``"fast"``); both engines are bit-identical,
@@ -93,7 +132,9 @@ def run_cell(
     Figures built on other drivers accept ``"auto"``/``"event"`` (they are
     event-driven anyway) and reject ``"fast"``.  ``dispatchers`` splits the
     cell's arrival stream across that many concurrent front-ends (see
-    ``ClusterSimulation(dispatchers=...)``).
+    ``ClusterSimulation(dispatchers=...)``).  ``overload`` is the primitive
+    4-tuple ``(queue_capacity, admission_spec, breaker_spec, storm_spec)``
+    applied to every cell (see :func:`repro.overload.build_overload_config`).
     """
     spec = get_figure(figure_id)
     curve = spec.curve(curve_label)
@@ -102,9 +143,11 @@ def run_cell(
         _apply_fault_spec(simulation, fault_spec, figure_id)
     if dispatchers is not None:
         _apply_dispatchers(simulation, dispatchers, figure_id)
+    if overload is not None:
+        _apply_overload(simulation, overload, figure_id)
     if engine != "auto":
         _apply_engine(simulation, engine, figure_id)
-    return simulation.run().mean_response_time
+    return getattr(simulation.run(), spec.metric)
 
 
 def _apply_engine(simulation, engine: str, figure_id: str) -> None:
@@ -160,10 +203,13 @@ def run_cell_observed(
     full_traces: bool = False,
     fault_spec: str | None = None,
     dispatchers: int | None = None,
+    overload: tuple | None = None,
 ) -> tuple[float, dict]:
     """Run one cell with the standard probes attached.
 
-    Returns ``(mean_response_time, probe_summaries)`` where the summaries
+    Returns ``(metric_value, probe_summaries)`` — the metric is the
+    spec's (mean response time for the paper figures, goodput or drop
+    rate for the overload sweeps) and the summaries
     are plain JSON-serializable dictionaries (safe to ship across process
     boundaries).  ``full_traces`` additionally embeds the complete queue
     trace (timestamps × per-server queue lengths) and per-epoch herd
@@ -173,7 +219,10 @@ def run_cell_observed(
     and retry timelines; multi-dispatcher cells (from the figure spec or
     ``dispatchers``) get a
     :class:`~repro.obs.multidispatch.DispatcherTraceProbe` recording the
-    dispatcher-by-server matrix and herd alignment.
+    dispatcher-by-server matrix and herd alignment; cells with an active
+    overload configuration (from the figure spec or ``overload``) get an
+    :class:`~repro.obs.overload.OverloadProbe` recording drops, sheds and
+    breaker timelines.
     """
     spec = get_figure(figure_id)
     curve = spec.curve(curve_label)
@@ -182,6 +231,8 @@ def run_cell_observed(
         _apply_fault_spec(simulation, fault_spec, figure_id)
     if dispatchers is not None:
         _apply_dispatchers(simulation, dispatchers, figure_id)
+    if overload is not None:
+        _apply_overload(simulation, overload, figure_id)
     probes = standard_probes(figure_id, x, sample_interval)
     if getattr(simulation, "faults", None) is not None:
         from repro.obs.fault_trace import FaultTraceProbe
@@ -193,6 +244,11 @@ def run_cell_observed(
         from repro.obs.multidispatch import DispatcherTraceProbe
 
         probes.append(DispatcherTraceProbe())
+    overload_config = getattr(simulation, "overload", None)
+    if overload_config is not None and overload_config.active:
+        from repro.obs.overload import OverloadProbe
+
+        probes.append(OverloadProbe())
     simulation.probes = probes
     result = simulation.run()
 
@@ -210,7 +266,7 @@ def run_cell_observed(
                 summaries[probe.name]["trace"] = probe.trace_dict()
             if hasattr(probe, "epochs_dict"):
                 summaries[probe.name]["epoch_records"] = probe.epochs_dict()
-    return result.mean_response_time, summaries
+    return getattr(result, spec.metric), summaries
 
 
 def run_figure(
@@ -226,6 +282,7 @@ def run_figure(
     full_traces: bool = False,
     faults: str | None = None,
     dispatchers: int | None = None,
+    overload: tuple | None = None,
 ) -> FigureResult:
     """Execute a figure's full sweep and return its :class:`FigureResult`.
 
@@ -266,6 +323,14 @@ def run_figure(
         arrival stream is split across that many concurrent front-ends
         (``ClusterSimulation(dispatchers=...)``).  Like ``faults``, only
         valid on figures driven by ``ClusterSimulation``.
+    overload:
+        Optional overload-protection override applied to every cell, as
+        the primitive 4-tuple ``(queue_capacity, admission_spec,
+        breaker_spec, storm_spec)`` — the CLI's ``--queue-capacity``,
+        ``--admission``, ``--breaker`` and ``--storm`` strings.  Shipped
+        to workers as primitives and re-materialized there via
+        :func:`repro.overload.build_overload_config`.  Like ``faults``,
+        only valid on figures driven by ``ClusterSimulation``.
     """
     spec = get_figure(figure_id)
     jobs = jobs if jobs is not None else spec.default_jobs
@@ -296,18 +361,30 @@ def run_figure(
         from repro.cluster.simulation import validate_dispatcher_count
 
         dispatchers = validate_dispatcher_count(dispatchers)
+    if overload is not None:
+        from repro.overload import build_overload_config
+
+        overload = tuple(overload)
+        if len(overload) != 4:
+            raise ValueError(
+                "overload must be a (queue_capacity, admission, breaker, "
+                f"storm) 4-tuple, got {overload!r}"
+            )
+        # Validate once, before any worker starts; workers re-parse.
+        if build_overload_config(*overload) is None:
+            overload = None
     if trace:
         work = [
             (
                 figure_id, label, x, seed, jobs, trace_interval,
-                full_traces, faults, dispatchers,
+                full_traces, faults, dispatchers, overload,
             )
             for (label, x, seed) in cells
         ]
         worker = _run_observed_tuple
     else:
         work = [
-            (figure_id, label, x, seed, jobs, faults, dispatchers)
+            (figure_id, label, x, seed, jobs, faults, dispatchers, overload)
             for (label, x, seed) in cells
         ]
         worker = _run_cell_tuple
@@ -379,15 +456,39 @@ def run_figure_with_manifest(
     dispatcher_override = kwargs.get("dispatchers")
     if dispatcher_override is not None:
         extra = {**(extra or {}), "dispatchers": int(dispatcher_override)}
+    overload_override = kwargs.get("overload")
+    if overload_override is not None:
+        from repro.overload import build_overload_config
+
+        config = build_overload_config(*overload_override)
+        if config is not None:
+            queue_capacity, admission, breaker, storm = overload_override
+            extra = {
+                **(extra or {}),
+                "overload": {
+                    "spec": {
+                        "queue_capacity": queue_capacity,
+                        "admission": admission,
+                        "breaker": breaker,
+                        "storm": storm,
+                    },
+                    **config.describe(),
+                },
+            }
     manifest = build_manifest(result, wall_time, base_seed=base_seed, extra=extra)
     path = save_manifest(manifest, manifest_dir)
     return result, path
 
 
 def _run_cell_tuple(
-    item: tuple[str, str, float, int, int, str | None, int | None]
+    item: tuple[
+        str, str, float, int, int, str | None, int | None, tuple | None
+    ]
 ) -> float:
-    figure_id, curve_label, x, seed, total_jobs, fault_spec, dispatchers = item
+    (
+        figure_id, curve_label, x, seed, total_jobs, fault_spec,
+        dispatchers, overload,
+    ) = item
     return run_cell(
         figure_id,
         curve_label,
@@ -396,15 +497,19 @@ def _run_cell_tuple(
         total_jobs,
         fault_spec=fault_spec,
         dispatchers=dispatchers,
+        overload=overload,
     )
 
 
 def _run_observed_tuple(
-    item: tuple[str, str, float, int, int, float, bool, str | None, int | None]
+    item: tuple[
+        str, str, float, int, int, float, bool, str | None, int | None,
+        tuple | None,
+    ]
 ) -> tuple[float, dict]:
     (
         figure_id, curve_label, x, seed, total_jobs, interval, full,
-        fault_spec, dispatchers,
+        fault_spec, dispatchers, overload,
     ) = item
     return run_cell_observed(
         figure_id,
@@ -416,6 +521,7 @@ def _run_observed_tuple(
         full_traces=full,
         fault_spec=fault_spec,
         dispatchers=dispatchers,
+        overload=overload,
     )
 
 

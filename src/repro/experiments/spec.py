@@ -70,6 +70,11 @@ class FigureSpec:
         ``"ci"`` (mean ± confidence interval over seeds, the default) or
         ``"box"`` (percentile box over seeds, used by the Bounded Pareto
         figures).
+    metric:
+        Which scalar each cell reports: ``"mean_response_time"`` (the
+        default, every paper figure), ``"goodput"`` or ``"drop_rate"``
+        (the overload-protection sweeps, where response time of the
+        survivors is the wrong headline).
     default_jobs / default_seeds:
         Scale knobs; the paper uses 500,000 jobs and >= 10 seeds, the
         defaults here are laptop-friendly and can be raised.
@@ -88,6 +93,7 @@ class FigureSpec:
     make_staleness: Callable[[float], StalenessModel]
     make_service: Callable[[], Distribution]
     summary: str = "ci"
+    metric: str = "mean_response_time"
     default_jobs: int = 50_000
     default_seeds: int = 5
     warmup_fraction: float = 0.1
@@ -110,6 +116,11 @@ class FigureSpec:
             raise ValueError(
                 f"{self.figure_id}: summary must be 'ci' or 'box', "
                 f"got {self.summary!r}"
+            )
+        if self.metric not in ("mean_response_time", "goodput", "drop_rate"):
+            raise ValueError(
+                f"{self.figure_id}: metric must be 'mean_response_time', "
+                f"'goodput' or 'drop_rate', got {self.metric!r}"
             )
         labels = [curve.label for curve in self.curves]
         if len(set(labels)) != len(labels):

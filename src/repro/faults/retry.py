@@ -34,12 +34,20 @@ class RetryPolicy:
     max_attempts:
         Re-dispatch attempts before the job is dropped as failed;
         0 means retry until a live server is found.
+    jitter:
+        Fractional jitter on each backoff: the realized delay is uniform
+        in ``delay * [1 - jitter, 1 + jitter]``, drawn from the
+        ``"faults"`` stream.  The default 0 keeps backoffs deterministic
+        (bit-identical to older runs) — but deterministic backoff means
+        simultaneous failures re-dispatch in lock-step, a retry herd;
+        any positive jitter de-synchronizes them.
     """
 
     timeout: float = 0.5
     backoff_base: float = 0.25
     backoff_cap: float = 8.0
     max_attempts: int = 0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.timeout) or self.timeout < 0:
@@ -70,14 +78,26 @@ class RetryPolicy:
                 "timeout and backoff_base cannot both be zero with unlimited "
                 "max_attempts: retries would spin at a single instant"
             )
+        if not 0.0 <= self.jitter < 1.0 or not math.isfinite(self.jitter):
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
 
-    def backoff_delay(self, attempt: int) -> float:
-        """Backoff before re-dispatch attempt ``attempt`` (1-based)."""
+    def backoff_delay(self, attempt: int, rng=None) -> float:
+        """Backoff before re-dispatch attempt ``attempt`` (1-based).
+
+        ``rng`` is the ``"faults"`` stream; it is consulted (one uniform)
+        only when ``jitter > 0``, so zero-jitter policies draw nothing
+        regardless of whether a generator is supplied.
+        """
         if attempt < 1:
             raise ValueError(f"attempt must be >= 1, got {attempt}")
         # Cap the exponent as well: 2.0**large overflows to inf.
         doubling = min(attempt - 1, 64)
-        return min(self.backoff_base * 2.0**doubling, self.backoff_cap)
+        delay = min(self.backoff_base * 2.0**doubling, self.backoff_cap)
+        if self.jitter > 0.0:
+            if rng is None:
+                raise ValueError("jitter > 0 needs the 'faults' random stream")
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay
 
     def describe(self) -> dict:
         """JSON-serializable summary (for run manifests)."""
@@ -86,4 +106,5 @@ class RetryPolicy:
             "backoff_base": self.backoff_base,
             "backoff_cap": self.backoff_cap,
             "max_attempts": self.max_attempts,
+            "jitter": self.jitter,
         }

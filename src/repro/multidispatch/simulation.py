@@ -54,6 +54,7 @@ from repro.engine.simulator import Simulator
 from repro.faults.schedule import FaultSchedule, ServerTimeline
 from repro.multidispatch.coordinator import ClusterCoordinator
 from repro.multidispatch.policies import MultiDispatcherPolicy
+from repro.overload.config import OverloadConfig
 from repro.staleness.base import StalenessModel
 from repro.staleness.periodic import PeriodicUpdate
 from repro.workloads.arrivals import PoissonArrivals
@@ -159,6 +160,15 @@ class MultiDispatchSimulation:
     probes:
         Observability probes; ``client_id`` in probe hooks carries the
         *handling* dispatcher's id.
+    overload:
+        Optional :class:`~repro.overload.config.OverloadConfig`.  Bounded
+        queues live on the *shared* servers, so every dispatcher sees
+        rejections consistently; circuit breakers and admission policies
+        are per dispatcher (each front-end learns only from its own
+        failed dispatches, off ``"breaker[d]"``/``"admission[d]"``
+        streams).  Refused jobs are dropped — retry storms are not
+        supported here (re-submission needs a home dispatcher the
+        split-arrival model does not define) and raise ``ValueError``.
 
     The remaining parameters (``total_jobs``, ``warmup_fraction``,
     ``seed``, ``trace_jobs``, ``trace_response_times``, ``server_rates``,
@@ -188,6 +198,7 @@ class MultiDispatchSimulation:
         server_rates: list[float] | None = None,
         client_latency: np.ndarray | None = None,
         probes: list | None = None,
+        overload: OverloadConfig | None = None,
     ) -> None:
         if num_servers < 1:
             raise ValueError(f"num_servers must be >= 1, got {num_servers}")
@@ -252,6 +263,18 @@ class MultiDispatchSimulation:
                 )
             if np.any(client_latency < 0):
                 raise ValueError("client_latency entries must be non-negative")
+        if overload is not None:
+            if not isinstance(overload, OverloadConfig):
+                raise TypeError(
+                    "overload must be an OverloadConfig (or None), got "
+                    f"{type(overload).__name__}"
+                )
+            if overload.retry_storm is not None:
+                raise ValueError(
+                    "retry storms are not supported with multiple "
+                    "dispatchers: re-submissions would need a per-client "
+                    "home dispatcher the split-arrival model does not define"
+                )
 
         self.num_servers = num_servers
         self.total_rate = float(total_rate)
@@ -271,6 +294,7 @@ class MultiDispatchSimulation:
         self.server_rates = server_rates
         self.client_latency = client_latency
         self.probes = list(probes) if probes else None
+        self.overload = overload
 
     # -- configuration helpers -------------------------------------------
 
@@ -356,9 +380,19 @@ class MultiDispatchSimulation:
         streams = RandomStreams(self.seed)
         sim = Simulator()
         rates = self.server_rates or [1.0] * self.num_servers
-        servers = [Server(i, rate) for i, rate in enumerate(rates)]
         m = self.num_dispatchers
         n = self.num_servers
+
+        overload = self.overload
+        overload_active = overload is not None and overload.active
+        queue_capacity = overload.queue_capacity if overload_active else None
+        # Bounded queues are a property of the shared servers: one
+        # capacity, one rejection count, regardless of which dispatcher's
+        # job overflowed it.
+        servers = [
+            Server(i, rate, queue_capacity=queue_capacity)
+            for i, rate in enumerate(rates)
+        ]
 
         probe_set = None
         if self.probes:
@@ -368,6 +402,45 @@ class MultiDispatchSimulation:
             probe_set.on_attach(sim, servers)
 
         boards = self._make_boards(sim, servers, streams, probe_set)
+
+        # Breakers and admission are dispatcher-local: each front-end
+        # learns only from the dispatches it issued itself.
+        breaker_boards = None
+        if overload_active and overload.breaker is not None:
+            from repro.overload.breaker import BreakerBoard
+
+            on_transition = (
+                probe_set.on_breaker_transition if probe_set is not None else None
+            )
+            breaker_boards = [
+                BreakerBoard(
+                    n,
+                    overload.breaker,
+                    rng=(
+                        streams.stream(self._stream_label("breaker", d))
+                        if overload.breaker.cooldown_jitter > 0
+                        else None
+                    ),
+                    on_transition=on_transition,
+                )
+                for d in range(m)
+            ]
+        admissions = None
+        if overload_active and overload.sheds:
+            from repro.overload.admission import ProbabilisticShed
+
+            admissions = []
+            for d in range(m):
+                policy_d = copy.deepcopy(overload.admission)
+                policy_d.bind(
+                    n,
+                    (
+                        streams.stream(self._stream_label("admission", d))
+                        if isinstance(policy_d, ProbabilisticShed)
+                        else None
+                    ),
+                )
+                admissions.append(policy_d)
 
         server_rates_arr = np.asarray(rates, dtype=np.float64)
         rates_d = self.dispatcher_rates()
@@ -450,17 +523,75 @@ class MultiDispatchSimulation:
                 jobs_redirected += 1
             estimators[handler].observe_arrival(now)
             view = boards[handler].view(handler, now)
+            if admissions is not None and not admissions[handler].admit(view):
+                arrivals_seen += 1
+                metrics.record_shed()
+                metrics.record_drop()
+                if probe_set is not None:
+                    probe_set.on_job_shed(now, handler)
+                    probe_set.on_job_failed(now, -1, "shed")
+                if arrivals_seen >= self.total_jobs:
+                    sim.stop()
+                return
             server_id = policies[handler].select(view)
             if not 0 <= server_id < n:
                 raise RuntimeError(
                     f"{type(policies[handler]).__name__} selected invalid "
                     f"server {server_id} (cluster size {n})"
                 )
+            breakers_d = (
+                breaker_boards[handler] if breaker_boards is not None else None
+            )
+            if breakers_d is not None and not breakers_d.allow(server_id, now):
+                # Route around the tripped server: least *reported* load
+                # among the servers this dispatcher's breakers permit,
+                # lowest id on ties; drop if every server is blocked.
+                blocked = frozenset(
+                    candidate
+                    for candidate in range(n)
+                    if breakers_d.blocks(candidate, now)
+                )
+                if len(blocked) >= n:
+                    arrivals_seen += 1
+                    metrics.record_drop()
+                    if probe_set is not None:
+                        probe_set.on_job_failed(now, -1, "breaker-blocked")
+                    if arrivals_seen >= self.total_jobs:
+                        sim.stop()
+                    return
+                loads = view.loads
+                best = -1
+                best_load = math.inf
+                for candidate in range(n):
+                    if candidate in blocked:
+                        continue
+                    if loads[candidate] < best_load:
+                        best_load = loads[candidate]
+                        best = candidate
+                server_id = best
+                breakers_d.allow(server_id, now)  # may claim a probe slot
             service_time = self.service.sample(service_rng)
             index = arrivals_seen
             arrivals_seen += 1
             server = servers[server_id]
-            completion = server.assign(now, service_time)
+            if queue_capacity is None:
+                completion = server.assign(now, service_time)
+            else:
+                accepted = server.try_assign(now, service_time)
+                if accepted is None:
+                    metrics.record_reject(server_id)
+                    metrics.record_drop()
+                    if breakers_d is not None:
+                        breakers_d.record_failure(server_id, now)
+                    if probe_set is not None:
+                        probe_set.on_job_rejected(now, server_id)
+                        probe_set.on_job_failed(now, -1, "queue-full")
+                    if arrivals_seen >= self.total_jobs:
+                        sim.stop()
+                    return
+                completion = accepted
+            if breakers_d is not None:
+                breakers_d.record_success(server_id, now)
             boards[handler].on_dispatch(handler, server_id, now)
             response = completion - now
             if latency is not None:
@@ -503,6 +634,9 @@ class MultiDispatchSimulation:
                 partial(self._fire, on_arrival, d),
             )
         sim.run()
+        if breaker_boards is not None:
+            for board in breaker_boards:
+                board.finalize(sim.now)
         if probe_set is not None:
             probe_set.on_finish(sim.now)
 
@@ -518,6 +652,17 @@ class MultiDispatchSimulation:
             duration=sim.now,
             dispatch_counts=metrics.dispatch_counts.copy(),
             jobs_failed=metrics.jobs_failed,
+            jobs_rejected=metrics.jobs_rejected,
+            jobs_shed=metrics.jobs_shed,
+            jobs_dropped=metrics.jobs_dropped,
+            breaker_trips=(
+                sum(board.trips_total for board in breaker_boards)
+                if breaker_boards is not None
+                else 0
+            ),
+            rejected_counts=(
+                metrics.rejected_counts.copy() if overload_active else None
+            ),
             response_times=(
                 metrics.response_times if self.trace_response_times else None
             ),

@@ -19,6 +19,7 @@ from repro.obs.manifest import (
     save_manifest,
 )
 from repro.obs.multidispatch import DispatcherTraceProbe
+from repro.obs.overload import OverloadProbe
 from repro.obs.probes import Probe, ProbeSet
 from repro.obs.traces import QueueTraceProbe, ResponseHistogramProbe
 
@@ -27,6 +28,7 @@ __all__ = [
     "ProbeSet",
     "DispatcherTraceProbe",
     "FaultTraceProbe",
+    "OverloadProbe",
     "QueueTraceProbe",
     "ResponseHistogramProbe",
     "HerdDetector",

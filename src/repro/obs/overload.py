@@ -1,0 +1,121 @@
+"""Overload probe: drops, sheds and breaker dynamics for run manifests.
+
+Renders what the overload-protection layer actually did during a run —
+how many arrivals admission refused, which bounded queues bounced how
+many dispatches, when each circuit breaker tripped and how long it spent
+OPEN — into the JSON manifest, next to the queue traces and fault spans.
+Like every probe it is passive: it observes the hooks the dispatch loop
+already fires and never perturbs the run.
+"""
+
+from __future__ import annotations
+
+from repro.obs.probes import Probe
+
+__all__ = ["OverloadProbe"]
+
+#: ``on_job_failed`` reasons that belong to the overload layer (fault
+#: losses like "aborted"/"stalled"/"retries-exhausted" are the
+#: FaultTraceProbe's business).
+_DROP_REASONS = ("shed", "queue-full", "breaker-blocked", "storm-exhausted")
+
+
+class OverloadProbe(Probe):
+    """Records shed/reject/drop counts and per-server breaker timelines.
+
+    Parameters
+    ----------
+    max_events:
+        Upper bound on retained breaker-transition event records (the
+        aggregate counters are exact regardless); keeps manifests bounded
+        when breakers flap on long runs.
+    """
+
+    name = "overload"
+
+    def __init__(self, max_events: int = 1000) -> None:
+        if max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {max_events}")
+        self.max_events = max_events
+        self._reset(0)
+
+    def _reset(self, num_servers: int) -> None:
+        self._num_servers = num_servers
+        self._queue_capacity: int | None = None
+        self._sheds = 0
+        self._rejects = [0] * num_servers
+        self._drops: dict[str, int] = {}
+        self._trips = [0] * num_servers
+        self._time_in_open = [0.0] * num_servers
+        self._opened_at: list[float | None] = [None] * num_servers
+        self._transitions = 0
+        self._events: list[dict] = []
+        self._events_dropped = 0
+        self._duration = 0.0
+
+    def on_attach(self, sim, servers) -> None:
+        self._reset(len(servers))
+        if servers:
+            self._queue_capacity = servers[0].queue_capacity
+
+    def on_job_shed(self, now: float, client_id: int) -> None:
+        self._sheds += 1
+
+    def on_job_rejected(self, now: float, server_id: int) -> None:
+        self._rejects[server_id] += 1
+
+    def on_job_failed(self, time: float, server_id: int, reason: str) -> None:
+        if reason in _DROP_REASONS:
+            self._drops[reason] = self._drops.get(reason, 0) + 1
+
+    def on_breaker_transition(
+        self, now: float, server_id: int, old_state: str, new_state: str
+    ) -> None:
+        self._transitions += 1
+        if new_state == "open":
+            self._trips[server_id] += 1
+            self._opened_at[server_id] = now
+        elif old_state == "open":
+            opened = self._opened_at[server_id]
+            if opened is not None:
+                self._time_in_open[server_id] += max(0.0, now - opened)
+                self._opened_at[server_id] = None
+        if len(self._events) < self.max_events:
+            self._events.append(
+                {
+                    "time": now,
+                    "server": server_id,
+                    "from": old_state,
+                    "to": new_state,
+                }
+            )
+        else:
+            self._events_dropped += 1
+
+    def on_finish(self, now: float) -> None:
+        self._duration = now
+        # Breakers still OPEN at the end of the run were open until the
+        # final clock; close their accounting intervals there.
+        for server_id, opened in enumerate(self._opened_at):
+            if opened is not None:
+                self._time_in_open[server_id] += max(0.0, now - opened)
+                self._opened_at[server_id] = None
+
+    def summary(self) -> dict:
+        return {
+            "queue_capacity": self._queue_capacity,
+            "sheds": self._sheds,
+            "rejects": list(self._rejects),
+            "rejects_total": sum(self._rejects),
+            "drops": dict(sorted(self._drops.items())),
+            "drops_total": sum(self._drops.values()),
+            "breaker": {
+                "transitions": self._transitions,
+                "trips": list(self._trips),
+                "trips_total": sum(self._trips),
+                "time_in_open": list(self._time_in_open),
+                "events": self._events,
+                "events_dropped": self._events_dropped,
+            },
+            "duration": self._duration,
+        }

@@ -87,7 +87,23 @@ class Probe:
 
     def on_job_failed(self, time: float, server_id: int, reason: str) -> None:
         """Called when a job is abandoned: ``"aborted"`` by a crash,
-        ``"stalled"`` in a permanent outage, or ``"retries-exhausted"``."""
+        ``"stalled"`` in a permanent outage, ``"retries-exhausted"``, or
+        an overload refusal (``"shed"``, ``"queue-full"``,
+        ``"breaker-blocked"``, ``"storm-exhausted"`` — these carry
+        ``server_id=-1``: no server owns a refused job)."""
+
+    def on_job_shed(self, now: float, client_id: int) -> None:
+        """Called when admission control refuses an arrival before any
+        server is selected."""
+
+    def on_job_rejected(self, now: float, server_id: int) -> None:
+        """Called when ``server_id``'s bounded queue bounces a dispatch."""
+
+    def on_breaker_transition(
+        self, now: float, server_id: int, old_state: str, new_state: str
+    ) -> None:
+        """Called at every circuit-breaker state change for ``server_id``
+        (states: ``"closed"``, ``"open"``, ``"half-open"``)."""
 
     def on_finish(self, now: float) -> None:
         """Called once, after the event loop stops, at the final clock."""
@@ -157,6 +173,20 @@ class ProbeSet(Probe):
     def on_job_failed(self, time: float, server_id: int, reason: str) -> None:
         for probe in self.probes:
             probe.on_job_failed(time, server_id, reason)
+
+    def on_job_shed(self, now: float, client_id: int) -> None:
+        for probe in self.probes:
+            probe.on_job_shed(now, client_id)
+
+    def on_job_rejected(self, now: float, server_id: int) -> None:
+        for probe in self.probes:
+            probe.on_job_rejected(now, server_id)
+
+    def on_breaker_transition(
+        self, now: float, server_id: int, old_state: str, new_state: str
+    ) -> None:
+        for probe in self.probes:
+            probe.on_breaker_transition(now, server_id, old_state, new_state)
 
     def on_finish(self, now: float) -> None:
         for probe in self.probes:

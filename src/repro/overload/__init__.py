@@ -1,0 +1,48 @@
+"""Overload protection: bounded queues, admission control, circuit
+breakers, and retry-storm (metastability) modeling.
+
+The paper's herd effect is a transient local overload — stale boards
+concentrate arrivals until a server is swamped.  This package supplies
+the guard rails real dispatchers deploy against exactly that failure
+mode, so the reproduction can study how LI's graceful interpretation of
+stale data interacts with drops, sheds, breaker trips, and the
+metastable feedback loop of client retries.
+"""
+
+from repro.overload.admission import (
+    AdmissionPolicy,
+    AlwaysAdmit,
+    ProbabilisticShed,
+    StaleBoardShed,
+)
+from repro.overload.breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    ServerBreaker,
+)
+from repro.overload.config import OverloadConfig
+from repro.overload.parse import (
+    build_overload_config,
+    parse_admission_spec,
+    parse_breaker_spec,
+    parse_storm_spec,
+)
+from repro.overload.storm import RetryStormConfig
+
+__all__ = [
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "ProbabilisticShed",
+    "StaleBoardShed",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "ServerBreaker",
+    "OverloadConfig",
+    "RetryStormConfig",
+    "build_overload_config",
+    "parse_admission_spec",
+    "parse_breaker_spec",
+    "parse_storm_spec",
+]

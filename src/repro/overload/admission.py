@@ -1,0 +1,124 @@
+"""Admission control: shed load at the dispatcher before it hits a queue.
+
+Bounded queues protect *servers* by rejecting the arrival that would
+overflow; admission control protects the *system* by refusing work one
+step earlier, at the dispatcher, before a server is even selected.  The
+two are accounted separately (``jobs_shed`` vs ``jobs_rejected``) because
+they occupy different points of the overload-control design space: a shed
+job costs nothing downstream, a rejected job already consumed a dispatch
+decision (and, with breakers, contributes to tripping one).
+
+Policies see the same stale :class:`~repro.staleness.base.LoadView` the
+dispatch policy is about to use, so shedding decisions are subject to
+exactly the staleness the paper studies — a threshold shedder reacting to
+an old board is late in both directions, admitting into a swamped cluster
+and shedding out of a recovered one.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.staleness.base import LoadView
+
+__all__ = [
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "ProbabilisticShed",
+    "StaleBoardShed",
+]
+
+
+class AdmissionPolicy(ABC):
+    """Decides, per arrival, whether the dispatcher accepts the job.
+
+    Lifecycle mirrors the dispatch policies: the simulation calls
+    :meth:`bind` once before the run, then :meth:`admit` once per arrival
+    (including storm re-submissions, which face admission again).
+    """
+
+    def bind(self, num_servers: int, rng: np.random.Generator | None) -> None:
+        """Attach to a cluster.  ``rng`` is the ``"admission"`` stream;
+        policies that never randomize may ignore it."""
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        self._num_servers = num_servers
+        self._rng = rng
+
+    @abstractmethod
+    def admit(self, view: LoadView) -> bool:
+        """Whether the arrival holding this (stale) view is admitted."""
+
+    @abstractmethod
+    def describe(self) -> dict:
+        """JSON-serializable summary (for run manifests)."""
+
+
+class AlwaysAdmit(AdmissionPolicy):
+    """The default: every arrival is admitted, nothing is drawn."""
+
+    def admit(self, view: LoadView) -> bool:
+        return True
+
+    def describe(self) -> dict:
+        return {"admission": "always"}
+
+
+class ProbabilisticShed(AdmissionPolicy):
+    """Shed each arrival independently with probability ``p``.
+
+    The simplest load shedder: blind to the board, it thins the offered
+    load from λ to (1-p)λ.  Draws one uniform per arrival off the
+    ``"admission"`` stream.
+    """
+
+    def __init__(self, shed_probability: float) -> None:
+        if not 0.0 <= shed_probability < 1.0 or not math.isfinite(
+            shed_probability
+        ):
+            raise ValueError(
+                f"shed_probability must be in [0, 1), got {shed_probability}"
+            )
+        self.shed_probability = shed_probability
+
+    def bind(self, num_servers: int, rng: np.random.Generator | None) -> None:
+        if self.shed_probability > 0 and rng is None:
+            raise ValueError(
+                "ProbabilisticShed needs the 'admission' random stream"
+            )
+        super().bind(num_servers, rng)
+
+    def admit(self, view: LoadView) -> bool:
+        if self.shed_probability == 0.0:
+            return True
+        return float(self._rng.random()) >= self.shed_probability
+
+    def describe(self) -> dict:
+        return {"admission": "probabilistic", "p": self.shed_probability}
+
+
+class StaleBoardShed(AdmissionPolicy):
+    """Shed when the *reported* board says every server is at or beyond
+    ``threshold`` jobs.
+
+    Deterministic (no RNG draws) and deliberately subject to staleness:
+    it reads the same bulletin board the dispatch policy does, so with a
+    large update period it sheds against a past the cluster may have left
+    — the admission-control face of the paper's interpretation problem.
+    """
+
+    def __init__(self, threshold: float) -> None:
+        if not math.isfinite(threshold) or threshold <= 0:
+            raise ValueError(
+                f"threshold must be positive and finite, got {threshold}"
+            )
+        self.threshold = threshold
+
+    def admit(self, view: LoadView) -> bool:
+        return float(np.min(view.loads)) < self.threshold
+
+    def describe(self) -> dict:
+        return {"admission": "stale-board", "threshold": self.threshold}

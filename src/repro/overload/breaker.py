@@ -1,0 +1,254 @@
+"""Dispatcher-side circuit breakers: stop hammering a server that rejects.
+
+A stale bulletin board keeps advertising an overloaded (or crashed) server
+long after it stopped accepting work; without protection the dispatcher
+re-discovers the same failure once per arrival, paying a timeout or a
+rejected dispatch every time.  A per-server *circuit breaker* remembers:
+after ``failure_threshold`` consecutive rejections/timeouts the breaker
+**opens** and the dispatcher routes around the server without trying it;
+after a (jittered) ``cooldown`` it moves to **half-open** and lets probe
+dispatches through; a probe success closes the breaker, a probe failure
+re-opens it for another cooldown.
+
+The classic state machine::
+
+    CLOSED --[failure_threshold consecutive failures]--> OPEN
+    OPEN   --[cooldown elapses]-----------------------> HALF_OPEN
+    HALF_OPEN --[probe succeeds]----------------------> CLOSED
+    HALF_OPEN --[probe fails]-------------------------> OPEN
+
+Cooldown jitter draws from the dedicated ``"breaker"`` random stream, so
+enabling it never perturbs arrival/service/policy draws; with
+``cooldown_jitter=0`` (the default) the breaker draws nothing at all.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["BreakerConfig", "BreakerState", "BreakerBoard", "ServerBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """Lifecycle state of one server's circuit breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerConfig:
+    """Parameters of every per-server breaker.
+
+    Attributes
+    ----------
+    failure_threshold:
+        Consecutive rejections/timeouts that trip a CLOSED breaker OPEN.
+    cooldown:
+        Time an OPEN breaker blocks dispatches before allowing a
+        HALF_OPEN probe (in units of mean service time).
+    cooldown_jitter:
+        Fractional jitter on each realized cooldown: the wait is drawn
+        uniformly from ``cooldown * [1 - jitter, 1 + jitter]`` off the
+        ``"breaker"`` stream.  0 (default) keeps cooldowns deterministic
+        and draws no random numbers — breakers then never touch any RNG.
+    """
+
+    failure_threshold: int = 3
+    cooldown: float = 8.0
+    cooldown_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if not math.isfinite(self.cooldown) or self.cooldown <= 0:
+            raise ValueError(
+                f"cooldown must be positive and finite, got {self.cooldown}"
+            )
+        if not 0.0 <= self.cooldown_jitter < 1.0 or not math.isfinite(
+            self.cooldown_jitter
+        ):
+            raise ValueError(
+                f"cooldown_jitter must be in [0, 1), got {self.cooldown_jitter}"
+            )
+
+    def describe(self) -> dict:
+        """JSON-serializable summary (for run manifests)."""
+        return {
+            "failure_threshold": self.failure_threshold,
+            "cooldown": self.cooldown,
+            "cooldown_jitter": self.cooldown_jitter,
+        }
+
+
+class ServerBreaker:
+    """The state machine guarding one server (see module docstring)."""
+
+    __slots__ = (
+        "server_id",
+        "state",
+        "consecutive_failures",
+        "open_until",
+        "trips",
+        "time_in_open",
+        "_opened_at",
+    )
+
+    def __init__(self, server_id: int) -> None:
+        self.server_id = server_id
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.open_until = 0.0
+        self.trips = 0
+        self.time_in_open = 0.0
+        self._opened_at = 0.0
+
+
+class BreakerBoard:
+    """All per-server breakers of one dispatcher, plus their shared config.
+
+    Parameters
+    ----------
+    num_servers:
+        Cluster size.
+    config:
+        Shared breaker parameters.
+    rng:
+        The ``"breaker"`` stream; consulted only when
+        ``config.cooldown_jitter > 0``.
+    on_transition:
+        Optional callback ``(now, server_id, old_state, new_state)``
+        invoked at every state change (the observability hook).
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        config: BreakerConfig,
+        rng: np.random.Generator | None = None,
+        on_transition: Callable[[float, int, str, str], None] | None = None,
+    ) -> None:
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        if config.cooldown_jitter > 0 and rng is None:
+            raise ValueError(
+                "cooldown_jitter > 0 needs the 'breaker' random stream"
+            )
+        self.config = config
+        self._rng = rng
+        self._on_transition = on_transition
+        self._breakers = [ServerBreaker(i) for i in range(num_servers)]
+
+    def __len__(self) -> int:
+        return len(self._breakers)
+
+    def __getitem__(self, server_id: int) -> ServerBreaker:
+        return self._breakers[server_id]
+
+    # -- the dispatcher's queries ---------------------------------------
+
+    def allow(self, server_id: int, now: float) -> bool:
+        """Whether a dispatch to ``server_id`` may proceed at ``now``.
+
+        An OPEN breaker whose cooldown has elapsed transitions to
+        HALF_OPEN here (the probe that asked is the probe that goes
+        through), so a server is *never* dispatched to while OPEN and
+        before its cooldown expires.
+        """
+        breaker = self._breakers[server_id]
+        if breaker.state is BreakerState.OPEN:
+            if now < breaker.open_until:
+                return False
+            self._transition(breaker, BreakerState.HALF_OPEN, now)
+        return True
+
+    def blocks(self, server_id: int, now: float) -> bool:
+        """Read-only variant of :meth:`allow` (no state transition).
+
+        Used when composing exclusion lists: checking whether a *fallback
+        candidate* is viable must not consume the half-open probe slot.
+        """
+        breaker = self._breakers[server_id]
+        return breaker.state is BreakerState.OPEN and now < breaker.open_until
+
+    def record_success(self, server_id: int, now: float) -> None:
+        """A dispatch to ``server_id`` was accepted."""
+        breaker = self._breakers[server_id]
+        breaker.consecutive_failures = 0
+        if breaker.state is BreakerState.HALF_OPEN:
+            self._transition(breaker, BreakerState.CLOSED, now)
+
+    def record_failure(self, server_id: int, now: float) -> None:
+        """A dispatch to ``server_id`` was rejected or timed out."""
+        breaker = self._breakers[server_id]
+        breaker.consecutive_failures += 1
+        if breaker.state is BreakerState.HALF_OPEN:
+            self._open(breaker, now)
+        elif (
+            breaker.state is BreakerState.CLOSED
+            and breaker.consecutive_failures >= self.config.failure_threshold
+        ):
+            self._open(breaker, now)
+
+    def finalize(self, now: float) -> None:
+        """Close out time-in-OPEN accounting at the end of the run."""
+        for breaker in self._breakers:
+            if breaker.state is BreakerState.OPEN:
+                breaker.time_in_open += max(0.0, now - breaker._opened_at)
+                breaker._opened_at = now
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def trips_total(self) -> int:
+        """CLOSED/HALF_OPEN -> OPEN transitions summed over servers."""
+        return sum(breaker.trips for breaker in self._breakers)
+
+    def summary(self) -> dict:
+        """JSON-serializable digest (finalize() first for exact times)."""
+        return {
+            "config": self.config.describe(),
+            "trips": [breaker.trips for breaker in self._breakers],
+            "time_in_open": [
+                breaker.time_in_open for breaker in self._breakers
+            ],
+            "final_state": [breaker.state.value for breaker in self._breakers],
+        }
+
+    # -- internals -------------------------------------------------------
+
+    def _open(self, breaker: ServerBreaker, now: float) -> None:
+        cooldown = self.config.cooldown
+        jitter = self.config.cooldown_jitter
+        if jitter > 0.0:
+            assert self._rng is not None  # enforced at construction
+            cooldown *= 1.0 + jitter * (2.0 * float(self._rng.random()) - 1.0)
+        breaker.open_until = now + cooldown
+        breaker.trips += 1
+        self._transition(breaker, BreakerState.OPEN, now)
+
+    def _transition(
+        self, breaker: ServerBreaker, new_state: BreakerState, now: float
+    ) -> None:
+        old_state = breaker.state
+        if old_state is new_state:
+            return
+        if old_state is BreakerState.OPEN:
+            breaker.time_in_open += max(0.0, now - breaker._opened_at)
+        if new_state is BreakerState.OPEN:
+            breaker._opened_at = now
+        if new_state is BreakerState.CLOSED:
+            breaker.consecutive_failures = 0
+        breaker.state = new_state
+        if self._on_transition is not None:
+            self._on_transition(
+                now, breaker.server_id, old_state.value, new_state.value
+            )

@@ -1,0 +1,113 @@
+"""One bundle for every overload-protection knob.
+
+`OverloadConfig` is what travels through the stack: the simulation, the
+runner's worker tuples, the CLI and the figure registry all pass one of
+these (or ``None``).  The contract that keeps the seed reproducible is
+``active``: a config whose every knob is at its default — unbounded
+queues, always-admit, no breakers, no storms — must change *nothing*, and
+the simulation checks exactly this property to decide whether the
+overload machinery participates at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.overload.admission import AdmissionPolicy, AlwaysAdmit
+from repro.overload.breaker import BreakerConfig
+from repro.overload.storm import RetryStormConfig
+
+__all__ = ["OverloadConfig"]
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Overload-protection configuration for one simulation.
+
+    Attributes
+    ----------
+    queue_capacity:
+        Maximum jobs (queued + in service) per server; an arrival that
+        would exceed it is rejected.  ``None`` (default) = unbounded.
+    admission:
+        Dispatcher-side admission policy; :class:`AlwaysAdmit` (default)
+        never sheds.
+    breaker:
+        Per-server circuit-breaker parameters; ``None`` (default) = no
+        breakers.
+    retry_storm:
+        Client re-submission behavior for refused jobs; ``None``
+        (default) = refused jobs are dropped immediately.
+    """
+
+    queue_capacity: int | None = None
+    admission: AdmissionPolicy = field(default_factory=AlwaysAdmit)
+    breaker: BreakerConfig | None = None
+    retry_storm: RetryStormConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1 or None, got {self.queue_capacity}"
+            )
+        if not isinstance(self.admission, AdmissionPolicy):
+            raise TypeError(
+                "admission must be an AdmissionPolicy instance, got "
+                f"{type(self.admission).__name__}"
+            )
+        if self.retry_storm is not None and not self.can_refuse:
+            raise ValueError(
+                "retry_storm without bounded queues, a shedding admission "
+                "policy, or breakers can never fire: nothing refuses jobs"
+            )
+
+    @property
+    def sheds(self) -> bool:
+        """Whether the admission policy can ever refuse an arrival."""
+        return not isinstance(self.admission, AlwaysAdmit)
+
+    @property
+    def can_refuse(self) -> bool:
+        """Whether any mechanism can refuse a job (storm's precondition)."""
+        return (
+            self.queue_capacity is not None
+            or self.sheds
+            or self.breaker is not None
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether any knob deviates from the do-nothing defaults.
+
+        An inactive config must leave every run bit-identical to one
+        without overload protection at all; the golden-figure tests pin
+        this.
+        """
+        return self.can_refuse or self.retry_storm is not None
+
+    def blocker_reason(self) -> str:
+        """The named ``fast_path_blocker`` entry for this config.
+
+        The fast path replays whole phases in batch; per-arrival refusal
+        decisions (capacity checks, sheds, breaker state) are inherently
+        sequential, so any active config falls back to the event engine
+        under the feature that makes it active.
+        """
+        if self.queue_capacity is not None:
+            return "overload_bounded_queues"
+        if self.sheds:
+            return "overload_admission"
+        if self.breaker is not None:
+            return "overload_breakers"
+        return "overload_retry_storm"
+
+    def describe(self) -> dict:
+        """JSON-serializable summary (for run manifests)."""
+        return {
+            "queue_capacity": self.queue_capacity,
+            "admission": self.admission.describe(),
+            "breaker": None if self.breaker is None else self.breaker.describe(),
+            "retry_storm": (
+                None if self.retry_storm is None else self.retry_storm.describe()
+            ),
+        }

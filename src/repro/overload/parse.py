@@ -1,0 +1,142 @@
+"""Parse the CLI's compact overload specification strings.
+
+Same ``key=value`` comma format as ``--faults``:
+
+    --admission shed=0.1              (probabilistic shed)
+    --admission threshold=24          (stale-board threshold shed)
+    --breaker threshold=3,cooldown=8,jitter=0.1
+    --storm backoff=0.5,cap=16,jitter=0.25,resubmits=8
+
+``--breaker`` and ``--storm`` also accept the bare word ``on`` for the
+defaults.  Validation happens in the underlying constructors, so
+malformed values fail with the library API's messages.
+"""
+
+from __future__ import annotations
+
+from repro.overload.admission import (
+    AdmissionPolicy,
+    ProbabilisticShed,
+    StaleBoardShed,
+)
+from repro.overload.breaker import BreakerConfig
+from repro.overload.config import OverloadConfig
+from repro.overload.storm import RetryStormConfig
+
+__all__ = [
+    "parse_admission_spec",
+    "parse_breaker_spec",
+    "parse_storm_spec",
+    "build_overload_config",
+]
+
+_BREAKER_KEYS = {
+    "threshold": ("failure_threshold", int),
+    "cooldown": ("cooldown", float),
+    "jitter": ("cooldown_jitter", float),
+}
+_STORM_KEYS = {
+    "backoff": ("backoff_base", float),
+    "cap": ("backoff_cap", float),
+    "jitter": ("jitter", float),
+    "resubmits": ("max_resubmits", int),
+}
+
+
+def parse_admission_spec(text: str) -> AdmissionPolicy:
+    """Build an :class:`AdmissionPolicy` from an ``--admission`` string."""
+    pairs = _split_pairs(text, "--admission")
+    if list(pairs) == ["shed"]:
+        return ProbabilisticShed(_parse_value("shed", pairs["shed"], float))
+    if list(pairs) == ["threshold"]:
+        return StaleBoardShed(_parse_value("threshold", pairs["threshold"], float))
+    raise ValueError(
+        f"--admission expects 'shed=P' or 'threshold=T', got {text!r}"
+    )
+
+
+def parse_breaker_spec(text: str) -> BreakerConfig:
+    """Build a :class:`BreakerConfig` from a ``--breaker`` string."""
+    if text.strip().lower() == "on":
+        return BreakerConfig()
+    kwargs = _parse_keyed(text, "--breaker", _BREAKER_KEYS)
+    return BreakerConfig(**kwargs)
+
+
+def parse_storm_spec(text: str) -> RetryStormConfig:
+    """Build a :class:`RetryStormConfig` from a ``--storm`` string."""
+    if text.strip().lower() == "on":
+        return RetryStormConfig()
+    kwargs = _parse_keyed(text, "--storm", _STORM_KEYS)
+    return RetryStormConfig(**kwargs)
+
+
+def build_overload_config(
+    queue_capacity: int | None = None,
+    admission: str | None = None,
+    breaker: str | None = None,
+    storm: str | None = None,
+) -> OverloadConfig | None:
+    """Assemble an :class:`OverloadConfig` from raw CLI values.
+
+    Returns ``None`` when every flag is absent, so callers can hand the
+    result straight to ``ClusterSimulation(overload=...)`` without
+    special-casing the all-defaults run.
+    """
+    if (
+        queue_capacity is None
+        and admission is None
+        and breaker is None
+        and storm is None
+    ):
+        return None
+    kwargs: dict = {"queue_capacity": queue_capacity}
+    if admission is not None:
+        kwargs["admission"] = parse_admission_spec(admission)
+    if breaker is not None:
+        kwargs["breaker"] = parse_breaker_spec(breaker)
+    if storm is not None:
+        kwargs["retry_storm"] = parse_storm_spec(storm)
+    return OverloadConfig(**kwargs)
+
+
+def _split_pairs(text: str, flag: str) -> dict[str, str]:
+    pairs: dict[str, str] = {}
+    for raw in text.split(","):
+        part = raw.strip()
+        if not part:
+            continue
+        key, separator, value = part.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if not separator or not value:
+            raise ValueError(
+                f"malformed {flag} entry {part!r}; expected key=value"
+            )
+        if key in pairs:
+            raise ValueError(f"duplicate {flag} key {key!r}")
+        pairs[key] = value
+    if not pairs:
+        raise ValueError(f"empty {flag} specification {text!r}")
+    return pairs
+
+
+def _parse_keyed(text: str, flag: str, known: dict) -> dict:
+    kwargs: dict = {}
+    for key, value in _split_pairs(text, flag).items():
+        if key not in known:
+            raise ValueError(
+                f"unknown {flag} key {key!r}; known keys: "
+                f"{', '.join(sorted(known))}"
+            )
+        field_name, caster = known[key]
+        kwargs[field_name] = _parse_value(key, value, caster)
+    return kwargs
+
+
+def _parse_value(key: str, value: str, caster):
+    try:
+        return caster(value)
+    except ValueError:
+        kind = "an integer" if caster is int else "a number"
+        raise ValueError(f"key {key!r} needs {kind}, got {value!r}") from None

@@ -1,0 +1,103 @@
+"""Retry storms: refused work that comes back as new work.
+
+Real clients do not vanish when the system says no — they back off and
+try again.  Under overload this closes a feedback loop: refusals breed
+re-submissions, re-submissions inflate the effective arrival rate, the
+inflated rate breeds more refusals.  If the loop gain exceeds one the
+system enters the classic *metastable* regime — a transient herd pushes
+effective λ past capacity and the system never recovers even though the
+exogenous load alone would be serviceable (Bronson et al., "Metastable
+Failures in Distributed Systems").
+
+Model: a job refused by the dispatcher (shed by admission, rejected by a
+full queue, or blocked by breakers with no alternative) waits out a
+jittered exponential client backoff and re-enters the arrival pipeline —
+same original arrival timestamp for response accounting (the client has
+been waiting the whole time), fresh admission + dispatch decisions on
+arrival.  ``max_resubmits`` bounds the loop so every run terminates; a
+job that exhausts it is dropped for good.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryStormConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryStormConfig:
+    """Client re-submission behavior for refused jobs.
+
+    Attributes
+    ----------
+    backoff_base:
+        Client wait before the first re-submission; re-submission ``k``
+        waits ``min(backoff_base * 2**(k-1), backoff_cap)`` before
+        jitter.
+    backoff_cap:
+        Upper bound on any single (pre-jitter) backoff.
+    jitter:
+        Fractional jitter: the realized wait is uniform in
+        ``delay * [1 - jitter, 1 + jitter]``, drawn from the
+        ``"retry-storm"`` stream.  0 keeps the wait deterministic and
+        draws nothing.
+    max_resubmits:
+        Re-submissions per job before the client gives up.  Must be
+        finite and >= 1: an unbounded storm over a saturated cluster
+        would never drain the arrival quota.
+    """
+
+    backoff_base: float = 0.5
+    backoff_cap: float = 16.0
+    jitter: float = 0.25
+    max_resubmits: int = 8
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.backoff_base) or self.backoff_base <= 0:
+            raise ValueError(
+                "backoff_base must be positive and finite, got "
+                f"{self.backoff_base}"
+            )
+        if not math.isfinite(self.backoff_cap) or self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"backoff_cap ({self.backoff_cap}) must be finite and >= "
+                f"backoff_base ({self.backoff_base})"
+            )
+        if not 0.0 <= self.jitter < 1.0 or not math.isfinite(self.jitter):
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.max_resubmits < 1:
+            raise ValueError(
+                f"max_resubmits must be >= 1, got {self.max_resubmits}"
+            )
+
+    def delay(self, resubmit: int, rng: np.random.Generator | None) -> float:
+        """Client wait before re-submission ``resubmit`` (1-based).
+
+        ``rng`` is the ``"retry-storm"`` stream; required only when
+        ``jitter > 0``.
+        """
+        if resubmit < 1:
+            raise ValueError(f"resubmit must be >= 1, got {resubmit}")
+        # Cap the exponent as well: 2.0**large overflows to inf.
+        doubling = min(resubmit - 1, 64)
+        delay = min(self.backoff_base * 2.0**doubling, self.backoff_cap)
+        if self.jitter > 0.0:
+            if rng is None:
+                raise ValueError(
+                    "jitter > 0 needs the 'retry-storm' random stream"
+                )
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay
+
+    def describe(self) -> dict:
+        """JSON-serializable summary (for run manifests)."""
+        return {
+            "backoff_base": self.backoff_base,
+            "backoff_cap": self.backoff_cap,
+            "jitter": self.jitter,
+            "max_resubmits": self.max_resubmits,
+        }

@@ -140,6 +140,33 @@ def _pinned_multidispatch(jobs: int, seed: int = 1):
     )
 
 
+def _pinned_overload(jobs: int, seed: int = 1):
+    """The pinned overload cell: the dispatch workload pushed to rho=1.1
+    with bounded queues (capacity 16) and circuit breakers on — times the
+    per-arrival refusal path (try_assign, breaker bookkeeping, drop
+    accounting) that the unprotected kernels never enter."""
+    from repro.cluster.simulation import ClusterSimulation
+    from repro.core.li_basic import BasicLIPolicy
+    from repro.overload import BreakerConfig, OverloadConfig
+    from repro.staleness.periodic import PeriodicUpdate
+    from repro.workloads.arrivals import PoissonArrivals
+    from repro.workloads.distributions import Exponential
+
+    return ClusterSimulation(
+        num_servers=10,
+        arrivals=PoissonArrivals(rate=11.0),
+        service=Exponential(1.0),
+        policy=BasicLIPolicy(),
+        staleness=PeriodicUpdate(period=2.0),
+        total_jobs=jobs,
+        seed=seed,
+        engine="event",
+        overload=OverloadConfig(
+            queue_capacity=16, breaker=BreakerConfig()
+        ),
+    )
+
+
 #: The pinned knobs recorded in every BENCH file, alongside ``jobs``.
 PINNED_KNOBS = {"num_servers": 10, "offered_load": 0.9, "period": 2.0}
 
@@ -217,11 +244,18 @@ def default_kernels(jobs: int) -> list[PerfKernel]:
 
         return run
 
+    def make_overload() -> Callable[[], object]:
+        def run() -> float:
+            return _pinned_overload(jobs).run().goodput
+
+        return run
+
     return [
         PerfKernel(CALIBRATION_KERNEL, lambda: _calibration_workload(), inner=50),
         PerfKernel("dispatch-event", make_dispatch("event"), jobs=jobs),
         PerfKernel("dispatch-fast", make_dispatch("fast"), jobs=jobs),
         PerfKernel("dispatch-multi4", make_multidispatch, jobs=jobs),
+        PerfKernel("overload-bounded", make_overload, jobs=jobs),
         PerfKernel("waterfill-n10", make_waterfill(10), inner=500),
         PerfKernel("waterfill-n1000", make_waterfill(1000), inner=250),
     ]

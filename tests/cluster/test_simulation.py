@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -80,6 +82,14 @@ class TestBookkeeping:
     def test_offered_load_property(self):
         sim = small_simulation(RandomPolicy(), load=0.9)
         assert sim.offered_load == pytest.approx(0.9)
+
+    def test_offered_load_with_zero_capacity_is_infinite(self):
+        # Every server rate-profiled to zero: any positive arrival rate
+        # overloads the cluster infinitely; must not ZeroDivisionError.
+        sim = small_simulation(
+            RandomPolicy(), num_servers=2, server_rates=[0.0, 0.0]
+        )
+        assert sim.offered_load == math.inf
 
 
 class TestDeterminism:

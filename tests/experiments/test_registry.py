@@ -52,6 +52,14 @@ class TestCoverage:
         ):
             assert figure_id in FIGURES
 
+    def test_overload_cells_registered(self):
+        for figure_id in (
+            "ext-overload-goodput",
+            "ext-overload-herd",
+            "ext-overload-metastable",
+        ):
+            assert figure_id in FIGURES
+
     def test_figure_ids_order_stable(self):
         assert figure_ids()[0] == "fig2"
 
@@ -158,3 +166,53 @@ class TestCurveLevelStalenessOverride:
         assert sum(simulation.server_rates) == pytest.approx(12.0)
         result = simulation.run()
         assert result.jobs_total == 10
+
+
+class TestOverloadCells:
+    def test_goodput_cell_sweeps_rho_with_bounded_queues(self):
+        spec = get_figure("ext-overload-goodput")
+        assert spec.x_label == "rho"
+        assert spec.metric == "goodput"
+        assert 1.1 in spec.x_values and max(spec.x_values) > 1.0
+        simulation = spec.build_simulation(
+            spec.curve("basic-li"), x=1.1, seed=1, total_jobs=10
+        )
+        assert simulation.overload.queue_capacity == 16
+        assert simulation.overload.breaker is None
+        assert simulation.overload.retry_storm is None
+        assert simulation.offered_load == pytest.approx(1.1)
+
+    def test_herd_cell_sweeps_staleness_at_fixed_rho(self):
+        spec = get_figure("ext-overload-herd")
+        assert spec.x_label == "T"
+        assert spec.metric == "drop_rate"
+        simulation = spec.build_simulation(
+            spec.curve("random"), x=8.0, seed=1, total_jobs=10
+        )
+        assert simulation.staleness.period == 8.0
+        assert simulation.offered_load == pytest.approx(1.1)
+
+    def test_metastable_cell_pairs_storm_and_calm_curves(self):
+        spec = get_figure("ext-overload-metastable")
+        labels = [curve.label for curve in spec.curves]
+        assert "random" in labels and "random+storm" in labels
+        assert "basic-li" in labels and "basic-li+storm" in labels
+        calm = spec.build_simulation(
+            spec.curve("basic-li"), x=0.95, seed=1, total_jobs=10
+        )
+        stormy = spec.build_simulation(
+            spec.curve("basic-li+storm"), x=0.95, seed=1, total_jobs=10
+        )
+        for simulation in (calm, stormy):
+            assert simulation.overload.queue_capacity == 8
+            assert simulation.overload.breaker is not None
+        assert calm.overload.retry_storm is None
+        assert stormy.overload.retry_storm is not None
+
+    def test_overload_cells_run_end_to_end(self):
+        spec = get_figure("ext-overload-goodput")
+        result = spec.build_simulation(
+            spec.curve("random"), x=1.3, seed=1, total_jobs=300
+        ).run()
+        assert 0.0 < result.goodput < 1.0
+        assert result.jobs_dropped > 0

@@ -259,3 +259,79 @@ class TestCsvExport:
         curve, x, seed_index, value = lines[1].split(",")
         assert curve == "random"
         assert float(value) > 0
+
+
+class TestOverloadOverride:
+    OVERLOAD = (4, None, None, None)
+
+    def test_override_changes_the_cell(self):
+        base = run_cell("fig2", "random", x=4.0, seed=1, total_jobs=1_000)
+        bounded = run_cell(
+            "fig2",
+            "random",
+            x=4.0,
+            seed=1,
+            total_jobs=1_000,
+            overload=self.OVERLOAD,
+        )
+        assert bounded != base
+
+    def test_metric_field_drives_the_returned_value(self):
+        value = run_cell(
+            "ext-overload-goodput",
+            "random",
+            x=1.3,
+            seed=1,
+            total_jobs=1_000,
+        )
+        assert 0.0 < value < 1.0  # goodput, not a response time
+
+    def test_knobs_off_tuple_is_no_override(self):
+        base = run_figure(
+            "fig2", jobs=500, seeds=1, x_values=(4.0,), curves=("random",)
+        )
+        noop = run_figure(
+            "fig2",
+            jobs=500,
+            seeds=1,
+            x_values=(4.0,),
+            curves=("random",),
+            overload=(None, None, None, None),
+        )
+        for key, cell in base.cells.items():
+            assert noop.cells[key].samples == cell.samples
+
+    def test_malformed_tuple_rejected(self):
+        with pytest.raises(ValueError, match="overload"):
+            run_figure(
+                "fig2",
+                jobs=100,
+                seeds=1,
+                x_values=(4.0,),
+                curves=("random",),
+                overload=(4, None),
+            )
+
+    def test_override_rejected_on_other_drivers(self):
+        with pytest.raises(TypeError, match="queue-capacity"):
+            run_cell(
+                "ext-multidisp-herd",
+                "basic-li",
+                x=4.0,
+                seed=1,
+                total_jobs=200,
+                overload=self.OVERLOAD,
+            )
+
+    def test_parallel_matches_serial_with_overload(self):
+        kwargs = dict(
+            jobs=600,
+            seeds=2,
+            x_values=(2.0,),
+            curves=("random", "basic-li"),
+            overload=(4, None, "on", "on"),
+        )
+        serial = run_figure("fig2", processes=1, **kwargs)
+        parallel = run_figure("fig2", processes=4, **kwargs)
+        for key, cell in serial.cells.items():
+            assert parallel.cells[key].samples == cell.samples

@@ -52,6 +52,16 @@ class TestFigureSpecValidation:
         with pytest.raises(ValueError, match="summary"):
             minimal_figure(summary="histogram")
 
+    @pytest.mark.parametrize(
+        "metric", ["mean_response_time", "goodput", "drop_rate"]
+    )
+    def test_known_metrics_accepted(self, metric):
+        assert minimal_figure(metric=metric).metric == metric
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="metric"):
+            minimal_figure(metric="p99_latency")
+
     def test_duplicate_labels_rejected(self):
         with pytest.raises(ValueError, match="duplicate"):
             minimal_figure(

@@ -5,7 +5,9 @@ from __future__ import annotations
 import math
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
+from repro.engine.rng import RandomStreams
 from repro.faults.retry import RetryPolicy
 
 
@@ -73,6 +75,54 @@ class TestBackoffDelay:
         assert delay == 8.0
 
 
+class TestJitter:
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5, math.nan])
+    def test_jitter_bounds_enforced(self, bad):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=bad)
+
+    def test_nonzero_jitter_requires_rng(self):
+        with pytest.raises(ValueError, match="faults.*stream"):
+            RetryPolicy(jitter=0.5).backoff_delay(1, rng=None)
+
+    def test_zero_jitter_never_draws(self):
+        rng = RandomStreams(9).stream("faults")
+        before = rng.bit_generator.state
+        RetryPolicy().backoff_delay(3, rng=rng)
+        assert rng.bit_generator.state == before
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        jitter=st.floats(min_value=0.01, max_value=0.99),
+        attempt=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_jittered_delay_within_fractional_bounds(
+        self, jitter, attempt, seed
+    ):
+        nominal = RetryPolicy().backoff_delay(attempt)
+        realized = RetryPolicy(jitter=jitter).backoff_delay(
+            attempt, rng=RandomStreams(seed).stream("faults")
+        )
+        assert nominal * (1.0 - jitter) <= realized <= nominal * (1.0 + jitter)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        base=st.floats(min_value=1e-3, max_value=4.0),
+        cap_factor=st.floats(min_value=1.0, max_value=64.0),
+        attempts=st.integers(min_value=1, max_value=120),
+    )
+    def test_deterministic_sequence_is_monotone_and_capped(
+        self, base, cap_factor, attempts
+    ):
+        policy = RetryPolicy(backoff_base=base, backoff_cap=base * cap_factor)
+        delays = [policy.backoff_delay(k) for k in range(1, attempts + 1)]
+        assert all(
+            later >= earlier for earlier, later in zip(delays, delays[1:])
+        )
+        assert all(base <= delay <= policy.backoff_cap for delay in delays)
+
+
 class TestDescribe:
     def test_json_roundtrip_fields(self):
         summary = RetryPolicy(timeout=1.5, max_attempts=4).describe()
@@ -81,4 +131,5 @@ class TestDescribe:
             "backoff_base": 0.25,
             "backoff_cap": 8.0,
             "max_attempts": 4,
+            "jitter": 0.0,
         }

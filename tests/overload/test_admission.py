@@ -1,0 +1,103 @@
+"""Tests for the dispatcher-side admission (load-shedding) policies."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.rng import RandomStreams
+from repro.overload.admission import (
+    AlwaysAdmit,
+    ProbabilisticShed,
+    StaleBoardShed,
+)
+from repro.staleness.base import LoadView
+
+
+def _view(loads) -> LoadView:
+    return LoadView(
+        loads=np.asarray(loads, dtype=float),
+        version=0,
+        info_time=0.0,
+        now=0.0,
+        horizon=1.0,
+        elapsed=0.0,
+        known_age=False,
+        phase_based=True,
+    )
+
+
+class TestAlwaysAdmit:
+    def test_admits_everything_without_rng(self):
+        policy = AlwaysAdmit()
+        policy.bind(10, rng=None)
+        assert all(policy.admit(_view([50.0] * 10)) for _ in range(5))
+
+    def test_describe(self):
+        assert AlwaysAdmit().describe() == {"admission": "always"}
+
+    def test_bind_validates_cluster_size(self):
+        with pytest.raises(ValueError, match="num_servers"):
+            AlwaysAdmit().bind(0, rng=None)
+
+
+class TestProbabilisticShed:
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5, math.nan])
+    def test_probability_bounds(self, bad):
+        with pytest.raises(ValueError, match="shed_probability"):
+            ProbabilisticShed(bad)
+
+    def test_nonzero_probability_needs_rng(self):
+        with pytest.raises(ValueError, match="admission.*stream"):
+            ProbabilisticShed(0.3).bind(10, rng=None)
+
+    def test_zero_probability_never_sheds_and_never_draws(self):
+        rng = RandomStreams(3).stream("admission")
+        before = rng.bit_generator.state
+        policy = ProbabilisticShed(0.0)
+        policy.bind(10, rng=rng)
+        assert all(policy.admit(_view([0.0] * 10)) for _ in range(20))
+        assert rng.bit_generator.state == before
+
+    def test_shed_fraction_matches_probability(self):
+        policy = ProbabilisticShed(0.25)
+        policy.bind(10, rng=RandomStreams(11).stream("admission"))
+        decisions = [policy.admit(_view([0.0] * 10)) for _ in range(4000)]
+        shed_fraction = 1.0 - sum(decisions) / len(decisions)
+        assert shed_fraction == pytest.approx(0.25, abs=0.03)
+
+    def test_describe(self):
+        assert ProbabilisticShed(0.1).describe() == {
+            "admission": "probabilistic",
+            "p": 0.1,
+        }
+
+
+class TestStaleBoardShed:
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_threshold_must_be_positive_finite(self, bad):
+        with pytest.raises(ValueError, match="threshold"):
+            StaleBoardShed(bad)
+
+    def test_sheds_only_when_every_server_reported_at_threshold(self):
+        policy = StaleBoardShed(8.0)
+        policy.bind(3, rng=None)
+        assert policy.admit(_view([10.0, 7.9, 12.0]))  # one below: admit
+        assert not policy.admit(_view([8.0, 9.0, 30.0]))  # all at/above
+        assert not policy.admit(_view([100.0, 100.0, 100.0]))
+
+    def test_deterministic_no_draws(self):
+        rng = RandomStreams(5).stream("admission")
+        before = rng.bit_generator.state
+        policy = StaleBoardShed(4.0)
+        policy.bind(2, rng=rng)
+        policy.admit(_view([9.0, 9.0]))
+        assert rng.bit_generator.state == before
+
+    def test_describe(self):
+        assert StaleBoardShed(24.0).describe() == {
+            "admission": "stale-board",
+            "threshold": 24.0,
+        }

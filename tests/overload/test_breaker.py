@@ -1,0 +1,246 @@
+"""Unit and property tests for the per-server circuit breakers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.rng import RandomStreams
+from repro.overload.breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+)
+
+
+def _board(threshold=3, cooldown=8.0, jitter=0.0, rng=None, on_transition=None):
+    return BreakerBoard(
+        num_servers=4,
+        config=BreakerConfig(
+            failure_threshold=threshold,
+            cooldown=cooldown,
+            cooldown_jitter=jitter,
+        ),
+        rng=rng,
+        on_transition=on_transition,
+    )
+
+
+class TestConfigValidation:
+    def test_defaults(self):
+        config = BreakerConfig()
+        assert config.failure_threshold == 3
+        assert config.cooldown == 8.0
+        assert config.cooldown_jitter == 0.0
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_threshold_must_be_positive(self, bad):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            BreakerConfig(failure_threshold=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_cooldown_must_be_positive_finite(self, bad):
+        with pytest.raises(ValueError, match="cooldown must be"):
+            BreakerConfig(cooldown=bad)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, math.nan])
+    def test_jitter_bounds(self, bad):
+        with pytest.raises(ValueError, match="cooldown_jitter"):
+            BreakerConfig(cooldown_jitter=bad)
+
+    def test_describe_roundtrip(self):
+        assert BreakerConfig().describe() == {
+            "failure_threshold": 3,
+            "cooldown": 8.0,
+            "cooldown_jitter": 0.0,
+        }
+
+
+class TestBoardConstruction:
+    def test_needs_at_least_one_server(self):
+        with pytest.raises(ValueError, match="num_servers"):
+            BreakerBoard(0, BreakerConfig())
+
+    def test_jitter_without_rng_rejected(self):
+        with pytest.raises(ValueError, match="breaker.*stream"):
+            BreakerBoard(2, BreakerConfig(cooldown_jitter=0.5))
+
+    def test_len_and_getitem(self):
+        board = _board()
+        assert len(board) == 4
+        assert board[2].server_id == 2
+        assert board[2].state is BreakerState.CLOSED
+
+
+class TestStateMachine:
+    def test_trips_open_at_threshold(self):
+        board = _board(threshold=3)
+        board.record_failure(0, 1.0)
+        board.record_failure(0, 2.0)
+        assert board[0].state is BreakerState.CLOSED
+        board.record_failure(0, 3.0)
+        assert board[0].state is BreakerState.OPEN
+        assert board[0].trips == 1
+        assert board[0].open_until == pytest.approx(11.0)
+
+    def test_success_resets_the_consecutive_count(self):
+        board = _board(threshold=3)
+        board.record_failure(0, 1.0)
+        board.record_failure(0, 2.0)
+        board.record_success(0, 2.5)
+        board.record_failure(0, 3.0)
+        board.record_failure(0, 4.0)
+        assert board[0].state is BreakerState.CLOSED
+
+    def test_open_blocks_until_cooldown(self):
+        board = _board(threshold=1, cooldown=5.0)
+        board.record_failure(1, 10.0)
+        assert not board.allow(1, 10.0)
+        assert not board.allow(1, 14.999)
+        assert board.blocks(1, 12.0)
+        # Cooldown elapsed: the asking probe goes through, HALF_OPEN now.
+        assert board.allow(1, 15.0)
+        assert board[1].state is BreakerState.HALF_OPEN
+
+    def test_blocks_is_read_only(self):
+        board = _board(threshold=1, cooldown=5.0)
+        board.record_failure(1, 0.0)
+        assert not board.blocks(1, 6.0)  # cooldown expired
+        assert board[1].state is BreakerState.OPEN  # no transition consumed
+
+    def test_probe_success_closes(self):
+        board = _board(threshold=1, cooldown=5.0)
+        board.record_failure(0, 0.0)
+        assert board.allow(0, 6.0)
+        board.record_success(0, 6.5)
+        assert board[0].state is BreakerState.CLOSED
+        assert board[0].consecutive_failures == 0
+
+    def test_probe_failure_reopens(self):
+        board = _board(threshold=3, cooldown=5.0)
+        for _ in range(3):
+            board.record_failure(0, 0.0)
+        assert board.allow(0, 6.0)
+        board.record_failure(0, 6.5)  # one failure suffices in HALF_OPEN
+        assert board[0].state is BreakerState.OPEN
+        assert board[0].trips == 2
+        assert board[0].open_until == pytest.approx(11.5)
+
+    def test_breakers_are_independent(self):
+        board = _board(threshold=1)
+        board.record_failure(2, 0.0)
+        assert not board.allow(2, 0.5)
+        for other in (0, 1, 3):
+            assert board.allow(other, 0.5)
+
+
+class TestAccounting:
+    def test_time_in_open_across_cycles(self):
+        board = _board(threshold=1, cooldown=5.0)
+        board.record_failure(0, 0.0)  # OPEN at 0
+        board.allow(0, 6.0)  # HALF_OPEN at 6 -> 6s in OPEN
+        board.record_failure(0, 7.0)  # OPEN again at 7
+        board.finalize(10.0)  # +3s
+        assert board[0].time_in_open == pytest.approx(9.0)
+        assert board.trips_total == 2
+
+    def test_finalize_is_idempotent(self):
+        board = _board(threshold=1)
+        board.record_failure(0, 0.0)
+        board.finalize(4.0)
+        board.finalize(4.0)
+        assert board[0].time_in_open == pytest.approx(4.0)
+
+    def test_summary_shape(self):
+        board = _board(threshold=1)
+        board.record_failure(3, 1.0)
+        board.finalize(2.0)
+        summary = board.summary()
+        assert summary["trips"] == [0, 0, 0, 1]
+        assert summary["final_state"][3] == "open"
+        assert summary["time_in_open"][3] == pytest.approx(1.0)
+        assert summary["config"]["failure_threshold"] == 1
+
+    def test_transition_callback_sequence(self):
+        events = []
+        board = _board(
+            threshold=1,
+            cooldown=5.0,
+            on_transition=lambda now, sid, old, new: events.append(
+                (now, sid, old, new)
+            ),
+        )
+        board.record_failure(0, 1.0)
+        board.allow(0, 7.0)
+        board.record_success(0, 7.5)
+        assert events == [
+            (1.0, 0, "closed", "open"),
+            (7.0, 0, "open", "half-open"),
+            (7.5, 0, "half-open", "closed"),
+        ]
+
+
+class TestJitter:
+    def test_jittered_cooldown_within_bounds(self):
+        rng = RandomStreams(7).stream("breaker")
+        board = _board(threshold=1, cooldown=10.0, jitter=0.3, rng=rng)
+        realized = []
+        for trial in range(50):
+            board.record_failure(0, 100.0 * trial)
+            realized.append(board[0].open_until - 100.0 * trial)
+            board.allow(0, 100.0 * trial + 50.0)  # HALF_OPEN
+            board.record_success(0, 100.0 * trial + 50.0)  # CLOSED again
+        assert all(7.0 <= value <= 13.0 for value in realized)
+        assert len(set(realized)) > 1  # actually random
+
+    def test_zero_jitter_draws_nothing(self):
+        rng = RandomStreams(7).stream("breaker")
+        before = rng.bit_generator.state
+        board = _board(threshold=1, rng=rng)
+        board.record_failure(0, 0.0)
+        assert rng.bit_generator.state == before
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    threshold=st.integers(min_value=1, max_value=4),
+    cooldown=st.floats(min_value=0.1, max_value=20.0),
+    events=st.lists(
+        st.tuples(
+            st.sampled_from(["fail", "succeed", "try"]),
+            st.floats(min_value=0.0, max_value=5.0),
+        ),
+        max_size=40,
+    ),
+)
+def test_never_dispatches_to_open_server_before_cooldown(
+    threshold, cooldown, events
+):
+    """The breaker safety property: however failures, successes and
+    dispatch attempts interleave, ``allow`` never returns True for a
+    breaker that is OPEN with its cooldown still running."""
+    board = BreakerBoard(
+        1, BreakerConfig(failure_threshold=threshold, cooldown=cooldown)
+    )
+    now = 0.0
+    for kind, delta in events:
+        now += delta
+        was_open = board[0].state is BreakerState.OPEN
+        open_until = board[0].open_until
+        if kind == "fail":
+            board.record_failure(0, now)
+        elif kind == "succeed":
+            board.record_success(0, now)
+        else:
+            allowed = board.allow(0, now)
+            if was_open and now < open_until:
+                assert not allowed
+            else:
+                assert allowed
+        # OPEN implies a trip was recorded and a future (or past) deadline.
+        if board[0].state is BreakerState.OPEN:
+            assert board[0].trips >= 1
+            assert math.isfinite(board[0].open_until)

@@ -1,0 +1,109 @@
+"""Tests for the OverloadConfig bundle and its activity contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overload import (
+    AlwaysAdmit,
+    BreakerConfig,
+    OverloadConfig,
+    ProbabilisticShed,
+    RetryStormConfig,
+    StaleBoardShed,
+)
+
+
+class TestValidation:
+    def test_defaults_are_inactive(self):
+        config = OverloadConfig()
+        assert not config.active
+        assert not config.sheds
+        assert not config.can_refuse
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_queue_capacity_must_be_positive_or_none(self, bad):
+        with pytest.raises(ValueError, match="queue_capacity"):
+            OverloadConfig(queue_capacity=bad)
+
+    def test_admission_must_be_a_policy(self):
+        with pytest.raises(TypeError, match="AdmissionPolicy"):
+            OverloadConfig(admission="shed=0.1")
+
+    def test_storm_without_any_refusal_mechanism_rejected(self):
+        # Nothing can refuse a job => the storm can never fire; demanding
+        # a refusal mechanism makes the misconfiguration loud.
+        with pytest.raises(ValueError, match="nothing refuses"):
+            OverloadConfig(retry_storm=RetryStormConfig())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_capacity": 8},
+            {"admission": ProbabilisticShed(0.1)},
+            {"breaker": BreakerConfig()},
+        ],
+    )
+    def test_storm_allowed_with_any_refusal_mechanism(self, kwargs):
+        config = OverloadConfig(retry_storm=RetryStormConfig(), **kwargs)
+        assert config.active
+
+
+class TestActivity:
+    def test_each_knob_activates(self):
+        assert OverloadConfig(queue_capacity=4).active
+        assert OverloadConfig(admission=StaleBoardShed(8.0)).active
+        assert OverloadConfig(breaker=BreakerConfig()).active
+
+    def test_explicit_always_admit_stays_inactive(self):
+        assert not OverloadConfig(admission=AlwaysAdmit()).active
+
+    def test_sheds_tracks_admission_type(self):
+        assert OverloadConfig(admission=ProbabilisticShed(0.5)).sheds
+        assert not OverloadConfig(admission=AlwaysAdmit()).sheds
+
+
+class TestBlockerReason:
+    def test_priority_order(self):
+        assert (
+            OverloadConfig(
+                queue_capacity=4,
+                admission=StaleBoardShed(8.0),
+                breaker=BreakerConfig(),
+            ).blocker_reason()
+            == "overload_bounded_queues"
+        )
+        assert (
+            OverloadConfig(
+                admission=StaleBoardShed(8.0), breaker=BreakerConfig()
+            ).blocker_reason()
+            == "overload_admission"
+        )
+        assert (
+            OverloadConfig(breaker=BreakerConfig()).blocker_reason()
+            == "overload_breakers"
+        )
+
+
+class TestDescribe:
+    def test_full_configuration(self):
+        config = OverloadConfig(
+            queue_capacity=16,
+            admission=ProbabilisticShed(0.1),
+            breaker=BreakerConfig(),
+            retry_storm=RetryStormConfig(),
+        )
+        summary = config.describe()
+        assert summary["queue_capacity"] == 16
+        assert summary["admission"]["p"] == 0.1
+        assert summary["breaker"]["cooldown"] == 8.0
+        assert summary["retry_storm"]["max_resubmits"] == 8
+
+    def test_defaults(self):
+        summary = OverloadConfig().describe()
+        assert summary == {
+            "queue_capacity": None,
+            "admission": {"admission": "always"},
+            "breaker": None,
+            "retry_storm": None,
+        }

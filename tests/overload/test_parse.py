@@ -1,0 +1,108 @@
+"""Tests for the CLI overload-specification parsers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overload import (
+    ProbabilisticShed,
+    StaleBoardShed,
+    build_overload_config,
+    parse_admission_spec,
+    parse_breaker_spec,
+    parse_storm_spec,
+)
+
+
+class TestAdmissionSpec:
+    def test_probabilistic(self):
+        policy = parse_admission_spec("shed=0.2")
+        assert isinstance(policy, ProbabilisticShed)
+        assert policy.shed_probability == 0.2
+
+    def test_threshold(self):
+        policy = parse_admission_spec("threshold=24")
+        assert isinstance(policy, StaleBoardShed)
+        assert policy.threshold == 24.0
+
+    @pytest.mark.parametrize(
+        "bad", ["", "shed", "shed=0.1,threshold=2", "flavor=mild"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_admission_spec(bad)
+
+    def test_invalid_value_uses_library_message(self):
+        with pytest.raises(ValueError, match="shed_probability"):
+            parse_admission_spec("shed=1.5")
+
+
+class TestBreakerSpec:
+    def test_bare_on_gives_defaults(self):
+        config = parse_breaker_spec("on")
+        assert config.failure_threshold == 3
+        assert config.cooldown == 8.0
+
+    def test_keyed_form(self):
+        config = parse_breaker_spec("threshold=5,cooldown=2.5,jitter=0.1")
+        assert config.failure_threshold == 5
+        assert config.cooldown == 2.5
+        assert config.cooldown_jitter == 0.1
+
+    def test_unknown_key_lists_known_ones(self):
+        with pytest.raises(ValueError, match="known keys.*cooldown"):
+            parse_breaker_spec("cool=3")
+
+    def test_non_integer_threshold_rejected(self):
+        with pytest.raises(ValueError, match="needs an integer"):
+            parse_breaker_spec("threshold=2.5")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_breaker_spec("cooldown=1,cooldown=2")
+
+
+class TestStormSpec:
+    def test_bare_on_gives_defaults(self):
+        config = parse_storm_spec("on")
+        assert config.backoff_base == 0.5
+        assert config.max_resubmits == 8
+
+    def test_keyed_form(self):
+        config = parse_storm_spec("backoff=1,cap=32,jitter=0.5,resubmits=3")
+        assert config.backoff_base == 1.0
+        assert config.backoff_cap == 32.0
+        assert config.jitter == 0.5
+        assert config.max_resubmits == 3
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_storm_spec("backoff")
+
+
+class TestBuildOverloadConfig:
+    def test_all_absent_returns_none(self):
+        assert build_overload_config() is None
+
+    def test_capacity_only(self):
+        config = build_overload_config(queue_capacity=8)
+        assert config.queue_capacity == 8
+        assert config.breaker is None
+        assert not config.sheds
+
+    def test_full_specification(self):
+        config = build_overload_config(
+            queue_capacity=16,
+            admission="shed=0.1",
+            breaker="threshold=2",
+            storm="on",
+        )
+        assert config.queue_capacity == 16
+        assert config.sheds
+        assert config.breaker.failure_threshold == 2
+        assert config.retry_storm is not None
+        assert config.blocker_reason() == "overload_bounded_queues"
+
+    def test_storm_alone_propagates_config_error(self):
+        with pytest.raises(ValueError, match="nothing refuses"):
+            build_overload_config(storm="on")

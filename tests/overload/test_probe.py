@@ -1,0 +1,105 @@
+"""Tests for the OverloadProbe manifest summariser."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import OverloadProbe
+
+
+def _attached(num_servers=3, queue_capacity=16, **kwargs) -> OverloadProbe:
+    probe = OverloadProbe(**kwargs)
+    servers = [
+        SimpleNamespace(queue_capacity=queue_capacity)
+        for _ in range(num_servers)
+    ]
+    probe.on_attach(sim=None, servers=servers)
+    return probe
+
+
+class TestCounters:
+    def test_max_events_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="max_events"):
+            OverloadProbe(max_events=-1)
+
+    def test_initial_summary(self):
+        summary = _attached().summary()
+        assert summary["sheds"] == 0
+        assert summary["rejects"] == [0, 0, 0]
+        assert summary["drops"] == {}
+        assert summary["queue_capacity"] == 16
+
+    def test_sheds_rejects_and_drops_accumulate(self):
+        probe = _attached()
+        probe.on_job_shed(1.0, client_id=3)
+        probe.on_job_shed(2.0, client_id=4)
+        probe.on_job_rejected(1.5, server_id=0)
+        probe.on_job_rejected(2.5, server_id=2)
+        probe.on_job_rejected(3.0, server_id=2)
+        probe.on_job_failed(2.0, server_id=-1, reason="shed")
+        probe.on_job_failed(3.0, server_id=-1, reason="queue-full")
+        probe.on_job_failed(4.0, server_id=-1, reason="queue-full")
+        summary = probe.summary()
+        assert summary["sheds"] == 2
+        assert summary["rejects"] == [1, 0, 2]
+        assert summary["rejects_total"] == 3
+        assert summary["drops"] == {"queue-full": 2, "shed": 1}
+        assert summary["drops_total"] == 3
+
+    def test_fault_reasons_are_not_counted_as_overload_drops(self):
+        probe = _attached()
+        probe.on_job_failed(1.0, server_id=2, reason="aborted")
+        probe.on_job_failed(2.0, server_id=2, reason="retries-exhausted")
+        assert probe.summary()["drops"] == {}
+
+
+class TestBreakerTimeline:
+    def test_trips_and_time_in_open(self):
+        probe = _attached()
+        probe.on_breaker_transition(1.0, 0, "closed", "open")
+        probe.on_breaker_transition(5.0, 0, "open", "half-open")
+        probe.on_breaker_transition(5.5, 0, "half-open", "open")
+        probe.on_breaker_transition(9.5, 0, "open", "closed")
+        breaker = probe.summary()["breaker"]
+        assert breaker["trips"] == [2, 0, 0]
+        assert breaker["trips_total"] == 2
+        assert breaker["time_in_open"][0] == pytest.approx(8.0)
+        assert breaker["transitions"] == 4
+        assert [e["to"] for e in breaker["events"]] == [
+            "open",
+            "half-open",
+            "open",
+            "closed",
+        ]
+
+    def test_on_finish_closes_open_intervals(self):
+        probe = _attached()
+        probe.on_breaker_transition(2.0, 1, "closed", "open")
+        probe.on_finish(12.0)
+        summary = probe.summary()
+        assert summary["breaker"]["time_in_open"][1] == pytest.approx(10.0)
+        assert summary["duration"] == 12.0
+
+    def test_max_events_bounds_the_event_list_not_the_counters(self):
+        probe = _attached(max_events=2)
+        for trip in range(5):
+            probe.on_breaker_transition(float(trip), 0, "closed", "open")
+            probe.on_breaker_transition(float(trip) + 0.5, 0, "open", "closed")
+        breaker = probe.summary()["breaker"]
+        assert len(breaker["events"]) == 2
+        assert breaker["events_dropped"] == 8
+        assert breaker["trips_total"] == 5
+        assert breaker["transitions"] == 10
+
+    def test_reattach_resets_state(self):
+        probe = _attached()
+        probe.on_job_shed(1.0, client_id=0)
+        probe.on_attach(
+            sim=None, servers=[SimpleNamespace(queue_capacity=None)]
+        )
+        summary = probe.summary()
+        assert summary["sheds"] == 0
+        assert summary["rejects"] == [0]
+        assert summary["queue_capacity"] is None

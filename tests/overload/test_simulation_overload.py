@@ -1,0 +1,278 @@
+"""Integration tests: overload protection inside the simulation drivers.
+
+Covers the contracts the overload layer must keep end to end: knobs-off
+configurations are bit-identical to no configuration at all (on both
+engines), active knobs force the event engine with a *named* fast-path
+blocker, every original arrival reaches exactly one terminal, breakers
+trip on fault-injected crash timeouts, and the multi-dispatcher driver
+applies the same bounded queues over its shared servers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.faults import FaultEvent, FaultInjector, FaultSchedule
+from repro.multidispatch import MultiDispatchSimulation
+from repro.overload import (
+    BreakerConfig,
+    OverloadConfig,
+    ProbabilisticShed,
+    RetryStormConfig,
+    StaleBoardShed,
+)
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import exponential_service
+from tests.conftest import small_simulation
+
+
+def overloaded(policy=None, *, load=1.1, total_jobs=8_000, seed=5, **kwargs):
+    return small_simulation(
+        policy if policy is not None else BasicLIPolicy(),
+        load=load,
+        total_jobs=total_jobs,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestKnobsOffBitIdentity:
+    """An inactive OverloadConfig must not perturb a single draw."""
+
+    @pytest.mark.parametrize("engine", ["event", "fast"])
+    def test_inactive_config_matches_no_config(self, engine):
+        base = small_simulation(
+            BasicLIPolicy(), total_jobs=4_000, engine=engine
+        ).run()
+        guarded = small_simulation(
+            BasicLIPolicy(),
+            total_jobs=4_000,
+            engine=engine,
+            overload=OverloadConfig(),
+        ).run()
+        assert guarded.mean_response_time == base.mean_response_time
+        np.testing.assert_array_equal(
+            guarded.dispatch_counts, base.dispatch_counts
+        )
+
+    def test_inactive_config_keeps_fast_path_eligible(self):
+        sim = small_simulation(BasicLIPolicy(), overload=OverloadConfig())
+        assert sim.fast_path_blocker() is None
+        engine, _ = sim.engine_decision()
+        assert engine == "fast"
+
+
+class TestFastPathFallback:
+    """Active overload features are event-only, with named blockers."""
+
+    def test_bounded_queues_fall_back_with_named_blocker(self):
+        sim = overloaded(overload=OverloadConfig(queue_capacity=16))
+        blocker = sim.fast_path_blocker()
+        assert blocker is not None
+        assert blocker.startswith("overload_bounded_queues")
+        engine, reason = sim.engine_decision()
+        assert engine == "event"
+        assert "overload_bounded_queues" in reason
+
+    @pytest.mark.parametrize(
+        ("config", "name"),
+        [
+            (
+                OverloadConfig(admission=StaleBoardShed(20.0)),
+                "overload_admission",
+            ),
+            (OverloadConfig(breaker=BreakerConfig()), "overload_breakers"),
+        ],
+    )
+    def test_each_knob_names_itself(self, config, name):
+        assert overloaded(overload=config).fast_path_blocker().startswith(name)
+
+    def test_requesting_fast_engine_raises(self):
+        sim = overloaded(
+            overload=OverloadConfig(queue_capacity=16), engine="fast"
+        )
+        with pytest.raises(ValueError, match="overload_bounded_queues"):
+            sim.run()
+
+
+class TestAccounting:
+    """Every original arrival reaches exactly one terminal state."""
+
+    def test_bounded_queue_drops_balance(self):
+        result = overloaded(
+            RandomPolicy(), overload=OverloadConfig(queue_capacity=4)
+        ).run()
+        assert result.jobs_total == 8_000
+        assert result.jobs_dropped > 0
+        # Without a storm every refusal is terminal: one reject per drop.
+        assert result.jobs_rejected == result.jobs_dropped
+        assert result.rejected_counts.sum() == result.jobs_rejected
+        assert result.goodput + result.drop_rate == pytest.approx(1.0)
+        assert 0.0 < result.goodput < 1.0
+
+    def test_probabilistic_shed_drops_match_sheds(self):
+        result = overloaded(
+            overload=OverloadConfig(admission=ProbabilisticShed(0.2))
+        ).run()
+        assert result.jobs_shed > 0
+        assert result.jobs_dropped == result.jobs_shed
+        assert result.jobs_shed == pytest.approx(0.2 * 8_000, rel=0.15)
+
+    def test_stale_board_shed_fires_under_saturation(self):
+        result = overloaded(
+            RandomPolicy(),
+            load=1.3,
+            overload=OverloadConfig(admission=StaleBoardShed(2.0)),
+        ).run()
+        assert result.jobs_shed > 0
+        assert result.jobs_dropped == result.jobs_shed
+
+    def test_storm_resubmits_are_not_terminal(self):
+        calm = overloaded(
+            RandomPolicy(), overload=OverloadConfig(queue_capacity=4)
+        ).run()
+        stormy = overloaded(
+            RandomPolicy(),
+            overload=OverloadConfig(
+                queue_capacity=4, retry_storm=RetryStormConfig()
+            ),
+        ).run()
+        assert stormy.storm_resubmits > 0
+        assert stormy.jobs_rejected > stormy.jobs_dropped
+        assert stormy.jobs_total == calm.jobs_total
+        # Queue rejections cost the server nothing, so retries alone only
+        # add landing chances; collapse needs breakers (see the
+        # ext-overload-metastable cell).
+        assert stormy.jobs_dropped < calm.jobs_dropped
+
+    def test_determinism_with_all_knobs(self):
+        def run():
+            return overloaded(
+                RandomPolicy(),
+                overload=OverloadConfig(
+                    queue_capacity=8,
+                    admission=ProbabilisticShed(0.05),
+                    breaker=BreakerConfig(),
+                    retry_storm=RetryStormConfig(jitter=0.25),
+                ),
+            ).run()
+
+        first, second = run(), run()
+        assert first.mean_response_time == second.mean_response_time
+        assert first.jobs_dropped == second.jobs_dropped
+        assert first.storm_resubmits == second.storm_resubmits
+        assert first.breaker_trips == second.breaker_trips
+
+
+class TestBreakersAndFaults:
+    def test_breakers_trip_on_queue_rejections(self):
+        result = overloaded(
+            RandomPolicy(),
+            load=1.3,
+            overload=OverloadConfig(
+                queue_capacity=4,
+                breaker=BreakerConfig(failure_threshold=2, cooldown=4.0),
+            ),
+        ).run()
+        assert result.breaker_trips > 0
+
+    def test_breakers_trip_on_crash_timeouts(self):
+        # Server 0 is down for the whole run; every job the stale board
+        # sends there times out, which must feed the breaker just like a
+        # queue rejection does.
+        schedule = FaultSchedule(scripted=(FaultEvent(0.0, 0, "crash"),))
+        result = overloaded(
+            RandomPolicy(),
+            load=0.7,
+            faults=FaultInjector(schedule=schedule),
+            overload=OverloadConfig(
+                breaker=BreakerConfig(failure_threshold=3, cooldown=8.0)
+            ),
+        ).run()
+        assert result.breaker_trips > 0
+
+    def test_breaker_exclusion_reduces_timeout_losses(self):
+        schedule = FaultSchedule(scripted=(FaultEvent(0.0, 0, "crash"),))
+        unguarded = overloaded(
+            RandomPolicy(),
+            load=0.7,
+            faults=FaultInjector(schedule=schedule),
+        ).run()
+        guarded = overloaded(
+            RandomPolicy(),
+            load=0.7,
+            faults=FaultInjector(schedule=schedule),
+            overload=OverloadConfig(
+                breaker=BreakerConfig(failure_threshold=3, cooldown=8.0)
+            ),
+        ).run()
+        # With the breaker OPEN the dispatcher stops feeding the crashed
+        # server, so far fewer jobs burn the timeout-and-retry budget.
+        assert unguarded.retries_total > 0
+        assert guarded.retries_total < unguarded.retries_total
+
+
+class TestMultiDispatch:
+    def _sim(self, *, num_dispatchers=2, overload=None, **kwargs):
+        return MultiDispatchSimulation(
+            num_servers=10,
+            total_rate=11.0,
+            service=exponential_service(),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(period=4.0),
+            num_dispatchers=num_dispatchers,
+            total_jobs=8_000,
+            seed=5,
+            overload=overload,
+            **kwargs,
+        )
+
+    def test_inactive_config_is_bit_identical(self):
+        base = self._sim().run()
+        guarded = self._sim(overload=OverloadConfig()).run()
+        assert guarded.mean_response_time == base.mean_response_time
+        np.testing.assert_array_equal(
+            guarded.dispatch_counts, base.dispatch_counts
+        )
+
+    def test_shared_servers_reject_for_every_dispatcher(self):
+        result = self._sim(overload=OverloadConfig(queue_capacity=4)).run()
+        assert result.jobs_dropped > 0
+        assert result.jobs_rejected == result.jobs_dropped
+        assert result.goodput + result.drop_rate == pytest.approx(1.0)
+
+    def test_per_dispatcher_breakers_trip(self):
+        result = self._sim(
+            overload=OverloadConfig(
+                queue_capacity=4,
+                breaker=BreakerConfig(failure_threshold=2, cooldown=4.0),
+            )
+        ).run()
+        assert result.breaker_trips > 0
+
+    def test_retry_storm_rejected_with_dispatchers(self):
+        with pytest.raises(ValueError, match="dispatchers"):
+            self._sim(
+                overload=OverloadConfig(
+                    queue_capacity=4, retry_storm=RetryStormConfig()
+                )
+            )
+
+
+class TestOverloadTypeChecks:
+    def test_cluster_simulation_rejects_non_config(self):
+        with pytest.raises(TypeError, match="OverloadConfig"):
+            ClusterSimulation(
+                num_servers=2,
+                arrivals=PoissonArrivals(1.0),
+                service=exponential_service(),
+                policy=RandomPolicy(),
+                staleness=PeriodicUpdate(period=1.0),
+                total_jobs=10,
+                overload="queue_capacity=4",
+            )

@@ -1,0 +1,107 @@
+"""Unit and property tests for the retry-storm backoff model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.rng import RandomStreams
+from repro.overload.storm import RetryStormConfig
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = RetryStormConfig()
+        assert config.backoff_base == 0.5
+        assert config.backoff_cap == 16.0
+        assert config.jitter == 0.25
+        assert config.max_resubmits == 8
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_base_must_be_positive_finite(self, bad):
+        with pytest.raises(ValueError, match="backoff_base"):
+            RetryStormConfig(backoff_base=bad)
+
+    @pytest.mark.parametrize("bad", [0.1, math.inf, math.nan])
+    def test_cap_must_be_finite_and_at_least_base(self, bad):
+        with pytest.raises(ValueError, match="backoff_cap"):
+            RetryStormConfig(backoff_base=0.5, backoff_cap=bad)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, math.nan])
+    def test_jitter_bounds(self, bad):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryStormConfig(jitter=bad)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_max_resubmits_must_be_positive(self, bad):
+        # An unbounded storm over a saturated cluster never drains the
+        # arrival quota, so the model requires a finite retry budget.
+        with pytest.raises(ValueError, match="max_resubmits"):
+            RetryStormConfig(max_resubmits=bad)
+
+
+class TestDelay:
+    def test_doubles_then_caps_without_jitter(self):
+        config = RetryStormConfig(backoff_base=0.5, backoff_cap=4.0, jitter=0.0)
+        delays = [config.delay(k, rng=None) for k in range(1, 6)]
+        assert delays == [0.5, 1.0, 2.0, 4.0, 4.0]
+
+    def test_resubmit_must_be_positive(self):
+        with pytest.raises(ValueError, match="resubmit"):
+            RetryStormConfig(jitter=0.0).delay(0, rng=None)
+
+    def test_huge_resubmit_does_not_overflow(self):
+        config = RetryStormConfig(jitter=0.0)
+        assert config.delay(10_000, rng=None) == 16.0
+
+    def test_jitter_needs_rng(self):
+        with pytest.raises(ValueError, match="retry-storm.*stream"):
+            RetryStormConfig(jitter=0.5).delay(1, rng=None)
+
+    def test_describe_roundtrip(self):
+        assert RetryStormConfig().describe() == {
+            "backoff_base": 0.5,
+            "backoff_cap": 16.0,
+            "jitter": 0.25,
+            "max_resubmits": 8,
+        }
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    base=st.floats(min_value=1e-3, max_value=4.0),
+    cap_factor=st.floats(min_value=1.0, max_value=64.0),
+    resubmits=st.integers(min_value=1, max_value=200),
+)
+def test_deterministic_sequence_is_monotone_and_capped(
+    base, cap_factor, resubmits
+):
+    config = RetryStormConfig(
+        backoff_base=base, backoff_cap=base * cap_factor, jitter=0.0
+    )
+    delays = [config.delay(k, rng=None) for k in range(1, resubmits + 1)]
+    assert all(
+        later >= earlier for earlier, later in zip(delays, delays[1:])
+    )
+    assert all(base <= delay <= config.backoff_cap for delay in delays)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    jitter=st.floats(min_value=0.01, max_value=0.99),
+    resubmit=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_jittered_delay_within_fractional_bounds(jitter, resubmit, seed):
+    config = RetryStormConfig(
+        backoff_base=0.5, backoff_cap=16.0, jitter=jitter
+    )
+    nominal = RetryStormConfig(
+        backoff_base=0.5, backoff_cap=16.0, jitter=0.0
+    ).delay(resubmit, rng=None)
+    realized = config.delay(
+        resubmit, rng=RandomStreams(seed).stream("retry-storm")
+    )
+    assert nominal * (1.0 - jitter) <= realized <= nominal * (1.0 + jitter)

@@ -498,3 +498,205 @@ class TestBenchTrend:
     def test_missing_directory_is_empty_trend(self, tmp_path, capsys):
         assert main(["bench-trend", "--dir", str(tmp_path / "none")]) == 0
         assert "no BENCH" in capsys.readouterr().out
+
+
+class TestRunOverloadFlags:
+    def test_queue_capacity_flag_runs(self, capsys):
+        code = main(
+            [
+                "run",
+                "fig2",
+                "--jobs",
+                "400",
+                "--seeds",
+                "1",
+                "--curves",
+                "random",
+                "--x",
+                "4",
+                "--queue-capacity",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert "random" in capsys.readouterr().out
+
+    def test_all_overload_flags_compose(self, capsys):
+        code = main(
+            [
+                "run",
+                "fig2",
+                "--jobs",
+                "400",
+                "--seeds",
+                "1",
+                "--curves",
+                "random",
+                "--x",
+                "4",
+                "--queue-capacity",
+                "8",
+                "--admission",
+                "shed=0.05",
+                "--breaker",
+                "threshold=2,cooldown=4",
+                "--storm",
+                "on",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_admission_spec_exit_code(self, capsys):
+        code = main(
+            [
+                "run",
+                "fig2",
+                "--jobs",
+                "100",
+                "--curves",
+                "random",
+                "--x",
+                "4",
+                "--admission",
+                "flavor=mild",
+            ]
+        )
+        assert code == 2
+        assert "admission" in capsys.readouterr().err
+
+    def test_overload_on_multidisp_figure_exit_code(self, capsys):
+        code = main(
+            [
+                "run",
+                "ext-multidisp-herd",
+                "--jobs",
+                "100",
+                "--seeds",
+                "1",
+                "--curves",
+                "basic-li",
+                "--x",
+                "4",
+                "--queue-capacity",
+                "4",
+            ]
+        )
+        assert code == 2
+        assert "queue-capacity" in capsys.readouterr().err
+
+    def test_overload_figure_runs_from_registry(self, capsys):
+        code = main(
+            [
+                "run",
+                "ext-overload-goodput",
+                "--jobs",
+                "300",
+                "--seeds",
+                "1",
+                "--curves",
+                "random",
+                "--x",
+                "1.2",
+            ]
+        )
+        assert code == 0
+        assert "ext-overload-goodput" in capsys.readouterr().out
+
+    def test_traced_overload_run_prints_digest(self, capsys):
+        code = main(
+            [
+                "run",
+                "fig2",
+                "--jobs",
+                "400",
+                "--seeds",
+                "1",
+                "--curves",
+                "random",
+                "--x",
+                "4",
+                "--queue-capacity",
+                "2",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "rejects" in output
+        assert "drops" in output
+
+
+class TestOverloadCommand:
+    def test_sweeps_policies_and_rho(self, capsys):
+        code = main(
+            [
+                "overload",
+                "--policy",
+                "random,basic-li",
+                "--rho",
+                "0.9,1.1",
+                "--jobs",
+                "500",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "goodput" in output
+        assert output.count("random") >= 2  # one row per rho
+
+    def test_storm_variant_reports_resubmits(self, capsys):
+        code = main(
+            [
+                "overload",
+                "--policy",
+                "random+storm",
+                "--rho",
+                "1.1",
+                "--jobs",
+                "500",
+            ]
+        )
+        assert code == 0
+        rows = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("random+storm")
+        ]
+        assert len(rows) == 1
+        resubmits = int(rows[0].split()[-2])
+        assert resubmits > 0
+
+    def test_unknown_policy_exit_code(self, capsys):
+        code = main(["overload", "--policy", "lifo"])
+        assert code == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_bad_rho_exit_code(self, capsys):
+        code = main(["overload", "--rho", "fast"])
+        assert code == 2
+        assert "--rho" in capsys.readouterr().err
+
+    def test_breaker_flag_reports_trips(self, capsys):
+        code = main(
+            [
+                "overload",
+                "--policy",
+                "random",
+                "--rho",
+                "1.3",
+                "--jobs",
+                "1000",
+                "--queue-capacity",
+                "2",
+                "--breaker",
+                "threshold=1,cooldown=2",
+            ]
+        )
+        assert code == 0
+        rows = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("random")
+        ]
+        trips = int(rows[0].split()[6])
+        assert trips > 0
