@@ -135,6 +135,14 @@ def build_parser() -> argparse.ArgumentParser:
         "front-ends sharing the cell's bulletin board (requires "
         "ClusterSimulation-driven figures)",
     )
+    run_cmd.add_argument(
+        "--engine",
+        choices=("auto", "event", "fast", "vector", "fluid"),
+        default="auto",
+        help="force a simulation engine for every cell (default auto; "
+        "event/fast/vector are bit-identical, fluid solves the "
+        "mean-field fixed point instead of simulating)",
+    )
     _add_overload_arguments(run_cmd)
     run_cmd.set_defaults(handler=_cmd_run)
 
@@ -280,7 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_cmd.add_argument("--seed", type=int, default=1)
     profile_cmd.add_argument(
         "--engine",
-        choices=("auto", "event", "fast"),
+        choices=("auto", "event", "fast", "vector", "fluid"),
         default="auto",
         help="force a simulation engine (default auto)",
     )
@@ -302,6 +310,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=25, help="rows of profile output"
     )
     profile_cmd.set_defaults(handler=_cmd_profile)
+
+    fluid_cmd = sub.add_parser(
+        "fluid",
+        help="solve a figure's cells in the mean-field (n → ∞) limit "
+        "instead of simulating them",
+    )
+    fluid_cmd.add_argument("figure", help="figure id (see `list`)")
+    fluid_cmd.add_argument(
+        "--curves",
+        type=str,
+        default=None,
+        help="comma-separated subset of curve labels",
+    )
+    fluid_cmd.add_argument(
+        "--x",
+        type=str,
+        default=None,
+        help="comma-separated subset of x values",
+    )
+    fluid_cmd.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print per-cell convergence diagnostics (iterations, "
+        "residual, truncation level)",
+    )
+    fluid_cmd.set_defaults(handler=_cmd_fluid)
 
     trend_cmd = sub.add_parser(
         "bench-trend",
@@ -418,6 +452,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_interval=args.trace_interval,
         full_traces=args.full_traces,
         faults=args.faults,
+        engine=args.engine,
         dispatchers=args.dispatchers,
         overload=_overload_tuple(args),
     )
@@ -826,6 +861,82 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fluid(args: argparse.Namespace) -> int:
+    """Mean-field solutions for a figure's cells, one row per x value.
+
+    Deterministic (no seeds, no jobs): each cell is the fixed point of
+    its fluid phase map.  Cells whose configuration has no fluid
+    translation print the blocking reason's short form (``n/a``) instead
+    of a number; non-converged solves are flagged with ``*``.
+    """
+    from repro.cluster.simulation import ClusterSimulation
+
+    try:
+        spec = get_figure(args.figure)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        labels = (
+            tuple(args.curves.split(",")) if args.curves
+            else tuple(curve.label for curve in spec.curves)
+        )
+        for label in labels:
+            spec.curve(label)
+        x_values = (
+            tuple(float(value) for value in args.x.split(","))
+            if args.x
+            else spec.x_values
+        )
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(f"{spec.figure_id}: {spec.title} — fluid (n → ∞) limit")
+    header = [spec.x_label] + list(labels)
+    rows = []
+    diagnostics = []
+    for x in x_values:
+        row = [f"{x:g}"]
+        for label in labels:
+            simulation = spec.build_simulation(
+                spec.curve(label), x, seed=0, total_jobs=1
+            )
+            if not isinstance(simulation, ClusterSimulation):
+                row.append("n/a")
+                continue
+            simulation.engine = "fluid"
+            try:
+                value = simulation.run().mean_response_time
+            except ValueError as error:
+                diagnostics.append(f"  {label} @ x={x:g}: {error}")
+                row.append("n/a")
+                continue
+            summary = simulation.last_fluid_summary or {}
+            flag = "" if summary.get("converged", True) else "*"
+            row.append(f"{value:.4f}{flag}")
+            if args.verbose:
+                diagnostics.append(
+                    f"  {label} @ x={x:g}: iters={summary.get('iterations')} "
+                    f"residual={summary.get('residual'):.2e} "
+                    f"K={summary.get('max_level')}"
+                )
+        rows.append(row)
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    if any(cell.endswith("*") for row in rows for cell in row):
+        print("* fixed-point iteration did not meet tolerance")
+    if diagnostics:
+        print()
+        print("\n".join(diagnostics))
+    return 0
+
+
 def _cmd_bench_trend(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -837,12 +948,21 @@ def _cmd_bench_trend(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if not benches:
+        print(
+            f"no BENCH_*.json files found in {args.dir}/ — run "
+            "`python benchmarks/perf.py` to record the first point"
+        )
+        if args.check:
+            print(
+                "error: --check needs at least one BENCH file",
+                file=sys.stderr,
+            )
+            return 2
+        return 0
     print(format_trend(benches))
     if not args.check:
         return 0
-    if not benches:
-        print("error: --check needs at least one BENCH file", file=sys.stderr)
-        return 2
     current = benches[-1][1]
     if args.against is not None:
         try:

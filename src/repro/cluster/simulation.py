@@ -240,9 +240,18 @@ class ClusterSimulation:
         it and the event-driven loop otherwise; ``"event"`` forces the
         event loop; ``"fast"`` forces the fast path and raises
         :class:`ValueError` with the blocking reason if it is unavailable.
-        Both engines produce bit-identical :class:`SimulationResult`
-        objects, so the choice is purely a performance knob.  After
-        :meth:`run`, :attr:`engine_used` records which engine executed.
+        ``"vector"`` forces the numpy-vectorized batch kernel
+        (:mod:`repro.engine.vector`) — same eligibility matrix and same
+        bit-identical results as the fast path, but scaling to clusters
+        of thousands of servers.  ``"event"``/``"fast"``/``"vector"``
+        all produce bit-identical :class:`SimulationResult` objects, so
+        among those the choice is purely a performance knob.
+        ``"fluid"`` solves the mean-field (n → ∞) fixed point instead of
+        simulating jobs (:mod:`repro.engine.fluid`); it is an explicit
+        opt-in, asymptotic rather than bit-identical, and raises
+        :class:`ValueError` (see :meth:`fluid_blocker`) when the
+        configuration has no fluid translation.  After :meth:`run`,
+        :attr:`engine_used` records which engine executed.
     dispatchers:
         Number of concurrent front-ends ``m``.  The default 1 is the
         paper's single-dispatcher model and leaves every code path (and
@@ -255,12 +264,17 @@ class ClusterSimulation:
         front-end faults).
     """
 
-    #: Engine selected by the most recent :meth:`run` ("event" or "fast").
+    #: Engine selected by the most recent :meth:`run`
+    #: ("event", "fast", "vector" or "fluid").
     engine_used: str | None = None
 
     #: Breaker digest of the most recent :meth:`run` (``None`` unless the
     #: run had circuit breakers enabled).
     last_breaker_summary: dict | None = None
+
+    #: Fluid-solution digest of the most recent :meth:`run` (``None``
+    #: unless the run executed on the fluid engine).
+    last_fluid_summary: dict | None = None
 
     def __init__(
         self,
@@ -333,9 +347,10 @@ class ClusterSimulation:
         self.probes = list(probes) if probes else None
         self.faults = faults
         self.overload = overload
-        if engine not in ("auto", "event", "fast"):
+        if engine not in ("auto", "event", "fast", "vector", "fluid"):
             raise ValueError(
-                f"engine must be 'auto', 'event' or 'fast', got {engine!r}"
+                "engine must be 'auto', 'event', 'fast', 'vector' or "
+                f"'fluid', got {engine!r}"
             )
         self.engine = engine
         self.dispatchers = validate_dispatcher_count(dispatchers)
@@ -388,7 +403,9 @@ class ClusterSimulation:
                 f"{self.overload.blocker_reason()}: per-arrival refusal "
                 "decisions are sequential, not phase-batchable"
             )
-        if self.probes:
+        if self.probes and any(
+            getattr(p, "requires_event_loop", True) for p in self.probes
+        ):
             return "observability probes need the event loop's per-event hooks"
         if type(self.staleness) not in (PeriodicUpdate, LossyPeriodicUpdate):
             return (
@@ -450,16 +467,127 @@ class ClusterSimulation:
             defining_class("select_batch"), defining_class("select")
         )
 
+    def fluid_blocker(self) -> str | None:
+        """Why the mean-field fluid engine cannot run, or ``None`` if it can.
+
+        The fluid engine replaces the finite cluster with its n → ∞
+        mean-field limit, so it needs every component to have an exact
+        fluid translation: Poisson arrivals, exponential service, a
+        deterministic periodic board, homogeneous rates and a policy
+        whose per-phase routing reduces to a probability vector over
+        reported load levels (see DESIGN.md §11).
+        """
+        from repro.core.ksubset import KSubsetPolicy
+        from repro.core.li_basic import BasicLIPolicy
+        from repro.core.random_policy import RandomPolicy
+        from repro.core.threshold import ThresholdPolicy
+        from repro.staleness.periodic import PeriodicUpdate
+        from repro.workloads.arrivals import PoissonArrivals
+        from repro.workloads.distributions import Exponential
+
+        if type(self) is not ClusterSimulation:
+            return (
+                f"{type(self).__name__} subclasses the driver and may add "
+                "behavior with no mean-field translation"
+            )
+        if self.dispatchers > 1:
+            return "multi_dispatcher runs have no single-board fluid model"
+        if self.faults is not None:
+            return "fault injection has no fluid translation"
+        if self.overload is not None and self.overload.active:
+            return f"{self.overload.blocker_reason()}: no fluid translation"
+        if self.probes and any(
+            getattr(p, "requires_event_loop", True) for p in self.probes
+        ):
+            return "observability probes need per-event hooks; the fluid "\
+                "engine simulates no events"
+        if type(self.staleness) is not PeriodicUpdate:
+            return (
+                f"staleness model {type(self.staleness).__name__} is not "
+                "the deterministic periodic board the fluid phase map models"
+            )
+        if self.staleness.phase_offset != 0.0:
+            return "periodic board phase_offset must be 0 for the fluid map"
+        if self.staleness.metric != "queue-length":
+            return (
+                f"board metric {self.staleness.metric!r} has no fluid "
+                "translation (levels must be integer queue lengths)"
+            )
+        if type(self.arrivals) is not PoissonArrivals:
+            return (
+                f"arrival source {type(self.arrivals).__name__} is not the "
+                "Poisson stream the fluid arrival terms assume"
+            )
+        if type(self.service) is not Exponential:
+            return (
+                f"service distribution {type(self.service).__name__} is not "
+                "exponential; the fluid occupancy chains are Markovian"
+            )
+        if self.server_rates is not None and len(set(self.server_rates)) > 1:
+            return "heterogeneous server_rates have no single-class fluid model"
+        if self.client_latency is not None:
+            return "client_latency matrices have no fluid translation"
+        if (
+            type(self.rate_estimator).observe_arrival
+            is not RateEstimator.observe_arrival
+        ):
+            return (
+                f"rate estimator {type(self.rate_estimator).__name__} "
+                "updates per arrival; the fluid engine has no arrivals"
+            )
+        policy = self.policy
+        if type(policy) is RandomPolicy:
+            return None
+        if type(policy) is KSubsetPolicy:
+            return None
+        if type(policy) is BasicLIPolicy:
+            if policy.timestamp_aware:
+                return (
+                    "timestamp-aware LI changes interpretation within a "
+                    "phase; the fluid map is phase-constant"
+                )
+            return None
+        if type(policy) is ThresholdPolicy:
+            if (
+                policy.k is not None
+                and policy.k != self.num_servers
+                and policy.fallback != "random"
+            ):
+                return (
+                    "threshold with a k-subset probe and least-loaded "
+                    "fallback has no closed fluid routing law"
+                )
+            return None
+        return (
+            f"policy {type(policy).__name__} has no fluid routing "
+            "translation (supported: random, k-subset, threshold, basic LI)"
+        )
+
     def engine_decision(self) -> tuple[str, str]:
         """Resolve the ``engine`` setting to ``(engine, reason)``.
 
-        Raises :class:`ValueError` when ``engine="fast"`` was requested
-        but the configuration is ineligible (the reason names the
-        blocking feature).
+        Raises :class:`ValueError` when ``engine="fast"``, ``"vector"``
+        or ``"fluid"`` was requested but the configuration is ineligible
+        (the reason names the blocking feature).
         """
         if self.engine == "event":
             return "event", "engine='event' requested"
+        if self.engine == "fluid":
+            blocker = self.fluid_blocker()
+            if blocker is not None:
+                raise ValueError(
+                    "engine='fluid' requested but the fluid engine is "
+                    f"unavailable: {blocker}"
+                )
+            return "fluid", "mean-field fixed point requested"
         blocker = self.fast_path_blocker()
+        if self.engine == "vector":
+            if blocker is not None:
+                raise ValueError(
+                    "engine='vector' requested but the vector kernel is "
+                    f"unavailable: {blocker}"
+                )
+            return "vector", "vectorized batch kernel requested"
         if blocker is None:
             return "fast", "periodic board with batchable components"
         if self.engine == "fast":
@@ -472,17 +600,31 @@ class ClusterSimulation:
     def run(self) -> SimulationResult:
         """Execute the simulation and return its measurements.
 
-        Selects the phase-batched fast path or the event-driven loop per
-        :meth:`engine_decision`; both produce bit-identical results.
+        Selects the engine per :meth:`engine_decision`; the event, fast
+        and vector engines produce bit-identical results, the fluid
+        engine a mean-field asymptote.
         """
-        engine, _reason = self.engine_decision()
+        engine, reason = self.engine_decision()
         self.engine_used = engine
+        if self.probes:
+            for probe in self.probes:
+                hook = getattr(probe, "on_engine", None)
+                if hook is not None:
+                    hook(engine, reason, self)
         if self.dispatchers > 1:
             return self._run_multidispatch()
         if engine == "fast":
             from repro.engine.fastpath import run_fast_path
 
             return run_fast_path(self)
+        if engine == "vector":
+            from repro.engine.vector import run_vector_path
+
+            return run_vector_path(self)
+        if engine == "fluid":
+            from repro.engine.fluid import run_fluid
+
+            return run_fluid(self)
         return self._run_event()
 
     def _run_multidispatch(self) -> SimulationResult:

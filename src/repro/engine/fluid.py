@@ -1,0 +1,474 @@
+"""Mean-field (fluid-limit) engine for periodic-staleness dispatch.
+
+The event, fast and vector engines all simulate a *finite* cluster job by
+job.  This engine instead solves the n → ∞ mean-field model of the same
+system, giving mean-response curves whose cost is independent of the job
+count — the natural tool for the ROADMAP's production-scale regime, and
+an independent analytic check on the simulators (the cross-validation
+tests require the two to converge as n grows).
+
+The model (full derivation in DESIGN.md §11):
+
+* State is the *board distribution* ``f``: ``f[j]`` is the fraction of
+  servers whose last report was queue length ``j``.  Under periodic
+  staleness every server reports truthfully at the refresh instant, so
+  immediately after a refresh the joint (reported, actual) law is
+  diagonal — class ``j`` starts the phase with exactly ``j`` jobs.
+
+* Within a phase the board is frozen, so each policy reduces to a fixed
+  probability vector ``w`` over reported levels (``w[j]`` = fraction of
+  arrivals routed to class ``j``; see :func:`routing_weights`).  Jobs
+  arrive Poisson and servers are exponential, hence each class evolves
+  as an independent M/M/1 birth–death chain with arrival rate
+  ``a_j = λ·w[j]/f[j]`` and service rate μ, started from ``δ_j``.
+
+* The phase map sends ``f`` to the refresh-time mixture
+  ``f'[k] = Σ_j f[j]·g_j(k, T)`` where ``g_j`` is the class-``j``
+  transient after one period ``T``.  Its fixed point is the model's
+  periodic steady state; the mean response time follows from Little's
+  law, ``E[T_resp] = E[N] / λ``, with ``E[N]`` time-averaged over one
+  period at the fixed point.
+
+Transients are integrated by **uniformization** (Jensen's method): the
+chain is embedded in a Poisson clock of rate ``Λ = max_j a_j + μ`` and
+the matrix exponential becomes a Poisson-weighted sum of powers of a
+*stochastic* operator.  Unlike Runge–Kutta, every partial sum is a
+convex combination of probability vectors, so the computed occupancy
+laws are nonnegative and sum to one by construction — the property the
+Hypothesis invariant tests pin.
+
+Exactness anchor: for the random policy the phase map is the plain
+M/M/1 semigroup, its fixed point the geometric(ρ) law, and the mean
+response exactly ``1/(μ − λ)`` — the oracle tests check this closed
+form to numerical precision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ksubset import KSubsetPolicy
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.core.threshold import ThresholdPolicy
+
+__all__ = [
+    "FluidSolution",
+    "routing_weights",
+    "fluid_fixed_point",
+    "run_fluid",
+    "HERD_FLOOR",
+]
+
+#: Classes below this board mass are dropped from the phase transient
+#: (their arrival rates λ·w/f would be numerically meaningless).
+_SUPPORT_EPS = 1e-9
+
+#: Poisson tail mass at which the uniformization series is truncated;
+#: the retained weights are renormalized so no mass is lost.
+_POISSON_TAIL = 1e-13
+
+#: Cap on Λ·h per uniformization block: keeps ``exp(-Λh)`` well above
+#: the subnormal range and the per-block term count near Λh.
+_MAX_UNIFORM_EXPONENT = 50.0
+
+#: Smallest fraction of servers the greedy (k = n) limit is allowed to
+#: herd onto.  The strict n → ∞ greedy law routes *everything* to the
+#: minimum reported level; when that class is vanishingly small the
+#: arrival rate λ/f_min diverges and the ODEs turn stiff.  Spreading the
+#: mass over the smallest classes up to this floor bounds the class
+#: arrival rate by λ/HERD_FLOOR and perturbs the routing law by less
+#: than the floor itself.
+HERD_FLOOR = 1e-3
+
+
+@dataclass(frozen=True)
+class FluidSolution:
+    """The fluid model's periodic steady state for one configuration."""
+
+    #: Fixed-point board distribution over reported queue lengths.
+    board: np.ndarray
+    #: Routing weights the policy induces at the fixed point.
+    weights: np.ndarray
+    #: Time-averaged mean queue length per server over one period.
+    mean_occupancy: float
+    #: Little's-law mean response time, ``mean_occupancy / λ``.
+    mean_response_time: float
+    #: Whether the fixed-point iteration met ``tol`` within ``max_iters``.
+    converged: bool
+    #: Phase-map iterations performed.
+    iterations: int
+    #: Final L1 change of the board distribution per iteration.
+    residual: float
+    #: Queue-length truncation level of the state space.
+    max_level: int
+
+
+def _greedy_weights(board: np.ndarray, floor: float = HERD_FLOOR) -> np.ndarray:
+    """The k = n (greedy) routing law with the herd-floor regularization.
+
+    All arrival mass goes to the lowest reported levels, taken in
+    ascending order until at least ``floor`` of the servers is covered,
+    split proportionally to class mass.
+    """
+    weights = np.zeros_like(board)
+    accumulated = 0.0
+    for level in np.nonzero(board > _SUPPORT_EPS)[0]:
+        weights[level] = board[level]
+        accumulated += board[level]
+        if accumulated >= floor:
+            break
+    if accumulated <= 0.0:  # degenerate board; fall back to random
+        return board / board.sum()
+    return weights / accumulated
+
+
+def routing_weights(
+    policy,
+    board: np.ndarray,
+    num_servers: int,
+    window_jobs: float | None = None,
+) -> np.ndarray:
+    """Fraction of arrivals each reported level receives under ``policy``.
+
+    ``board`` is a probability vector over reported queue lengths; the
+    result is a probability vector over the same levels (the simplex
+    invariant the property tests pin).  ``num_servers`` only
+    distinguishes "probe k of n" from "probe all" variants;
+    ``window_jobs`` is the expected per-server arrivals λ̂·T that Basic
+    LI water-fills with (required for :class:`BasicLIPolicy`).
+    """
+    board = np.asarray(board, dtype=np.float64)
+    if type(policy) is RandomPolicy:
+        return board.copy()
+    if type(policy) is KSubsetPolicy:
+        if policy.k >= num_servers:
+            return _greedy_weights(board)
+        # Min of k independent uniform probes lands on level j iff all k
+        # probes are >= j and not all are > j.
+        survival = 1.0 - np.cumsum(board)
+        survival_before = np.concatenate(([1.0], survival[:-1]))
+        weights = np.maximum(survival_before, 0.0) ** policy.k - np.maximum(
+            survival, 0.0
+        ) ** policy.k
+        weights = np.maximum(weights, 0.0)
+        return weights / weights.sum()
+    if type(policy) is ThresholdPolicy:
+        levels = np.arange(board.size)
+        light = levels <= policy.threshold
+        light_mass = float(board[light].sum())
+        if policy.k is None or policy.k >= num_servers:
+            if light_mass > 0.0:
+                weights = np.zeros_like(board)
+                weights[light] = board[light] / light_mass
+                return weights
+            if policy.fallback == "least-loaded":
+                return _greedy_weights(board)
+            return board.copy()
+        # Probe k servers; use a light one if the probe found any,
+        # otherwise fall back uniformly among the probed (heavy) ones.
+        # (fluid_blocker admits only fallback="random" here.)
+        if light_mass <= 0.0:
+            return board.copy()
+        miss = (1.0 - light_mass) ** policy.k
+        heavy_mass = 1.0 - light_mass
+        weights = np.zeros_like(board)
+        weights[light] = board[light] / light_mass * (1.0 - miss)
+        if heavy_mass > 0.0:
+            weights[~light] = board[~light] / heavy_mass * miss
+        return weights / weights.sum()
+    if type(policy) is BasicLIPolicy:
+        if window_jobs is None:
+            raise ValueError(
+                "BasicLIPolicy fluid weights need window_jobs (λ̂·T)"
+            )
+        return _waterfill_weights(board, window_jobs)
+    raise ValueError(
+        f"policy {type(policy).__name__} has no fluid routing translation"
+    )
+
+
+def _waterfill_weights(board: np.ndarray, target: float) -> np.ndarray:
+    """Basic LI's water-filling, applied to a level *distribution*.
+
+    Solves ``Σ_j board[j]·(L − j)+ = target`` for the common fill level
+    ``L`` (the distributional analogue of
+    :func:`repro.core.weights.waterfill_probabilities`) and routes
+    proportionally to each class's deficit below ``L``.
+    """
+    support = np.nonzero(board > _SUPPORT_EPS)[0]
+    if target <= 0.0 or support.size == 0:
+        # No expected arrivals to spread: everything to the minimum, the
+        # same degenerate limit the finite-n water-fill takes.
+        return _greedy_weights(board)
+    mass = 0.0
+    weighted_level = 0.0
+    fill_level = float(support[-1]) + target  # fallback: above all levels
+    for index, level in enumerate(support):
+        mass += board[level]
+        weighted_level += board[level] * level
+        candidate = (target + weighted_level) / mass
+        upper = support[index + 1] if index + 1 < support.size else math.inf
+        if candidate <= upper:
+            fill_level = candidate
+            break
+    deficits = board * np.maximum(fill_level - np.arange(board.size), 0.0)
+    return deficits / deficits.sum()
+
+
+def _apply_uniformized(
+    G: np.ndarray, birth: np.ndarray, death: float, clock: float
+) -> np.ndarray:
+    """One application of the uniformized transition operator P = I + Q/Λ.
+
+    ``G`` holds one occupancy law per row; ``birth`` the per-row arrival
+    rate.  The top level is lossless-truncated (no birth out of it) —
+    the truncation level is chosen so its mass is negligible.
+    """
+    out = G.copy()
+    up_flow = G[:, :-1] * (birth[:, None] / clock)
+    out[:, :-1] -= up_flow
+    out[:, 1:] += up_flow
+    down_flow = G[:, 1:] * (death / clock)
+    out[:, 1:] -= down_flow
+    out[:, :-1] += down_flow
+    return out
+
+
+def _uniformized_block(
+    G: np.ndarray, birth: np.ndarray, death: float, duration: float
+) -> np.ndarray:
+    """Advance every row of ``G`` by ``duration`` via uniformization.
+
+    Caller guarantees ``(max(birth) + death)·duration`` is at most
+    :data:`_MAX_UNIFORM_EXPONENT`.  The Poisson-weighted series is
+    truncated at tail mass :data:`_POISSON_TAIL` and renormalized, so
+    each returned row is an exact convex combination of probability
+    vectors — nonnegative and unit-mass to rounding.
+    """
+    clock = float(birth.max()) + death if birth.size else death
+    if clock <= 0.0 or duration <= 0.0:
+        return G
+    exponent = clock * duration
+    weight = math.exp(-exponent)
+    term = G
+    accumulated = weight * G
+    total_weight = weight
+    m = 0
+    while total_weight < 1.0 - _POISSON_TAIL:
+        m += 1
+        term = _apply_uniformized(term, birth, death, clock)
+        weight *= exponent / m
+        accumulated = accumulated + weight * term
+        total_weight += weight
+    return accumulated / total_weight
+
+
+def _advance_rows(
+    G: np.ndarray, birth: np.ndarray, death: float, duration: float
+) -> np.ndarray:
+    """Advance every row of ``G`` by ``duration``, sub-blocking per row.
+
+    Uniformization's cost scales with the *largest* row clock: under a
+    herding policy one class receives ``λ/HERD_FLOOR``-scale arrivals
+    while every other class idles, and a shared clock makes all rows pay
+    for that one (minutes per solve at large ``T``).  Rows are instead
+    bucketed by how many ``Λ_j·h ≤ _MAX_UNIFORM_EXPONENT`` sub-blocks
+    they individually need — the per-class chains are independent, so
+    each bucket integrates on its own clock.
+    """
+    if duration <= 0.0 or G.size == 0:
+        return G
+    out = np.empty_like(G)
+    required = np.ceil((birth + death) * duration / _MAX_UNIFORM_EXPONENT)
+    required = np.maximum(required, 1.0).astype(np.int64)
+    for steps in np.unique(required):
+        rows = np.nonzero(required == steps)[0]
+        block = G[rows]
+        step = duration / int(steps)
+        for _ in range(int(steps)):
+            block = _uniformized_block(block, birth[rows], death, step)
+        out[rows] = block
+    return out
+
+
+def fluid_fixed_point(
+    policy,
+    *,
+    arrival_rate: float,
+    period: float,
+    num_servers: int,
+    service_rate: float = 1.0,
+    window_jobs: float | None = None,
+    max_level: int | None = None,
+    tol: float = 1e-8,
+    max_iters: int = 1000,
+    samples: int = 48,
+) -> FluidSolution:
+    """Solve the fluid phase map to its fixed point and measure it.
+
+    ``arrival_rate`` is the *per-server* λ and ``service_rate`` the
+    per-server μ; ``window_jobs`` is Basic LI's λ̂·T (defaults to the
+    true λ·T).  ``samples`` controls the trapezoid resolution of the
+    final time-average pass; the fixed-point iterations themselves only
+    need the end-of-phase law and skip the sampling.  The default
+    ``tol`` sits just above the board's own discretization noise
+    (truncation at ``max_level`` plus per-block renormalization leave an
+    L1 residual floor of a few 1e-9) — tightening it past 1e-9 asks for
+    precision the state space does not carry.
+    """
+    lam = float(arrival_rate)
+    mu = float(service_rate)
+    T = float(period)
+    if lam <= 0.0 or mu <= 0.0 or T <= 0.0:
+        raise ValueError("fluid model needs positive λ, μ and period")
+    rho = lam / mu
+    if rho >= 1.0:
+        raise ValueError(
+            f"fluid model needs offered load < 1, got rho={rho:.4g} "
+            "(an overloaded mean-field queue has no stationary regime)"
+        )
+    if window_jobs is None and type(policy) is BasicLIPolicy:
+        window_jobs = lam * T
+    if max_level is None:
+        # Deep enough that a geometric(rho) tail beyond it is < 1e-10 —
+        # the heaviest stationary tail any supported policy produces.
+        max_level = int(
+            min(2048, max(48, math.ceil(math.log(1e-10) / math.log(rho)) + 16))
+        )
+    K = int(max_level)
+    levels = np.arange(K + 1, dtype=np.float64)
+
+    def phase(
+        board: np.ndarray, measure: bool
+    ) -> tuple[np.ndarray, float | None]:
+        """One period of the phase map; optionally time-average E[N]."""
+        weights = routing_weights(policy, board, num_servers, window_jobs)
+        support = np.nonzero(board > _SUPPORT_EPS)[0]
+        class_mass = board[support] / board[support].sum()
+        class_weight = weights[support]
+        weight_total = class_weight.sum()
+        if weight_total > 0.0:
+            class_weight = class_weight / weight_total
+        birth = lam * class_weight / class_mass
+        G = np.zeros((support.size, K + 1), dtype=np.float64)
+        G[np.arange(support.size), support] = 1.0
+        # The outer grid only sets the occupancy-sampling resolution;
+        # _advance_rows sub-blocks each class to its own clock within a
+        # step, so a hot class never inflates the shared step count.
+        blocks = samples if measure else 1
+        h = T / blocks
+        occupancy_sum = 0.0
+        if measure:
+            start_occ = float(class_mass @ (G @ levels))
+        for block in range(blocks):
+            G = _advance_rows(G, birth, mu, h)
+            if measure:
+                occ = float(class_mass @ (G @ levels))
+                # Trapezoid: interior points weight 1, endpoints 1/2.
+                occupancy_sum += occ if block < blocks - 1 else 0.5 * occ
+        next_board = class_mass @ G
+        np.clip(next_board, 0.0, None, out=next_board)
+        next_board /= next_board.sum()
+        if not measure:
+            return next_board, None
+        mean_occupancy = (0.5 * start_occ + occupancy_sum) / blocks
+        return next_board, mean_occupancy
+
+    # Geometric(rho) start: exact for random, a sane overestimate of the
+    # tail for every load-aware policy.
+    board = (1.0 - rho) * rho**levels
+    board /= board.sum()
+    residual = math.inf
+    converged = False
+    iterations = 0
+    # Herding policies at large T drive the phase map into a period-2
+    # cycle (the mean-field herd oscillation) instead of a contraction.
+    # Averaging successive iterates kills the cycle without moving the
+    # fixed point; engage it only when the residual *stalls* over a
+    # whole window — a genuine contraction decays measurably every
+    # window, so its (fast) plain iteration is never perturbed.
+    damped = False
+    stall_window = 25
+    window_start_residual = math.inf
+    for iterations in range(1, max_iters + 1):
+        next_board, _ = phase(board, measure=False)
+        residual = float(np.abs(next_board - board).sum())
+        board = 0.5 * (board + next_board) if damped else next_board
+        if residual < tol:
+            converged = True
+            break
+        if iterations % stall_window == 0:
+            if residual > 0.9 * window_start_residual:
+                damped = True
+            window_start_residual = residual
+    _, mean_occupancy = phase(board, measure=True)
+    weights = routing_weights(policy, board, num_servers, window_jobs)
+    return FluidSolution(
+        board=board,
+        weights=weights,
+        mean_occupancy=float(mean_occupancy),
+        mean_response_time=float(mean_occupancy) / lam,
+        converged=converged,
+        iterations=iterations,
+        residual=residual,
+        max_level=K,
+    )
+
+
+def run_fluid(simulation):
+    """Solve ``simulation``'s fluid model and adapt it to SimulationResult.
+
+    Callers should not invoke this directly: construct the simulation
+    with ``engine="fluid"`` instead (``fluid_blocker`` has vetted the
+    configuration by then).  No jobs are simulated, so the result
+    reports ``jobs_measured=0`` / ``jobs_total=0`` and a zero dispatch
+    vector; the headline ``mean_response_time`` is the mean-field value
+    and the rich solution is kept on ``simulation.last_fluid_summary``.
+    """
+    from repro.cluster.simulation import SimulationResult
+
+    n = simulation.num_servers
+    lam = simulation.arrivals.total_rate / n
+    rate = (
+        float(simulation.server_rates[0]) if simulation.server_rates else 1.0
+    )
+    mu = rate / simulation.service.mean
+    period = simulation.staleness.period
+    simulation.rate_estimator.bind(n, simulation._per_server_rate())
+    window_jobs = None
+    if type(simulation.policy) is BasicLIPolicy:
+        # LI water-fills with the *estimator's* λ̂, not the true λ — a
+        # Fixed/Scaled estimator misestimates here exactly as it does in
+        # the simulators.
+        window_jobs = simulation.rate_estimator.per_server_rate() * period
+    solution = fluid_fixed_point(
+        simulation.policy,
+        arrival_rate=lam,
+        period=period,
+        num_servers=n,
+        service_rate=mu,
+        window_jobs=window_jobs,
+    )
+    simulation.last_fluid_summary = {
+        "engine": "fluid",
+        "policy": type(simulation.policy).__name__,
+        "rho": lam / mu,
+        "period": period,
+        "mean_response_time": solution.mean_response_time,
+        "mean_occupancy": solution.mean_occupancy,
+        "converged": solution.converged,
+        "iterations": solution.iterations,
+        "residual": solution.residual,
+        "max_level": solution.max_level,
+    }
+    return SimulationResult(
+        mean_response_time=solution.mean_response_time,
+        jobs_measured=0,
+        jobs_total=0,
+        duration=float(solution.iterations) * period,
+        dispatch_counts=np.zeros(n, dtype=np.int64),
+    )

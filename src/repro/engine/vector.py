@@ -1,0 +1,292 @@
+"""Vectorized batch kernel for periodic-board runs at large ``n``.
+
+The phase-batched fast path (:mod:`repro.engine.fastpath`) already batches
+the random draws, but its FCFS integration is a scalar Python loop — one
+iteration per arrival — which caps it near a million arrivals per second
+regardless of cluster size.  This module replays the *same* batched phases
+with the per-arrival loop replaced by numpy array arithmetic, so the cost
+per phase is a handful of O(batch) vector operations instead of O(batch)
+interpreter iterations.  At ``n`` in the thousands (tens of arrivals per
+server per phase) the kernel sustains millions of arrivals per second.
+
+The contract is the same **bit-identity** the fast path guarantees against
+the event engine — and the cross-engine equivalence tests enforce it
+transitively: ``event ≡ fast ≡ vector``, the same floats.  Eligibility is
+therefore *identical* to the fast path's
+(:meth:`ClusterSimulation.fast_path_blocker`): anything the fast path
+cannot replay, the vector kernel cannot either.
+
+How each stage stays bitwise equal while vectorized:
+
+* RNG streams — consumed in exactly the fast path's order: batched
+  arrival gaps + the trailing unused draw, lossy-board drop uniforms,
+  one ``select_batch`` per phase, one batched service draw.
+* FCFS recurrence — the scalar loop computes, per job on server ``s``,
+  ``completion = max(arrival, last_s) + service / rate_s``.  Jobs of one
+  phase are grouped by server (stable argsort, so within-server order is
+  preserved) and laid out in a ``(rounds, n)`` matrix: round ``r`` holds
+  every server's ``r``-th job of the phase.  The recurrence then advances
+  one round at a time with elementwise ``np.maximum``/``/``/``+`` — IEEE
+  754 elementwise operations are bitwise identical to the same scalar
+  operations, and servers with fewer jobs are padded with zeros, for which
+  ``max(0.0, last) + 0.0/rate`` reproduces ``last`` exactly (completions
+  are non-negative and the padding adds exactly ``0.0``).
+* Board sampling — the scalar path bisects per-server arrival/completion
+  lists at each refresh; every previously dispatched job arrived strictly
+  before the refresh instant, so the queue length is simply dispatches
+  minus completions-so-far, computed with ``np.bincount`` over an
+  incrementally maintained pending set (exact integer arithmetic).  The
+  work-backlog metric needs ``last_completion - t`` for busy servers —
+  the same float subtraction the scalar path performs.
+* Welford mean — float summation is not reorderable, so the measurement
+  fold stays a sequential Python loop over responses in global arrival
+  order, identical operation for operation to the event engine's
+  ``RunningStats.add``.  This loop is the kernel's asymptotic ceiling
+  (a few million jobs per second) and is intentionally not "optimized".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.job import Job
+from repro.engine.fastpath import (
+    _refresh_attempt_times,
+    validate_fast_path_inputs,
+)
+from repro.engine.rng import RandomStreams
+from repro.staleness.base import LoadView
+from repro.staleness.lossy import LossyPeriodicUpdate
+
+__all__ = ["run_vector_path"]
+
+
+def run_vector_path(simulation):
+    """Run ``simulation`` with the vectorized batch kernel.
+
+    Callers should not invoke this directly: construct the simulation with
+    ``engine="vector"`` instead.  The precondition is that
+    ``simulation.fast_path_blocker()`` returned ``None`` (the vector
+    kernel replays exactly the set of configurations the fast path does).
+    """
+    from repro.cluster.simulation import SimulationResult
+
+    num_servers = simulation.num_servers
+    staleness = simulation.staleness
+    period = staleness.period
+    arrival_rate = simulation.arrivals.total_rate
+    total_jobs = simulation.total_jobs
+    rates = simulation.server_rates or [1.0] * num_servers
+    validate_fast_path_inputs(
+        num_servers, arrival_rate, period, rates, total_jobs
+    )
+
+    streams = RandomStreams(simulation.seed)
+    arrivals_rng = streams.stream("arrivals")
+    staleness_rng = streams.stream("staleness")
+    simulation.rate_estimator.bind(num_servers, simulation._per_server_rate())
+    rate_vector = np.asarray(rates, dtype=np.float64)
+    simulation.policy.bind(
+        num_servers,
+        streams.stream("policy"),
+        simulation.rate_estimator,
+        server_rates=rate_vector,
+    )
+    service_rng = streams.stream("service")
+
+    # -- arrivals: identical batched draws and sequential accumulation --
+    mean_gap = 1.0 / arrival_rate
+    arrival_times = np.cumsum(arrivals_rng.exponential(mean_gap, total_jobs))
+    arrivals_rng.exponential(mean_gap)  # the event loop's final, unused gap
+    last_arrival = float(arrival_times[-1])
+
+    # -- board refreshes: attempts, drop draws, phase boundaries --------
+    attempt_times = _refresh_attempt_times(period, last_arrival)
+    if isinstance(staleness, LossyPeriodicUpdate):
+        drops = staleness_rng.random(len(attempt_times)) < staleness.drop_probability
+        success_times = [
+            t for t, dropped in zip(attempt_times, drops) if not dropped
+        ]
+        staleness.refreshes_attempted = len(attempt_times)
+        staleness.refreshes_dropped = len(attempt_times) - len(success_times)
+    else:
+        success_times = attempt_times
+    success_arr = np.asarray(success_times, dtype=np.float64)
+    phase_bounds = np.concatenate(
+        (
+            [0],
+            np.searchsorted(arrival_times, success_arr, side="left"),
+            [total_jobs],
+        )
+    )
+
+    # -- service times: one batch draw, identical to per-arrival draws --
+    service_times = simulation.service.sample_array(service_rng, total_jobs)
+
+    policy = simulation.policy
+    metric = staleness.metric
+    warmup_jobs = int(total_jobs * simulation.warmup_fraction)
+    latency_row = None
+    if simulation.client_latency is not None:
+        # PoissonArrivals emits client id 0 only.
+        latency_row = simulation.client_latency[0 % simulation.client_latency.shape[0]]
+
+    # Per-server FCFS state, advanced one phase at a time.
+    last_completion = np.zeros(num_servers, dtype=np.float64)
+    dispatch_counts = np.zeros(num_servers, dtype=np.int64)
+    # Jobs dispatched but not yet counted as departed at a board refresh:
+    # (server id, completion time) pairs, filtered incrementally so each
+    # refresh costs O(outstanding + batch), not O(all jobs so far).
+    pending_servers = np.empty(0, dtype=np.int64)
+    pending_completions = np.empty(0, dtype=np.float64)
+    departed_counts = np.zeros(num_servers, dtype=np.int64)
+
+    all_selections = np.empty(total_jobs, dtype=np.int64)
+    all_completions = np.empty(total_jobs, dtype=np.float64)
+    all_responses = np.empty(total_jobs, dtype=np.float64)
+
+    def sample_board(at_time: float) -> np.ndarray:
+        """The load report the event engine would sample at ``at_time``.
+
+        Every job dispatched in earlier phases arrived strictly before the
+        refresh instant (phase boundaries use ``side="left"``), so present
+        counts equal total dispatches; only completions need a time test.
+        """
+        nonlocal pending_servers, pending_completions
+        done = pending_completions <= at_time
+        if done.any():
+            departed_counts[:] += np.bincount(
+                pending_servers[done], minlength=num_servers
+            )
+            keep = ~done
+            pending_servers = pending_servers[keep]
+            pending_completions = pending_completions[keep]
+        queue_lengths = dispatch_counts - departed_counts
+        if metric == "work-backlog":
+            # Busy servers report time-to-drain: last completion minus
+            # now — the same subtraction the scalar path performs on the
+            # identical last-completion float.
+            return np.where(
+                queue_lengths == 0, 0.0, last_completion - at_time
+            )
+        return queue_lengths.astype(np.float64)
+
+    board = np.zeros(num_servers, dtype=np.float64)  # exact at t = 0
+    info_time = 0.0
+    for phase in range(len(success_times) + 1):
+        if phase > 0:
+            info_time = float(success_arr[phase - 1])
+            board = sample_board(info_time)
+        low = int(phase_bounds[phase])
+        high = int(phase_bounds[phase + 1])
+        if high == low:
+            continue  # a phase with no arrivals consumes no draws
+        batch_times = arrival_times[low:high]
+        view = LoadView(
+            loads=board,
+            version=phase,
+            info_time=info_time,
+            now=float(batch_times[0]),
+            horizon=period,
+            elapsed=float(batch_times[0]) - info_time,
+            known_age=True,
+            phase_based=True,
+            client_id=0,
+        )
+        selections = np.asarray(policy.select_batch(view, batch_times))
+        if selections.shape != (high - low,) or (
+            (selections < 0) | (selections >= num_servers)
+        ).any():
+            raise RuntimeError(
+                f"{type(policy).__name__}.select_batch returned invalid "
+                f"selections for a batch of {high - low} arrivals "
+                f"(cluster size {num_servers})"
+            )
+        selections = selections.astype(np.int64, copy=False)
+        batch_services = service_times[low:high]
+
+        # Group the phase's jobs by server, preserving within-server
+        # arrival order (stable sort), and scatter them into a
+        # (rounds, n) layout: row r holds each server's r-th job.
+        order = np.argsort(selections, kind="stable")
+        sorted_servers = selections[order]
+        counts = np.bincount(selections, minlength=num_servers)
+        rounds = int(counts.max())
+        group_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        position = np.arange(selections.size) - group_starts[sorted_servers]
+
+        arrivals_grid = np.zeros((rounds, num_servers), dtype=np.float64)
+        services_grid = np.zeros((rounds, num_servers), dtype=np.float64)
+        arrivals_grid[position, sorted_servers] = batch_times[order]
+        services_grid[position, sorted_servers] = batch_services[order]
+
+        # The FCFS recurrence, one round across all servers at a time.
+        # Padding cells (arrival 0, service 0) reproduce last_completion
+        # bitwise: max(0, last) + 0/rate == last.
+        completions_grid = np.empty((rounds, num_servers), dtype=np.float64)
+        for r in range(rounds):
+            start = np.maximum(arrivals_grid[r], last_completion)
+            last_completion = start + services_grid[r] / rate_vector
+            completions_grid[r] = last_completion
+
+        batch_completions = np.empty(selections.size, dtype=np.float64)
+        batch_completions[order] = completions_grid[position, sorted_servers]
+        batch_responses = batch_completions - batch_times
+        if latency_row is not None:
+            batch_responses = batch_responses + latency_row[selections]
+
+        all_selections[low:high] = selections
+        all_completions[low:high] = batch_completions
+        all_responses[low:high] = batch_responses
+        dispatch_counts += counts
+        pending_servers = np.concatenate((pending_servers, selections))
+        pending_completions = np.concatenate(
+            (pending_completions, batch_completions)
+        )
+
+    # -- measurement fold: sequential Welford, identical to the event
+    # engine's RunningStats.add (float summation is order-sensitive, so
+    # this stays a scalar loop over global arrival order).
+    measured = 0
+    mean = 0.0
+    measured_tail = all_responses[warmup_jobs:]
+    # The scalar paths fold python floats — except when a latency row is
+    # added, which promotes each response (and thus the mean) to
+    # np.float64.  Match the element type so the mean's type matches too.
+    responses_seq = (
+        list(measured_tail) if latency_row is not None else measured_tail.tolist()
+    )
+    for response in responses_seq:
+        measured += 1
+        delta = response - mean
+        mean += delta / measured
+
+    job_trace: list[Job] | None = None
+    if simulation.trace_jobs:
+        job_trace = [
+            Job(
+                index=i,
+                client_id=0,
+                server_id=int(all_selections[i]),
+                arrival_time=float(arrival_times[i]),
+                service_time=float(service_times[i]),
+                completion_time=float(all_completions[i]),
+                retries=0,
+                penalty=0.0,
+            )
+            for i in range(total_jobs)
+        ]
+
+    return SimulationResult(
+        mean_response_time=mean if measured else 0.0,
+        jobs_measured=measured,
+        jobs_total=total_jobs,
+        duration=last_arrival,
+        dispatch_counts=dispatch_counts,
+        response_times=(
+            all_responses[warmup_jobs:].copy()
+            if simulation.trace_response_times
+            else None
+        ),
+        trace=job_trace,
+    )

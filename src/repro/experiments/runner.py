@@ -127,10 +127,12 @@ def run_cell(
     ``FigureSpec.metric`` to ``"goodput"`` or ``"drop_rate"`` instead.
 
     ``engine`` forwards to :class:`~repro.cluster.simulation.ClusterSimulation`
-    (``"auto"``, ``"event"`` or ``"fast"``); both engines are bit-identical,
-    so this is a performance knob for the profiling and benchmark harnesses.
+    (``"auto"``, ``"event"``, ``"fast"``, ``"vector"`` or ``"fluid"``);
+    event/fast/vector are bit-identical, so among those this is a
+    performance knob for the profiling and benchmark harnesses, while
+    ``"fluid"`` swaps the simulation for its mean-field fixed point.
     Figures built on other drivers accept ``"auto"``/``"event"`` (they are
-    event-driven anyway) and reject ``"fast"``.  ``dispatchers`` splits the
+    event-driven anyway) and reject the specialized engines.  ``dispatchers`` splits the
     cell's arrival stream across that many concurrent front-ends (see
     ``ClusterSimulation(dispatchers=...)``).  ``overload`` is the primitive
     4-tuple ``(queue_capacity, admission_spec, breaker_spec, storm_spec)``
@@ -155,13 +157,14 @@ def _apply_engine(simulation, engine: str, figure_id: str) -> None:
     from repro.cluster.simulation import ClusterSimulation
 
     if isinstance(simulation, ClusterSimulation):
-        if engine not in ("auto", "event", "fast"):
+        if engine not in ("auto", "event", "fast", "vector", "fluid"):
             raise ValueError(
-                f"engine must be 'auto', 'event' or 'fast', got {engine!r}"
+                "engine must be 'auto', 'event', 'fast', 'vector' or "
+                f"'fluid', got {engine!r}"
             )
         simulation.engine = engine
         return
-    if engine == "fast":
+    if engine in ("fast", "vector", "fluid"):
         raise ValueError(
             f"figure {figure_id!r} builds {type(simulation).__name__}, "
             "which only runs on the event engine"
@@ -186,10 +189,13 @@ def standard_probes(
     spec = get_figure(figure_id)
     phase_based = isinstance(spec.make_staleness(max(x, 1e-9)), PeriodicUpdate)
     epoch_length = None if phase_based else max(float(x), sample_interval)
+    from repro.obs.engine_probe import EngineProvenanceProbe
+
     return [
         QueueTraceProbe(sample_interval=sample_interval),
         ResponseHistogramProbe(),
         HerdDetector(epoch_length=epoch_length),
+        EngineProvenanceProbe(),
     ]
 
 
@@ -202,6 +208,7 @@ def run_cell_observed(
     sample_interval: float = DEFAULT_TRACE_INTERVAL,
     full_traces: bool = False,
     fault_spec: str | None = None,
+    engine: str = "auto",
     dispatchers: int | None = None,
     overload: tuple | None = None,
 ) -> tuple[float, dict]:
@@ -233,6 +240,8 @@ def run_cell_observed(
         _apply_dispatchers(simulation, dispatchers, figure_id)
     if overload is not None:
         _apply_overload(simulation, overload, figure_id)
+    if engine != "auto":
+        _apply_engine(simulation, engine, figure_id)
     probes = standard_probes(figure_id, x, sample_interval)
     if getattr(simulation, "faults", None) is not None:
         from repro.obs.fault_trace import FaultTraceProbe
@@ -281,6 +290,7 @@ def run_figure(
     trace_interval: float = DEFAULT_TRACE_INTERVAL,
     full_traces: bool = False,
     faults: str | None = None,
+    engine: str = "auto",
     dispatchers: int | None = None,
     overload: tuple | None = None,
 ) -> FigureResult:
@@ -318,6 +328,12 @@ def run_figure(
         Shipped to workers as a string and parsed there, so the sweep
         stays picklable.  Fails with a clear error on figures whose
         cells are not driven by ``ClusterSimulation``.
+    engine:
+        Engine override applied to every cell (``"auto"``, ``"event"``,
+        ``"fast"``, ``"vector"`` or ``"fluid"``; see
+        ``ClusterSimulation(engine=...)``).  Traced sweeps attach probes,
+        which force the event loop, so combining ``trace`` with a forced
+        specialized engine fails with the probes' blocking reason.
     dispatchers:
         Optional dispatcher-count override applied to every cell: the
         arrival stream is split across that many concurrent front-ends
@@ -377,14 +393,17 @@ def run_figure(
         work = [
             (
                 figure_id, label, x, seed, jobs, trace_interval,
-                full_traces, faults, dispatchers, overload,
+                full_traces, faults, engine, dispatchers, overload,
             )
             for (label, x, seed) in cells
         ]
         worker = _run_observed_tuple
     else:
         work = [
-            (figure_id, label, x, seed, jobs, faults, dispatchers, overload)
+            (
+                figure_id, label, x, seed, jobs, faults, engine,
+                dispatchers, overload,
+            )
             for (label, x, seed) in cells
         ]
         worker = _run_cell_tuple
@@ -482,11 +501,11 @@ def run_figure_with_manifest(
 
 def _run_cell_tuple(
     item: tuple[
-        str, str, float, int, int, str | None, int | None, tuple | None
+        str, str, float, int, int, str | None, str, int | None, tuple | None
     ]
 ) -> float:
     (
-        figure_id, curve_label, x, seed, total_jobs, fault_spec,
+        figure_id, curve_label, x, seed, total_jobs, fault_spec, engine,
         dispatchers, overload,
     ) = item
     return run_cell(
@@ -496,6 +515,7 @@ def _run_cell_tuple(
         seed,
         total_jobs,
         fault_spec=fault_spec,
+        engine=engine,
         dispatchers=dispatchers,
         overload=overload,
     )
@@ -503,13 +523,13 @@ def _run_cell_tuple(
 
 def _run_observed_tuple(
     item: tuple[
-        str, str, float, int, int, float, bool, str | None, int | None,
-        tuple | None,
+        str, str, float, int, int, float, bool, str | None, str,
+        int | None, tuple | None,
     ]
 ) -> tuple[float, dict]:
     (
         figure_id, curve_label, x, seed, total_jobs, interval, full,
-        fault_spec, dispatchers, overload,
+        fault_spec, engine, dispatchers, overload,
     ) = item
     return run_cell_observed(
         figure_id,
@@ -520,6 +540,7 @@ def _run_observed_tuple(
         sample_interval=interval,
         full_traces=full,
         fault_spec=fault_spec,
+        engine=engine,
         dispatchers=dispatchers,
         overload=overload,
     )

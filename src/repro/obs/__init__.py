@@ -8,6 +8,7 @@ utilization traces, a per-epoch dispatch-concentration (herd) detector,
 and JSON run manifests that make every sweep reproducible and auditable.
 """
 
+from repro.obs.engine_probe import EngineProvenanceProbe
 from repro.obs.fault_trace import FaultTraceProbe
 from repro.obs.herd import EpochStats, HerdDetector
 from repro.obs.manifest import (
@@ -27,6 +28,7 @@ __all__ = [
     "Probe",
     "ProbeSet",
     "DispatcherTraceProbe",
+    "EngineProvenanceProbe",
     "FaultTraceProbe",
     "OverloadProbe",
     "QueueTraceProbe",

@@ -39,9 +39,16 @@ class Probe:
     name:
         Key under which this probe's :meth:`summary` appears in a
         :class:`ProbeSet` summary (and hence in run manifests).
+    requires_event_loop:
+        ``True`` (the default) declares that the probe needs the event
+        loop's per-event hooks, forcing the event engine whenever the
+        probe is attached.  Probes that only consume run-level metadata
+        (e.g. :class:`~repro.obs.engine_probe.EngineProvenanceProbe`)
+        set this ``False`` so they don't perturb engine selection.
     """
 
     name = "probe"
+    requires_event_loop = True
 
     def on_attach(self, sim: "Simulator", servers: Sequence["Server"]) -> None:
         """Called once, before the first event fires."""

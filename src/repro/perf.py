@@ -170,6 +170,37 @@ def _pinned_overload(jobs: int, seed: int = 1):
 #: The pinned knobs recorded in every BENCH file, alongside ``jobs``.
 PINNED_KNOBS = {"num_servers": 10, "offered_load": 0.9, "period": 2.0}
 
+#: The vector kernel's pinned scale point.  Its job count is fixed (it
+#: does NOT follow the ``jobs`` knob): at n=10,000 a small smoke-sized
+#: job count would time per-call overhead, not sustained throughput, and
+#: a floating count would make BENCH points incomparable.
+VECTOR_BENCH_SERVERS = 10_000
+VECTOR_BENCH_JOBS = 200_000
+
+
+def _pinned_vector_simulation(seed: int = 1):
+    """The pinned scale cell: the Fig. 2 configuration at n=10,000.
+
+    Offered load and period match :data:`PINNED_KNOBS`; only the cluster
+    size (and the aggregate arrival rate that keeps load at 0.9) grows.
+    """
+    from repro.cluster.simulation import ClusterSimulation
+    from repro.core.li_basic import BasicLIPolicy
+    from repro.staleness.periodic import PeriodicUpdate
+    from repro.workloads.arrivals import PoissonArrivals
+    from repro.workloads.distributions import Exponential
+
+    return ClusterSimulation(
+        num_servers=VECTOR_BENCH_SERVERS,
+        arrivals=PoissonArrivals(rate=0.9 * VECTOR_BENCH_SERVERS),
+        service=Exponential(1.0),
+        policy=BasicLIPolicy(),
+        staleness=PeriodicUpdate(period=2.0),
+        total_jobs=VECTOR_BENCH_JOBS,
+        seed=seed,
+        engine="vector",
+    )
+
 
 def _calibration_workload() -> Callable[[], float]:
     """A fixed workload used to normalize timings across machines.
@@ -250,12 +281,36 @@ def default_kernels(jobs: int) -> list[PerfKernel]:
 
         return run
 
+    def make_vector() -> Callable[[], object]:
+        def run() -> float:
+            return _pinned_vector_simulation().run().mean_response_time
+
+        return run
+
+    def make_fluid() -> Callable[[], object]:
+        from repro.core.li_basic import BasicLIPolicy
+        from repro.engine.fluid import fluid_fixed_point
+
+        def run() -> float:
+            return fluid_fixed_point(
+                BasicLIPolicy(),
+                arrival_rate=PINNED_KNOBS["offered_load"],
+                period=PINNED_KNOBS["period"],
+                num_servers=PINNED_KNOBS["num_servers"],
+            ).mean_response_time
+
+        return run
+
     return [
         PerfKernel(CALIBRATION_KERNEL, lambda: _calibration_workload(), inner=50),
         PerfKernel("dispatch-event", make_dispatch("event"), jobs=jobs),
         PerfKernel("dispatch-fast", make_dispatch("fast"), jobs=jobs),
+        PerfKernel(
+            "dispatch-vector-n10k", make_vector, jobs=VECTOR_BENCH_JOBS
+        ),
         PerfKernel("dispatch-multi4", make_multidispatch, jobs=jobs),
         PerfKernel("overload-bounded", make_overload, jobs=jobs),
+        PerfKernel("fluid-fixedpoint", make_fluid),
         PerfKernel("waterfill-n10", make_waterfill(10), inner=500),
         PerfKernel("waterfill-n1000", make_waterfill(1000), inner=250),
     ]

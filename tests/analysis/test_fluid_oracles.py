@@ -1,0 +1,158 @@
+"""Fluid-limit oracles: the mean-field engine against ground truth.
+
+Two gates, in the style of ``test_oracles.py``:
+
+* **Exact oracle** — under random dispatch the mean-field model *is* an
+  M/M/1 queue, so its fixed point must reproduce ``1 / (1 - rho)`` to
+  solver precision, independent of the staleness period.
+
+* **Convergence oracle** — for herding policies the fluid limit is only
+  the n → ∞ law; finite-n simulation must approach it as n grows.  The
+  acceptance gate is 2% relative error at n = 256 and rho = 0.9 for
+  random, greedy and Basic LI, with a tolerance ladder that *shrinks*
+  with n so a model error (which would not shrink) cannot hide inside a
+  generous constant bound.
+
+The simulation side runs on the vector kernel — bit-identical to the
+event engine (pinned in ``tests/integration``), and the only way to
+afford n = 1024 clusters in a unit-test budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.ksubset import KSubsetPolicy
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.engine.fluid import fluid_fixed_point
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import exponential_service
+
+RHO = 0.9
+PERIOD = 2.0
+SEEDS = (1, 2, 3)
+WINDOW = RHO * PERIOD  # λ̂·T per server, Basic LI's water-fill budget
+
+
+def _solve(policy, num_servers=256):
+    return fluid_fixed_point(
+        policy,
+        arrival_rate=RHO,
+        period=PERIOD,
+        num_servers=num_servers,
+        window_jobs=WINDOW,
+    )
+
+
+def _simulated_mean(make_policy, num_servers, jobs_per_server, warmup):
+    means = []
+    for seed in SEEDS:
+        result = ClusterSimulation(
+            num_servers=num_servers,
+            arrivals=PoissonArrivals(RHO * num_servers),
+            service=exponential_service(),
+            policy=make_policy(num_servers),
+            staleness=PeriodicUpdate(period=PERIOD),
+            total_jobs=jobs_per_server * num_servers,
+            warmup_fraction=warmup,
+            seed=seed,
+            engine="vector",
+        ).run()
+        means.append(result.mean_response_time)
+    return float(np.mean(means))
+
+
+@pytest.fixture(scope="module")
+def fluid_random():
+    return _solve(RandomPolicy())
+
+
+@pytest.fixture(scope="module")
+def fluid_greedy():
+    return _solve(KSubsetPolicy(256))
+
+
+@pytest.fixture(scope="module")
+def fluid_basic_li():
+    return _solve(BasicLIPolicy())
+
+
+class TestExactMM1Oracle:
+    def test_random_fixed_point_is_mm1(self, fluid_random):
+        # Random dispatch ignores the board, so staleness is irrelevant
+        # and the fluid model must collapse to M/M/1 exactly.
+        assert fluid_random.converged
+        assert fluid_random.mean_response_time == pytest.approx(
+            1.0 / (1.0 - RHO), rel=1e-4
+        )
+
+    def test_random_board_is_geometric(self, fluid_random):
+        levels = np.arange(8)
+        geometric = (1.0 - RHO) * RHO**levels
+        assert np.allclose(fluid_random.board[:8], geometric, atol=1e-5)
+
+    def test_period_does_not_move_the_random_fixed_point(self):
+        slow_board = fluid_fixed_point(
+            RandomPolicy(), arrival_rate=RHO, period=16.0, num_servers=256
+        )
+        assert slow_board.mean_response_time == pytest.approx(
+            1.0 / (1.0 - RHO), rel=1e-4
+        )
+
+
+class TestConvergenceAtAcceptanceScale:
+    """The 2%-at-n=256 acceptance gate, one test per policy."""
+
+    def test_random_within_2pct(self, fluid_random):
+        # Random mixes slowly at rho=0.9 (relaxation time ~1/(mu(1-rho)^2)
+        # ~ 380 time units), so this cell needs long runs and a deep
+        # warmup or the simulation itself is biased low.
+        simulated = _simulated_mean(
+            lambda n: RandomPolicy(), 256, jobs_per_server=18_000, warmup=0.2
+        )
+        assert simulated == pytest.approx(
+            fluid_random.mean_response_time, rel=0.02
+        )
+
+    def test_greedy_within_2pct(self, fluid_greedy):
+        simulated = _simulated_mean(
+            KSubsetPolicy, 256, jobs_per_server=2_000, warmup=0.1
+        )
+        assert simulated == pytest.approx(
+            fluid_greedy.mean_response_time, rel=0.02
+        )
+
+    def test_basic_li_within_2pct(self, fluid_basic_li):
+        simulated = _simulated_mean(
+            lambda n: BasicLIPolicy(), 256, jobs_per_server=2_000, warmup=0.1
+        )
+        assert simulated == pytest.approx(
+            fluid_basic_li.mean_response_time, rel=0.02
+        )
+
+
+class TestToleranceShrinksWithN:
+    """Finite-n error must *decay* toward the mean-field limit.
+
+    Greedy is the strongest herder — its finite-n error is the largest
+    of the eligible policies, so it is the sharpest probe of the 1/n
+    decay.  The ladder's bounds shrink by ~an order of magnitude from
+    n=64 to n=1024; a fluid-model bias of a few percent would pass the
+    n=64 rung and fail the n=1024 rung.
+    """
+
+    @pytest.mark.parametrize(
+        ("num_servers", "tolerance"),
+        [(64, 0.15), (256, 0.02), (1024, 0.012)],
+    )
+    def test_greedy_error_ladder(self, fluid_greedy, num_servers, tolerance):
+        simulated = _simulated_mean(
+            KSubsetPolicy, num_servers, jobs_per_server=2_000, warmup=0.1
+        )
+        assert simulated == pytest.approx(
+            fluid_greedy.mean_response_time, rel=tolerance
+        )

@@ -1,0 +1,258 @@
+"""Unit tests for the mean-field fluid engine.
+
+Convergence against simulation is pinned in
+``tests/analysis/test_fluid_oracles.py``; here we test the pieces in
+isolation: the policy → routing-weight translation (with its Hypothesis
+simplex invariants), the fixed-point solver's contract (determinism,
+residual-bounded idempotence, parameter validation), the eligibility
+matrix, and the driver-level wiring through ``engine="fluid"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.ksubset import KSubsetPolicy
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.core.threshold import ThresholdPolicy
+from repro.engine.fluid import (
+    FluidSolution,
+    fluid_fixed_point,
+    routing_weights,
+)
+from repro.staleness.continuous import ContinuousUpdate
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import exponential_service
+
+N = 10
+
+
+def _boards():
+    """Random probability vectors over 2..32 queue-length levels."""
+    return (
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=2,
+            max_size=32,
+        )
+        .map(np.asarray)
+        .filter(lambda b: b.sum() > 1e-6)
+        .map(lambda b: b / b.sum())
+    )
+
+
+def _policies():
+    return st.one_of(
+        st.builds(RandomPolicy),
+        st.integers(min_value=1, max_value=2 * N).map(KSubsetPolicy),
+        st.builds(BasicLIPolicy),
+        st.tuples(
+            st.integers(min_value=0, max_value=8),
+            st.one_of(st.none(), st.integers(min_value=1, max_value=N)),
+        ).map(lambda tk: ThresholdPolicy(tk[0], k=tk[1], fallback="random")),
+    )
+
+
+class TestRoutingWeightInvariants:
+    """The simplex contract: any board in, a distribution out."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(board=_boards(), policy=_policies())
+    def test_weights_are_a_distribution(self, board, policy):
+        weights = routing_weights(policy, board, N, window_jobs=1.8)
+        assert weights.shape == board.shape
+        assert np.all(weights >= -1e-15)
+        assert weights.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(board=_boards(), policy=_policies())
+    def test_weights_supported_on_board_support(self, board, policy):
+        # A policy cannot route mass to a queue-length class no server
+        # occupies.
+        weights = routing_weights(policy, board, N, window_jobs=1.8)
+        assert np.all(weights[board <= 0.0] <= 1e-12)
+
+    @settings(max_examples=100, deadline=None)
+    @given(board=_boards())
+    def test_random_routes_proportionally(self, board):
+        weights = routing_weights(RandomPolicy(), board, N)
+        assert np.allclose(weights, board)
+
+    def test_greedy_routes_only_to_lowest_levels(self):
+        board = np.array([0.5, 0.3, 0.2])
+        weights = routing_weights(KSubsetPolicy(N), board, N)
+        assert weights[0] == pytest.approx(1.0)
+
+    def test_ksubset_prefers_lower_levels_than_random(self):
+        board = np.array([0.25, 0.25, 0.25, 0.25])
+        random_w = routing_weights(RandomPolicy(), board, N)
+        probe2_w = routing_weights(KSubsetPolicy(2), board, N)
+        assert probe2_w[0] > random_w[0]
+        assert probe2_w[3] < random_w[3]
+
+    def test_basic_li_requires_window(self):
+        with pytest.raises(ValueError, match="window_jobs"):
+            routing_weights(BasicLIPolicy(), np.array([1.0]), N)
+
+    def test_unknown_policy_rejected(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(ValueError, match="no fluid routing"):
+            routing_weights(Mystery(), np.array([1.0]), N)
+
+
+class TestFixedPointContract:
+    def _solve(self, **overrides) -> FluidSolution:
+        kwargs = dict(
+            arrival_rate=0.9, period=2.0, num_servers=N, window_jobs=1.8
+        )
+        kwargs.update(overrides)
+        return fluid_fixed_point(BasicLIPolicy(), **kwargs)
+
+    def test_converges_with_small_residual(self):
+        solution = self._solve()
+        assert solution.converged
+        assert solution.residual <= 1e-8
+
+    def test_board_is_a_distribution(self):
+        solution = self._solve()
+        assert np.all(solution.board >= 0.0)
+        assert solution.board.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_deterministic_and_idempotent(self):
+        # The solver is pure: re-solving reproduces the same fixed point
+        # bitwise, and `converged` certifies the phase map moved the
+        # board by no more than tol — the idempotence statement.
+        first, second = self._solve(), self._solve()
+        assert np.array_equal(first.board, second.board)
+        assert first.mean_response_time == second.mean_response_time
+        assert first.iterations == second.iterations
+
+    def test_littles_law_consistency(self):
+        solution = self._solve()
+        assert solution.mean_response_time == pytest.approx(
+            solution.mean_occupancy / 0.9
+        )
+
+    def test_response_time_grows_with_load(self):
+        light = self._solve(arrival_rate=0.5, window_jobs=1.0)
+        heavy = self._solve(arrival_rate=0.95, window_jobs=1.9)
+        assert heavy.mean_response_time > light.mean_response_time > 1.0
+
+    def test_overload_rejected(self):
+        with pytest.raises(ValueError, match="rho"):
+            self._solve(arrival_rate=1.0)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"arrival_rate": 0.0},
+            {"arrival_rate": -0.5},
+            {"period": 0.0},
+            {"service_rate": 0.0},
+        ],
+    )
+    def test_nonpositive_parameters_rejected(self, overrides):
+        with pytest.raises(ValueError, match="positive"):
+            self._solve(**overrides)
+
+
+class TestFluidEligibility:
+    def _simulation(self, **overrides) -> ClusterSimulation:
+        kwargs = dict(
+            num_servers=N,
+            arrivals=PoissonArrivals(9.0),
+            service=exponential_service(),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(period=2.0),
+            total_jobs=300,
+            seed=5,
+        )
+        kwargs.update(overrides)
+        return ClusterSimulation(**kwargs)
+
+    def test_eligible_configuration_has_no_blocker(self):
+        assert self._simulation().fluid_blocker() is None
+
+    def test_continuous_staleness_blocks(self):
+        simulation = self._simulation(staleness=ContinuousUpdate(delay=1.0))
+        assert simulation.fluid_blocker() is not None
+
+    def test_work_backlog_metric_blocks(self):
+        simulation = self._simulation(
+            staleness=PeriodicUpdate(period=2.0, metric="work-backlog")
+        )
+        assert "integer queue lengths" in simulation.fluid_blocker()
+
+    def test_heterogeneous_rates_block(self):
+        simulation = self._simulation(server_rates=[2.0] + [1.0] * (N - 1))
+        assert simulation.fluid_blocker() is not None
+
+    def test_intermediate_ksubset_is_eligible(self):
+        # k=3 blocks the batch kernels (no per-phase replay), but the
+        # fluid model has a closed-form routing law for it.
+        simulation = self._simulation(policy=KSubsetPolicy(3))
+        assert simulation.fluid_blocker() is None
+
+    def test_threshold_least_loaded_fallback_with_probes_blocks(self):
+        simulation = self._simulation(
+            policy=ThresholdPolicy(4, k=2, fallback="least-loaded")
+        )
+        assert simulation.fluid_blocker() is not None
+
+
+class TestRunFluidWiring:
+    def _run(self, **overrides):
+        kwargs = dict(
+            num_servers=N,
+            arrivals=PoissonArrivals(9.0),
+            service=exponential_service(),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(period=2.0),
+            total_jobs=300,
+            seed=5,
+            engine="fluid",
+        )
+        kwargs.update(overrides)
+        simulation = ClusterSimulation(**kwargs)
+        return simulation, simulation.run()
+
+    def test_result_shape(self):
+        simulation, result = self._run()
+        assert simulation.engine_used == "fluid"
+        assert result.jobs_measured == 0
+        assert result.jobs_total == 0
+        assert result.mean_response_time > 1.0
+        assert result.dispatch_counts.shape == (N,)
+
+    def test_summary_records_solution_diagnostics(self):
+        simulation, _ = self._run()
+        summary = simulation.last_fluid_summary
+        assert summary["engine"] == "fluid"
+        assert summary["policy"] == type(BasicLIPolicy()).__name__
+        assert summary["rho"] == pytest.approx(0.9)
+        assert summary["converged"] is True
+
+    def test_matches_direct_solver_call(self):
+        _, result = self._run()
+        direct = fluid_fixed_point(
+            BasicLIPolicy(),
+            arrival_rate=0.9,
+            period=2.0,
+            num_servers=N,
+            window_jobs=1.8,
+        )
+        assert result.mean_response_time == direct.mean_response_time
+
+    def test_seed_does_not_matter(self):
+        # The fluid limit is deterministic: seeds must not leak in.
+        _, first = self._run(seed=1)
+        _, second = self._run(seed=2)
+        assert first.mean_response_time == second.mean_response_time

@@ -1,11 +1,14 @@
-"""Cross-engine equivalence: the fast path must be bit-identical.
+"""Cross-engine equivalence: fast and vector must be bit-identical.
 
-The phase-batched kernel (:mod:`repro.engine.fastpath`) claims bitwise
+The phase-batched kernel (:mod:`repro.engine.fastpath`) and the
+vectorized batch kernel (:mod:`repro.engine.vector`) claim bitwise
 equality with the event-driven reference engine — not statistical
 agreement, *the same floats*.  These tests pin that contract on real
-registry cells across seeds, and pin the fallback matrix: every
-configuration the kernel cannot replay must silently run on the event
-engine (or fail loudly when ``engine="fast"`` is forced).
+registry cells across seeds — including a sweep over *every* registry
+curve, where any fast-path-eligible cell must agree across all three
+engines — and pin the fallback matrix: every configuration a kernel
+cannot replay must silently run on the event engine (or fail loudly
+when the kernel is forced).
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from repro.cluster.simulation import ClusterSimulation
 from repro.cluster.stealing import StealingClusterSimulation, StealingConfig
 from repro.core.li_basic import BasicLIPolicy
 from repro.core.random_policy import RandomPolicy
+from repro.experiments.registry import figure_ids, get_figure
 from repro.experiments.runner import run_cell
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
@@ -25,11 +29,24 @@ from repro.workloads.arrivals import PoissonArrivals
 from repro.workloads.service import exponential_service
 
 SEEDS = (1, 2, 3)
+KERNELS = ("fast", "vector")
+
+
+def _registry_cells():
+    """One (figure, curve, x) per registry curve: the middle x-value."""
+    cells = []
+    for figure_id in figure_ids():
+        spec = get_figure(figure_id)
+        x = spec.x_values[len(spec.x_values) // 2]
+        for curve in spec.curves:
+            cells.append((figure_id, curve.label, x))
+    return cells
 
 
 class TestRegistryCellsBitIdentical:
-    """fig2 / fig4 / fig5 cells: both engines, three seeds, same floats."""
+    """fig2 / fig4 / fig5 cells: all three engines, three seeds, same floats."""
 
+    @pytest.mark.parametrize("engine", KERNELS)
     @pytest.mark.parametrize("seed", SEEDS)
     @pytest.mark.parametrize(
         ("figure_id", "curve", "x"),
@@ -42,16 +59,56 @@ class TestRegistryCellsBitIdentical:
             ("fig5b", "thr=4,k=10", 2.0),
         ],
     )
-    def test_cell_means_match_bitwise(self, figure_id, curve, x, seed):
+    def test_cell_means_match_bitwise(self, figure_id, curve, x, seed, engine):
         event = run_cell(figure_id, curve, x, seed, 2_500, engine="event")
-        fast = run_cell(figure_id, curve, x, seed, 2_500, engine="fast")
-        assert event == fast  # exact equality, not approx
+        kernel = run_cell(figure_id, curve, x, seed, 2_500, engine=engine)
+        assert event == kernel  # exact equality, not approx
+
+    @pytest.mark.parametrize("engine", KERNELS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_lossy_cell_means_match_bitwise(self, seed, engine):
+        event = run_cell("ext-lossy", "basic-li", 0.4, seed, 2_500, engine="event")
+        kernel = run_cell("ext-lossy", "basic-li", 0.4, seed, 2_500, engine=engine)
+        assert event == kernel
+
+
+class TestEveryEligibleRegistryCell:
+    """The acceptance sweep: walk the whole registry, one x per curve.
+
+    Any cell the fast path can replay, the vector kernel must replay with
+    the same floats (they share the eligibility matrix by construction —
+    ``engine_decision`` consults the same ``fast_path_blocker``).  Cells
+    the fast path cannot replay are *recorded* as skips, so a silent
+    eligibility regression shows up as a skip-count jump, not a pass.
+    """
 
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_lossy_cell_means_match_bitwise(self, seed):
-        event = run_cell("ext-lossy", "basic-li", 0.4, seed, 2_500, engine="event")
-        fast = run_cell("ext-lossy", "basic-li", 0.4, seed, 2_500, engine="fast")
-        assert event == fast
+    @pytest.mark.parametrize(
+        ("figure_id", "curve", "x"),
+        _registry_cells(),
+        ids=lambda v: str(v),
+    )
+    def test_fast_and_vector_agree_bitwise(self, figure_id, curve, x, seed):
+        spec = get_figure(figure_id)
+        curve_spec = next(c for c in spec.curves if c.label == curve)
+
+        def build(engine):
+            simulation = spec.build_simulation(curve_spec, x, seed, 1_200)
+            if type(simulation) is not ClusterSimulation:
+                pytest.skip(f"{type(simulation).__name__} has no batch kernels")
+            simulation.engine = engine
+            return simulation
+
+        probe = build("fast")
+        blocker = probe.fast_path_blocker()
+        if blocker:
+            pytest.skip(f"not fast-path eligible: {blocker}")
+        fast = probe.run()
+        vector = build("vector").run()
+        assert fast.mean_response_time == vector.mean_response_time
+        assert fast.jobs_measured == vector.jobs_measured
+        assert fast.duration == vector.duration
+        assert np.array_equal(fast.dispatch_counts, vector.dispatch_counts)
 
 
 class TestFullResultBitIdentical:
@@ -70,23 +127,25 @@ class TestFullResultBitIdentical:
             engine=engine,
         )
 
+    @pytest.mark.parametrize("engine", KERNELS)
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_all_fields_match(self, seed):
+    def test_all_fields_match(self, seed, engine):
         event = self._build("event", seed).run()
-        fast = self._build("fast", seed).run()
-        assert event.mean_response_time == fast.mean_response_time
-        assert event.jobs_measured == fast.jobs_measured
-        assert event.jobs_total == fast.jobs_total
-        assert event.duration == fast.duration
-        assert np.array_equal(event.dispatch_counts, fast.dispatch_counts)
-        assert np.array_equal(event.response_times, fast.response_times)
+        kernel = self._build(engine, seed).run()
+        assert event.mean_response_time == kernel.mean_response_time
+        assert event.jobs_measured == kernel.jobs_measured
+        assert event.jobs_total == kernel.jobs_total
+        assert event.duration == kernel.duration
+        assert np.array_equal(event.dispatch_counts, kernel.dispatch_counts)
+        assert np.array_equal(event.response_times, kernel.response_times)
 
-    def test_mean_type_matches(self):
+    @pytest.mark.parametrize("engine", KERNELS)
+    def test_mean_type_matches(self, engine):
         # The event engine's Welford mean is a python/numpy float chain;
         # latency post-processing must see the same dtype on both paths.
         event = self._build("event", 1).run()
-        fast = self._build("fast", 1).run()
-        assert type(event.mean_response_time) is type(fast.mean_response_time)
+        kernel = self._build(engine, 1).run()
+        assert type(event.mean_response_time) is type(kernel.mean_response_time)
 
 
 class TestEngineSelection:
@@ -123,6 +182,44 @@ class TestEngineSelection:
         injector = FaultInjector(FaultSchedule(mttf=50.0, mttr=2.0))
         simulation = self._simulation(faults=injector, engine="fast")
         with pytest.raises(ValueError, match="fault injection"):
+            simulation.run()
+
+    def test_vector_can_be_forced(self):
+        simulation = self._simulation(engine="vector")
+        simulation.run()
+        assert simulation.engine_used == "vector"
+
+    def test_faults_block_forced_vector(self):
+        injector = FaultInjector(FaultSchedule(mttf=50.0, mttr=2.0))
+        simulation = self._simulation(faults=injector, engine="vector")
+        with pytest.raises(ValueError, match="vector kernel is unavailable"):
+            simulation.run()
+
+    def test_auto_never_picks_vector_or_fluid(self):
+        # The batch kernels are opt-in: auto resolves to fast/event only,
+        # so default runs keep the long-standing engine choice.
+        simulation = self._simulation()
+        simulation.run()
+        assert simulation.engine_used in ("fast", "event")
+
+    def test_fluid_can_be_forced(self):
+        simulation = self._simulation(engine="fluid")
+        result = simulation.run()
+        assert simulation.engine_used == "fluid"
+        assert result.jobs_measured == 0  # analytic: no sampled jobs
+        assert result.mean_response_time > 1.0  # above the no-wait floor
+
+    def test_heterogeneous_rates_block_forced_fluid(self):
+        simulation = self._simulation(
+            server_rates=(2.0,) + (1.0,) * 9, engine="fluid"
+        )
+        with pytest.raises(ValueError, match="fluid engine is unavailable"):
+            simulation.run()
+
+    def test_faults_block_forced_fluid(self):
+        injector = FaultInjector(FaultSchedule(mttf=50.0, mttr=2.0))
+        simulation = self._simulation(faults=injector, engine="fluid")
+        with pytest.raises(ValueError, match="fluid engine is unavailable"):
             simulation.run()
 
     def test_stealing_driver_stays_on_event_engine(self):

@@ -1,0 +1,75 @@
+"""Tests for the engine-provenance probe.
+
+A run manifest that cannot say which engine produced its numbers is not
+reproducible; the probe records the ``engine_decision`` outcome without
+forcing the run onto the event loop (it is the one probe with
+``requires_event_loop = False``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.li_basic import BasicLIPolicy
+from repro.obs import EngineProvenanceProbe
+from repro.obs.probes import Probe
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import exponential_service
+
+
+def _simulation(probe, **overrides) -> ClusterSimulation:
+    kwargs = dict(
+        num_servers=10,
+        arrivals=PoissonArrivals(9.0),
+        service=exponential_service(),
+        policy=BasicLIPolicy(),
+        staleness=PeriodicUpdate(period=2.0),
+        total_jobs=300,
+        seed=5,
+        probes=[probe],
+    )
+    kwargs.update(overrides)
+    return ClusterSimulation(**kwargs)
+
+
+class TestEngineProvenanceProbe:
+    @pytest.mark.parametrize("engine", ["fast", "vector", "event"])
+    def test_records_forced_engine(self, engine):
+        probe = EngineProvenanceProbe()
+        simulation = _simulation(probe, engine=engine)
+        simulation.run()
+        summary = probe.summary()
+        assert summary["engine"] == engine
+        assert summary["driver"] == "ClusterSimulation"
+        assert summary["reason"]
+
+    def test_does_not_force_the_event_engine(self):
+        # The base Probe contract pins every other probe to the event
+        # loop; provenance must be recordable on any engine.
+        probe = EngineProvenanceProbe()
+        simulation = _simulation(probe)
+        simulation.run()
+        assert probe.requires_event_loop is False
+        assert simulation.engine_used == "fast"
+
+    def test_ordinary_probes_still_force_event(self):
+        class Ticker(Probe):
+            name = "ticker"
+
+        simulation = _simulation(Ticker())
+        simulation.run()
+        assert Ticker.requires_event_loop is True
+        assert simulation.engine_used == "event"
+
+    def test_fluid_summary_carries_solver_digest(self):
+        probe = EngineProvenanceProbe()
+        simulation = _simulation(probe, engine="fluid")
+        simulation.run()
+        summary = probe.summary()
+        assert summary["engine"] == "fluid"
+        assert summary["fluid"]["converged"] is True
+
+    def test_unrecorded_before_any_run(self):
+        assert EngineProvenanceProbe().summary() == {"engine": "unrecorded"}

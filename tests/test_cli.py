@@ -499,6 +499,83 @@ class TestBenchTrend:
         assert main(["bench-trend", "--dir", str(tmp_path / "none")]) == 0
         assert "no BENCH" in capsys.readouterr().out
 
+    def test_empty_directory_explains_how_to_record(self, tmp_path, capsys):
+        # A fresh checkout has no trajectory yet; that is a state to
+        # explain, not a traceback to dump.
+        assert main(["bench-trend", "--dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "no BENCH_*.json files found" in output
+        assert "benchmarks/perf.py" in output
+
+    def test_empty_directory_fails_check_mode(self, tmp_path, capsys):
+        # --check exists to gate CI; an empty trend cannot vouch for
+        # anything, so it must fail loudly rather than pass vacuously.
+        assert main(["bench-trend", "--dir", str(tmp_path), "--check"]) == 2
+        assert "at least one BENCH" in capsys.readouterr().err
+
+
+class TestRunEngineFlag:
+    BASE = ["run", "fig2", "--jobs", "400", "--seeds", "1", "--curves",
+            "basic-li", "--x", "2.0"]
+
+    @pytest.mark.parametrize("engine", ["auto", "event", "fast", "vector"])
+    def test_engine_choices_run(self, engine, capsys):
+        assert main(self.BASE + ["--engine", engine]) == 0
+        assert "basic-li" in capsys.readouterr().out
+
+    def test_engines_agree_bitwise_through_the_cli(self, capsys):
+        main(self.BASE + ["--engine", "event"])
+        event_out = capsys.readouterr().out
+        main(self.BASE + ["--engine", "vector"])
+        vector_out = capsys.readouterr().out
+        assert event_out == vector_out
+
+    def test_ineligible_engine_propagates_error(self, capsys):
+        # k=3 cannot replay a phase with batched draws (only k=1 and
+        # k=n can), so forcing the kernel must fail with the blocker.
+        code = main(
+            ["run", "fig2", "--jobs", "400", "--seeds", "1",
+             "--curves", "k=3", "--x", "2.0", "--engine", "vector"]
+        )
+        assert code == 2
+        assert "vector kernel is unavailable" in capsys.readouterr().err
+
+
+class TestFluidCommand:
+    def test_prints_fluid_table(self, capsys):
+        code = main(
+            ["fluid", "fig2", "--curves", "basic-li,random", "--x", "2.0"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "basic-li" in output and "random" in output
+        # Random ignores the board: its fluid value is the M/M/1 mean.
+        lines = [line for line in output.splitlines() if line.strip()]
+        header, values = lines[-2].split(), lines[-1].split()
+        assert float(values[header.index("random")]) == pytest.approx(
+            10.0, rel=1e-3
+        )
+
+    def test_ineligible_curves_are_marked_not_crashed(self, capsys):
+        # fig2's aggressive-li has no fluid translation; the table must
+        # say so per-cell instead of aborting the whole figure.
+        code = main(
+            ["fluid", "fig2", "--curves", "aggressive-li", "--x", "2.0"]
+        )
+        assert code == 0
+        assert "n/a" in capsys.readouterr().out
+
+    def test_verbose_prints_diagnostics(self, capsys):
+        code = main(
+            ["fluid", "fig2", "--curves", "random", "--x", "2.0", "--verbose"]
+        )
+        assert code == 0
+        assert "iters" in capsys.readouterr().out
+
+    def test_unknown_figure_exit_code(self, capsys):
+        assert main(["fluid", "nope"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
 
 class TestRunOverloadFlags:
     def test_queue_capacity_flag_runs(self, capsys):

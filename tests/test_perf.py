@@ -61,6 +61,30 @@ class TestRunKernels:
         names = [kernel.name for kernel in default_kernels(100)]
         assert len(names) == len(set(names))
 
+    def test_batch_engine_kernels_present(self, payload):
+        assert {"dispatch-vector-n10k", "fluid-fixedpoint"} <= set(
+            payload["kernels"]
+        )
+
+    def test_vector_kernel_ignores_the_jobs_knob(self, payload):
+        from repro.perf import VECTOR_BENCH_JOBS
+
+        # The n=10k kernel times *sustained* throughput at a pinned job
+        # count — a smoke-sized count would time per-call overhead and
+        # make BENCH points incomparable across scales.
+        entry = payload["kernels"]["dispatch-vector-n10k"]
+        assert entry["jobs"] == VECTOR_BENCH_JOBS != TINY_JOBS
+        assert entry["jobs_per_sec"] == pytest.approx(
+            VECTOR_BENCH_JOBS / entry["median_s"]
+        )
+
+    def test_fluid_kernel_reports_no_throughput(self, payload):
+        # The fluid solve processes no jobs; a jobs/s figure would be
+        # meaningless, so the entry must leave it null.
+        entry = payload["kernels"]["fluid-fixedpoint"]
+        assert entry["jobs"] is None
+        assert entry["jobs_per_sec"] is None
+
 
 class TestRoundTrip:
     def test_write_load_format(self, payload, tmp_path):
