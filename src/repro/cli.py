@@ -127,6 +127,27 @@ def build_parser() -> argparse.ArgumentParser:
         "'mttf=200,mttr=10,mode=abort,timeout=0.5'",
     )
     run_cmd.add_argument(
+        "--arrivals",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="re-shape every cell's Poisson stream with a rate program "
+        "(mean rate preserved): 'constant', "
+        "'diurnal:amplitude=A,period=P[,phase=F]', "
+        "'flash:surge=S,start=T0,duration=D[,every=E]', "
+        "'piecewise:t1=f1,t2=f2,...' (factors of the cell rate) or "
+        "'trace:FILE.csv'",
+    )
+    run_cmd.add_argument(
+        "--autoscale",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="attach an elastic-capacity controller to every cell: "
+        "'target-util:target=0.7,min=1,max=N,interval=5,cooldown=10,"
+        "warmup=1[,initial=K]' or 'queue:up=4,down=0.5,step=1,...'",
+    )
+    run_cmd.add_argument(
         "--dispatchers",
         type=int,
         default=None,
@@ -208,6 +229,63 @@ def build_parser() -> argparse.ArgumentParser:
     overload_cmd.add_argument("--seed", type=int, default=1)
     _add_overload_arguments(overload_cmd, default_capacity=16)
     overload_cmd.set_defaults(handler=_cmd_overload)
+
+    transient_cmd = sub.add_parser(
+        "transient",
+        help="run one non-stationary cell and print its time-binned "
+        "window table (arrivals, response, herding, estimated vs true λ)",
+    )
+    transient_cmd.add_argument(
+        "--arrivals",
+        type=str,
+        required=True,
+        metavar="SPEC",
+        help="rate program (same grammar as `run --arrivals`), e.g. "
+        "'flash:surge=3,start=40,duration=20'",
+    )
+    transient_cmd.add_argument(
+        "--autoscale",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="elastic-capacity controller (same grammar as "
+        "`run --autoscale`)",
+    )
+    transient_cmd.add_argument(
+        "--policy",
+        choices=("random", "greedy", "basic-li", "aggressive-li", "drift-li"),
+        default="basic-li",
+        help="dispatch policy (default basic-li)",
+    )
+    transient_cmd.add_argument(
+        "--estimator",
+        choices=("exact", "program", "ewma", "windowed", "drift"),
+        default="ewma",
+        help="λ estimator feeding the LI interpretation: 'exact' knows "
+        "the long-run mean, 'program' the oracle λ(t), the others are "
+        "online (default ewma; drift-li forces 'drift')",
+    )
+    transient_cmd.add_argument("--servers", type=int, default=10)
+    transient_cmd.add_argument(
+        "--load", type=float, default=0.6,
+        help="mean per-server load of the program (default 0.6)",
+    )
+    transient_cmd.add_argument(
+        "--period", type=float, default=4.0,
+        help="stale period T in mean service times (default 4.0)",
+    )
+    transient_cmd.add_argument("--jobs", type=int, default=20_000)
+    transient_cmd.add_argument("--seed", type=int, default=1)
+    transient_cmd.add_argument(
+        "--window", type=float, default=5.0,
+        help="time-bin width of the transient table (default 5.0)",
+    )
+    transient_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full probe summaries as JSON instead of a table",
+    )
+    transient_cmd.set_defaults(handler=_cmd_transient)
 
     obs_cmd = sub.add_parser(
         "obs", help="summarize a run manifest written by `run --manifest-dir`"
@@ -455,6 +533,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engine=args.engine,
         dispatchers=args.dispatchers,
         overload=_overload_tuple(args),
+        arrivals=args.arrivals,
+        autoscale=args.autoscale,
     )
     try:
         if args.manifest_dir:
@@ -619,6 +699,135 @@ def _cmd_overload(args: argparse.Namespace) -> int:
                 f"{result.storm_resubmits:>6} "
                 f"{result.mean_response_time:>8.3f}"
             )
+    return 0
+
+
+def _cmd_transient(args: argparse.Namespace) -> int:
+    """Run one non-stationary cell; print its per-window transient table."""
+    from repro.cluster.simulation import ClusterSimulation
+    from repro.core.ksubset import KSubsetPolicy
+    from repro.core.li_aggressive import AggressiveLIPolicy
+    from repro.core.li_basic import BasicLIPolicy
+    from repro.core.random_policy import RandomPolicy
+    from repro.core.rate_estimators import EWMARate
+    from repro.nonstationary import (
+        DriftAwareLIPolicy,
+        DriftTrackingRate,
+        ProgramRate,
+        WindowedRate,
+        parse_arrivals_spec,
+        parse_autoscale_spec,
+    )
+    from repro.obs.transient import NonstationaryProvenanceProbe, TransientProbe
+    from repro.staleness.periodic import PeriodicUpdate
+    from repro.workloads.arrivals import TimeVaryingPoissonArrivals
+    from repro.workloads.service import exponential_service
+
+    estimator_kind = args.estimator
+    if args.policy == "drift-li" and estimator_kind not in ("drift",):
+        estimator_kind = "drift"
+    try:
+        program = parse_arrivals_spec(args.arrivals)(args.servers * args.load)
+        autoscaler = (
+            parse_autoscale_spec(args.autoscale) if args.autoscale else None
+        )
+        policies = {
+            "random": RandomPolicy,
+            "greedy": lambda: KSubsetPolicy(args.servers),
+            "basic-li": BasicLIPolicy,
+            "aggressive-li": AggressiveLIPolicy,
+            "drift-li": DriftAwareLIPolicy,
+        }
+        estimators = {
+            "exact": lambda: None,  # ClusterSimulation defaults to ExactRate
+            "program": lambda: ProgramRate(program),
+            "ewma": EWMARate,
+            "windowed": WindowedRate,
+            "drift": DriftTrackingRate,
+        }
+        transient = TransientProbe(window=args.window)
+        provenance = NonstationaryProvenanceProbe()
+        simulation = ClusterSimulation(
+            num_servers=args.servers,
+            arrivals=TimeVaryingPoissonArrivals(program),
+            service=exponential_service(),
+            policy=policies[args.policy](),
+            staleness=PeriodicUpdate(period=args.period),
+            rate_estimator=estimators[estimator_kind](),
+            total_jobs=args.jobs,
+            seed=args.seed,
+            autoscaler=autoscaler,
+            probes=[transient, provenance],
+        )
+        result = simulation.run()
+    except (OSError, ValueError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "mean_response_time": result.mean_response_time,
+                    "transient": transient.summary(),
+                    "nonstationary": provenance.summary(),
+                    "scaling": simulation.last_scaling_summary,
+                },
+                indent=2,
+                default=str,
+            )
+        )
+        return 0
+    print(
+        f"transient: {args.arrivals} policy={args.policy} "
+        f"estimator={estimator_kind} n={args.servers} load={args.load:g} "
+        f"T={args.period:g} jobs={args.jobs} seed={args.seed}"
+    )
+    summary = transient.summary()
+    print(
+        f"mean_rt={result.mean_response_time:.3f} "
+        f"herd_epochs={summary['herd_epochs']}/{summary['num_windows']} "
+        + (
+            f"lambda_underestimation={summary['mean_rate_underestimation']:+.1%}"
+            if "mean_rate_underestimation" in summary
+            else ""
+        )
+    )
+    if simulation.last_scaling_summary is not None:
+        scaling = simulation.last_scaling_summary
+        print(
+            f"autoscale: final_active={scaling['final_active']} "
+            f"mean_active={scaling['mean_active']:.2f} "
+            f"actions={scaling['actions']}"
+        )
+    header = (
+        f"{'t0':>8} {'t1':>8} {'arrivals':>8} {'mean_rt':>8} {'drops':>6} "
+        f"{'max_share':>9} {'herd':>5} {'est_rate':>9} {'true_rate':>9}"
+    )
+    print(header)
+    for window in transient.windows():
+        mean_rt = (
+            f"{window['mean_response']:>8.3f}"
+            if window["mean_response"] is not None
+            else f"{'-':>8}"
+        )
+        est = (
+            f"{window['estimated_rate']:>9.3f}"
+            if "estimated_rate" in window
+            else f"{'-':>9}"
+        )
+        true = (
+            f"{window['true_rate']:>9.3f}"
+            if "true_rate" in window
+            else f"{'-':>9}"
+        )
+        print(
+            f"{window['t0']:>8.1f} {window['t1']:>8.1f} "
+            f"{window['arrivals']:>8} {mean_rt} {window['drops']:>6} "
+            f"{window['max_share']:>9.3f} "
+            f"{'yes' if window['herd'] else '':>5} {est} {true}"
+        )
     return 0
 
 

@@ -234,6 +234,17 @@ class ClusterSimulation:
         its default) leaves the run bit-identical to an unprotected one;
         any active knob forces the event engine (see
         :meth:`fast_path_blocker`).
+    autoscaler:
+        Optional :class:`~repro.nonstationary.autoscale.Autoscaler`
+        enabling elastic capacity: a controller ticks periodically,
+        reads the *stale* bulletin board and λ estimate, and starts or
+        stops servers.  At run time the configured ``faults`` injector
+        (or a null one) is wrapped in an
+        :class:`~repro.nonstationary.autoscale.ElasticCapacityInjector`,
+        so inactive servers look exactly like crashed ones: dispatches
+        time out and retry, and the board keeps their last stale entry.
+        ``None`` leaves every code path untouched; any autoscaler forces
+        the event engine and is incompatible with ``dispatchers > 1``.
     engine:
         ``"auto"`` (default) runs the phase-batched fast path
         (:mod:`repro.engine.fastpath`) whenever the configuration permits
@@ -276,6 +287,10 @@ class ClusterSimulation:
     #: unless the run executed on the fluid engine).
     last_fluid_summary: dict | None = None
 
+    #: Scaling-history digest of the most recent :meth:`run` (``None``
+    #: unless the run had an autoscaler).
+    last_scaling_summary: dict | None = None
+
     def __init__(
         self,
         num_servers: int,
@@ -294,6 +309,7 @@ class ClusterSimulation:
         probes: list | None = None,
         faults: FaultInjector | None = None,
         overload: OverloadConfig | None = None,
+        autoscaler=None,
         engine: str = "auto",
         dispatchers: int = 1,
     ) -> None:
@@ -342,11 +358,20 @@ class ClusterSimulation:
                 "overload must be an OverloadConfig (or None), got "
                 f"{type(overload).__name__}"
             )
+        if autoscaler is not None:
+            from repro.nonstationary.autoscale import Autoscaler
+
+            if not isinstance(autoscaler, Autoscaler):
+                raise TypeError(
+                    "autoscaler must be an Autoscaler (or None), got "
+                    f"{type(autoscaler).__name__}"
+                )
         self.server_rates = server_rates
         self.client_latency = client_latency
         self.probes = list(probes) if probes else None
         self.faults = faults
         self.overload = overload
+        self.autoscaler = autoscaler
         if engine not in ("auto", "event", "fast", "vector", "fluid"):
             raise ValueError(
                 "engine must be 'auto', 'event', 'fast', 'vector' or "
@@ -384,7 +409,10 @@ class ClusterSimulation:
         """
         from repro.staleness.lossy import LossyPeriodicUpdate
         from repro.staleness.periodic import PeriodicUpdate
-        from repro.workloads.arrivals import PoissonArrivals
+        from repro.workloads.arrivals import (
+            PoissonArrivals,
+            TimeVaryingPoissonArrivals,
+        )
 
         if type(self) is not ClusterSimulation:
             return (
@@ -398,6 +426,11 @@ class ClusterSimulation:
             )
         if self.faults is not None:
             return "fault injection (timeouts and retries are event-driven)"
+        if self.autoscaler is not None:
+            return (
+                "autoscaler: elastic capacity schedules controller ticks "
+                "and per-dispatch availability checks in the event loop"
+            )
         if self.overload is not None and self.overload.active:
             return (
                 f"{self.overload.blocker_reason()}: per-arrival refusal "
@@ -417,7 +450,16 @@ class ClusterSimulation:
                 "periodic board has a non-zero phase_offset; the batched "
                 "refresh clock replays the unstaggered schedule only"
             )
-        if type(self.arrivals) is not PoissonArrivals:
+        if type(self.arrivals) is TimeVaryingPoissonArrivals:
+            if not self.arrivals.program.is_constant:
+                return (
+                    "nonstationary_arrivals: a time-varying rate program "
+                    "thins candidate arrivals per event; only a constant "
+                    "program replays the stationary draw sequence"
+                )
+            # A constant program replays PoissonArrivals' exact draws and
+            # only its total_rate is consumed by the batch kernels.
+        elif type(self.arrivals) is not PoissonArrivals:
             return (
                 f"arrival source {type(self.arrivals).__name__} interleaves "
                 "per-client draws by event order"
@@ -482,7 +524,10 @@ class ClusterSimulation:
         from repro.core.random_policy import RandomPolicy
         from repro.core.threshold import ThresholdPolicy
         from repro.staleness.periodic import PeriodicUpdate
-        from repro.workloads.arrivals import PoissonArrivals
+        from repro.workloads.arrivals import (
+            PoissonArrivals,
+            TimeVaryingPoissonArrivals,
+        )
         from repro.workloads.distributions import Exponential
 
         if type(self) is not ClusterSimulation:
@@ -494,6 +539,11 @@ class ClusterSimulation:
             return "multi_dispatcher runs have no single-board fluid model"
         if self.faults is not None:
             return "fault injection has no fluid translation"
+        if self.autoscaler is not None:
+            return (
+                "autoscaler: the fluid fixed point assumes a constant "
+                "server population"
+            )
         if self.overload is not None and self.overload.active:
             return f"{self.overload.blocker_reason()}: no fluid translation"
         if self.probes and any(
@@ -513,7 +563,13 @@ class ClusterSimulation:
                 f"board metric {self.staleness.metric!r} has no fluid "
                 "translation (levels must be integer queue lengths)"
             )
-        if type(self.arrivals) is not PoissonArrivals:
+        if type(self.arrivals) is TimeVaryingPoissonArrivals:
+            if not self.arrivals.program.is_constant:
+                return (
+                    "nonstationary_arrivals: the fluid fixed point assumes "
+                    "a stationary arrival rate"
+                )
+        elif type(self.arrivals) is not PoissonArrivals:
             return (
                 f"arrival source {type(self.arrivals).__name__} is not the "
                 "Poisson stream the fluid arrival terms assume"
@@ -604,6 +660,9 @@ class ClusterSimulation:
         and vector engines produce bit-identical results, the fluid
         engine a mean-field asymptote.
         """
+        validate_warmup = getattr(self.arrivals, "validate_warmup", None)
+        if validate_warmup is not None:
+            validate_warmup(self.warmup_fraction, self.total_jobs)
         engine, reason = self.engine_decision()
         self.engine_used = engine
         if self.probes:
@@ -649,6 +708,12 @@ class ClusterSimulation:
                 "server fault injection is not supported with "
                 "dispatchers > 1; use MultiDispatchSimulation("
                 "dispatcher_faults=...) for front-end faults"
+            )
+        if self.autoscaler is not None:
+            raise ValueError(
+                "autoscaling is not supported with dispatchers > 1: the "
+                "controller assumes a single dispatcher's board and λ "
+                "estimate as its observation channel"
             )
         if self.overload is not None and self.overload.retry_storm is not None:
             raise ValueError(
@@ -703,6 +768,13 @@ class ClusterSimulation:
             probe_set.on_attach(sim, servers)
 
         faults = self.faults
+        if self.autoscaler is not None:
+            from repro.nonstationary.autoscale import ElasticCapacityInjector
+
+            # Elastic capacity rides the fault interface: the wrapper makes
+            # inactive servers indistinguishable from crashed ones to the
+            # dispatcher and the board, composing with any inner injector.
+            faults = ElasticCapacityInjector(self.autoscaler, inner=self.faults)
         retry = faults.retry if faults is not None else None
         faults_rng = None
         if faults is not None:
@@ -751,6 +823,10 @@ class ClusterSimulation:
             faults=faults,
         )
         self.rate_estimator.bind(self.num_servers, self._per_server_rate())
+        if self.autoscaler is not None:
+            # The controller observes through the same stale channels the
+            # dispatcher uses: the bulletin board and the λ estimator.
+            faults.connect(self.staleness, self.rate_estimator)
         self.policy.bind(
             self.num_servers,
             streams.stream("policy"),
@@ -1039,6 +1115,8 @@ class ClusterSimulation:
         if breakers is not None:
             breakers.finalize(sim.now)
             self.last_breaker_summary = breakers.summary()
+        if self.autoscaler is not None:
+            self.last_scaling_summary = faults.scaling_summary(sim.now)
         if probe_set is not None:
             probe_set.on_finish(sim.now)
 

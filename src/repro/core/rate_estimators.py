@@ -105,21 +105,67 @@ class EWMARate(RateEstimator):
     maximum throughput, per the paper's §5.6 recommendation) and converges
     to the true rate as arrivals are observed.
 
+    Two failure modes of a naive gap-EWMA are handled explicitly:
+
+    * **Droughts.**  After traffic stops, a per-sample EWMA only moves when
+      the *next* arrival lands, and with a small ``smoothing`` a single
+      huge gap barely dents the mean — the estimate would stay frozen at
+      the pre-drought rate.  A gap larger than ``drought_factor`` times the
+      current mean (probability ``e^-drought_factor`` under stationary
+      Poisson traffic, i.e. effectively never) is instead absorbed with
+      weight ``drought_smoothing``, so the estimate decays promptly toward
+      the observed (low) rate instead of staying stale forever.
+    * **Zero gaps.**  Simultaneous arrivals can drive the mean gap to 0;
+      dividing would blow up, and the old behavior of falling back to the
+      prior froze the estimate at ``initial_rate`` permanently.  The gap is
+      now floored at a tiny positive value for the division, and the next
+      normal gap trips the drought branch and heals the estimate.
+
+    ``per_server_rate`` is additionally floored at ``min_rate`` so LI's
+    expected-arrivals product can never collapse to zero.
+
     Parameters
     ----------
     smoothing:
         EWMA weight on each new inter-arrival observation, in (0, 1].
     initial_rate:
         Per-server rate assumed before any arrivals are seen.
+    min_rate:
+        Floor on the returned per-server rate estimate.
+    drought_factor:
+        Gaps beyond this multiple of the current mean are treated as
+        droughts (catch-down instead of the standard EWMA step).
+    drought_smoothing:
+        Weight applied to drought gaps, in (0, 1].
     """
 
-    def __init__(self, smoothing: float = 0.01, initial_rate: float = 1.0) -> None:
+    _GAP_FLOOR = 1e-12
+
+    def __init__(
+        self,
+        smoothing: float = 0.01,
+        initial_rate: float = 1.0,
+        min_rate: float = 1e-4,
+        drought_factor: float = 20.0,
+        drought_smoothing: float = 0.5,
+    ) -> None:
         if not 0.0 < smoothing <= 1.0:
             raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
         if initial_rate <= 0:
             raise ValueError(f"initial_rate must be positive, got {initial_rate}")
+        if min_rate <= 0:
+            raise ValueError(f"min_rate must be positive, got {min_rate}")
+        if drought_factor <= 1.0:
+            raise ValueError(f"drought_factor must be > 1, got {drought_factor}")
+        if not 0.0 < drought_smoothing <= 1.0:
+            raise ValueError(
+                f"drought_smoothing must be in (0, 1], got {drought_smoothing}"
+            )
         self.smoothing = float(smoothing)
         self.initial_rate = float(initial_rate)
+        self.min_rate = float(min_rate)
+        self.drought_factor = float(drought_factor)
+        self.drought_smoothing = float(drought_smoothing)
         self._last_arrival: float | None = None
         self._mean_gap: float | None = None
 
@@ -135,16 +181,21 @@ class EWMARate(RateEstimator):
             if gap >= 0:
                 if self._mean_gap is None:
                     self._mean_gap = gap
+                elif gap > self.drought_factor * self._mean_gap:
+                    self._mean_gap += self.drought_smoothing * (
+                        gap - self._mean_gap
+                    )
                 else:
                     self._mean_gap += self.smoothing * (gap - self._mean_gap)
         self._last_arrival = now
 
     def per_server_rate(self) -> float:
-        if self._mean_gap is None or self._mean_gap <= 0.0:
+        if self._mean_gap is None:
             return self.initial_rate
         # mean_gap estimates the *aggregate* inter-arrival time, so the
         # aggregate rate is 1/mean_gap and the per-server rate divides by n.
-        return 1.0 / (self._mean_gap * self._num_servers)
+        gap = max(self._mean_gap, self._GAP_FLOOR)
+        return max(1.0 / (gap * self._num_servers), self.min_rate)
 
     def __repr__(self) -> str:
         return (

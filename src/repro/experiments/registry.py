@@ -27,6 +27,16 @@ from repro.core.li_weighted import WeightedLIPolicy
 from repro.core.locality import LocalityAwareLIPolicy, NearestServerPolicy
 from repro.core.random_policy import RandomPolicy
 from repro.core.rate_estimators import EWMARate, FixedRate, ScaledRate
+from repro.nonstationary import (
+    Autoscaler,
+    DiurnalProgram,
+    DriftAwareLIPolicy,
+    DriftTrackingRate,
+    FlashCrowdProgram,
+    ProgramRate,
+    TargetUtilizationPolicy,
+    WindowedRate,
+)
 from repro.core.threshold import ThresholdPolicy
 from repro.experiments.spec import CurveSpec, FigureSpec
 from repro.faults import FaultInjector, FaultSchedule
@@ -49,6 +59,7 @@ from repro.workloads.arrivals import (
     BurstyClientArrivals,
     ClientArrivals,
     PoissonArrivals,
+    TimeVaryingPoissonArrivals,
 )
 from repro.workloads.distributions import Constant, Exponential, Uniform
 from repro.workloads.service import bounded_pareto_service, exponential_service
@@ -1123,6 +1134,278 @@ _register(
         notes="run once with --engine vector and once with --engine "
         "fluid: the curves converge as n grows (the oracle tests pin "
         "2% agreement at n=256, rho=0.9)",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Non-stationary extension: flash crowds, diurnal cycles, elastic capacity
+# ---------------------------------------------------------------------------
+
+#: Flash-crowd pulse train: surges of FLASH_DURATION starting at
+#: FLASH_START, repeating every FLASH_EVERY (duty cycle 1/3, and peak
+#: load stays below 1 for every surge factor swept).  The low base load
+#: matters: herding damage from an underestimated λ̂ only shows when the
+#: surge pushes the system near — but not over — capacity, because past
+#: saturation every policy queues and dispatch quality stops mattering.
+FLASH_START = 40.0
+FLASH_DURATION = 80.0
+FLASH_EVERY = 240.0
+FLASH_BASE_LOAD = 0.2
+#: Surge-factor axis: peak load = FLASH_BASE_LOAD * x (4.5 -> 0.9).
+SURGE_SWEEP = (1.0, 2.0, 3.0, 4.0, 4.5)
+
+DIURNAL_PERIOD = 40.0
+DIURNAL_BASE_LOAD = 0.7
+#: Amplitude axis of the diurnal sweep (0 is the stationary baseline).
+AMPLITUDE_SWEEP = (0.0, 0.3, 0.6, 0.9)
+
+#: Stale board period fixed for the diurnal/autoscale sweeps.
+NONSTATIONARY_BOARD_PERIOD = 4.0
+#: Flash-crowd cells use a longer board period: LI's water-filling
+#: spreads expected_arrivals = λ̂·n·T over the board, so the absolute
+#: dispatch error from a lagged λ̂ grows with T (§5.6's "dangerous
+#: direction" needs a big T to be visible above queueing noise).
+FLASH_BOARD_PERIOD = 16.0
+
+#: Control-interval axis of the autoscale sweep.
+AUTOSCALE_INTERVAL_SWEEP = (2.0, 5.0, 10.0, 20.0)
+AUTOSCALE_AMPLITUDE = 0.6
+AUTOSCALE_MIN_SERVERS = 3
+AUTOSCALE_TARGET = 0.75
+AUTOSCALE_WARMUP = 1.0
+
+# Curve label -> (policy factory, estimator kind).  The estimator kinds:
+# "mean-rate" is the stationary oracle (knows the long-run mean but not
+# the transient), "true-rate" the non-stationary oracle λ(t), "ewma" the
+# lagged online estimator, "drift" the fast/slow pair drift-li widens on.
+NONSTATIONARY_VARIANTS: dict[str, tuple] = {
+    "random": (RandomPolicy, "mean-rate"),
+    "basic-li(mean-rate)": (BasicLIPolicy, "mean-rate"),
+    "basic-li(true-rate)": (BasicLIPolicy, "true-rate"),
+    "basic-li(ewma)": (BasicLIPolicy, "ewma"),
+    "drift-li": (DriftAwareLIPolicy, "drift"),
+}
+
+# The flash-crowd figure swaps the ewma curve onto the slow estimator:
+# with the default smoothing the EWMA converges within a handful of
+# board periods and the herding window is too brief to measure.  The
+# label stays "basic-li(ewma)" — the estimator horizon is a figure
+# parameter, documented in the notes, not a separate policy.
+FLASHCROWD_VARIANTS: dict[str, tuple] = {
+    **NONSTATIONARY_VARIANTS,
+    "basic-li(ewma)": (BasicLIPolicy, "slow-ewma"),
+}
+
+
+def _nonstationary_estimator(kind: str, program):
+    if kind == "mean-rate":
+        return None  # ClusterSimulation defaults to ExactRate
+    if kind == "true-rate":
+        return ProgramRate(program)
+    if kind == "ewma":
+        return EWMARate()
+    if kind == "slow-ewma":
+        # Deliberately long horizon (~1/0.002 = 500 arrivals): models an
+        # operator-tuned estimator smoothed against noise, whose lag then
+        # spans a whole surge ramp instead of a few board periods.
+        return EWMARate(smoothing=0.002)
+    if kind == "windowed":
+        return WindowedRate()
+    if kind == "drift":
+        return DriftTrackingRate()
+    raise ValueError(f"unknown estimator kind {kind!r}")
+
+
+def build_flashcrowd_simulation(spec, curve, x, seed, total_jobs):
+    """Construct a flash-crowd cell (FigureSpec.make_simulation hook).
+
+    The x axis is the surge factor; x=1 is the stationary baseline (a
+    constant program, bit-identical to PoissonArrivals).
+    """
+    base_rate = spec.num_servers * spec.offered_load
+    program = FlashCrowdProgram(
+        base_rate,
+        surge_factor=float(x),
+        start=FLASH_START,
+        duration=FLASH_DURATION,
+        every=FLASH_EVERY,
+    )
+    policy_factory, estimator_kind = FLASHCROWD_VARIANTS[curve.label]
+    return ClusterSimulation(
+        num_servers=spec.num_servers,
+        arrivals=TimeVaryingPoissonArrivals(program),
+        service=spec.make_service(),
+        policy=policy_factory(),
+        staleness=PeriodicUpdate(period=FLASH_BOARD_PERIOD),
+        rate_estimator=_nonstationary_estimator(estimator_kind, program),
+        total_jobs=total_jobs,
+        warmup_fraction=spec.warmup_fraction,
+        seed=seed,
+    )
+
+
+def build_diurnal_simulation(spec, curve, x, seed, total_jobs):
+    """Construct a diurnal cell (FigureSpec.make_simulation hook).
+
+    The x axis is the relative amplitude; x=0 is the stationary baseline.
+    """
+    base_rate = spec.num_servers * spec.offered_load
+    program = DiurnalProgram(
+        base_rate, amplitude=float(x), period=DIURNAL_PERIOD
+    )
+    policy_factory, estimator_kind = NONSTATIONARY_VARIANTS[curve.label]
+    return ClusterSimulation(
+        num_servers=spec.num_servers,
+        arrivals=TimeVaryingPoissonArrivals(program),
+        service=spec.make_service(),
+        policy=policy_factory(),
+        staleness=PeriodicUpdate(period=NONSTATIONARY_BOARD_PERIOD),
+        rate_estimator=_nonstationary_estimator(estimator_kind, program),
+        total_jobs=total_jobs,
+        warmup_fraction=spec.warmup_fraction,
+        seed=seed,
+    )
+
+
+# Curve label -> (policy factory, estimator kind) for the autoscale cells;
+# every curve observes λ through an honest online estimator (the
+# controller shares it), so the scaling loop never sees oracle data.
+AUTOSCALE_VARIANTS: dict[str, tuple] = {
+    "random": (RandomPolicy, "windowed"),
+    "greedy": (partial(KSubsetPolicy, DEFAULT_SERVERS), "windowed"),
+    "basic-li": (BasicLIPolicy, "windowed"),
+    "drift-li": (DriftAwareLIPolicy, "drift"),
+}
+
+
+def build_autoscale_simulation(spec, curve, x, seed, total_jobs):
+    """Construct an elastic-capacity cell (FigureSpec.make_simulation hook).
+
+    The x axis is the controller tick interval (cool-down tracks it), so
+    the sweep measures how controller responsiveness trades against
+    stale-board flapping under a diurnal load.
+    """
+    base_rate = spec.num_servers * spec.offered_load
+    program = DiurnalProgram(
+        base_rate, amplitude=AUTOSCALE_AMPLITUDE, period=DIURNAL_PERIOD
+    )
+    policy_factory, estimator_kind = AUTOSCALE_VARIANTS[curve.label]
+    autoscaler = Autoscaler(
+        policy=TargetUtilizationPolicy(
+            target=AUTOSCALE_TARGET,
+            min_servers=AUTOSCALE_MIN_SERVERS,
+            max_servers=spec.num_servers,
+        ),
+        interval=float(x),
+        cooldown=float(x),
+        warmup_delay=AUTOSCALE_WARMUP,
+        initial_servers=None,
+    )
+    return ClusterSimulation(
+        num_servers=spec.num_servers,
+        arrivals=TimeVaryingPoissonArrivals(program),
+        service=spec.make_service(),
+        policy=policy_factory(),
+        staleness=PeriodicUpdate(period=NONSTATIONARY_BOARD_PERIOD),
+        rate_estimator=_nonstationary_estimator(estimator_kind, program),
+        total_jobs=total_jobs,
+        warmup_fraction=spec.warmup_fraction,
+        seed=seed,
+        autoscaler=autoscaler,
+    )
+
+
+def nonstationary_curves(variants: dict, *labels: str) -> tuple[CurveSpec, ...]:
+    return tuple(
+        CurveSpec(label, variants[label][0]) for label in labels
+    )
+
+
+_register(
+    _periodic_figure(
+        "ext-flashcrowd",
+        "Extension: flash crowds — exact-λ(t) LI vs EWMA-lagged LI vs "
+        "drift-aware LI (periodic T=16, n=10, base load=0.2, repeating "
+        "surges)",
+        load=FLASH_BASE_LOAD,
+        x_label="surge",
+        x_values=SURGE_SWEEP,
+        curves=nonstationary_curves(
+            NONSTATIONARY_VARIANTS,
+            "random",
+            "basic-li(mean-rate)",
+            "basic-li(true-rate)",
+            "basic-li(ewma)",
+            "drift-li",
+        ),
+        make_staleness=partial(
+            periodic_fixed, period=FLASH_BOARD_PERIOD
+        ),
+        make_simulation=build_flashcrowd_simulation,
+        default_jobs=60_000,
+        default_seeds=3,
+        notes="surges of x*base for 80 time units every 240 (x=4.5 peaks "
+        "at load 0.9); the ewma curve runs a deliberately slow estimator "
+        "(smoothing 0.002, ~500-arrival horizon), so during the surge it "
+        "underestimates λ and its LI dispatches too aggressively and "
+        "herds (§5.6's dangerous direction, now caused by lag instead of "
+        "misconfiguration); the long board period T=16 makes the "
+        "water-filling error visible above queueing noise; drift-li "
+        "widens its window while its fast/slow estimates disagree",
+    )
+)
+_register(
+    _periodic_figure(
+        "ext-diurnal",
+        "Extension: diurnal load — response time vs cycle amplitude "
+        "(periodic T=4, n=10, base load=0.7, cycle period 40)",
+        load=DIURNAL_BASE_LOAD,
+        x_label="amplitude",
+        x_values=AMPLITUDE_SWEEP,
+        curves=nonstationary_curves(
+            NONSTATIONARY_VARIANTS,
+            "random",
+            "basic-li(mean-rate)",
+            "basic-li(true-rate)",
+            "basic-li(ewma)",
+            "drift-li",
+        ),
+        make_staleness=partial(
+            periodic_fixed, period=NONSTATIONARY_BOARD_PERIOD
+        ),
+        make_simulation=build_diurnal_simulation,
+        default_jobs=60_000,
+        default_seeds=3,
+        notes="x=0 is the stationary baseline; amplitude 0.9 swings the "
+        "load between 0.07 and 1.33 — peaks run over capacity and drain "
+        "in the troughs, so the mean is dominated by how each policy "
+        "behaves at the peaks",
+    )
+)
+_register(
+    _periodic_figure(
+        "ext-autoscale",
+        "Extension: elastic capacity under diurnal load — response time "
+        "vs controller interval (target-util autoscaler, periodic T=4, "
+        "n=10 max, base load=0.6, amplitude 0.6)",
+        load=FLASH_BASE_LOAD,
+        x_label="interval",
+        x_values=AUTOSCALE_INTERVAL_SWEEP,
+        curves=nonstationary_curves(
+            AUTOSCALE_VARIANTS, "random", "greedy", "basic-li", "drift-li"
+        ),
+        make_staleness=partial(
+            periodic_fixed, period=NONSTATIONARY_BOARD_PERIOD
+        ),
+        make_simulation=build_autoscale_simulation,
+        default_jobs=60_000,
+        default_seeds=3,
+        notes="the controller reads the same stale board and windowed λ "
+        "estimate as the dispatcher (target 0.75, min 3, max 10, warm-up "
+        "1.0, cooldown = interval); scaled-up servers enter with stale "
+        "board entries, so dispatches discover them only after the next "
+        "refresh",
     )
 )
 

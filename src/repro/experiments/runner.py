@@ -87,6 +87,57 @@ def _apply_overload(simulation, overload: tuple, figure_id: str) -> None:
     )
 
 
+def _apply_arrivals(simulation, arrivals_spec: str, figure_id: str) -> None:
+    """Apply a parsed ``--arrivals`` program to a cell's simulation.
+
+    The override re-shapes the cell's Poisson arrival stream in time while
+    preserving its mean rate: the program factory is evaluated at the
+    stationary cell's total rate, so ``constant`` reproduces the original
+    cell exactly and ``diurnal:...``/``flash:...`` modulate around it.
+    Only cells whose arrivals are the plain stationary
+    :class:`~repro.workloads.arrivals.PoissonArrivals` accept the override;
+    anything else (client-bound or bursty sources, figures that already
+    fix their own program) fails with a clear error rather than silently
+    dropping the requested shape.
+    """
+    from repro.cluster.simulation import ClusterSimulation
+    from repro.nonstationary import parse_arrivals_spec
+    from repro.workloads.arrivals import (
+        PoissonArrivals,
+        TimeVaryingPoissonArrivals,
+    )
+
+    if not isinstance(simulation, ClusterSimulation):
+        raise TypeError(
+            f"figure {figure_id!r} builds {type(simulation).__name__}, "
+            "which does not accept an arrival-program override; --arrivals "
+            "requires figures driven by ClusterSimulation"
+        )
+    if type(simulation.arrivals) is not PoissonArrivals:
+        raise TypeError(
+            f"figure {figure_id!r} drives cells with "
+            f"{type(simulation.arrivals).__name__}; --arrivals can only "
+            "re-shape plain stationary PoissonArrivals"
+        )
+    factory = parse_arrivals_spec(arrivals_spec)
+    program = factory(simulation.arrivals.total_rate)
+    simulation.arrivals = TimeVaryingPoissonArrivals(program)
+
+
+def _apply_autoscale(simulation, autoscale_spec: str, figure_id: str) -> None:
+    """Apply a parsed ``--autoscale`` controller to a cell's simulation."""
+    from repro.cluster.simulation import ClusterSimulation
+    from repro.nonstationary import parse_autoscale_spec
+
+    if not isinstance(simulation, ClusterSimulation):
+        raise TypeError(
+            f"figure {figure_id!r} builds {type(simulation).__name__}, "
+            "which does not accept an autoscaler override; --autoscale "
+            "requires figures driven by ClusterSimulation"
+        )
+    simulation.autoscaler = parse_autoscale_spec(autoscale_spec)
+
+
 def _apply_dispatchers(simulation, dispatchers: int, figure_id: str) -> None:
     """Apply a ``--dispatchers`` override to a cell's simulation.
 
@@ -120,6 +171,8 @@ def run_cell(
     engine: str = "auto",
     dispatchers: int | None = None,
     overload: tuple | None = None,
+    arrivals: str | None = None,
+    autoscale: str | None = None,
 ) -> float:
     """Run one replication of one sweep cell; returns the spec's metric.
 
@@ -137,10 +190,20 @@ def run_cell(
     ``ClusterSimulation(dispatchers=...)``).  ``overload`` is the primitive
     4-tuple ``(queue_capacity, admission_spec, breaker_spec, storm_spec)``
     applied to every cell (see :func:`repro.overload.build_overload_config`).
+    ``arrivals`` re-shapes the cell's stationary Poisson stream with a
+    rate-program specification string (see
+    :func:`repro.nonstationary.parse_arrivals_spec`); ``autoscale``
+    attaches an elastic-capacity controller (see
+    :func:`repro.nonstationary.parse_autoscale_spec`).  Both ship to
+    workers as strings, like ``fault_spec``.
     """
     spec = get_figure(figure_id)
     curve = spec.curve(curve_label)
     simulation = spec.build_simulation(curve, x, seed, total_jobs)
+    if arrivals is not None:
+        _apply_arrivals(simulation, arrivals, figure_id)
+    if autoscale is not None:
+        _apply_autoscale(simulation, autoscale, figure_id)
     if fault_spec is not None:
         _apply_fault_spec(simulation, fault_spec, figure_id)
     if dispatchers is not None:
@@ -211,6 +274,8 @@ def run_cell_observed(
     engine: str = "auto",
     dispatchers: int | None = None,
     overload: tuple | None = None,
+    arrivals: str | None = None,
+    autoscale: str | None = None,
 ) -> tuple[float, dict]:
     """Run one cell with the standard probes attached.
 
@@ -234,6 +299,10 @@ def run_cell_observed(
     spec = get_figure(figure_id)
     curve = spec.curve(curve_label)
     simulation = spec.build_simulation(curve, x, seed, total_jobs)
+    if arrivals is not None:
+        _apply_arrivals(simulation, arrivals, figure_id)
+    if autoscale is not None:
+        _apply_autoscale(simulation, autoscale, figure_id)
     if fault_spec is not None:
         _apply_fault_spec(simulation, fault_spec, figure_id)
     if dispatchers is not None:
@@ -247,6 +316,14 @@ def run_cell_observed(
         from repro.obs.fault_trace import FaultTraceProbe
 
         probes.append(FaultTraceProbe())
+    if (
+        getattr(simulation, "autoscaler", None) is not None
+        or getattr(getattr(simulation, "arrivals", None), "program", None)
+        is not None
+    ):
+        from repro.obs.transient import NonstationaryProvenanceProbe
+
+        probes.append(NonstationaryProvenanceProbe())
     if getattr(simulation, "dispatchers", 1) > 1 or getattr(
         simulation, "num_dispatchers", 1
     ) > 1:
@@ -269,6 +346,11 @@ def run_cell_observed(
         info = staleness.info_summary()
         if info:
             summaries["staleness_info"] = info
+    arrivals_source = getattr(simulation, "arrivals", None)
+    if arrivals_source is not None and hasattr(arrivals_source, "info_summary"):
+        info = arrivals_source.info_summary()
+        if info:
+            summaries["arrivals_info"] = info
     if full_traces:
         for probe in probes:
             if hasattr(probe, "trace_dict"):
@@ -293,6 +375,8 @@ def run_figure(
     engine: str = "auto",
     dispatchers: int | None = None,
     overload: tuple | None = None,
+    arrivals: str | None = None,
+    autoscale: str | None = None,
 ) -> FigureResult:
     """Execute a figure's full sweep and return its :class:`FigureResult`.
 
@@ -347,6 +431,16 @@ def run_figure(
         to workers as primitives and re-materialized there via
         :func:`repro.overload.build_overload_config`.  Like ``faults``,
         only valid on figures driven by ``ClusterSimulation``.
+    arrivals:
+        Optional ``--arrivals`` rate-program specification string (see
+        :func:`repro.nonstationary.parse_arrivals_spec`) re-shaping every
+        cell's stationary Poisson stream in time while preserving its
+        mean rate.  Shipped to workers as a string.
+    autoscale:
+        Optional ``--autoscale`` controller specification string (see
+        :func:`repro.nonstationary.parse_autoscale_spec`) attaching an
+        elastic-capacity controller to every cell.  Shipped to workers as
+        a string.
     """
     spec = get_figure(figure_id)
     jobs = jobs if jobs is not None else spec.default_jobs
@@ -373,6 +467,14 @@ def run_figure(
         from repro.faults import parse_fault_spec
 
         parse_fault_spec(faults)  # validate once, before any worker starts
+    if arrivals is not None:
+        from repro.nonstationary import parse_arrivals_spec
+
+        parse_arrivals_spec(arrivals)  # validate once, before any worker starts
+    if autoscale is not None:
+        from repro.nonstationary import parse_autoscale_spec
+
+        parse_autoscale_spec(autoscale)  # validate once, before any worker starts
     if dispatchers is not None:
         from repro.cluster.simulation import validate_dispatcher_count
 
@@ -394,6 +496,7 @@ def run_figure(
             (
                 figure_id, label, x, seed, jobs, trace_interval,
                 full_traces, faults, engine, dispatchers, overload,
+                arrivals, autoscale,
             )
             for (label, x, seed) in cells
         ]
@@ -402,7 +505,7 @@ def run_figure(
         work = [
             (
                 figure_id, label, x, seed, jobs, faults, engine,
-                dispatchers, overload,
+                dispatchers, overload, arrivals, autoscale,
             )
             for (label, x, seed) in cells
         ]
@@ -475,6 +578,37 @@ def run_figure_with_manifest(
     dispatcher_override = kwargs.get("dispatchers")
     if dispatcher_override is not None:
         extra = {**(extra or {}), "dispatchers": int(dispatcher_override)}
+    arrivals_spec = kwargs.get("arrivals")
+    if arrivals_spec:
+        from repro.nonstationary import parse_arrivals_spec
+        from repro.obs.transient import spec_digest
+
+        # The program's absolute rates depend on each cell's mean rate;
+        # the manifest pins the shape at a reference rate of 1.0 plus the
+        # raw spec string, which together determine every cell's program.
+        described = parse_arrivals_spec(arrivals_spec)(1.0).describe()
+        extra = {
+            **(extra or {}),
+            "arrivals": {
+                "spec": arrivals_spec,
+                "program_at_unit_rate": described,
+                "digest": spec_digest(described),
+            },
+        }
+    autoscale_spec = kwargs.get("autoscale")
+    if autoscale_spec:
+        from repro.nonstationary import parse_autoscale_spec
+        from repro.obs.transient import spec_digest
+
+        described = parse_autoscale_spec(autoscale_spec).describe()
+        extra = {
+            **(extra or {}),
+            "autoscale": {
+                "spec": autoscale_spec,
+                **described,
+                "digest": spec_digest(described),
+            },
+        }
     overload_override = kwargs.get("overload")
     if overload_override is not None:
         from repro.overload import build_overload_config
@@ -501,12 +635,13 @@ def run_figure_with_manifest(
 
 def _run_cell_tuple(
     item: tuple[
-        str, str, float, int, int, str | None, str, int | None, tuple | None
+        str, str, float, int, int, str | None, str, int | None,
+        tuple | None, str | None, str | None,
     ]
 ) -> float:
     (
         figure_id, curve_label, x, seed, total_jobs, fault_spec, engine,
-        dispatchers, overload,
+        dispatchers, overload, arrivals, autoscale,
     ) = item
     return run_cell(
         figure_id,
@@ -518,18 +653,20 @@ def _run_cell_tuple(
         engine=engine,
         dispatchers=dispatchers,
         overload=overload,
+        arrivals=arrivals,
+        autoscale=autoscale,
     )
 
 
 def _run_observed_tuple(
     item: tuple[
         str, str, float, int, int, float, bool, str | None, str,
-        int | None, tuple | None,
+        int | None, tuple | None, str | None, str | None,
     ]
 ) -> tuple[float, dict]:
     (
         figure_id, curve_label, x, seed, total_jobs, interval, full,
-        fault_spec, engine, dispatchers, overload,
+        fault_spec, engine, dispatchers, overload, arrivals, autoscale,
     ) = item
     return run_cell_observed(
         figure_id,
@@ -543,6 +680,8 @@ def _run_observed_tuple(
         engine=engine,
         dispatchers=dispatchers,
         overload=overload,
+        arrivals=arrivals,
+        autoscale=autoscale,
     )
 
 

@@ -1,0 +1,61 @@
+"""Non-stationary workloads, elastic capacity, and stale-λ interpretation.
+
+The paper interprets a stale load report *given T and λ*.  This package
+drops the stationarity assumption behind λ: deterministic rate programs
+drive a thinning-based arrival source, an autoscaler grows and shrinks
+the serving fleet from the same stale signals the dispatcher uses, and
+drift-aware estimation/interpretation quantifies what happens when λ
+itself is stale.  See DESIGN.md §12.
+"""
+
+from repro.nonstationary.autoscale import (
+    Autoscaler,
+    AutoscalerPolicy,
+    ElasticCapacityInjector,
+    QueueThresholdPolicy,
+    ScalingEvent,
+    TargetUtilizationPolicy,
+)
+from repro.nonstationary.drift import DriftAwareLIPolicy
+from repro.nonstationary.estimators import (
+    DriftTrackingRate,
+    ProgramRate,
+    WindowedRate,
+)
+from repro.nonstationary.parse import (
+    ARRIVAL_SPEC_KINDS,
+    parse_arrivals_spec,
+    parse_autoscale_spec,
+)
+from repro.nonstationary.programs import (
+    ConstantProgram,
+    DiurnalProgram,
+    FlashCrowdProgram,
+    PiecewiseConstantProgram,
+    RateProgram,
+    TraceProgram,
+    program_digest,
+)
+
+__all__ = [
+    "RateProgram",
+    "ConstantProgram",
+    "PiecewiseConstantProgram",
+    "DiurnalProgram",
+    "FlashCrowdProgram",
+    "TraceProgram",
+    "program_digest",
+    "WindowedRate",
+    "DriftTrackingRate",
+    "ProgramRate",
+    "DriftAwareLIPolicy",
+    "AutoscalerPolicy",
+    "TargetUtilizationPolicy",
+    "QueueThresholdPolicy",
+    "Autoscaler",
+    "ScalingEvent",
+    "ElasticCapacityInjector",
+    "parse_arrivals_spec",
+    "parse_autoscale_spec",
+    "ARRIVAL_SPEC_KINDS",
+]

@@ -1,0 +1,482 @@
+"""Elastic capacity: servers join and leave mid-run under a controller.
+
+An :class:`Autoscaler` bundles a scaling rule (:class:`AutoscalerPolicy`)
+with control-loop timing (tick interval, cool-down between actions, and
+a warm-up delay before a newly started server can serve).  At run time
+the simulation wraps its fault injector in an
+:class:`ElasticCapacityInjector`, so elastic capacity composes with the
+existing UP/DOWN fault machinery through exactly one interface:
+
+* ``is_down(server_id, t)`` — an inactive (scaled-down) or still
+  warming-up server is unavailable to the dispatcher, just like a
+  crashed one; dispatches to it time out and retry.
+* ``mask_refresh(...)`` — an inactive server cannot send board reports,
+  so the bulletin board keeps its *last* entry.  A scale-up therefore
+  looks exactly like the paper's worst case: a cold (empty) server whose
+  board entry is stale — the dispatcher only learns about the new
+  capacity one refresh period after warm-up completes.
+
+The controller itself is deliberately honest about staleness: its
+desired-capacity rule reads the same stale bulletin board and the same
+online λ estimate the dispatcher uses, never the true instantaneous
+state.  Scaled-down servers stop *receiving* work but drain the queue
+they already have (connection draining).
+
+Unlike the pull-based :class:`~repro.faults.injector.FaultInjector`, the
+elastic injector schedules real controller-tick events, which is one of
+the reasons autoscaled runs are event-engine-only (see
+``ClusterSimulation.fast_path_blocker``).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.server import Server
+    from repro.engine.simulator import Simulator
+
+__all__ = [
+    "AutoscalerPolicy",
+    "TargetUtilizationPolicy",
+    "QueueThresholdPolicy",
+    "Autoscaler",
+    "ScalingEvent",
+    "ElasticCapacityInjector",
+]
+
+
+class AutoscalerPolicy(ABC):
+    """A scaling rule: observed state -> desired active-server count."""
+
+    @abstractmethod
+    def desired_capacity(
+        self,
+        now: float,
+        active: int,
+        board_loads: np.ndarray,
+        estimated_total_rate: float,
+    ) -> int:
+        """Desired number of active servers.
+
+        ``board_loads`` are the *stale* reported loads of the currently
+        active servers; ``estimated_total_rate`` is the dispatcher's
+        current aggregate λ estimate.  The result is clipped to the
+        policy's ``[min_servers, max_servers]`` by the caller's use of
+        :meth:`clip`.
+        """
+
+    @abstractmethod
+    def describe(self) -> dict:
+        """JSON-serializable configuration digest."""
+
+
+def _check_bounds(min_servers: int, max_servers: int | None) -> tuple[int, int | None]:
+    if min_servers < 1:
+        raise ValueError(f"min_servers must be >= 1, got {min_servers}")
+    if max_servers is not None and max_servers < min_servers:
+        raise ValueError(
+            f"max_servers ({max_servers}) must be >= min_servers ({min_servers})"
+        )
+    return int(min_servers), None if max_servers is None else int(max_servers)
+
+
+class TargetUtilizationPolicy(AutoscalerPolicy):
+    """Provision enough servers to hold estimated utilization at a target.
+
+    ``desired = ceil(λ̂_total / target)`` — the textbook cloud-autoscaler
+    rule, with capacity expressed in unit-rate servers (λ is already a
+    fraction of one server's throughput).  Because λ̂ comes from the
+    stale online estimator, the rule inherits its lag: a flash crowd is
+    only provisioned for after the estimator catches up.
+    """
+
+    def __init__(
+        self,
+        target: float = 0.7,
+        min_servers: int = 1,
+        max_servers: int | None = None,
+    ) -> None:
+        if not 0.0 < target <= 1.0:
+            raise ValueError(f"target must be in (0, 1], got {target}")
+        self.target = float(target)
+        self.min_servers, self.max_servers = _check_bounds(min_servers, max_servers)
+
+    def desired_capacity(
+        self,
+        now: float,
+        active: int,
+        board_loads: np.ndarray,
+        estimated_total_rate: float,
+    ) -> int:
+        return math.ceil(max(estimated_total_rate, 0.0) / self.target)
+
+    def describe(self) -> dict:
+        return {
+            "kind": "target-util",
+            "target": self.target,
+            "min_servers": self.min_servers,
+            "max_servers": self.max_servers,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TargetUtilizationPolicy(target={self.target!r}, "
+            f"min_servers={self.min_servers!r}, max_servers={self.max_servers!r})"
+        )
+
+
+class QueueThresholdPolicy(AutoscalerPolicy):
+    """Step scaling on the mean reported queue length.
+
+    Scale up by ``step`` when the mean stale board load of the active
+    servers reaches ``scale_up_at``; scale down by ``step`` when it falls
+    to ``scale_down_at``.  The dead band between the thresholds prevents
+    flapping; the board being stale means the rule reacts one refresh
+    period late, like every other consumer of the bulletin board.
+    """
+
+    def __init__(
+        self,
+        scale_up_at: float = 4.0,
+        scale_down_at: float = 0.5,
+        step: int = 1,
+        min_servers: int = 1,
+        max_servers: int | None = None,
+    ) -> None:
+        if scale_down_at < 0:
+            raise ValueError(f"scale_down_at must be >= 0, got {scale_down_at}")
+        if scale_up_at <= scale_down_at:
+            raise ValueError(
+                f"scale_up_at ({scale_up_at}) must exceed "
+                f"scale_down_at ({scale_down_at})"
+            )
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        self.scale_up_at = float(scale_up_at)
+        self.scale_down_at = float(scale_down_at)
+        self.step = int(step)
+        self.min_servers, self.max_servers = _check_bounds(min_servers, max_servers)
+
+    def desired_capacity(
+        self,
+        now: float,
+        active: int,
+        board_loads: np.ndarray,
+        estimated_total_rate: float,
+    ) -> int:
+        if board_loads.size == 0:
+            return active
+        mean_load = float(np.mean(board_loads))
+        if mean_load >= self.scale_up_at:
+            return active + self.step
+        if mean_load <= self.scale_down_at:
+            return active - self.step
+        return active
+
+    def describe(self) -> dict:
+        return {
+            "kind": "queue",
+            "scale_up_at": self.scale_up_at,
+            "scale_down_at": self.scale_down_at,
+            "step": self.step,
+            "min_servers": self.min_servers,
+            "max_servers": self.max_servers,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QueueThresholdPolicy(scale_up_at={self.scale_up_at!r}, "
+            f"scale_down_at={self.scale_down_at!r}, step={self.step!r})"
+        )
+
+
+@dataclass(frozen=True)
+class Autoscaler:
+    """Control-loop configuration around an :class:`AutoscalerPolicy`.
+
+    Parameters
+    ----------
+    policy:
+        The scaling rule.
+    interval:
+        Controller tick period; the first tick fires at ``interval``.
+    cooldown:
+        Minimum time between scaling *actions* (ticks still observe).
+    warmup_delay:
+        Time between a scale-up decision and the server accepting work
+        (instance boot / cache warm).  Scale-downs take effect
+        immediately but drain in-flight queues.
+    initial_servers:
+        Active servers at t=0; ``None`` starts with the whole cluster.
+    """
+
+    policy: AutoscalerPolicy
+    interval: float = 5.0
+    cooldown: float = 10.0
+    warmup_delay: float = 1.0
+    initial_servers: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.policy, AutoscalerPolicy):
+            raise TypeError(
+                f"policy must be an AutoscalerPolicy, got {type(self.policy).__name__}"
+            )
+        if self.interval <= 0 or not math.isfinite(self.interval):
+            raise ValueError(
+                f"interval must be positive and finite, got {self.interval}"
+            )
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")
+        if self.warmup_delay < 0:
+            raise ValueError(f"warmup_delay must be >= 0, got {self.warmup_delay}")
+        if self.initial_servers is not None and self.initial_servers < 1:
+            raise ValueError(
+                f"initial_servers must be >= 1, got {self.initial_servers}"
+            )
+
+    def describe(self) -> dict:
+        return {
+            "policy": self.policy.describe(),
+            "interval": self.interval,
+            "cooldown": self.cooldown,
+            "warmup_delay": self.warmup_delay,
+            "initial_servers": self.initial_servers,
+        }
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One controller action: start or stop one server."""
+
+    time: float
+    action: str  # "up" | "down"
+    server_id: int
+    effective_at: float  # == time for "down"; time + warmup for "up"
+
+
+class ElasticCapacityInjector(FaultInjector):
+    """Fault-injector facade that adds controller-driven capacity changes.
+
+    Wraps an optional *inner* :class:`FaultInjector` (the run's configured
+    ``faults=``): a server is unavailable when the inner injector says it
+    is down **or** the controller has it inactive/warming up, and board
+    masking composes the inner mask with capacity masking.  With no inner
+    injector it behaves as a null schedule plus scaling.
+
+    Deterministic by construction: scale-downs stop the highest-numbered
+    active server, scale-ups start the lowest-numbered inactive one, and
+    the controller draws no randomness, so autoscaled runs reproduce
+    bit-for-bit from the seed like everything else.
+    """
+
+    def __init__(self, config: Autoscaler, inner: FaultInjector | None = None) -> None:
+        if not isinstance(config, Autoscaler):
+            raise TypeError(
+                f"config must be an Autoscaler, got {type(config).__name__}"
+            )
+        super().__init__(
+            schedule=None, retry=inner.retry if inner is not None else None
+        )
+        self.config = config
+        self.inner = inner
+        self._sim: "Simulator | None" = None
+        self._staleness = None
+        self._rate_estimator = None
+        self._active: list[bool] = []
+        self._effective_from: list[float] = []
+        self._events: list[ScalingEvent] = []
+        self._last_action = -math.inf
+        self._active_time_weighted = 0.0
+        self._last_tick = 0.0
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach(
+        self,
+        sim: "Simulator",
+        servers: Sequence["Server"],
+        rng: np.random.Generator,
+        probes=None,
+    ) -> None:
+        if self.inner is not None:
+            self.inner.attach(sim, servers, rng, probes)
+            # Delegate base-class queries (state_at, availability_summary,
+            # fault_spans) to the inner realization.
+            self._timelines = self.inner._timelines
+            self._servers = servers
+        else:
+            super().attach(sim, servers, rng, probes=probes)
+        self._sim = sim
+        n = len(servers)
+        initial = self.config.initial_servers
+        if initial is None:
+            initial = n
+        initial = min(initial, n)
+        self._active = [server_id < initial for server_id in range(n)]
+        self._effective_from = [0.0] * n
+        self._events = []
+        self._last_action = -math.inf
+        self._active_time_weighted = 0.0
+        self._last_tick = 0.0
+        sim.schedule_after(self.config.interval, self._tick)
+
+    def connect(self, staleness, rate_estimator) -> None:
+        """Hand the controller its (stale) observation channels."""
+        self._staleness = staleness
+        self._rate_estimator = rate_estimator
+
+    # -- availability queries (dispatcher + board) ----------------------
+
+    def _capacity_available(self, server_id: int, time: float) -> bool:
+        return self._active[server_id] and time >= self._effective_from[server_id]
+
+    def is_down(self, server_id: int, time: float) -> bool:
+        if not self._capacity_available(server_id, time):
+            return True
+        if self.inner is not None:
+            return self.inner.is_down(server_id, time)
+        return False
+
+    def rate_multiplier(self, server_id: int, time: float) -> float:
+        if self.inner is not None:
+            return self.inner.rate_multiplier(server_id, time)
+        return super().rate_multiplier(server_id, time)
+
+    def mask_refresh(
+        self, now: float, fresh: np.ndarray, previous: np.ndarray | None
+    ) -> np.ndarray:
+        if self.inner is not None:
+            fresh = self.inner.mask_refresh(now, fresh, previous)
+        if previous is None:
+            return fresh
+        masked = fresh
+        copied = False
+        for server_id in range(len(self._active)):
+            if not self._capacity_available(server_id, now):
+                if masked is fresh and not copied:
+                    masked = fresh.copy()
+                    copied = True
+                masked[server_id] = previous[server_id]
+        return masked
+
+    # -- the control loop -----------------------------------------------
+
+    def _observed_state(self, now: float) -> tuple[int, np.ndarray, float]:
+        active_ids = [
+            server_id
+            for server_id, active in enumerate(self._active)
+            if active
+        ]
+        board = None
+        if self._staleness is not None:
+            try:
+                board = self._staleness.view(0, now).loads
+            except Exception:  # board not ready yet (t < first refresh)
+                board = None
+        if board is None:
+            loads = np.empty(0)
+        else:
+            loads = np.asarray(board, dtype=float)[active_ids]
+        rate = 0.0
+        if self._rate_estimator is not None:
+            rate = self._rate_estimator.per_server_rate() * len(self._active)
+        return len(active_ids), loads, rate
+
+    def _tick(self) -> None:
+        assert self._sim is not None
+        now = self._sim.now
+        active_count = sum(self._active)
+        self._active_time_weighted += active_count * (now - self._last_tick)
+        self._last_tick = now
+
+        active, loads, rate = self._observed_state(now)
+        policy = self.config.policy
+        desired = policy.desired_capacity(now, active, loads, rate)
+        lo = policy.min_servers
+        hi = policy.max_servers if policy.max_servers is not None else len(self._active)
+        desired = max(lo, min(desired, hi, len(self._active)))
+
+        if desired != active and now - self._last_action >= self.config.cooldown:
+            if desired > active:
+                self._scale_up(now, desired - active)
+            else:
+                self._scale_down(now, active - desired)
+            self._last_action = now
+        self._sim.schedule_after(self.config.interval, self._tick)
+
+    def _scale_up(self, now: float, count: int) -> None:
+        effective = now + self.config.warmup_delay
+        for server_id, active in enumerate(self._active):
+            if count == 0:
+                break
+            if not active:
+                self._active[server_id] = True
+                self._effective_from[server_id] = effective
+                self._events.append(
+                    ScalingEvent(now, "up", server_id, effective)
+                )
+                count -= 1
+
+    def _scale_down(self, now: float, count: int) -> None:
+        for server_id in range(len(self._active) - 1, -1, -1):
+            if count == 0:
+                break
+            if self._active[server_id]:
+                self._active[server_id] = False
+                self._events.append(
+                    ScalingEvent(now, "down", server_id, now)
+                )
+                count -= 1
+
+    # -- observability --------------------------------------------------
+
+    @property
+    def events(self) -> list[ScalingEvent]:
+        return list(self._events)
+
+    def scaling_summary(self, duration: float) -> dict:
+        """Realized scaling history, JSON-serializable (for manifests)."""
+        active_now = sum(self._active)
+        mean_active = None
+        if duration > 0:
+            # Account for the span since the last tick at the current count.
+            weighted = self._active_time_weighted + active_now * max(
+                duration - self._last_tick, 0.0
+            )
+            mean_active = weighted / duration
+        return {
+            "config": self.config.describe(),
+            "num_servers": len(self._active),
+            "final_active": active_now,
+            "mean_active": mean_active,
+            "actions": len(self._events),
+            "events": [
+                {
+                    "time": event.time,
+                    "action": event.action,
+                    "server": event.server_id,
+                    "effective_at": event.effective_at,
+                }
+                for event in self._events
+            ],
+        }
+
+    def describe(self) -> dict:
+        digest = {"autoscaler": self.config.describe()}
+        if self.inner is not None:
+            digest["inner"] = self.inner.describe()
+        return digest
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ElasticCapacityInjector(config={self.config!r}, "
+            f"inner={self.inner!r})"
+        )

@@ -1,0 +1,190 @@
+"""Rate estimators for drifting arrival rates (the stale-λ study).
+
+The paper assumes the dispatcher knows λ exactly.  Under a time-varying
+program that assumption splits three ways:
+
+* :class:`ProgramRate` — the non-stationary oracle: reads the *current*
+  program rate λ(t).  Upper-bounds what any online estimator can do.
+* :class:`WindowedRate` — a sliding-window count estimator: responsive
+  (lag ≈ window/2) but noisy at small windows.
+* :class:`DriftTrackingRate` — a fast windowed estimate paired with a
+  slow EWMA; reports the *larger* of the two (the paper's §5.6
+  conservative rule: overestimating λ is benign, underestimating
+  recreates the herd effect) and exposes a :meth:`drift_factor` that
+  drift-aware policies use to widen their interpretation interval.
+
+All three override ``observe_arrival``, which correctly makes runs using
+them event-engine-only (the batch engines precompute phase boundaries
+and cannot interleave per-arrival estimator updates).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.rate_estimators import EWMARate, RateEstimator
+
+__all__ = ["WindowedRate", "DriftTrackingRate", "ProgramRate"]
+
+
+class WindowedRate(RateEstimator):
+    """λ estimation by counting arrivals in a sliding time window.
+
+    The aggregate rate estimate is ``count / effective_window`` where the
+    effective window is clipped to the elapsed simulation time (so early
+    estimates use all available history instead of under-counting a
+    not-yet-full window).  Before two arrivals have been seen the
+    estimator returns its conservative prior; the returned per-server
+    rate is floored at ``min_rate``.
+
+    During a drought the window drains as soon as the next arrival (or an
+    explicit ``observe_arrival``) advances time, so the estimate decays
+    toward the floor instead of freezing — the failure mode the EWMA
+    needed a special branch for falls out of the representation here.
+    """
+
+    def __init__(
+        self,
+        window: float = 10.0,
+        initial_rate: float = 1.0,
+        min_rate: float = 1e-4,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if initial_rate <= 0:
+            raise ValueError(f"initial_rate must be positive, got {initial_rate}")
+        if min_rate <= 0:
+            raise ValueError(f"min_rate must be positive, got {min_rate}")
+        self.window = float(window)
+        self.initial_rate = float(initial_rate)
+        self.min_rate = float(min_rate)
+        self._times: deque[float] = deque()
+        self._now = 0.0
+
+    def bind(self, num_servers: int, true_rate: float) -> None:
+        super().bind(num_servers, true_rate)
+        self._times = deque()
+        self._now = 0.0
+
+    def observe_arrival(self, now: float) -> None:
+        if now < self._now:
+            return  # out-of-order notification; ignore
+        self._now = now
+        self._times.append(now)
+        horizon = now - self.window
+        while self._times and self._times[0] <= horizon:
+            self._times.popleft()
+
+    def per_server_rate(self) -> float:
+        if len(self._times) < 2:
+            return self.initial_rate
+        effective = min(self.window, self._now)
+        if effective <= 0.0:
+            return self.initial_rate
+        aggregate = len(self._times) / effective
+        return max(aggregate / self._num_servers, self.min_rate)
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowedRate(window={self.window!r}, "
+            f"initial_rate={self.initial_rate!r})"
+        )
+
+
+class DriftTrackingRate(RateEstimator):
+    """Fast-window + slow-EWMA pair with conservative max selection.
+
+    The slow EWMA tracks the long-run rate; the fast window tracks the
+    last few seconds.  During a surge the fast estimate rises first, so
+    ``per_server_rate`` — the max of the two — already follows the surge
+    while a plain EWMA would lag.  :meth:`drift_factor` reports how far
+    the fast estimate sits above the slow one (clipped to
+    ``[1, max_drift]``); drift-aware LI widens its interpretation window
+    by this signal to absorb the residual estimator lag.
+    """
+
+    def __init__(
+        self,
+        fast_window: float = 5.0,
+        slow_smoothing: float = 0.02,
+        initial_rate: float = 1.0,
+        min_rate: float = 1e-4,
+        max_drift: float = 8.0,
+    ) -> None:
+        if max_drift < 1.0:
+            raise ValueError(f"max_drift must be >= 1, got {max_drift}")
+        self.fast = WindowedRate(
+            window=fast_window, initial_rate=initial_rate, min_rate=min_rate
+        )
+        self.slow = EWMARate(
+            smoothing=slow_smoothing, initial_rate=initial_rate, min_rate=min_rate
+        )
+        self.max_drift = float(max_drift)
+
+    def bind(self, num_servers: int, true_rate: float) -> None:
+        super().bind(num_servers, true_rate)
+        self.fast.bind(num_servers, true_rate)
+        self.slow.bind(num_servers, true_rate)
+
+    def observe_arrival(self, now: float) -> None:
+        self.fast.observe_arrival(now)
+        self.slow.observe_arrival(now)
+
+    def per_server_rate(self) -> float:
+        return max(self.fast.per_server_rate(), self.slow.per_server_rate())
+
+    def drift_factor(self) -> float:
+        """How far the fast estimate exceeds the slow one, in [1, max_drift].
+
+        1.0 means steady state (or a falling rate, which is benign to
+        ignore per §5.6); values above 1 mean the rate is rising faster
+        than the slow estimate tracks.
+        """
+        slow = self.slow.per_server_rate()
+        if slow <= 0.0:
+            return self.max_drift
+        ratio = self.fast.per_server_rate() / slow
+        return min(max(ratio, 1.0), self.max_drift)
+
+    def __repr__(self) -> str:
+        return (
+            f"DriftTrackingRate(fast_window={self.fast.window!r}, "
+            f"slow_smoothing={self.slow.smoothing!r}, "
+            f"max_drift={self.max_drift!r})"
+        )
+
+
+class ProgramRate(RateEstimator):
+    """The non-stationary oracle: reads λ(t) straight off the program.
+
+    ``observe_arrival`` only tracks the current time; the returned rate
+    is the program's instantaneous rate at the last observed arrival,
+    floored at ``min_rate`` (a diurnal trough can reach rates low enough
+    to make LI's expected-arrivals product degenerate).
+    """
+
+    def __init__(self, program, min_rate: float = 1e-4) -> None:
+        if not hasattr(program, "rate"):
+            raise TypeError(
+                f"program must implement RateProgram, got {type(program).__name__}"
+            )
+        if min_rate <= 0:
+            raise ValueError(f"min_rate must be positive, got {min_rate}")
+        self.program = program
+        self.min_rate = float(min_rate)
+        self._now = 0.0
+
+    def bind(self, num_servers: int, true_rate: float) -> None:
+        super().bind(num_servers, true_rate)
+        self._now = 0.0
+
+    def observe_arrival(self, now: float) -> None:
+        if now > self._now:
+            self._now = now
+
+    def per_server_rate(self) -> float:
+        aggregate = self.program.rate(self._now)
+        return max(aggregate / self._num_servers, self.min_rate)
+
+    def __repr__(self) -> str:
+        return f"ProgramRate(program={self.program!r})"

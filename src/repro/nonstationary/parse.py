@@ -1,0 +1,219 @@
+"""CLI spec parsers for arrival programs and autoscalers.
+
+Arrival specs are relative to the cell's configured base rate (so one
+``--arrivals`` flag composes with any figure's load axis); the parser
+therefore returns a picklable *factory* ``base_rate -> RateProgram``:
+
+* ``constant`` — the stationary baseline (bit-identical replay).
+* ``diurnal:amplitude=0.5,period=40[,phase=0]`` — sinusoidal cycle.
+* ``flash:surge=4,start=50,duration=20[,every=200]`` — flash crowd.
+* ``piecewise:0=1.0,100=2.0,200=1.0`` — stepwise *factors* of the base
+  rate at the given times.
+* ``trace:schedule.csv`` — replay absolute ``time,rate`` rows from a
+  CSV (the one spec that ignores the base rate).
+
+Autoscaler specs build an :class:`~repro.nonstationary.autoscale.Autoscaler`:
+
+* ``target-util:target=0.7,min=2,max=10,interval=5,cooldown=10,warmup=1[,initial=4]``
+* ``queue:up=4,down=0.5,step=1,min=2,max=10,interval=5,cooldown=10,warmup=1[,initial=4]``
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable
+
+from repro.nonstationary.autoscale import (
+    Autoscaler,
+    QueueThresholdPolicy,
+    TargetUtilizationPolicy,
+)
+from repro.nonstationary.programs import (
+    ConstantProgram,
+    DiurnalProgram,
+    FlashCrowdProgram,
+    PiecewiseConstantProgram,
+    RateProgram,
+    TraceProgram,
+)
+
+__all__ = ["parse_arrivals_spec", "parse_autoscale_spec", "ARRIVAL_SPEC_KINDS"]
+
+ProgramFactory = Callable[[float], RateProgram]
+
+ARRIVAL_SPEC_KINDS = ("constant", "diurnal", "flash", "piecewise", "trace")
+
+
+def _parse_params(rest: str, spec: str) -> dict[str, float]:
+    params: dict[str, float] = {}
+    if not rest:
+        return params
+    for item in rest.split(","):
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(
+                f"malformed parameter {item!r} in spec {spec!r} "
+                "(expected key=value)"
+            )
+        try:
+            params[key] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"parameter {key!r} in spec {spec!r} must be numeric, "
+                f"got {value!r}"
+            ) from None
+    return params
+
+
+def _take(params: dict, spec: str, key: str, default=None):
+    if key in params:
+        return params.pop(key)
+    if default is None:
+        raise ValueError(f"spec {spec!r} requires parameter {key!r}")
+    return default
+
+
+def _finish(params: dict, spec: str) -> None:
+    if params:
+        raise ValueError(
+            f"unknown parameter(s) {sorted(params)} in spec {spec!r}"
+        )
+
+
+def _constant_program(base_rate: float) -> ConstantProgram:
+    return ConstantProgram(base_rate)
+
+
+def _diurnal_program(
+    base_rate: float, amplitude: float, period: float, phase: float
+) -> DiurnalProgram:
+    return DiurnalProgram(base_rate, amplitude=amplitude, period=period, phase=phase)
+
+
+def _flash_program(
+    base_rate: float,
+    surge: float,
+    start: float,
+    duration: float,
+    every: float | None,
+) -> FlashCrowdProgram:
+    return FlashCrowdProgram(
+        base_rate, surge_factor=surge, start=start, duration=duration, every=every
+    )
+
+
+def _piecewise_program(
+    base_rate: float, segments: tuple[tuple[float, float], ...]
+) -> PiecewiseConstantProgram:
+    return PiecewiseConstantProgram(
+        [(time, base_rate * factor) for time, factor in segments]
+    )
+
+
+def _trace_program(base_rate: float, path: str) -> TraceProgram:
+    del base_rate  # trace rows carry absolute rates
+    return TraceProgram.from_csv(path)
+
+
+def parse_arrivals_spec(spec: str) -> ProgramFactory:
+    """Parse an ``--arrivals`` spec into a ``base_rate -> RateProgram`` factory."""
+    kind, _, rest = spec.partition(":")
+    kind = kind.strip()
+    if kind == "constant":
+        if rest:
+            raise ValueError(f"constant takes no parameters, got {rest!r}")
+        return _constant_program
+    if kind == "diurnal":
+        params = _parse_params(rest, spec)
+        amplitude = _take(params, spec, "amplitude")
+        period = _take(params, spec, "period")
+        phase = _take(params, spec, "phase", 0.0)
+        _finish(params, spec)
+        # Validate eagerly with a dummy base rate so bad specs fail at
+        # parse time, not inside a worker process.
+        _diurnal_program(1.0, amplitude, period, phase)
+        return partial(
+            _diurnal_program, amplitude=amplitude, period=period, phase=phase
+        )
+    if kind == "flash":
+        params = _parse_params(rest, spec)
+        surge = _take(params, spec, "surge")
+        start = _take(params, spec, "start")
+        duration = _take(params, spec, "duration")
+        every = params.pop("every", None)
+        _finish(params, spec)
+        _flash_program(1.0, surge, start, duration, every)
+        return partial(
+            _flash_program, surge=surge, start=start, duration=duration, every=every
+        )
+    if kind == "piecewise":
+        params = _parse_params(rest, spec)
+        if not params:
+            raise ValueError(f"piecewise spec {spec!r} needs time=factor pairs")
+        try:
+            segments = tuple(
+                sorted((float(time), factor) for time, factor in params.items())
+            )
+        except ValueError:
+            raise ValueError(
+                f"piecewise keys must be numeric times, got {sorted(params)}"
+            ) from None
+        _piecewise_program(1.0, segments)
+        return partial(_piecewise_program, segments=segments)
+    if kind == "trace":
+        if not rest:
+            raise ValueError("trace spec needs a CSV path: trace:<path>")
+        program = _trace_program(1.0, rest)  # validates the file eagerly
+        del program
+        return partial(_trace_program, path=rest)
+    raise ValueError(
+        f"unknown arrivals spec kind {kind!r} "
+        f"(expected one of {', '.join(ARRIVAL_SPEC_KINDS)})"
+    )
+
+
+def parse_autoscale_spec(spec: str) -> Autoscaler:
+    """Parse an ``--autoscale`` spec into an :class:`Autoscaler`."""
+    kind, _, rest = spec.partition(":")
+    kind = kind.strip()
+    params = _parse_params(rest, spec)
+    interval = _take(params, spec, "interval", 5.0)
+    cooldown = _take(params, spec, "cooldown", 10.0)
+    warmup = _take(params, spec, "warmup", 1.0)
+    initial = params.pop("initial", None)
+    min_servers = int(_take(params, spec, "min", 1.0))
+    max_servers = params.pop("max", None)
+    if max_servers is not None:
+        max_servers = int(max_servers)
+
+    if kind == "target-util":
+        target = _take(params, spec, "target", 0.7)
+        _finish(params, spec)
+        policy = TargetUtilizationPolicy(
+            target=target, min_servers=min_servers, max_servers=max_servers
+        )
+    elif kind == "queue":
+        up = _take(params, spec, "up", 4.0)
+        down = _take(params, spec, "down", 0.5)
+        step = int(_take(params, spec, "step", 1.0))
+        _finish(params, spec)
+        policy = QueueThresholdPolicy(
+            scale_up_at=up,
+            scale_down_at=down,
+            step=step,
+            min_servers=min_servers,
+            max_servers=max_servers,
+        )
+    else:
+        raise ValueError(
+            f"unknown autoscale spec kind {kind!r} "
+            "(expected target-util or queue)"
+        )
+    return Autoscaler(
+        policy=policy,
+        interval=interval,
+        cooldown=cooldown,
+        warmup_delay=warmup,
+        initial_servers=None if initial is None else int(initial),
+    )

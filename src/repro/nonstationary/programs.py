@@ -1,0 +1,496 @@
+"""Time-varying arrival-rate programs (the non-stationary extension).
+
+The paper's entire analysis assumes a *stationary* arrival rate λ that
+the dispatcher knows exactly.  A :class:`RateProgram` drops that
+assumption: it is a deterministic rate function ``λ(t)`` that drives a
+non-homogeneous Poisson arrival source
+(:class:`~repro.workloads.arrivals.TimeVaryingPoissonArrivals`) via
+Lewis–Shedler thinning.  Four shapes cover the production scenarios the
+ROADMAP names:
+
+* :class:`ConstantProgram` — the stationary baseline; runs driven by it
+  are bit-identical to :class:`~repro.workloads.arrivals.PoissonArrivals`.
+* :class:`PiecewiseConstantProgram` — step schedules (load shifts).
+* :class:`DiurnalProgram` — a sinusoid around a base rate (daily cycle).
+* :class:`FlashCrowdProgram` — a surge pulse, optionally repeating.
+* :class:`TraceProgram` — replay of a ``time,rate`` CSV schedule.
+
+Every program knows its own :meth:`integral` (expected arrivals over an
+interval, used by the thinning-acceptance property tests and the warm-up
+validator), its :meth:`transient_window` (when the interesting
+non-stationarity happens, so warm-up that swallows it can warn), and a
+JSON-serializable :meth:`describe` digest for run manifests.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+import math
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "RateProgram",
+    "ConstantProgram",
+    "PiecewiseConstantProgram",
+    "DiurnalProgram",
+    "FlashCrowdProgram",
+    "TraceProgram",
+    "program_digest",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+
+def _check_rate(value: float, name: str = "rate") -> float:
+    as_float = float(value)
+    if not math.isfinite(as_float) or as_float < 0:
+        raise ValueError(f"{name} must be finite and >= 0, got {value!r}")
+    return as_float
+
+
+def _check_time(value: float, name: str) -> float:
+    as_float = float(value)
+    if not math.isfinite(as_float) or as_float < 0:
+        raise ValueError(f"{name} must be finite and >= 0, got {value!r}")
+    return as_float
+
+
+def program_digest(program: "RateProgram") -> str:
+    """Stable short digest of a program's configuration (for manifests)."""
+    payload = json.dumps(program.describe(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class RateProgram(ABC):
+    """A deterministic arrival-rate schedule ``λ(t)`` for ``t >= 0``."""
+
+    @abstractmethod
+    def rate(self, t: float) -> float:
+        """Instantaneous aggregate arrival rate at time ``t``."""
+
+    @property
+    @abstractmethod
+    def peak_rate(self) -> float:
+        """An upper bound on ``rate(t)`` (the thinning envelope)."""
+
+    @property
+    @abstractmethod
+    def mean_rate(self) -> float:
+        """The nominal long-run rate (what a stationary run would use)."""
+
+    @property
+    def is_constant(self) -> bool:
+        """Whether ``rate(t)`` is the same everywhere.
+
+        Constant programs take the exact :class:`PoissonArrivals` draw
+        path (no thinning), so they stay bit-identical to stationary runs.
+        """
+        return False
+
+    @abstractmethod
+    def integral(self, t0: float, t1: float) -> float:
+        """Expected arrivals over ``[t0, t1]`` (``∫ rate dt``)."""
+
+    def transient_window(self) -> tuple[float, float] | None:
+        """The ``(start, end)`` span of non-stationary activity.
+
+        ``None`` for programs with nothing transient to miss;
+        ``end`` may be ``inf`` for persistent oscillation.  Used to warn
+        when the measurement warm-up swallows the entire transient.
+        """
+        return None
+
+    @abstractmethod
+    def describe(self) -> dict:
+        """JSON-serializable configuration digest."""
+
+    def time_for_count(self, count: float, tol: float = 1e-6) -> float:
+        """Invert the integral: the time by which ``count`` arrivals are
+        expected.  Used by the warm-up validator to locate the warm-up
+        boundary in simulation time."""
+        if count <= 0:
+            return 0.0
+        lo = 0.0
+        hi = max(count / self.peak_rate, 1e-9)
+        for _ in range(200):
+            if self.integral(0.0, hi) >= count:
+                break
+            lo = hi
+            hi *= 2.0
+        else:
+            raise ValueError(
+                f"program never accumulates {count} expected arrivals "
+                "(rate decays to zero?)"
+            )
+        while hi - lo > tol * max(hi, 1.0):
+            mid = 0.5 * (lo + hi)
+            if self.integral(0.0, mid) >= count:
+                hi = mid
+            else:
+                lo = mid
+        return 0.5 * (lo + hi)
+
+
+class ConstantProgram(RateProgram):
+    """The stationary baseline: ``rate(t) = rate`` for all ``t``."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0 or not math.isfinite(rate):
+            raise ValueError(f"rate must be positive and finite, got {rate}")
+        self._rate = float(rate)
+
+    def rate(self, t: float) -> float:
+        return self._rate
+
+    @property
+    def peak_rate(self) -> float:
+        return self._rate
+
+    @property
+    def mean_rate(self) -> float:
+        return self._rate
+
+    @property
+    def is_constant(self) -> bool:
+        return True
+
+    def integral(self, t0: float, t1: float) -> float:
+        return self._rate * max(t1 - t0, 0.0)
+
+    def describe(self) -> dict:
+        return {"kind": "constant", "rate": self._rate}
+
+    def __repr__(self) -> str:
+        return f"ConstantProgram(rate={self._rate!r})"
+
+
+class PiecewiseConstantProgram(RateProgram):
+    """A step schedule: ``(start_time, rate)`` segments, first at t=0.
+
+    The final segment's rate holds forever.  The mean rate is the
+    time-average over the scheduled span (the last segment weighted like
+    the average of the earlier ones when the span is a single point).
+    """
+
+    def __init__(self, segments: list[tuple[float, float]]) -> None:
+        if not segments:
+            raise ValueError("segments must be non-empty")
+        cleaned = [
+            (_check_time(t, "segment time"), _check_rate(r, "segment rate"))
+            for t, r in segments
+        ]
+        if cleaned[0][0] != 0.0:
+            raise ValueError(
+                f"first segment must start at t=0, got t={cleaned[0][0]}"
+            )
+        for (t_prev, _), (t_next, _) in zip(cleaned, cleaned[1:]):
+            if t_next <= t_prev:
+                raise ValueError(
+                    "segment times must be strictly increasing, got "
+                    f"{t_prev} then {t_next}"
+                )
+        peak = max(r for _, r in cleaned)
+        if peak <= 0:
+            raise ValueError("at least one segment must have a positive rate")
+        self._segments = cleaned
+        self._peak = peak
+
+    def rate(self, t: float) -> float:
+        if t < 0:
+            return self._segments[0][1]
+        current = self._segments[0][1]
+        for start, value in self._segments:
+            if t >= start:
+                current = value
+            else:
+                break
+        return current
+
+    @property
+    def peak_rate(self) -> float:
+        return self._peak
+
+    @property
+    def mean_rate(self) -> float:
+        span = self._segments[-1][0]
+        if span <= 0.0:
+            return self._segments[-1][1]
+        return self.integral(0.0, span) / span
+
+    def integral(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        boundaries = [start for start, _ in self._segments] + [math.inf]
+        for (start, value), end in zip(self._segments, boundaries[1:]):
+            lo = max(t0, start)
+            hi = min(t1, end)
+            if hi > lo:
+                total += value * (hi - lo)
+        return total
+
+    def transient_window(self) -> tuple[float, float] | None:
+        if len(self._segments) < 2:
+            return None
+        return (self._segments[1][0], self._segments[-1][0])
+
+    def describe(self) -> dict:
+        return {
+            "kind": "piecewise",
+            "segments": [[t, r] for t, r in self._segments],
+        }
+
+    def __repr__(self) -> str:
+        return f"PiecewiseConstantProgram({self._segments!r})"
+
+
+class DiurnalProgram(RateProgram):
+    """A sinusoidal daily cycle: ``base · (1 + A·sin(2π(t-φ)/P))``.
+
+    ``amplitude`` is the relative swing A in [0, 1); the mean rate over
+    a full period is exactly ``base_rate``.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        amplitude: float,
+        period: float,
+        phase: float = 0.0,
+    ) -> None:
+        if base_rate <= 0 or not math.isfinite(base_rate):
+            raise ValueError(
+                f"base_rate must be positive and finite, got {base_rate}"
+            )
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+        if period <= 0 or not math.isfinite(period):
+            raise ValueError(f"period must be positive and finite, got {period}")
+        self.base_rate = float(base_rate)
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        self.phase = _check_time(phase, "phase")
+
+    def rate(self, t: float) -> float:
+        angle = _TWO_PI * (t - self.phase) / self.period
+        return self.base_rate * (1.0 + self.amplitude * math.sin(angle))
+
+    @property
+    def peak_rate(self) -> float:
+        return self.base_rate * (1.0 + self.amplitude)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.base_rate
+
+    @property
+    def is_constant(self) -> bool:
+        return self.amplitude == 0.0
+
+    def _antiderivative(self, t: float) -> float:
+        angle = _TWO_PI * (t - self.phase) / self.period
+        return self.base_rate * (
+            t - self.amplitude * self.period / _TWO_PI * math.cos(angle)
+        )
+
+    def integral(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        return self._antiderivative(t1) - self._antiderivative(t0)
+
+    def transient_window(self) -> tuple[float, float] | None:
+        if self.amplitude == 0.0:
+            return None
+        return (0.0, math.inf)
+
+    def describe(self) -> dict:
+        return {
+            "kind": "diurnal",
+            "base_rate": self.base_rate,
+            "amplitude": self.amplitude,
+            "period": self.period,
+            "phase": self.phase,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DiurnalProgram(base_rate={self.base_rate!r}, "
+            f"amplitude={self.amplitude!r}, period={self.period!r})"
+        )
+
+
+class FlashCrowdProgram(RateProgram):
+    """A flash-crowd surge: ``base`` rate, jumping to ``base·surge_factor``
+    for ``duration`` time units starting at ``start``.
+
+    With ``every`` set, the surge repeats — a pulse train whose duty
+    cycle ``duration/every`` keeps the long-run mean rate meaningful for
+    arbitrarily long runs (the registry's flash-crowd figure uses this
+    so the surge/recover cycle dominates the measured mean, not the
+    choice of ``total_jobs``).
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        surge_factor: float,
+        start: float,
+        duration: float,
+        every: float | None = None,
+    ) -> None:
+        if base_rate <= 0 or not math.isfinite(base_rate):
+            raise ValueError(
+                f"base_rate must be positive and finite, got {base_rate}"
+            )
+        if surge_factor < 1.0 or not math.isfinite(surge_factor):
+            raise ValueError(
+                f"surge_factor must be >= 1 and finite, got {surge_factor}"
+            )
+        if duration <= 0 or not math.isfinite(duration):
+            raise ValueError(
+                f"duration must be positive and finite, got {duration}"
+            )
+        self.start = _check_time(start, "start")
+        if every is not None:
+            every = float(every)
+            if not math.isfinite(every) or every <= duration:
+                raise ValueError(
+                    f"every must exceed duration ({duration}), got {every}"
+                )
+        self.base_rate = float(base_rate)
+        self.surge_factor = float(surge_factor)
+        self.duration = float(duration)
+        self.every = every
+
+    def _in_surge(self, t: float) -> bool:
+        if t < self.start:
+            return False
+        offset = t - self.start
+        if self.every is not None:
+            offset %= self.every
+        return offset < self.duration
+
+    def rate(self, t: float) -> float:
+        if self._in_surge(t):
+            return self.base_rate * self.surge_factor
+        return self.base_rate
+
+    @property
+    def peak_rate(self) -> float:
+        return self.base_rate * self.surge_factor
+
+    @property
+    def mean_rate(self) -> float:
+        if self.every is None:
+            return self.base_rate
+        duty = self.duration / self.every
+        return self.base_rate * (1.0 + (self.surge_factor - 1.0) * duty)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.surge_factor == 1.0
+
+    def _surge_time(self, t0: float, t1: float) -> float:
+        """Total time spent inside surge pulses over ``[t0, t1]``."""
+        if t1 <= t0:
+            return 0.0
+        lo = max(t0, self.start)
+        if t1 <= lo:
+            return 0.0
+        if self.every is None:
+            return max(
+                0.0, min(t1, self.start + self.duration) - lo
+            )
+
+        def surged_until(t: float) -> float:
+            # Surge time accumulated in [start, t].
+            if t <= self.start:
+                return 0.0
+            offset = t - self.start
+            cycles = math.floor(offset / self.every)
+            return cycles * self.duration + min(
+                offset - cycles * self.every, self.duration
+            )
+
+        return surged_until(t1) - surged_until(lo)
+
+    def integral(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        span = t1 - t0
+        surged = self._surge_time(t0, t1)
+        return self.base_rate * (span + (self.surge_factor - 1.0) * surged)
+
+    def transient_window(self) -> tuple[float, float] | None:
+        if self.surge_factor == 1.0:
+            return None
+        if self.every is not None:
+            return (self.start, math.inf)
+        return (self.start, self.start + self.duration)
+
+    def describe(self) -> dict:
+        return {
+            "kind": "flash",
+            "base_rate": self.base_rate,
+            "surge_factor": self.surge_factor,
+            "start": self.start,
+            "duration": self.duration,
+            "every": self.every,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FlashCrowdProgram(base_rate={self.base_rate!r}, "
+            f"surge_factor={self.surge_factor!r}, start={self.start!r}, "
+            f"duration={self.duration!r}, every={self.every!r})"
+        )
+
+
+class TraceProgram(PiecewiseConstantProgram):
+    """Replay of a recorded rate schedule (step-held between samples).
+
+    The canonical source is a two-column ``time,rate`` CSV
+    (:meth:`from_csv`); a header row is skipped if present, and the
+    first sample must be at time 0 so the schedule covers the whole run.
+    """
+
+    def __init__(
+        self, points: list[tuple[float, float]], source: str | None = None
+    ) -> None:
+        super().__init__(points)
+        self.source = source
+
+    @classmethod
+    def from_csv(cls, path: str) -> "TraceProgram":
+        points: list[tuple[float, float]] = []
+        with open(path, newline="") as handle:
+            for row in csv.reader(handle):
+                if not row or row[0].lstrip().startswith("#"):
+                    continue
+                try:
+                    t, r = float(row[0]), float(row[1])
+                except (ValueError, IndexError):
+                    if not points:  # tolerate one header row
+                        continue
+                    raise ValueError(
+                        f"malformed trace row {row!r} in {path}"
+                    ) from None
+                points.append((t, r))
+        if not points:
+            raise ValueError(f"trace {path} contains no (time, rate) rows")
+        return cls(points, source=path)
+
+    def describe(self) -> dict:
+        digest = super().describe()
+        digest["kind"] = "trace"
+        if self.source is not None:
+            digest["source"] = self.source
+        return digest
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceProgram({len(self._segments)} points, "
+            f"source={self.source!r})"
+        )

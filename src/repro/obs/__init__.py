@@ -23,6 +23,7 @@ from repro.obs.multidispatch import DispatcherTraceProbe
 from repro.obs.overload import OverloadProbe
 from repro.obs.probes import Probe, ProbeSet
 from repro.obs.traces import QueueTraceProbe, ResponseHistogramProbe
+from repro.obs.transient import NonstationaryProvenanceProbe, TransientProbe
 
 __all__ = [
     "Probe",
@@ -30,9 +31,11 @@ __all__ = [
     "DispatcherTraceProbe",
     "EngineProvenanceProbe",
     "FaultTraceProbe",
+    "NonstationaryProvenanceProbe",
     "OverloadProbe",
     "QueueTraceProbe",
     "ResponseHistogramProbe",
+    "TransientProbe",
     "HerdDetector",
     "EpochStats",
     "MANIFEST_VERSION",

@@ -1,0 +1,285 @@
+"""Transient observability: time-binned windows and program provenance.
+
+Whole-run means average a flash crowd away; the herding a lagged λ
+estimate causes lives entirely inside the surge windows.
+:class:`TransientProbe` bins the run into fixed-width time windows and
+records, per window, the arrival count, mean response time, drop count,
+the maximum per-server dispatch share (herding when it spikes), and —
+when the run exposes them — the estimated vs true arrival rate, which is
+the estimator-lag measurement the stale-λ study needs.
+
+:class:`NonstationaryProvenanceProbe` is the manifest-side counterpart
+(same pattern as :class:`~repro.obs.engine_probe.EngineProvenanceProbe`):
+it digests the run's arrival program and autoscaler configuration and
+surfaces the realized scaling history, so a sweep's manifest pins the
+exact non-stationary scenario that produced its numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.obs.probes import Probe
+
+__all__ = ["TransientProbe", "NonstationaryProvenanceProbe", "spec_digest"]
+
+
+def spec_digest(described: dict) -> str:
+    """Stable short digest of a describe() dict (for manifests)."""
+    payload = json.dumps(described, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class _Window:
+    __slots__ = (
+        "arrivals",
+        "completions",
+        "response_sum",
+        "drops",
+        "per_server",
+        "estimate_sum",
+        "true_rate_sum",
+        "samples",
+    )
+
+    def __init__(self, num_servers: int) -> None:
+        self.arrivals = 0
+        self.completions = 0
+        self.response_sum = 0.0
+        self.drops = 0
+        self.per_server = [0] * num_servers
+        self.estimate_sum = 0.0
+        self.true_rate_sum = 0.0
+        self.samples = 0
+
+
+class TransientProbe(Probe):
+    """Time-binned window metrics for non-stationary runs.
+
+    Parameters
+    ----------
+    window:
+        Bin width in simulation time units.
+    herd_share:
+        A window is a *herd epoch* when one server receives at least this
+        fraction of the window's dispatches.
+    herd_min_arrivals:
+        Minimum dispatches in a window before the herd test applies
+        (a 2-arrival window trivially concentrates).
+    """
+
+    name = "transient"
+
+    def __init__(
+        self,
+        window: float = 5.0,
+        herd_share: float = 0.5,
+        herd_min_arrivals: int = 20,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if not 0.0 < herd_share <= 1.0:
+            raise ValueError(f"herd_share must be in (0, 1], got {herd_share}")
+        if herd_min_arrivals < 1:
+            raise ValueError(
+                f"herd_min_arrivals must be >= 1, got {herd_min_arrivals}"
+            )
+        self.window = float(window)
+        self.herd_share = float(herd_share)
+        self.herd_min_arrivals = int(herd_min_arrivals)
+        self._num_servers = 0
+        self._windows: dict[int, _Window] = {}
+        self._simulation = None
+        self._duration = 0.0
+
+    # -- hooks ----------------------------------------------------------
+
+    def on_attach(self, sim, servers) -> None:
+        self._num_servers = len(servers)
+        self._windows = {}
+        self._duration = 0.0
+
+    def on_engine(self, engine: str, reason: str, simulation) -> None:
+        # Keeps a driver handle so dispatch-time sampling can read the
+        # current λ estimate and the program's true rate.
+        self._simulation = simulation
+
+    def _window_at(self, time: float) -> _Window:
+        index = int(time // self.window)
+        bucket = self._windows.get(index)
+        if bucket is None:
+            bucket = _Window(self._num_servers)
+            self._windows[index] = bucket
+        return bucket
+
+    def on_dispatch(
+        self, now: float, client_id: int, server_id: int, queue_length: int
+    ) -> None:
+        bucket = self._window_at(now)
+        bucket.arrivals += 1
+        bucket.per_server[server_id] += 1
+        simulation = self._simulation
+        if simulation is not None:
+            estimator = getattr(simulation, "rate_estimator", None)
+            if estimator is not None:
+                num_servers = max(self._num_servers, 1)
+                bucket.estimate_sum += (
+                    estimator.per_server_rate() * num_servers
+                )
+                program = getattr(
+                    getattr(simulation, "arrivals", None), "program", None
+                )
+                if program is not None:
+                    bucket.true_rate_sum += program.rate(now)
+                bucket.samples += 1
+
+    def on_job_complete(
+        self, server_id: int, completion_time: float, response_time: float
+    ) -> None:
+        # Bill the response to the window the job *arrived* in, so a surge
+        # window owns the latency it caused.
+        arrival_time = max(completion_time - response_time, 0.0)
+        bucket = self._window_at(arrival_time)
+        bucket.completions += 1
+        bucket.response_sum += response_time
+
+    def on_job_failed(self, time: float, server_id: int, reason: str) -> None:
+        self._window_at(time).drops += 1
+
+    def on_finish(self, now: float) -> None:
+        self._duration = now
+
+    # -- results --------------------------------------------------------
+
+    def windows(self) -> list[dict]:
+        """Per-window records, time-ordered and JSON-serializable."""
+        out = []
+        for index in sorted(self._windows):
+            bucket = self._windows[index]
+            max_count = max(bucket.per_server) if bucket.per_server else 0
+            max_share = (
+                max_count / bucket.arrivals if bucket.arrivals > 0 else 0.0
+            )
+            herd = (
+                bucket.arrivals >= self.herd_min_arrivals
+                and max_share >= self.herd_share
+            )
+            record = {
+                "t0": index * self.window,
+                "t1": (index + 1) * self.window,
+                "arrivals": bucket.arrivals,
+                "completions": bucket.completions,
+                "mean_response": (
+                    bucket.response_sum / bucket.completions
+                    if bucket.completions > 0
+                    else None
+                ),
+                "drops": bucket.drops,
+                "max_share": max_share,
+                "herd": herd,
+            }
+            if bucket.samples > 0:
+                record["estimated_rate"] = bucket.estimate_sum / bucket.samples
+                if bucket.true_rate_sum > 0.0:
+                    record["true_rate"] = bucket.true_rate_sum / bucket.samples
+            out.append(record)
+        return out
+
+    def summary(self) -> dict:
+        windows = self.windows()
+        herd_epochs = sum(1 for w in windows if w["herd"])
+        peak = None
+        for w in windows:
+            if w["mean_response"] is None:
+                continue
+            if peak is None or w["mean_response"] > peak["mean_response"]:
+                peak = w
+        lag = None
+        rated = [w for w in windows if "true_rate" in w and "estimated_rate" in w]
+        if rated:
+            # Mean relative underestimation of λ across windows — positive
+            # when the estimator runs behind a rising rate (the dangerous
+            # direction per §5.6).
+            lag = sum(
+                (w["true_rate"] - w["estimated_rate"]) / w["true_rate"]
+                for w in rated
+                if w["true_rate"] > 0
+            ) / len(rated)
+        summary: dict = {
+            "window": self.window,
+            "num_windows": len(windows),
+            "duration": self._duration,
+            "herd_epochs": herd_epochs,
+            "total_drops": sum(w["drops"] for w in windows),
+        }
+        if peak is not None:
+            summary["peak_window"] = {
+                "t0": peak["t0"],
+                "mean_response": peak["mean_response"],
+            }
+        if lag is not None:
+            summary["mean_rate_underestimation"] = lag
+        # The full per-window table can be large; manifests keep the first
+        # 200 windows and say so when truncating.
+        if len(windows) > 200:
+            summary["windows"] = windows[:200]
+            summary["windows_truncated"] = len(windows) - 200
+        else:
+            summary["windows"] = windows
+        return summary
+
+
+class NonstationaryProvenanceProbe(Probe):
+    """Pins the arrival program + autoscaler configuration in manifests.
+
+    Metadata-only (``requires_event_loop = False``), like
+    :class:`EngineProvenanceProbe`: attaching it never forces the event
+    engine, so a constant-program sweep keeps its batch engines while
+    its manifest still records the program digest.
+    """
+
+    name = "nonstationary"
+    requires_event_loop = False
+
+    def __init__(self) -> None:
+        self._simulation = None
+
+    def on_engine(self, engine: str, reason: str, simulation) -> None:
+        self._simulation = simulation
+
+    def summary(self) -> dict:
+        simulation = self._simulation
+        if simulation is None:
+            return {"nonstationary": "unrecorded"}
+        digest: dict = {}
+        arrivals = getattr(simulation, "arrivals", None)
+        program = getattr(arrivals, "program", None)
+        if program is not None:
+            described = program.describe()
+            digest["arrival_program"] = described
+            digest["arrival_program_digest"] = spec_digest(described)
+            info = getattr(arrivals, "info_summary", None)
+            if info is not None:
+                warnings = info().get("warnings")
+                if warnings:
+                    digest["warnings"] = warnings
+        autoscaler = getattr(simulation, "autoscaler", None)
+        if autoscaler is not None:
+            described = autoscaler.describe()
+            digest["autoscaler"] = described
+            digest["autoscaler_digest"] = spec_digest(described)
+            scaling = getattr(simulation, "last_scaling_summary", None)
+            if scaling is not None:
+                digest["scaling"] = {
+                    key: scaling[key]
+                    for key in (
+                        "final_active",
+                        "mean_active",
+                        "actions",
+                    )
+                    if key in scaling
+                }
+        if not digest:
+            return {"nonstationary": False}
+        return digest

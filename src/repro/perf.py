@@ -167,6 +167,35 @@ def _pinned_overload(jobs: int, seed: int = 1):
     )
 
 
+def _pinned_flashcrowd(jobs: int, seed: int = 1):
+    """The pinned non-stationary cell: repeating 3x flash crowds over the
+    dispatch workload at base load 0.6, interpreted through a lagging
+    EWMA λ estimate — times the thinning-based arrival path plus the
+    per-arrival estimator updates the stationary kernels never run."""
+    from repro.cluster.simulation import ClusterSimulation
+    from repro.core.li_basic import BasicLIPolicy
+    from repro.core.rate_estimators import EWMARate
+    from repro.nonstationary import FlashCrowdProgram
+    from repro.staleness.periodic import PeriodicUpdate
+    from repro.workloads.arrivals import TimeVaryingPoissonArrivals
+    from repro.workloads.distributions import Exponential
+
+    program = FlashCrowdProgram(
+        6.0, surge_factor=3.0, start=40.0, duration=20.0, every=160.0
+    )
+    return ClusterSimulation(
+        num_servers=10,
+        arrivals=TimeVaryingPoissonArrivals(program),
+        service=Exponential(1.0),
+        policy=BasicLIPolicy(),
+        staleness=PeriodicUpdate(period=2.0),
+        rate_estimator=EWMARate(),
+        total_jobs=jobs,
+        seed=seed,
+        engine="event",
+    )
+
+
 #: The pinned knobs recorded in every BENCH file, alongside ``jobs``.
 PINNED_KNOBS = {"num_servers": 10, "offered_load": 0.9, "period": 2.0}
 
@@ -281,6 +310,12 @@ def default_kernels(jobs: int) -> list[PerfKernel]:
 
         return run
 
+    def make_flashcrowd() -> Callable[[], object]:
+        def run() -> float:
+            return _pinned_flashcrowd(jobs).run().mean_response_time
+
+        return run
+
     def make_vector() -> Callable[[], object]:
         def run() -> float:
             return _pinned_vector_simulation().run().mean_response_time
@@ -310,6 +345,7 @@ def default_kernels(jobs: int) -> list[PerfKernel]:
         ),
         PerfKernel("dispatch-multi4", make_multidispatch, jobs=jobs),
         PerfKernel("overload-bounded", make_overload, jobs=jobs),
+        PerfKernel("dispatch-flashcrowd", make_flashcrowd, jobs=jobs),
         PerfKernel("fluid-fixedpoint", make_fluid),
         PerfKernel("waterfill-n10", make_waterfill(10), inner=500),
         PerfKernel("waterfill-n1000", make_waterfill(1000), inner=250),

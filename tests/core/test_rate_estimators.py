@@ -95,3 +95,55 @@ class TestEWMARate:
             EWMARate(smoothing=1.5)
         with pytest.raises(ValueError, match="positive"):
             EWMARate(initial_rate=0.0)
+        with pytest.raises(ValueError, match="min_rate"):
+            EWMARate(min_rate=0.0)
+        with pytest.raises(ValueError, match="drought_factor"):
+            EWMARate(drought_factor=1.0)
+        with pytest.raises(ValueError, match="drought_smoothing"):
+            EWMARate(drought_smoothing=0.0)
+
+    def test_drought_decays_estimate(self):
+        """Regression: traffic stopping must not freeze the estimate.
+
+        With small smoothing a naive gap-EWMA barely moves on one huge
+        gap; the drought branch absorbs it with a large weight so the
+        estimate promptly decays toward the observed (low) rate.
+        """
+        estimator = EWMARate(smoothing=0.01, drought_smoothing=0.5)
+        estimator.bind(10, 0.9)
+        for i in range(1000):
+            estimator.observe_arrival(i * (1.0 / 9.0))  # aggregate rate 9
+        busy = estimator.per_server_rate()
+        assert busy == pytest.approx(0.9, rel=0.05)
+        # Silence for 1000 time units, then one straggler arrival.
+        estimator.observe_arrival(1000.0 / 9.0 + 1000.0)
+        quiet = estimator.per_server_rate()
+        assert quiet < 0.01 * busy
+        assert quiet >= estimator.min_rate
+
+    def test_drought_branch_never_trips_on_stationary_traffic(self):
+        """P(gap > 20 * mean) ~ e^-20 under Poisson: a long stationary
+        run must take only standard EWMA steps, so tracking stays tight."""
+        rng = np.random.default_rng(7)
+        estimator = EWMARate(smoothing=0.01)
+        estimator.bind(10, 0.9)
+        now = 0.0
+        for _ in range(50_000):
+            now += rng.exponential(1.0 / 9.0)
+            estimator.observe_arrival(now)
+        assert estimator.per_server_rate() == pytest.approx(0.9, rel=0.1)
+
+    def test_zero_gap_flood_self_heals(self):
+        """Simultaneous arrivals drive the mean gap to ~0; the floored
+        division returns a huge (conservative) rate instead of dividing
+        by zero, and the next normal gap heals via the drought branch."""
+        estimator = EWMARate(smoothing=1.0)
+        estimator.bind(2, 0.5)
+        estimator.observe_arrival(5.0)
+        estimator.observe_arrival(5.0)  # gap 0
+        flooded = estimator.per_server_rate()
+        assert np.isfinite(flooded) and flooded > 1e6
+        estimator.observe_arrival(6.0)  # normal gap trips catch-down
+        assert estimator.per_server_rate() < 2.0
+        estimator.observe_arrival(7.0)  # back on the standard EWMA step
+        assert estimator.per_server_rate() == pytest.approx(0.5, rel=0.01)

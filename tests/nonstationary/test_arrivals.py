@@ -1,0 +1,214 @@
+"""TimeVaryingPoissonArrivals: bit-identity, thinning accuracy, warm-up.
+
+The two tentpole contracts:
+
+* a **constant** program replays ``PoissonArrivals``'s exact draw
+  sequence, so runs are bit-identical to stationary runs on every engine;
+* a **non-constant** program's thinning acceptance matches the program
+  integral (accepted arrivals over a span ≈ ∫λ dt), property-tested
+  across program shapes with Hypothesis.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.li_basic import BasicLIPolicy
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.nonstationary import (
+    ConstantProgram,
+    DiurnalProgram,
+    FlashCrowdProgram,
+    PiecewiseConstantProgram,
+)
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals, TimeVaryingPoissonArrivals
+from repro.workloads.distributions import Exponential
+
+
+def _simulation(arrivals, engine="auto", jobs=2000, seed=7):
+    return ClusterSimulation(
+        num_servers=10,
+        arrivals=arrivals,
+        service=Exponential(1.0),
+        policy=BasicLIPolicy(),
+        staleness=PeriodicUpdate(period=4.0),
+        total_jobs=jobs,
+        seed=seed,
+        engine=engine,
+    ).run()
+
+
+class TestConstantBitIdentity:
+    @pytest.mark.parametrize("engine", ["event", "fast", "vector"])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_constant_program_matches_poisson(self, engine, seed):
+        stationary = _simulation(
+            PoissonArrivals(9.0), engine=engine, seed=seed
+        )
+        programmatic = _simulation(
+            TimeVaryingPoissonArrivals(ConstantProgram(9.0)),
+            engine=engine,
+            seed=seed,
+        )
+        assert programmatic.mean_response_time == stationary.mean_response_time
+        assert programmatic.duration == stationary.duration
+        assert list(programmatic.dispatch_counts) == list(
+            stationary.dispatch_counts
+        )
+
+    def test_constant_program_keeps_batch_engines(self):
+        simulation = ClusterSimulation(
+            num_servers=10,
+            arrivals=TimeVaryingPoissonArrivals(ConstantProgram(9.0)),
+            service=Exponential(1.0),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(period=4.0),
+            total_jobs=100,
+            seed=1,
+        )
+        assert simulation.fast_path_blocker() is None
+
+    def test_nonconstant_program_blocks_batch_engines(self):
+        simulation = ClusterSimulation(
+            num_servers=10,
+            arrivals=TimeVaryingPoissonArrivals(
+                DiurnalProgram(9.0, amplitude=0.5, period=40.0)
+            ),
+            service=Exponential(1.0),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(period=4.0),
+            total_jobs=100,
+            seed=1,
+        )
+        blocker = simulation.fast_path_blocker()
+        assert blocker is not None and "nonstationary" in blocker
+
+
+def _accepted_arrivals(program, horizon, seed):
+    """Drive the source on a bare Simulator; return arrival timestamps."""
+    sim = Simulator()
+    rng = RandomStreams(seed).stream("arrivals")
+    source = TimeVaryingPoissonArrivals(program)
+    times: list[float] = []
+    source.start(sim, rng, lambda client_id: times.append(sim.now))
+    sim.run(until=horizon)
+    return times
+
+
+PROGRAMS = st.sampled_from(
+    [
+        DiurnalProgram(8.0, amplitude=0.6, period=25.0),
+        DiurnalProgram(5.0, amplitude=0.3, period=60.0, phase=10.0),
+        FlashCrowdProgram(4.0, surge_factor=3.0, start=30.0, duration=15.0),
+        FlashCrowdProgram(
+            6.0, surge_factor=2.0, start=20.0, duration=10.0, every=60.0
+        ),
+        PiecewiseConstantProgram([(0.0, 3.0), (50.0, 9.0), (100.0, 5.0)]),
+    ]
+)
+
+
+class TestThinningAcceptance:
+    @settings(max_examples=20, deadline=None)
+    @given(program=PROGRAMS, seed=st.integers(min_value=0, max_value=2**31))
+    def test_accepted_count_matches_integral(self, program, seed):
+        """Accepted arrivals over [0, H] ≈ ∫λ dt within Poisson noise.
+
+        The tolerance is 5 standard deviations of a Poisson count with
+        the integral's mean — loose enough to never flake, tight enough
+        to catch a wrong acceptance rule or a mis-specified integral.
+        """
+        horizon = 150.0
+        times = _accepted_arrivals(program, horizon, seed)
+        expected = program.integral(0.0, horizon)
+        tolerance = 5.0 * math.sqrt(expected)
+        assert abs(len(times) - expected) < tolerance
+
+    @settings(max_examples=10, deadline=None)
+    @given(program=PROGRAMS, seed=st.integers(min_value=0, max_value=2**31))
+    def test_surge_window_density(self, program, seed):
+        """Arrival counts inside a sub-window also track the integral."""
+        horizon = 150.0
+        times = _accepted_arrivals(program, horizon, seed)
+        t0, t1 = 40.0, 90.0
+        observed = sum(1 for t in times if t0 <= t < t1)
+        expected = program.integral(t0, t1)
+        tolerance = 5.0 * math.sqrt(max(expected, 1.0))
+        assert abs(observed - expected) < tolerance
+
+    def test_counters(self):
+        program = DiurnalProgram(8.0, amplitude=0.6, period=25.0)
+        sim = Simulator()
+        rng = RandomStreams(3).stream("arrivals")
+        source = TimeVaryingPoissonArrivals(program)
+        source.start(sim, rng, lambda client_id: None)
+        sim.run(until=100.0)
+        assert 0 < source.accepted <= source.candidates
+        info = source.info_summary()
+        assert info["candidates"] == source.candidates
+        assert info["acceptance_rate"] == pytest.approx(
+            source.accepted / source.candidates
+        )
+
+
+class TestWarmupValidation:
+    def test_warns_when_warmup_swallows_transient(self):
+        # One pulse at t in [10, 15]; rate 2 means ~2 arrivals per unit.
+        program = FlashCrowdProgram(
+            2.0, surge_factor=3.0, start=10.0, duration=5.0
+        )
+        source = TimeVaryingPoissonArrivals(program)
+        # warmup of 0.5 * 200 = 100 jobs ends near t=45 >> transient end 15.
+        warnings = source.validate_warmup(0.5, 200)
+        assert len(warnings) == 1
+        assert "swallows the transient" in warnings[0]
+        assert source.info_summary()["warnings"] == warnings
+
+    def test_no_warning_when_transient_survives(self):
+        program = FlashCrowdProgram(
+            2.0, surge_factor=3.0, start=10.0, duration=5.0
+        )
+        source = TimeVaryingPoissonArrivals(program)
+        assert source.validate_warmup(0.05, 200) == []
+
+    def test_no_warning_for_persistent_oscillation(self):
+        program = DiurnalProgram(2.0, amplitude=0.5, period=40.0)
+        source = TimeVaryingPoissonArrivals(program)
+        assert source.validate_warmup(0.9, 10_000) == []
+
+    def test_run_invokes_validation(self):
+        simulation = ClusterSimulation(
+            num_servers=10,
+            arrivals=TimeVaryingPoissonArrivals(
+                FlashCrowdProgram(9.0, surge_factor=2.0, start=1.0, duration=2.0)
+            ),
+            service=Exponential(1.0),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(period=4.0),
+            total_jobs=2000,
+            warmup_fraction=0.5,
+            seed=1,
+        )
+        simulation.run()
+        assert simulation.arrivals.info_summary()["warnings"]
+
+
+class TestValidation:
+    def test_rejects_non_program(self):
+        with pytest.raises(TypeError, match="RateProgram"):
+            TimeVaryingPoissonArrivals(object())
+
+    def test_total_rate_is_mean_rate(self):
+        program = FlashCrowdProgram(
+            2.0, surge_factor=3.0, start=10.0, duration=5.0, every=50.0
+        )
+        assert TimeVaryingPoissonArrivals(program).total_rate == pytest.approx(
+            2.4
+        )

@@ -1,0 +1,268 @@
+"""Elastic capacity: scaling policies, the controller, and fault composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.li_basic import BasicLIPolicy
+from repro.engine.simulator import Simulator
+from repro.faults.injector import FaultInjector
+from repro.nonstationary import (
+    Autoscaler,
+    DiurnalProgram,
+    ElasticCapacityInjector,
+    QueueThresholdPolicy,
+    TargetUtilizationPolicy,
+)
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import TimeVaryingPoissonArrivals
+from repro.workloads.distributions import Exponential
+
+
+class TestTargetUtilizationPolicy:
+    def test_ceil_rule(self):
+        policy = TargetUtilizationPolicy(target=0.5)
+        assert policy.desired_capacity(0.0, 3, np.empty(0), 2.0) == 4
+        assert policy.desired_capacity(0.0, 3, np.empty(0), 2.1) == 5
+        assert policy.desired_capacity(0.0, 3, np.empty(0), 0.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="target"):
+            TargetUtilizationPolicy(target=0.0)
+        with pytest.raises(ValueError, match="target"):
+            TargetUtilizationPolicy(target=1.5)
+        with pytest.raises(ValueError, match="min_servers"):
+            TargetUtilizationPolicy(min_servers=0)
+        with pytest.raises(ValueError, match="max_servers"):
+            TargetUtilizationPolicy(min_servers=5, max_servers=3)
+
+
+class TestQueueThresholdPolicy:
+    def test_dead_band(self):
+        policy = QueueThresholdPolicy(scale_up_at=4.0, scale_down_at=0.5, step=2)
+        up = policy.desired_capacity(0.0, 3, np.array([4.0, 5.0]), 1.0)
+        hold = policy.desired_capacity(0.0, 3, np.array([2.0, 2.0]), 1.0)
+        down = policy.desired_capacity(0.0, 3, np.array([0.0, 0.5]), 1.0)
+        assert (up, hold, down) == (5, 3, 1)
+
+    def test_empty_board_holds(self):
+        policy = QueueThresholdPolicy()
+        assert policy.desired_capacity(0.0, 3, np.empty(0), 1.0) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="scale_up_at"):
+            QueueThresholdPolicy(scale_up_at=0.5, scale_down_at=0.5)
+        with pytest.raises(ValueError, match="scale_down_at"):
+            QueueThresholdPolicy(scale_down_at=-1.0)
+        with pytest.raises(ValueError, match="step"):
+            QueueThresholdPolicy(step=0)
+
+
+class TestAutoscalerConfig:
+    def test_validation(self):
+        policy = TargetUtilizationPolicy()
+        with pytest.raises(TypeError, match="AutoscalerPolicy"):
+            Autoscaler(policy=object())
+        with pytest.raises(ValueError, match="interval"):
+            Autoscaler(policy=policy, interval=0.0)
+        with pytest.raises(ValueError, match="cooldown"):
+            Autoscaler(policy=policy, cooldown=-1.0)
+        with pytest.raises(ValueError, match="warmup_delay"):
+            Autoscaler(policy=policy, warmup_delay=-1.0)
+        with pytest.raises(ValueError, match="initial_servers"):
+            Autoscaler(policy=policy, initial_servers=0)
+
+    def test_describe_is_json_serializable(self):
+        import json
+
+        config = Autoscaler(policy=QueueThresholdPolicy(), interval=2.0)
+        json.dumps(config.describe())
+
+
+class _StubServer:
+    def __init__(self, server_id: int) -> None:
+        self.server_id = server_id
+        self.timeline = None
+
+
+class _StubEstimator:
+    """Controllable λ̂ channel for driving the controller."""
+
+    def __init__(self, rate: float) -> None:
+        self.rate = rate
+
+    def per_server_rate(self) -> float:
+        return self.rate
+
+
+def _attached(config, n=5, inner=None, rate=0.5):
+    injector = ElasticCapacityInjector(config, inner=inner)
+    sim = Simulator()
+    servers = [_StubServer(i) for i in range(n)]
+    injector.attach(sim, servers, np.random.default_rng(0))
+    estimator = _StubEstimator(rate)
+    injector.connect(None, estimator)
+    return injector, sim, estimator
+
+
+class TestElasticCapacityInjector:
+    def test_initial_servers_mask(self):
+        config = Autoscaler(policy=TargetUtilizationPolicy(), initial_servers=3)
+        injector, sim, _ = _attached(config)
+        assert not injector.is_down(2, 0.0)
+        assert injector.is_down(3, 0.0)
+        assert injector.is_down(4, 0.0)
+
+    def test_scale_up_lowest_inactive_with_warmup(self):
+        config = Autoscaler(
+            policy=TargetUtilizationPolicy(target=0.5),
+            interval=1.0,
+            cooldown=0.0,
+            warmup_delay=2.0,
+            initial_servers=3,
+        )
+        # λ̂ total = 0.5 * 5 = 2.5 -> desired = ceil(2.5 / 0.5) = 5.
+        injector, sim, _ = _attached(config, rate=0.5)
+        sim.run(until=1.5)
+        events = injector.events
+        assert [(e.action, e.server_id) for e in events] == [("up", 3), ("up", 4)]
+        assert all(e.time == 1.0 and e.effective_at == 3.0 for e in events)
+        # Warming up: still unavailable until effective_at.
+        assert injector.is_down(3, 1.5)
+        assert not injector.is_down(3, 3.0)
+
+    def test_scale_down_highest_active_immediate(self):
+        config = Autoscaler(
+            policy=TargetUtilizationPolicy(target=0.5, min_servers=1),
+            interval=1.0,
+            cooldown=0.0,
+        )
+        # λ̂ total = 0.05 * 5 = 0.25 -> desired = 1: drop four servers.
+        injector, sim, _ = _attached(config, rate=0.05)
+        sim.run(until=1.5)
+        assert [(e.action, e.server_id) for e in injector.events] == [
+            ("down", 4),
+            ("down", 3),
+            ("down", 2),
+            ("down", 1),
+        ]
+        assert injector.events[0].effective_at == injector.events[0].time
+        assert injector.is_down(4, 1.0)
+        assert not injector.is_down(0, 1.0)
+
+    def test_cooldown_spaces_actions(self):
+        class _Board:
+            def view(self, client_id, now):
+                class _View:
+                    loads = np.full(5, 10.0)
+
+                return _View()
+
+        config = Autoscaler(
+            policy=QueueThresholdPolicy(scale_up_at=4.0, step=1),
+            interval=1.0,
+            cooldown=5.0,
+            initial_servers=1,
+        )
+        injector, sim, _ = _attached(config, rate=0.1)
+        injector.connect(_Board(), _StubEstimator(0.1))
+        sim.run(until=7.5)
+        # Board always screams "scale up", but cooldown=5 with ticks at
+        # t=1,2,... allows actions only at t=1 and t=6.
+        assert [e.time for e in injector.events] == [1.0, 6.0]
+
+    def test_mask_refresh_keeps_previous_for_inactive(self):
+        config = Autoscaler(policy=TargetUtilizationPolicy(), initial_servers=2)
+        injector, _, _ = _attached(config, n=4)
+        fresh = np.array([1.0, 1.0, 1.0, 1.0])
+        previous = np.array([9.0, 9.0, 9.0, 9.0])
+        masked = injector.mask_refresh(0.5, fresh, previous)
+        assert list(masked) == [1.0, 1.0, 9.0, 9.0]
+        # First refresh has no previous board to fall back to.
+        assert injector.mask_refresh(0.5, fresh, None) is fresh
+
+    def test_inner_injector_composes(self):
+        inner = FaultInjector()
+        config = Autoscaler(policy=TargetUtilizationPolicy(), initial_servers=2)
+        injector, _, _ = _attached(config, n=4, inner=inner)
+        # Active server defers to the (null-schedule) inner injector.
+        assert not injector.is_down(0, 0.0)
+        # Inactive server is down regardless of the inner schedule.
+        assert injector.is_down(3, 0.0)
+        assert "inner" in injector.describe()
+
+    def test_scaling_summary(self):
+        config = Autoscaler(
+            policy=TargetUtilizationPolicy(target=0.5, min_servers=1),
+            interval=1.0,
+            cooldown=0.0,
+        )
+        injector, sim, _ = _attached(config, rate=0.05)
+        sim.run(until=2.5)
+        summary = injector.scaling_summary(duration=2.5)
+        assert summary["num_servers"] == 5
+        assert summary["final_active"] == 1
+        assert summary["actions"] == 4
+        assert 1.0 <= summary["mean_active"] <= 5.0
+        import json
+
+        json.dumps(summary)
+
+    def test_rejects_non_autoscaler(self):
+        with pytest.raises(TypeError, match="Autoscaler"):
+            ElasticCapacityInjector(object())
+
+
+class TestEndToEnd:
+    def _run(self, seed=3):
+        program = DiurnalProgram(6.0, amplitude=0.6, period=40.0)
+        autoscaler = Autoscaler(
+            policy=TargetUtilizationPolicy(
+                target=0.75, min_servers=3, max_servers=10
+            ),
+            interval=5.0,
+            cooldown=5.0,
+            warmup_delay=1.0,
+        )
+        simulation = ClusterSimulation(
+            num_servers=10,
+            arrivals=TimeVaryingPoissonArrivals(program),
+            service=Exponential(1.0),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(period=4.0),
+            autoscaler=autoscaler,
+            total_jobs=4000,
+            seed=seed,
+        )
+        result = simulation.run()
+        return simulation, result
+
+    def test_produces_scaling_summary(self):
+        simulation, result = self._run()
+        summary = simulation.last_scaling_summary
+        assert summary is not None
+        assert summary["actions"] > 0
+        assert result.jobs_measured > 0
+
+    def test_deterministic(self):
+        _, a = self._run(seed=11)
+        _, b = self._run(seed=11)
+        assert a.mean_response_time == b.mean_response_time
+        assert list(a.dispatch_counts) == list(b.dispatch_counts)
+
+    def test_blocks_batch_engines(self):
+        program = DiurnalProgram(6.0, amplitude=0.6, period=40.0)
+        simulation = ClusterSimulation(
+            num_servers=10,
+            arrivals=TimeVaryingPoissonArrivals(program),
+            service=Exponential(1.0),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(period=4.0),
+            autoscaler=Autoscaler(policy=TargetUtilizationPolicy()),
+            total_jobs=100,
+            seed=1,
+        )
+        blocker = simulation.fast_path_blocker()
+        assert blocker is not None and "autoscal" in blocker

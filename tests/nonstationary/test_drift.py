@@ -1,0 +1,154 @@
+"""DriftAwareLIPolicy: widening semantics and dispatch flattening."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.rate_estimators import ExactRate
+from repro.nonstationary import (
+    DriftAwareLIPolicy,
+    DriftTrackingRate,
+    FlashCrowdProgram,
+)
+from repro.staleness.base import LoadView
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import TimeVaryingPoissonArrivals
+from repro.workloads.distributions import Exponential
+
+
+class _FixedDriftEstimator(ExactRate):
+    """ExactRate plus a controllable drift_factor."""
+
+    def __init__(self, drift: float) -> None:
+        super().__init__()
+        self._drift = drift
+
+    def drift_factor(self) -> float:
+        return self._drift
+
+
+def _bound_policy(policy, estimator, num_servers=10, rate=0.9):
+    estimator.bind(num_servers, rate)
+    policy.bind(
+        num_servers,
+        np.random.default_rng(42),
+        rate_estimator=estimator,
+    )
+    return policy
+
+
+def _view(loads, window, version=1):
+    return LoadView(
+        loads=np.asarray(loads, dtype=float),
+        version=version,
+        info_time=0.0,
+        now=0.0,
+        horizon=window,
+        elapsed=0.0,
+        known_age=False,
+        phase_based=True,
+    )
+
+
+class TestWidenFactor:
+    def test_no_drift_means_no_widening(self):
+        policy = _bound_policy(DriftAwareLIPolicy(), _FixedDriftEstimator(1.0))
+        assert policy.widen_factor() == 1.0
+
+    def test_widen_tracks_gain(self):
+        policy = _bound_policy(
+            DriftAwareLIPolicy(gain=0.5), _FixedDriftEstimator(3.0)
+        )
+        assert policy.widen_factor() == pytest.approx(2.0)
+
+    def test_widen_capped(self):
+        policy = _bound_policy(
+            DriftAwareLIPolicy(max_widen=2.5), _FixedDriftEstimator(8.0)
+        )
+        assert policy.widen_factor() == 2.5
+
+    def test_estimator_without_drift_factor_is_basic_li(self):
+        policy = _bound_policy(DriftAwareLIPolicy(), ExactRate())
+        assert policy.widen_factor() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="gain"):
+            DriftAwareLIPolicy(gain=-1.0)
+        with pytest.raises(ValueError, match="max_widen"):
+            DriftAwareLIPolicy(max_widen=0.9)
+
+
+class TestSelectionFlattening:
+    def test_no_drift_matches_basic_li_exactly(self):
+        """At drift 1 the policy is bitwise Basic LI (same draws, cache)."""
+        loads = [0.0, 2.0, 5.0, 1.0, 8.0, 3.0, 0.0, 4.0, 6.0, 2.0]
+        drift = _bound_policy(DriftAwareLIPolicy(), _FixedDriftEstimator(1.0))
+        basic = _bound_policy(BasicLIPolicy(), ExactRate())
+        picks_drift = [drift.select(_view(loads, 4.0)) for _ in range(200)]
+        picks_basic = [basic.select(_view(loads, 4.0)) for _ in range(200)]
+        assert picks_drift == picks_basic
+
+    def test_widening_flattens_dispatch(self):
+        """Widening spreads choices: the empty server's share drops."""
+        loads = [0.0] + [6.0] * 9
+        narrow = _bound_policy(
+            DriftAwareLIPolicy(), _FixedDriftEstimator(1.0), rate=0.3
+        )
+        wide = _bound_policy(
+            DriftAwareLIPolicy(max_widen=4.0),
+            _FixedDriftEstimator(4.0),
+            rate=0.3,
+        )
+        n = 3000
+        narrow_share = (
+            sum(1 for _ in range(n) if narrow.select(_view(loads, 4.0)) == 0) / n
+        )
+        wide_share = (
+            sum(1 for _ in range(n) if wide.select(_view(loads, 4.0)) == 0) / n
+        )
+        assert wide_share < narrow_share
+
+    def test_not_phase_batchable(self):
+        assert not DriftAwareLIPolicy().phase_batchable(10)
+
+
+class TestEndToEnd:
+    def test_runs_under_flash_crowd(self):
+        program = FlashCrowdProgram(
+            6.0, surge_factor=3.0, start=20.0, duration=10.0, every=80.0
+        )
+        result = ClusterSimulation(
+            num_servers=10,
+            arrivals=TimeVaryingPoissonArrivals(program),
+            service=Exponential(1.0),
+            policy=DriftAwareLIPolicy(),
+            staleness=PeriodicUpdate(period=4.0),
+            rate_estimator=DriftTrackingRate(),
+            total_jobs=3000,
+            seed=1,
+        ).run()
+        assert result.jobs_measured > 0
+        assert result.mean_response_time > 0
+
+    def test_deterministic_across_runs(self):
+        def run_once():
+            program = FlashCrowdProgram(
+                6.0, surge_factor=3.0, start=20.0, duration=10.0
+            )
+            return ClusterSimulation(
+                num_servers=10,
+                arrivals=TimeVaryingPoissonArrivals(program),
+                service=Exponential(1.0),
+                policy=DriftAwareLIPolicy(),
+                staleness=PeriodicUpdate(period=4.0),
+                rate_estimator=DriftTrackingRate(),
+                total_jobs=2000,
+                seed=9,
+            ).run()
+
+        a, b = run_once(), run_once()
+        assert a.mean_response_time == b.mean_response_time
+        assert list(a.dispatch_counts) == list(b.dispatch_counts)

@@ -1,0 +1,171 @@
+"""Windowed, drift-tracking and oracle rate estimators under drift."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nonstationary import (
+    DiurnalProgram,
+    DriftTrackingRate,
+    FlashCrowdProgram,
+    ProgramRate,
+    WindowedRate,
+)
+
+
+def _feed_poisson(estimator, rate, start, duration, rng):
+    """Feed Poisson arrivals at ``rate`` over [start, start+duration]."""
+    now = start
+    while True:
+        now += rng.exponential(1.0 / rate)
+        if now >= start + duration:
+            return start + duration
+        estimator.observe_arrival(now)
+
+
+class TestWindowedRate:
+    def test_prior_before_two_samples(self):
+        estimator = WindowedRate(initial_rate=0.7)
+        estimator.bind(10, 0.9)
+        assert estimator.per_server_rate() == 0.7
+        estimator.observe_arrival(1.0)
+        assert estimator.per_server_rate() == 0.7
+
+    def test_tracks_constant_rate(self):
+        rng = np.random.default_rng(0)
+        estimator = WindowedRate(window=20.0)
+        estimator.bind(10, 0.9)
+        _feed_poisson(estimator, 9.0, 0.0, 100.0, rng)
+        assert estimator.per_server_rate() == pytest.approx(0.9, rel=0.2)
+
+    def test_tracks_surge_quickly(self):
+        """After a 4x surge the windowed estimate follows within ~1 window."""
+        rng = np.random.default_rng(1)
+        estimator = WindowedRate(window=5.0)
+        estimator.bind(10, 0.9)
+        end = _feed_poisson(estimator, 6.0, 0.0, 60.0, rng)
+        before = estimator.per_server_rate()
+        _feed_poisson(estimator, 24.0, end, 10.0, rng)
+        after = estimator.per_server_rate()
+        assert before == pytest.approx(0.6, rel=0.3)
+        assert after == pytest.approx(2.4, rel=0.3)
+
+    def test_ignores_out_of_order(self):
+        estimator = WindowedRate()
+        estimator.bind(10, 0.9)
+        estimator.observe_arrival(5.0)
+        estimator.observe_arrival(3.0)  # ignored
+        estimator.observe_arrival(6.0)
+        assert estimator.per_server_rate() > 0
+
+    def test_early_estimates_use_elapsed_time(self):
+        """Before the window fills, count / elapsed, not count / window."""
+        estimator = WindowedRate(window=100.0)
+        estimator.bind(1, 1.0)
+        for t in (0.5, 1.0, 1.5, 2.0):
+            estimator.observe_arrival(t)
+        # 4 arrivals in 2 time units: ~2/s, not 4/100.
+        assert estimator.per_server_rate() == pytest.approx(2.0, rel=0.1)
+
+    def test_floor(self):
+        estimator = WindowedRate(window=1.0, min_rate=1e-3)
+        estimator.bind(1000, 0.9)
+        estimator.observe_arrival(100.0)
+        estimator.observe_arrival(100.5)
+        assert estimator.per_server_rate() >= 1e-3
+
+    def test_rebind_resets(self):
+        estimator = WindowedRate()
+        estimator.bind(10, 0.9)
+        estimator.observe_arrival(1.0)
+        estimator.observe_arrival(2.0)
+        estimator.bind(10, 0.9)
+        assert estimator.per_server_rate() == estimator.initial_rate
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            WindowedRate(window=0.0)
+        with pytest.raises(ValueError, match="initial_rate"):
+            WindowedRate(initial_rate=0.0)
+        with pytest.raises(ValueError, match="min_rate"):
+            WindowedRate(min_rate=0.0)
+
+
+class TestDriftTrackingRate:
+    def test_reports_max_of_fast_and_slow(self):
+        estimator = DriftTrackingRate(fast_window=5.0)
+        estimator.bind(10, 0.9)
+        rng = np.random.default_rng(2)
+        end = _feed_poisson(estimator, 6.0, 0.0, 100.0, rng)
+        steady = estimator.per_server_rate()
+        _feed_poisson(estimator, 24.0, end, 8.0, rng)
+        surged = estimator.per_server_rate()
+        # The fast window tracks the surge while the slow EWMA lags, and
+        # max() selection follows the fast (larger) estimate.
+        assert surged > 2.0 * steady
+        assert estimator.fast.per_server_rate() > estimator.slow.per_server_rate()
+
+    def test_drift_factor_rises_during_surge(self):
+        # Sample drift shortly after onset, while the slow EWMA still
+        # lags: the per-arrival EWMA converges once enough surge
+        # arrivals accumulate, so a long surge would hide the window
+        # where widening matters.
+        estimator = DriftTrackingRate(fast_window=2.0, max_drift=8.0)
+        estimator.bind(10, 0.9)
+        rng = np.random.default_rng(3)
+        end = _feed_poisson(estimator, 6.0, 0.0, 100.0, rng)
+        assert estimator.drift_factor() == pytest.approx(1.0, abs=0.5)
+        _feed_poisson(estimator, 30.0, end, 2.0, rng)
+        assert estimator.drift_factor() > 1.5
+
+    def test_drift_factor_clipped(self):
+        estimator = DriftTrackingRate(max_drift=2.0)
+        estimator.bind(10, 0.9)
+        rng = np.random.default_rng(4)
+        end = _feed_poisson(estimator, 3.0, 0.0, 100.0, rng)
+        _feed_poisson(estimator, 60.0, end, 10.0, rng)
+        assert estimator.drift_factor() <= 2.0
+        assert estimator.drift_factor() >= 1.0
+
+    def test_falling_rate_reports_no_drift(self):
+        """A falling rate is benign (§5.6): drift stays at 1."""
+        estimator = DriftTrackingRate(fast_window=5.0)
+        estimator.bind(10, 0.9)
+        rng = np.random.default_rng(5)
+        end = _feed_poisson(estimator, 24.0, 0.0, 100.0, rng)
+        _feed_poisson(estimator, 3.0, end, 20.0, rng)
+        assert estimator.drift_factor() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_drift"):
+            DriftTrackingRate(max_drift=0.5)
+
+
+class TestProgramRate:
+    def test_reads_instantaneous_rate(self):
+        program = FlashCrowdProgram(
+            6.0, surge_factor=3.0, start=10.0, duration=5.0
+        )
+        estimator = ProgramRate(program)
+        estimator.bind(10, 0.6)
+        assert estimator.per_server_rate() == pytest.approx(0.6)
+        estimator.observe_arrival(12.0)
+        assert estimator.per_server_rate() == pytest.approx(1.8)
+        estimator.observe_arrival(20.0)
+        assert estimator.per_server_rate() == pytest.approx(0.6)
+
+    def test_floor_at_trough(self):
+        program = DiurnalProgram(1.0, amplitude=0.999999 - 1e-9, period=40.0)
+        estimator = ProgramRate(program, min_rate=0.01)
+        estimator.bind(1000, 0.001)
+        estimator.observe_arrival(30.0)  # trough of the sinusoid
+        assert estimator.per_server_rate() >= 0.01
+
+    def test_validation(self):
+        with pytest.raises(TypeError, match="RateProgram"):
+            ProgramRate(object())
+        with pytest.raises(ValueError, match="min_rate"):
+            ProgramRate(
+                DiurnalProgram(1.0, amplitude=0.5, period=40.0), min_rate=0.0
+            )

@@ -1,0 +1,168 @@
+"""CLI spec grammar for --arrivals and --autoscale."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.nonstationary import (
+    Autoscaler,
+    ConstantProgram,
+    DiurnalProgram,
+    FlashCrowdProgram,
+    PiecewiseConstantProgram,
+    QueueThresholdPolicy,
+    TargetUtilizationPolicy,
+    TraceProgram,
+    parse_arrivals_spec,
+    parse_autoscale_spec,
+)
+
+
+class TestArrivalSpecs:
+    def test_constant(self):
+        program = parse_arrivals_spec("constant")(9.0)
+        assert isinstance(program, ConstantProgram)
+        assert program.rate(0.0) == 9.0
+
+    def test_constant_rejects_parameters(self):
+        with pytest.raises(ValueError, match="constant takes no parameters"):
+            parse_arrivals_spec("constant:x=1")
+
+    def test_diurnal(self):
+        factory = parse_arrivals_spec("diurnal:amplitude=0.5,period=40")
+        program = factory(4.0)
+        assert isinstance(program, DiurnalProgram)
+        assert program.mean_rate == 4.0
+        assert program.peak_rate == pytest.approx(6.0)
+
+    def test_diurnal_phase_default(self):
+        program = parse_arrivals_spec("diurnal:amplitude=0.5,period=40")(1.0)
+        assert program.describe()["phase"] == 0.0
+
+    def test_flash(self):
+        factory = parse_arrivals_spec(
+            "flash:surge=4,start=50,duration=20,every=200"
+        )
+        program = factory(2.0)
+        assert isinstance(program, FlashCrowdProgram)
+        assert program.rate(60.0) == 8.0
+        assert program.rate(260.0) == 8.0  # pulse train
+
+    def test_flash_single_pulse_default(self):
+        program = parse_arrivals_spec("flash:surge=4,start=50,duration=20")(2.0)
+        assert program.rate(260.0) == 2.0
+
+    def test_piecewise_factors_scale_base(self):
+        factory = parse_arrivals_spec("piecewise:0=1.0,100=2.0,200=0.5")
+        program = factory(3.0)
+        assert isinstance(program, PiecewiseConstantProgram)
+        assert program.rate(50.0) == 3.0
+        assert program.rate(150.0) == 6.0
+        assert program.rate(250.0) == 1.5
+
+    def test_trace(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0,2.0\n10,6.0\n")
+        program = parse_arrivals_spec(f"trace:{path}")(999.0)
+        assert isinstance(program, TraceProgram)
+        assert program.rate(15.0) == 6.0  # base rate ignored
+
+    def test_missing_required_parameter(self):
+        with pytest.raises(ValueError, match="requires parameter 'period'"):
+            parse_arrivals_spec("diurnal:amplitude=0.5")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            parse_arrivals_spec("diurnal:amplitude=0.5,period=40,bogus=1")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown arrivals spec kind"):
+            parse_arrivals_spec("sawtooth:period=10")
+
+    def test_malformed_parameter(self):
+        with pytest.raises(ValueError, match="malformed parameter"):
+            parse_arrivals_spec("diurnal:amplitude0.5,period=40")
+
+    def test_non_numeric_value(self):
+        with pytest.raises(ValueError, match="must be numeric"):
+            parse_arrivals_spec("diurnal:amplitude=big,period=40")
+
+    def test_trace_needs_path(self):
+        with pytest.raises(ValueError, match="trace spec needs a CSV path"):
+            parse_arrivals_spec("trace")
+
+    def test_eager_validation(self):
+        # Bad program parameters fail at parse time, not in a worker.
+        with pytest.raises(ValueError, match="amplitude"):
+            parse_arrivals_spec("diurnal:amplitude=1.5,period=40")
+        with pytest.raises(ValueError, match="surge_factor"):
+            parse_arrivals_spec("flash:surge=0.5,start=0,duration=1")
+
+    def test_factories_are_picklable(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0,2.0\n")
+        specs = [
+            "constant",
+            "diurnal:amplitude=0.5,period=40",
+            "flash:surge=4,start=50,duration=20",
+            "piecewise:0=1.0,100=2.0",
+            f"trace:{path}",
+        ]
+        for spec in specs:
+            factory = parse_arrivals_spec(spec)
+            clone = pickle.loads(pickle.dumps(factory))
+            assert clone(2.0).describe() == factory(2.0).describe()
+
+
+class TestAutoscaleSpecs:
+    def test_target_util_defaults(self):
+        config = parse_autoscale_spec("target-util")
+        assert isinstance(config, Autoscaler)
+        assert isinstance(config.policy, TargetUtilizationPolicy)
+        assert config.policy.target == 0.7
+        assert config.interval == 5.0
+        assert config.cooldown == 10.0
+        assert config.warmup_delay == 1.0
+        assert config.initial_servers is None
+
+    def test_target_util_full(self):
+        config = parse_autoscale_spec(
+            "target-util:target=0.8,min=2,max=10,interval=3,"
+            "cooldown=6,warmup=2,initial=4"
+        )
+        assert config.policy.target == 0.8
+        assert config.policy.min_servers == 2
+        assert config.policy.max_servers == 10
+        assert config.interval == 3.0
+        assert config.cooldown == 6.0
+        assert config.warmup_delay == 2.0
+        assert config.initial_servers == 4
+
+    def test_queue(self):
+        config = parse_autoscale_spec("queue:up=6,down=1,step=2,min=2")
+        assert isinstance(config.policy, QueueThresholdPolicy)
+        assert config.policy.scale_up_at == 6.0
+        assert config.policy.scale_down_at == 1.0
+        assert config.policy.step == 2
+        assert config.policy.min_servers == 2
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown autoscale spec kind"):
+            parse_autoscale_spec("predictive:horizon=10")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            parse_autoscale_spec("target-util:bogus=1")
+
+    def test_invalid_values_fail_eagerly(self):
+        with pytest.raises(ValueError, match="target"):
+            parse_autoscale_spec("target-util:target=1.5")
+        with pytest.raises(ValueError, match="max_servers"):
+            parse_autoscale_spec("target-util:min=5,max=2")
+
+    def test_config_is_picklable(self):
+        config = parse_autoscale_spec("queue:up=6,down=1")
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone.describe() == config.describe()

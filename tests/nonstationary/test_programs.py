@@ -1,0 +1,228 @@
+"""Rate-program semantics: rates, integrals, transient windows, digests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.nonstationary import (
+    ConstantProgram,
+    DiurnalProgram,
+    FlashCrowdProgram,
+    PiecewiseConstantProgram,
+    TraceProgram,
+    program_digest,
+)
+
+
+class TestConstantProgram:
+    def test_rate_everywhere(self):
+        program = ConstantProgram(3.0)
+        assert program.rate(0.0) == 3.0
+        assert program.rate(1e6) == 3.0
+        assert program.peak_rate == 3.0
+        assert program.mean_rate == 3.0
+        assert program.is_constant
+
+    def test_integral(self):
+        assert ConstantProgram(2.0).integral(1.0, 4.0) == pytest.approx(6.0)
+        assert ConstantProgram(2.0).integral(4.0, 1.0) == 0.0
+
+    def test_no_transient(self):
+        assert ConstantProgram(1.0).transient_window() is None
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError, match="positive"):
+            ConstantProgram(0.0)
+        with pytest.raises(ValueError, match="positive"):
+            ConstantProgram(float("inf"))
+
+
+class TestPiecewiseConstantProgram:
+    def test_step_rates(self):
+        program = PiecewiseConstantProgram([(0.0, 1.0), (10.0, 3.0), (20.0, 2.0)])
+        assert program.rate(0.0) == 1.0
+        assert program.rate(9.999) == 1.0
+        assert program.rate(10.0) == 3.0
+        assert program.rate(25.0) == 2.0  # last rate holds forever
+        assert program.peak_rate == 3.0
+        assert not program.is_constant
+
+    def test_integral_across_steps(self):
+        program = PiecewiseConstantProgram([(0.0, 1.0), (10.0, 3.0)])
+        # 10 units at rate 1, then 5 at rate 3.
+        assert program.integral(0.0, 15.0) == pytest.approx(25.0)
+        assert program.integral(5.0, 12.0) == pytest.approx(5.0 + 6.0)
+
+    def test_mean_rate_is_time_average(self):
+        program = PiecewiseConstantProgram([(0.0, 1.0), (10.0, 3.0), (20.0, 3.0)])
+        assert program.mean_rate == pytest.approx((10.0 + 30.0) / 20.0)
+
+    def test_transient_window(self):
+        program = PiecewiseConstantProgram([(0.0, 1.0), (10.0, 3.0), (20.0, 1.0)])
+        assert program.transient_window() == (10.0, 20.0)
+        assert PiecewiseConstantProgram([(0.0, 1.0)]).transient_window() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PiecewiseConstantProgram([])
+        with pytest.raises(ValueError, match="t=0"):
+            PiecewiseConstantProgram([(5.0, 1.0)])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PiecewiseConstantProgram([(0.0, 1.0), (0.0, 2.0)])
+        with pytest.raises(ValueError, match="positive rate"):
+            PiecewiseConstantProgram([(0.0, 0.0)])
+
+
+class TestDiurnalProgram:
+    def test_oscillates_around_base(self):
+        program = DiurnalProgram(4.0, amplitude=0.5, period=40.0)
+        assert program.rate(0.0) == pytest.approx(4.0)
+        assert program.rate(10.0) == pytest.approx(6.0)  # sin peak at P/4
+        assert program.rate(30.0) == pytest.approx(2.0)  # trough at 3P/4
+        assert program.peak_rate == pytest.approx(6.0)
+        assert program.mean_rate == 4.0
+
+    def test_integral_full_period_is_mean(self):
+        program = DiurnalProgram(4.0, amplitude=0.9, period=40.0)
+        assert program.integral(0.0, 40.0) == pytest.approx(160.0)
+
+    def test_integral_matches_quadrature(self):
+        program = DiurnalProgram(5.0, amplitude=0.7, period=17.0, phase=3.0)
+        steps = 20_000
+        t0, t1 = 2.5, 31.0
+        dt = (t1 - t0) / steps
+        riemann = sum(
+            program.rate(t0 + (i + 0.5) * dt) for i in range(steps)
+        ) * dt
+        assert program.integral(t0, t1) == pytest.approx(riemann, rel=1e-6)
+
+    def test_zero_amplitude_is_constant(self):
+        program = DiurnalProgram(4.0, amplitude=0.0, period=40.0)
+        assert program.is_constant
+        assert program.transient_window() is None
+
+    def test_transient_window_is_forever(self):
+        program = DiurnalProgram(4.0, amplitude=0.5, period=40.0)
+        assert program.transient_window() == (0.0, math.inf)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            DiurnalProgram(1.0, amplitude=1.0, period=10.0)
+        with pytest.raises(ValueError, match="period"):
+            DiurnalProgram(1.0, amplitude=0.5, period=0.0)
+
+
+class TestFlashCrowdProgram:
+    def test_single_pulse(self):
+        program = FlashCrowdProgram(2.0, surge_factor=3.0, start=10.0, duration=5.0)
+        assert program.rate(9.999) == 2.0
+        assert program.rate(10.0) == 6.0
+        assert program.rate(14.999) == 6.0
+        assert program.rate(15.0) == 2.0
+        assert program.peak_rate == 6.0
+        assert program.mean_rate == 2.0  # single pulse: long-run mean = base
+        assert program.transient_window() == (10.0, 15.0)
+
+    def test_pulse_train(self):
+        program = FlashCrowdProgram(
+            2.0, surge_factor=3.0, start=10.0, duration=5.0, every=50.0
+        )
+        assert program.rate(60.0) == 6.0  # second pulse
+        assert program.rate(66.0) == 2.0
+        # duty cycle 0.1: mean = 2 * (1 + 2*0.1)
+        assert program.mean_rate == pytest.approx(2.4)
+        assert program.transient_window() == (10.0, math.inf)
+
+    def test_integral_counts_surge_time(self):
+        program = FlashCrowdProgram(2.0, surge_factor=3.0, start=10.0, duration=5.0)
+        # [0, 20]: 15 units at 2, 5 units at 6.
+        assert program.integral(0.0, 20.0) == pytest.approx(60.0)
+
+    def test_integral_pulse_train_matches_quadrature(self):
+        program = FlashCrowdProgram(
+            2.0, surge_factor=4.0, start=7.0, duration=3.0, every=20.0
+        )
+        steps = 40_000
+        t0, t1 = 1.0, 95.0
+        dt = (t1 - t0) / steps
+        riemann = sum(
+            program.rate(t0 + (i + 0.5) * dt) for i in range(steps)
+        ) * dt
+        assert program.integral(t0, t1) == pytest.approx(riemann, rel=1e-3)
+
+    def test_surge_factor_one_is_constant(self):
+        program = FlashCrowdProgram(2.0, surge_factor=1.0, start=10.0, duration=5.0)
+        assert program.is_constant
+        assert program.transient_window() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="surge_factor"):
+            FlashCrowdProgram(1.0, surge_factor=0.5, start=0.0, duration=1.0)
+        with pytest.raises(ValueError, match="every"):
+            FlashCrowdProgram(
+                1.0, surge_factor=2.0, start=0.0, duration=5.0, every=5.0
+            )
+
+
+class TestTraceProgram:
+    def test_from_csv(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("time,rate\n0,2.0\n10,6.0\n# comment\n20,1.0\n")
+        program = TraceProgram.from_csv(str(path))
+        assert program.rate(5.0) == 2.0
+        assert program.rate(15.0) == 6.0
+        assert program.rate(100.0) == 1.0
+        assert program.describe()["kind"] == "trace"
+        assert program.describe()["source"] == str(path)
+
+    def test_malformed_row_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,2.0\nnot,numeric\n")
+        with pytest.raises(ValueError, match="malformed"):
+            TraceProgram.from_csv(str(path))
+
+    def test_empty_trace_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time,rate\n")
+        with pytest.raises(ValueError, match="no \\(time, rate\\)"):
+            TraceProgram.from_csv(str(path))
+
+
+class TestTimeForCount:
+    def test_constant_inversion(self):
+        program = ConstantProgram(2.0)
+        assert program.time_for_count(10.0) == pytest.approx(5.0, rel=1e-4)
+
+    def test_nonconstant_inversion_roundtrips(self):
+        program = FlashCrowdProgram(
+            2.0, surge_factor=3.0, start=10.0, duration=5.0
+        )
+        for count in (1.0, 25.0, 80.0):
+            t = program.time_for_count(count)
+            assert program.integral(0.0, t) == pytest.approx(count, rel=1e-3)
+
+    def test_zero_count(self):
+        assert ConstantProgram(1.0).time_for_count(0.0) == 0.0
+
+
+class TestDigest:
+    def test_stable_and_distinct(self):
+        a = DiurnalProgram(4.0, amplitude=0.5, period=40.0)
+        b = DiurnalProgram(4.0, amplitude=0.5, period=40.0)
+        c = DiurnalProgram(4.0, amplitude=0.6, period=40.0)
+        assert program_digest(a) == program_digest(b)
+        assert program_digest(a) != program_digest(c)
+        assert len(program_digest(a)) == 16
+
+    def test_describe_is_json_serializable(self):
+        import json
+
+        for program in (
+            ConstantProgram(1.0),
+            PiecewiseConstantProgram([(0.0, 1.0), (5.0, 2.0)]),
+            DiurnalProgram(4.0, amplitude=0.5, period=40.0),
+            FlashCrowdProgram(2.0, surge_factor=3.0, start=10.0, duration=5.0),
+        ):
+            json.dumps(program.describe())

@@ -1,0 +1,89 @@
+"""Registry integration: ext figures exist, overrides preserve goldens,
+and the flash-crowd herding gap is measurable at small scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import figure_ids, get_figure
+from repro.experiments.runner import run_cell, run_figure
+from tests.integration.test_golden_figures import (
+    GOLDEN_MEANS,
+    JOBS,
+    RTOL,
+    SEEDS,
+    X_VALUES,
+)
+
+
+class TestRegistration:
+    def test_ext_figures_registered(self):
+        ids = figure_ids()
+        for figure_id in ("ext-flashcrowd", "ext-diurnal", "ext-autoscale"):
+            assert figure_id in ids
+
+    def test_flashcrowd_curves(self):
+        spec = get_figure("ext-flashcrowd")
+        labels = [curve.label for curve in spec.curves]
+        assert "basic-li(true-rate)" in labels
+        assert "basic-li(ewma)" in labels
+        assert "drift-li" in labels
+
+    def test_autoscale_curves(self):
+        spec = get_figure("ext-autoscale")
+        labels = [curve.label for curve in spec.curves]
+        assert "drift-li" in labels and "random" in labels
+
+
+class TestConstantOverrideGoldens:
+    def test_arrivals_constant_reproduces_goldens_exactly(self):
+        """--arrivals constant swaps PoissonArrivals for the programmatic
+        source; the run must stay bit-identical on every golden cell."""
+        overridden = run_figure(
+            "fig2",
+            jobs=JOBS,
+            seeds=SEEDS,
+            x_values=X_VALUES,
+            curves=["random", "basic-li", "aggressive-li"],
+            arrivals="constant",
+        )
+        for key, golden in GOLDEN_MEANS.items():
+            assert overridden.cells[key].mean == pytest.approx(golden, rel=RTOL)
+
+    def test_nonconstant_override_changes_results(self):
+        baseline = run_cell("fig2", "basic-li", 4.0, 1, 2000)
+        surged = run_cell(
+            "fig2",
+            "basic-li",
+            4.0,
+            1,
+            2000,
+            arrivals="flash:surge=2,start=40,duration=20,every=160",
+        )
+        assert surged != baseline
+
+
+class TestFlashCrowdHerdingGap:
+    """Small-scale version of the PR's measured deliverable: under a
+    flash crowd, a lagging λ̂ (EWMA) under-estimates during the surge —
+    the paper's dangerous direction (§5.6) — so it herds and loses to
+    the same policy with the true rate; the drift-aware variant recovers
+    part of the gap."""
+
+    @pytest.fixture(scope="class")
+    def means(self):
+        surge = 4.5  # peak load 0.9: near, not over, capacity
+        results = {}
+        for label in ("basic-li(true-rate)", "basic-li(ewma)", "drift-li"):
+            cells = [
+                run_cell("ext-flashcrowd", label, surge, seed, 8000)
+                for seed in (1, 2, 3)
+            ]
+            results[label] = sum(cells) / 3
+        return results
+
+    def test_stale_rate_loses_to_true_rate(self, means):
+        assert means["basic-li(ewma)"] > means["basic-li(true-rate)"]
+
+    def test_drift_aware_beats_stale_rate(self, means):
+        assert means["drift-li"] < means["basic-li(ewma)"]

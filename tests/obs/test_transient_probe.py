@@ -1,0 +1,185 @@
+"""TransientProbe windowing/herd detection and non-stationary provenance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.li_basic import BasicLIPolicy
+from repro.core.rate_estimators import EWMARate
+from repro.nonstationary import Autoscaler, FlashCrowdProgram, TargetUtilizationPolicy
+from repro.obs import NonstationaryProvenanceProbe, TransientProbe
+from repro.obs.transient import spec_digest
+from repro.staleness.periodic import PeriodicUpdate
+from repro.workloads.arrivals import PoissonArrivals, TimeVaryingPoissonArrivals
+from repro.workloads.distributions import Exponential
+
+
+def _fed_probe(**kwargs):
+    """A probe fed a synthetic dispatch/completion script by hand."""
+    probe = TransientProbe(**kwargs)
+    probe.on_attach(None, [object(), object()])
+    return probe
+
+
+class TestWindowing:
+    def test_dispatches_bin_by_time(self):
+        probe = _fed_probe(window=5.0)
+        for t in (0.5, 1.0, 4.9):
+            probe.on_dispatch(t, 0, 0, 0)
+        probe.on_dispatch(5.0, 0, 1, 0)
+        probe.on_finish(10.0)
+        windows = probe.windows()
+        assert [w["arrivals"] for w in windows] == [3, 1]
+        assert windows[0]["t0"] == 0.0 and windows[0]["t1"] == 5.0
+        assert windows[1]["t0"] == 5.0
+
+    def test_response_billed_to_arrival_window(self):
+        probe = _fed_probe(window=5.0)
+        probe.on_dispatch(4.0, 0, 0, 0)
+        # Arrives at 4.0 (window 0), completes at 12.0 (window 2).
+        probe.on_job_complete(0, 12.0, 8.0)
+        probe.on_finish(12.0)
+        windows = probe.windows()
+        assert windows[0]["completions"] == 1
+        assert windows[0]["mean_response"] == pytest.approx(8.0)
+
+    def test_drops_counted(self):
+        probe = _fed_probe(window=5.0)
+        probe.on_job_failed(2.0, 0, "timeout")
+        probe.on_job_failed(7.0, 1, "timeout")
+        probe.on_finish(10.0)
+        assert [w["drops"] for w in probe.windows()] == [1, 1]
+        assert probe.summary()["total_drops"] == 2
+
+    def test_empty_window_has_no_mean(self):
+        probe = _fed_probe(window=5.0)
+        probe.on_dispatch(1.0, 0, 0, 0)
+        probe.on_finish(5.0)
+        assert probe.windows()[0]["mean_response"] is None
+
+
+class TestHerdDetection:
+    def test_concentrated_window_is_herd_epoch(self):
+        probe = _fed_probe(window=5.0, herd_share=0.5, herd_min_arrivals=20)
+        for _ in range(25):
+            probe.on_dispatch(1.0, 0, 0, 0)
+        for _ in range(5):
+            probe.on_dispatch(1.0, 0, 1, 0)
+        probe.on_finish(5.0)
+        window = probe.windows()[0]
+        assert window["max_share"] == pytest.approx(25 / 30)
+        assert window["herd"]
+        assert probe.summary()["herd_epochs"] == 1
+
+    def test_small_windows_never_herd(self):
+        probe = _fed_probe(window=5.0, herd_min_arrivals=20)
+        for _ in range(10):  # all on one server, but below the floor
+            probe.on_dispatch(1.0, 0, 0, 0)
+        probe.on_finish(5.0)
+        assert not probe.windows()[0]["herd"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            TransientProbe(window=0.0)
+        with pytest.raises(ValueError, match="herd_share"):
+            TransientProbe(herd_share=1.5)
+        with pytest.raises(ValueError, match="herd_min_arrivals"):
+            TransientProbe(herd_min_arrivals=0)
+
+
+class TestSummaryTruncation:
+    def test_truncates_past_200_windows(self):
+        probe = _fed_probe(window=1.0)
+        for index in range(250):
+            probe.on_dispatch(index + 0.5, 0, 0, 0)
+        probe.on_finish(250.0)
+        summary = probe.summary()
+        assert summary["num_windows"] == 250
+        assert len(summary["windows"]) == 200
+        assert summary["windows_truncated"] == 50
+
+
+class TestEstimatorLagMeasurement:
+    def test_estimated_vs_true_rate_under_flash(self):
+        program = FlashCrowdProgram(
+            6.0, surge_factor=3.0, start=40.0, duration=20.0
+        )
+        probe = TransientProbe(window=5.0)
+        simulation = ClusterSimulation(
+            num_servers=10,
+            arrivals=TimeVaryingPoissonArrivals(program),
+            service=Exponential(1.0),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(period=4.0),
+            rate_estimator=EWMARate(),
+            total_jobs=3000,
+            seed=1,
+            probes=[probe],
+        )
+        simulation.run()
+        summary = probe.summary()
+        assert "mean_rate_underestimation" in summary
+        # During the surge [40, 60) the EWMA runs behind the true rate
+        # in every window — the paper's dangerous direction (§5.6).
+        surge_windows = [
+            w for w in probe.windows() if 40.0 <= w["t0"] < 60.0
+        ]
+        assert surge_windows
+        for window in surge_windows:
+            assert window["true_rate"] == pytest.approx(18.0)
+            assert window["estimated_rate"] < window["true_rate"]
+        json.dumps(summary)
+
+
+class TestProvenanceProbe:
+    def test_unrecorded_without_engine_hook(self):
+        assert NonstationaryProvenanceProbe().summary() == {
+            "nonstationary": "unrecorded"
+        }
+
+    def test_stationary_run_reports_false(self):
+        probe = NonstationaryProvenanceProbe()
+        ClusterSimulation(
+            num_servers=10,
+            arrivals=PoissonArrivals(9.0),
+            service=Exponential(1.0),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(period=4.0),
+            total_jobs=500,
+            seed=1,
+            probes=[probe],
+        ).run()
+        assert probe.summary() == {"nonstationary": False}
+
+    def test_does_not_force_event_engine(self):
+        assert NonstationaryProvenanceProbe.requires_event_loop is False
+
+    def test_records_program_and_autoscaler_digests(self):
+        program = FlashCrowdProgram(
+            6.0, surge_factor=2.0, start=20.0, duration=10.0
+        )
+        probe = NonstationaryProvenanceProbe()
+        ClusterSimulation(
+            num_servers=10,
+            arrivals=TimeVaryingPoissonArrivals(program),
+            service=Exponential(1.0),
+            policy=BasicLIPolicy(),
+            staleness=PeriodicUpdate(period=4.0),
+            autoscaler=Autoscaler(
+                policy=TargetUtilizationPolicy(min_servers=3, max_servers=10)
+            ),
+            total_jobs=2000,
+            seed=1,
+            probes=[probe],
+        ).run()
+        summary = probe.summary()
+        assert summary["arrival_program"]["kind"] == "flash"
+        assert summary["arrival_program_digest"] == spec_digest(
+            program.describe()
+        )
+        assert summary["autoscaler_digest"]
+        assert "actions" in summary["scaling"]
+        json.dumps(summary)

@@ -703,6 +703,128 @@ class TestRunOverloadFlags:
         assert "drops" in output
 
 
+class TestRunNonstationaryFlags:
+    BASE = ["run", "fig2", "--jobs", "400", "--seeds", "1",
+            "--curves", "basic-li", "--x", "4"]
+
+    def test_arrivals_flag_runs(self, capsys):
+        code = main(
+            self.BASE + ["--arrivals", "flash:surge=2,start=20,duration=10"]
+        )
+        assert code == 0
+        assert "basic-li" in capsys.readouterr().out
+
+    def test_arrivals_constant_is_bit_identical(self, capsys):
+        main(self.BASE)
+        baseline = capsys.readouterr().out
+        main(self.BASE + ["--arrivals", "constant"])
+        assert capsys.readouterr().out == baseline
+
+    def test_autoscale_flag_runs(self, capsys):
+        code = main(
+            self.BASE + ["--autoscale", "target-util:target=0.8,min=2"]
+        )
+        assert code == 0
+
+    def test_bad_arrivals_spec_exit_code(self, capsys):
+        code = main(self.BASE + ["--arrivals", "sawtooth:period=5"])
+        assert code == 2
+        assert "unknown arrivals spec kind" in capsys.readouterr().err
+
+    def test_bad_autoscale_spec_exit_code(self, capsys):
+        code = main(self.BASE + ["--autoscale", "predictive"])
+        assert code == 2
+        assert "unknown autoscale spec kind" in capsys.readouterr().err
+
+    def test_nonstationary_figures_run_from_registry(self, capsys):
+        code = main(
+            [
+                "run", "ext-flashcrowd",
+                "--jobs", "300", "--seeds", "1",
+                "--curves", "drift-li", "--x", "2.0",
+            ]
+        )
+        assert code == 0
+        assert "ext-flashcrowd" in capsys.readouterr().out
+
+    def test_manifest_records_program_digest(self, tmp_path, capsys):
+        code = main(
+            self.BASE
+            + [
+                "--arrivals", "diurnal:amplitude=0.5,period=40",
+                "--manifest-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        import json
+
+        manifest = json.loads((tmp_path / "fig2.manifest.json").read_text())
+        arrivals = manifest["extra"]["arrivals"]
+        assert arrivals["spec"] == "diurnal:amplitude=0.5,period=40"
+        assert arrivals["program_at_unit_rate"]["kind"] == "diurnal"
+        assert len(arrivals["digest"]) == 16
+
+
+class TestTransientCommand:
+    def test_prints_window_table(self, capsys):
+        code = main(
+            [
+                "transient",
+                "--arrivals", "flash:surge=3,start=20,duration=10",
+                "--jobs", "2000",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mean_rt" in output
+        assert "est_rate" in output
+        assert "herd_epochs" in output
+
+    def test_json_output(self, capsys):
+        code = main(
+            [
+                "transient",
+                "--arrivals", "diurnal:amplitude=0.5,period=30",
+                "--jobs", "1500",
+                "--json",
+            ]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert "transient" in payload
+        assert payload["nonstationary"]["arrival_program"]["kind"] == "diurnal"
+
+    def test_autoscale_prints_scaling_line(self, capsys):
+        code = main(
+            [
+                "transient",
+                "--arrivals", "diurnal:amplitude=0.6,period=40",
+                "--autoscale", "target-util:target=0.75,min=3",
+                "--jobs", "2000",
+            ]
+        )
+        assert code == 0
+        assert "autoscale" in capsys.readouterr().out
+
+    def test_drift_policy_runs(self, capsys):
+        code = main(
+            [
+                "transient",
+                "--arrivals", "flash:surge=3,start=20,duration=10",
+                "--policy", "drift-li",
+                "--jobs", "1500",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_spec_exit_code(self, capsys):
+        code = main(["transient", "--arrivals", "bogus:x=1"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestOverloadCommand:
     def test_sweeps_policies_and_rho(self, capsys):
         code = main(
