@@ -22,6 +22,7 @@ from pathlib import Path
 
 from repro.perf import (
     bench_jobs_from_env,
+    measure_cache_effectiveness,
     run_kernels,
     write_bench_file,
 )
@@ -49,14 +50,45 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the payload instead of (in addition to) the file path",
     )
+    parser.add_argument(
+        "--no-cache-bench",
+        action="store_true",
+        help="skip the cold-vs-warm sweep-cache measurement",
+    )
+    parser.add_argument(
+        "--cache-floor",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail (exit 1) unless warm full-suite regeneration is at "
+        "least X times faster than cold (CI gates at 5)",
+    )
     args = parser.parse_args(argv)
 
     jobs = args.jobs if args.jobs is not None else bench_jobs_from_env()
     payload = run_kernels(jobs, repeats=args.repeats)
+    if not args.no_cache_bench:
+        payload["cache"] = measure_cache_effectiveness()
     path = write_bench_file(payload, args.out)
     if args.stdout:
         print(json.dumps(payload, indent=2, sort_keys=True))
     print(f"wrote {path}")
+    if "cache" in payload:
+        cache = payload["cache"]
+        print(
+            f"cache effectiveness: cold {cache['cold_s']:.2f}s -> warm "
+            f"{cache['warm_s']:.2f}s ({cache['speedup']:.1f}x, "
+            f"{cache['cells']} cells)"
+        )
+        if args.cache_floor is not None and cache["speedup"] < args.cache_floor:
+            print(
+                f"FAIL: warm regeneration only {cache['speedup']:.1f}x "
+                f"faster than cold (floor {args.cache_floor:g}x)"
+            )
+            return 1
+    elif args.cache_floor is not None:
+        print("FAIL: --cache-floor requires the cache benchmark")
+        return 1
     return 0
 
 

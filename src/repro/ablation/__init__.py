@@ -1,0 +1,48 @@
+"""Ablation harness: content-hashed run IDs, result cache, knockout studies.
+
+See DESIGN.md §13.  Three layers:
+
+- :mod:`repro.ablation.runid` — canonical digests of fully-resolved sweep
+  cells; two cells share an ID exactly when they are guaranteed to
+  produce the same metric value.
+- :mod:`repro.ablation.cache` — an on-disk store keyed by those IDs with
+  schema-versioned invalidation and crash/corruption-safe reads.
+- :mod:`repro.ablation.study` — baseline-vs-knockout studies over the
+  experiment registry, emitting ranked component-importance reports.
+"""
+
+from repro.ablation.cache import CACHE_SCHEMA_VERSION, CacheWarning, ResultCache
+from repro.ablation.runid import (
+    RUN_ID_SCHEMA_VERSION,
+    canonical_json,
+    describe_value,
+    resolve_simulation_spec,
+    run_id,
+)
+from repro.ablation.study import (
+    AblationEntry,
+    AblationReport,
+    AblationStudy,
+    Knockout,
+    default_knockouts,
+    engine_knockouts,
+    save_report,
+)
+
+__all__ = [
+    "RUN_ID_SCHEMA_VERSION",
+    "CACHE_SCHEMA_VERSION",
+    "CacheWarning",
+    "ResultCache",
+    "canonical_json",
+    "describe_value",
+    "resolve_simulation_spec",
+    "run_id",
+    "Knockout",
+    "AblationEntry",
+    "AblationReport",
+    "AblationStudy",
+    "default_knockouts",
+    "engine_knockouts",
+    "save_report",
+]

@@ -1,0 +1,191 @@
+"""On-disk result cache keyed by content-hashed run IDs.
+
+Layout (DESIGN.md §13)::
+
+    <root>/v<CACHE_SCHEMA_VERSION>/<id[:2]>/<run_id>.json
+
+Each entry is one JSON document holding the metric value, the run ID it
+claims to answer, and the cache schema version.  Correctness guarantees:
+
+- **Schema-versioned invalidation.**  Entries live under a version
+  directory *and* repeat the version inside the document; bumping
+  :data:`CACHE_SCHEMA_VERSION` (or :data:`~repro.ablation.runid.
+  RUN_ID_SCHEMA_VERSION`, which is hashed into every ID) orphans every
+  old entry rather than reinterpreting it.
+- **No stale or corrupt reads.**  A get validates the document parses,
+  carries the expected schema, and names the requested run ID.  Any
+  mismatch — truncated file, hand-edited payload, file renamed onto the
+  wrong ID — produces a warning and a miss, never a wrong value.
+- **Concurrent writers are safe.**  Writes go to a unique temporary file
+  in the same directory and are published with ``os.replace`` (atomic on
+  POSIX).  Two shards racing on one cell both compute the same value
+  (run IDs are deterministic), so last-writer-wins is harmless, and a
+  reader can never observe a half-written entry.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+import os
+import warnings
+from pathlib import Path
+
+__all__ = ["CACHE_SCHEMA_VERSION", "CacheWarning", "ResultCache"]
+
+#: On-disk entry format version.  Bump on any change to the entry layout
+#: or to the meaning of ``value``.
+CACHE_SCHEMA_VERSION = 1
+
+
+class CacheWarning(UserWarning):
+    """A cache entry was unusable and the runner fell back to a fresh run."""
+
+
+#: Process-wide counter making temporary file names unique even when one
+#: process hosts several caches writing the same entry.
+_tmp_counter = itertools.count()
+
+
+class ResultCache:
+    """Content-addressed store of per-cell metric values.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created lazily on first write.  Entries land
+        under ``root/v<schema>/``.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.invalid = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self.root)!r})"
+
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{CACHE_SCHEMA_VERSION}"
+
+    def _path(self, run_id: str) -> Path:
+        if not run_id or any(c not in "0123456789abcdef" for c in run_id):
+            raise ValueError(f"malformed run id {run_id!r}")
+        return self.version_dir / run_id[:2] / f"{run_id}.json"
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+
+    def get(self, run_id: str) -> float | None:
+        """The cached metric value for ``run_id``, or ``None`` on a miss.
+
+        Every failure mode — missing file, unreadable JSON, schema
+        mismatch, an entry claiming a different run ID, a non-numeric
+        value — is a *miss with a warning*, so callers always fall back
+        to a fresh run and can never crash on (or trust) a bad entry.
+        """
+        path = self._path(run_id)
+        try:
+            raw = path.read_text()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as error:
+            self._reject(path, f"unreadable ({error})")
+            return None
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError as error:
+            self._reject(path, f"corrupt JSON ({error})")
+            return None
+        if not isinstance(entry, dict):
+            self._reject(path, f"not an object ({type(entry).__name__})")
+            return None
+        if entry.get("cache_schema") != CACHE_SCHEMA_VERSION:
+            self._reject(
+                path,
+                f"schema {entry.get('cache_schema')!r} != "
+                f"{CACHE_SCHEMA_VERSION}",
+            )
+            return None
+        if entry.get("run_id") != run_id:
+            self._reject(
+                path, f"entry names run id {entry.get('run_id')!r}"
+            )
+            return None
+        value = entry.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            self._reject(path, f"non-numeric value {value!r}")
+            return None
+        self.hits += 1
+        return float(value)
+
+    def _reject(self, path: Path, reason: str) -> None:
+        self.invalid += 1
+        self.misses += 1
+        warnings.warn(
+            f"ignoring cache entry {path.name}: {reason}; re-running cell",
+            CacheWarning,
+            stacklevel=3,
+        )
+
+    # ------------------------------------------------------------------
+    # Write
+    # ------------------------------------------------------------------
+
+    def put(self, run_id: str, value: float, spec: dict | None = None) -> Path:
+        """Store ``value`` under ``run_id`` atomically; returns the path.
+
+        ``spec`` (the resolved cell spec) is embedded for debuggability —
+        ``jq .spec`` on an entry shows exactly what produced it.  Floats
+        round-trip bit-exactly through JSON (shortest-repr encoding), so
+        a warm read returns the identical double a cold run produced.
+        """
+        value = float(value)
+        if not math.isfinite(value):
+            # NaN does not survive a JSON round trip portably and
+            # infinities usually mean a degenerate cell; neither is worth
+            # caching, and skipping them is always correct.
+            return self._path(run_id)
+        path = self._path(run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "run_id": run_id,
+            "value": value,
+        }
+        if spec is not None:
+            entry["spec"] = spec
+        tmp = path.parent / (
+            f".{run_id}.{os.getpid()}.{next(_tmp_counter)}.tmp"
+        )
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Hit/miss/write counters plus the cache location (for manifests)."""
+        return {
+            "cache_dir": str(self.root),
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "invalid_entries": self.invalid,
+        }
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk (current schema only)."""
+        if not self.version_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.version_dir.glob("*/*.json"))

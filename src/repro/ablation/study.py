@@ -1,0 +1,400 @@
+"""Baseline-vs-knockout ablation studies over the experiment registry.
+
+An :class:`AblationStudy` fixes one *baseline cell* — a (figure, curve, x)
+coordinate — and re-runs it with one component changed at a time: another
+curve of the same figure (a policy/estimator/staleness swap, inferred by
+comparing the curves' described factories), a forced engine, or a swapped-
+in override (faults, overload, arrival program, autoscaler, dispatcher
+count).  Every variant runs with the same seeds as the baseline (common
+random numbers), so per-seed deltas are paired and the ranked importance
+report shows each component's effect with its spread rather than noise
+from independent sampling.
+
+All runs go through :func:`repro.experiments.runner.run_figure`, so a
+shared :class:`~repro.ablation.cache.ResultCache` deduplicates work across
+studies and repeated invocations — a knockout grid over a figure whose
+sweep is already cached costs nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.experiments.registry import get_figure
+from repro.experiments.runner import run_figure
+
+__all__ = [
+    "Knockout",
+    "AblationEntry",
+    "AblationReport",
+    "AblationStudy",
+    "default_knockouts",
+    "engine_knockouts",
+]
+
+
+@dataclass(frozen=True)
+class Knockout:
+    """One ablation variant: the baseline cell with one component changed.
+
+    Unset fields inherit the baseline's configuration, so a knockout
+    names exactly the delta it introduces.  ``component`` labels what
+    changed (``"policy"``, ``"estimator"``, ``"staleness"``,
+    ``"engine"``, ``"faults"``, ...) for the report's ranking.
+    """
+
+    name: str
+    component: str
+    curve: str | None = None
+    engine: str | None = None
+    faults: str | None = None
+    dispatchers: int | None = None
+    overload: tuple | None = None
+    arrivals: str | None = None
+    autoscale: str | None = None
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("knockout name must be non-empty")
+        if not self.component:
+            raise ValueError(f"knockout {self.name!r} needs a component label")
+
+
+@dataclass(frozen=True)
+class AblationEntry:
+    """One ranked row of an ablation report."""
+
+    name: str
+    component: str
+    detail: str
+    baseline_mean: float
+    variant_mean: float
+    #: Mean over seeds of the paired per-seed delta (variant − baseline).
+    delta_mean: float
+    #: ``delta_mean`` relative to the baseline mean's magnitude.
+    delta_relative: float
+    per_seed_deltas: tuple[float, ...]
+    delta_min: float
+    delta_max: float
+    delta_std: float
+
+    @property
+    def importance(self) -> float:
+        """Ranking key: magnitude of the mean paired delta."""
+        return abs(self.delta_mean)
+
+
+def _paired_stats(
+    baseline: tuple[float, ...], variant: tuple[float, ...]
+) -> tuple[tuple[float, ...], float, float, float, float]:
+    deltas = tuple(v - b for b, v in zip(baseline, variant))
+    mean = sum(deltas) / len(deltas)
+    if len(deltas) > 1:
+        variance = sum((d - mean) ** 2 for d in deltas) / (len(deltas) - 1)
+    else:
+        variance = 0.0
+    return deltas, mean, min(deltas), max(deltas), math.sqrt(variance)
+
+
+@dataclass
+class AblationReport:
+    """Ranked component-importance results of one study."""
+
+    figure_id: str
+    baseline: str
+    x: float
+    metric: str
+    jobs: int
+    seeds: int
+    base_seed: int
+    engine: str
+    baseline_mean: float
+    baseline_samples: tuple[float, ...]
+    #: Ranked most-important first (largest ``|delta_mean|``).
+    entries: list[AblationEntry] = field(default_factory=list)
+    cache_stats: dict | None = None
+
+    def to_json(self) -> dict:
+        """JSON-serializable form (the ``repro ablate --json`` payload)."""
+        payload = {
+            "figure_id": self.figure_id,
+            "baseline": self.baseline,
+            "x": self.x,
+            "metric": self.metric,
+            "jobs": self.jobs,
+            "seeds": self.seeds,
+            "base_seed": self.base_seed,
+            "engine": self.engine,
+            "baseline_mean": self.baseline_mean,
+            "baseline_samples": list(self.baseline_samples),
+            "ranking": [
+                {
+                    "rank": rank,
+                    "knockout": entry.name,
+                    "component": entry.component,
+                    "detail": entry.detail,
+                    "baseline_mean": entry.baseline_mean,
+                    "variant_mean": entry.variant_mean,
+                    "delta_mean": entry.delta_mean,
+                    "delta_relative": entry.delta_relative,
+                    "per_seed_deltas": list(entry.per_seed_deltas),
+                    "delta_min": entry.delta_min,
+                    "delta_max": entry.delta_max,
+                    "delta_std": entry.delta_std,
+                }
+                for rank, entry in enumerate(self.entries, start=1)
+            ],
+        }
+        if self.cache_stats is not None:
+            payload["cache"] = self.cache_stats
+        return payload
+
+    def format_table(self) -> str:
+        """Aligned plain-text ranking, most important component first."""
+        lines = [
+            f"ablation of {self.figure_id} @ x={self.x:g} "
+            f"(baseline {self.baseline!r}, metric {self.metric}, "
+            f"jobs={self.jobs}, seeds={self.seeds})",
+            f"baseline mean {self.metric} = {self.baseline_mean:.4f}",
+        ]
+        name_width = max(
+            [len("knockout") + 2]
+            + [len(entry.name) + 2 for entry in self.entries]
+        )
+        comp_width = max(
+            [len("component") + 2]
+            + [len(entry.component) + 2 for entry in self.entries]
+        )
+        lines.append(
+            "rank  "
+            + "knockout".ljust(name_width)
+            + "component".ljust(comp_width)
+            + f"{'Δmean':>10}{'Δ%':>9}  spread(min..max)  per-seed σ"
+        )
+        for rank, entry in enumerate(self.entries, start=1):
+            relative = (
+                f"{100.0 * entry.delta_relative:+8.1f}%"
+                if math.isfinite(entry.delta_relative)
+                else "     n/a "
+            )
+            lines.append(
+                f"{rank:<6}"
+                + entry.name.ljust(name_width)
+                + entry.component.ljust(comp_width)
+                + f"{entry.delta_mean:>+10.4f}"
+                + relative
+                + f"  ({entry.delta_min:+.4f}..{entry.delta_max:+.4f})"
+                + f"  {entry.delta_std:.4f}"
+            )
+        return "\n".join(lines)
+
+
+def default_knockouts(figure_id: str, baseline: str) -> list[Knockout]:
+    """One knockout per non-baseline curve of the figure.
+
+    The changed component is inferred by comparing the canonical
+    descriptions of the two curves' factories — a curve differing only in
+    ``make_estimator`` is an estimator knockout, one differing in
+    ``make_policy`` a policy knockout, and so on.  Curves differing in
+    several factories get a compound label like ``"policy+estimator"``.
+    """
+    from repro.ablation.runid import canonical_json, describe_value
+
+    spec = get_figure(figure_id)
+    base = spec.curve(baseline)
+    knockouts = []
+    factories = (
+        ("make_policy", "policy"),
+        ("make_estimator", "estimator"),
+        ("make_staleness", "staleness"),
+    )
+    for curve in spec.curves:
+        if curve.label == baseline:
+            continue
+        changed = [
+            component
+            for attr, component in factories
+            if canonical_json(describe_value(getattr(base, attr)))
+            != canonical_json(describe_value(getattr(curve, attr)))
+        ]
+        knockouts.append(
+            Knockout(
+                name=f"curve:{curve.label}",
+                component="+".join(changed) or "curve",
+                curve=curve.label,
+                detail=f"swap baseline curve for {curve.label!r}",
+            )
+        )
+    return knockouts
+
+
+def engine_knockouts(
+    engines: tuple[str, ...] = ("event", "fast", "vector")
+) -> list[Knockout]:
+    """Engine as an ablation axis.
+
+    event/fast/vector are bit-identical by contract, so on eligible cells
+    every one of these must report a delta of exactly zero — a built-in
+    differential check that doubles as the cross-engine oracle in the
+    test suite.
+    """
+    return [
+        Knockout(
+            name=f"engine:{engine}",
+            component="engine",
+            engine=engine,
+            detail=f"force the {engine} engine",
+        )
+        for engine in engines
+    ]
+
+
+@dataclass
+class AblationStudy:
+    """Knock out or swap one component at a time and rank the damage.
+
+    Parameters
+    ----------
+    figure_id / baseline:
+        The registry figure and the curve serving as the baseline.
+    x:
+        The cell's x value; defaults to the middle of the figure's sweep
+        (where the curves are typically well separated).
+    jobs / seeds / base_seed:
+        Replication scale; every variant runs seeds ``base_seed + r`` for
+        ``r < seeds``, pairing deltas via common random numbers.
+    engine:
+        Engine for the baseline and for knockouts that do not force one.
+    knockouts:
+        The variant grid; defaults to :func:`default_knockouts` (every
+        other curve of the figure).
+    """
+
+    figure_id: str
+    baseline: str
+    x: float | None = None
+    jobs: int | None = None
+    seeds: int = 3
+    base_seed: int = 1
+    engine: str = "auto"
+    knockouts: list[Knockout] | None = None
+
+    def __post_init__(self) -> None:
+        spec = get_figure(self.figure_id)
+        spec.curve(self.baseline)  # validate early
+        if self.x is not None and self.x not in spec.x_values:
+            raise ValueError(
+                f"{self.figure_id} has no x={self.x:g}; "
+                f"available: {[f'{x:g}' for x in spec.x_values]}"
+            )
+        if self.seeds < 1:
+            raise ValueError(f"seeds must be >= 1, got {self.seeds}")
+        names = [k.name for k in self.knockouts or ()]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate knockout names in {names}")
+
+    def resolved_x(self) -> float:
+        if self.x is not None:
+            return self.x
+        x_values = get_figure(self.figure_id).x_values
+        return x_values[len(x_values) // 2]
+
+    def _run_variant(
+        self, curve: str, cache, processes, **overrides
+    ) -> tuple[float, ...]:
+        result = run_figure(
+            self.figure_id,
+            jobs=self.jobs,
+            seeds=self.seeds,
+            x_values=(self.resolved_x(),),
+            curves=(curve,),
+            base_seed=self.base_seed,
+            processes=processes,
+            cache=cache,
+            **overrides,
+        )
+        return result.cell(curve, self.resolved_x()).samples
+
+    def run(self, cache=None, processes: int | None = None) -> AblationReport:
+        """Run baseline plus every knockout; returns the ranked report.
+
+        ``cache`` (a :class:`~repro.ablation.cache.ResultCache` or cache
+        directory) is shared by every variant, so overlapping studies and
+        re-runs only pay for cells not seen before.
+        """
+        from repro.experiments.runner import _coerce_cache
+
+        spec = get_figure(self.figure_id)
+        x = self.resolved_x()
+        jobs = self.jobs if self.jobs is not None else spec.default_jobs
+        knockouts = (
+            self.knockouts
+            if self.knockouts is not None
+            else default_knockouts(self.figure_id, self.baseline)
+        )
+        cache = _coerce_cache(cache)
+        baseline_samples = self._run_variant(
+            self.baseline, cache, processes, engine=self.engine
+        )
+        baseline_mean = sum(baseline_samples) / len(baseline_samples)
+        scale = abs(baseline_mean)
+        entries = []
+        for knockout in knockouts:
+            variant_samples = self._run_variant(
+                knockout.curve or self.baseline,
+                cache,
+                processes,
+                engine=knockout.engine or self.engine,
+                faults=knockout.faults,
+                dispatchers=knockout.dispatchers,
+                overload=knockout.overload,
+                arrivals=knockout.arrivals,
+                autoscale=knockout.autoscale,
+            )
+            deltas, mean, low, high, std = _paired_stats(
+                baseline_samples, variant_samples
+            )
+            entries.append(
+                AblationEntry(
+                    name=knockout.name,
+                    component=knockout.component,
+                    detail=knockout.detail,
+                    baseline_mean=baseline_mean,
+                    variant_mean=sum(variant_samples) / len(variant_samples),
+                    delta_mean=mean,
+                    delta_relative=(
+                        mean / scale
+                        if scale > 0
+                        else (0.0 if mean == 0 else math.inf)
+                    ),
+                    per_seed_deltas=deltas,
+                    delta_min=low,
+                    delta_max=high,
+                    delta_std=std,
+                )
+            )
+        entries.sort(key=lambda entry: entry.importance, reverse=True)
+        return AblationReport(
+            figure_id=self.figure_id,
+            baseline=self.baseline,
+            x=x,
+            metric=spec.metric,
+            jobs=jobs,
+            seeds=self.seeds,
+            base_seed=self.base_seed,
+            engine=self.engine,
+            baseline_mean=baseline_mean,
+            baseline_samples=baseline_samples,
+            entries=entries,
+            cache_stats=cache.stats() if cache is not None else None,
+        )
+
+
+def save_report(report: AblationReport, path) -> None:
+    """Write a report's JSON payload to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(report.to_json(), indent=2) + "\n")

@@ -164,8 +164,94 @@ def build_parser() -> argparse.ArgumentParser:
         "event/fast/vector are bit-identical, fluid solves the "
         "mean-field fixed point instead of simulating)",
     )
+    run_cmd.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="content-hashed result cache: look up each cell's run ID in "
+        "DIR before running and only re-run stale cells (incremental "
+        "regeneration); fresh values are written back",
+    )
+    run_cmd.add_argument(
+        "--cache-refresh",
+        action="store_true",
+        help="with --cache-dir: skip lookups, re-run every cell and "
+        "overwrite its cached entry",
+    )
     _add_overload_arguments(run_cmd)
     run_cmd.set_defaults(handler=_cmd_run)
+
+    ablate_cmd = sub.add_parser(
+        "ablate",
+        help="knock out or swap one component at a time around a baseline "
+        "cell and rank the components by metric impact",
+    )
+    ablate_cmd.add_argument("figure", help="figure id (see `list`)")
+    ablate_cmd.add_argument(
+        "--baseline",
+        type=str,
+        required=True,
+        metavar="CURVE",
+        help="curve label serving as the baseline cell",
+    )
+    ablate_cmd.add_argument(
+        "--x",
+        type=float,
+        default=None,
+        help="x value of the baseline cell (default: middle of the sweep)",
+    )
+    ablate_cmd.add_argument(
+        "--jobs", type=int, default=None, help="arrivals per run"
+    )
+    ablate_cmd.add_argument(
+        "--seeds",
+        type=int,
+        default=3,
+        help="paired replications per variant (default 3)",
+    )
+    ablate_cmd.add_argument(
+        "--base-seed", type=int, default=1, help="first seed (default 1)"
+    )
+    ablate_cmd.add_argument(
+        "--knockout",
+        action="append",
+        default=None,
+        metavar="CURVE",
+        help="ablate against this curve (repeatable; default: every other "
+        "curve of the figure)",
+    )
+    ablate_cmd.add_argument(
+        "--engine-axis",
+        action="store_true",
+        help="add event/fast/vector as knockouts (bit-identical engines: "
+        "each must report a delta of exactly zero)",
+    )
+    ablate_cmd.add_argument(
+        "--engine",
+        choices=("auto", "event", "fast", "vector", "fluid"),
+        default="auto",
+        help="engine for the baseline and non-engine knockouts",
+    )
+    ablate_cmd.add_argument(
+        "--processes", type=int, default=1, help="worker processes (default 1)"
+    )
+    ablate_cmd.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="shared content-hashed result cache (see `run --cache-dir`); "
+        "variants already cached cost nothing",
+    )
+    ablate_cmd.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the ranked report as JSON to PATH",
+    )
+    ablate_cmd.set_defaults(handler=_cmd_ablate)
 
     multidisp_cmd = sub.add_parser(
         "multidisp",
@@ -535,6 +621,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overload=_overload_tuple(args),
         arrivals=args.arrivals,
         autoscale=args.autoscale,
+        cache=args.cache_dir,
+        cache_refresh=args.cache_refresh,
     )
     try:
         if args.manifest_dir:
@@ -559,6 +647,72 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(_observations_digest(result))
     if manifest_path is not None:
         print(f"\nmanifest written to {manifest_path}")
+    if result.cache_info is not None:
+        print(
+            f"\ncache: {result.cache_info['cache_hits']} hits, "
+            f"{result.cache_info['fresh_runs']} fresh runs "
+            f"({result.cache_info['cache_dir']})"
+        )
+    return 0
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    from repro.ablation import (
+        AblationStudy,
+        Knockout,
+        default_knockouts,
+        engine_knockouts,
+        save_report,
+    )
+
+    knockouts = None
+    if args.knockout or args.engine_axis:
+        knockouts = []
+        try:
+            if args.knockout:
+                by_curve = {
+                    k.curve: k
+                    for k in default_knockouts(args.figure, args.baseline)
+                }
+                for label in args.knockout:
+                    knockouts.append(
+                        by_curve.get(label)
+                        or Knockout(
+                            name=f"curve:{label}",
+                            component="curve",
+                            curve=label,
+                        )
+                    )
+            if args.engine_axis:
+                knockouts.extend(engine_knockouts())
+        except (KeyError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    try:
+        study = AblationStudy(
+            args.figure,
+            baseline=args.baseline,
+            x=args.x,
+            jobs=args.jobs,
+            seeds=args.seeds,
+            base_seed=args.base_seed,
+            engine=args.engine,
+            knockouts=knockouts,
+        )
+        report = study.run(cache=args.cache_dir, processes=args.processes)
+    except (KeyError, ValueError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.format_table())
+    if report.cache_stats is not None:
+        print(
+            f"\ncache: {report.cache_stats['hits']} hits, "
+            f"{report.cache_stats['writes']} writes "
+            f"({report.cache_stats['cache_dir']})"
+        )
+    if args.json:
+        save_report(report, args.json)
+        print(f"\nreport written to {args.json}")
     return 0
 
 

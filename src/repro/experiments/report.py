@@ -64,6 +64,11 @@ class FigureResult:
     observations: dict[tuple[str, float, int], dict] = field(
         default_factory=dict, repr=False
     )
+    # Cache provenance from cache-aware sweeps (repro.ablation.cache):
+    # hit/fresh counts and per-cell run IDs.  None when the sweep ran
+    # without a cache; persisted via run manifests, not the figure-result
+    # JSON format.
+    cache_info: dict | None = field(default=None, repr=False)
 
     def cell(self, curve: str, x: float) -> CellResult:
         """Look up one cell."""

@@ -1,17 +1,30 @@
 """Sweep execution: run every (curve × x × seed) cell of a figure.
 
 The runner supports optional process-level parallelism.  Work units are
-shipped to workers as plain ``(figure_id, curve_label, x, seed, jobs)``
-tuples and re-materialized from the registry inside the worker, so nothing
-unpicklable crosses the process boundary.  Traced runs attach the standard
-observability probes (queue trace, response histogram, herd detector)
-inside the worker and return their summaries as plain dictionaries.
+:class:`CellTask` records — frozen dataclasses of primitives (figure id,
+curve label, x, seed, jobs, override strings) — re-materialized from the
+registry inside the worker, so nothing unpicklable crosses the process
+boundary.  Parallel sweeps partition the task list into deterministic
+round-robin shards (:func:`shard_work`) and reassemble results by
+position, never by completion order, so a sharded run is bit-identical to
+a serial one.  Traced runs attach the standard observability probes
+(queue trace, response histogram, herd detector) inside the worker and
+return their summaries as plain dictionaries.
+
+Sweeps can be *cache-aware*: given a
+:class:`~repro.ablation.cache.ResultCache` (or a cache directory), each
+cell's content-hashed run ID (:func:`cell_run_id`) is looked up first and
+only stale cells are re-run — incremental regeneration.  Cache provenance
+(hits vs fresh runs, per-cell run IDs) lands in
+``FigureResult.cache_info`` and, through
+:func:`run_figure_with_manifest`, in the run manifest.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -20,6 +33,9 @@ from repro.experiments.registry import get_figure
 from repro.experiments.report import CellResult, FigureResult
 
 __all__ = [
+    "CellTask",
+    "cell_run_id",
+    "shard_work",
     "run_cell",
     "run_cell_observed",
     "run_figure",
@@ -161,6 +177,86 @@ def _apply_dispatchers(simulation, dispatchers: int, figure_id: str) -> None:
     simulation.dispatchers = validate_dispatcher_count(dispatchers)
 
 
+@dataclass(frozen=True)
+class CellTask:
+    """One sweep cell as a self-describing, picklable work unit.
+
+    Replaces the positional worker tuples the runner used to ship to
+    processes (which had grown to 13 unnamed slots).  Every field is a
+    primitive or a tuple of primitives — the same discipline as before,
+    so a task pickles cheaply and re-materializes its simulation from the
+    registry inside the worker.  Frozen, so tasks are hashable and safe
+    to share across shards.
+    """
+
+    figure_id: str
+    curve: str
+    x: float
+    seed: int
+    jobs: int
+    trace: bool = False
+    trace_interval: float = DEFAULT_TRACE_INTERVAL
+    full_traces: bool = False
+    faults: str | None = None
+    engine: str = "auto"
+    dispatchers: int | None = None
+    overload: tuple | None = None
+    arrivals: str | None = None
+    autoscale: str | None = None
+
+
+def _materialize_cell(task: CellTask):
+    """Build the (not yet run) simulation for one cell, overrides applied.
+
+    Returns ``(figure_spec, simulation)``.  Construction is cheap — every
+    driver stores attributes and builds nothing until ``run()`` — which
+    is what makes content-hashed run IDs affordable: the parent process
+    materializes each cell once to describe it, workers materialize again
+    to run it, and both see the identical resolved configuration.
+    """
+    spec = get_figure(task.figure_id)
+    curve = spec.curve(task.curve)
+    simulation = spec.build_simulation(curve, task.x, task.seed, task.jobs)
+    if task.arrivals is not None:
+        _apply_arrivals(simulation, task.arrivals, task.figure_id)
+    if task.autoscale is not None:
+        _apply_autoscale(simulation, task.autoscale, task.figure_id)
+    if task.faults is not None:
+        _apply_fault_spec(simulation, task.faults, task.figure_id)
+    if task.dispatchers is not None:
+        _apply_dispatchers(simulation, task.dispatchers, task.figure_id)
+    if task.overload is not None:
+        _apply_overload(simulation, task.overload, task.figure_id)
+    if task.engine != "auto":
+        _apply_engine(simulation, task.engine, task.figure_id)
+    return spec, simulation
+
+
+def cell_run_id(task: CellTask) -> tuple[str, dict]:
+    """Content-hashed identity of one cell: ``(run_id, resolved_spec)``.
+
+    The ID digests the *fully-resolved* cell — the materialized
+    simulation with every registry constant and CLI override applied —
+    via :func:`repro.ablation.runid.resolve_simulation_spec`, so editing
+    a registry factory or passing a different override changes the ID
+    even though the (figure, curve, x, seed) coordinates stay the same.
+    """
+    from repro.ablation.runid import resolve_simulation_spec, run_id
+
+    spec, simulation = _materialize_cell(task)
+    resolved = resolve_simulation_spec(
+        simulation,
+        figure_id=task.figure_id,
+        curve=task.curve,
+        x=task.x,
+        seed=task.seed,
+        jobs=task.jobs,
+        metric=spec.metric,
+        engine=task.engine,
+    )
+    return run_id(resolved), resolved
+
+
 def run_cell(
     figure_id: str,
     curve_label: str,
@@ -197,21 +293,21 @@ def run_cell(
     :func:`repro.nonstationary.parse_autoscale_spec`).  Both ship to
     workers as strings, like ``fault_spec``.
     """
-    spec = get_figure(figure_id)
-    curve = spec.curve(curve_label)
-    simulation = spec.build_simulation(curve, x, seed, total_jobs)
-    if arrivals is not None:
-        _apply_arrivals(simulation, arrivals, figure_id)
-    if autoscale is not None:
-        _apply_autoscale(simulation, autoscale, figure_id)
-    if fault_spec is not None:
-        _apply_fault_spec(simulation, fault_spec, figure_id)
-    if dispatchers is not None:
-        _apply_dispatchers(simulation, dispatchers, figure_id)
-    if overload is not None:
-        _apply_overload(simulation, overload, figure_id)
-    if engine != "auto":
-        _apply_engine(simulation, engine, figure_id)
+    spec, simulation = _materialize_cell(
+        CellTask(
+            figure_id=figure_id,
+            curve=curve_label,
+            x=x,
+            seed=seed,
+            jobs=total_jobs,
+            faults=fault_spec,
+            engine=engine,
+            dispatchers=dispatchers,
+            overload=overload,
+            arrivals=arrivals,
+            autoscale=autoscale,
+        )
+    )
     return getattr(simulation.run(), spec.metric)
 
 
@@ -296,21 +392,21 @@ def run_cell_observed(
     :class:`~repro.obs.overload.OverloadProbe` recording drops, sheds and
     breaker timelines.
     """
-    spec = get_figure(figure_id)
-    curve = spec.curve(curve_label)
-    simulation = spec.build_simulation(curve, x, seed, total_jobs)
-    if arrivals is not None:
-        _apply_arrivals(simulation, arrivals, figure_id)
-    if autoscale is not None:
-        _apply_autoscale(simulation, autoscale, figure_id)
-    if fault_spec is not None:
-        _apply_fault_spec(simulation, fault_spec, figure_id)
-    if dispatchers is not None:
-        _apply_dispatchers(simulation, dispatchers, figure_id)
-    if overload is not None:
-        _apply_overload(simulation, overload, figure_id)
-    if engine != "auto":
-        _apply_engine(simulation, engine, figure_id)
+    spec, simulation = _materialize_cell(
+        CellTask(
+            figure_id=figure_id,
+            curve=curve_label,
+            x=x,
+            seed=seed,
+            jobs=total_jobs,
+            faults=fault_spec,
+            engine=engine,
+            dispatchers=dispatchers,
+            overload=overload,
+            arrivals=arrivals,
+            autoscale=autoscale,
+        )
+    )
     probes = standard_probes(figure_id, x, sample_interval)
     if getattr(simulation, "faults", None) is not None:
         from repro.obs.fault_trace import FaultTraceProbe
@@ -377,6 +473,8 @@ def run_figure(
     overload: tuple | None = None,
     arrivals: str | None = None,
     autoscale: str | None = None,
+    cache=None,
+    cache_refresh: bool = False,
 ) -> FigureResult:
     """Execute a figure's full sweep and return its :class:`FigureResult`.
 
@@ -441,6 +539,21 @@ def run_figure(
         :func:`repro.nonstationary.parse_autoscale_spec`) attaching an
         elastic-capacity controller to every cell.  Shipped to workers as
         a string.
+    cache:
+        Optional result cache: a
+        :class:`~repro.ablation.cache.ResultCache` or a cache directory
+        (str/Path).  Each cell's content-hashed run ID is looked up
+        before running; hits reuse the stored metric value bit-for-bit
+        and only stale cells execute (incremental regeneration).  Fresh
+        values are written back.  Provenance (hit/fresh counts, per-cell
+        run IDs) lands in ``result.cache_info``.  Traced sweeps bypass
+        the cache with a warning — probe summaries are not cached, and a
+        hit would silently drop them.
+    cache_refresh:
+        With ``cache``, skip lookups and re-run every cell, overwriting
+        cached entries — for forcing regeneration after a code change the
+        run-ID canonicalization cannot see (there should be none; this is
+        the escape hatch for debugging exactly that).
     """
     spec = get_figure(figure_id)
     jobs = jobs if jobs is not None else spec.default_jobs
@@ -457,12 +570,6 @@ def run_figure(
     else:
         curve_labels = tuple(curve.label for curve in spec.curves)
 
-    cells = [
-        (label, x, base_seed + replication)
-        for label in curve_labels
-        for x in sweep_x
-        for replication in range(seeds)
-    ]
     if faults is not None:
         from repro.faults import parse_fault_spec
 
@@ -491,44 +598,86 @@ def run_figure(
         # Validate once, before any worker starts; workers re-parse.
         if build_overload_config(*overload) is None:
             overload = None
-    if trace:
-        work = [
-            (
-                figure_id, label, x, seed, jobs, trace_interval,
-                full_traces, faults, engine, dispatchers, overload,
-                arrivals, autoscale,
-            )
-            for (label, x, seed) in cells
-        ]
-        worker = _run_observed_tuple
-    else:
-        work = [
-            (
-                figure_id, label, x, seed, jobs, faults, engine,
-                dispatchers, overload, arrivals, autoscale,
-            )
-            for (label, x, seed) in cells
-        ]
-        worker = _run_cell_tuple
+    tasks = [
+        CellTask(
+            figure_id=figure_id,
+            curve=label,
+            x=x,
+            seed=base_seed + replication,
+            jobs=jobs,
+            trace=trace,
+            trace_interval=trace_interval,
+            full_traces=full_traces,
+            faults=faults,
+            engine=engine,
+            dispatchers=dispatchers,
+            overload=overload,
+            arrivals=arrivals,
+            autoscale=autoscale,
+        )
+        for label in curve_labels
+        for x in sweep_x
+        for replication in range(seeds)
+    ]
 
-    if processes is None:
-        processes = 1
-    if processes > 1:
-        max_workers = min(processes, os.cpu_count() or 1, len(work))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            values = list(pool.map(worker, work, chunksize=1))
+    cache = _coerce_cache(cache)
+    if cache is not None and trace:
+        from repro.ablation.cache import CacheWarning
+
+        warnings.warn(
+            "traced sweeps bypass the result cache: probe summaries are "
+            "not cached, and a cache hit would silently drop them",
+            CacheWarning,
+            stacklevel=2,
+        )
+        cache = None
+
+    cache_info = None
+    if cache is not None:
+        resolved_ids = [cell_run_id(task) for task in tasks]
+        cached_values: dict[int, float] = {}
+        if not cache_refresh:
+            for index, (rid, _) in enumerate(resolved_ids):
+                value = cache.get(rid)
+                if value is not None:
+                    cached_values[index] = value
+        pending_indices = [
+            index for index in range(len(tasks)) if index not in cached_values
+        ]
+        fresh_values = _execute_tasks(
+            [tasks[index] for index in pending_indices], processes
+        )
+        values: list = [None] * len(tasks)
+        for index, value in cached_values.items():
+            values[index] = value
+        for index, value in zip(pending_indices, fresh_values):
+            rid, resolved = resolved_ids[index]
+            cache.put(rid, value, spec=resolved)
+            values[index] = value
+        cache_info = {
+            "enabled": True,
+            "refresh": bool(cache_refresh),
+            "cells": len(tasks),
+            "cache_hits": len(cached_values),
+            "fresh_runs": len(pending_indices),
+            **cache.stats(),
+            "run_ids": {
+                f"{task.curve}|{task.x:g}|{task.seed}": rid
+                for task, (rid, _) in zip(tasks, resolved_ids)
+            },
+        }
     else:
-        values = [worker(item) for item in work]
+        values = _execute_tasks(tasks, processes)
 
     samples: dict[tuple[str, float], list[float]] = {
         (label, x): [] for label in curve_labels for x in sweep_x
     }
     observations: dict[tuple[str, float, int], dict] = {}
-    for (label, x, seed), value in zip(cells, values):
+    for task, value in zip(tasks, values):
         if trace:
             value, obs = value
-            observations[(label, x, seed)] = obs
-        samples[(label, x)].append(value)
+            observations[(task.curve, task.x, task.seed)] = obs
+        samples[(task.curve, task.x)].append(value)
 
     result = FigureResult(
         figure_id=spec.figure_id,
@@ -541,6 +690,7 @@ def run_figure(
         seeds=seeds,
         notes=spec.notes,
         observations=observations,
+        cache_info=cache_info,
     )
     for key, cell_samples in samples.items():
         label, x = key
@@ -548,6 +698,48 @@ def run_figure(
             curve=label, x=x, samples=tuple(cell_samples)
         )
     return result
+
+
+def _coerce_cache(cache):
+    """Accept a ResultCache, a cache directory, or None."""
+    if cache is None:
+        return None
+    from repro.ablation.cache import ResultCache
+
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def shard_work(tasks: list, shards: int) -> list[list]:
+    """Deterministically partition ``tasks`` round-robin into ``shards``.
+
+    Shard ``i`` gets ``tasks[i::shards]`` — a pure function of the task
+    list and the shard count, independent of worker scheduling, so the
+    caller can reassemble results by position (shard ``i`` item ``j`` is
+    task ``i + j*shards``) and a sharded sweep stays bit-identical to a
+    serial one.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return [tasks[i::shards] for i in range(shards)]
+
+
+def _execute_tasks(tasks: list[CellTask], processes: int | None) -> list:
+    """Run tasks inline, or across deterministically sharded workers."""
+    if processes is None:
+        processes = 1
+    if processes <= 1 or len(tasks) <= 1:
+        return [_run_task(task) for task in tasks]
+    shards = min(processes, os.cpu_count() or 1, len(tasks))
+    parts = shard_work(tasks, shards)
+    with ProcessPoolExecutor(max_workers=shards) as pool:
+        shard_values = list(pool.map(_run_shard, parts))
+    values: list = [None] * len(tasks)
+    for index, part in enumerate(shard_values):
+        for offset, value in enumerate(part):
+            values[index + offset * shards] = value
+    return values
 
 
 def run_figure_with_manifest(
@@ -628,61 +820,49 @@ def run_figure_with_manifest(
                     **config.describe(),
                 },
             }
+    if result.cache_info is not None:
+        extra = {**(extra or {}), "cache": result.cache_info}
     manifest = build_manifest(result, wall_time, base_seed=base_seed, extra=extra)
     path = save_manifest(manifest, manifest_dir)
     return result, path
 
 
-def _run_cell_tuple(
-    item: tuple[
-        str, str, float, int, int, str | None, str, int | None,
-        tuple | None, str | None, str | None,
-    ]
-) -> float:
-    (
-        figure_id, curve_label, x, seed, total_jobs, fault_spec, engine,
-        dispatchers, overload, arrivals, autoscale,
-    ) = item
+def _run_task(task: CellTask):
+    """Worker entry point: run one cell, traced or untraced."""
+    if task.trace:
+        return run_cell_observed(
+            task.figure_id,
+            task.curve,
+            task.x,
+            task.seed,
+            task.jobs,
+            sample_interval=task.trace_interval,
+            full_traces=task.full_traces,
+            fault_spec=task.faults,
+            engine=task.engine,
+            dispatchers=task.dispatchers,
+            overload=task.overload,
+            arrivals=task.arrivals,
+            autoscale=task.autoscale,
+        )
     return run_cell(
-        figure_id,
-        curve_label,
-        x,
-        seed,
-        total_jobs,
-        fault_spec=fault_spec,
-        engine=engine,
-        dispatchers=dispatchers,
-        overload=overload,
-        arrivals=arrivals,
-        autoscale=autoscale,
+        task.figure_id,
+        task.curve,
+        task.x,
+        task.seed,
+        task.jobs,
+        fault_spec=task.faults,
+        engine=task.engine,
+        dispatchers=task.dispatchers,
+        overload=task.overload,
+        arrivals=task.arrivals,
+        autoscale=task.autoscale,
     )
 
 
-def _run_observed_tuple(
-    item: tuple[
-        str, str, float, int, int, float, bool, str | None, str,
-        int | None, tuple | None, str | None, str | None,
-    ]
-) -> tuple[float, dict]:
-    (
-        figure_id, curve_label, x, seed, total_jobs, interval, full,
-        fault_spec, engine, dispatchers, overload, arrivals, autoscale,
-    ) = item
-    return run_cell_observed(
-        figure_id,
-        curve_label,
-        x,
-        seed,
-        total_jobs,
-        sample_interval=interval,
-        full_traces=full,
-        fault_spec=fault_spec,
-        engine=engine,
-        dispatchers=dispatchers,
-        overload=overload,
-        arrivals=arrivals,
-        autoscale=autoscale,
-    )
+def _run_shard(tasks: list[CellTask]) -> list:
+    """Worker entry point: run one deterministic shard, in order."""
+    return [_run_task(task) for task in tasks]
 
 
 @dataclass(frozen=True)

@@ -55,6 +55,7 @@ __all__ = [
     "load_bench_files",
     "format_trend",
     "compare_benches",
+    "measure_cache_effectiveness",
     "Regression",
 ]
 
@@ -560,6 +561,78 @@ def compare_benches(
                 )
             )
     return regressions
+
+
+#: Pinned knobs of the cache-effectiveness measurement: small enough to
+#: ride along with every BENCH point, fixed so points stay comparable.
+CACHE_BENCH_JOBS = 300
+CACHE_BENCH_SEEDS = 1
+
+
+def measure_cache_effectiveness(
+    jobs: int = CACHE_BENCH_JOBS,
+    seeds: int = CACHE_BENCH_SEEDS,
+    figure_ids: Iterable[str] | None = None,
+    cache_dir: str | Path | None = None,
+) -> dict:
+    """Cold-vs-warm wall times for regenerating the registry figure suite.
+
+    Runs every figure (or ``figure_ids``) twice through the cache-aware
+    runner against the same content-hashed result cache: the *cold* pass
+    executes every cell and fills the cache, the *warm* pass re-resolves
+    every cell's run ID and serves all of them from disk.  The warm pass
+    is what incremental regeneration costs when nothing changed — spec
+    resolution, hashing and cache reads — and its speedup over cold is
+    the number CI gates on.
+
+    Returns the ``"cache"`` section of the BENCH payload::
+
+        {"jobs": ..., "seeds": ..., "figures": N, "cells": N,
+         "cold_s": ..., "warm_s": ..., "speedup": cold_s / warm_s}
+
+    Raises if any warm cell missed the cache — a miss would mean run IDs
+    are unstable between identical invocations, which is a correctness
+    bug, not a slow path.
+    """
+    import tempfile
+
+    from repro.ablation.cache import ResultCache
+    from repro.experiments.registry import figure_ids as registry_ids
+    from repro.experiments.runner import run_figure
+
+    figures = tuple(figure_ids) if figure_ids is not None else registry_ids()
+
+    def sweep(root: str | Path) -> tuple[float, int, int]:
+        cache = ResultCache(root)
+        cells = 0
+        started = time.perf_counter()
+        for figure in figures:
+            result = run_figure(figure, jobs=jobs, seeds=seeds, cache=cache)
+            cells += result.cache_info["cells"]
+        return time.perf_counter() - started, cells, cache.misses
+
+    def run(root: str | Path) -> dict:
+        cold_s, cells, _ = sweep(root)
+        warm_s, _, warm_misses = sweep(root)
+        if warm_misses:
+            raise RuntimeError(
+                f"{warm_misses} cache misses on the warm pass: run IDs are "
+                "not stable across identical invocations"
+            )
+        return {
+            "jobs": jobs,
+            "seeds": seeds,
+            "figures": len(figures),
+            "cells": cells,
+            "cold_s": round(cold_s, 3),
+            "warm_s": round(warm_s, 3),
+            "speedup": round(cold_s / warm_s, 2) if warm_s > 0 else math.inf,
+        }
+
+    if cache_dir is not None:
+        return run(cache_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-cache-bench-") as tmp:
+        return run(tmp)
 
 
 def bench_jobs_from_env(default: int = 15_000) -> int:

@@ -1,0 +1,168 @@
+"""Result-cache failure modes: every bad entry is a warned miss, never a
+crash or a stale read."""
+
+from __future__ import annotations
+
+import json
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.ablation.cache import CACHE_SCHEMA_VERSION, CacheWarning, ResultCache
+
+RID = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_put_get_exact_float(self, cache):
+        value = 0.1 + 0.2  # not exactly representable in decimal
+        cache.put(RID, value)
+        assert cache.get(RID) == value
+        assert cache.hits == 1 and cache.writes == 1
+
+    def test_miss_on_absent_entry(self, cache):
+        assert cache.get(RID) is None
+        assert cache.misses == 1 and cache.invalid == 0
+
+    def test_layout_is_schema_versioned_and_fanned_out(self, cache):
+        path = cache.put(RID, 1.0)
+        assert path == (
+            cache.root / f"v{CACHE_SCHEMA_VERSION}" / RID[:2] / f"{RID}.json"
+        )
+        assert path.is_file()
+
+    def test_spec_embedded_for_debuggability(self, cache):
+        cache.put(RID, 1.0, spec={"figure": "fig2"})
+        entry = json.loads(cache._path(RID).read_text())
+        assert entry["spec"] == {"figure": "fig2"}
+
+    def test_len_counts_current_schema_entries(self, cache):
+        assert len(cache) == 0
+        cache.put(RID, 1.0)
+        cache.put(OTHER, 2.0)
+        assert len(cache) == 2
+
+    def test_no_tmp_files_left_behind(self, cache):
+        cache.put(RID, 1.0)
+        assert not list(cache.root.rglob("*.tmp"))
+
+    def test_non_finite_values_are_not_cached(self, cache):
+        cache.put(RID, float("nan"))
+        cache.put(OTHER, float("inf"))
+        assert len(cache) == 0
+        assert cache.get(RID) is None
+
+    def test_malformed_run_id_raises(self, cache):
+        with pytest.raises(ValueError, match="malformed run id"):
+            cache.get("ZZ-not-hex")
+        with pytest.raises(ValueError, match="malformed run id"):
+            cache.put("", 1.0)
+
+    def test_stats_shape(self, cache):
+        cache.put(RID, 1.0)
+        cache.get(RID)
+        cache.get(OTHER)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["writes"] == 1
+        assert stats["invalid_entries"] == 0
+        assert stats["cache_schema"] == CACHE_SCHEMA_VERSION
+
+
+def _assert_warned_miss(cache, rid=RID):
+    with pytest.warns(CacheWarning):
+        assert cache.get(rid) is None
+    assert cache.invalid >= 1
+
+
+class TestFailureModes:
+    def test_corrupted_json_is_a_warned_miss(self, cache):
+        path = cache.put(RID, 1.0)
+        path.write_text('{"cache_schema": 1, "run_id"')  # truncated
+        _assert_warned_miss(cache)
+
+    def test_non_object_payload_is_a_warned_miss(self, cache):
+        path = cache.put(RID, 1.0)
+        path.write_text("[1, 2, 3]\n")
+        _assert_warned_miss(cache)
+
+    def test_schema_mismatch_is_a_warned_miss(self, cache):
+        path = cache.put(RID, 1.0)
+        entry = json.loads(path.read_text())
+        entry["cache_schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry))
+        _assert_warned_miss(cache)
+
+    def test_entry_claiming_other_run_id_is_a_warned_miss(self, cache):
+        # e.g. a file renamed onto the wrong ID by hand.
+        source = cache.put(OTHER, 2.0)
+        target = cache._path(RID)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source.read_text())
+        _assert_warned_miss(cache)
+
+    def test_non_numeric_value_is_a_warned_miss(self, cache):
+        path = cache.put(RID, 1.0)
+        entry = json.loads(path.read_text())
+        entry["value"] = "fast"
+        path.write_text(json.dumps(entry))
+        _assert_warned_miss(cache)
+
+    def test_boolean_value_is_a_warned_miss(self, cache):
+        path = cache.put(RID, 1.0)
+        entry = json.loads(path.read_text())
+        entry["value"] = True
+        path.write_text(json.dumps(entry))
+        _assert_warned_miss(cache)
+
+    def test_schema_bump_orphans_old_entries_without_warning(self, cache):
+        # A whole-directory version bump is invalidation, not corruption:
+        # entries under v<old> are simply never consulted.
+        old_dir = cache.root / f"v{CACHE_SCHEMA_VERSION - 1}" / RID[:2]
+        old_dir.mkdir(parents=True)
+        (old_dir / f"{RID}.json").write_text("{}")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.get(RID) is None
+        assert len(cache) == 0
+
+    def test_rewrite_after_corruption_heals_the_entry(self, cache):
+        path = cache.put(RID, 1.0)
+        path.write_text("garbage")
+        with pytest.warns(CacheWarning):
+            assert cache.get(RID) is None
+        cache.put(RID, 2.0)
+        assert cache.get(RID) == 2.0
+
+
+def _hammer(args) -> float:
+    """Worker: race many writes and reads of one entry."""
+    root, worker_seed = args
+    cache = ResultCache(root)
+    value = 0.5  # all writers agree, as run-ID-keyed writers always do
+    for _ in range(50):
+        cache.put(RID, value)
+        got = cache.get(RID)
+        assert got == value, got
+    return cache.get(RID)
+
+
+class TestConcurrentWriters:
+    def test_two_shards_racing_on_one_cell(self, tmp_path):
+        """Concurrent writers publishing the same run ID never produce a
+        torn read: every get during the race sees a complete entry."""
+        root = str(tmp_path / "cache")
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(_hammer, [(root, i) for i in range(4)]))
+        assert results == [0.5] * 4
+        cache = ResultCache(root)
+        assert cache.get(RID) == 0.5
+        assert not list(cache.root.rglob("*.tmp"))

@@ -1,0 +1,179 @@
+"""Differential correctness: cached results are bit-identical to fresh.
+
+The headline risk of a result cache is returning a *plausible but wrong*
+value.  These tests run registry cells cold (fresh simulation, cache
+filled) then warm (served from disk) and require exact float equality on
+every sample and byte-identical manifest cell sections — not tolerances.
+The run-ID perturbation property (any single spec-field change changes
+the ID) lives in ``test_runid.py``; together they pin both directions:
+equal specs hit, different specs cannot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.ablation import ResultCache
+from repro.experiments.registry import get_figure
+from repro.experiments.runner import run_figure, run_figure_with_manifest
+from repro.obs.manifest import load_manifest
+
+JOBS = 300
+SEEDS = 3  # the ISSUE's ×3 seeds
+
+#: One cell per driver/metric family: standard event/fast figures, a
+#: box-summary Bounded Pareto figure, the goodput-metric overload sweep,
+#: the multi-dispatcher driver, the work-stealing driver, and a
+#: non-stationary arrivals figure.
+SAMPLED_FIGURES = (
+    "fig2",
+    "fig10a",
+    "ext-overload-goodput",
+    "ext-multidisp-herd",
+    "ext-stealing",
+    "ext-flashcrowd",
+)
+
+
+def _sample_cell(figure_id: str) -> tuple[str, float]:
+    spec = get_figure(figure_id)
+    return spec.curves[0].label, spec.x_values[len(spec.x_values) // 2]
+
+
+def _cells_digest(manifest: dict) -> str:
+    payload = json.dumps(manifest["cells"], sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class TestColdWarmBitIdentity:
+    @pytest.mark.parametrize("figure_id", SAMPLED_FIGURES)
+    def test_metrics_bit_identical_across_cache(self, figure_id, tmp_path):
+        curve, x = _sample_cell(figure_id)
+        kwargs = dict(
+            jobs=JOBS, seeds=SEEDS, x_values=(x,), curves=(curve,)
+        )
+        root = tmp_path / "cache"
+
+        cold = run_figure(figure_id, cache=ResultCache(root), **kwargs)
+        assert cold.cache_info["fresh_runs"] == SEEDS
+        assert cold.cache_info["cache_hits"] == 0
+
+        warm_cache = ResultCache(root)
+        warm = run_figure(figure_id, cache=warm_cache, **kwargs)
+        assert warm.cache_info["cache_hits"] == SEEDS
+        assert warm.cache_info["fresh_runs"] == 0
+        assert warm_cache.invalid == 0
+
+        uncached = run_figure(figure_id, **kwargs)
+
+        cold_samples = cold.cell(curve, x).samples
+        assert warm.cell(curve, x).samples == cold_samples  # exact floats
+        assert uncached.cell(curve, x).samples == cold_samples
+
+    @pytest.mark.parametrize("figure_id", SAMPLED_FIGURES[:3])
+    def test_manifest_cells_digest_identical(self, figure_id, tmp_path):
+        curve, x = _sample_cell(figure_id)
+        kwargs = dict(jobs=JOBS, seeds=SEEDS, x_values=(x,), curves=(curve,))
+        root = tmp_path / "cache"
+
+        _, cold_path = run_figure_with_manifest(
+            figure_id, tmp_path / "cold", cache=ResultCache(root), **kwargs
+        )
+        _, warm_path = run_figure_with_manifest(
+            figure_id, tmp_path / "warm", cache=ResultCache(root), **kwargs
+        )
+        cold_manifest = load_manifest(cold_path)
+        warm_manifest = load_manifest(warm_path)
+        assert _cells_digest(warm_manifest) == _cells_digest(cold_manifest)
+        # Provenance distinguishes the two passes.
+        assert cold_manifest["extra"]["cache"]["fresh_runs"] == SEEDS
+        assert warm_manifest["extra"]["cache"]["cache_hits"] == SEEDS
+        # Run IDs are part of the record and identical across passes.
+        assert (
+            warm_manifest["extra"]["cache"]["run_ids"]
+            == cold_manifest["extra"]["cache"]["run_ids"]
+        )
+
+    def test_warm_hits_survive_process_parallelism(self, tmp_path):
+        root = tmp_path / "cache"
+        kwargs = dict(
+            jobs=JOBS, seeds=SEEDS, x_values=(2.0,), curves=("basic-li", "random")
+        )
+        cold = run_figure("fig2", cache=ResultCache(root), processes=2, **kwargs)
+        warm = run_figure("fig2", cache=ResultCache(root), **kwargs)
+        serial = run_figure("fig2", **kwargs)
+        for key in serial.cells:
+            assert cold.cells[key].samples == serial.cells[key].samples
+            assert warm.cells[key].samples == serial.cells[key].samples
+
+    def test_run_ids_recorded_per_cell(self, tmp_path):
+        result = run_figure(
+            "fig2",
+            jobs=JOBS,
+            seeds=2,
+            x_values=(2.0,),
+            curves=("basic-li",),
+            cache=ResultCache(tmp_path / "cache"),
+        )
+        run_ids = result.cache_info["run_ids"]
+        assert set(run_ids) == {"basic-li|2|1", "basic-li|2|2"}
+        assert all(len(rid) == 64 for rid in run_ids.values())
+        assert len(set(run_ids.values())) == 2  # seeds get distinct IDs
+
+
+class TestCacheBypassAndRefresh:
+    def test_traced_sweeps_bypass_cache_with_warning(self, tmp_path):
+        from repro.ablation.cache import CacheWarning
+
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.warns(CacheWarning, match="traced sweeps bypass"):
+            result = run_figure(
+                "fig2",
+                jobs=JOBS,
+                seeds=1,
+                x_values=(2.0,),
+                curves=("basic-li",),
+                trace=True,
+                cache=cache,
+            )
+        assert result.cache_info is None
+        assert cache.writes == 0
+        assert result.observations  # probes still ran
+
+    def test_cache_refresh_reruns_and_overwrites(self, tmp_path):
+        root = tmp_path / "cache"
+        kwargs = dict(jobs=JOBS, seeds=2, x_values=(2.0,), curves=("basic-li",))
+        run_figure("fig2", cache=ResultCache(root), **kwargs)
+
+        refresh_cache = ResultCache(root)
+        refreshed = run_figure(
+            "fig2", cache=refresh_cache, cache_refresh=True, **kwargs
+        )
+        assert refreshed.cache_info["refresh"] is True
+        assert refreshed.cache_info["cache_hits"] == 0
+        assert refreshed.cache_info["fresh_runs"] == 2
+        assert refresh_cache.writes == 2
+
+    def test_corrupted_entry_falls_back_to_fresh_run(self, tmp_path):
+        from repro.ablation.cache import CacheWarning
+
+        root = tmp_path / "cache"
+        kwargs = dict(jobs=JOBS, seeds=1, x_values=(2.0,), curves=("basic-li",))
+        cold = run_figure("fig2", cache=ResultCache(root), **kwargs)
+
+        (rid,) = cold.cache_info["run_ids"].values()
+        entry_path = ResultCache(root)._path(rid)
+        entry_path.write_text("not json at all")
+
+        with pytest.warns(CacheWarning, match="corrupt"):
+            healed = run_figure("fig2", cache=ResultCache(root), **kwargs)
+        assert healed.cache_info["fresh_runs"] == 1
+        assert (
+            healed.cell("basic-li", 2.0).samples
+            == cold.cell("basic-li", 2.0).samples
+        )
+        # The fresh run healed the entry on disk.
+        assert ResultCache(root).get(rid) is not None

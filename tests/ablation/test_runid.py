@@ -1,0 +1,239 @@
+"""Run-ID canonicalization: stable, collision-averse, perturbation-sensitive."""
+
+from __future__ import annotations
+
+import functools
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ablation.runid import (
+    RUN_ID_SCHEMA_VERSION,
+    canonical_json,
+    describe_value,
+    run_id,
+)
+from repro.experiments.runner import CellTask, cell_run_id
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_and_no_whitespace(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_key_order_never_matters(self):
+        assert canonical_json({"x": 1, "y": 2}) == canonical_json(
+            {"y": 2, "x": 1}
+        )
+
+    def test_ascii_only(self):
+        assert canonical_json({"λ": "µs"}).isascii()
+
+    def test_float_round_trip_is_exact(self):
+        value = 0.1 + 0.2  # classic non-representable sum
+        assert json.loads(canonical_json(value)) == value
+
+
+class TestDescribeValue:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert describe_value(value) == value
+
+    def test_numpy_scalars_lose_their_dtype(self):
+        assert describe_value(np.float64(1.5)) == 1.5
+        assert describe_value(np.int64(7)) == 7
+        assert canonical_json(describe_value(np.float64(1.5))) == canonical_json(
+            describe_value(1.5)
+        )
+
+    def test_numpy_arrays_become_lists(self):
+        assert describe_value(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_sequences_and_sets(self):
+        assert describe_value((1, 2)) == [1, 2]
+        assert describe_value({3, 1, 2}) == [1, 2, 3]
+
+    def test_dict_keys_stringified(self):
+        assert describe_value({1: "a"}) == {"1": "a"}
+
+    def test_partial_describes_func_args_keywords(self):
+        part = functools.partial(sorted, reverse=True)
+        described = describe_value(part)
+        assert described["partial"] == {"callable": "builtins.sorted"}
+        assert described["keywords"] == {"reverse": True}
+
+    def test_callables_by_qualified_name(self):
+        from repro.core.li_basic import BasicLIPolicy
+
+        assert describe_value(BasicLIPolicy) == {
+            "callable": "repro.core.li_basic.BasicLIPolicy"
+        }
+
+    def test_describe_method_is_reused(self):
+        class WithDescribe:
+            def describe(self):
+                return {"kind": "custom", "knob": 4}
+
+        described = describe_value(WithDescribe())
+        assert described["describe"] == {"kind": "custom", "knob": 4}
+        assert described["type"].endswith("WithDescribe")
+
+    def test_plain_objects_expose_public_attrs_only(self):
+        class Component:
+            def __init__(self):
+                self.rate = 2.0
+                self._cache = object()  # private: excluded
+
+        described = describe_value(Component())
+        assert described["rate"] == 2.0
+        assert "_cache" not in described
+
+    def test_volatile_attrs_excluded(self):
+        class SimLike:
+            def __init__(self):
+                self.seed = 3
+                self.probes = [object()]
+                self.engine_used = "fast"
+                self.engine = "vector"
+
+        described = describe_value(SimLike())
+        assert described == {
+            "type": described["type"],
+            "seed": 3,
+        }
+
+    def test_depth_budget_raises_instead_of_truncating(self):
+        nested = [1]
+        for _ in range(30):
+            nested = [nested]
+        with pytest.raises(ValueError, match="depth budget"):
+            describe_value(nested)
+
+    def test_cycle_raises(self):
+        loop: list = []
+        loop.append(loop)
+        with pytest.raises(ValueError, match="cyclic"):
+            describe_value(loop)
+
+
+class TestRunId:
+    def test_is_full_sha256_hex(self):
+        digest = run_id({"a": 1})
+        assert len(digest) == 64
+        assert all(c in "0123456789abcdef" for c in digest)
+
+    def test_deterministic(self):
+        spec = {"figure": "fig2", "x": 4.0, "seed": 1}
+        assert run_id(spec) == run_id(dict(reversed(list(spec.items()))))
+
+    _scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.text(max_size=16),
+    )
+
+    @given(
+        spec=st.dictionaries(
+            st.text(min_size=1, max_size=8), _scalars, min_size=1, max_size=6
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_any_single_field_perturbation_changes_id(self, spec, data):
+        """The ISSUE's differential property: perturb exactly one field of
+        a resolved spec dict and the run ID must change."""
+        key = data.draw(st.sampled_from(sorted(spec)))
+        replacement = data.draw(
+            self._scalars.filter(lambda v: v != spec[key])
+        )
+        perturbed = {**spec, key: replacement}
+        assert run_id(perturbed) != run_id(spec)
+
+    @given(
+        spec=st.dictionaries(
+            st.text(min_size=1, max_size=8), _scalars, min_size=0, max_size=6
+        ),
+        extra_key=st.text(min_size=1, max_size=8),
+        extra_value=_scalars,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_field_changes_id(self, spec, extra_key, extra_value):
+        spec.pop(extra_key, None)
+        assert run_id({**spec, extra_key: extra_value}) != run_id(spec)
+
+
+class TestCellRunId:
+    """IDs of materialized registry cells: every coordinate matters."""
+
+    BASE = CellTask(figure_id="fig2", curve="basic-li", x=4.0, seed=1, jobs=400)
+
+    def _id(self, **overrides) -> str:
+        task = CellTask(**{**vars(self.BASE), **overrides})
+        return cell_run_id(task)[0]
+
+    def test_deterministic_across_materializations(self):
+        assert self._id() == self._id()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"curve": "random"},
+            {"x": 8.0},
+            {"seed": 2},
+            {"jobs": 500},
+            {"figure_id": "fig4"},
+            {"faults": "mttf=200,mttr=10"},
+            {"dispatchers": 4},
+            {"overload": (16, None, None, None)},
+            {"arrivals": "diurnal:amplitude=0.5,period=100"},
+            {"autoscale": "target-util:target=0.7,min=1,max=10"},
+            {"engine": "fluid"},
+        ],
+    )
+    def test_each_coordinate_changes_id(self, overrides):
+        assert self._id(**overrides) != self._id()
+
+    @pytest.mark.parametrize("engine", ["event", "fast", "vector"])
+    def test_bit_identical_engines_share_one_id(self, engine):
+        # event/fast/vector fold to one equivalence class: a cached value
+        # answers all three, because they return the same floats.
+        assert self._id(engine=engine) == self._id()
+
+    def test_schema_version_is_embedded(self):
+        _, resolved = cell_run_id(self.BASE)
+        assert resolved["runid_schema"] == RUN_ID_SCHEMA_VERSION
+
+    def test_resolved_spec_is_json_serializable(self):
+        _, resolved = cell_run_id(self.BASE)
+        json.dumps(resolved)
+
+    def test_trace_flags_do_not_change_id(self):
+        # Probes never perturb measurements (pinned elsewhere), and the
+        # runner bypasses the cache for traced sweeps anyway.
+        task = CellTask(**{**vars(self.BASE), "trace": True})
+        assert cell_run_id(task)[0] == self._id()
+
+    @pytest.mark.parametrize(
+        "figure_id",
+        ["ext-multidisp-herd", "ext-stealing"],
+    )
+    def test_alternative_drivers_resolve(self, figure_id):
+        from repro.experiments.registry import FIGURES, get_figure
+
+        if figure_id not in FIGURES:
+            pytest.skip(f"{figure_id} not in registry")
+        spec = get_figure(figure_id)
+        task = CellTask(
+            figure_id=figure_id,
+            curve=spec.curves[0].label,
+            x=spec.x_values[0],
+            seed=1,
+            jobs=200,
+        )
+        first, resolved = cell_run_id(task)
+        assert first == cell_run_id(task)[0]
+        json.dumps(resolved)

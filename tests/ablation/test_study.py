@@ -1,0 +1,235 @@
+"""AblationStudy: knockout grids, paired deltas, ranked reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ablation import (
+    AblationStudy,
+    Knockout,
+    ResultCache,
+    default_knockouts,
+    engine_knockouts,
+    save_report,
+)
+from repro.experiments.registry import get_figure
+
+JOBS = 300
+SEEDS = 2
+
+
+class TestKnockout:
+    def test_requires_name_and_component(self):
+        with pytest.raises(ValueError, match="name"):
+            Knockout(name="", component="policy")
+        with pytest.raises(ValueError, match="component"):
+            Knockout(name="x", component="")
+
+
+class TestDefaultKnockouts:
+    def test_one_per_non_baseline_curve(self):
+        knockouts = default_knockouts("fig2", "basic-li")
+        labels = {k.curve for k in knockouts}
+        expected = {
+            c.label for c in get_figure("fig2").curves if c.label != "basic-li"
+        }
+        assert labels == expected
+
+    def test_policy_swaps_are_labelled_policy(self):
+        knockouts = default_knockouts("fig2", "basic-li")
+        by_curve = {k.curve: k for k in knockouts}
+        assert by_curve["random"].component == "policy"
+        assert by_curve["k=10"].component == "policy"
+
+    def test_estimator_swaps_are_labelled_estimator(self):
+        knockouts = default_knockouts("ext-ewma", "basic-li(exact)")
+        by_curve = {k.curve: k for k in knockouts}
+        assert by_curve["basic-li(ewma)"].component == "estimator"
+        assert by_curve["basic-li(assume=1.0)"].component == "estimator"
+        assert by_curve["random"].component == "policy"
+
+    def test_staleness_swaps_are_labelled_staleness(self):
+        knockouts = default_knockouts("ext-workinfo", "basic-li(queue)")
+        by_curve = {k.curve: k for k in knockouts}
+        assert by_curve["basic-li(work)"].component == "staleness"
+
+    def test_unknown_baseline_raises(self):
+        with pytest.raises(KeyError):
+            default_knockouts("fig2", "no-such-curve")
+
+
+class TestStudyValidation:
+    def test_unknown_baseline_raises_early(self):
+        with pytest.raises(KeyError):
+            AblationStudy("fig2", baseline="nope")
+
+    def test_off_grid_x_raises(self):
+        with pytest.raises(ValueError, match="has no x"):
+            AblationStudy("fig2", baseline="basic-li", x=123.0)
+
+    def test_bad_seeds_raises(self):
+        with pytest.raises(ValueError, match="seeds"):
+            AblationStudy("fig2", baseline="basic-li", seeds=0)
+
+    def test_duplicate_knockout_names_raise(self):
+        knockout = Knockout(name="dup", component="policy", curve="random")
+        with pytest.raises(ValueError, match="duplicate"):
+            AblationStudy(
+                "fig2", baseline="basic-li", knockouts=[knockout, knockout]
+            )
+
+    def test_default_x_is_middle_of_sweep(self):
+        study = AblationStudy("fig2", baseline="basic-li")
+        x_values = get_figure("fig2").x_values
+        assert study.resolved_x() == x_values[len(x_values) // 2]
+
+
+class TestStudyRun:
+    @pytest.fixture(scope="class")
+    def report(self):
+        study = AblationStudy(
+            "fig2",
+            baseline="basic-li",
+            x=4.0,
+            jobs=JOBS,
+            seeds=SEEDS,
+            knockouts=[
+                Knockout(name="curve:random", component="policy", curve="random"),
+                Knockout(name="curve:k=10", component="policy", curve="k=10"),
+            ],
+        )
+        return study.run()
+
+    def test_entries_ranked_by_importance(self, report):
+        magnitudes = [abs(e.delta_mean) for e in report.entries]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_paired_deltas_use_common_random_numbers(self, report):
+        from repro.experiments.runner import run_cell
+
+        baseline = [run_cell("fig2", "basic-li", 4.0, 1 + r, JOBS) for r in range(SEEDS)]
+        variant = [run_cell("fig2", "random", 4.0, 1 + r, JOBS) for r in range(SEEDS)]
+        entry = next(e for e in report.entries if e.name == "curve:random")
+        assert entry.per_seed_deltas == tuple(
+            v - b for b, v in zip(baseline, variant)
+        )
+
+    def test_delta_bounds_and_spread(self, report):
+        for entry in report.entries:
+            assert entry.delta_min <= entry.delta_mean <= entry.delta_max
+            assert entry.delta_std >= 0.0
+            assert len(entry.per_seed_deltas) == SEEDS
+
+    def test_to_json_is_serializable_and_ranked(self, report):
+        payload = report.to_json()
+        json.dumps(payload)
+        assert [row["rank"] for row in payload["ranking"]] == list(
+            range(1, len(report.entries) + 1)
+        )
+        assert payload["metric"] == "mean_response_time"
+
+    def test_format_table_mentions_every_knockout(self, report):
+        table = report.format_table()
+        for entry in report.entries:
+            assert entry.name in table
+        assert "baseline mean" in table
+
+    def test_save_report(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        assert json.loads(path.read_text())["figure_id"] == "fig2"
+
+
+class TestStudyCache:
+    def test_shared_cache_deduplicates_engine_knockouts(self, tmp_path):
+        study = AblationStudy(
+            "fig2",
+            baseline="basic-li",
+            x=4.0,
+            jobs=JOBS,
+            seeds=SEEDS,
+            knockouts=engine_knockouts(),
+        )
+        cache = ResultCache(tmp_path / "cache")
+        report = study.run(cache=cache)
+        # Engines fold to the baseline's run IDs: after the baseline's
+        # writes, every engine knockout is served entirely from cache.
+        assert cache.writes == SEEDS
+        assert cache.hits == SEEDS * len(engine_knockouts())
+        assert report.cache_stats is not None
+        for entry in report.entries:
+            assert entry.per_seed_deltas == (0.0,) * SEEDS
+
+    def test_rerun_with_same_cache_is_all_hits(self, tmp_path):
+        study = AblationStudy(
+            "fig2",
+            baseline="basic-li",
+            x=4.0,
+            jobs=JOBS,
+            seeds=SEEDS,
+            knockouts=[
+                Knockout(name="curve:random", component="policy", curve="random")
+            ],
+        )
+        root = tmp_path / "cache"
+        first = study.run(cache=ResultCache(root))
+        again_cache = ResultCache(root)
+        again = study.run(cache=again_cache)
+        assert again_cache.writes == 0
+        assert again.baseline_samples == first.baseline_samples
+        assert [e.per_seed_deltas for e in again.entries] == [
+            e.per_seed_deltas for e in first.entries
+        ]
+
+
+class TestCrossEngineAblation:
+    """Satellite: the engine axis must report ~zero importance.
+
+    This is the differential use of the bit-identity contract pinned by
+    ``tests/integration/test_engine_equivalence.py``: with NO cache, each
+    engine really executes, and on a fast-path-eligible cell every
+    per-seed delta must come out exactly 0.0 — the same floats, so the
+    ablation harness must rank the engine axis dead last.
+    """
+
+    def test_engine_axis_importance_is_exactly_zero(self):
+        figure_id, curve, x = "fig2", "basic-li", 2.0
+        spec = get_figure(figure_id)
+        simulation = spec.build_simulation(spec.curve(curve), x, 1, JOBS)
+        blocker = simulation.fast_path_blocker()
+        assert not blocker, f"expected an eligible cell, got {blocker}"
+
+        study = AblationStudy(
+            figure_id,
+            baseline=curve,
+            x=x,
+            jobs=JOBS,
+            seeds=3,
+            engine="event",
+            knockouts=engine_knockouts(("fast", "vector")),
+        )
+        report = study.run(cache=None)  # no cache: engines genuinely run
+        for entry in report.entries:
+            assert entry.delta_mean == 0.0
+            assert entry.per_seed_deltas == (0.0, 0.0, 0.0)
+            assert entry.delta_std == 0.0
+
+    def test_engine_axis_ranks_below_any_real_knockout(self):
+        study = AblationStudy(
+            "fig2",
+            baseline="basic-li",
+            x=2.0,
+            jobs=JOBS,
+            seeds=2,
+            engine="event",
+            knockouts=[
+                Knockout(name="curve:random", component="policy", curve="random"),
+                *engine_knockouts(("fast",)),
+            ],
+        )
+        report = study.run()
+        assert report.entries[0].name == "curve:random"
+        assert report.entries[-1].component == "engine"
+        assert report.entries[-1].importance == 0.0

@@ -1,0 +1,97 @@
+"""CellTask work units and deterministic sharding.
+
+Regression layer for the runner refactor that replaced positional worker
+tuples with a frozen dataclass: tasks must survive pickling unchanged
+(they cross process boundaries), and shard partitioning must reassemble
+to the original order for any worker count.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.experiments.runner import (
+    CellTask,
+    _run_shard,
+    _run_task,
+    run_cell,
+    shard_work,
+)
+
+
+class TestCellTaskPickling:
+    def test_round_trip_preserves_every_field(self):
+        task = CellTask(
+            figure_id="fig2",
+            curve="basic-li",
+            x=4.0,
+            seed=7,
+            jobs=400,
+            trace=True,
+            trace_interval=25.0,
+            full_traces=True,
+            faults="mttf=200,mttr=10",
+            engine="vector",
+            dispatchers=4,
+            overload=(16, None, None, None),
+            arrivals="diurnal:amplitude=0.5,period=100",
+            autoscale="target-util:target=0.7,min=1,max=10",
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task
+        assert vars(clone) == vars(task)
+
+    def test_defaults_round_trip(self):
+        task = CellTask(figure_id="fig2", curve="random", x=1.0, seed=1, jobs=300)
+        assert pickle.loads(pickle.dumps(task)) == task
+
+    def test_tasks_are_frozen(self):
+        task = CellTask(figure_id="fig2", curve="random", x=1.0, seed=1, jobs=300)
+        with pytest.raises(AttributeError):
+            task.seed = 2
+
+    def test_run_task_matches_run_cell(self):
+        task = CellTask(figure_id="fig2", curve="basic-li", x=4.0, seed=3, jobs=300)
+        assert _run_task(task) == run_cell("fig2", "basic-li", 4.0, 3, 300)
+
+    def test_run_shard_preserves_order(self):
+        tasks = [
+            CellTask(figure_id="fig2", curve="basic-li", x=4.0, seed=s, jobs=300)
+            for s in (1, 2)
+        ]
+        assert _run_shard(tasks) == [_run_task(t) for t in tasks]
+
+
+class TestShardWork:
+    def test_round_robin_partition(self):
+        items = list(range(7))
+        shards = shard_work(items, 3)
+        assert shards == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_partition_is_exhaustive_and_disjoint(self):
+        items = list(range(23))
+        for count in (1, 2, 5, 23, 40):
+            shards = shard_work(items, count)
+            flat = [item for shard in shards for item in shard]
+            assert sorted(flat) == items
+
+    def test_reassembly_restores_original_order(self):
+        # Mirrors _execute_tasks: shard results land at i + j * shards.
+        items = list(range(11))
+        count = 3
+        shards = shard_work(items, count)
+        out = [None] * len(items)
+        for i, shard in enumerate(shards):
+            for j, item in enumerate(shard):
+                out[i + j * count] = item
+        assert out == items
+
+    def test_single_shard_is_identity(self):
+        items = ["a", "b", "c"]
+        assert shard_work(items, 1) == [items]
+
+    def test_zero_shards_raises(self):
+        with pytest.raises(ValueError, match="shards"):
+            shard_work([1], 0)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -899,3 +901,135 @@ class TestOverloadCommand:
         ]
         trips = int(rows[0].split()[6])
         assert trips > 0
+
+
+class TestRunCacheFlags:
+    def test_cache_dir_reports_fresh_then_hits(self, capsys, tmp_path):
+        argv = [
+            "run",
+            "fig2",
+            "--jobs",
+            "300",
+            "--seeds",
+            "2",
+            "--curves",
+            "basic-li",
+            "--x",
+            "2",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cache: 0 hits, 2 fresh runs" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache: 2 hits, 0 fresh runs" in warm
+        # Same table either way: cached results are bit-identical.
+        assert [l for l in warm.splitlines() if "basic-li" in l] == [
+            l for l in cold.splitlines() if "basic-li" in l
+        ]
+
+    def test_cache_refresh_reruns_every_cell(self, capsys, tmp_path):
+        argv = [
+            "run",
+            "fig2",
+            "--jobs",
+            "300",
+            "--seeds",
+            "1",
+            "--curves",
+            "random",
+            "--x",
+            "1",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--cache-refresh"]) == 0
+        assert "cache: 0 hits, 1 fresh runs" in capsys.readouterr().out
+
+    def test_no_cache_line_without_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "fig2",
+                    "--jobs",
+                    "300",
+                    "--seeds",
+                    "1",
+                    "--curves",
+                    "random",
+                    "--x",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "cache:" not in capsys.readouterr().out
+
+
+class TestAblateCommand:
+    ARGS = [
+        "ablate",
+        "fig2",
+        "--baseline",
+        "basic-li",
+        "--x",
+        "4",
+        "--jobs",
+        "300",
+        "--seeds",
+        "2",
+    ]
+
+    def test_ranked_table_with_explicit_knockouts(self, capsys):
+        code = main(self.ARGS + ["--knockout", "random", "--knockout", "k=10"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "baseline mean" in output
+        assert "curve:random" in output
+        assert "curve:k=10" in output
+
+    def test_engine_axis_knockouts_report_zero_delta(self, capsys):
+        code = main(
+            self.ARGS
+            + ["--engine", "event", "--engine-axis", "--knockout", "random"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "engine:vector" in output
+        assert "+0.0000" in output
+
+    def test_json_report_and_cache_line(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main(
+            self.ARGS
+            + [
+                "--knockout",
+                "random",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--json",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cache:" in output
+        payload = json.loads(report_path.read_text())
+        assert payload["figure_id"] == "fig2"
+        assert payload["ranking"][0]["rank"] == 1
+
+    def test_unknown_baseline_exit_code(self, capsys):
+        code = main(["ablate", "fig2", "--baseline", "nope"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_knockout_curve_exit_code(self, capsys):
+        code = main(self.ARGS + ["--knockout", "greedy"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
