@@ -16,6 +16,8 @@ from repro.ablation.runid import (
     RUN_ID_SCHEMA_VERSION,
     canonical_json,
     describe_value,
+    live_run_id,
+    resolve_live_spec,
     resolve_simulation_spec,
     run_id,
 )
@@ -36,6 +38,8 @@ __all__ = [
     "ResultCache",
     "canonical_json",
     "describe_value",
+    "live_run_id",
+    "resolve_live_spec",
     "resolve_simulation_spec",
     "run_id",
     "Knockout",

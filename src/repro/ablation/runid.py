@@ -42,6 +42,8 @@ __all__ = [
     "canonical_json",
     "run_id",
     "resolve_simulation_spec",
+    "resolve_live_spec",
+    "live_run_id",
 ]
 
 #: Bump when the canonicalization rules change: every run ID embeds this
@@ -214,3 +216,29 @@ def resolve_simulation_spec(
         "driver": _qualname(type(simulation)),
         "simulation": describe_value(simulation),
     }
+
+
+def resolve_live_spec(spec: Any) -> dict:
+    """The canonical spec of one live (on-the-wire) cell.
+
+    ``spec`` is a :class:`repro.live.harness.LiveSpec`.  Wall-clock-
+    volatile execution parameters (the spec's own ``VOLATILE_FIELDS``:
+    time scale, bind host, duration cap) are folded out — they decide
+    how fast and where a cell runs, never which cell it is — so the
+    same experiment replayed slower, elsewhere or uncapped resolves to
+    the same ID.  Everything else (policy, n, λ, T, seed, estimator,
+    overload and arrivals specs, loop mode) is identity.
+    """
+    described = dict(spec.describe())
+    for name in getattr(spec, "VOLATILE_FIELDS", ()):
+        described.pop(name, None)
+    return {
+        "runid_schema": RUN_ID_SCHEMA_VERSION,
+        "driver": "live",
+        "spec": describe_value(described),
+    }
+
+
+def live_run_id(spec: Any) -> str:
+    """The content hash identifying one live cell (see :func:`run_id`)."""
+    return run_id(resolve_live_spec(spec))

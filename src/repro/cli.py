@@ -534,6 +534,101 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trend_cmd.set_defaults(handler=_cmd_bench_trend)
 
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="serve an LI policy over real TCP sockets: launch backends, "
+        "the bulletin-board poller and the dispatcher in one process",
+    )
+    _add_live_arguments(serve_cmd)
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="dispatcher listen port (default 0: OS-assigned, printed)",
+    )
+    serve_cmd.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this many wall seconds (default: run until "
+        "SIGINT; either way shutdown drains in-flight requests)",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
+
+    live_cmd = sub.add_parser(
+        "live-bench",
+        help="run live loopback cells and print each policy's measured "
+        "mean RT next to the simulator's prediction for the same cell",
+    )
+    _add_live_arguments(live_cmd)
+    live_cmd.add_argument(
+        "--policies",
+        type=str,
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated live policies to bench (overrides --policy)",
+    )
+    live_cmd.add_argument(
+        "--jobs", type=int, default=400, help="requests per live cell"
+    )
+    live_cmd.add_argument(
+        "--mode",
+        type=str,
+        default="open",
+        choices=("open", "closed"),
+        help="open-loop Poisson traffic (default) or a closed client "
+        "population",
+    )
+    live_cmd.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="closed-loop client population (default 8)",
+    )
+    live_cmd.add_argument(
+        "--arrivals",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="non-stationary arrival program (same specs as `transient`)",
+    )
+    live_cmd.add_argument(
+        "--sim-jobs",
+        type=int,
+        default=20000,
+        help="jobs per simulator prediction seed (default 20000)",
+    )
+    live_cmd.add_argument(
+        "--sim-seeds",
+        type=int,
+        default=3,
+        help="simulator prediction replications (default 3)",
+    )
+    live_cmd.add_argument(
+        "--cache",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="result-cache directory for simulator predictions",
+    )
+    live_cmd.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the full manifest + comparison as JSON",
+    )
+    live_cmd.add_argument(
+        "--check-tolerance",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="exit non-zero when any cell's |relative error| exceeds REL "
+        "(the CI live-smoke gate)",
+    )
+    live_cmd.set_defaults(handler=_cmd_live_bench)
+
     return parser
 
 
@@ -574,6 +669,79 @@ def _add_overload_arguments(
         help="re-submit refused jobs after jittered client backoff "
         "(retry storms): 'on' for defaults, or comma-separated "
         "backoff=B,cap=C,jitter=J,resubmits=R",
+    )
+
+
+def _add_live_arguments(command: argparse.ArgumentParser) -> None:
+    """The live-cell flag block shared by `serve` and `live-bench`."""
+    command.add_argument(
+        "--policy",
+        type=str,
+        default="basic-li",
+        help="live policy label (default basic-li; see repro.live"
+        ".LIVE_POLICIES)",
+    )
+    command.add_argument(
+        "--servers", type=int, default=3, help="backend count (default 3)"
+    )
+    command.add_argument(
+        "--load",
+        type=float,
+        default=0.6,
+        metavar="RHO",
+        help="per-server offered load (default 0.6)",
+    )
+    command.add_argument(
+        "--period",
+        type=float,
+        default=4.0,
+        metavar="T",
+        help="bulletin-board polling period in time units (default 4)",
+    )
+    command.add_argument(
+        "--time-unit",
+        type=float,
+        default=0.01,
+        metavar="SECONDS",
+        help="wall seconds per mean service time (default 0.01)",
+    )
+    command.add_argument(
+        "--estimator",
+        type=str,
+        default="exact",
+        choices=("exact", "conservative", "ewma"),
+        help="arrival-rate estimator the policy interprets loads with",
+    )
+    command.add_argument(
+        "--seed", type=int, default=1, help="root seed (default 1)"
+    )
+    command.add_argument(
+        "--host",
+        type=str,
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    command.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        metavar="K",
+        help="bound every backend at K jobs in system",
+    )
+    command.add_argument(
+        "--admission",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="shed arrivals before dispatch: 'shed=P' or 'threshold=T'",
+    )
+    command.add_argument(
+        "--breaker",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="per-server circuit breakers: 'on' or "
+        "threshold=N,cooldown=C,jitter=J",
     )
 
 
@@ -1351,6 +1519,240 @@ def _cmd_bench_trend(args: argparse.Namespace) -> int:
             print(f"  {regression.describe()}")
         return 1
     print(f"\nno regressions (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve one LI policy over real sockets until SIGINT or --duration."""
+    import asyncio
+    import contextlib
+    import signal
+
+    import numpy as np
+
+    from repro.live.backend import BackendServer
+    from repro.live.board import BulletinBoard
+    from repro.live.dispatcher import LiveDispatcher
+    from repro.live.harness import LiveSpec
+    from repro.live.protocol import LiveClock
+    from repro.overload.parse import parse_admission_spec, parse_breaker_spec
+
+    try:
+        spec = LiveSpec(
+            policy=args.policy,
+            num_servers=args.servers,
+            load=args.load,
+            period=args.period,
+            seed=args.seed,
+            time_unit=args.time_unit,
+            queue_capacity=args.queue_capacity,
+            admission=args.admission,
+            breaker=args.breaker,
+            estimator=args.estimator,
+            host=args.host,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    async def serve() -> int:
+        seed_seq = np.random.SeedSequence(spec.seed)
+        backend_seeds = seed_seq.spawn(spec.num_servers)
+        (dispatcher_seed,) = seed_seq.spawn(1)
+        clock = LiveClock(spec.time_unit)
+        backends = [
+            BackendServer(
+                i,
+                time_unit=spec.time_unit,
+                queue_capacity=spec.queue_capacity,
+                seed=backend_seeds[i],
+                host=spec.host,
+            )
+            for i in range(spec.num_servers)
+        ]
+        started: list = []
+        board = dispatcher = None
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            for backend in backends:
+                await backend.start()
+                started.append(backend)
+            clock.start()
+            board = BulletinBoard(
+                [backend.address for backend in backends],
+                spec.period,
+                clock,
+            )
+            await board.start()
+            dispatcher = LiveDispatcher(
+                [backend.address for backend in backends],
+                board,
+                spec.make_policy(),
+                clock,
+                rate_estimator=spec.make_estimator(),
+                true_rate=spec.load,
+                admission=(
+                    parse_admission_spec(spec.admission)
+                    if spec.admission
+                    else None
+                ),
+                breaker_config=(
+                    parse_breaker_spec(spec.breaker) if spec.breaker else None
+                ),
+                seed=dispatcher_seed,
+                host=spec.host,
+                port=args.port,
+            )
+            await dispatcher.start()
+            for backend in backends:
+                print(
+                    f"backend {backend.server_id}: "
+                    f"{backend.host}:{backend.port}"
+                )
+            print(
+                f"dispatcher ({spec.policy}, T={spec.period:g}, "
+                f"estimator={spec.estimator}): "
+                f"{dispatcher.host}:{dispatcher.port}"
+            )
+            print("serving; Ctrl-C drains in-flight requests and exits")
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signal.SIGINT, stop_event.set)
+                loop.add_signal_handler(signal.SIGTERM, stop_event.set)
+            try:
+                if args.duration is not None:
+                    with contextlib.suppress(asyncio.TimeoutError, TimeoutError):
+                        await asyncio.wait_for(
+                            stop_event.wait(), timeout=args.duration
+                        )
+                else:
+                    await stop_event.wait()
+            except KeyboardInterrupt:  # signal handler unavailable
+                pass
+        finally:
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.remove_signal_handler(signal.SIGINT)
+                loop.remove_signal_handler(signal.SIGTERM)
+            if dispatcher is not None:
+                await dispatcher.stop()
+            if board is not None:
+                await board.stop()
+            for backend in started:
+                await backend.stop()
+        stats = dispatcher.stats
+        print(
+            f"served {stats.completed}/{stats.offered} requests "
+            f"(shed={stats.shed} rejected={stats.rejected}); "
+            f"mean RT {stats.mean_latency:.3f} time units"
+        )
+        return 0
+
+    return asyncio.run(serve())
+
+
+def _cmd_live_bench(args: argparse.Namespace) -> int:
+    """Run live cells over loopback; print measured vs predicted."""
+    import json
+    import pathlib
+
+    from repro.live.harness import (
+        LIVE_POLICIES,
+        LiveSpec,
+        compare_live_to_sim,
+        run_live_experiment,
+        simulator_prediction,
+    )
+
+    labels = (
+        [label.strip() for label in args.policies.split(",")]
+        if args.policies
+        else [args.policy]
+    )
+    for label in labels:
+        if label not in LIVE_POLICIES:
+            print(
+                f"error: unknown live policy {label!r}; available: "
+                f"{', '.join(LIVE_POLICIES)}",
+                file=sys.stderr,
+            )
+            return 2
+    cache = None
+    if args.cache is not None:
+        from repro.ablation.cache import ResultCache
+
+        cache = ResultCache(args.cache)
+    print(
+        f"live-bench: n={args.servers} load={args.load:g} "
+        f"T={args.period:g} jobs={args.jobs} seed={args.seed} "
+        f"time_unit={args.time_unit:g}s estimator={args.estimator} "
+        f"mode={args.mode}"
+    )
+    header = (
+        f"{'policy':<16} {'live_rt':>8} {'sim_rt':>8} {'rel_err':>8} "
+        f"{'goodput':>8} {'polls':>6} {'wall_s':>7}"
+    )
+    print(header)
+    sim_seeds = tuple(range(1, args.sim_seeds + 1))
+    rows = []
+    worst = 0.0
+    for label in labels:
+        try:
+            spec = LiveSpec(
+                policy=label,
+                num_servers=args.servers,
+                load=args.load,
+                period=args.period,
+                jobs=args.jobs,
+                seed=args.seed,
+                time_unit=args.time_unit,
+                queue_capacity=args.queue_capacity,
+                admission=args.admission,
+                breaker=args.breaker,
+                estimator=args.estimator,
+                arrivals=args.arrivals,
+                mode=args.mode,
+                clients=args.clients,
+                host=args.host,
+            )
+            live = run_live_experiment(spec)
+            if spec.mode == "open":
+                sim = simulator_prediction(
+                    spec, jobs=args.sim_jobs, seeds=sim_seeds, cache=cache
+                )
+                comparison = compare_live_to_sim(live, sim=sim)
+            else:
+                sim = None
+                comparison = {"live": live.to_manifest()["results"]}
+        except (ValueError, TypeError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        relative = comparison.get("relative_error")
+        sim_rt = sim["mean_response_time"] if sim else float("nan")
+        print(
+            f"{label:<16} {live.mean_response_time:>8.3f} {sim_rt:>8.3f} "
+            f"{(relative if relative is not None else float('nan')):>+8.3f} "
+            f"{live.goodput:>8.4f} {live.board_polls:>6} "
+            f"{live.wall_seconds:>7.2f}"
+        )
+        rows.append(
+            {"policy": label, "manifest": live.to_manifest(), "sim": sim,
+             "relative_error": relative}
+        )
+        if relative is not None and abs(relative) > worst:
+            worst = abs(relative)
+    if args.json is not None:
+        target = pathlib.Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump({"cells": rows}, handle, indent=2)
+        print(f"wrote {target}")
+    if args.check_tolerance is not None and worst > args.check_tolerance:
+        print(
+            f"FAIL: worst |relative error| {worst:.3f} exceeds tolerance "
+            f"{args.check_tolerance:g}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

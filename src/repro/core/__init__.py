@@ -46,6 +46,7 @@ from repro.core.rate_estimators import (
     ScaledRate,
 )
 from repro.core.threshold import ThresholdPolicy
+from repro.core.views import LoadView, LoadViewSource
 from repro.core.weights import (
     equalization_boundaries,
     waterfill_level,
@@ -54,6 +55,8 @@ from repro.core.weights import (
 )
 
 __all__ = [
+    "LoadView",
+    "LoadViewSource",
     "Policy",
     "RandomPolicy",
     "RoundRobinPolicy",

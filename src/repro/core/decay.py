@@ -27,7 +27,7 @@ import math
 import numpy as np
 
 from repro.core.policy import Policy
-from repro.staleness.base import LoadView
+from repro.core.views import LoadView
 
 __all__ = ["DecayedLoadPolicy"]
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.policy import Policy
-from repro.staleness.base import LoadView
+from repro.core.views import LoadView
 
 __all__ = ["KSubsetPolicy"]
 

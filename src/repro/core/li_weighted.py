@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.core.policy import Policy
 from repro.core.weights import weighted_waterfill_probabilities
-from repro.staleness.base import LoadView
+from repro.core.views import LoadView
 
 __all__ = ["WeightedLIPolicy"]
 

@@ -1,6 +1,6 @@
 """The selection-policy interface.
 
-A policy receives a :class:`~repro.staleness.base.LoadView` per arrival and
+A policy receives a :class:`~repro.core.views.LoadView` per arrival and
 returns the index of the server to dispatch to.  Policies are bound once
 per simulation run to the cluster size, a dedicated random stream (so
 policy randomness is independent of workload randomness) and a
@@ -14,7 +14,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.core.rate_estimators import ExactRate, RateEstimator
-from repro.staleness.base import LoadView
+from repro.core.views import LoadView
 
 __all__ = ["Policy"]
 

@@ -1,0 +1,115 @@
+"""The engine-agnostic load-information interface.
+
+:class:`LoadView` is the *only* thing a selection policy sees per arrival:
+the (possibly stale) load vector plus the metadata a load-interpretation
+algorithm needs to reason about its age.  It deliberately lives in
+:mod:`repro.core` — not in the simulator — so policies and λ estimators
+can be driven by any execution substrate that produces views:
+
+* the discrete-event / fast-path / vector simulators, through the
+  staleness models in :mod:`repro.staleness`;
+* the mean-field fluid engine, which evaluates policies on deterministic
+  fractional boards;
+* the **live** asyncio dispatcher (:mod:`repro.live`), whose bulletin
+  board polls real TCP backends over localhost sockets and publishes
+  genuinely stale snapshots.
+
+:class:`LoadViewSource` is the minimal board protocol those substrates
+share: anything with a ``view(client_id, now) -> LoadView`` method can
+front an unmodified :class:`~repro.core.policy.Policy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["LoadView", "LoadViewSource"]
+
+
+@dataclass(slots=True)
+class LoadView:
+    """What a dispatching policy sees at one arrival.
+
+    Attributes
+    ----------
+    loads:
+        Reported queue length of each server (stale).
+    version:
+        Increments whenever the underlying information changes.  Policies
+        that precompute per-snapshot state (Basic LI under the periodic
+        model computes one probability vector per phase) cache on this.
+    info_time:
+        Time at which ``loads`` was sampled from the servers (simulation
+        time for the simulators; normalized wall time for the live
+        dispatcher).
+    now:
+        Current time (the arrival instant) on the same clock.
+    horizon:
+        The interpretation window ``T`` in time units: for the periodic
+        model the phase length; for the continuous and update-on-access
+        models the *average* information age.  LI algorithms compute the
+        expected number of arrivals over this window.
+    elapsed:
+        The information's actual age, ``now - info_time`` (>= 0).
+    known_age:
+        Whether the policy is allowed to use ``elapsed``.  Under the
+        continuous model the paper distinguishes clients that know only
+        the mean delay (Fig. 6, ``known_age=False``) from clients that
+        know each request's actual delay (Fig. 7, ``known_age=True``).
+    phase_based:
+        True for bulletin-board semantics: information was published at
+        ``info_time`` and will be refreshed at ``info_time + horizon``;
+        Basic LI then equalizes over the whole phase and Aggressive LI
+        schedules subintervals by ``elapsed``.  False for sliding-age
+        semantics (continuous / update-on-access).
+    ages:
+        Optional per-server ages for models where servers report
+        independently (:class:`~repro.staleness.individual.IndividualUpdate`);
+        ``None`` when all entries share the same age.
+    client_id:
+        Identity of the requesting client — used by locality-aware
+        policies whose scores depend on who is asking.
+    """
+
+    loads: np.ndarray
+    version: int
+    info_time: float
+    now: float
+    horizon: float
+    elapsed: float
+    known_age: bool
+    phase_based: bool
+    ages: np.ndarray | None = None
+    client_id: int = 0
+
+    @property
+    def effective_window(self) -> float:
+        """The window an LI policy should interpret the loads over.
+
+        Phase-based models equalize over the full phase; sliding-age models
+        use the actual age when it is known and the mean age otherwise.
+        """
+        if self.phase_based:
+            return self.horizon
+        if self.known_age:
+            return self.elapsed
+        return self.horizon
+
+
+@runtime_checkable
+class LoadViewSource(Protocol):
+    """The board protocol every execution substrate implements.
+
+    Satisfied structurally by the simulator-side
+    :class:`~repro.staleness.base.StalenessModel` subclasses and by the
+    live dispatcher's :class:`~repro.live.board.BulletinBoard` — the
+    contract that lets one :class:`~repro.core.policy.Policy` object run
+    unmodified against either.
+    """
+
+    def view(self, client_id: int, now: float) -> LoadView:
+        """Return the load information visible to ``client_id`` at ``now``."""
+        ...

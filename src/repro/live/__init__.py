@@ -1,0 +1,63 @@
+"""The live serving subsystem: LI policies over real asyncio sockets.
+
+Every other engine in this repository (event, fast, vector, fluid)
+*models* staleness; this package realizes it.  A :class:`BackendServer`
+is a real TCP server with a FIFO queue and a stochastic service process;
+a :class:`BulletinBoard` task polls every backend each ``T`` time units
+over its own connections and publishes a snapshot that is genuinely
+stale by the time requests consult it; a :class:`LiveDispatcher` fronts
+the backends and routes each incoming request through an unmodified
+:class:`~repro.core.policy.Policy` (plus the overload subsystem's
+admission and circuit-breaker machinery); and the load generators in
+:mod:`repro.live.loadgen` drive it open-loop (Poisson, optionally
+shaped by a non-stationary :class:`~repro.nonstationary.RateProgram`)
+or closed-loop.
+
+:mod:`repro.live.harness` wires all of it into one timed experiment and
+reports the measured mean response time, goodput and herd statistics
+side by side with the simulator's prediction for the same
+``(policy, n, λ, T)`` cell — the sim-vs-wire validation loop.
+
+All request/response traffic is newline-delimited JSON over localhost
+TCP (:mod:`repro.live.protocol`).  Time on the wire is wall seconds; the
+:class:`LiveClock` converts to the simulator's unit (mean service times)
+so live measurements and simulator predictions share one scale.
+"""
+
+from repro.live.backend import BackendServer
+from repro.live.board import BoardSnapshot, BulletinBoard
+from repro.live.dispatcher import DispatcherStats, LiveDispatcher
+from repro.live.harness import (
+    LIVE_ESTIMATORS,
+    LIVE_POLICIES,
+    LiveResult,
+    LiveSpec,
+    compare_live_to_sim,
+    run_live,
+    run_live_experiment,
+    simulator_prediction,
+)
+from repro.live.loadgen import ClosedLoopClient, OpenLoopClient, RequestRecord
+from repro.live.protocol import LiveClock, read_message, send_message
+
+__all__ = [
+    "BackendServer",
+    "BoardSnapshot",
+    "BulletinBoard",
+    "ClosedLoopClient",
+    "DispatcherStats",
+    "LiveClock",
+    "LiveDispatcher",
+    "LiveResult",
+    "LiveSpec",
+    "LIVE_ESTIMATORS",
+    "LIVE_POLICIES",
+    "OpenLoopClient",
+    "RequestRecord",
+    "compare_live_to_sim",
+    "read_message",
+    "run_live",
+    "run_live_experiment",
+    "send_message",
+    "simulator_prediction",
+]

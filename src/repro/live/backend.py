@@ -1,0 +1,325 @@
+"""A real TCP worker server with a FIFO queue and stochastic service.
+
+One :class:`BackendServer` is the live counterpart of one simulator
+:class:`~repro.cluster.server.Server`: jobs queue FIFO, a single worker
+coroutine services them one at a time (``asyncio.sleep`` for a sampled
+service time), and an optional bound on the number of jobs in the system
+rejects the dispatch that would overflow it — the same semantics the
+overload subsystem's bounded queues give the simulator.
+
+The server answers two operations on any connection: ``work`` (enqueue a
+job, reply after service — replies may interleave across connections but
+service order is strictly FIFO) and ``load`` (report the current number
+of jobs in the system, the signal the bulletin board polls).  Load
+reports are answered immediately even while jobs are in service, exactly
+like a production stats endpoint; their staleness is created *between*
+polls, by the board's period, not by the backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import numpy as np
+
+__all__ = ["BackendServer"]
+
+#: How long ``stop(drain=True)`` waits for queued jobs before cancelling.
+_DRAIN_TIMEOUT = 10.0
+
+
+class BackendServer:
+    """One FIFO worker behind a localhost TCP listener.
+
+    Parameters
+    ----------
+    server_id:
+        Index reported in load replies (and used in logs/manifests).
+    time_unit:
+        Wall seconds per mean service time (shared with the experiment's
+        :class:`~repro.live.protocol.LiveClock`).
+    service_rate:
+        Relative capacity; the mean service *wall* time is
+        ``time_unit / service_rate``, so heterogeneous fleets can be
+        assembled from differently-rated backends.
+    service:
+        ``"exponential"`` (the paper's M/M/n setting) or
+        ``"deterministic"``.
+    queue_capacity:
+        Bound on jobs in the system (queued + in service); ``None``
+        means unbounded.  A full server answers ``work`` immediately
+        with ``ok=false, error="queue-full"``.
+    seed:
+        Seeds this backend's private service-time stream.
+    host / port:
+        Listen address; port 0 (default) lets the OS pick and exposes
+        the result as :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        server_id: int,
+        *,
+        time_unit: float = 0.01,
+        service_rate: float = 1.0,
+        service: str = "exponential",
+        queue_capacity: int | None = None,
+        seed: int | np.random.SeedSequence = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if not math.isfinite(service_rate) or service_rate <= 0:
+            raise ValueError(
+                f"service_rate must be positive and finite, got {service_rate}"
+            )
+        if service not in ("exponential", "deterministic"):
+            raise ValueError(
+                f"service must be 'exponential' or 'deterministic', "
+                f"got {service!r}"
+            )
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        if not math.isfinite(time_unit) or time_unit <= 0:
+            raise ValueError(
+                f"time_unit must be positive and finite, got {time_unit}"
+            )
+        self.server_id = server_id
+        self.time_unit = float(time_unit)
+        self.service_rate = float(service_rate)
+        self.service = service
+        self.queue_capacity = queue_capacity
+        self.host = host
+        self.port = port
+        self._rng = np.random.default_rng(seed)
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._in_system = 0
+        self._served = 0
+        self._rejected = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._worker: asyncio.Task | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._sleep_debt = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Open the listener (resolving port 0) and start the worker."""
+        if self._server is not None:
+            raise RuntimeError("BackendServer is already running")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._worker = asyncio.create_task(
+            self._work_loop(), name=f"backend-{self.server_id}-worker"
+        )
+
+    async def stop(self, drain: bool = True) -> None:
+        """Close the listener and wind the worker down without leaks.
+
+        With ``drain=True`` (the default) jobs already accepted are
+        served before the worker stops — the graceful path; ``False``
+        abandons the queue immediately.  Either way every connection
+        task is cancelled and awaited, so no pending-task warnings can
+        escape this server.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if drain and self._in_system > 0:
+            try:
+                await asyncio.wait_for(
+                    self._queue.join(), timeout=_DRAIN_TIMEOUT
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                pass
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        # Snapshot once: a cancelled handler discards itself from
+        # _connections on its way out, so re-listing would skip it and
+        # leak the task mid-teardown.
+        connections = list(self._connections)
+        for task in connections:
+            task.cancel()
+        for task in connections:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._connections.clear()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs in the system right now (queued + in service)."""
+        return self._in_system
+
+    @property
+    def served(self) -> int:
+        """Jobs completed since start."""
+        return self._served
+
+    @property
+    def rejected(self) -> int:
+        """Dispatches refused by the bounded queue since start."""
+        return self._rejected
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def describe(self) -> dict:
+        """JSON-serializable configuration digest (for manifests)."""
+        return {
+            "server_id": self.server_id,
+            "service": self.service,
+            "service_rate": self.service_rate,
+            "queue_capacity": self.queue_capacity,
+        }
+
+    # -- internals -------------------------------------------------------
+
+    def _service_time(self) -> float:
+        """One sampled service time in wall seconds."""
+        mean = self.time_unit / self.service_rate
+        if self.service == "deterministic":
+            return mean
+        return float(self._rng.exponential(mean))
+
+    async def _work_loop(self) -> None:
+        """The single server process: FIFO, one job at a time.
+
+        ``asyncio.sleep(s)`` systematically overshoots by the event
+        loop's timer granularity (hundreds of microseconds), which would
+        inflate every service time and bias queueing upward relative to
+        the simulator.  The worker therefore carries the overshoot as a
+        debt and pays it down from subsequent sleeps, so long-run busy
+        time tracks the *sampled* service times.  The debt is capped at
+        one mean service time: overshoot accrued before an idle period
+        must not eat a later busy period's work.
+        """
+        from repro.live.protocol import send_message
+
+        loop = asyncio.get_running_loop()
+        mean_wall = self.time_unit / self.service_rate
+        while True:
+            job_id, writer = await self._queue.get()
+            try:
+                sampled = self._service_time()
+                corrected = max(0.0, sampled - self._sleep_debt)
+                self._sleep_debt -= sampled - corrected
+                before = loop.time()
+                await asyncio.sleep(corrected)
+                overshoot = loop.time() - before - corrected
+                self._sleep_debt = min(
+                    mean_wall, self._sleep_debt + max(0.0, overshoot)
+                )
+                self._in_system -= 1
+                self._served += 1
+                send_message(
+                    writer,
+                    {
+                        "op": "done",
+                        "id": job_id,
+                        "ok": True,
+                        "queue": self._in_system,
+                    },
+                )
+            finally:
+                self._queue.task_done()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # stop() cancels connection readers; finishing cleanly keeps
+            # the streams-module task wrapper from re-raising into the
+            # event loop.
+            pass
+        finally:
+            writer.close()
+            try:
+                # CancelledError here means stop() caught this handler
+                # already in teardown; absorbing it keeps the task from
+                # ending cancelled (the streams accept-callback would
+                # re-raise that into the event loop).
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                pass
+            # Deregister only after the last await: once removed from
+            # _connections the task must have no remaining suspension
+            # points, or stop() could miss it mid-teardown.
+            self._connections.discard(task)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        from repro.live.protocol import read_message, send_message
+
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                message = await read_message(reader)
+            except ValueError:
+                send_message(writer, {"op": "error", "error": "bad-message"})
+                await writer.drain()
+                return
+            if message is None:
+                return
+            op = message.get("op")
+            if op == "work":
+                job_id = message.get("id")
+                if (
+                    self.queue_capacity is not None
+                    and self._in_system >= self.queue_capacity
+                ):
+                    self._rejected += 1
+                    send_message(
+                        writer,
+                        {
+                            "op": "done",
+                            "id": job_id,
+                            "ok": False,
+                            "error": "queue-full",
+                            "queue": self._in_system,
+                        },
+                    )
+                else:
+                    self._in_system += 1
+                    self._queue.put_nowait((job_id, writer))
+            elif op == "load":
+                send_message(
+                    writer,
+                    {
+                        "op": "load",
+                        "server": self.server_id,
+                        "queue": self._in_system,
+                        "served": self._served,
+                        "t": loop.time(),
+                    },
+                )
+            else:
+                send_message(
+                    writer,
+                    {"op": "error", "error": f"unknown-op:{op}"},
+                )
+            await writer.drain()

@@ -1,0 +1,243 @@
+"""The live bulletin board: a poller task publishing genuinely stale state.
+
+The simulator's :class:`~repro.staleness.periodic.PeriodicUpdate` *models*
+a bulletin board; this one is real.  A background task connects to every
+backend, requests a load report every ``T`` time units (on an absolute
+schedule, so the cadence never drifts), and publishes the gathered
+snapshot.  Between polls the snapshot simply sits there aging — requests
+arriving late in a phase act on information that is genuinely ``T`` old,
+including whatever queueing happened on the wire in the meantime.
+
+:meth:`BulletinBoard.view` is the LoadView adapter: it dresses the
+current snapshot up as the engine-agnostic
+:class:`~repro.core.views.LoadView` policies consume, with periodic
+(phase-based) semantics — the same contract the simulator's staleness
+models honor, satisfying :class:`~repro.core.views.LoadViewSource`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.views import LoadView
+from repro.live.protocol import LiveClock, read_message, send_message
+
+__all__ = ["BoardSnapshot", "BulletinBoard"]
+
+#: Per-poll timeout (wall seconds): a backend that cannot answer a load
+#: probe within this window keeps its previous entry — hidden staleness,
+#: exactly like the fault injector's crashed-server board masking.
+_POLL_TIMEOUT = 5.0
+
+
+@dataclass(frozen=True, slots=True)
+class BoardSnapshot:
+    """One published poll result.
+
+    ``info_time`` is in normalized time units (the clock's scale);
+    ``loads`` holds jobs-in-system per backend, in backend order.
+    """
+
+    loads: np.ndarray
+    version: int
+    info_time: float
+
+
+class BulletinBoard:
+    """Polls all backends every ``period`` time units; publishes snapshots.
+
+    Parameters
+    ----------
+    addresses:
+        ``(host, port)`` of every backend, in server-id order.
+    period:
+        The update period ``T`` in normalized time units — the paper's
+        central staleness parameter, realized as a wall-clock polling
+        interval via ``clock``.
+    clock:
+        The experiment's shared :class:`~repro.live.protocol.LiveClock`.
+    on_update:
+        Optional hook ``(now, version, loads)`` invoked after each
+        publish — the live counterpart of the simulator probes'
+        ``on_load_update``, used for herd-epoch detection.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[tuple[str, int]],
+        period: float,
+        clock: LiveClock,
+        on_update: Callable[[float, int, np.ndarray], None] | None = None,
+    ) -> None:
+        if not addresses:
+            raise ValueError("BulletinBoard needs at least one backend")
+        if not math.isfinite(period) or period <= 0:
+            raise ValueError(
+                f"period must be positive and finite, got {period}"
+            )
+        self.addresses = list(addresses)
+        self.period = float(period)
+        self.clock = clock
+        self.on_update = on_update
+        self.polls_completed = 0
+        self.poll_failures = 0
+        self._snapshot: BoardSnapshot | None = None
+        self._connections: list[
+            tuple[asyncio.StreamReader, asyncio.StreamWriter]
+        ] = []
+        self._poller: asyncio.Task | None = None
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def snapshot(self) -> BoardSnapshot:
+        if self._snapshot is None:
+            raise RuntimeError("board has not published yet; call start()")
+        return self._snapshot
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Connect to every backend, take poll 0, start the poll loop.
+
+        The clock must already be started; poll 0 lands at (approximately)
+        normalized time zero, matching the simulator's accurate-at-t=0
+        board.
+        """
+        if self._poller is not None:
+            raise RuntimeError("BulletinBoard is already running")
+        for host, port in self.addresses:
+            reader, writer = await asyncio.open_connection(host, port)
+            self._connections.append((reader, writer))
+        await self._poll_once()
+        self._poller = asyncio.create_task(
+            self._poll_loop(), name="bulletin-board-poller"
+        )
+
+    async def stop(self) -> None:
+        """Cancel the poller and close every polling connection."""
+        if self._poller is not None:
+            self._poller.cancel()
+            try:
+                await self._poller
+            except asyncio.CancelledError:
+                pass
+            self._poller = None
+        for _, writer in self._connections:
+            writer.close()
+        for _, writer in self._connections:
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        self._connections.clear()
+
+    # -- the LoadView adapter -------------------------------------------
+
+    def view(self, client_id: int, now: float) -> LoadView:
+        """The stale information visible to one arriving request.
+
+        Periodic bulletin-board semantics (``phase_based=True``): loads
+        were sampled at ``info_time`` and the next refresh lands one
+        period later.  ``known_age=True`` because the board timestamps
+        its snapshots — live clients can always subtract.  The loads
+        array is a copy: policies may scribble on their view.
+        """
+        snapshot = self.snapshot
+        return LoadView(
+            loads=snapshot.loads.copy(),
+            version=snapshot.version,
+            info_time=snapshot.info_time,
+            now=now,
+            horizon=self.period,
+            elapsed=max(0.0, now - snapshot.info_time),
+            known_age=True,
+            phase_based=True,
+            client_id=client_id,
+        )
+
+    def describe(self) -> dict:
+        """JSON-serializable configuration digest (for manifests)."""
+        return {"model": "live-periodic", "period": self.period}
+
+    # -- internals -------------------------------------------------------
+
+    async def _poll_one_backend(
+        self, index: int
+    ) -> float | None:
+        """One load probe on one connection; ``None`` on failure."""
+        reader, writer = self._connections[index]
+        try:
+            send_message(writer, {"op": "load"})
+            await writer.drain()
+            reply = await asyncio.wait_for(
+                read_message(reader), timeout=_POLL_TIMEOUT
+            )
+        except (
+            asyncio.TimeoutError,
+            TimeoutError,
+            ValueError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            return None
+        if reply is None or reply.get("op") != "load":
+            return None
+        return float(reply["queue"])
+
+    async def _poll_once(self) -> None:
+        """Gather one load report per backend and publish the snapshot.
+
+        A backend that fails to answer keeps its previous entry (0.0 on
+        the very first poll): the board silently advertises stale state
+        for it, which is precisely how a real stats plane degrades.
+        """
+        results = await asyncio.gather(
+            *(self._poll_one_backend(i) for i in range(self.num_servers))
+        )
+        previous = (
+            self._snapshot.loads
+            if self._snapshot is not None
+            else np.zeros(self.num_servers)
+        )
+        loads = np.array(
+            [
+                result if result is not None else float(previous[i])
+                for i, result in enumerate(results)
+            ],
+            dtype=np.float64,
+        )
+        self.poll_failures += sum(1 for r in results if r is None)
+        version = self._snapshot.version + 1 if self._snapshot else 0
+        info_time = self.clock.now()
+        self._snapshot = BoardSnapshot(
+            loads=loads, version=version, info_time=info_time
+        )
+        self.polls_completed += 1
+        if self.on_update is not None:
+            self.on_update(info_time, version, loads)
+
+    async def _poll_loop(self) -> None:
+        """Poll on the absolute grid t0 + k*T (no cumulative drift)."""
+        loop = asyncio.get_running_loop()
+        k = 1
+        while True:
+            deadline = self.clock.wall_deadline(k * self.period)
+            delay = deadline - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            await self._poll_once()
+            # Skip any whole periods lost to a stall (e.g. a suspended
+            # laptop): re-anchor on the next future grid point instead
+            # of polling in a tight catch-up burst.
+            k += 1
+            behind = (loop.time() - self.clock.wall_deadline(k * self.period))
+            if behind > 0:
+                k += int(behind / self.clock.to_wall(self.period)) + 1

@@ -1,0 +1,493 @@
+"""The asyncio dispatcher: an unmodified core Policy fronting real sockets.
+
+For each incoming request the dispatcher asks the bulletin board for the
+current (stale) :class:`~repro.core.views.LoadView`, runs the overload
+subsystem's admission check, lets the configured
+:class:`~repro.core.policy.Policy` pick a backend — exactly the object
+the simulators drive, consuming exactly the view type they produce — and
+forwards the job over a persistent per-backend connection.  Circuit
+breakers (:class:`~repro.overload.breaker.BreakerBoard`) guard backends
+whose bounded queues reject; a request whose chosen backend is
+breaker-blocked is re-routed to the least-loaded unblocked backend *by
+the stale board's lights* (deterministically, lowest index on ties), the
+same fallback contract the simulator's retry path uses.
+
+Requests are served concurrently (one task per request, pipelined on the
+backend connections), so dispatch decisions interleave with completions
+exactly as they would in production — the event-loop scheduling itself
+is part of what the sim-vs-wire comparison validates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.policy import Policy
+from repro.core.rate_estimators import ExactRate, RateEstimator
+from repro.live.board import BulletinBoard
+from repro.live.protocol import LiveClock, read_message, send_message
+from repro.overload.admission import AdmissionPolicy
+from repro.overload.breaker import BreakerBoard, BreakerConfig
+
+__all__ = ["DispatcherStats", "LiveDispatcher"]
+
+#: How long ``stop()`` waits for in-flight requests before cancelling.
+_DRAIN_TIMEOUT = 10.0
+
+
+@dataclass
+class DispatcherStats:
+    """Counters accumulated over one dispatcher lifetime.
+
+    ``latencies`` holds per-completed-request response times in
+    normalized units (mean service times), in completion order.
+    """
+
+    offered: int = 0
+    completed: int = 0
+    shed: int = 0
+    rejected: int = 0
+    breaker_blocked: int = 0
+    dispatch_counts: np.ndarray | None = None
+    latencies: list = field(default_factory=list)
+
+    @property
+    def dropped(self) -> int:
+        """Requests refused for good (shed or rejected, never served)."""
+        return self.shed + self.rejected
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of offered requests that completed service."""
+        return self.completed / self.offered if self.offered else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else float("nan")
+
+    def summary(self) -> dict:
+        """JSON-serializable digest (for manifests)."""
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "breaker_blocked": self.breaker_blocked,
+            "goodput": self.goodput,
+            "mean_latency": self.mean_latency,
+            "dispatch_counts": (
+                self.dispatch_counts.tolist()
+                if self.dispatch_counts is not None
+                else None
+            ),
+        }
+
+
+class _BackendLink:
+    """One persistent, pipelined connection to one backend.
+
+    Work messages are tagged with a sequence number; a reader task
+    resolves the matching future when the backend's (possibly reordered)
+    reply arrives.  Losing the connection fails every pending future —
+    the dispatcher surfaces those as rejections rather than hanging.
+    """
+
+    def __init__(self, server_id: int, host: str, port: int) -> None:
+        self.server_id = server_id
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._reader_task: asyncio.Task | None = None
+        self._next_id = 0
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name=f"backend-link-{self.server_id}-reader"
+        )
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+        self._fail_pending()
+
+    async def submit(self, timeout: float | None = None) -> dict:
+        """Send one job; await its reply (``{"ok": ..., "queue": ...}``)."""
+        assert self._writer is not None, "link not connected"
+        job_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[job_id] = future
+        send_message(self._writer, {"op": "work", "id": job_id})
+        await self._writer.drain()
+        try:
+            return await asyncio.wait_for(future, timeout=timeout)
+        finally:
+            self._pending.pop(job_id, None)
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        while True:
+            try:
+                message = await read_message(self._reader)
+            except ValueError:
+                message = None
+            if message is None:
+                self._fail_pending()
+                return
+            future = self._pending.get(message.get("id"))
+            if future is not None and not future.done():
+                future.set_result(message)
+
+    def _fail_pending(self) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_result(
+                    {"ok": False, "error": "backend-connection-lost"}
+                )
+        self._pending.clear()
+
+
+class LiveDispatcher:
+    """The load balancer process: board + policy + overload machinery.
+
+    Parameters
+    ----------
+    addresses:
+        Backend ``(host, port)`` pairs in server-id order.
+    board:
+        A started (or about-to-be-started) :class:`BulletinBoard`.
+    policy:
+        An *unbound* :class:`~repro.core.policy.Policy`; the dispatcher
+        binds it to the cluster size, its private random stream and the
+        rate estimator, exactly as ``ClusterSimulation`` would.
+    clock:
+        The experiment's shared clock.
+    rate_estimator:
+        Optional λ estimator (``None`` keeps the policy's default
+        :class:`~repro.core.rate_estimators.ExactRate`); the dispatcher
+        feeds it every arrival via ``observe_arrival``.
+    true_rate:
+        The configured per-server arrival rate, passed to the
+        estimator's ``bind`` (the oracle value for ``ExactRate``).
+    admission:
+        Optional :class:`~repro.overload.admission.AdmissionPolicy`
+        consulted before dispatch with the same stale view.
+    breaker_config:
+        Optional :class:`~repro.overload.breaker.BreakerConfig`; enables
+        per-server circuit breakers fed by queue-full rejections.
+    probes:
+        Optional object with ``on_dispatch(now, client_id, server_id,
+        queue_length)`` and ``on_job_complete(server_id, completion_time,
+        response_time)`` hooks (e.g. :class:`repro.obs.live.LiveTrace`).
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[tuple[str, int]],
+        board: BulletinBoard,
+        policy: Policy,
+        clock: LiveClock,
+        *,
+        rate_estimator: RateEstimator | None = None,
+        true_rate: float = 1.0,
+        admission: AdmissionPolicy | None = None,
+        breaker_config: BreakerConfig | None = None,
+        probes=None,
+        seed: int | np.random.SeedSequence = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float | None = 60.0,
+    ) -> None:
+        if not addresses:
+            raise ValueError("LiveDispatcher needs at least one backend")
+        self.board = board
+        self.policy = policy
+        self.clock = clock
+        self.admission = admission
+        self.probes = probes
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.stats = DispatcherStats(
+            dispatch_counts=np.zeros(len(addresses), dtype=np.int64)
+        )
+        seed_seq = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        policy_seed, admission_seed, breaker_seed = seed_seq.spawn(3)
+        self._links = [
+            _BackendLink(i, host_, port_)
+            for i, (host_, port_) in enumerate(addresses)
+        ]
+        rng = np.random.default_rng(policy_seed)
+        # Mirror the simulator's default: an oracle estimator bound to
+        # the true per-server rate when no explicit estimator is given.
+        if rate_estimator is None:
+            rate_estimator = ExactRate()
+        rate_estimator.bind(len(addresses), true_rate)
+        self._estimator = rate_estimator
+        policy.bind(len(addresses), rng, rate_estimator)
+        if admission is not None:
+            admission.bind(len(addresses), np.random.default_rng(admission_seed))
+        self.breakers = (
+            BreakerBoard(
+                len(addresses),
+                breaker_config,
+                rng=np.random.default_rng(breaker_seed),
+            )
+            if breaker_config is not None
+            else None
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._in_flight: set[asyncio.Task] = set()
+        self._connections: set[asyncio.Task] = set()
+        self._accepting = True
+
+    @property
+    def num_servers(self) -> int:
+        return len(self._links)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Connect every backend link and open the client listener."""
+        if self._server is not None:
+            raise RuntimeError("LiveDispatcher is already running")
+        for link in self._links:
+            await link.connect()
+        self._accepting = True
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight, close links.
+
+        Ordering matters: the listener closes first (no new work), then
+        every in-flight request task is awaited (draining), and only
+        then are the backend links torn down — so no accepted request is
+        ever abandoned by its own dispatcher.
+        """
+        self._accepting = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._in_flight:
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*self._in_flight, return_exceptions=True),
+                    timeout=_DRAIN_TIMEOUT,
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                for task in self._in_flight:
+                    task.cancel()
+                await asyncio.gather(*self._in_flight, return_exceptions=True)
+        # Snapshot once: a cancelled handler discards itself from
+        # _connections on its way out, so re-listing would skip it and
+        # leak the task mid-teardown.
+        connections = list(self._connections)
+        for task in connections:
+            task.cancel()
+        for task in connections:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._connections.clear()
+        for link in self._links:
+            await link.close()
+
+    # -- request path ----------------------------------------------------
+
+    def select_server(self, view) -> tuple[int | None, bool]:
+        """Policy selection plus breaker re-routing for one view.
+
+        Returns ``(server_id, blocked)``: ``server_id`` is ``None`` when
+        every backend is breaker-blocked (the request must be refused);
+        ``blocked`` reports whether the policy's first choice was
+        overridden.  Exposed separately from the socket path so tests
+        can drive the decision logic synchronously.
+        """
+        server = self.policy.select(view)
+        if self.breakers is None or self.breakers.allow(server, view.now):
+            return server, False
+        candidates = [
+            s
+            for s in range(self.num_servers)
+            if s != server and not self.breakers.blocks(s, view.now)
+        ]
+        if not candidates:
+            return None, True
+        loads = view.loads
+        best = min(candidates, key=lambda s: (loads[s], s))
+        return best, True
+
+    async def _serve_request(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        request_id = request.get("id")
+        arrival = self.clock.now()
+        self.stats.offered += 1
+        if self._estimator is not None:
+            self._estimator.observe_arrival(arrival)
+        view = self.board.view(int(request.get("client", 0)), arrival)
+        if self.admission is not None and not self.admission.admit(view):
+            self.stats.shed += 1
+            send_message(
+                writer,
+                {"op": "done", "id": request_id, "ok": False, "error": "shed"},
+            )
+            return
+        server, blocked = self.select_server(view)
+        if blocked:
+            self.stats.breaker_blocked += 1
+        if server is None:
+            self.stats.rejected += 1
+            send_message(
+                writer,
+                {
+                    "op": "done",
+                    "id": request_id,
+                    "ok": False,
+                    "error": "breaker-open",
+                },
+            )
+            return
+        self.stats.dispatch_counts[server] += 1
+        if self.probes is not None:
+            self.probes.on_dispatch(
+                arrival,
+                int(request.get("client", 0)),
+                server,
+                int(view.loads[server]) + 1,
+            )
+        reply = await self._links[server].submit(timeout=self.request_timeout)
+        done = self.clock.now()
+        if reply.get("ok"):
+            latency = done - arrival
+            self.stats.completed += 1
+            self.stats.latencies.append(latency)
+            if self.breakers is not None:
+                self.breakers.record_success(server, done)
+            if self.probes is not None:
+                self.probes.on_job_complete(server, done, latency)
+            send_message(
+                writer,
+                {
+                    "op": "done",
+                    "id": request_id,
+                    "ok": True,
+                    "server": server,
+                    "latency": latency,
+                },
+            )
+        else:
+            self.stats.rejected += 1
+            if self.breakers is not None:
+                self.breakers.record_failure(server, done)
+            send_message(
+                writer,
+                {
+                    "op": "done",
+                    "id": request_id,
+                    "ok": False,
+                    "server": server,
+                    "error": reply.get("error", "rejected"),
+                },
+            )
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_message(reader)
+                except ValueError:
+                    send_message(
+                        writer, {"op": "error", "error": "bad-message"}
+                    )
+                    break
+                if request is None:
+                    break
+                if not self._accepting:
+                    send_message(
+                        writer,
+                        {
+                            "op": "done",
+                            "id": request.get("id"),
+                            "ok": False,
+                            "error": "shutting-down",
+                        },
+                    )
+                    continue
+                serve = asyncio.create_task(
+                    self._serve_request(request, writer),
+                    name=f"serve-{request.get('id')}",
+                )
+                self._in_flight.add(serve)
+                serve.add_done_callback(self._in_flight.discard)
+                await writer.drain()
+        except asyncio.CancelledError:
+            # stop() cancels connection readers after draining in-flight
+            # work; finishing cleanly here keeps the streams-module task
+            # wrapper from re-raising into the event loop.
+            pass
+        finally:
+            # Never close the client connection while its own requests
+            # are still in service: completions must be deliverable.
+            pending = [t for t in self._in_flight if not t.done()]
+            if pending:
+                try:
+                    await asyncio.gather(*pending, return_exceptions=True)
+                except asyncio.CancelledError:
+                    pass
+            writer.close()
+            try:
+                # CancelledError here means stop() caught this handler
+                # already in teardown; absorbing it keeps the task from
+                # ending cancelled (the streams accept-callback would
+                # re-raise that into the event loop).
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                pass
+            # Deregister only after the last await: once removed from
+            # _connections the task must have no remaining suspension
+            # points, or stop() could miss it mid-teardown.
+            self._connections.discard(task)

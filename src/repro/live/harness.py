@@ -1,0 +1,542 @@
+"""One-process live experiments and the sim-vs-wire validation loop.
+
+:func:`run_live` launches ``n`` real TCP backends, the bulletin-board
+poller, the dispatcher and a load generator inside one event loop, runs
+a timed cell and tears everything down gracefully (dispatcher drains
+in-flight requests first, then the board poller stops, then the backends
+close — no task leaks).  :func:`simulator_prediction` runs the *same*
+``(policy, n, λ, T)`` cell through :class:`~repro.cluster.simulation.ClusterSimulation`,
+and :func:`compare_live_to_sim` puts the two side by side — the
+strongest validation this repository has: if LI's interpretation of
+stale reports is right, it must hold on a wire where the staleness is
+produced by an actual polling task, not modeled.
+
+Where sim and wire can legitimately diverge (documented tolerance, see
+DESIGN.md §14): event-loop and socket overhead adds a roughly constant
+per-request cost (kept under ~2% of a mean service time by the default
+``time_unit``); poll round-trips make board snapshots a fraction of a
+time unit older than the nominal phase start; and a live run's sample
+size is wall-clock-bounded, so its mean carries ordinary sampling noise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import sys
+import time
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from repro.live.backend import BackendServer
+from repro.live.board import BulletinBoard
+from repro.live.dispatcher import LiveDispatcher
+from repro.live.loadgen import ClosedLoopClient, OpenLoopClient
+from repro.live.protocol import LiveClock
+
+__all__ = [
+    "LIVE_ESTIMATORS",
+    "LIVE_POLICIES",
+    "LiveResult",
+    "LiveSpec",
+    "compare_live_to_sim",
+    "run_live",
+    "run_live_experiment",
+    "simulator_prediction",
+]
+
+
+def _make_random():
+    from repro.core.random_policy import RandomPolicy
+
+    return RandomPolicy()
+
+
+def _make_round_robin():
+    from repro.core.round_robin import RoundRobinPolicy
+
+    return RoundRobinPolicy()
+
+
+def _make_basic_li():
+    from repro.core.li_basic import BasicLIPolicy
+
+    return BasicLIPolicy()
+
+
+def _make_basic_li_ts():
+    from repro.core.li_basic import BasicLIPolicy
+
+    return BasicLIPolicy(timestamp_aware=True)
+
+
+def _make_aggressive_li():
+    from repro.core.li_aggressive import AggressiveLIPolicy
+
+    return AggressiveLIPolicy()
+
+
+def _make_greedy(num_servers: int):
+    from repro.core.ksubset import KSubsetPolicy
+
+    return KSubsetPolicy(num_servers)
+
+
+def _make_k2(num_servers: int):
+    from repro.core.ksubset import KSubsetPolicy
+
+    return KSubsetPolicy(min(2, num_servers))
+
+
+#: Policy labels servable live.  Factories taking an argument receive the
+#: cluster size (the greedy family needs it); the rest take none.
+LIVE_POLICIES = {
+    "random": _make_random,
+    "round-robin": _make_round_robin,
+    "basic-li": _make_basic_li,
+    "basic-li(ts)": _make_basic_li_ts,
+    "aggressive-li": _make_aggressive_li,
+    "greedy": _make_greedy,
+    "k=2": _make_k2,
+}
+
+#: Argument counts (policy factories that need the cluster size).
+_POLICIES_NEEDING_N = {"greedy", "k=2"}
+
+
+def _make_exact():
+    return None  # Policy default: ExactRate bound to the true λ.
+
+
+def _make_conservative():
+    from repro.core.rate_estimators import FixedRate
+
+    return FixedRate(1.0)
+
+
+def _make_ewma():
+    from repro.core.rate_estimators import EWMARate
+
+    return EWMARate()
+
+
+#: λ-estimator labels: the oracle, the paper's conservative λ=1 strategy,
+#: and the honest online EWMA.
+LIVE_ESTIMATORS = {
+    "exact": _make_exact,
+    "conservative": _make_conservative,
+    "ewma": _make_ewma,
+}
+
+
+@dataclass(frozen=True)
+class LiveSpec:
+    """One live cell: everything a run (and its run ID) depends on.
+
+    The experiment-defining fields mirror the simulator cell coordinates
+    (policy, n, λ, T, jobs, seed, overload, arrivals program, estimator,
+    loop mode).  ``time_unit``, ``host`` and ``duration`` are *execution*
+    parameters: they change wall-clock fidelity, never the cell being
+    measured, and are folded out of the content hash by
+    :func:`repro.ablation.runid.resolve_live_spec`.
+    """
+
+    policy: str = "basic-li"
+    num_servers: int = 3
+    load: float = 0.6
+    period: float = 4.0
+    jobs: int = 500
+    seed: int = 1
+    warmup_fraction: float = 0.1
+    queue_capacity: int | None = None
+    admission: str | None = None
+    breaker: str | None = None
+    estimator: str = "exact"
+    arrivals: str | None = None
+    service: str = "exponential"
+    mode: str = "open"
+    clients: int = 8
+    think_time: float = 0.0
+    # -- execution-only (wall-clock-volatile) fields --------------------
+    time_unit: float = 0.01
+    host: str = "127.0.0.1"
+    duration: float | None = None
+
+    #: Fields that never influence the measured cell, only how fast /
+    #: where it executes — excluded from live run IDs.
+    VOLATILE_FIELDS = ("time_unit", "host", "duration")
+
+    def __post_init__(self) -> None:
+        if self.policy not in LIVE_POLICIES:
+            raise ValueError(
+                f"unknown live policy {self.policy!r}; available: "
+                f"{', '.join(LIVE_POLICIES)}"
+            )
+        if self.estimator not in LIVE_ESTIMATORS:
+            raise ValueError(
+                f"unknown estimator {self.estimator!r}; available: "
+                f"{', '.join(LIVE_ESTIMATORS)}"
+            )
+        if self.mode not in ("open", "closed"):
+            raise ValueError(
+                f"mode must be 'open' or 'closed', got {self.mode!r}"
+            )
+        if self.num_servers < 1:
+            raise ValueError(
+                f"num_servers must be >= 1, got {self.num_servers}"
+            )
+        if not math.isfinite(self.load) or self.load <= 0:
+            raise ValueError(
+                f"load must be positive and finite, got {self.load}"
+            )
+        if not math.isfinite(self.period) or self.period <= 0:
+            raise ValueError(
+                f"period must be positive and finite, got {self.period}"
+            )
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+
+    def describe(self) -> dict:
+        """JSON-serializable form: every field, volatile ones included.
+
+        Run-ID construction starts from this and *removes*
+        :attr:`VOLATILE_FIELDS`; manifests keep them (they are honest
+        provenance, just not identity).
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def make_policy(self):
+        factory = LIVE_POLICIES[self.policy]
+        if self.policy in _POLICIES_NEEDING_N:
+            return factory(self.num_servers)
+        return factory()
+
+    def make_estimator(self):
+        return LIVE_ESTIMATORS[self.estimator]()
+
+    def make_program(self):
+        """The non-stationary rate program, or ``None`` when stationary."""
+        if self.arrivals is None:
+            return None
+        from repro.nonstationary.parse import parse_arrivals_spec
+
+        return parse_arrivals_spec(self.arrivals)(
+            self.num_servers * self.load
+        )
+
+
+@dataclass(frozen=True)
+class LiveResult:
+    """Measured outcome of one live run (times in mean service times)."""
+
+    spec: LiveSpec
+    mean_response_time: float
+    p95_response_time: float
+    jobs_offered: int
+    jobs_completed: int
+    jobs_measured: int
+    jobs_shed: int
+    jobs_rejected: int
+    goodput: float
+    board_polls: int
+    poll_failures: int
+    breaker_trips: int
+    herd: dict
+    dispatch_counts: tuple
+    wall_seconds: float
+    duration: float
+
+    def to_manifest(self) -> dict:
+        """Manifest-compatible JSON payload (plus the live run ID)."""
+        from repro.ablation.runid import live_run_id
+
+        return {
+            "live_manifest_version": 1,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "run_id": live_run_id(self.spec),
+            "spec": self.spec.describe(),
+            "environment": {
+                "python": sys.version.split()[0],
+                "numpy": np.__version__,
+            },
+            "results": {
+                "mean_response_time": self.mean_response_time,
+                "p95_response_time": self.p95_response_time,
+                "jobs_offered": self.jobs_offered,
+                "jobs_completed": self.jobs_completed,
+                "jobs_measured": self.jobs_measured,
+                "jobs_shed": self.jobs_shed,
+                "jobs_rejected": self.jobs_rejected,
+                "goodput": self.goodput,
+                "board_polls": self.board_polls,
+                "poll_failures": self.poll_failures,
+                "breaker_trips": self.breaker_trips,
+                "dispatch_counts": list(self.dispatch_counts),
+                "wall_seconds": self.wall_seconds,
+                "duration": self.duration,
+                "herd": self.herd,
+            },
+        }
+
+
+async def run_live(spec: LiveSpec, probes=None) -> LiveResult:
+    """Run one live cell end to end inside the current event loop.
+
+    Startup order: backends → board (poll 0 ≈ t=0) → dispatcher →
+    load generator.  Shutdown runs in reverse and is unconditional
+    (``finally``), so an exception — or an outer cancellation — still
+    tears every task down; see ``tests/live/test_shutdown.py`` for the
+    no-leak proof.
+    """
+    from repro.obs.live import LiveTrace
+    from repro.overload.parse import parse_admission_spec, parse_breaker_spec
+
+    seed_seq = np.random.SeedSequence(spec.seed)
+    backend_seeds = seed_seq.spawn(spec.num_servers)
+    dispatcher_seed, loadgen_seed = seed_seq.spawn(2)
+
+    clock = LiveClock(spec.time_unit)
+    trace = probes if probes is not None else LiveTrace(spec.num_servers)
+    backends = [
+        BackendServer(
+            i,
+            time_unit=spec.time_unit,
+            service=spec.service,
+            queue_capacity=spec.queue_capacity,
+            seed=backend_seeds[i],
+            host=spec.host,
+        )
+        for i in range(spec.num_servers)
+    ]
+    wall_start = time.perf_counter()
+    started: list = []
+    board = dispatcher = None
+    try:
+        for backend in backends:
+            await backend.start()
+            started.append(backend)
+        addresses = [backend.address for backend in backends]
+        clock.start()
+        board = BulletinBoard(
+            addresses,
+            spec.period,
+            clock,
+            on_update=trace.on_load_update,
+        )
+        await board.start()
+        dispatcher = LiveDispatcher(
+            addresses,
+            board,
+            spec.make_policy(),
+            clock,
+            rate_estimator=spec.make_estimator(),
+            true_rate=spec.load,
+            admission=(
+                parse_admission_spec(spec.admission)
+                if spec.admission
+                else None
+            ),
+            breaker_config=(
+                parse_breaker_spec(spec.breaker) if spec.breaker else None
+            ),
+            probes=trace,
+            seed=dispatcher_seed,
+            host=spec.host,
+        )
+        await dispatcher.start()
+        if spec.mode == "open":
+            generator = OpenLoopClient(
+                dispatcher.address,
+                rate=spec.num_servers * spec.load,
+                total_jobs=spec.jobs,
+                clock=clock,
+                seed=loadgen_seed,
+                program=spec.make_program(),
+            )
+        else:
+            generator = ClosedLoopClient(
+                dispatcher.address,
+                num_clients=spec.clients,
+                total_jobs=spec.jobs,
+                clock=clock,
+                think_time=spec.think_time,
+                seed=loadgen_seed,
+            )
+        if spec.duration is not None:
+            await asyncio.wait_for(generator.run(), timeout=spec.duration)
+        else:
+            await generator.run()
+    finally:
+        if dispatcher is not None:
+            await dispatcher.stop()
+        if board is not None:
+            await board.stop()
+        for backend in started:
+            await backend.stop()
+    trace.finish()
+
+    records = generator.records
+    completed = [record for record in records if record.ok]
+    warmup = int(len(completed) * spec.warmup_fraction)
+    measured = completed[warmup:]
+    latencies = np.array([record.latency for record in measured])
+    stats = dispatcher.stats
+    return LiveResult(
+        spec=spec,
+        mean_response_time=(
+            float(latencies.mean()) if latencies.size else float("nan")
+        ),
+        p95_response_time=(
+            float(np.quantile(latencies, 0.95))
+            if latencies.size
+            else float("nan")
+        ),
+        jobs_offered=stats.offered,
+        jobs_completed=stats.completed,
+        jobs_measured=len(measured),
+        jobs_shed=stats.shed,
+        jobs_rejected=stats.rejected,
+        goodput=stats.goodput,
+        board_polls=board.polls_completed,
+        poll_failures=board.poll_failures,
+        breaker_trips=(
+            dispatcher.breakers.trips_total
+            if dispatcher.breakers is not None
+            else 0
+        ),
+        herd=trace.herd.summary(),
+        dispatch_counts=tuple(int(c) for c in stats.dispatch_counts),
+        wall_seconds=time.perf_counter() - wall_start,
+        duration=clock.now(),
+    )
+
+
+def run_live_experiment(spec: LiveSpec, probes=None) -> LiveResult:
+    """Synchronous wrapper: run one live cell in a fresh event loop."""
+    return asyncio.run(run_live(spec, probes=probes))
+
+
+def _build_simulation(spec: LiveSpec, jobs: int, seed: int):
+    """The simulator cell mirroring one live spec."""
+    from repro.cluster.simulation import ClusterSimulation
+    from repro.overload.parse import build_overload_config
+    from repro.staleness.periodic import PeriodicUpdate
+    from repro.workloads.arrivals import (
+        PoissonArrivals,
+        TimeVaryingPoissonArrivals,
+    )
+    from repro.workloads.service import exponential_service
+    from repro.workloads.distributions import Constant
+
+    program = spec.make_program()
+    arrivals = (
+        TimeVaryingPoissonArrivals(program)
+        if program is not None
+        else PoissonArrivals(spec.num_servers * spec.load)
+    )
+    service = (
+        exponential_service()
+        if spec.service == "exponential"
+        else Constant(1.0)
+    )
+    return ClusterSimulation(
+        num_servers=spec.num_servers,
+        arrivals=arrivals,
+        service=service,
+        policy=spec.make_policy(),
+        staleness=PeriodicUpdate(period=spec.period),
+        rate_estimator=spec.make_estimator(),
+        total_jobs=jobs,
+        seed=seed,
+        overload=build_overload_config(
+            queue_capacity=spec.queue_capacity,
+            admission=spec.admission,
+            breaker=spec.breaker,
+        ),
+    )
+
+
+def simulator_prediction(
+    spec: LiveSpec,
+    jobs: int = 20_000,
+    seeds: tuple = (1, 2, 3),
+    cache=None,
+) -> dict:
+    """The simulator's answer for the same cell, averaged over seeds.
+
+    Closed-loop cells have no fixed-λ simulator counterpart here, so
+    prediction is only defined for open-loop specs.  ``cache``, when
+    given, is a :class:`repro.ablation.cache.ResultCache`: each seed's
+    value is looked up / stored under its content-hashed run ID, so
+    repeated live-bench invocations pay for the simulator once.
+    """
+    if spec.mode != "open":
+        raise ValueError(
+            "simulator predictions are defined for open-loop cells only"
+        )
+    values = []
+    for seed in seeds:
+        value = None
+        run_key = None
+        if cache is not None:
+            from repro.ablation.runid import (
+                resolve_simulation_spec,
+                run_id,
+            )
+
+            resolved = resolve_simulation_spec(
+                _build_simulation(spec, jobs, seed),
+                figure_id="live-bench",
+                curve=spec.policy,
+                x=float(spec.load),
+                seed=seed,
+                jobs=jobs,
+                metric="mean_response_time",
+            )
+            run_key = run_id(resolved)
+            value = cache.get(run_key)
+        if value is None:
+            simulation = _build_simulation(spec, jobs, seed)
+            value = simulation.run().mean_response_time
+            if cache is not None and run_key is not None:
+                cache.put(run_key, value)
+        values.append(value)
+    mean = float(np.mean(values))
+    return {
+        "mean_response_time": mean,
+        "per_seed": [float(v) for v in values],
+        "jobs": jobs,
+        "seeds": list(seeds),
+    }
+
+
+def compare_live_to_sim(
+    live: LiveResult,
+    sim: dict | None = None,
+    jobs: int = 20_000,
+    seeds: tuple = (1, 2, 3),
+    cache=None,
+) -> dict:
+    """Put one live measurement next to the simulator's prediction.
+
+    ``relative_error`` is ``(live - sim) / sim`` on the mean response
+    time — the quantity the live-smoke CI job bounds.
+    """
+    if sim is None:
+        sim = simulator_prediction(live.spec, jobs=jobs, seeds=seeds, cache=cache)
+    predicted = sim["mean_response_time"]
+    measured = live.mean_response_time
+    return {
+        "live": live.to_manifest()["results"],
+        "sim": sim,
+        "relative_error": (
+            (measured - predicted) / predicted
+            if predicted and not math.isnan(measured)
+            else float("nan")
+        ),
+    }

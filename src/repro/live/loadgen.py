@@ -1,0 +1,296 @@
+"""Load generators: open-loop Poisson (optionally non-stationary) and
+closed-loop clients driving the live dispatcher over real sockets.
+
+The open-loop generator is the live counterpart of the simulator's
+:class:`~repro.workloads.arrivals.PoissonArrivals`: it fires requests at
+exponentially-spaced instants on an *absolute* schedule (arrival k is
+sent at its sampled time since start, not ``gap`` after the previous
+send completed), so a slow response never thins the offered load — the
+defining property of open-loop traffic and the regime the paper
+analyzes.  A :class:`~repro.nonstationary.programs.RateProgram` turns it
+into a non-homogeneous Poisson source via Lewis–Shedler thinning, the
+same construction :class:`~repro.workloads.arrivals.TimeVaryingPoissonArrivals`
+uses inside the simulator.
+
+The closed-loop generator models a fixed population of synchronous
+clients (send, await reply, optional exponential think time, repeat) —
+the regime where offered load adapts to service capacity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.live.protocol import LiveClock, read_message, send_message
+
+__all__ = ["ClosedLoopClient", "OpenLoopClient", "RequestRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class RequestRecord:
+    """Outcome of one generated request (times in normalized units)."""
+
+    request_id: int
+    sent_at: float
+    completed_at: float
+    ok: bool
+    server: int | None
+    error: str | None
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.sent_at
+
+
+class _DispatcherConnection:
+    """One pipelined client connection to the dispatcher."""
+
+    def __init__(self, host: str, port: int, clock: LiveClock) -> None:
+        self._host = host
+        self._port = port
+        self._clock = clock
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+
+    async def connect(self) -> None:
+        reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        self._reader_task = asyncio.create_task(
+            self._read_loop(reader), name="loadgen-reader"
+        )
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+
+    async def send(self, request_id: int, client_id: int = 0) -> asyncio.Future:
+        """Fire one request; returns the future of its ``done`` reply."""
+        assert self._writer is not None, "not connected"
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        send_message(
+            self._writer,
+            {"op": "req", "id": request_id, "client": client_id},
+        )
+        await self._writer.drain()
+        return future
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        while True:
+            try:
+                message = await read_message(reader)
+            except ValueError:
+                message = None
+            if message is None:
+                for future in self._pending.values():
+                    if not future.done():
+                        future.set_result(
+                            {"ok": False, "error": "connection-lost"}
+                        )
+                self._pending.clear()
+                return
+            future = self._pending.pop(message.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(message)
+
+
+def _record(
+    request_id: int, sent_at: float, completed_at: float, reply: dict
+) -> RequestRecord:
+    return RequestRecord(
+        request_id=request_id,
+        sent_at=sent_at,
+        completed_at=completed_at,
+        ok=bool(reply.get("ok")),
+        server=reply.get("server"),
+        error=reply.get("error"),
+    )
+
+
+class OpenLoopClient:
+    """Poisson (or rate-program-shaped) open-loop traffic.
+
+    Parameters
+    ----------
+    address:
+        The dispatcher's ``(host, port)``.
+    rate:
+        Aggregate arrival rate in requests per normalized time unit
+        (``n * λ`` for per-server load λ).  With a ``program`` this is
+        ignored in favor of the program's own schedule.
+    total_jobs:
+        Requests to send before stopping.
+    clock:
+        The experiment's shared clock.
+    seed:
+        Seeds the arrival-gap (and thinning) stream.
+    program:
+        Optional :class:`~repro.nonstationary.programs.RateProgram`
+        giving a time-varying aggregate rate λ(t) in normalized units.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        rate: float,
+        total_jobs: int,
+        clock: LiveClock,
+        seed: int | np.random.SeedSequence = 0,
+        program=None,
+    ) -> None:
+        if program is None and (not math.isfinite(rate) or rate <= 0):
+            raise ValueError(f"rate must be positive and finite, got {rate}")
+        if total_jobs < 1:
+            raise ValueError(f"total_jobs must be >= 1, got {total_jobs}")
+        self.address = address
+        self.rate = float(rate)
+        self.total_jobs = int(total_jobs)
+        self.clock = clock
+        self.program = program
+        self.records: list[RequestRecord] = []
+        self._rng = np.random.default_rng(seed)
+
+    def _arrival_times(self) -> np.ndarray:
+        """Pre-sample every arrival instant (normalized units).
+
+        Stationary: cumulative sums of Exp(1/rate) gaps.  Non-stationary:
+        candidate arrivals at the program's peak rate, thinned by
+        ``rate(t)/peak`` — Lewis–Shedler, matching the simulator's
+        time-varying source.
+        """
+        if self.program is None:
+            gaps = self._rng.exponential(1.0 / self.rate, size=self.total_jobs)
+            return np.cumsum(gaps)
+        peak = self.program.peak_rate
+        times = []
+        t = 0.0
+        while len(times) < self.total_jobs:
+            t += float(self._rng.exponential(1.0 / peak))
+            if self._rng.random() < self.program.rate(t) / peak:
+                times.append(t)
+        return np.array(times)
+
+    async def run(self) -> list[RequestRecord]:
+        """Send every request on schedule; await all replies.
+
+        Requests are fired by absolute deadline (never waiting on
+        responses); replies resolve concurrently through the pipelined
+        connection.  Returns the completed :attr:`records`.
+        """
+        loop = asyncio.get_running_loop()
+        connection = _DispatcherConnection(*self.address, self.clock)
+        await connection.connect()
+        arrival_times = self._arrival_times()
+        in_flight: dict[int, tuple[float, asyncio.Future]] = {}
+        try:
+            for request_id, at in enumerate(arrival_times):
+                delay = self.clock.wall_deadline(float(at)) - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                sent_at = self.clock.now()
+                future = await connection.send(request_id)
+                in_flight[request_id] = (sent_at, future)
+            for request_id, (sent_at, future) in in_flight.items():
+                reply = await future
+                self.records.append(
+                    _record(request_id, sent_at, self.clock.now()
+                            if "latency" not in reply
+                            else sent_at + reply["latency"], reply)
+                )
+        finally:
+            await connection.close()
+        self.records.sort(key=lambda record: record.request_id)
+        return self.records
+
+
+class ClosedLoopClient:
+    """A fixed population of synchronous clients with exponential think.
+
+    Each of ``num_clients`` coroutines loops send → await reply →
+    think(Exp(mean ``think_time``)), stopping once the shared budget of
+    ``total_jobs`` requests has been issued.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        num_clients: int,
+        total_jobs: int,
+        clock: LiveClock,
+        think_time: float = 0.0,
+        seed: int | np.random.SeedSequence = 0,
+    ) -> None:
+        if num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+        if total_jobs < 1:
+            raise ValueError(f"total_jobs must be >= 1, got {total_jobs}")
+        if think_time < 0 or not math.isfinite(think_time):
+            raise ValueError(
+                f"think_time must be finite and >= 0, got {think_time}"
+            )
+        self.address = address
+        self.num_clients = int(num_clients)
+        self.total_jobs = int(total_jobs)
+        self.clock = clock
+        self.think_time = float(think_time)
+        self.records: list[RequestRecord] = []
+        self._seed_seq = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        self._issued = 0
+
+    async def run(self) -> list[RequestRecord]:
+        await asyncio.gather(
+            *(
+                self._client_loop(client_id, child)
+                for client_id, child in enumerate(
+                    self._seed_seq.spawn(self.num_clients)
+                )
+            )
+        )
+        self.records.sort(key=lambda record: record.request_id)
+        return self.records
+
+    async def _client_loop(
+        self, client_id: int, seed: np.random.SeedSequence
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        connection = _DispatcherConnection(*self.address, self.clock)
+        await connection.connect()
+        try:
+            while self._issued < self.total_jobs:
+                request_id = self._issued
+                self._issued += 1
+                sent_at = self.clock.now()
+                reply = await (await connection.send(request_id, client_id))
+                self.records.append(
+                    _record(request_id, sent_at, self.clock.now(), reply)
+                )
+                if self.think_time > 0:
+                    await asyncio.sleep(
+                        self.clock.to_wall(
+                            float(rng.exponential(self.think_time))
+                        )
+                    )
+        finally:
+            await connection.close()

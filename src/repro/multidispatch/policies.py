@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.policy import Policy
 from repro.multidispatch.coordinator import ClusterCoordinator
-from repro.staleness.base import LoadView
+from repro.core.views import LoadView
 
 __all__ = [
     "MultiDispatcherPolicy",

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.li_basic import BasicLIPolicy
 from repro.core.weights import waterfill_probabilities
-from repro.staleness.base import LoadView
+from repro.core.views import LoadView
 
 __all__ = ["DriftAwareLIPolicy"]
 

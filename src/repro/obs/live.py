@@ -1,0 +1,97 @@
+"""Observability for live (on-the-wire) runs.
+
+:class:`LiveTrace` is the live dispatcher's probe: it receives the same
+``on_dispatch`` / ``on_load_update`` / ``on_job_complete`` notifications
+the simulator probes do — with times in normalized units off the shared
+:class:`~repro.live.protocol.LiveClock` — and reuses the *identical*
+:class:`~repro.obs.herd.HerdDetector` the simulator runs attach, so
+"herd epochs on the wire" and "herd epochs in the simulator" are the
+same statistic computed by the same code.  That shared yardstick is what
+makes the sim-vs-wire comparison meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.herd import HerdDetector
+
+__all__ = ["LiveTrace"]
+
+
+class LiveTrace:
+    """Accumulates dispatch, completion and board-refresh events.
+
+    Parameters
+    ----------
+    num_servers:
+        Cluster size (the herd detector needs it up front: a live run
+        has no ``on_attach`` moment with simulator server objects).
+    herd_factor:
+        Forwarded to :class:`~repro.obs.herd.HerdDetector`.
+    """
+
+    name = "live"
+
+    def __init__(self, num_servers: int, herd_factor: float = 2.0) -> None:
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        self.num_servers = num_servers
+        self.herd = HerdDetector(herd_factor=herd_factor)
+        # The detector only reads len() of the server sequence on attach.
+        self.herd.on_attach(None, [None] * num_servers)
+        self.dispatch_counts = np.zeros(num_servers, dtype=np.int64)
+        self.latencies: list[float] = []
+        self.load_updates = 0
+        self._last_event_time = 0.0
+
+    # -- the probe hooks (live dispatcher + board call these) ------------
+
+    def on_dispatch(
+        self, now: float, client_id: int, server_id: int, queue_length: int
+    ) -> None:
+        self.dispatch_counts[server_id] += 1
+        self.herd.on_dispatch(now, client_id, server_id, queue_length)
+        self._last_event_time = max(self._last_event_time, now)
+
+    def on_load_update(
+        self, now: float, version: int, loads: np.ndarray
+    ) -> None:
+        self.load_updates += 1
+        self.herd.on_load_update(now, version, loads)
+        self._last_event_time = max(self._last_event_time, now)
+
+    def on_job_complete(
+        self, server_id: int, completion_time: float, response_time: float
+    ) -> None:
+        self.latencies.append(response_time)
+        self._last_event_time = max(self._last_event_time, completion_time)
+
+    # -- summaries -------------------------------------------------------
+
+    def finish(self) -> None:
+        """Close the trailing herd epoch (call once, after the run)."""
+        self.herd.on_finish(self._last_event_time)
+
+    def mean_latency(self) -> float:
+        return (
+            float(np.mean(self.latencies)) if self.latencies else float("nan")
+        )
+
+    def latency_percentile(self, quantile: float) -> float:
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+        if not self.latencies:
+            return float("nan")
+        return float(np.quantile(np.array(self.latencies), quantile))
+
+    def summary(self) -> dict:
+        """JSON-serializable digest, manifest-compatible with sim probes."""
+        return {
+            "dispatch_counts": self.dispatch_counts.tolist(),
+            "completed": len(self.latencies),
+            "mean_latency": self.mean_latency(),
+            "p95_latency": self.latency_percentile(0.95),
+            "load_updates": self.load_updates,
+            "herd": self.herd.summary(),
+        }

@@ -22,7 +22,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.staleness.base import LoadView
+from repro.core.views import LoadView
 
 __all__ = [
     "AdmissionPolicy",

@@ -4,87 +4,24 @@ A staleness model sits between the true server state and the dispatcher:
 at each arrival it produces a :class:`LoadView` — the (possibly stale) load
 vector plus the metadata a load-interpretation policy needs to reason about
 its age.
+
+:class:`LoadView` itself lives in :mod:`repro.core.views` (re-exported
+here for backward compatibility): the view type is the engine-agnostic
+policy interface, shared with the live asyncio dispatcher, while this
+module holds the *simulator-side* producers.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cluster.server import Server
+from repro.core.views import LoadView
 from repro.engine.simulator import Simulator
 
 __all__ = ["LoadView", "StalenessModel"]
-
-
-@dataclass(slots=True)
-class LoadView:
-    """What a dispatching policy sees at one arrival.
-
-    Attributes
-    ----------
-    loads:
-        Reported queue length of each server (stale).
-    version:
-        Increments whenever the underlying information changes.  Policies
-        that precompute per-snapshot state (Basic LI under the periodic
-        model computes one probability vector per phase) cache on this.
-    info_time:
-        Simulation time at which ``loads`` was sampled from the servers.
-    now:
-        Current simulation time (the arrival instant).
-    horizon:
-        The interpretation window ``T`` in time units: for the periodic
-        model the phase length; for the continuous and update-on-access
-        models the *average* information age.  LI algorithms compute the
-        expected number of arrivals over this window.
-    elapsed:
-        The information's actual age, ``now - info_time`` (>= 0).
-    known_age:
-        Whether the policy is allowed to use ``elapsed``.  Under the
-        continuous model the paper distinguishes clients that know only
-        the mean delay (Fig. 6, ``known_age=False``) from clients that
-        know each request's actual delay (Fig. 7, ``known_age=True``).
-    phase_based:
-        True for bulletin-board semantics: information was published at
-        ``info_time`` and will be refreshed at ``info_time + horizon``;
-        Basic LI then equalizes over the whole phase and Aggressive LI
-        schedules subintervals by ``elapsed``.  False for sliding-age
-        semantics (continuous / update-on-access).
-    ages:
-        Optional per-server ages for models where servers report
-        independently (:class:`~repro.staleness.individual.IndividualUpdate`);
-        ``None`` when all entries share the same age.
-    client_id:
-        Identity of the requesting client — used by locality-aware
-        policies whose scores depend on who is asking.
-    """
-
-    loads: np.ndarray
-    version: int
-    info_time: float
-    now: float
-    horizon: float
-    elapsed: float
-    known_age: bool
-    phase_based: bool
-    ages: np.ndarray | None = None
-    client_id: int = 0
-
-    @property
-    def effective_window(self) -> float:
-        """The window an LI policy should interpret the loads over.
-
-        Phase-based models equalize over the full phase; sliding-age models
-        use the actual age when it is known and the mean age otherwise.
-        """
-        if self.phase_based:
-            return self.horizon
-        if self.known_age:
-            return self.elapsed
-        return self.horizon
 
 
 class StalenessModel(ABC):

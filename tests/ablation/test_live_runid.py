@@ -1,0 +1,57 @@
+"""Live run-ID canonicalization: volatile execution fields fold out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ablation.runid import live_run_id, resolve_live_spec
+from repro.live.harness import LiveSpec
+
+
+class TestVolatileFolding:
+    def test_time_unit_host_duration_do_not_change_the_id(self):
+        base = LiveSpec(policy="basic-li", seed=4)
+        slower = LiveSpec(policy="basic-li", seed=4, time_unit=0.05)
+        elsewhere = LiveSpec(policy="basic-li", seed=4, host="0.0.0.0")
+        capped = LiveSpec(policy="basic-li", seed=4, duration=2.0)
+        assert live_run_id(base) == live_run_id(slower)
+        assert live_run_id(base) == live_run_id(elsewhere)
+        assert live_run_id(base) == live_run_id(capped)
+
+    def test_resolved_spec_omits_volatile_fields(self):
+        resolved = resolve_live_spec(LiveSpec())
+        for volatile in LiveSpec.VOLATILE_FIELDS:
+            assert volatile not in resolved["spec"]
+        assert resolved["driver"] == "live"
+
+
+class TestIdentityFields:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"policy": "random"},
+            {"num_servers": 5},
+            {"load": 0.9},
+            {"period": 8.0},
+            {"jobs": 777},
+            {"seed": 5},
+            {"estimator": "ewma"},
+            {"queue_capacity": 10},
+            {"admission": "shed=0.1"},
+            {"breaker": "on"},
+            {"arrivals": "flash:surge=3,start=10,duration=5"},
+            {"mode": "closed"},
+            {"service": "deterministic"},
+            {"warmup_fraction": 0.2},
+        ],
+    )
+    def test_experiment_fields_change_the_id(self, kwargs):
+        assert live_run_id(LiveSpec(**kwargs)) != live_run_id(LiveSpec())
+
+    def test_id_is_a_sha256_digest(self):
+        digest = live_run_id(LiveSpec())
+        assert len(digest) == 64
+        int(digest, 16)  # hex
+
+    def test_id_is_stable_across_instances(self):
+        assert live_run_id(LiveSpec(seed=2)) == live_run_id(LiveSpec(seed=2))

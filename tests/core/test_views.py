@@ -1,0 +1,91 @@
+"""The LoadView decoupling: core owns the view type, engines adapt to it."""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+import repro.core
+from repro.core.views import LoadView, LoadViewSource
+
+_CORE_DIR = (
+    pathlib.Path(__file__).resolve().parents[2] / "src" / "repro" / "core"
+)
+
+#: Engine-side packages the policy layer must never import: policies run
+#: against any LoadViewSource, so nothing in repro.core may reach into a
+#: particular execution substrate.
+_FORBIDDEN = ("repro.staleness", "repro.cluster", "repro.engine", "repro.live")
+
+
+class TestDecoupling:
+    def test_core_never_imports_an_engine(self):
+        for path in sorted(_CORE_DIR.glob("*.py")):
+            source = path.read_text()
+            for forbidden in _FORBIDDEN:
+                assert (
+                    f"from {forbidden}" not in source
+                    and f"import {forbidden}" not in source
+                ), f"{path.name} imports {forbidden}"
+
+    def test_staleness_base_reexports_the_same_class(self):
+        from repro.staleness.base import LoadView as StalenessLoadView
+
+        assert StalenessLoadView is LoadView
+
+    def test_core_package_exports_view_types(self):
+        assert repro.core.LoadView is LoadView
+        assert repro.core.LoadViewSource is LoadViewSource
+
+
+class TestLoadViewSourceProtocol:
+    def test_structural_conformance(self):
+        class Board:
+            def view(self, client_id: int, now: float) -> LoadView:
+                return LoadView(
+                    loads=np.zeros(2),
+                    version=0,
+                    info_time=0.0,
+                    now=now,
+                    horizon=4.0,
+                    elapsed=now,
+                    known_age=True,
+                    phase_based=True,
+                    client_id=client_id,
+                )
+
+        assert isinstance(Board(), LoadViewSource)
+        assert not isinstance(object(), LoadViewSource)
+
+    def test_simulator_staleness_models_conform(self):
+        from repro.staleness.periodic import PeriodicUpdate
+
+        assert isinstance(PeriodicUpdate(period=4.0), LoadViewSource)
+
+
+class TestEffectiveWindow:
+    def _view(self, **overrides):
+        fields = dict(
+            loads=np.zeros(2),
+            version=0,
+            info_time=0.0,
+            now=1.0,
+            horizon=4.0,
+            elapsed=1.0,
+            known_age=True,
+            phase_based=True,
+        )
+        fields.update(overrides)
+        return LoadView(**fields)
+
+    def test_phase_based_uses_the_full_horizon(self):
+        assert self._view().effective_window == 4.0
+
+    def test_sliding_known_age_uses_elapsed(self):
+        view = self._view(phase_based=False, elapsed=2.5)
+        assert view.effective_window == 2.5
+
+    def test_sliding_unknown_age_falls_back_to_mean(self):
+        view = self._view(phase_based=False, known_age=False)
+        assert view.effective_window == 4.0

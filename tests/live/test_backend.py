@@ -1,0 +1,182 @@
+"""Tests for the TCP worker backend."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.live.backend import BackendServer
+from repro.live.protocol import read_message, send_message
+
+
+async def _connect(backend):
+    return await asyncio.open_connection(*backend.address)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BackendServer(0, service_rate=0.0)
+        with pytest.raises(ValueError):
+            BackendServer(0, service="uniform")
+        with pytest.raises(ValueError):
+            BackendServer(0, queue_capacity=0)
+        with pytest.raises(ValueError):
+            BackendServer(0, time_unit=-1.0)
+
+    def test_describe(self):
+        backend = BackendServer(3, queue_capacity=8)
+        assert backend.describe() == {
+            "server_id": 3,
+            "service": "exponential",
+            "service_rate": 1.0,
+            "queue_capacity": 8,
+        }
+
+
+class TestService:
+    def test_serves_work_and_reports_load(self):
+        async def scenario():
+            backend = BackendServer(
+                0, time_unit=0.002, service="deterministic", seed=1
+            )
+            await backend.start()
+            try:
+                reader, writer = await _connect(backend)
+                send_message(writer, {"op": "work", "id": 11})
+                await writer.drain()
+                done = await asyncio.wait_for(read_message(reader), timeout=5)
+                assert done == {"op": "done", "id": 11, "ok": True, "queue": 0}
+                send_message(writer, {"op": "load"})
+                await writer.drain()
+                load = await asyncio.wait_for(read_message(reader), timeout=5)
+                writer.close()
+                await writer.wait_closed()
+                assert load["op"] == "load"
+                assert load["server"] == 0
+                assert load["queue"] == 0
+                assert load["served"] == 1
+                assert backend.served == 1
+            finally:
+                await backend.stop()
+
+        asyncio.run(scenario())
+
+    def test_fifo_service_order(self):
+        async def scenario():
+            backend = BackendServer(
+                0, time_unit=0.002, service="deterministic", seed=1
+            )
+            await backend.start()
+            try:
+                reader, writer = await _connect(backend)
+                for job_id in (1, 2, 3):
+                    send_message(writer, {"op": "work", "id": job_id})
+                await writer.drain()
+                replies = [
+                    (await asyncio.wait_for(read_message(reader), timeout=5))[
+                        "id"
+                    ]
+                    for _ in range(3)
+                ]
+                writer.close()
+                await writer.wait_closed()
+                assert replies == [1, 2, 3]
+            finally:
+                await backend.stop()
+
+        asyncio.run(scenario())
+
+    def test_bounded_queue_rejects_overflow(self):
+        async def scenario():
+            backend = BackendServer(
+                0,
+                time_unit=0.05,
+                service="deterministic",
+                queue_capacity=1,
+                seed=1,
+            )
+            await backend.start()
+            try:
+                reader, writer = await _connect(backend)
+                send_message(writer, {"op": "work", "id": 1})
+                send_message(writer, {"op": "work", "id": 2})
+                await writer.drain()
+                first = await asyncio.wait_for(read_message(reader), timeout=5)
+                second = await asyncio.wait_for(read_message(reader), timeout=5)
+                writer.close()
+                await writer.wait_closed()
+                # The overflow rejection arrives first: job 1 is still in
+                # its 50 ms service when job 2 bounces off the full queue.
+                assert first == {
+                    "op": "done",
+                    "id": 2,
+                    "ok": False,
+                    "error": "queue-full",
+                    "queue": 1,
+                }
+                assert second["id"] == 1 and second["ok"]
+                assert backend.rejected == 1
+            finally:
+                await backend.stop()
+
+        asyncio.run(scenario())
+
+    def test_unknown_op_is_an_error(self):
+        async def scenario():
+            backend = BackendServer(0, time_unit=0.002, seed=1)
+            await backend.start()
+            try:
+                reader, writer = await _connect(backend)
+                send_message(writer, {"op": "dance"})
+                await writer.drain()
+                reply = await asyncio.wait_for(read_message(reader), timeout=5)
+                writer.close()
+                await writer.wait_closed()
+                assert reply["op"] == "error"
+            finally:
+                await backend.stop()
+
+        asyncio.run(scenario())
+
+
+class TestShutdown:
+    def test_stop_drains_queued_jobs(self):
+        async def scenario():
+            backend = BackendServer(
+                0, time_unit=0.005, service="deterministic", seed=1
+            )
+            await backend.start()
+            reader, writer = await _connect(backend)
+            for job_id in (1, 2):
+                send_message(writer, {"op": "work", "id": job_id})
+            await writer.drain()
+            # Give the backend a beat to accept both jobs, then stop.
+            await asyncio.sleep(0.01)
+            await backend.stop(drain=True)
+            assert backend.served == 2
+            writer.close()
+            await writer.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_stop_leaves_no_tasks(self):
+        async def scenario():
+            backend = BackendServer(0, time_unit=0.002, seed=1)
+            await backend.start()
+            reader, writer = await _connect(backend)
+            send_message(writer, {"op": "work", "id": 1})
+            await writer.drain()
+            await asyncio.wait_for(read_message(reader), timeout=5)
+            await backend.stop()
+            writer.close()
+            await writer.wait_closed()
+            pending = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            assert pending == []
+
+        asyncio.run(scenario())

@@ -1,0 +1,210 @@
+"""Tests for the bulletin-board poller and its LoadView adapter."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.views import LoadView, LoadViewSource
+from repro.live.backend import BackendServer
+from repro.live.board import BulletinBoard
+from repro.live.protocol import LiveClock
+
+
+async def _cluster(n, time_unit=0.002):
+    backends = [
+        BackendServer(
+            i, time_unit=time_unit, service="deterministic", seed=i
+        )
+        for i in range(n)
+    ]
+    for backend in backends:
+        await backend.start()
+    return backends
+
+
+async def _teardown(board, backends):
+    if board is not None:
+        await board.stop()
+    for backend in backends:
+        await backend.stop()
+
+
+class TestValidation:
+    def test_rejects_empty_cluster_and_bad_period(self):
+        clock = LiveClock(0.01)
+        with pytest.raises(ValueError):
+            BulletinBoard([], 4.0, clock)
+        with pytest.raises(ValueError):
+            BulletinBoard([("h", 1)], 0.0, clock)
+        with pytest.raises(ValueError):
+            BulletinBoard([("h", 1)], float("nan"), clock)
+
+    def test_snapshot_before_start_raises(self):
+        board = BulletinBoard([("h", 1)], 4.0, LiveClock(0.01))
+        with pytest.raises(RuntimeError):
+            board.snapshot
+        with pytest.raises(RuntimeError):
+            board.view(0, 1.0)
+
+    def test_satisfies_loadview_source_protocol(self):
+        board = BulletinBoard([("h", 1)], 4.0, LiveClock(0.01))
+        assert isinstance(board, LoadViewSource)
+
+    def test_describe(self):
+        board = BulletinBoard([("h", 1)], 2.5, LiveClock(0.01))
+        assert board.describe() == {"model": "live-periodic", "period": 2.5}
+
+
+class TestPolling:
+    def test_versions_and_timestamps_advance_on_the_grid(self):
+        async def scenario():
+            backends = await _cluster(2)
+            board = None
+            try:
+                clock = LiveClock(0.002)
+                clock.start()
+                board = BulletinBoard(
+                    [backend.address for backend in backends], 2.0, clock
+                )
+                await board.start()
+                first = board.snapshot
+                assert first.version == 0
+                # Poll 0 lands at the start of the grid; its timestamp is
+                # only bounded loosely because wall-clock scheduling under
+                # load can delay the first round-trip by several units.
+                assert first.info_time >= 0.0
+                # 2-unit period at 2 ms/unit: wait ~5 periods of wall time.
+                await asyncio.sleep(0.02)
+                later = board.snapshot
+                assert later.version >= 2
+                assert later.info_time > first.info_time
+                assert board.polls_completed == later.version + 1
+                assert board.poll_failures == 0
+            finally:
+                await _teardown(board, backends)
+
+        asyncio.run(scenario())
+
+    def test_update_hook_fires_per_poll(self):
+        async def scenario():
+            backends = await _cluster(1)
+            board = None
+            seen = []
+            try:
+                clock = LiveClock(0.002)
+                clock.start()
+                board = BulletinBoard(
+                    [backends[0].address],
+                    2.0,
+                    clock,
+                    on_update=lambda now, version, loads: seen.append(
+                        (now, version, loads.copy())
+                    ),
+                )
+                await board.start()
+                await asyncio.sleep(0.015)
+            finally:
+                await _teardown(board, backends)
+            versions = [version for _, version, _ in seen]
+            assert versions == sorted(versions)
+            assert versions[0] == 0 and len(versions) >= 2
+            times = [now for now, _, _ in seen]
+            assert times == sorted(times)
+
+        asyncio.run(scenario())
+
+    def test_failed_poll_keeps_previous_entry(self):
+        async def scenario():
+            backends = await _cluster(2, time_unit=0.002)
+            board = None
+            try:
+                clock = LiveClock(0.002)
+                clock.start()
+                board = BulletinBoard(
+                    [backend.address for backend in backends], 2.0, clock
+                )
+                await board.start()
+                baseline = board.snapshot.loads.copy()
+                # Kill backend 0: its polling connection drops, so later
+                # polls fail for it and its entry freezes (hidden
+                # staleness) while backend 1 keeps answering.
+                await backends[0].stop()
+                await asyncio.sleep(0.02)
+                assert board.poll_failures > 0
+                frozen = board.snapshot
+                assert frozen.loads[0] == baseline[0]
+                assert frozen.version >= 2
+            finally:
+                await _teardown(board, backends[1:])
+
+        asyncio.run(scenario())
+
+
+class TestViewAdapter:
+    def test_view_fields_carry_periodic_semantics(self):
+        async def scenario():
+            backends = await _cluster(3)
+            board = None
+            try:
+                clock = LiveClock(0.002)
+                clock.start()
+                board = BulletinBoard(
+                    [backend.address for backend in backends], 4.0, clock
+                )
+                await board.start()
+                snapshot = board.snapshot
+                now = snapshot.info_time + 0.7
+                view = board.view(client_id=5, now=now)
+                assert isinstance(view, LoadView)
+                assert view.client_id == 5
+                assert view.version == snapshot.version
+                assert view.info_time == snapshot.info_time
+                assert view.now == now
+                assert view.horizon == 4.0
+                assert view.elapsed == pytest.approx(0.7)
+                assert view.phase_based and view.known_age
+                assert view.ages is None
+                assert list(view.loads) == list(snapshot.loads)
+            finally:
+                await _teardown(board, backends)
+
+        asyncio.run(scenario())
+
+    def test_view_loads_are_a_private_copy(self):
+        async def scenario():
+            backends = await _cluster(2)
+            board = None
+            try:
+                clock = LiveClock(0.002)
+                clock.start()
+                board = BulletinBoard(
+                    [backend.address for backend in backends], 4.0, clock
+                )
+                await board.start()
+                view = board.view(0, board.snapshot.info_time)
+                view.loads[0] = 999.0
+                assert board.snapshot.loads[0] != 999.0
+            finally:
+                await _teardown(board, backends)
+
+        asyncio.run(scenario())
+
+    def test_elapsed_clamps_to_zero_for_early_now(self):
+        async def scenario():
+            backends = await _cluster(1)
+            board = None
+            try:
+                clock = LiveClock(0.002)
+                clock.start()
+                board = BulletinBoard(
+                    [backends[0].address], 4.0, clock
+                )
+                await board.start()
+                view = board.view(0, board.snapshot.info_time - 1.0)
+                assert view.elapsed == 0.0
+            finally:
+                await _teardown(board, backends)
+
+        asyncio.run(scenario())

@@ -1,0 +1,162 @@
+"""Tests for LiveSpec, the policy/estimator registries and manifests."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.live.harness import (
+    LIVE_ESTIMATORS,
+    LIVE_POLICIES,
+    LiveResult,
+    LiveSpec,
+    compare_live_to_sim,
+    run_live,
+    simulator_prediction,
+)
+
+
+class TestLiveSpec:
+    def test_defaults_are_valid(self):
+        spec = LiveSpec()
+        assert spec.policy == "basic-li"
+        assert spec.mode == "open"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"policy": "nope"},
+            {"estimator": "psychic"},
+            {"mode": "sideways"},
+            {"num_servers": 0},
+            {"load": 0.0},
+            {"load": float("inf")},
+            {"period": -1.0},
+            {"jobs": 0},
+            {"warmup_fraction": 1.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            LiveSpec(**kwargs)
+
+    def test_describe_includes_every_field(self):
+        spec = LiveSpec(policy="random", seed=9, time_unit=0.02)
+        described = spec.describe()
+        assert described["policy"] == "random"
+        assert described["seed"] == 9
+        assert described["time_unit"] == 0.02
+        for volatile in LiveSpec.VOLATILE_FIELDS:
+            assert volatile in described
+        json.dumps(described)  # JSON-serializable
+
+    def test_every_registered_policy_builds_and_binds(self):
+        rng = np.random.default_rng(0)
+        for label in LIVE_POLICIES:
+            policy = LiveSpec(policy=label, num_servers=4).make_policy()
+            policy.bind(4, rng)
+
+    def test_every_registered_estimator_builds(self):
+        for label in LIVE_ESTIMATORS:
+            LiveSpec(estimator=label).make_estimator()
+
+    def test_stationary_spec_has_no_program(self):
+        assert LiveSpec().make_program() is None
+
+    def test_arrivals_spec_builds_a_program(self):
+        spec = LiveSpec(
+            arrivals="flash:surge=3,start=10,duration=5", load=0.5
+        )
+        program = spec.make_program()
+        assert program.rate(12.0) > program.rate(0.0)
+
+
+class TestManifest:
+    def _result(self, spec=None):
+        return LiveResult(
+            spec=spec or LiveSpec(),
+            mean_response_time=2.0,
+            p95_response_time=5.0,
+            jobs_offered=100,
+            jobs_completed=100,
+            jobs_measured=90,
+            jobs_shed=0,
+            jobs_rejected=0,
+            goodput=1.0,
+            board_polls=25,
+            poll_failures=0,
+            breaker_trips=0,
+            herd={"epochs": 0},
+            dispatch_counts=(50, 50),
+            wall_seconds=1.5,
+            duration=70.0,
+        )
+
+    def test_manifest_is_json_serializable_and_carries_run_id(self):
+        manifest = self._result().to_manifest()
+        json.dumps(manifest)
+        assert manifest["live_manifest_version"] == 1
+        assert len(manifest["run_id"]) == 64
+        assert manifest["results"]["mean_response_time"] == 2.0
+        assert manifest["spec"]["policy"] == "basic-li"
+
+    def test_compare_with_precomputed_sim(self):
+        comparison = compare_live_to_sim(
+            self._result(), sim={"mean_response_time": 1.6}
+        )
+        assert comparison["relative_error"] == pytest.approx(0.25)
+
+    def test_compare_handles_nan_live_mean(self):
+        result = self._result()
+        object.__setattr__(result, "mean_response_time", float("nan"))
+        comparison = compare_live_to_sim(
+            result, sim={"mean_response_time": 1.6}
+        )
+        assert np.isnan(comparison["relative_error"])
+
+
+class TestSimulatorPrediction:
+    def test_closed_loop_has_no_prediction(self):
+        with pytest.raises(ValueError, match="open-loop"):
+            simulator_prediction(LiveSpec(mode="closed"))
+
+    def test_prediction_matches_mm1_and_caches(self, tmp_path):
+        from repro.ablation.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        spec = LiveSpec(
+            policy="random", num_servers=2, load=0.5, period=2.0
+        )
+        sim = simulator_prediction(
+            spec, jobs=8000, seeds=(1, 2), cache=cache
+        )
+        # Random dispatch of Poisson arrivals is M/M/1 per server:
+        # mean RT = 1/(1-rho) = 2 at rho=0.5.
+        assert sim["mean_response_time"] == pytest.approx(2.0, rel=0.15)
+        again = simulator_prediction(
+            spec, jobs=8000, seeds=(1, 2), cache=cache
+        )
+        assert again["per_seed"] == sim["per_seed"]
+
+
+class TestClosedLoop:
+    def test_closed_loop_cell_runs(self):
+        spec = LiveSpec(
+            policy="random",
+            num_servers=2,
+            load=0.5,
+            period=2.0,
+            jobs=30,
+            seed=5,
+            time_unit=0.002,
+            mode="closed",
+            clients=4,
+            think_time=0.5,
+        )
+        result = asyncio.run(run_live(spec))
+        assert result.jobs_completed == 30
+        assert result.goodput == 1.0
+        assert result.mean_response_time > 0

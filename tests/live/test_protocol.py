@@ -1,0 +1,164 @@
+"""Tests for the live wire protocol and the shared clock."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.live.protocol import (
+    MAX_MESSAGE_BYTES,
+    LiveClock,
+    read_message,
+    send_message,
+)
+
+
+def _fed_reader(payload: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(payload)
+    reader.feed_eof()
+    return reader
+
+
+class TestReadMessage:
+    def test_reads_one_json_object(self):
+        async def scenario():
+            reader = _fed_reader(b'{"op":"load","queue":3}\n')
+            return await read_message(reader)
+
+        message = asyncio.run(scenario())
+        assert message == {"op": "load", "queue": 3}
+
+    def test_eof_returns_none(self):
+        async def scenario():
+            return await read_message(_fed_reader(b""))
+
+        assert asyncio.run(scenario()) is None
+
+    def test_malformed_json_raises(self):
+        async def scenario():
+            return await read_message(_fed_reader(b"{nope\n"))
+
+        with pytest.raises(ValueError, match="malformed"):
+            asyncio.run(scenario())
+
+    def test_non_object_raises(self):
+        async def scenario():
+            return await read_message(_fed_reader(b"[1,2,3]\n"))
+
+        with pytest.raises(ValueError, match="JSON object"):
+            asyncio.run(scenario())
+
+    def test_overlong_line_raises(self):
+        async def scenario():
+            payload = b'{"pad":"' + b"x" * MAX_MESSAGE_BYTES + b'"}\n'
+            reader = asyncio.StreamReader(limit=2 * MAX_MESSAGE_BYTES)
+            reader.feed_data(payload)
+            reader.feed_eof()
+            return await read_message(reader)
+
+        with pytest.raises(ValueError):
+            asyncio.run(scenario())
+
+
+class TestSendMessage:
+    def test_roundtrip_over_real_socket(self):
+        async def scenario():
+            received = asyncio.get_running_loop().create_future()
+
+            async def handle(reader, writer):
+                received.set_result(await read_message(reader))
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            _, writer = await asyncio.open_connection("127.0.0.1", port)
+            send_message(writer, {"op": "work", "id": 7})
+            await writer.drain()
+            message = await asyncio.wait_for(received, timeout=5)
+            writer.close()
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+            return message
+
+        assert asyncio.run(scenario()) == {"op": "work", "id": 7}
+
+    def test_closing_writer_is_skipped(self):
+        async def scenario():
+            async def handle(reader, writer):
+                await reader.read()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            _, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.close()
+            send_message(writer, {"op": "work"})  # must not raise
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_compact_encoding(self):
+        class FakeWriter:
+            def __init__(self):
+                self.data = b""
+
+            def is_closing(self):
+                return False
+
+            def write(self, data):
+                self.data += data
+
+        writer = FakeWriter()
+        send_message(writer, {"b": 1, "a": 2})
+        assert writer.data.endswith(b"\n")
+        assert b" " not in writer.data
+        assert json.loads(writer.data) == {"b": 1, "a": 2}
+
+
+class TestLiveClock:
+    def test_rejects_bad_time_unit(self):
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                LiveClock(bad)
+
+    def test_now_requires_start(self):
+        async def scenario():
+            clock = LiveClock(0.01)
+            assert not clock.started
+            with pytest.raises(RuntimeError):
+                clock.now()
+            with pytest.raises(RuntimeError):
+                clock.wall_deadline(1.0)
+
+        asyncio.run(scenario())
+
+    def test_normalized_time_tracks_wall_time(self):
+        async def scenario():
+            clock = LiveClock(0.01)
+            clock.start()
+            assert clock.started
+            before = clock.now()
+            await asyncio.sleep(0.05)
+            elapsed = clock.now() - before
+            # 50 ms at 10 ms/unit is 5 units, modulo scheduling slack.
+            assert 4.0 < elapsed < 8.0
+
+        asyncio.run(scenario())
+
+    def test_wall_conversions_are_inverse(self):
+        async def scenario():
+            clock = LiveClock(0.02)
+            clock.start()
+            assert clock.to_wall(3.0) == pytest.approx(0.06)
+            loop = asyncio.get_running_loop()
+            deadline = clock.wall_deadline(5.0)
+            assert deadline - loop.time() == pytest.approx(
+                clock.to_wall(5.0) - clock.to_wall(clock.now()), abs=0.01
+            )
+
+        asyncio.run(scenario())

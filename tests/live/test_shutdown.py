@@ -1,0 +1,120 @@
+"""Graceful-shutdown semantics: drains, cancellation, no leaked tasks."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.live import LiveSpec, run_live
+
+
+def _pending_tasks():
+    return [
+        task
+        for task in asyncio.all_tasks()
+        if task is not asyncio.current_task()
+    ]
+
+
+class TestCleanCompletion:
+    def test_full_run_leaves_no_tasks_and_no_loop_errors(self):
+        loop_errors = []
+
+        async def scenario():
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, context: loop_errors.append(context)
+            )
+            spec = LiveSpec(
+                policy="round-robin",
+                num_servers=2,
+                load=0.5,
+                period=2.0,
+                jobs=40,
+                seed=3,
+                time_unit=0.002,
+            )
+            result = await run_live(spec)
+            assert result.jobs_completed == 40
+            assert _pending_tasks() == []
+
+        asyncio.run(scenario())
+        assert loop_errors == []
+
+
+class TestCancellation:
+    def test_cancel_mid_run_tears_everything_down(self):
+        loop_errors = []
+
+        async def scenario():
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, context: loop_errors.append(context)
+            )
+            spec = LiveSpec(
+                policy="random",
+                num_servers=2,
+                load=0.5,
+                period=2.0,
+                jobs=100_000,  # would run for minutes; we cancel long before
+                seed=3,
+                time_unit=0.005,
+            )
+            runner = asyncio.create_task(run_live(spec))
+            await asyncio.sleep(0.2)  # let it reach steady serving
+            runner.cancel()
+            try:
+                await runner
+            except asyncio.CancelledError:
+                pass
+            # run_live's finally must have stopped dispatcher, board and
+            # backends: nothing may remain on the loop.
+            assert _pending_tasks() == []
+
+        asyncio.run(scenario())
+        assert loop_errors == []
+
+    def test_duration_cap_cancels_the_generator_cleanly(self):
+        loop_errors = []
+
+        async def scenario():
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, context: loop_errors.append(context)
+            )
+            spec = LiveSpec(
+                policy="random",
+                num_servers=2,
+                load=0.5,
+                period=2.0,
+                jobs=100_000,
+                seed=3,
+                time_unit=0.005,
+                duration=0.3,  # wall-clock cap
+            )
+            try:
+                await run_live(spec)
+            except (asyncio.TimeoutError, TimeoutError):
+                pass
+            assert _pending_tasks() == []
+
+        asyncio.run(scenario())
+        assert loop_errors == []
+
+
+class TestComponentStops:
+    def test_double_stop_is_safe(self):
+        async def scenario():
+            from repro.live.backend import BackendServer
+            from repro.live.board import BulletinBoard
+            from repro.live.protocol import LiveClock
+
+            backend = BackendServer(0, time_unit=0.002, seed=1)
+            await backend.start()
+            clock = LiveClock(0.002)
+            clock.start()
+            board = BulletinBoard([backend.address], 2.0, clock)
+            await board.start()
+            await board.stop()
+            await board.stop()  # idempotent
+            await backend.stop()
+            await backend.stop()  # idempotent
+            assert _pending_tasks() == []
+
+        asyncio.run(scenario())

@@ -1033,3 +1033,88 @@ class TestAblateCommand:
         code = main(self.ARGS + ["--knockout", "greedy"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_runs_for_duration_and_exits_cleanly(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--servers",
+                "2",
+                "--policy",
+                "random",
+                "--duration",
+                "0.3",
+                "--time-unit",
+                "0.002",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "backend 0:" in output
+        assert "dispatcher (random" in output
+        assert "served 0/0" in output
+
+    def test_serve_rejects_unknown_policy(self, capsys):
+        assert main(["serve", "--policy", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLiveBench:
+    BASE = [
+        "live-bench",
+        "--servers",
+        "2",
+        "--load",
+        "0.5",
+        "--period",
+        "2",
+        "--jobs",
+        "60",
+        "--time-unit",
+        "0.002",
+        "--sim-jobs",
+        "2000",
+        "--sim-seeds",
+        "1",
+    ]
+
+    def test_live_bench_prints_live_and_sim_columns(self, capsys):
+        code = main(self.BASE + ["--policies", "random"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "live_rt" in output and "sim_rt" in output
+        assert "random" in output
+
+    def test_live_bench_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "live.json"
+        code = main(
+            self.BASE + ["--policies", "random", "--json", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        cell = payload["cells"][0]
+        assert cell["policy"] == "random"
+        assert len(cell["manifest"]["run_id"]) == 64
+        assert cell["sim"]["mean_response_time"] > 0
+
+    def test_live_bench_tolerance_gate_fails_loudly(self, capsys):
+        # An absurdly tight tolerance must trip the CI gate (exit 1).
+        code = main(
+            self.BASE
+            + ["--policies", "random", "--check-tolerance", "0.000001"]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_live_bench_closed_mode_skips_prediction(self, capsys):
+        code = main(
+            self.BASE + ["--policies", "random", "--mode", "closed"]
+        )
+        assert code == 0
+        assert "nan" in capsys.readouterr().out
+
+    def test_live_bench_rejects_unknown_policy(self, capsys):
+        assert main(["live-bench", "--policies", "bogus"]) == 2
+        assert "unknown live policy" in capsys.readouterr().err
