@@ -227,11 +227,32 @@ def resolve_live_spec(spec: Any) -> dict:
     how fast and where a cell runs, never which cell it is — so the
     same experiment replayed slower, elsewhere or uncapped resolves to
     the same ID.  Everything else (policy, n, λ, T, seed, estimator,
-    overload and arrivals specs, loop mode) is identity.
+    overload and arrivals specs, loop mode, chaos configuration) is
+    identity.
+
+    Chaos spec *strings* (``faults``, ``impair``, ``health``) are folded
+    to their parsed canonical digests, so two orderings of the same
+    ``key=value`` pairs — or a default written out explicitly — resolve
+    to the same ID.  A spec without chaos fields omits them from its
+    description entirely, keeping pre-chaos IDs bit-for-bit stable.
     """
     described = dict(spec.describe())
     for name in getattr(spec, "VOLATILE_FIELDS", ()):
         described.pop(name, None)
+    if described.get("faults") is not None:
+        from repro.faults.parse import parse_fault_spec
+
+        described["faults"] = parse_fault_spec(described["faults"]).describe()
+    if described.get("impair") is not None:
+        from repro.live.chaos import parse_impairment_spec
+
+        described["impair"] = parse_impairment_spec(
+            described["impair"]
+        ).describe()
+    if described.get("health") is not None:
+        from repro.live.dispatcher import parse_health_spec
+
+        described["health"] = parse_health_spec(described["health"]).describe()
     return {
         "runid_schema": RUN_ID_SCHEMA_VERSION,
         "driver": "live",

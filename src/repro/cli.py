@@ -629,6 +629,92 @@ def build_parser() -> argparse.ArgumentParser:
     )
     live_cmd.set_defaults(handler=_cmd_live_bench)
 
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="inject real faults (kills, stalls, degradations, network "
+        "impairment) into a live loopback run and compare the measured "
+        "mean RT against the simulator's prediction for the same fault "
+        "schedule",
+    )
+    _add_live_arguments(chaos_cmd)
+    chaos_cmd.add_argument(
+        "--faults",
+        type=str,
+        default="down=0:40:80,mode=abort,timeout=1.0,backoff=0.5",
+        metavar="SPEC",
+        help="fault schedule + retry policy (same spec strings as `run "
+        "--faults`, plus scripted windows down=S:START:END / "
+        "degrade=S:START:END:FACTOR); default kills server 0 on "
+        "[40, 80) with abort semantics",
+    )
+    chaos_cmd.add_argument(
+        "--impair",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="network impairment on backend links: "
+        "delay=D,jitter=J,drop=P (times in normalized units)",
+    )
+    chaos_cmd.add_argument(
+        "--health",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="active health checks with drain/rejoin: 'on' or "
+        "interval=I,timeout=T,down_after=N,up_after=M (off by default: "
+        "the simulator has no analogue)",
+    )
+    chaos_cmd.add_argument(
+        "--board-max-age",
+        type=float,
+        default=None,
+        metavar="PERIODS",
+        help="evict bulletin-board entries not refreshed for this many "
+        "polling periods (off by default)",
+    )
+    chaos_cmd.add_argument(
+        "--jobs", type=int, default=400, help="requests in the live run"
+    )
+    chaos_cmd.add_argument(
+        "--sim-jobs",
+        type=int,
+        default=None,
+        help="jobs per simulator prediction seed (default: the live "
+        "job count — scripted fault windows live in absolute time, so "
+        "the prediction must cover the same span, no more)",
+    )
+    chaos_cmd.add_argument(
+        "--sim-seeds",
+        type=int,
+        default=3,
+        help="simulator prediction replications (default 3)",
+    )
+    chaos_cmd.add_argument(
+        "--cache",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="result-cache directory for simulator predictions",
+    )
+    chaos_cmd.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the chaos manifest + comparison as JSON (the "
+        "CI chaos-smoke artifact)",
+    )
+    chaos_cmd.add_argument(
+        "--check-tolerance",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="exit non-zero when |relative error| exceeds REL, or when "
+        "the live run logged event-loop errors (the CI chaos-smoke "
+        "gate)",
+    )
+    chaos_cmd.set_defaults(handler=_cmd_chaos)
+
     return parser
 
 
@@ -1753,6 +1839,133 @@ def _cmd_live_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Faulted live run over loopback vs the simulator's prediction."""
+    import json
+    import pathlib
+
+    from repro.live.harness import (
+        LiveSpec,
+        compare_live_to_sim,
+        run_live_experiment,
+        simulator_prediction,
+    )
+
+    cache = None
+    if args.cache is not None:
+        from repro.ablation.cache import ResultCache
+
+        cache = ResultCache(args.cache)
+    try:
+        spec = LiveSpec(
+            policy=args.policy,
+            num_servers=args.servers,
+            load=args.load,
+            period=args.period,
+            jobs=args.jobs,
+            seed=args.seed,
+            time_unit=args.time_unit,
+            queue_capacity=args.queue_capacity,
+            admission=args.admission,
+            breaker=args.breaker,
+            estimator=args.estimator,
+            host=args.host,
+            faults=args.faults or None,
+            impair=args.impair,
+            health=args.health,
+            board_max_age=args.board_max_age,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"chaos: policy={spec.policy} n={spec.num_servers} "
+        f"load={spec.load:g} T={spec.period:g} jobs={spec.jobs} "
+        f"seed={spec.seed} faults={spec.faults!r}"
+        + (f" impair={spec.impair!r}" if spec.impair else "")
+        + (f" health={spec.health!r}" if spec.health else "")
+    )
+    try:
+        live = run_live_experiment(spec)
+        if spec.faults is not None:
+            sim = simulator_prediction(
+                spec,
+                jobs=args.sim_jobs,
+                seeds=tuple(range(1, args.sim_seeds + 1)),
+                cache=cache,
+            )
+            comparison = compare_live_to_sim(live, sim=sim)
+        else:  # impairment-only: the simulator has no impairment model
+            sim = None
+            comparison = {"live": live.to_manifest()["results"]}
+    except (ValueError, TypeError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    relative = comparison.get("relative_error")
+    chaos = live.chaos or {}
+    trace = chaos.get("trace", {})
+    board = chaos.get("board", {})
+    print(
+        f"{'live_rt':>8} {'sim_rt':>8} {'rel_err':>8} {'goodput':>8} "
+        f"{'retries':>7} {'failed':>6} {'evicted':>7} {'loop_err':>8} "
+        f"{'wall_s':>7}"
+    )
+    sim_rt = sim["mean_response_time"] if sim else float("nan")
+    print(
+        f"{live.mean_response_time:>8.3f} {sim_rt:>8.3f} "
+        f"{(relative if relative is not None else float('nan')):>+8.3f} "
+        f"{live.goodput:>8.4f} {live.retries:>7} {live.jobs_failed:>6} "
+        f"{board.get('entries_evicted', 0):>7} {live.loop_errors:>8} "
+        f"{live.wall_seconds:>7.2f}"
+    )
+    for event in chaos.get("injected", []):
+        print(
+            f"  t={event['t']:<8g} server {event['server']} "
+            f"{event['action']} (applied at t={event['applied']:.2f})"
+            + (
+                f" factor {event['factor']:g}"
+                if event["action"] == "set-rate"
+                else ""
+            )
+        )
+    recoveries = trace.get("recoveries", [])
+    if recoveries:
+        latencies = ", ".join(
+            f"server {r['server']}: {r['latency']:.1f}" for r in recoveries
+        )
+        print(f"  measured recovery latencies (time units): {latencies}")
+    if args.json is not None:
+        target = pathlib.Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "manifest": live.to_manifest(),
+                    "sim": sim,
+                    "relative_error": relative,
+                },
+                handle,
+                indent=2,
+            )
+        print(f"wrote {target}")
+    if args.check_tolerance is not None:
+        if live.loop_errors:
+            print(
+                f"FAIL: {live.loop_errors} event-loop error(s) during the "
+                "live run",
+                file=sys.stderr,
+            )
+            return 1
+        if relative is not None and abs(relative) > args.check_tolerance:
+            print(
+                f"FAIL: |relative error| {abs(relative):.3f} exceeds "
+                f"tolerance {args.check_tolerance:g}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -6,16 +6,26 @@ The format is ``key=value`` pairs separated by commas, e.g.::
 
 Schedule keys: ``mttf``, ``mttr``, ``degrade-mttf``, ``degrade-mttr``,
 ``degrade-factor``, ``mode`` (stall|abort).  Retry keys: ``timeout``,
-``backoff``, ``backoff-cap``, ``attempts``.  Validation happens in the
-:class:`FaultSchedule`/:class:`RetryPolicy` constructors, so malformed
-values fail with the same messages the library API gives.
+``backoff``, ``backoff-cap``, ``attempts``.
+
+Scripted timelines (mutually exclusive with the stochastic knobs, per
+the :class:`FaultSchedule` contract) use repeatable window keys::
+
+    --faults down=0:40:60,mode=abort            # server 0 DOWN on [40, 60)
+    --faults down=1:20:30,degrade=0:10:50:0.5   # may be combined/repeated
+
+``down=SERVER:START:END`` expands to a crash/recover pair and
+``degrade=SERVER:START:END:FACTOR`` to a degrade/restore pair.
+Validation happens in the :class:`FaultSchedule`/:class:`RetryPolicy`
+constructors, so malformed values fail with the same messages the
+library API gives.
 """
 
 from __future__ import annotations
 
 from repro.faults.injector import FaultInjector
 from repro.faults.retry import RetryPolicy
-from repro.faults.schedule import FaultSchedule
+from repro.faults.schedule import FaultEvent, FaultSchedule
 
 __all__ = ["parse_fault_spec"]
 
@@ -37,6 +47,7 @@ def parse_fault_spec(text: str) -> FaultInjector:
     """Build a :class:`FaultInjector` from a ``--faults`` string."""
     schedule_kwargs: dict = {}
     retry_kwargs: dict = {}
+    scripted: list[FaultEvent] = []
     for raw in text.split(","):
         part = raw.strip()
         if not part:
@@ -56,17 +67,63 @@ def parse_fault_spec(text: str) -> FaultInjector:
             schedule_kwargs["on_crash"] = value
         elif key == "attempts":
             retry_kwargs["max_attempts"] = _parse_int(key, value)
+        elif key in ("down", "degrade"):
+            scripted.extend(_parse_window(key, value))
         else:
             known = sorted(
-                [*_SCHEDULE_KEYS, *_RETRY_KEYS, "mode", "attempts"]
+                [
+                    *_SCHEDULE_KEYS,
+                    *_RETRY_KEYS,
+                    "mode",
+                    "attempts",
+                    "down",
+                    "degrade",
+                ]
             )
             raise ValueError(
                 f"unknown --faults key {key!r}; known keys: {', '.join(known)}"
             )
+    if scripted:
+        schedule_kwargs["scripted"] = tuple(scripted)
     return FaultInjector(
         schedule=FaultSchedule(**schedule_kwargs),
         retry=RetryPolicy(**retry_kwargs),
     )
+
+
+def _parse_window(key: str, value: str) -> list[FaultEvent]:
+    """Expand one ``down``/``degrade`` window into its event pair.
+
+    ``down=SERVER:START:END`` -> crash at START, recover at END;
+    ``degrade=SERVER:START:END:FACTOR`` -> degrade at START (with the
+    given rate factor), restore at END.
+    """
+    fields = value.split(":")
+    expected = 3 if key == "down" else 4
+    if len(fields) != expected:
+        shape = (
+            "SERVER:START:END" if key == "down" else "SERVER:START:END:FACTOR"
+        )
+        raise ValueError(
+            f"--faults key {key!r} needs {shape}, got {value!r}"
+        )
+    server = _parse_int(key, fields[0])
+    start = _parse_number(key, fields[1])
+    end = _parse_number(key, fields[2])
+    if end <= start:
+        raise ValueError(
+            f"--faults {key}={value!r}: window end must be after start"
+        )
+    if key == "down":
+        return [
+            FaultEvent(start, server, "crash"),
+            FaultEvent(end, server, "recover"),
+        ]
+    factor = _parse_number(key, fields[3])
+    return [
+        FaultEvent(start, server, "degrade", factor=factor),
+        FaultEvent(end, server, "restore"),
+    ]
 
 
 def _parse_number(key: str, value: str) -> float:

@@ -172,10 +172,30 @@ class FaultSchedule:
         )
 
     def describe(self) -> dict:
-        """JSON-serializable summary (for run manifests)."""
+        """JSON-serializable summary (for run manifests and run IDs).
+
+        Scripted schedules list every event in canonical (time, server)
+        order: run-ID folding hashes this digest, so two different
+        scripted timelines must never describe identically.
+        """
         summary: dict = {"on_crash": self.on_crash}
         if self.scripted:
             summary["scripted_events"] = len(self.scripted)
+            summary["scripted"] = [
+                {
+                    "time": event.time,
+                    "server": event.server_id,
+                    "kind": event.kind,
+                    **(
+                        {"factor": event.factor}
+                        if event.kind == "degrade"
+                        else {}
+                    ),
+                }
+                for event in sorted(
+                    self.scripted, key=lambda e: (e.time, e.server_id)
+                )
+            ]
         if self.mttf is not None:
             summary["mttf"] = self.mttf
             summary["mttr"] = self.mttr

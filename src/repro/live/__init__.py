@@ -22,11 +22,30 @@ All request/response traffic is newline-delimited JSON over localhost
 TCP (:mod:`repro.live.protocol`).  Time on the wire is wall seconds; the
 :class:`LiveClock` converts to the simulator's unit (mean service times)
 so live measurements and simulator predictions share one scale.
+
+:mod:`repro.live.chaos` closes the robustness loop: a
+:class:`ChaosOrchestrator` replays the simulator's fault schedules
+(crashes, recoveries, degradations, network impairment) against the
+live backends in wall-clock time, while the dispatcher survives them
+with retry/backoff, circuit breakers, health-check drain/rejoin and
+bulletin-board entry eviction — and the same schedule feeds the
+simulator for a faulted sim-vs-wire comparison.
 """
 
 from repro.live.backend import BackendServer
 from repro.live.board import BoardSnapshot, BulletinBoard
-from repro.live.dispatcher import DispatcherStats, LiveDispatcher
+from repro.live.chaos import (
+    ChaosEvent,
+    ChaosOrchestrator,
+    NetworkImpairment,
+    parse_impairment_spec,
+)
+from repro.live.dispatcher import (
+    DispatcherStats,
+    HealthConfig,
+    LiveDispatcher,
+    parse_health_spec,
+)
 from repro.live.harness import (
     LIVE_ESTIMATORS,
     LIVE_POLICIES,
@@ -44,17 +63,23 @@ __all__ = [
     "BackendServer",
     "BoardSnapshot",
     "BulletinBoard",
+    "ChaosEvent",
+    "ChaosOrchestrator",
     "ClosedLoopClient",
     "DispatcherStats",
+    "HealthConfig",
     "LiveClock",
     "LiveDispatcher",
     "LiveResult",
     "LiveSpec",
     "LIVE_ESTIMATORS",
     "LIVE_POLICIES",
+    "NetworkImpairment",
     "OpenLoopClient",
     "RequestRecord",
     "compare_live_to_sim",
+    "parse_health_spec",
+    "parse_impairment_spec",
     "read_message",
     "run_live",
     "run_live_experiment",

@@ -14,6 +14,23 @@ of jobs in the system, the signal the bulletin board polls).  Load
 reports are answered immediately even while jobs are in service, exactly
 like a production stats endpoint; their staleness is created *between*
 polls, by the board's period, not by the backend.
+
+Chaos hooks (driven by :class:`~repro.live.chaos.ChaosOrchestrator`) map
+the simulator's fault model onto process-level faults:
+
+* :meth:`pause` / :meth:`resume` realize a **stall** crash (SIGSTOP
+  semantics): the worker and every connection handler freeze, so the
+  process answers neither ``work`` nor ``load`` — board polls time out
+  and publish hidden staleness — while queued jobs survive to be served
+  after :meth:`resume`.
+* :meth:`kill` / :meth:`restart` realize an **abort** crash (fail-stop):
+  the listener closes, every connection drops, and jobs present at the
+  crash instant are discarded; :meth:`restart` comes back empty on the
+  same port.
+* :meth:`set_rate_factor` realizes a DEGRADED span by scaling the
+  service rate, exactly like the timeline's capacity multiplier.
+* :attr:`impairment` applies per-link network impairment (delay, jitter,
+  connection drops) to every inbound message at the protocol layer.
 """
 
 from __future__ import annotations
@@ -98,10 +115,21 @@ class BackendServer:
         self._in_system = 0
         self._served = 0
         self._rejected = 0
+        self._discarded = 0
         self._server: asyncio.base_events.Server | None = None
         self._worker: asyncio.Task | None = None
         self._connections: set[asyncio.Task] = set()
         self._sleep_debt = 0.0
+        self._rate_factor = 1.0
+        # Set == running; cleared by pause().  Every service/reply/protocol
+        # step gates on it, so a paused backend is as silent as a stopped
+        # process.
+        self._running = asyncio.Event()
+        self._running.set()
+        #: Optional per-link network impairment (set by the chaos
+        #: orchestrator); ``None`` keeps the protocol path untouched.
+        self.impairment = None
+        self._impair_rng: np.random.Generator | None = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -124,8 +152,11 @@ class BackendServer:
         served before the worker stops — the graceful path; ``False``
         abandons the queue immediately.  Either way every connection
         task is cancelled and awaited, so no pending-task warnings can
-        escape this server.
+        escape this server.  A paused backend is resumed first (a
+        stalled queue would otherwise block the drain for its full
+        timeout), and stopping a killed backend is a no-op.
         """
+        self._running.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -137,6 +168,10 @@ class BackendServer:
                 )
             except (asyncio.TimeoutError, TimeoutError):
                 pass
+        await self._halt_tasks()
+
+    async def _halt_tasks(self) -> None:
+        """Cancel and await the worker and every connection task."""
         if self._worker is not None:
             self._worker.cancel()
             try:
@@ -157,6 +192,78 @@ class BackendServer:
                 pass
         self._connections.clear()
 
+    # -- chaos lifecycle -------------------------------------------------
+
+    def pause(self) -> None:
+        """Stall the process (SIGSTOP semantics): freeze every coroutine.
+
+        The worker stops starting jobs and delivering replies, and the
+        connection handlers stop answering ``work``/``load`` — in-flight
+        polls and requests time out at their callers.  Queued jobs
+        survive; :meth:`resume` picks up exactly where service stopped.
+        """
+        self._running.clear()
+
+    def resume(self) -> None:
+        """Resume a stalled process; queued jobs are served normally."""
+        self._running.set()
+
+    @property
+    def paused(self) -> bool:
+        return not self._running.is_set()
+
+    async def kill(self) -> None:
+        """Fail-stop crash (abort semantics): die abruptly, losing state.
+
+        The listener closes, every open connection is dropped without
+        ceremony (peers see EOF/reset, exactly like a SIGKILLed
+        process), and the jobs present in the system are discarded —
+        their reply channels are dead anyway.  :meth:`restart` brings
+        the server back empty on the same port.
+        """
+        self._running.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._halt_tasks()
+        self._discarded += self._in_system
+        self._in_system = 0
+        self._queue = asyncio.Queue()
+        self._sleep_debt = 0.0
+
+    @property
+    def killed(self) -> bool:
+        """True between :meth:`kill` and :meth:`restart` (or before start)."""
+        return self._server is None
+
+    async def restart(self) -> None:
+        """Bring a killed backend back up, empty, on its original port."""
+        if self._server is not None:
+            raise RuntimeError("BackendServer is already running")
+        await self.start()
+
+    def set_rate_factor(self, factor: float) -> None:
+        """Scale the service rate (DEGRADED spans use factors in (0, 1])."""
+        if not math.isfinite(factor) or factor <= 0:
+            raise ValueError(
+                f"rate factor must be positive and finite, got {factor}"
+            )
+        self._rate_factor = float(factor)
+
+    def set_impairment(
+        self, impairment, rng: np.random.Generator | None = None
+    ) -> None:
+        """Attach (or clear) per-link network impairment.
+
+        ``impairment`` is a :class:`~repro.live.chaos.NetworkImpairment`
+        (or ``None``); ``rng`` drives its delay jitter and drop draws.
+        """
+        if impairment is not None and rng is None:
+            raise ValueError("impairment needs a random generator")
+        self.impairment = impairment
+        self._impair_rng = rng
+
     # -- introspection ---------------------------------------------------
 
     @property
@@ -175,6 +282,11 @@ class BackendServer:
         return self._rejected
 
     @property
+    def discarded(self) -> int:
+        """Jobs lost to :meth:`kill` crashes since start."""
+        return self._discarded
+
+    @property
     def address(self) -> tuple[str, int]:
         return (self.host, self.port)
 
@@ -191,7 +303,7 @@ class BackendServer:
 
     def _service_time(self) -> float:
         """One sampled service time in wall seconds."""
-        mean = self.time_unit / self.service_rate
+        mean = self.time_unit / (self.service_rate * self._rate_factor)
         if self.service == "deterministic":
             return mean
         return float(self._rng.exponential(mean))
@@ -204,26 +316,43 @@ class BackendServer:
         inflate every service time and bias queueing upward relative to
         the simulator.  The worker therefore carries the overshoot as a
         debt and pays it down from subsequent sleeps, so long-run busy
-        time tracks the *sampled* service times.  The debt is capped at
-        one mean service time: overshoot accrued before an idle period
-        must not eat a later busy period's work.
+        time tracks the *sampled* service times.  The debt is clamped to
+        ``[0, mean]``: overshoot accrued before an idle period must not
+        eat a later busy period's work, a stall spent parked on the
+        running gate must not be mistaken for timer overshoot (phantom
+        debt the worker would "repay" by racing through its queue on
+        resume), and debt can never go negative — overshoot is measured
+        strictly around the sleep, with both gates outside the window.
         """
         from repro.live.protocol import send_message
 
         loop = asyncio.get_running_loop()
-        mean_wall = self.time_unit / self.service_rate
         while True:
             job_id, writer = await self._queue.get()
             try:
+                # Stall gate: a paused worker starts no service.
+                await self._running.wait()
+                # Per-iteration: a DEGRADED span may have rescaled the
+                # rate (and therefore the debt cap) since the last job.
+                mean_wall = self.time_unit / (
+                    self.service_rate * self._rate_factor
+                )
                 sampled = self._service_time()
                 corrected = max(0.0, sampled - self._sleep_debt)
-                self._sleep_debt -= sampled - corrected
+                self._sleep_debt = max(
+                    0.0, self._sleep_debt - (sampled - corrected)
+                )
                 before = loop.time()
                 await asyncio.sleep(corrected)
                 overshoot = loop.time() - before - corrected
                 self._sleep_debt = min(
-                    mean_wall, self._sleep_debt + max(0.0, overshoot)
+                    mean_wall,
+                    max(0.0, self._sleep_debt + max(0.0, overshoot)),
                 )
+                # Stall gate: a paused worker delivers no replies — a
+                # pause landing mid-sleep holds the completion here, and
+                # the wait is outside the overshoot window above.
+                await self._running.wait()
                 self._in_system -= 1
                 self._served += 1
                 send_message(
@@ -270,6 +399,28 @@ class BackendServer:
             # points, or stop() could miss it mid-teardown.
             self._connections.discard(task)
 
+    async def _impair_inbound(self, writer: asyncio.StreamWriter) -> bool:
+        """Apply network impairment to one inbound message.
+
+        Returns ``False`` when the draw says the connection drops (the
+        transport is aborted so the peer sees a reset, like a flaky
+        middlebox); otherwise sleeps out the sampled extra latency and
+        returns ``True``.
+        """
+        impairment = self.impairment
+        rng = self._impair_rng
+        if impairment is None or rng is None:
+            return True
+        if impairment.drop_rate > 0 and rng.random() < impairment.drop_rate:
+            writer.transport.abort()
+            return False
+        delay = impairment.delay
+        if impairment.jitter > 0:
+            delay += impairment.jitter * float(rng.uniform(-1.0, 1.0))
+        if delay > 0:
+            await asyncio.sleep(self.time_unit * delay)
+        return True
+
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -285,6 +436,12 @@ class BackendServer:
                 return
             if message is None:
                 return
+            # Stall gate: a paused process answers nothing — the peer's
+            # request (or the board's poll) times out on its side.
+            await self._running.wait()
+            if self.impairment is not None:
+                if not await self._impair_inbound(writer):
+                    return
             op = message.get("op")
             if op == "work":
                 job_id = message.get("id")

@@ -41,11 +41,15 @@ class BoardSnapshot:
 
     ``info_time`` is in normalized time units (the clock's scale);
     ``loads`` holds jobs-in-system per backend, in backend order.
+    ``last_success`` (normalized units, backend order) records when each
+    entry last came from an answered probe — the age ledger behind
+    ``max_entry_age`` eviction; ``None`` on boards that predate it.
     """
 
     loads: np.ndarray
     version: int
     info_time: float
+    last_success: np.ndarray | None = None
 
 
 class BulletinBoard:
@@ -65,6 +69,16 @@ class BulletinBoard:
         Optional hook ``(now, version, loads)`` invoked after each
         publish — the live counterpart of the simulator probes'
         ``on_load_update``, used for herd-epoch detection.
+    max_entry_age:
+        Optional bound, in *periods*, on how long a failed backend's
+        frozen entry stays trusted.  Entries carry a last-success
+        timestamp; once one ages past ``max_entry_age * period`` the
+        board publishes ``inf`` for it — dead backends stop attracting
+        traffic instead of advertising their final (often empty-looking)
+        report forever.  ``None`` (the default) keeps the
+        keep-previous-forever semantics the simulator's hidden-staleness
+        board uses, so fault-free and default faulted runs stay
+        comparable to the simulator.
     """
 
     def __init__(
@@ -73,6 +87,7 @@ class BulletinBoard:
         period: float,
         clock: LiveClock,
         on_update: Callable[[float, int, np.ndarray], None] | None = None,
+        max_entry_age: float | None = None,
     ) -> None:
         if not addresses:
             raise ValueError("BulletinBoard needs at least one backend")
@@ -80,15 +95,29 @@ class BulletinBoard:
             raise ValueError(
                 f"period must be positive and finite, got {period}"
             )
+        if max_entry_age is not None and (
+            not math.isfinite(max_entry_age) or max_entry_age <= 0
+        ):
+            raise ValueError(
+                f"max_entry_age must be positive and finite, "
+                f"got {max_entry_age}"
+            )
         self.addresses = list(addresses)
         self.period = float(period)
         self.clock = clock
         self.on_update = on_update
+        self.max_entry_age = (
+            float(max_entry_age) if max_entry_age is not None else None
+        )
         self.polls_completed = 0
         self.poll_failures = 0
+        self.entries_evicted = 0
+        self.reconnects = 0
         self._snapshot: BoardSnapshot | None = None
+        self._last_success: np.ndarray | None = None
+        self._raw_loads: np.ndarray | None = None
         self._connections: list[
-            tuple[asyncio.StreamReader, asyncio.StreamWriter]
+            tuple[asyncio.StreamReader, asyncio.StreamWriter] | None
         ] = []
         self._poller: asyncio.Task | None = None
 
@@ -130,9 +159,10 @@ class BulletinBoard:
             except asyncio.CancelledError:
                 pass
             self._poller = None
-        for _, writer in self._connections:
+        open_connections = [c for c in self._connections if c is not None]
+        for _, writer in open_connections:
             writer.close()
-        for _, writer in self._connections:
+        for _, writer in open_connections:
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
@@ -164,21 +194,73 @@ class BulletinBoard:
         )
 
     def describe(self) -> dict:
-        """JSON-serializable configuration digest (for manifests)."""
-        return {"model": "live-periodic", "period": self.period}
+        """JSON-serializable configuration digest (for manifests).
+
+        ``max_entry_age`` appears only when eviction is on, so boards
+        without it describe byte-identically to their pre-chaos form.
+        """
+        described = {"model": "live-periodic", "period": self.period}
+        if self.max_entry_age is not None:
+            described["max_entry_age"] = self.max_entry_age
+        return described
 
     # -- internals -------------------------------------------------------
 
-    async def _poll_one_backend(
-        self, index: int
-    ) -> float | None:
-        """One load probe on one connection; ``None`` on failure."""
+    def _poll_timeout(self) -> float:
+        """Per-probe timeout: never longer than one poll period.
+
+        Poll rounds are gathered concurrently but published together, so
+        a single stalled backend holding a probe for the full 5-second
+        ceiling would freeze the *entire* board across many periods.
+        Bounding by the period keeps a chaos-stalled backend's damage to
+        one hidden-stale entry per round.
+        """
+        return min(_POLL_TIMEOUT, self.clock.to_wall(self.period))
+
+    async def _drop_connection(self, index: int) -> None:
+        """Discard one polling connection after a failed probe.
+
+        A probe that timed out may still get its reply flushed later
+        (e.g. a stalled backend resuming); reusing the stream would then
+        pair that late reply with the *next* request and skew every
+        subsequent reading by one poll.  Dropping the connection and
+        redialing next round keeps request/reply pairing exact.
+        """
+        connection = self._connections[index]
+        if connection is None:
+            return
+        _, writer = connection
+        self._connections[index] = None
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _poll_one_backend(self, index: int) -> float | None:
+        """One load probe on one connection; ``None`` on failure.
+
+        A missing connection (dropped after an earlier failure, or a
+        backend that was down) is redialed first — this is how the board
+        rediscovers a restarted backend without any control-plane help.
+        """
+        if self._connections[index] is None:
+            host, port = self.addresses[index]
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port),
+                    timeout=self._poll_timeout(),
+                )
+            except (OSError, asyncio.TimeoutError, TimeoutError):
+                return None
+            self._connections[index] = (reader, writer)
+            self.reconnects += 1
         reader, writer = self._connections[index]
         try:
             send_message(writer, {"op": "load"})
             await writer.drain()
             reply = await asyncio.wait_for(
-                read_message(reader), timeout=_POLL_TIMEOUT
+                read_message(reader), timeout=self._poll_timeout()
             )
         except (
             asyncio.TimeoutError,
@@ -187,8 +269,10 @@ class BulletinBoard:
             ConnectionResetError,
             BrokenPipeError,
         ):
+            await self._drop_connection(index)
             return None
         if reply is None or reply.get("op") != "load":
+            await self._drop_connection(index)
             return None
         return float(reply["queue"])
 
@@ -198,13 +282,16 @@ class BulletinBoard:
         A backend that fails to answer keeps its previous entry (0.0 on
         the very first poll): the board silently advertises stale state
         for it, which is precisely how a real stats plane degrades.
+        With ``max_entry_age`` set, an entry that has gone unrefreshed
+        for more than that many periods is evicted — published as
+        ``inf`` so no load-interpreting policy selects the dead backend.
         """
         results = await asyncio.gather(
             *(self._poll_one_backend(i) for i in range(self.num_servers))
         )
         previous = (
-            self._snapshot.loads
-            if self._snapshot is not None
+            self._raw_loads
+            if self._raw_loads is not None
             else np.zeros(self.num_servers)
         )
         loads = np.array(
@@ -217,12 +304,31 @@ class BulletinBoard:
         self.poll_failures += sum(1 for r in results if r is None)
         version = self._snapshot.version + 1 if self._snapshot else 0
         info_time = self.clock.now()
+        if self._last_success is None:
+            # Poll 0: every entry starts fresh — a backend missing from
+            # the very first round still gets one grace window.
+            self._last_success = np.full(self.num_servers, info_time)
+        for i, result in enumerate(results):
+            if result is not None:
+                self._last_success[i] = info_time
+        self._raw_loads = loads
+        published = loads
+        if self.max_entry_age is not None:
+            age = info_time - self._last_success
+            stale = age > self.max_entry_age * self.period
+            if stale.any():
+                published = loads.copy()
+                published[stale] = math.inf
+                self.entries_evicted += int(stale.sum())
         self._snapshot = BoardSnapshot(
-            loads=loads, version=version, info_time=info_time
+            loads=published,
+            version=version,
+            info_time=info_time,
+            last_success=self._last_success.copy(),
         )
         self.polls_completed += 1
         if self.on_update is not None:
-            self.on_update(info_time, version, loads)
+            self.on_update(info_time, version, published)
 
     async def _poll_loop(self) -> None:
         """Poll on the absolute grid t0 + k*T (no cumulative drift)."""

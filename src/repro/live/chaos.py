@@ -1,0 +1,357 @@
+"""Chaos orchestration: replay simulator fault schedules on live sockets.
+
+The simulator realizes a :class:`~repro.faults.schedule.FaultSchedule`
+into per-server :class:`~repro.faults.schedule.ServerTimeline` profiles
+and integrates jobs through them analytically.  The
+:class:`ChaosOrchestrator` realizes the *same* timelines — same scripted
+events, same per-server child-seed derivation as
+:meth:`~repro.faults.injector.FaultInjector.attach` — and then walks
+them in wall-clock time against real :class:`~repro.live.backend
+.BackendServer` processes on the experiment's
+:class:`~repro.live.protocol.LiveClock` grid:
+
+================  ==================================================
+timeline edge      live action
+================  ==================================================
+enter DOWN         ``pause()`` (``on_crash="stall"``: the process
+                   freezes, queued jobs survive) or ``kill()``
+                   (``on_crash="abort"``: fail-stop, jobs present are
+                   lost, connections reset)
+leave DOWN         ``resume()`` / ``restart()`` respectively
+enter DEGRADED     ``set_rate_factor(factor)``
+leave DEGRADED     ``set_rate_factor(1.0)``
+================  ==================================================
+
+For scripted schedules the live run and the simulator see *identical*
+fault timelines, which is what lets :func:`~repro.live.harness
+.compare_live_to_sim` extend to faulted runs.  For stochastic
+(MTTF/MTTR) schedules each side draws its own realization from the same
+process — the comparison is distributional, not samplewise.
+
+:class:`NetworkImpairment` adds the failure mode the simulator does not
+model: the wire itself.  Per-link delay, jitter and connection drops are
+applied by the backend at the protocol layer to every inbound message,
+from its own child-seeded stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.faults.schedule import FaultSchedule, ServerState, ServerTimeline
+from repro.live.backend import BackendServer
+from repro.live.protocol import LiveClock
+
+__all__ = [
+    "ChaosEvent",
+    "ChaosOrchestrator",
+    "NetworkImpairment",
+    "parse_impairment_spec",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkImpairment:
+    """Per-link network impairment, applied to every inbound message.
+
+    ``delay`` and ``jitter`` are in normalized time units (mean service
+    times): each message is held for ``delay + jitter * U(-1, 1)``
+    (clamped at zero) before processing.  ``drop_rate`` is the
+    probability that a message instead kills its connection — the peer
+    sees a reset mid-conversation, exactly like a flaky middlebox.
+    """
+
+    delay: float = 0.0
+    jitter: float = 0.0
+    drop_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.delay) or self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+        if not math.isfinite(self.jitter) or self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError(
+                f"drop_rate must be in [0, 1), got {self.drop_rate}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        return self.delay == 0.0 and self.jitter == 0.0 and self.drop_rate == 0.0
+
+    def describe(self) -> dict:
+        """JSON-serializable digest (for manifests and run IDs)."""
+        return {
+            "delay": self.delay,
+            "jitter": self.jitter,
+            "drop_rate": self.drop_rate,
+        }
+
+
+def parse_impairment_spec(text: str) -> NetworkImpairment:
+    """Parse ``"delay=0.2,jitter=0.1,drop=0.01"`` (all keys optional)."""
+    kwargs: dict = {}
+    keys = {"delay": "delay", "jitter": "jitter", "drop": "drop_rate"}
+    for raw in text.split(","):
+        part = raw.strip()
+        if not part:
+            continue
+        key, separator, value = part.partition("=")
+        key = key.strip().lower()
+        if not separator or not value.strip():
+            raise ValueError(
+                f"malformed --impair entry {part!r}; expected key=value"
+            )
+        if key not in keys:
+            raise ValueError(
+                f"unknown --impair key {key!r}; known keys: "
+                f"{', '.join(sorted(keys))}"
+            )
+        try:
+            kwargs[keys[key]] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"--impair key {key!r} needs a number, got {value!r}"
+            ) from None
+    return NetworkImpairment(**kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosEvent:
+    """One planned fault transition on one backend.
+
+    ``time`` is the scheduled instant in normalized units; ``action`` is
+    one of ``stall``/``kill``/``resume``/``restart``/``set-rate``;
+    ``factor`` is the service-rate multiplier in force after the event.
+    """
+
+    time: float
+    server_id: int
+    action: str
+    factor: float = 1.0
+
+
+class ChaosOrchestrator:
+    """Drives live backends through a realized fault schedule.
+
+    Parameters
+    ----------
+    backends:
+        The experiment's started :class:`BackendServer` objects, in
+        server-id order.
+    schedule:
+        The fault process to replay (scripted or stochastic).
+    clock:
+        The experiment's shared :class:`LiveClock`; events fire on its
+        absolute grid, so injected faults land at the same normalized
+        times the simulator's timelines place them.
+    horizon:
+        How far (normalized units) to realize stochastic timelines and
+        collect events.  Must be finite; pick it comfortably past the
+        expected run duration — events beyond it are never injected.
+    seed:
+        Seeds the per-server stochastic realizations *and* the
+        impairment streams, via the same child-seed derivation the
+        simulator's injector uses.
+    impairment:
+        Optional :class:`NetworkImpairment` attached to every backend
+        for the duration of the run.
+    probes:
+        Optional object with an ``on_chaos_event(time, server_id,
+        action, factor, applied)`` hook (e.g.
+        :class:`repro.obs.chaos.ChaosTrace`); consulted via ``getattr``.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[BackendServer],
+        schedule: FaultSchedule,
+        clock: LiveClock,
+        *,
+        horizon: float,
+        seed: int = 0,
+        impairment: NetworkImpairment | None = None,
+        probes=None,
+    ) -> None:
+        if not backends:
+            raise ValueError("ChaosOrchestrator needs at least one backend")
+        if not math.isfinite(horizon) or horizon <= 0:
+            raise ValueError(
+                f"horizon must be positive and finite, got {horizon}"
+            )
+        self.backends = list(backends)
+        self.schedule = schedule
+        self.clock = clock
+        self.horizon = float(horizon)
+        self.seed = seed
+        self.impairment = impairment
+        self.probes = probes
+        self.injected: list[dict] = []
+        self._task: asyncio.Task | None = None
+        self.timelines = self._realize_timelines()
+        self.events = self._plan_events()
+
+    # -- planning --------------------------------------------------------
+
+    def _realize_timelines(self) -> list[ServerTimeline]:
+        """Mirror ``FaultInjector.attach``'s realization exactly.
+
+        Same child-seed derivation (one integer per server, drawn up
+        front) so a stochastic schedule replayed live with the same seed
+        produces the same per-server profiles an injector handed the
+        same generator would.
+        """
+        rng = np.random.default_rng(self.seed)
+        scripted = self.schedule.scripted
+        child_seeds = rng.integers(0, 2**63 - 1, size=len(self.backends))
+        timelines: list[ServerTimeline] = []
+        for server_id in range(len(self.backends)):
+            events = tuple(
+                event for event in scripted if event.server_id == server_id
+            )
+            if events:
+                timelines.append(
+                    ServerTimeline(self.schedule, scripted=events)
+                )
+            elif self.schedule.is_null or scripted:
+                timelines.append(ServerTimeline(self.schedule))
+            else:
+                child = np.random.Generator(
+                    np.random.PCG64(int(child_seeds[server_id]))
+                )
+                timelines.append(ServerTimeline(self.schedule, rng=child))
+        # Impairment streams are drawn *after* the timeline seeds, so
+        # enabling impairment never perturbs the fault realization.
+        self._impair_seeds = rng.integers(
+            0, 2**63 - 1, size=len(self.backends)
+        )
+        return timelines
+
+    def _plan_events(self) -> list[ChaosEvent]:
+        """Flatten the realized timelines into a chronological plan."""
+        abort = self.schedule.on_crash == "abort"
+        planned: list[ChaosEvent] = []
+        for server_id, timeline in enumerate(self.timelines):
+            previous = ServerState.UP
+            for begin, _end, state_name, mult in timeline.spans(self.horizon):
+                state = ServerState(state_name)
+                if begin == 0.0 and state is ServerState.UP:
+                    previous = state
+                    continue
+                if state is ServerState.DOWN:
+                    action = "kill" if abort else "stall"
+                elif previous is ServerState.DOWN:
+                    action = "restart" if abort else "resume"
+                else:
+                    action = "set-rate"
+                planned.append(
+                    ChaosEvent(
+                        time=begin,
+                        server_id=server_id,
+                        action=action,
+                        factor=0.0 if state is ServerState.DOWN else mult,
+                    )
+                )
+                previous = state
+        planned.sort(key=lambda event: (event.time, event.server_id))
+        return planned
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Attach impairment and start replaying the event plan."""
+        if self._task is not None:
+            raise RuntimeError("ChaosOrchestrator is already running")
+        if self.impairment is not None and not self.impairment.is_null:
+            for server_id, backend in enumerate(self.backends):
+                backend.set_impairment(
+                    self.impairment,
+                    np.random.default_rng(int(self._impair_seeds[server_id])),
+                )
+        self._task = asyncio.create_task(
+            self._run(), name="chaos-orchestrator"
+        )
+
+    async def stop(self) -> None:
+        """Cancel the replay and detach impairment; backends stay as-is.
+
+        Revival of still-down backends is left to the caller (the
+        harness tears everything down anyway; tests may want to inspect
+        the faulted state).
+        """
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        for backend in self.backends:
+            backend.set_impairment(None)
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        for event in self.events:
+            deadline = self.clock.wall_deadline(event.time)
+            delay = deadline - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            await self._apply(event)
+
+    async def _apply(self, event: ChaosEvent) -> None:
+        backend = self.backends[event.server_id]
+        if event.action == "kill":
+            await backend.kill()
+        elif event.action == "stall":
+            backend.pause()
+        elif event.action == "restart":
+            backend.set_rate_factor(max(event.factor, 1e-9))
+            if backend.killed:
+                await backend.restart()
+        elif event.action == "resume":
+            backend.set_rate_factor(max(event.factor, 1e-9))
+            backend.resume()
+        else:  # set-rate
+            backend.set_rate_factor(max(event.factor, 1e-9))
+        applied = self.clock.now()
+        record = {
+            "t": event.time,
+            "applied": applied,
+            "server": event.server_id,
+            "action": event.action,
+            "factor": event.factor,
+        }
+        self.injected.append(record)
+        on_chaos_event = getattr(self.probes, "on_chaos_event", None)
+        if on_chaos_event is not None:
+            on_chaos_event(
+                event.time,
+                event.server_id,
+                event.action,
+                event.factor,
+                applied,
+            )
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once every planned event has been injected."""
+        return len(self.injected) >= len(self.events)
+
+    def describe(self) -> dict:
+        """JSON-serializable configuration digest (for manifests)."""
+        described: dict = {
+            "schedule": self.schedule.describe(),
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "planned_events": len(self.events),
+        }
+        if self.impairment is not None and not self.impairment.is_null:
+            described["impairment"] = self.impairment.describe()
+        return described

@@ -21,6 +21,7 @@ is part of what the sim-vs-wire comparison validates.
 from __future__ import annotations
 
 import asyncio
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -28,15 +29,93 @@ import numpy as np
 
 from repro.core.policy import Policy
 from repro.core.rate_estimators import ExactRate, RateEstimator
+from repro.faults.retry import RetryPolicy
 from repro.live.board import BulletinBoard
 from repro.live.protocol import LiveClock, read_message, send_message
 from repro.overload.admission import AdmissionPolicy
 from repro.overload.breaker import BreakerBoard, BreakerConfig
 
-__all__ = ["DispatcherStats", "LiveDispatcher"]
+__all__ = [
+    "DispatcherStats",
+    "HealthConfig",
+    "LiveDispatcher",
+    "parse_health_spec",
+]
 
 #: How long ``stop()`` waits for in-flight requests before cancelling.
 _DRAIN_TIMEOUT = 10.0
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Active health checking: probe backends, drain the dead, rejoin.
+
+    All times are in normalized units (mean service times).  Every
+    ``interval`` the dispatcher probes each backend on a fresh
+    connection with a ``timeout``-bounded load request; ``down_after``
+    consecutive failures drain the backend (the policy stops selecting
+    it; requests already in flight still complete) and ``up_after``
+    consecutive successes rejoin it.  ``None`` on the dispatcher keeps
+    health checking off — the simulator has no analogue, so default
+    faulted comparisons run without it.
+    """
+
+    interval: float = 1.0
+    timeout: float = 0.5
+    down_after: int = 2
+    up_after: int = 1
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.interval) or self.interval <= 0:
+            raise ValueError(
+                f"health interval must be positive, got {self.interval}"
+            )
+        if not math.isfinite(self.timeout) or self.timeout <= 0:
+            raise ValueError(
+                f"health timeout must be positive, got {self.timeout}"
+            )
+        if self.down_after < 1 or self.up_after < 1:
+            raise ValueError(
+                "health down_after/up_after must be >= 1, got "
+                f"{self.down_after}/{self.up_after}"
+            )
+
+    def describe(self) -> dict:
+        """JSON-serializable configuration digest (for manifests)."""
+        return {
+            "interval": self.interval,
+            "timeout": self.timeout,
+            "down_after": self.down_after,
+            "up_after": self.up_after,
+        }
+
+
+def parse_health_spec(spec: str) -> HealthConfig:
+    """Parse ``"interval=1,timeout=0.5,down_after=2,up_after=1"``.
+
+    The bare string ``"on"`` (or an empty spec) selects every default.
+    """
+    text = spec.strip()
+    if text in ("", "on"):
+        return HealthConfig()
+    kwargs: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"bad health spec item {part!r} (expected key=value)"
+            )
+        key, _, value = part.partition("=")
+        key = key.strip()
+        if key in ("interval", "timeout"):
+            kwargs[key] = float(value)
+        elif key in ("down_after", "up_after"):
+            kwargs[key] = int(value)
+        else:
+            raise ValueError(f"unknown health spec key {key!r}")
+    return HealthConfig(**kwargs)
 
 
 @dataclass
@@ -52,6 +131,8 @@ class DispatcherStats:
     shed: int = 0
     rejected: int = 0
     breaker_blocked: int = 0
+    retries: int = 0
+    failed: int = 0
     dispatch_counts: np.ndarray | None = None
     latencies: list = field(default_factory=list)
 
@@ -70,8 +151,12 @@ class DispatcherStats:
         return float(np.mean(self.latencies)) if self.latencies else float("nan")
 
     def summary(self) -> dict:
-        """JSON-serializable digest (for manifests)."""
-        return {
+        """JSON-serializable digest (for manifests).
+
+        ``retries``/``failed`` appear only when nonzero: fault-free runs
+        must stay byte-identical to their pre-chaos manifests.
+        """
+        summary = {
             "offered": self.offered,
             "completed": self.completed,
             "shed": self.shed,
@@ -85,6 +170,11 @@ class DispatcherStats:
                 else None
             ),
         }
+        if self.retries:
+            summary["retries"] = self.retries
+        if self.failed:
+            summary["failed"] = self.failed
+        return summary
 
 
 class _BackendLink:
@@ -105,14 +195,45 @@ class _BackendLink:
         self._pending: dict[int, asyncio.Future] = {}
         self._reader_task: asyncio.Task | None = None
         self._next_id = 0
+        # Serializes reconnection: concurrent retrying requests must not
+        # interleave close/connect and orphan each other's reader tasks.
+        self._conn_lock = asyncio.Lock()
 
     async def connect(self) -> None:
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self._reader, self._writer = reader, writer
         self._reader_task = asyncio.create_task(
-            self._read_loop(), name=f"backend-link-{self.server_id}-reader"
+            self._read_loop(reader),
+            name=f"backend-link-{self.server_id}-reader",
         )
+
+    @property
+    def connected(self) -> bool:
+        """A live reader means the connection has not dropped on us."""
+        return (
+            self._reader_task is not None
+            and not self._reader_task.done()
+            and self._writer is not None
+            and not self._writer.is_closing()
+        )
+
+    async def ensure_connected(self, timeout: float | None = None) -> bool:
+        """Redial a dropped connection; ``False`` when the dial fails.
+
+        This is how the dispatcher rediscovers a restarted backend: the
+        old stream died with the crash, the next attempt redials the
+        pinned port.  A backend still down simply refuses the dial.
+        """
+        async with self._conn_lock:
+            if self.connected:
+                return True
+            await self.close()
+            try:
+                await asyncio.wait_for(self.connect(), timeout=timeout)
+            except (OSError, asyncio.TimeoutError, TimeoutError):
+                await self.close()
+                return False
+            return True
 
     async def close(self) -> None:
         if self._reader_task is not None:
@@ -129,27 +250,60 @@ class _BackendLink:
             except (ConnectionResetError, BrokenPipeError):
                 pass
             self._writer = None
+        self._reader = None
         self._fail_pending()
 
-    async def submit(self, timeout: float | None = None) -> dict:
-        """Send one job; await its reply (``{"ok": ..., "queue": ...}``)."""
-        assert self._writer is not None, "link not connected"
+    async def submit(
+        self, timeout: float | None = None, alive_check=None
+    ) -> dict:
+        """Send one job; await its reply (``{"ok": ..., "queue": ...}``).
+
+        Never raises on backend trouble: an unreachable backend, a lost
+        connection and an expired wait all come back as ``ok=False``
+        replies (errors ``backend-unreachable`` /
+        ``backend-connection-lost`` / ``timeout``), so callers decide
+        retry-vs-refuse without exception plumbing — and an abandoned
+        task can never leak an unretrieved exception into the loop.
+
+        ``alive_check`` disambiguates silence: a reply can be late
+        because the backend is *dead* or merely *queued*, and only the
+        first is the simulator's "discovery" event.  When the wait
+        expires and ``await alive_check()`` answers True, the wait is
+        re-armed instead of failing — a slow backend is not a crashed
+        one.  Only a failed check (or no checker) turns silence into a
+        ``timeout`` reply.
+        """
+        if self._writer is None or self._writer.is_closing():
+            return {"ok": False, "error": "backend-unreachable"}
         job_id = self._next_id
         self._next_id += 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[job_id] = future
-        send_message(self._writer, {"op": "work", "id": job_id})
-        await self._writer.drain()
         try:
-            return await asyncio.wait_for(future, timeout=timeout)
+            send_message(self._writer, {"op": "work", "id": job_id})
+            await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            self._pending.pop(job_id, None)
+            return {"ok": False, "error": "backend-unreachable"}
+        try:
+            while True:
+                try:
+                    # shield: an expired wait must not kill the future —
+                    # a True alive_check re-awaits the same reply.
+                    return await asyncio.wait_for(
+                        asyncio.shield(future), timeout=timeout
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    if alive_check is not None and await alive_check():
+                        continue
+                    return {"ok": False, "error": "timeout"}
         finally:
             self._pending.pop(job_id, None)
 
-    async def _read_loop(self) -> None:
-        assert self._reader is not None
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
         while True:
             try:
-                message = await read_message(self._reader)
+                message = await read_message(reader)
             except ValueError:
                 message = None
             if message is None:
@@ -196,10 +350,29 @@ class LiveDispatcher:
     breaker_config:
         Optional :class:`~repro.overload.breaker.BreakerConfig`; enables
         per-server circuit breakers fed by queue-full rejections.
+    retry:
+        Optional :class:`~repro.faults.retry.RetryPolicy` — the same
+        object the simulator's fault path uses.  When set, a request
+        whose backend cannot answer (connection refused/lost, or silence
+        past ``retry.timeout`` normalized units *and* a failed liveness
+        probe — a slow backend is not a crashed one) is re-dispatched
+        to the least-loaded non-excluded backend by the stale board's
+        lights, after the full discovery timeout plus capped exponential
+        backoff — the simulator's exact penalty accounting, billed in
+        real wall-clock sleeps.  ``None`` keeps the single-shot PR 9
+        behavior.
+    health:
+        Optional :class:`HealthConfig`; enables active health probes
+        with drain/rejoin.  Independent of ``retry`` (retries *react* to
+        a discovered crash; health checks *anticipate* the next one).
     probes:
         Optional object with ``on_dispatch(now, client_id, server_id,
         queue_length)`` and ``on_job_complete(server_id, completion_time,
         response_time)`` hooks (e.g. :class:`repro.obs.live.LiveTrace`).
+        ``on_retry(now, client_id, server_id, attempt)`` and
+        ``on_health(now, server_id, healthy)`` are consulted via
+        ``getattr`` so probe objects only implement what they care
+        about.
     """
 
     def __init__(
@@ -213,6 +386,8 @@ class LiveDispatcher:
         true_rate: float = 1.0,
         admission: AdmissionPolicy | None = None,
         breaker_config: BreakerConfig | None = None,
+        retry: RetryPolicy | None = None,
+        health: HealthConfig | None = None,
         probes=None,
         seed: int | np.random.SeedSequence = 0,
         host: str = "127.0.0.1",
@@ -225,6 +400,8 @@ class LiveDispatcher:
         self.policy = policy
         self.clock = clock
         self.admission = admission
+        self.retry = retry
+        self.health = health
         self.probes = probes
         self.host = host
         self.port = port
@@ -237,7 +414,13 @@ class LiveDispatcher:
             if isinstance(seed, np.random.SeedSequence)
             else np.random.SeedSequence(seed)
         )
-        policy_seed, admission_seed, breaker_seed = seed_seq.spawn(3)
+        # spawn(4), not (3): SeedSequence children are keyed by spawn
+        # order, so appending the retry stream keeps the first three
+        # children — and every pre-chaos random draw — bit-identical.
+        policy_seed, admission_seed, breaker_seed, retry_seed = seed_seq.spawn(
+            4
+        )
+        self._retry_rng = np.random.default_rng(retry_seed)
         self._links = [
             _BackendLink(i, host_, port_)
             for i, (host_, port_) in enumerate(addresses)
@@ -265,6 +448,10 @@ class LiveDispatcher:
         self._in_flight: set[asyncio.Task] = set()
         self._connections: set[asyncio.Task] = set()
         self._accepting = True
+        self._unhealthy: set[int] = set()
+        self._health_task: asyncio.Task | None = None
+        self._health_failures = [0] * len(addresses)
+        self._health_successes = [0] * len(addresses)
 
     @property
     def num_servers(self) -> int:
@@ -287,6 +474,10 @@ class LiveDispatcher:
             self._handle_client, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.health is not None:
+            self._health_task = asyncio.create_task(
+                self._health_loop(), name="dispatcher-health-checker"
+            )
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain in-flight, close links.
@@ -297,6 +488,13 @@ class LiveDispatcher:
         ever abandoned by its own dispatcher.
         """
         self._accepting = False
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -326,29 +524,141 @@ class LiveDispatcher:
         for link in self._links:
             await link.close()
 
+    # -- health checking -------------------------------------------------
+
+    @property
+    def unhealthy(self) -> frozenset[int]:
+        """Backends currently drained by the health checker."""
+        return frozenset(self._unhealthy)
+
+    async def _probe_backend(self, server_id: int) -> bool:
+        """One health probe; ``True`` == answered inside the timeout."""
+        return await self._probe_load(
+            server_id, self.clock.to_wall(self.health.timeout)
+        )
+
+    async def _probe_load(self, server_id: int, timeout: float) -> bool:
+        """Load-probe a backend on a fresh connection.
+
+        A fresh dial per probe keeps a stalled backend's half-open
+        streams from wedging the caller, and doubles as the liveness
+        signal itself: a killed backend refuses the dial, a stalled one
+        accepts but never answers inside the timeout.  Shared by the
+        health checker and the retry path's silence disambiguation.
+        """
+        link = self._links[server_id]
+        writer = None
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(link.host, link.port),
+                timeout=timeout,
+            )
+            send_message(writer, {"op": "load"})
+            await writer.drain()
+            reply = await asyncio.wait_for(
+                read_message(reader), timeout=timeout
+            )
+            return reply is not None and reply.get("op") == "load"
+        except (OSError, asyncio.TimeoutError, TimeoutError, ValueError):
+            return False
+        finally:
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+
+    def _record_health(self, server_id: int, answered: bool) -> None:
+        """Update the consecutive counters; drain or rejoin on threshold."""
+        if answered:
+            self._health_failures[server_id] = 0
+            self._health_successes[server_id] += 1
+            if (
+                server_id in self._unhealthy
+                and self._health_successes[server_id] >= self.health.up_after
+            ):
+                self._unhealthy.discard(server_id)
+                self._notify_health(server_id, healthy=True)
+        else:
+            self._health_successes[server_id] = 0
+            self._health_failures[server_id] += 1
+            if (
+                server_id not in self._unhealthy
+                and self._health_failures[server_id] >= self.health.down_after
+            ):
+                self._unhealthy.add(server_id)
+                self._notify_health(server_id, healthy=False)
+
+    def _notify_health(self, server_id: int, healthy: bool) -> None:
+        on_health = getattr(self.probes, "on_health", None)
+        if on_health is not None:
+            on_health(self.clock.now(), server_id, healthy)
+
+    async def _health_loop(self) -> None:
+        """Probe every backend each interval; maintain the drain set."""
+        interval = self.clock.to_wall(self.health.interval)
+        while True:
+            await asyncio.sleep(interval)
+            results = await asyncio.gather(
+                *(self._probe_backend(s) for s in range(self.num_servers))
+            )
+            for server_id, answered in enumerate(results):
+                self._record_health(server_id, answered)
+
     # -- request path ----------------------------------------------------
 
+    def _avoided(self, now: float) -> set[int]:
+        """Backends no fresh dispatch should target right now."""
+        avoided = set(self._unhealthy)
+        if self.breakers is not None:
+            avoided.update(
+                s
+                for s in range(self.num_servers)
+                if self.breakers.blocks(s, now)
+            )
+        return avoided
+
+    def _least_loaded(self, loads, excluded: set[int]) -> int | None:
+        """The simulator's retry target: least reported load, lowest id.
+
+        Evicted (``inf``) entries lose to any finite load; if every
+        candidate is evicted the lowest-id one is still returned —
+        refusing service because the *board* is dark would be worse than
+        probing.
+        """
+        best = None
+        best_load = math.inf
+        for candidate in range(self.num_servers):
+            if candidate in excluded:
+                continue
+            load = loads[candidate]
+            if load < best_load:
+                best_load = load
+                best = candidate
+            elif best is None:
+                best = candidate
+        return best
+
     def select_server(self, view) -> tuple[int | None, bool]:
-        """Policy selection plus breaker re-routing for one view.
+        """Policy selection plus breaker/health re-routing for one view.
 
         Returns ``(server_id, blocked)``: ``server_id`` is ``None`` when
-        every backend is breaker-blocked (the request must be refused);
-        ``blocked`` reports whether the policy's first choice was
-        overridden.  Exposed separately from the socket path so tests
-        can drive the decision logic synchronously.
+        every backend is breaker-blocked or drained (the request must be
+        refused); ``blocked`` reports whether the policy's first choice
+        was overridden.  Exposed separately from the socket path so
+        tests can drive the decision logic synchronously.
         """
         server = self.policy.select(view)
-        if self.breakers is None or self.breakers.allow(server, view.now):
+        breaker_ok = self.breakers is None or self.breakers.allow(
+            server, view.now
+        )
+        if breaker_ok and server not in self._unhealthy:
             return server, False
-        candidates = [
-            s
-            for s in range(self.num_servers)
-            if s != server and not self.breakers.blocks(s, view.now)
-        ]
-        if not candidates:
+        avoided = self._avoided(view.now) | {server}
+        if len(avoided) >= self.num_servers:
             return None, True
-        loads = view.loads
-        best = min(candidates, key=lambda s: (loads[s], s))
+        best = self._least_loaded(view.loads, avoided)
         return best, True
 
     async def _serve_request(
@@ -390,7 +700,8 @@ class LiveDispatcher:
                 server,
                 int(view.loads[server]) + 1,
             )
-        reply = await self._links[server].submit(timeout=self.request_timeout)
+        client_id = int(request.get("client", 0))
+        reply, server = await self._dispatch_with_retries(server, client_id)
         done = self.clock.now()
         if reply.get("ok"):
             latency = done - arrival
@@ -411,9 +722,16 @@ class LiveDispatcher:
                 },
             )
         else:
-            self.stats.rejected += 1
-            if self.breakers is not None:
-                self.breakers.record_failure(server, done)
+            error = reply.get("error", "rejected")
+            if error == "retries-exhausted":
+                # The simulator books exhausted retries as failures, not
+                # queue rejections; mirror that split.  The retry loop
+                # already charged each discovery to the breaker.
+                self.stats.failed += 1
+            else:
+                self.stats.rejected += 1
+                if self.breakers is not None:
+                    self.breakers.record_failure(server, done)
             send_message(
                 writer,
                 {
@@ -421,9 +739,97 @@ class LiveDispatcher:
                     "id": request_id,
                     "ok": False,
                     "server": server,
-                    "error": reply.get("error", "rejected"),
+                    "error": error,
                 },
             )
+
+    async def _dispatch_with_retries(
+        self, server: int, client_id: int
+    ) -> tuple[dict, int]:
+        """Submit to ``server``; with a retry policy, survive crashes.
+
+        Mirrors the simulator's faulted dispatch path: a connection-
+        level failure (refused dial, lost stream) or confirmed silence
+        (no reply past ``retry.timeout`` *and* a failed fresh-connection
+        liveness probe) discovers the crash the hard way, bills the
+        *full* discovery timeout (a fast TCP reset sleeps out the
+        remainder — the simulator charges a fixed cost, so must we)
+        plus capped exponential backoff, trips the breaker, excludes the
+        server (resetting the exclusion set once it covers everyone) and
+        re-dispatches to the least-loaded non-excluded backend by the
+        stale board's lights.  Queue-full rejections are refused, never
+        retried — they already have their own storm machinery.
+
+        One deliberate infidelity, documented in DESIGN.md §15: stalled
+        (not killed) backends accept the probe dial and only fail it by
+        timeout, so stall-mode discovery costs up to one extra
+        ``retry.timeout`` beyond the simulator's fixed charge; and a
+        request abandoned on a stalled backend is still served by it
+        after resume (the wire protocol has no cancel), where the
+        simulator's redispatched jobs never were — phantom work the
+        board's own staleness then steers around.
+        """
+        retry = self.retry
+        if retry is None:
+            link = self._links[server]
+            if not link.connected:
+                # Heal a link lost to network impairment even without a
+                # retry policy: the single shot deserves a live socket.
+                await link.ensure_connected(timeout=self.request_timeout)
+            reply = await link.submit(timeout=self.request_timeout)
+            return reply, server
+        loop = asyncio.get_running_loop()
+        timeout_wall = self.clock.to_wall(retry.timeout)
+        excluded: set[int] = set()
+        attempt = 0
+        while True:
+            link = self._links[server]
+            started = loop.time()
+            if await link.ensure_connected(timeout=timeout_wall):
+                remaining = max(
+                    0.001, timeout_wall - (loop.time() - started)
+                )
+                probe = server
+
+                async def _alive() -> bool:
+                    return await self._probe_load(probe, timeout_wall)
+
+                reply = await link.submit(
+                    timeout=remaining, alive_check=_alive
+                )
+            else:
+                reply = {"ok": False, "error": "backend-unreachable"}
+            if reply.get("ok") or reply.get("error") == "queue-full":
+                return reply, server
+            now = self.clock.now()
+            if self.breakers is not None:
+                self.breakers.record_failure(server, now)
+            if retry.max_attempts and attempt >= retry.max_attempts:
+                return {"ok": False, "error": "retries-exhausted"}, server
+            attempt += 1
+            excluded.add(server)
+            if len(excluded) >= self.num_servers:
+                excluded = set()
+            self.stats.retries += 1
+            on_retry = getattr(self.probes, "on_retry", None)
+            if on_retry is not None:
+                on_retry(now, client_id, server, attempt)
+            backoff = retry.backoff_delay(attempt, self._retry_rng)
+            penalty_wall = max(
+                0.0, timeout_wall - (loop.time() - started)
+            ) + self.clock.to_wall(backoff)
+            if penalty_wall > 0:
+                await asyncio.sleep(penalty_wall)
+            view = self.board.view(client_id, self.clock.now())
+            target = self._least_loaded(
+                view.loads, excluded | self._unhealthy
+            )
+            if target is None:
+                # Everything is excluded or drained; fall back to the
+                # bare exclusion set (the simulator's set can never
+                # cover the fleet after the reset above).
+                target = self._least_loaded(view.loads, excluded)
+            server = target if target is not None else server
 
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

@@ -140,6 +140,12 @@ class LiveSpec:
     parameters: they change wall-clock fidelity, never the cell being
     measured, and are folded out of the content hash by
     :func:`repro.ablation.runid.resolve_live_spec`.
+
+    The chaos fields (``faults``, ``impair``, ``health``,
+    ``board_max_age``) default to ``None`` and are omitted from
+    :meth:`describe` when unset, so fault-free specs — and therefore
+    their run IDs and manifest digests — are byte-identical to
+    pre-chaos behavior.
     """
 
     policy: str = "basic-li"
@@ -162,10 +168,25 @@ class LiveSpec:
     time_unit: float = 0.01
     host: str = "127.0.0.1"
     duration: float | None = None
+    # -- chaos fields (identity when set, omitted when None) ------------
+    #: ``--faults``-format schedule+retry spec replayed by the
+    #: :class:`~repro.live.chaos.ChaosOrchestrator` (and fed to the
+    #: simulator for faulted predictions).
+    faults: str | None = None
+    #: ``--impair``-format per-link network impairment spec.
+    impair: str | None = None
+    #: Health-check spec (``"on"`` or ``interval=...,down_after=...``).
+    health: str | None = None
+    #: Bulletin-board entry max age, in periods (``None``: keep-forever).
+    board_max_age: float | None = None
 
     #: Fields that never influence the measured cell, only how fast /
     #: where it executes — excluded from live run IDs.
     VOLATILE_FIELDS = ("time_unit", "host", "duration")
+
+    #: Fields dropped from :meth:`describe` when ``None`` so fault-free
+    #: specs keep their pre-chaos byte-identity.
+    CHAOS_FIELDS = ("faults", "impair", "health", "board_max_age")
 
     def __post_init__(self) -> None:
         if self.policy not in LIVE_POLICIES:
@@ -200,15 +221,33 @@ class LiveSpec:
             raise ValueError(
                 f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
             )
+        if self.board_max_age is not None and (
+            not math.isfinite(self.board_max_age) or self.board_max_age <= 0
+        ):
+            raise ValueError(
+                f"board_max_age must be positive and finite (or None), "
+                f"got {self.board_max_age}"
+            )
+        # Parse the chaos spec strings eagerly so a malformed spec fails
+        # at construction (with the parser's message), not mid-run.
+        self.make_faults()
+        self.make_impairment()
+        self.make_health()
 
     def describe(self) -> dict:
         """JSON-serializable form: every field, volatile ones included.
 
         Run-ID construction starts from this and *removes*
         :attr:`VOLATILE_FIELDS`; manifests keep them (they are honest
-        provenance, just not identity).
+        provenance, just not identity).  Unset chaos fields are omitted
+        entirely: a spec without chaos must describe — and therefore
+        hash — byte-identically to one built before chaos existed.
         """
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        described = {f.name: getattr(self, f.name) for f in fields(self)}
+        for name in self.CHAOS_FIELDS:
+            if described[name] is None:
+                del described[name]
+        return described
 
     def make_policy(self):
         factory = LIVE_POLICIES[self.policy]
@@ -228,6 +267,45 @@ class LiveSpec:
         return parse_arrivals_spec(self.arrivals)(
             self.num_servers * self.load
         )
+
+    def make_faults(self):
+        """The fault injector config (schedule + retry), or ``None``."""
+        if self.faults is None:
+            return None
+        from repro.faults.parse import parse_fault_spec
+
+        return parse_fault_spec(self.faults)
+
+    def make_impairment(self):
+        """The parsed :class:`NetworkImpairment`, or ``None``."""
+        if self.impair is None:
+            return None
+        from repro.live.chaos import parse_impairment_spec
+
+        return parse_impairment_spec(self.impair)
+
+    def make_health(self):
+        """The parsed :class:`HealthConfig`, or ``None``."""
+        if self.health is None:
+            return None
+        from repro.live.dispatcher import parse_health_spec
+
+        return parse_health_spec(self.health)
+
+    def chaos_horizon(self) -> float:
+        """How far (normalized units) chaos timelines must be realized.
+
+        Generously past the expected run duration — an open-loop cell
+        drains ``jobs`` arrivals at total rate ``n·λ`` — and past the
+        last scripted event, so no planned fault is silently clipped.
+        """
+        expected = self.jobs / max(self.num_servers * self.load, 1e-9)
+        horizon = 4.0 * expected
+        injector = self.make_faults()
+        if injector is not None and injector.schedule.scripted:
+            last = max(e.time for e in injector.schedule.scripted)
+            horizon = max(horizon, last + 1.0)
+        return horizon
 
 
 @dataclass(frozen=True)
@@ -250,12 +328,45 @@ class LiveResult:
     dispatch_counts: tuple
     wall_seconds: float
     duration: float
+    # -- chaos outcome (defaults keep fault-free construction unchanged)
+    retries: int = 0
+    jobs_failed: int = 0
+    loop_errors: int = 0
+    chaos: dict | None = None
 
     def to_manifest(self) -> dict:
-        """Manifest-compatible JSON payload (plus the live run ID)."""
+        """Manifest-compatible JSON payload (plus the live run ID).
+
+        Chaos keys (``retries``, ``jobs_failed``, ``chaos``) appear only
+        on chaotic runs: a fault-free manifest's payload stays
+        byte-identical to its pre-chaos form.
+        """
         from repro.ablation.runid import live_run_id
 
-        return {
+        results = {
+            "mean_response_time": self.mean_response_time,
+            "p95_response_time": self.p95_response_time,
+            "jobs_offered": self.jobs_offered,
+            "jobs_completed": self.jobs_completed,
+            "jobs_measured": self.jobs_measured,
+            "jobs_shed": self.jobs_shed,
+            "jobs_rejected": self.jobs_rejected,
+            "goodput": self.goodput,
+            "board_polls": self.board_polls,
+            "poll_failures": self.poll_failures,
+            "breaker_trips": self.breaker_trips,
+            "dispatch_counts": list(self.dispatch_counts),
+            "wall_seconds": self.wall_seconds,
+            "duration": self.duration,
+            "herd": self.herd,
+        }
+        if self.retries:
+            results["retries"] = self.retries
+        if self.jobs_failed:
+            results["jobs_failed"] = self.jobs_failed
+        if self.loop_errors:
+            results["loop_errors"] = self.loop_errors
+        manifest = {
             "live_manifest_version": 1,
             "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "run_id": live_run_id(self.spec),
@@ -264,32 +375,63 @@ class LiveResult:
                 "python": sys.version.split()[0],
                 "numpy": np.__version__,
             },
-            "results": {
-                "mean_response_time": self.mean_response_time,
-                "p95_response_time": self.p95_response_time,
-                "jobs_offered": self.jobs_offered,
-                "jobs_completed": self.jobs_completed,
-                "jobs_measured": self.jobs_measured,
-                "jobs_shed": self.jobs_shed,
-                "jobs_rejected": self.jobs_rejected,
-                "goodput": self.goodput,
-                "board_polls": self.board_polls,
-                "poll_failures": self.poll_failures,
-                "breaker_trips": self.breaker_trips,
-                "dispatch_counts": list(self.dispatch_counts),
-                "wall_seconds": self.wall_seconds,
-                "duration": self.duration,
-                "herd": self.herd,
-            },
+            "results": results,
         }
+        if self.chaos is not None:
+            manifest["chaos"] = self.chaos
+        return manifest
+
+
+class _ProbeFanout:
+    """Forward each live probe hook to every target that implements it.
+
+    Lets :class:`~repro.obs.live.LiveTrace` (dispatch/completion/board
+    hooks) and :class:`~repro.obs.chaos.ChaosTrace` (retry/health/chaos
+    hooks) ride the same run without either having to stub the other's
+    surface; a hook no target implements raises ``AttributeError``, so
+    the dispatcher's ``getattr`` guards behave exactly as with a single
+    probe object.
+    """
+
+    _HOOKS = frozenset(
+        {
+            "on_dispatch",
+            "on_job_complete",
+            "on_load_update",
+            "on_retry",
+            "on_health",
+            "on_chaos_event",
+        }
+    )
+
+    def __init__(self, *targets) -> None:
+        self.targets = [t for t in targets if t is not None]
+
+    def __getattr__(self, name: str):
+        if name not in self._HOOKS:
+            raise AttributeError(name)
+        handlers = [
+            getattr(target, name)
+            for target in self.targets
+            if hasattr(target, name)
+        ]
+        if not handlers:
+            raise AttributeError(name)
+
+        def fan_out(*args, **kwargs) -> None:
+            for handler in handlers:
+                handler(*args, **kwargs)
+
+        return fan_out
 
 
 async def run_live(spec: LiveSpec, probes=None) -> LiveResult:
     """Run one live cell end to end inside the current event loop.
 
     Startup order: backends → board (poll 0 ≈ t=0) → dispatcher →
-    load generator.  Shutdown runs in reverse and is unconditional
-    (``finally``), so an exception — or an outer cancellation — still
+    chaos orchestrator → load generator.  Shutdown runs in reverse and
+    is unconditional (``finally``), so an exception — or an outer
+    cancellation, even one landing mid-fault with a backend dead — still
     tears every task down; see ``tests/live/test_shutdown.py`` for the
     no-leak proof.
     """
@@ -300,8 +442,22 @@ async def run_live(spec: LiveSpec, probes=None) -> LiveResult:
     backend_seeds = seed_seq.spawn(spec.num_servers)
     dispatcher_seed, loadgen_seed = seed_seq.spawn(2)
 
+    injector = spec.make_faults()
+    impairment = spec.make_impairment()
+    chaotic = injector is not None or (
+        impairment is not None and not impairment.is_null
+    )
+    chaos_trace = None
+    if chaotic:
+        from repro.obs.chaos import ChaosTrace
+
+        chaos_trace = ChaosTrace()
+
     clock = LiveClock(spec.time_unit)
     trace = probes if probes is not None else LiveTrace(spec.num_servers)
+    dispatcher_probes = (
+        _ProbeFanout(trace, chaos_trace) if chaos_trace is not None else trace
+    )
     backends = [
         BackendServer(
             i,
@@ -315,7 +471,25 @@ async def run_live(spec: LiveSpec, probes=None) -> LiveResult:
     ]
     wall_start = time.perf_counter()
     started: list = []
-    board = dispatcher = None
+    board = dispatcher = chaos = None
+    # Count every exception that escapes into the event loop (failed
+    # callbacks, never-retrieved task exceptions) — the chaos acceptance
+    # bar is *zero* of these across a faulted run.  The previous handler
+    # still runs, so nothing is silenced.
+    loop = asyncio.get_running_loop()
+    loop_error_log: list = []
+    previous_handler = loop.get_exception_handler()
+
+    def _count_loop_error(loop_, context) -> None:
+        loop_error_log.append(
+            context.get("message") or repr(context.get("exception"))
+        )
+        if previous_handler is not None:
+            previous_handler(loop_, context)
+        else:
+            loop_.default_exception_handler(context)
+
+    loop.set_exception_handler(_count_loop_error)
     try:
         for backend in backends:
             await backend.start()
@@ -327,6 +501,7 @@ async def run_live(spec: LiveSpec, probes=None) -> LiveResult:
             spec.period,
             clock,
             on_update=trace.on_load_update,
+            max_entry_age=spec.board_max_age,
         )
         await board.start()
         dispatcher = LiveDispatcher(
@@ -344,11 +519,27 @@ async def run_live(spec: LiveSpec, probes=None) -> LiveResult:
             breaker_config=(
                 parse_breaker_spec(spec.breaker) if spec.breaker else None
             ),
-            probes=trace,
+            retry=injector.retry if injector is not None else None,
+            health=spec.make_health(),
+            probes=dispatcher_probes,
             seed=dispatcher_seed,
             host=spec.host,
         )
         await dispatcher.start()
+        if chaotic:
+            from repro.faults.schedule import FaultSchedule
+            from repro.live.chaos import ChaosOrchestrator
+
+            chaos = ChaosOrchestrator(
+                backends,
+                injector.schedule if injector is not None else FaultSchedule(),
+                clock,
+                horizon=spec.chaos_horizon(),
+                seed=spec.seed,
+                impairment=impairment,
+                probes=chaos_trace,
+            )
+            await chaos.start()
         if spec.mode == "open":
             generator = OpenLoopClient(
                 dispatcher.address,
@@ -372,12 +563,21 @@ async def run_live(spec: LiveSpec, probes=None) -> LiveResult:
         else:
             await generator.run()
     finally:
+        if chaos is not None:
+            await chaos.stop()
         if dispatcher is not None:
             await dispatcher.stop()
         if board is not None:
             await board.stop()
         for backend in started:
             await backend.stop()
+        # Never-retrieved task exceptions only surface when the task is
+        # collected; force that now so the count reflects this run, then
+        # hand the loop back to whoever had it.
+        import gc
+
+        gc.collect()
+        loop.set_exception_handler(previous_handler)
     trace.finish()
 
     records = generator.records
@@ -386,6 +586,26 @@ async def run_live(spec: LiveSpec, probes=None) -> LiveResult:
     measured = completed[warmup:]
     latencies = np.array([record.latency for record in measured])
     stats = dispatcher.stats
+    chaos_section = None
+    if chaos_trace is not None:
+        if dispatcher.breakers is not None:
+            chaos_trace.note_breakers(dispatcher.breakers.summary())
+        chaos_section = {
+            "config": chaos.describe() if chaos is not None else {},
+            # Injected fault transitions (bounded: stochastic schedules
+            # can plan many): scheduled vs applied time, per backend.
+            "injected": list(chaos.injected[:200]) if chaos is not None else [],
+            "trace": chaos_trace.summary(),
+            "board": {
+                "poll_failures": board.poll_failures,
+                "entries_evicted": board.entries_evicted,
+                "reconnects": board.reconnects,
+            },
+            "backends": {
+                "discarded": [backend.discarded for backend in backends],
+            },
+            "loop_errors": len(loop_error_log),
+        }
     return LiveResult(
         spec=spec,
         mean_response_time=(
@@ -413,6 +633,10 @@ async def run_live(spec: LiveSpec, probes=None) -> LiveResult:
         dispatch_counts=tuple(int(c) for c in stats.dispatch_counts),
         wall_seconds=time.perf_counter() - wall_start,
         duration=clock.now(),
+        retries=stats.retries,
+        jobs_failed=stats.failed,
+        loop_errors=len(loop_error_log),
+        chaos=chaos_section,
     )
 
 
@@ -458,12 +682,13 @@ def _build_simulation(spec: LiveSpec, jobs: int, seed: int):
             admission=spec.admission,
             breaker=spec.breaker,
         ),
+        faults=spec.make_faults(),
     )
 
 
 def simulator_prediction(
     spec: LiveSpec,
-    jobs: int = 20_000,
+    jobs: int | None = None,
     seeds: tuple = (1, 2, 3),
     cache=None,
 ) -> dict:
@@ -474,11 +699,19 @@ def simulator_prediction(
     given, is a :class:`repro.ablation.cache.ResultCache`: each seed's
     value is looked up / stored under its content-hashed run ID, so
     repeated live-bench invocations pay for the simulator once.
+
+    ``jobs=None`` picks the default: 20 000 for fault-free cells (more
+    samples, better estimate), but the *live spec's own* job count for
+    faulted cells — scripted fault windows live at absolute times, so
+    the simulated run must cover the same time span as the live one,
+    not two orders of magnitude more.
     """
     if spec.mode != "open":
         raise ValueError(
             "simulator predictions are defined for open-loop cells only"
         )
+    if jobs is None:
+        jobs = spec.jobs if spec.faults is not None else 20_000
     values = []
     for seed in seeds:
         value = None
@@ -518,14 +751,18 @@ def simulator_prediction(
 def compare_live_to_sim(
     live: LiveResult,
     sim: dict | None = None,
-    jobs: int = 20_000,
+    jobs: int | None = None,
     seeds: tuple = (1, 2, 3),
     cache=None,
 ) -> dict:
     """Put one live measurement next to the simulator's prediction.
 
     ``relative_error`` is ``(live - sim) / sim`` on the mean response
-    time — the quantity the live-smoke CI job bounds.
+    time — the quantity the live-smoke and chaos-smoke CI jobs bound.
+    Works unchanged for faulted cells: the spec's ``faults`` string
+    reaches :func:`_build_simulation`, so the simulator runs the same
+    :class:`~repro.faults.schedule.FaultSchedule` (and retry policy) the
+    chaos orchestrator replayed on the wire.
     """
     if sim is None:
         sim = simulator_prediction(live.spec, jobs=jobs, seeds=seeds, cache=cache)

@@ -8,6 +8,7 @@ utilization traces, a per-epoch dispatch-concentration (herd) detector,
 and JSON run manifests that make every sweep reproducible and auditable.
 """
 
+from repro.obs.chaos import ChaosTrace
 from repro.obs.engine_probe import EngineProvenanceProbe
 from repro.obs.fault_trace import FaultTraceProbe
 from repro.obs.herd import EpochStats, HerdDetector
@@ -28,6 +29,7 @@ from repro.obs.transient import NonstationaryProvenanceProbe, TransientProbe
 __all__ = [
     "Probe",
     "ProbeSet",
+    "ChaosTrace",
     "DispatcherTraceProbe",
     "EngineProvenanceProbe",
     "FaultTraceProbe",

@@ -1,0 +1,142 @@
+"""Chaos trace: what the orchestrator injected and what it cost.
+
+The live counterpart of :class:`~repro.obs.fault_trace.FaultTraceProbe`:
+where that probe queries the simulator's injector after the fact, this
+one rides along with the live run — the
+:class:`~repro.live.chaos.ChaosOrchestrator` reports every injected
+fault, the dispatcher reports every retry and every health transition —
+and renders the whole campaign (injected events, retry penalties,
+breaker trips, per-server recovery latencies) into the run manifest.
+
+It is not a simulator :class:`~repro.obs.probes.Probe`: it implements
+the live dispatcher's duck-typed hook surface (``on_retry``,
+``on_health``, ``on_chaos_event``) and composes with
+:class:`~repro.obs.live.LiveTrace` through the harness's probe fan-out.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ChaosTrace"]
+
+
+class ChaosTrace:
+    """Records injected faults, retries, health flips, recovery latency.
+
+    Parameters
+    ----------
+    max_events:
+        Upper bound on retained per-event records (aggregate counters
+        stay exact); keeps manifests bounded on long chaotic runs.
+    """
+
+    def __init__(self, max_events: int = 1000) -> None:
+        if max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {max_events}")
+        self.max_events = max_events
+        self.retries = 0
+        self.health_flips = 0
+        self.injected = 0
+        self._events: list[dict] = []
+        self._events_dropped = 0
+        #: server_id -> applied time of its pending crash (stall/kill).
+        self._down_since: dict[int, float] = {}
+        #: (server_id, crash_applied, revive_applied, latency) tuples.
+        self._recoveries: list[dict] = []
+        self._breakers: dict | None = None
+
+    # -- hooks (called by orchestrator and dispatcher) -------------------
+
+    def on_chaos_event(
+        self,
+        time: float,
+        server_id: int,
+        action: str,
+        factor: float,
+        applied: float,
+    ) -> None:
+        """One injected fault transition (scheduled at ``time``,
+        actually applied at ``applied``, both normalized units)."""
+        self.injected += 1
+        self._record(
+            {
+                "kind": "chaos",
+                "time": time,
+                "applied": applied,
+                "server": server_id,
+                "action": action,
+                "factor": factor,
+            }
+        )
+        if action in ("stall", "kill"):
+            self._down_since.setdefault(server_id, applied)
+        elif action in ("resume", "restart"):
+            crashed = self._down_since.pop(server_id, None)
+            if crashed is not None:
+                self._recoveries.append(
+                    {
+                        "server": server_id,
+                        "down_at": crashed,
+                        "up_at": applied,
+                        "latency": applied - crashed,
+                    }
+                )
+
+    def on_retry(
+        self, now: float, client_id: int, server_id: int, attempt: int
+    ) -> None:
+        """One dispatcher re-dispatch after a discovered crash."""
+        self.retries += 1
+        self._record(
+            {
+                "kind": "retry",
+                "time": now,
+                "client": client_id,
+                "server": server_id,
+                "attempt": attempt,
+            }
+        )
+
+    def on_health(self, now: float, server_id: int, healthy: bool) -> None:
+        """One health-checker drain (``healthy=False``) or rejoin."""
+        self.health_flips += 1
+        self._record(
+            {
+                "kind": "health",
+                "time": now,
+                "server": server_id,
+                "healthy": healthy,
+            }
+        )
+
+    def note_breakers(self, summary: dict | None) -> None:
+        """Attach the breaker board's end-of-run summary (trips etc.)."""
+        self._breakers = summary
+
+    # -- reporting -------------------------------------------------------
+
+    def _record(self, event: dict) -> None:
+        if len(self._events) < self.max_events:
+            self._events.append(event)
+        else:
+            self._events_dropped += 1
+
+    @property
+    def recoveries(self) -> list[dict]:
+        return list(self._recoveries)
+
+    def summary(self) -> dict:
+        """JSON-serializable digest for the run manifest."""
+        out: dict = {
+            "injected": self.injected,
+            "retries": self.retries,
+            "health_flips": self.health_flips,
+            "events": self._events,
+            "events_dropped": self._events_dropped,
+            "recoveries": self._recoveries,
+        }
+        if self._recoveries:
+            latencies = [r["latency"] for r in self._recoveries]
+            out["mean_recovery_latency"] = sum(latencies) / len(latencies)
+        if self._breakers is not None:
+            out["breakers"] = self._breakers
+        return out

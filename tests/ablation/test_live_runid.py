@@ -43,6 +43,10 @@ class TestIdentityFields:
             {"mode": "closed"},
             {"service": "deterministic"},
             {"warmup_fraction": 0.2},
+            {"faults": "down=0:40:60,mode=abort"},
+            {"impair": "delay=0.2"},
+            {"health": "interval=4"},
+            {"board_max_age": 3.0},
         ],
     )
     def test_experiment_fields_change_the_id(self, kwargs):
@@ -55,3 +59,61 @@ class TestIdentityFields:
 
     def test_id_is_stable_across_instances(self):
         assert live_run_id(LiveSpec(seed=2)) == live_run_id(LiveSpec(seed=2))
+
+
+class TestChaosCanonicalization:
+    def test_equivalent_fault_strings_hash_equal(self):
+        # Chaos specs fold to parsed describe() dicts, so key order and
+        # whitespace in the CLI string must not perturb the ID.
+        a = LiveSpec(faults="down=0:40:60,mode=abort")
+        b = LiveSpec(faults="mode=abort, down=0:40:60")
+        assert live_run_id(a) == live_run_id(b)
+
+    def test_equivalent_impair_strings_hash_equal(self):
+        a = LiveSpec(impair="delay=0.2,jitter=0.1")
+        b = LiveSpec(impair="jitter=0.1, delay=0.2")
+        assert live_run_id(a) == live_run_id(b)
+
+    def test_fault_free_spec_resolves_without_chaos_keys(self):
+        resolved = resolve_live_spec(LiveSpec())
+        for field in LiveSpec.CHAOS_FIELDS:
+            assert field not in resolved["spec"]
+
+    def test_faulted_spec_resolves_to_parsed_schedule(self):
+        resolved = resolve_live_spec(
+            LiveSpec(faults="down=0:40:60,mode=abort")
+        )
+        faults = resolved["spec"]["faults"]
+        assert isinstance(faults, dict)  # canonical form, not the string
+        assert faults["schedule"]["on_crash"] == "abort"
+        assert faults["schedule"]["scripted_events"] == 2
+        assert faults["retry"]["timeout"] == 0.5
+
+
+class TestGoldenDigests:
+    """Byte-identity guardrails: fault-free IDs must never drift.
+
+    These digests were recorded before the chaos subsystem existed;
+    adding chaos fields (all ``None`` by default and omitted from
+    ``describe()``) must leave them untouched.
+    """
+
+    def test_default_spec_digest(self):
+        assert live_run_id(LiveSpec()) == (
+            "ed987233a31e118425c2d24ad8ed8795"
+            "c6c455f24e9e6b03f425cfe2bd58c5f4"
+        )
+
+    def test_small_random_cell_digest(self):
+        spec = LiveSpec(
+            policy="random",
+            num_servers=2,
+            load=0.5,
+            period=2.0,
+            jobs=800,
+            seed=1,
+        )
+        assert live_run_id(spec) == (
+            "27f75f781f209e4229269c9196044a84"
+            "170b7cddebfad9eb67845d4710e8bf42"
+        )

@@ -64,3 +64,55 @@ class TestParseFaultSpec:
             parse_fault_spec("mode=panic")
         with pytest.raises(ValueError, match="timeout must be finite"):
             parse_fault_spec("mttf=100,timeout=-1")
+
+
+class TestScriptedWindows:
+    def test_down_window_expands_to_crash_recover_pair(self):
+        injector = parse_fault_spec("down=0:40:60,mode=abort")
+        events = injector.schedule.scripted
+        assert [(e.time, e.server_id, e.kind) for e in events] == [
+            (40.0, 0, "crash"),
+            (60.0, 0, "recover"),
+        ]
+        assert injector.schedule.on_crash == "abort"
+
+    def test_degrade_window_carries_the_factor(self):
+        injector = parse_fault_spec("degrade=1:10:50:0.5")
+        events = injector.schedule.scripted
+        assert [(e.time, e.server_id, e.kind) for e in events] == [
+            (10.0, 1, "degrade"),
+            (50.0, 1, "restore"),
+        ]
+        assert events[0].factor == 0.5
+
+    def test_windows_combine_and_repeat(self):
+        injector = parse_fault_spec(
+            "down=0:40:60,down=1:20:30,degrade=2:5:15:0.25"
+        )
+        assert len(injector.schedule.scripted) == 6
+
+    def test_wrong_field_count_names_the_shape(self):
+        with pytest.raises(ValueError, match="needs SERVER:START:END,"):
+            parse_fault_spec("down=0:40")
+        with pytest.raises(
+            ValueError, match="needs SERVER:START:END:FACTOR"
+        ):
+            parse_fault_spec("degrade=0:10:50")
+
+    def test_window_end_must_follow_start(self):
+        with pytest.raises(ValueError, match="end must be after start"):
+            parse_fault_spec("down=0:60:40")
+        with pytest.raises(ValueError, match="end must be after start"):
+            parse_fault_spec("down=0:40:40")
+
+    def test_non_numeric_window_fields_rejected(self):
+        with pytest.raises(ValueError, match="'down' needs an integer"):
+            parse_fault_spec("down=a:40:60")
+        with pytest.raises(ValueError, match="'down' needs a number"):
+            parse_fault_spec("down=0:soon:60")
+
+    def test_scripted_windows_exclude_stochastic_knobs(self):
+        # The FaultSchedule contract: scripted timelines are mutually
+        # exclusive with the stochastic mttf/mttr process.
+        with pytest.raises(ValueError, match="scripted"):
+            parse_fault_spec("down=0:40:60,mttf=100,mttr=5")

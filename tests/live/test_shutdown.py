@@ -71,6 +71,45 @@ class TestCancellation:
         asyncio.run(scenario())
         assert loop_errors == []
 
+    def test_cancel_mid_fault_tears_everything_down(self):
+        # The hardest teardown: a backend is freshly killed by the chaos
+        # orchestrator (its link is dead, retries may be in flight, the
+        # orchestrator task is sleeping toward the restart) when the
+        # whole harness is cancelled.  Everything must still unwind to a
+        # quiet loop with zero "exception was never retrieved" reports.
+        loop_errors = []
+
+        async def scenario():
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, context: loop_errors.append(context)
+            )
+            spec = LiveSpec(
+                policy="basic-li",
+                num_servers=3,
+                load=0.6,
+                period=2.0,
+                jobs=100_000,
+                seed=3,
+                time_unit=0.005,
+                faults="down=0:10:2000,mode=abort,timeout=1.0,backoff=0.5",
+            )
+            runner = asyncio.create_task(run_live(spec))
+            # t=10 units at 5 ms/unit: the kill lands ~50 ms in.  Cancel
+            # shortly after, mid-fault, with the restart still pending.
+            await asyncio.sleep(0.3)
+            runner.cancel()
+            try:
+                await runner
+            except asyncio.CancelledError:
+                pass
+            assert _pending_tasks() == []
+
+        asyncio.run(scenario())
+        import gc
+
+        gc.collect()  # surface any never-retrieved task exceptions
+        assert loop_errors == []
+
     def test_duration_cap_cancels_the_generator_cleanly(self):
         loop_errors = []
 

@@ -1,0 +1,76 @@
+"""ChaosTrace: recovery pairing, bounded retention, manifest digest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.chaos import ChaosTrace
+
+
+class TestRecoveryPairing:
+    def test_kill_then_restart_yields_one_recovery(self):
+        trace = ChaosTrace()
+        trace.on_chaos_event(40.0, 0, "kill", 1.0, applied=40.2)
+        trace.on_chaos_event(80.0, 0, "restart", 1.0, applied=80.1)
+        assert trace.recoveries == [
+            {
+                "server": 0,
+                "down_at": 40.2,
+                "up_at": 80.1,
+                "latency": pytest.approx(39.9),
+            }
+        ]
+
+    def test_stall_resume_pairs_per_server(self):
+        trace = ChaosTrace()
+        trace.on_chaos_event(10.0, 0, "stall", 1.0, applied=10.0)
+        trace.on_chaos_event(12.0, 1, "stall", 1.0, applied=12.0)
+        trace.on_chaos_event(20.0, 1, "resume", 1.0, applied=20.0)
+        trace.on_chaos_event(30.0, 0, "resume", 1.0, applied=30.0)
+        assert [(r["server"], r["latency"]) for r in trace.recoveries] == [
+            (1, 8.0),
+            (0, 20.0),
+        ]
+
+    def test_unmatched_revive_records_nothing(self):
+        trace = ChaosTrace()
+        trace.on_chaos_event(5.0, 0, "restart", 1.0, applied=5.0)
+        trace.on_chaos_event(10.0, 0, "set-rate", 0.5, applied=10.0)
+        assert trace.recoveries == []
+        assert trace.injected == 2
+
+
+class TestBoundedRetention:
+    def test_counters_stay_exact_past_the_event_cap(self):
+        trace = ChaosTrace(max_events=3)
+        for i in range(10):
+            trace.on_retry(float(i), client_id=0, server_id=1, attempt=1)
+        summary = trace.summary()
+        assert trace.retries == 10
+        assert len(summary["events"]) == 3
+        assert summary["events_dropped"] == 7
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_events must be >= 0"):
+            ChaosTrace(max_events=-1)
+
+
+class TestSummary:
+    def test_digest_keys_and_conditional_sections(self):
+        trace = ChaosTrace()
+        trace.on_health(3.0, 1, healthy=False)
+        summary = trace.summary()
+        assert summary["health_flips"] == 1
+        assert "mean_recovery_latency" not in summary
+        assert "breakers" not in summary
+        trace.on_chaos_event(10.0, 0, "kill", 1.0, applied=10.0)
+        trace.on_chaos_event(20.0, 0, "restart", 1.0, applied=20.0)
+        trace.note_breakers({"trips": 2})
+        summary = trace.summary()
+        assert summary["mean_recovery_latency"] == pytest.approx(10.0)
+        assert summary["breakers"] == {"trips": 2}
+        assert [e["kind"] for e in summary["events"]] == [
+            "health",
+            "chaos",
+            "chaos",
+        ]
